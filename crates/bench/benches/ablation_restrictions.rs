@@ -1,0 +1,59 @@
+//! Ablation C bench: cost of the §4 restrictions (`meet_Π`, `meet^δ`) on
+//! the case-study workload.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use ncq_bench::experiments::corpora;
+use ncq_core::{MeetOptions, PathFilter};
+use ncq_fulltext::HitSet;
+use std::hint::black_box;
+use std::time::Duration;
+
+fn restrictions(c: &mut Criterion) {
+    let (db, _corpus) = corpora::dblp_case_study();
+    let icde = db.search_word("ICDE");
+    let mut years = HitSet::new();
+    for y in 1984u16..=1999 {
+        years.union(&db.search_word(&y.to_string()));
+    }
+    let inputs = [icde, years];
+
+    let variants: Vec<(&str, MeetOptions)> = vec![
+        ("unrestricted", MeetOptions::default()),
+        (
+            "exclude_root",
+            MeetOptions {
+                filter: PathFilter::exclude_root(db.store()),
+                ..MeetOptions::default()
+            },
+        ),
+        (
+            "within_4",
+            MeetOptions {
+                max_distance: Some(4),
+                ..MeetOptions::default()
+            },
+        ),
+        (
+            "within_2",
+            MeetOptions {
+                max_distance: Some(2),
+                ..MeetOptions::default()
+            },
+        ),
+    ];
+
+    let mut group = c.benchmark_group("ablation_restrictions");
+    group
+        .sample_size(15)
+        .warm_up_time(Duration::from_millis(200))
+        .measurement_time(Duration::from_secs(1));
+    for (name, opts) in variants {
+        group.bench_function(name, |b| {
+            b.iter(|| db.meet_hits(black_box(&inputs), &opts))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, restrictions);
+criterion_main!(benches);

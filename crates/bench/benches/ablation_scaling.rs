@@ -1,0 +1,63 @@
+//! Ablation B bench: input-set scaling of the set meet (Fig. 4) and the
+//! generalized meet (Fig. 5). The paper's §5 claim: "the set-oriented
+//! version of the operator scales well, i.e., linear, with respect to the
+//! cardinality of the input sets."
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use ncq_bench::experiments::corpora;
+use ncq_core::{meet_sets, MeetOptions};
+use ncq_fulltext::HitSet;
+use ncq_store::Oid;
+use std::hint::black_box;
+use std::time::Duration;
+
+fn scaling(c: &mut Criterion) {
+    let (db, _corpus) = corpora::dblp_case_study();
+    // Homogeneous sets for Fig. 4: booktitle cdatas vs year cdatas.
+    let icde = db.search_word("ICDE");
+    let mut years = HitSet::new();
+    for y in 1984u16..=1999 {
+        years.union(&db.search_word(&y.to_string()));
+    }
+
+    let booktitles: Vec<Oid> = icde
+        .groups()
+        .iter()
+        .max_by_key(|(_, v)| v.len())
+        .map(|(_, v)| v.clone())
+        .unwrap();
+    let year_cdatas: Vec<Oid> = years
+        .groups()
+        .iter()
+        .max_by_key(|(_, v)| v.len())
+        .map(|(_, v)| v.clone())
+        .unwrap();
+
+    let mut group = c.benchmark_group("ablation_scaling");
+    group
+        .sample_size(15)
+        .warm_up_time(Duration::from_millis(200))
+        .measurement_time(Duration::from_secs(1));
+
+    for frac in [4usize, 2, 1] {
+        let s1 = &booktitles[..booktitles.len() / frac];
+        let s2 = &year_cdatas[..year_cdatas.len() / frac];
+        let n = (s1.len() + s2.len()) as u64;
+        group.throughput(Throughput::Elements(n));
+        group.bench_with_input(BenchmarkId::new("meet_sets_fig4", n), &frac, |b, _| {
+            b.iter(|| meet_sets(db.store(), black_box(s1), black_box(s2)).unwrap())
+        });
+
+        let inputs = [
+            HitSet::from_pairs(s1.iter().map(|&o| (db.store().sigma(o), o))),
+            HitSet::from_pairs(s2.iter().map(|&o| (db.store().sigma(o), o))),
+        ];
+        group.bench_with_input(BenchmarkId::new("meet_multi_fig5", n), &frac, |b, _| {
+            b.iter(|| db.meet_hits(black_box(&inputs), &MeetOptions::default()))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, scaling);
+criterion_main!(benches);

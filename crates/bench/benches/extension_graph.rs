@@ -1,0 +1,48 @@
+//! Extension bench: graph meets over the crossref overlay (the paper's
+//! IDREF future work) vs plain tree meets on the same node pairs.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use ncq_bench::experiments::corpora;
+use ncq_core::{distance, graph_distance, RefGraph};
+use std::hint::black_box;
+use std::time::Duration;
+
+fn graph(c: &mut Criterion) {
+    let (db, _corpus) = corpora::dblp_small();
+    let store = db.store();
+    let overlay = RefGraph::from_key_references(store, "key", "crossref");
+    // A booktitle hit (inproceedings record) vs a proceedings title hit —
+    // distinct nodes whose graph route uses the crossref edge.
+    let s = db
+        .search_word("ICDE")
+        .iter()
+        .find(|(p, _)| store.relation_name(*p).contains("booktitle"))
+        .unwrap()
+        .1;
+    let t = db
+        .search_word("Proceedings")
+        .iter()
+        .find(|(p, _)| store.relation_name(*p).contains("proceedings/title"))
+        .unwrap()
+        .1;
+    assert_ne!(s, t);
+
+    let mut group = c.benchmark_group("extension_graph");
+    group
+        .sample_size(20)
+        .warm_up_time(Duration::from_millis(200))
+        .measurement_time(Duration::from_secs(1));
+    group.bench_function("tree_meet", |b| {
+        b.iter(|| distance(store, black_box(s), black_box(t)))
+    });
+    group.bench_function("graph_meet_bfs", |b| {
+        b.iter(|| graph_distance(store, &overlay, black_box(s), black_box(t)))
+    });
+    group.bench_function("overlay_build", |b| {
+        b.iter(|| RefGraph::from_key_references(store, "key", "crossref"))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, graph);
+criterion_main!(benches);

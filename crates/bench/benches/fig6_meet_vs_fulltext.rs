@@ -1,0 +1,56 @@
+//! Figure 6 bench: full-text only vs full-text + meet vs meet alone,
+//! parameterized by the tree distance between the two hits.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use ncq_bench::experiments::corpora;
+use ncq_core::MeetOptions;
+use ncq_datagen::MultimediaCorpus;
+use std::hint::black_box;
+use std::time::Duration;
+
+fn fig6(c: &mut Criterion) {
+    let (db, _corpus) = corpora::multimedia(500);
+    let mut group = c.benchmark_group("fig6");
+    group
+        .sample_size(20)
+        .warm_up_time(Duration::from_millis(300))
+        .measurement_time(Duration::from_secs(1));
+
+    for d in [0usize, 2, 5, 10, 15, 20] {
+        let (term_a, term_b) = MultimediaCorpus::marker_terms(d, 0);
+
+        group.bench_with_input(BenchmarkId::new("fulltext_only", d), &d, |b, _| {
+            b.iter(|| {
+                (
+                    db.search_contains(black_box(&term_a)),
+                    db.search_contains(black_box(&term_b)),
+                )
+            })
+        });
+
+        group.bench_with_input(BenchmarkId::new("fulltext_and_meet", d), &d, |b, _| {
+            b.iter(|| {
+                let ha = db.search_contains(black_box(&term_a));
+                let hb = db.search_contains(black_box(&term_b));
+                db.meet_hits(&[ha, hb], &MeetOptions::default())
+            })
+        });
+
+        let ha = db.search_contains(&term_a);
+        let hb = db.search_contains(&term_b);
+        let inputs = [ha.clone(), hb.clone()];
+        group.bench_with_input(BenchmarkId::new("meet_only", d), &d, |b, _| {
+            b.iter(|| db.meet_hits(black_box(&inputs), &MeetOptions::default()))
+        });
+
+        let o1 = ha.iter().next().unwrap().1;
+        let o2 = hb.iter().next().unwrap().1;
+        group.bench_with_input(BenchmarkId::new("meet2_only", d), &d, |b, _| {
+            b.iter(|| db.meet_pair(black_box(o1), black_box(o2)))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, fig6);
+criterion_main!(benches);

@@ -1,0 +1,44 @@
+//! Figure 7 bench: meet time after full-text search on the DBLP
+//! substitute, parameterized by the year-interval start (i.e. by output
+//! cardinality).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use ncq_bench::experiments::corpora;
+use ncq_core::{MeetOptions, PathFilter};
+use ncq_fulltext::HitSet;
+use std::hint::black_box;
+use std::time::Duration;
+
+fn fig7(c: &mut Criterion) {
+    let (db, _corpus) = corpora::dblp_case_study();
+    let icde = db.search_word("ICDE");
+    let options = MeetOptions {
+        filter: PathFilter::exclude_root(db.store()),
+        ..MeetOptions::default()
+    };
+
+    let mut group = c.benchmark_group("fig7");
+    group
+        .sample_size(15)
+        .warm_up_time(Duration::from_millis(300))
+        .measurement_time(Duration::from_secs(2));
+
+    for year_from in [1999u16, 1996, 1992, 1988, 1984] {
+        let mut years = HitSet::new();
+        for y in year_from..=1999 {
+            years.union(&db.search_word(&y.to_string()));
+        }
+        let inputs = [icde.clone(), years];
+        let cardinality = db.meet_hits(&inputs, &options).len();
+        group.throughput(Throughput::Elements(cardinality as u64));
+        group.bench_with_input(
+            BenchmarkId::new(format!("meet_card_{cardinality}"), year_from),
+            &year_from,
+            |b, _| b.iter(|| db.meet_hits(black_box(&inputs), &options)),
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, fig7);
+criterion_main!(benches);

@@ -1,0 +1,57 @@
+//! Substrate micro-benchmarks: parse, Monet bulk load, index build, and
+//! full-text lookups — the costs surrounding the meet operator.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use ncq_bench::experiments::corpora;
+use ncq_datagen::{DblpConfig, DblpCorpus};
+use ncq_fulltext::InvertedIndex;
+use ncq_store::MonetDb;
+use ncq_xml::{parse, write_document, WriteOptions};
+use std::hint::black_box;
+use std::time::Duration;
+
+fn substrates(c: &mut Criterion) {
+    let corpus = DblpCorpus::generate(&DblpConfig {
+        papers_per_edition: 20,
+        journal_articles_per_year: 5,
+        ..DblpConfig::default()
+    });
+    let xml = write_document(&corpus.document, WriteOptions::default());
+    let doc = corpus.document.clone();
+    let store = MonetDb::from_document(&doc);
+
+    let mut group = c.benchmark_group("micro_substrates");
+    group
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(200))
+        .measurement_time(Duration::from_secs(2));
+
+    group.throughput(Throughput::Bytes(xml.len() as u64));
+    group.bench_function("xml_parse", |b| b.iter(|| parse(black_box(&xml)).unwrap()));
+    group.throughput(Throughput::Elements(doc.len() as u64));
+    group.bench_function("monet_bulk_load", |b| {
+        b.iter(|| MonetDb::from_document(black_box(&doc)))
+    });
+    group.bench_function("index_build", |b| {
+        b.iter(|| InvertedIndex::build(black_box(&store)))
+    });
+    group.finish();
+
+    let (db, _) = corpora::dblp_case_study();
+    let mut lookups = c.benchmark_group("micro_fulltext");
+    lookups
+        .sample_size(30)
+        .warm_up_time(Duration::from_millis(200))
+        .measurement_time(Duration::from_secs(1));
+    lookups.bench_function("word_hit", |b| b.iter(|| db.search_word(black_box("ICDE"))));
+    lookups.bench_function("word_miss", |b| {
+        b.iter(|| db.search_word(black_box("nonexistent")))
+    });
+    lookups.bench_function("substring_scan", |b| {
+        b.iter(|| db.search_contains(black_box("ICDE")))
+    });
+    lookups.finish();
+}
+
+criterion_group!(benches, substrates);
+criterion_main!(benches);

@@ -1,0 +1,169 @@
+//! Figure 6: "Combining meet and fulltext search (normalized)".
+//!
+//! The paper plots elapsed time against the distance (0–20 edges) between
+//! two full-text hits, with two series: "fulltext only" (flat, ≈1207 ms on
+//! their hardware) and "fulltext and meet" (the same plus the meet, ≈2 ms
+//! at distance two, growing mildly with distance). The claims to
+//! reproduce: **the full-text search dominates; the meet is marginal and
+//! scales well with distance.**
+//!
+//! We plant probe term pairs at exact distances in the multimedia corpus
+//! (see `ncq-datagen`), run the substring-scan full-text search (the
+//! analogue of Monet's string scan), and compute the meet of the two hit
+//! sets.
+
+use crate::measure::{micros, millis, time_median};
+use ncq_core::{Database, MeetOptions};
+use ncq_datagen::MultimediaCorpus;
+use serde::Serialize;
+
+/// Configuration for the Figure 6 run.
+#[derive(Debug, Clone)]
+pub struct Fig6Config {
+    /// Distances to sweep (the paper: 0..=20).
+    pub max_distance: usize,
+    /// Probes averaged per distance.
+    pub probes_per_distance: usize,
+    /// Wall-clock repetitions per measurement (median taken).
+    pub runs: usize,
+}
+
+impl Default for Fig6Config {
+    fn default() -> Fig6Config {
+        Fig6Config {
+            max_distance: 20,
+            probes_per_distance: 4,
+            runs: 5,
+        }
+    }
+}
+
+/// One row of the Figure 6 series.
+#[derive(Debug, Clone, Serialize)]
+pub struct Fig6Row {
+    /// Hit distance in edges.
+    pub distance: usize,
+    /// Full-text (substring scan) time for both terms, ms.
+    pub fulltext_ms: f64,
+    /// Full-text plus meet, ms.
+    pub fulltext_and_meet_ms: f64,
+    /// The meet alone, µs.
+    pub meet_us: f64,
+    /// Meet via the pairwise Fig. 3 algorithm alone, µs.
+    pub meet2_us: f64,
+}
+
+/// The full Figure 6 result.
+#[derive(Debug, Clone, Serialize)]
+pub struct Fig6Result {
+    /// One row per distance.
+    pub rows: Vec<Fig6Row>,
+    /// Objects in the corpus.
+    pub corpus_objects: usize,
+}
+
+/// Run the experiment on a prepared multimedia database.
+pub fn run(db: &Database, corpus: &MultimediaCorpus, config: &Fig6Config) -> Fig6Result {
+    let mut rows = Vec::new();
+    let max_d = config.max_distance.min(corpus.config.max_distance);
+    let probes = config
+        .probes_per_distance
+        .min(corpus.config.probes_per_distance);
+
+    for d in 0..=max_d {
+        let mut ft = 0.0;
+        let mut ft_meet = 0.0;
+        let mut meet = 0.0;
+        let mut meet2 = 0.0;
+        for k in 0..probes {
+            let (term_a, term_b) = MultimediaCorpus::marker_terms(d, k);
+
+            // Full-text only: two substring scans (the Monet-analogue
+            // string scan the paper's 1207 ms corresponds to).
+            let (hits, d_ft) = time_median(config.runs, || {
+                (db.search_contains(&term_a), db.search_contains(&term_b))
+            });
+
+            // The meet on the hit groups (generalized algorithm).
+            let inputs = [hits.0.clone(), hits.1.clone()];
+            let (meets, d_meet) = time_median(config.runs, || {
+                db.meet_hits(&inputs, &MeetOptions::default())
+            });
+            assert_eq!(meets.len(), 1, "probe d={d} k={k} must have one meet");
+            assert_eq!(meets[0].distance, d, "probe d={d} k={k} distance");
+
+            // The pairwise algorithm on the two single hits.
+            let o1 = hits.0.iter().next().expect("term A hits").1;
+            let o2 = hits.1.iter().next().expect("term B hits").1;
+            let (_, d_meet2) = time_median(config.runs, || db.meet_pair(o1, o2));
+
+            ft += millis(d_ft);
+            ft_meet += millis(d_ft + d_meet);
+            meet += micros(d_meet);
+            meet2 += micros(d_meet2);
+        }
+        let n = probes as f64;
+        rows.push(Fig6Row {
+            distance: d,
+            fulltext_ms: ft / n,
+            fulltext_and_meet_ms: ft_meet / n,
+            meet_us: meet / n,
+            meet2_us: meet2 / n,
+        });
+    }
+
+    Fig6Result {
+        rows,
+        corpus_objects: db.store().node_count(),
+    }
+}
+
+/// Text table in the shape of the paper's plot data.
+pub fn table(result: &Fig6Result) -> String {
+    let mut out = String::from(
+        "# Figure 6 — combining meet and fulltext search\n\
+         # distance  fulltext_ms  fulltext+meet_ms  meet_us  meet2_us\n",
+    );
+    for r in &result.rows {
+        out.push_str(&format!(
+            "{:>10}  {:>11.3}  {:>16.3}  {:>7.2}  {:>8.2}\n",
+            r.distance, r.fulltext_ms, r.fulltext_and_meet_ms, r.meet_us, r.meet2_us
+        ));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::experiments::corpora;
+
+    #[test]
+    fn fig6_shape_holds_at_small_scale() {
+        let (db, corpus) = corpora::multimedia(60);
+        let result = run(
+            &db,
+            &corpus,
+            &Fig6Config {
+                max_distance: 8,
+                probes_per_distance: 2,
+                runs: 3,
+            },
+        );
+        assert_eq!(result.rows.len(), 9);
+        for r in &result.rows {
+            // Full-text dominates: the meet adds comparatively little.
+            assert!(r.fulltext_and_meet_ms >= r.fulltext_ms);
+            let meet_ms = r.meet_us / 1000.0;
+            assert!(
+                meet_ms <= r.fulltext_ms,
+                "meet ({meet_ms} ms) must not dominate fulltext ({} ms) at d={}",
+                r.fulltext_ms,
+                r.distance
+            );
+        }
+        let t = table(&result);
+        assert!(t.contains("Figure 6"));
+        assert!(t.lines().count() >= 11);
+    }
+}

@@ -1,0 +1,121 @@
+//! Listing-1, Listing-2 and the §3.1 worked examples on the Figure 1
+//! database — the paper's qualitative results, regenerated exactly.
+
+use ncq_core::Database;
+use ncq_query::{run_query, QueryOutput};
+use serde::Serialize;
+
+/// Reproduction of the two answer listings.
+#[derive(Debug, Clone, Serialize)]
+pub struct ListingsResult {
+    /// Tags returned by the baseline query (paper §1): the desired answer
+    /// plus ancestor-implied rows.
+    pub baseline_tags: Vec<String>,
+    /// Tags returned by the meet reformulation (paper §3.2).
+    pub meet_tags: Vec<String>,
+    /// The baseline answer rendered in the paper's `<answer>` markup.
+    pub baseline_xml: String,
+    /// The meet answer rendered in the paper's `<answer>` markup.
+    pub meet_xml: String,
+}
+
+/// The paper's baseline query (Listing-1).
+pub const LISTING1_QUERY: &str = "select $T \
+    from %/$T as t1, %/$T as t2 \
+    where t1 contains 'Bit' and t2 contains '1999'";
+
+/// The paper's meet query (Listing-2).
+pub const LISTING2_QUERY: &str = "select meet(t1, t2) \
+    from bibliography/% as t1, bibliography/% as t2 \
+    where t1 contains 'Bit' and t2 contains '1999'";
+
+/// Run both listings against the Figure 1 database.
+pub fn run(db: &Database) -> ListingsResult {
+    let QueryOutput::Rows(rows) = run_query(db, LISTING1_QUERY).expect("listing 1 runs") else {
+        panic!("listing 1 is a projection");
+    };
+    let QueryOutput::Answers(answers) = run_query(db, LISTING2_QUERY).expect("listing 2 runs")
+    else {
+        panic!("listing 2 is a meet");
+    };
+    ListingsResult {
+        baseline_tags: rows
+            .rows
+            .iter()
+            .map(|r| r.values[0].clone())
+            .collect(),
+        meet_tags: answers.tags().iter().map(|t| t.to_string()).collect(),
+        baseline_xml: rows.to_answer_xml(),
+        meet_xml: answers.to_answer_xml(),
+    }
+}
+
+/// One §3.1 worked example.
+#[derive(Debug, Clone, Serialize)]
+pub struct Sec31Example {
+    /// The two search terms.
+    pub terms: [String; 2],
+    /// Tag of the nearest concept the paper reports.
+    pub expected_tag: String,
+    /// Tag we computed.
+    pub actual_tag: String,
+    /// Distance between the hits.
+    pub distance: usize,
+}
+
+/// The worked examples of §3.1: ("Ben","Bit") → author, ("Bob","Byte") →
+/// the cdata node itself, ("Bit","1999") → article.
+pub fn sec31(db: &Database) -> Vec<Sec31Example> {
+    [
+        ("Ben", "Bit", "author"),
+        ("Bob", "Byte", "cdata"),
+        ("Bit", "1999", "article"),
+    ]
+    .into_iter()
+    .map(|(a, b, expected)| {
+        let answers = db.meet_terms(&[a, b]).expect("meet runs");
+        let first = answers
+            .results
+            .first()
+            .expect("each example has an answer");
+        Sec31Example {
+            terms: [a.to_owned(), b.to_owned()],
+            expected_tag: expected.to_owned(),
+            actual_tag: first.tag.clone(),
+            distance: first.distance,
+        }
+    })
+    .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::experiments::corpora;
+
+    #[test]
+    fn listings_reproduce_the_paper() {
+        let db = corpora::figure1();
+        let r = run(&db);
+        // Baseline: 4 rows — article (twice: one per 1999-article pairing),
+        // institute, bibliography. The meet answer: exactly one article.
+        assert_eq!(r.baseline_tags.len(), 4);
+        assert!(r.baseline_tags.contains(&"article".to_string()));
+        assert!(r.baseline_tags.contains(&"institute".to_string()));
+        assert!(r.baseline_tags.contains(&"bibliography".to_string()));
+        assert_eq!(r.meet_tags, vec!["article"]);
+        assert!(r.meet_xml.contains("<result> article </result>"));
+    }
+
+    #[test]
+    fn sec31_examples_match_the_paper() {
+        let db = corpora::figure1();
+        for ex in sec31(&db) {
+            assert_eq!(
+                ex.actual_tag, ex.expected_tag,
+                "terms {:?} gave {}",
+                ex.terms, ex.actual_tag
+            );
+        }
+    }
+}

@@ -1,0 +1,188 @@
+//! Answer sets: what a meet query returns to the user.
+//!
+//! The paper renders answers as
+//!
+//! ```xml
+//! <answer>
+//!   <result> article </result>
+//! </answer>
+//! ```
+//!
+//! [`AnswerSet`] carries the same information plus everything needed for
+//! exploration: the result oid, its tag ("the nearest concept" — a type
+//! the user never specified), its full path, the ranking distance, and
+//! the witnesses that explain why the node qualified.
+
+use crate::meet_multi::Meet;
+use ncq_store::{MonetDb, Oid};
+use std::fmt;
+
+/// A single witness in an answer (a resolved [`crate::meet_multi::MeetWitness`]).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Witness {
+    /// The original hit's owner oid.
+    pub origin: Oid,
+    /// Index of the query term that produced the hit.
+    pub term: usize,
+    /// Edges between the hit and the result node.
+    pub climb: usize,
+    /// The matched string (cdata text or attribute value), when resolvable.
+    pub text: Option<String>,
+}
+
+/// One result of a meet query.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Answer {
+    /// The nearest concept node.
+    pub oid: Oid,
+    /// Its tag — the paper's `<result>` payload (`cdata` for text nodes).
+    pub tag: String,
+    /// Its full path (relation name), e.g.
+    /// `bibliography/institute/article`.
+    pub path: String,
+    /// Ranking distance (edges between the two closest witnesses).
+    pub distance: usize,
+    /// Total witnesses that converged on this node.
+    pub witness_count: usize,
+    /// Witness sample.
+    pub witnesses: Vec<Witness>,
+}
+
+/// All results of one meet query, ranked.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct AnswerSet {
+    /// Ranked results (best first).
+    pub results: Vec<Answer>,
+}
+
+impl AnswerSet {
+    /// Build from ranked meets, resolving display strings against the
+    /// database.
+    pub fn from_meets(db: &MonetDb, meets: Vec<Meet>) -> AnswerSet {
+        let results = meets
+            .into_iter()
+            .map(|m| Answer {
+                oid: m.node,
+                tag: db.label(m.node),
+                path: db.relation_name(m.path),
+                distance: m.distance,
+                witness_count: m.witness_count,
+                witnesses: m
+                    .witnesses
+                    .into_iter()
+                    .map(|w| Witness {
+                        origin: w.origin,
+                        term: w.input,
+                        climb: w.climb,
+                        text: db
+                            .string_value(db.sigma(w.origin), w.origin)
+                            .map(str::to_owned),
+                    })
+                    .collect(),
+            })
+            .collect();
+        AnswerSet { results }
+    }
+
+    /// Number of results.
+    pub fn len(&self) -> usize {
+        self.results.len()
+    }
+
+    /// Whether the query found nothing.
+    pub fn is_empty(&self) -> bool {
+        self.results.is_empty()
+    }
+
+    /// The tags of all results, in rank order — the paper's answer lists.
+    pub fn tags(&self) -> Vec<&str> {
+        self.results.iter().map(|r| r.tag.as_str()).collect()
+    }
+
+    /// Render in the paper's `<answer>` markup.
+    pub fn to_answer_xml(&self) -> String {
+        let mut out = String::from("<answer>\n");
+        for r in &self.results {
+            out.push_str(&format!(
+                "  <result> {} </result> ({})\n",
+                r.tag, r.oid
+            ));
+        }
+        out.push_str("</answer>");
+        out
+    }
+}
+
+impl fmt::Display for AnswerSet {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.to_answer_xml())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::meet_multi::{meet_multi, MeetOptions};
+    use ncq_fulltext::{search, InvertedIndex};
+    use ncq_store::MonetDb;
+    use ncq_xml::parse;
+
+    fn setup() -> (MonetDb, InvertedIndex) {
+        let db = MonetDb::from_document(
+            &parse(
+                r#"<bib><article key="BB99"><author>Ben Bit</author>
+                   <year>1999</year></article></bib>"#,
+            )
+            .unwrap(),
+        );
+        let idx = InvertedIndex::build(&db);
+        (db, idx)
+    }
+
+    #[test]
+    fn answers_resolve_tags_paths_and_witness_text() {
+        let (db, idx) = setup();
+        let inputs = vec![
+            search::term_hits(&db, &idx, "Bit"),
+            search::term_hits(&db, &idx, "1999"),
+        ];
+        let meets = meet_multi(&db, &inputs, &MeetOptions::default());
+        let answers = AnswerSet::from_meets(&db, meets);
+        assert_eq!(answers.len(), 1);
+        let a = &answers.results[0];
+        assert_eq!(a.tag, "article");
+        assert_eq!(a.path, "bib/article");
+        assert_eq!(a.witness_count, 2);
+        let texts: Vec<&str> = a
+            .witnesses
+            .iter()
+            .filter_map(|w| w.text.as_deref())
+            .collect();
+        assert!(texts.contains(&"Ben Bit"));
+        assert!(texts.contains(&"1999"));
+    }
+
+    #[test]
+    fn answer_xml_mirrors_the_paper() {
+        let (db, idx) = setup();
+        let inputs = vec![
+            search::term_hits(&db, &idx, "Bit"),
+            search::term_hits(&db, &idx, "1999"),
+        ];
+        let meets = meet_multi(&db, &inputs, &MeetOptions::default());
+        let answers = AnswerSet::from_meets(&db, meets);
+        let xml = answers.to_answer_xml();
+        assert!(xml.starts_with("<answer>"));
+        assert!(xml.contains("<result> article </result>"));
+        assert!(xml.ends_with("</answer>"));
+        assert_eq!(format!("{answers}"), xml);
+    }
+
+    #[test]
+    fn empty_answer_set_renders_empty_answer() {
+        let set = AnswerSet::default();
+        assert!(set.is_empty());
+        assert_eq!(set.to_answer_xml(), "<answer>\n</answer>");
+        assert!(set.tags().is_empty());
+    }
+}

@@ -1,0 +1,219 @@
+//! The [`Database`] facade: parse → Monet transform → index → meet.
+//!
+//! This is the "search engine add-on" deployment of the paper's
+//! conclusion: the meet operator "can serve as a sensible and valuable
+//! add-on to an already existing search engine for semi-structured or XML
+//! data that comes at little cost".
+
+use crate::answer::AnswerSet;
+use crate::meet2::{meet2, Meet2};
+use crate::meet_multi::{meet_multi, Meet, MeetOptions};
+use crate::meet_sets::{meet_sets, MeetError, SetMeets};
+use crate::rank::rank_meets;
+use ncq_fulltext::{search, HitSet, InvertedIndex};
+use ncq_store::{MonetDb, Oid};
+use ncq_xml::{Document, ParseError};
+
+/// A queryable XML database: storage, full-text index and meet operators
+/// behind one handle.
+#[derive(Debug, Clone)]
+pub struct Database {
+    store: MonetDb,
+    index: InvertedIndex,
+}
+
+impl Database {
+    /// Parse an XML string and load it.
+    pub fn from_xml_str(xml: &str) -> Result<Database, ParseError> {
+        Ok(Database::from_document(&ncq_xml::parse(xml)?))
+    }
+
+    /// Load an already-parsed document.
+    pub fn from_document(doc: &Document) -> Database {
+        let store = MonetDb::from_document(doc);
+        let index = InvertedIndex::build(&store);
+        Database { store, index }
+    }
+
+    /// The underlying Monet transform.
+    pub fn store(&self) -> &MonetDb {
+        &self.store
+    }
+
+    /// The underlying inverted index.
+    pub fn index(&self) -> &InvertedIndex {
+        &self.index
+    }
+
+    // ----- full-text entry points -----
+
+    /// Hits for one term (word, phrase or substring — see
+    /// [`search::term_hits`]).
+    pub fn search(&self, term: &str) -> HitSet {
+        search::term_hits(&self.store, &self.index, term)
+    }
+
+    /// Hits for a whole word only (pure index lookup).
+    pub fn search_word(&self, word: &str) -> HitSet {
+        search::word_hits(&self.index, word)
+    }
+
+    /// Hits by substring scan (the `contains` predicate).
+    pub fn search_contains(&self, needle: &str) -> HitSet {
+        search::substring_hits(&self.store, needle)
+    }
+
+    /// Hits broadened by a thesaurus (paper §4: "thesauri are a promising
+    /// tool … especially to broaden a search that returned too few
+    /// answers").
+    pub fn search_expanded(&self, term: &str, thesaurus: &ncq_fulltext::Thesaurus) -> HitSet {
+        ncq_fulltext::expanded_hits(&self.store, &self.index, thesaurus, term)
+    }
+
+    // ----- meet entry points -----
+
+    /// Pairwise meet (paper Fig. 3).
+    pub fn meet_pair(&self, o1: Oid, o2: Oid) -> Meet2 {
+        meet2(&self.store, o1, o2)
+    }
+
+    /// Set meet over two homogeneous OID sets (paper Fig. 4).
+    pub fn meet_oid_sets(&self, s1: &[Oid], s2: &[Oid]) -> Result<SetMeets, MeetError> {
+        meet_sets(&self.store, s1, s2)
+    }
+
+    /// Generalized meet over hit groups (paper Fig. 5), ranked.
+    pub fn meet_hits(&self, inputs: &[HitSet], options: &MeetOptions) -> Vec<Meet> {
+        let mut meets = meet_multi(&self.store, inputs, options);
+        rank_meets(&mut meets);
+        meets
+    }
+
+    /// The paper's signature query: full-text search each term, then meet
+    /// the hit groups. Default options (no type restriction, no distance
+    /// bound).
+    ///
+    /// Returns `None`-like empty answers when any term has no hits? No —
+    /// terms without hits simply contribute nothing; the remaining groups
+    /// still meet (matching the behaviour of combining independent
+    /// full-text searches).
+    pub fn meet_terms(&self, terms: &[&str]) -> Result<AnswerSet, MeetError> {
+        self.meet_terms_with(terms, &MeetOptions::default())
+    }
+
+    /// [`Database::meet_terms`] with explicit [`MeetOptions`].
+    pub fn meet_terms_with(
+        &self,
+        terms: &[&str],
+        options: &MeetOptions,
+    ) -> Result<AnswerSet, MeetError> {
+        let inputs: Vec<HitSet> = terms.iter().map(|t| self.search(t)).collect();
+        let meets = self.meet_hits(&inputs, options);
+        Ok(AnswerSet::from_meets(&self.store, meets))
+    }
+
+    /// [`Database::meet_terms`] with thesaurus broadening per term.
+    pub fn meet_terms_expanded(
+        &self,
+        terms: &[&str],
+        thesaurus: &ncq_fulltext::Thesaurus,
+        options: &MeetOptions,
+    ) -> Result<AnswerSet, MeetError> {
+        let inputs: Vec<HitSet> = terms
+            .iter()
+            .map(|t| self.search_expanded(t, thesaurus))
+            .collect();
+        let meets = self.meet_hits(&inputs, options);
+        Ok(AnswerSet::from_meets(&self.store, meets))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::filter::PathFilter;
+
+    const FIGURE1: &str = r#"
+<bibliography>
+  <institute>
+    <article key="BB99">
+      <author><firstname>Ben</firstname><lastname>Bit</lastname></author>
+      <title>How to Hack</title>
+      <year>1999</year>
+    </article>
+    <article key="BK99">
+      <author>Bob Byte</author>
+      <title>Hacking &amp; RSI</title>
+      <year>1999</year>
+    </article>
+  </institute>
+</bibliography>"#;
+
+    #[test]
+    fn end_to_end_listing2() {
+        let db = Database::from_xml_str(FIGURE1).unwrap();
+        let answers = db.meet_terms(&["Bit", "1999"]).unwrap();
+        assert_eq!(answers.tags(), vec!["article"]);
+    }
+
+    #[test]
+    fn parse_errors_propagate() {
+        assert!(Database::from_xml_str("<broken>").is_err());
+    }
+
+    #[test]
+    fn search_modes_agree_on_simple_words() {
+        let db = Database::from_xml_str(FIGURE1).unwrap();
+        assert_eq!(db.search("Ben").len(), db.search_word("Ben").len());
+        assert_eq!(db.search_contains("Ben").len(), 1);
+    }
+
+    #[test]
+    fn meet_pair_through_facade() {
+        let db = Database::from_xml_str(FIGURE1).unwrap();
+        let ben = db.search("Ben").iter().next().unwrap().1;
+        let bit = db.search("Bit").iter().next().unwrap().1;
+        let m = db.meet_pair(ben, bit);
+        assert_eq!(db.store().tag(m.meet), Some("author"));
+    }
+
+    #[test]
+    fn meet_oid_sets_through_facade() {
+        let db = Database::from_xml_str(FIGURE1).unwrap();
+        let years: Vec<Oid> = db.search("1999").iter().map(|(_, o)| o).collect();
+        let titles: Vec<Oid> = db.search_word("Hack").iter().map(|(_, o)| o).collect();
+        let meets = db.meet_oid_sets(&years, &titles).unwrap();
+        assert_eq!(meets.meets.len(), 1);
+    }
+
+    #[test]
+    fn options_reach_the_operator() {
+        let db = Database::from_xml_str(FIGURE1).unwrap();
+        let opts = MeetOptions {
+            filter: PathFilter::exclude_root(db.store()),
+            max_distance: Some(4),
+            ..MeetOptions::default()
+        };
+        // Bit+1999 needs distance 5 → blocked.
+        let answers = db.meet_terms_with(&["Bit", "1999"], &opts).unwrap();
+        assert!(answers.is_empty());
+    }
+
+    #[test]
+    fn unmatched_terms_contribute_nothing() {
+        let db = Database::from_xml_str(FIGURE1).unwrap();
+        let answers = db.meet_terms(&["Ben", "Bit", "zzz-absent"]).unwrap();
+        assert_eq!(answers.tags(), vec!["author"]);
+    }
+
+    #[test]
+    fn answers_are_ranked_by_distance() {
+        let db = Database::from_xml_str(FIGURE1).unwrap();
+        // Bob+Byte meet at distance 0; Ben+Bit at 4; with all four terms
+        // the cdata meet must rank first.
+        let answers = db.meet_terms(&["Bob", "Byte", "Ben", "Bit"]).unwrap();
+        assert_eq!(answers.len(), 2);
+        assert!(answers.results[0].distance <= answers.results[1].distance);
+        assert_eq!(answers.results[0].tag, "cdata");
+    }
+}

@@ -1,0 +1,96 @@
+//! Result-type restriction — the paper's `meet_Π` (§4).
+//!
+//! > "we propose to extend the meet operator with … restrictions of the
+//! > type of results, i.e., if `o` is a result candidate we restrict
+//! > `σ(o)` to a certain set of paths Π; if `σ(o) ∉ Π` we discard `o`"
+//!
+//! The paper's prose and its case study use the restriction as an
+//! *exclusion* ("with the document root excluded from the set of possible
+//! results"), while the formula reads as an allow-list. Both are provided;
+//! [`PathFilter::exclude_root`] is the variant every experiment uses.
+
+use ncq_store::{MonetDb, PathId};
+use std::collections::HashSet;
+
+/// Which result paths a meet query may report.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub enum PathFilter {
+    /// No restriction.
+    #[default]
+    All,
+    /// Discard results whose path is in the set.
+    Exclude(HashSet<PathId>),
+    /// Keep only results whose path is in the set.
+    Allow(HashSet<PathId>),
+}
+
+impl PathFilter {
+    /// The case-study filter: everything except the document root.
+    pub fn exclude_root(db: &MonetDb) -> PathFilter {
+        PathFilter::Exclude(std::iter::once(db.sigma(db.root())).collect())
+    }
+
+    /// Exclude the given paths.
+    pub fn excluding(paths: impl IntoIterator<Item = PathId>) -> PathFilter {
+        PathFilter::Exclude(paths.into_iter().collect())
+    }
+
+    /// Allow only the given paths.
+    pub fn allowing(paths: impl IntoIterator<Item = PathId>) -> PathFilter {
+        PathFilter::Allow(paths.into_iter().collect())
+    }
+
+    /// Whether a result with path `p` passes the filter.
+    pub fn accepts(&self, p: PathId) -> bool {
+        match self {
+            PathFilter::All => true,
+            PathFilter::Exclude(set) => !set.contains(&p),
+            PathFilter::Allow(set) => set.contains(&p),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ncq_store::MonetDb;
+    use ncq_xml::parse;
+
+    fn db() -> MonetDb {
+        MonetDb::from_document(&parse("<bib><a><b/></a></bib>").unwrap())
+    }
+
+    #[test]
+    fn all_accepts_everything() {
+        let db = db();
+        let f = PathFilter::All;
+        for p in db.summary().iter() {
+            assert!(f.accepts(p));
+        }
+    }
+
+    #[test]
+    fn exclude_root_rejects_only_the_root_path() {
+        let db = db();
+        let f = PathFilter::exclude_root(&db);
+        let root_path = db.sigma(db.root());
+        for p in db.summary().iter() {
+            assert_eq!(f.accepts(p), p != root_path);
+        }
+    }
+
+    #[test]
+    fn allow_list_accepts_only_members() {
+        let db = db();
+        let some: Vec<PathId> = db.summary().iter().take(2).collect();
+        let f = PathFilter::allowing(some.clone());
+        for p in db.summary().iter() {
+            assert_eq!(f.accepts(p), some.contains(&p));
+        }
+    }
+
+    #[test]
+    fn default_is_all() {
+        assert_eq!(PathFilter::default(), PathFilter::All);
+    }
+}

@@ -1,0 +1,59 @@
+//! # ncq-core — the meet operator (nearest concept queries)
+//!
+//! The primary contribution of Schmidt, Kersten & Windhouwer, *"Querying
+//! XML Documents Made Easy: Nearest Concept Queries"* (ICDE 2001): query
+//! XML databases **whose content you know but whose mark-up you don't**,
+//! by computing lowest common ancestors ("nearest concepts") of full-text
+//! hits. The result *type* is not specified in the query — it emerges from
+//! the database instance.
+//!
+//! Three algorithm tiers, exactly as in the paper:
+//!
+//! * [`meet2::meet2`] — pairwise LCA with σ-steered parent walks (Fig. 3),
+//!   plus the naive two-ancestor-list baseline [`meet2::meet2_naive`] used
+//!   by the ablation benchmarks;
+//! * [`meet_sets::meet_sets`] — two homogeneous OID sets, evaluated with
+//!   bulk parent joins and *minimal meet* extraction (Fig. 4);
+//! * [`meet_multi::meet_multi`] — arbitrarily many heterogeneous hit
+//!   groups, rolled up bottom-up over the tree-shaped schema (Fig. 5),
+//!   with the §4 extensions: result-type restriction `meet_Π`
+//!   ([`filter::PathFilter`]), distance bound `meet^δ`, and
+//!   distance-based ranking ([`rank`]).
+//!
+//! [`Database`] packages parsing, the Monet transform, the inverted index
+//! and the meet operators behind one facade:
+//!
+//! ```
+//! use ncq_core::Database;
+//!
+//! let db = Database::from_xml_str(r#"
+//!   <bibliography><institute>
+//!     <article key="BB99">
+//!       <author><firstname>Ben</firstname><lastname>Bit</lastname></author>
+//!       <title>How to Hack</title><year>1999</year>
+//!     </article>
+//!   </institute></bibliography>"#).unwrap();
+//!
+//! // "What did Bit do in 1999?" — no schema knowledge required:
+//! let answers = db.meet_terms(&["Bit", "1999"]).unwrap();
+//! assert_eq!(answers.results[0].tag, "article");
+//! ```
+
+pub mod answer;
+pub mod db;
+pub mod distance;
+pub mod filter;
+pub mod graph;
+pub mod meet2;
+pub mod meet_multi;
+pub mod meet_sets;
+pub mod rank;
+
+pub use answer::{Answer, AnswerSet, Witness};
+pub use db::Database;
+pub use distance::{distance, meet2_bounded};
+pub use filter::PathFilter;
+pub use graph::{graph_distance, graph_meet, GraphMeet, RefGraph};
+pub use meet2::{meet2, meet2_naive, Meet2};
+pub use meet_multi::{meet_multi, Meet, MeetOptions};
+pub use meet_sets::{meet_sets, MeetError, SetMeets};

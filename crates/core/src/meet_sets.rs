@@ -1,0 +1,357 @@
+//! Set-at-a-time meet — the paper's Figure 4.
+//!
+//! `meet_s(O₁, O₂)` generalizes `meet₂` to two *homogeneous* sets of OIDs
+//! (every member of a set shares one path, i.e. comes from one relation —
+//! the natural shape of full-text results). Evaluation is relational:
+//! repeated *parent joins* lift whole frontiers, the σ prefix order steers
+//! which frontier is lifted, and whenever the frontiers intersect, the
+//! intersection is output as the set of **minimal meets** and removed from
+//! both frontiers. Removing found meets is what "avoids a combinatoric
+//! explosion of the result size" while keeping the operator independent of
+//! input order.
+
+use ncq_store::{MonetDb, Oid, PathId};
+use std::fmt;
+
+/// Errors raised by the set-at-a-time operators.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum MeetError {
+    /// An input set mixed OIDs of different paths.
+    HeterogeneousInput {
+        /// Path of the first element.
+        expected: PathId,
+        /// Offending path.
+        found: PathId,
+    },
+}
+
+impl fmt::Display for MeetError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            MeetError::HeterogeneousInput { expected, found } => write!(
+                f,
+                "meet_sets requires homogeneous input sets (found paths {expected:?} and {found:?}); use meet_multi for mixed input"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for MeetError {}
+
+/// Result of [`meet_sets`].
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct SetMeets {
+    /// Minimal meets in the order they were found (deepest first), each
+    /// carrying the number of parent-join rounds that had been executed
+    /// when it surfaced (a distance proxy used for ranking).
+    pub meets: Vec<(Oid, usize)>,
+    /// Total parent-join rounds executed.
+    pub join_rounds: usize,
+    /// Total per-element parent look-ups across all rounds.
+    pub lookups: usize,
+}
+
+impl SetMeets {
+    /// Just the meet OIDs.
+    pub fn oids(&self) -> Vec<Oid> {
+        self.meets.iter().map(|&(o, _)| o).collect()
+    }
+}
+
+fn check_homogeneous(db: &MonetDb, set: &[Oid]) -> Result<Option<PathId>, MeetError> {
+    let Some(&first) = set.first() else {
+        return Ok(None);
+    };
+    let expected = db.sigma(first);
+    for &o in &set[1..] {
+        let found = db.sigma(o);
+        if found != expected {
+            return Err(MeetError::HeterogeneousInput { expected, found });
+        }
+    }
+    Ok(Some(expected))
+}
+
+/// Sorted-set intersection; inputs must be sorted and deduplicated.
+fn intersect(a: &[Oid], b: &[Oid]) -> Vec<Oid> {
+    let mut out = Vec::new();
+    let (mut i, mut j) = (0, 0);
+    while i < a.len() && j < b.len() {
+        match a[i].cmp(&b[j]) {
+            std::cmp::Ordering::Less => i += 1,
+            std::cmp::Ordering::Greater => j += 1,
+            std::cmp::Ordering::Equal => {
+                out.push(a[i]);
+                i += 1;
+                j += 1;
+            }
+        }
+    }
+    out
+}
+
+/// Remove (sorted) `remove` from (sorted) `set`.
+fn difference(set: &mut Vec<Oid>, remove: &[Oid]) {
+    if remove.is_empty() {
+        return;
+    }
+    set.retain(|o| remove.binary_search(o).is_err());
+}
+
+/// Lift a frontier one level: map every OID to its parent, dedup.
+/// Returns the number of look-ups performed.
+fn lift(db: &MonetDb, set: &mut Vec<Oid>) -> usize {
+    let lookups = set.len();
+    for o in set.iter_mut() {
+        if let Some(p) = db.parent(*o) {
+            *o = p;
+        }
+    }
+    set.sort_unstable();
+    set.dedup();
+    lookups
+}
+
+/// The paper's Figure 4: meets of two homogeneous OID sets.
+///
+/// Returns the minimal meets. Errors if either input set mixes paths.
+pub fn meet_sets(db: &MonetDb, set1: &[Oid], set2: &[Oid]) -> Result<SetMeets, MeetError> {
+    let p1 = check_homogeneous(db, set1)?;
+    let p2 = check_homogeneous(db, set2)?;
+    let mut result = SetMeets::default();
+    let (Some(mut p1), Some(mut p2)) = (p1, p2) else {
+        return Ok(result); // one side empty → no meets
+    };
+
+    let mut o1: Vec<Oid> = set1.to_vec();
+    let mut o2: Vec<Oid> = set2.to_vec();
+    o1.sort_unstable();
+    o1.dedup();
+    o2.sort_unstable();
+    o2.dedup();
+
+    let summary = db.summary();
+    loop {
+        if o1.is_empty() || o2.is_empty() {
+            return Ok(result);
+        }
+        // D := O1 ∩ O2 — can only be non-empty when the frontiers reached
+        // the same path, but the check is cheap and mirrors Fig. 4.
+        let d = intersect(&o1, &o2);
+        if !d.is_empty() {
+            let round = result.join_rounds;
+            result.meets.extend(d.iter().map(|&o| (o, round)));
+            difference(&mut o1, &d);
+            difference(&mut o2, &d);
+            if o1.is_empty() || o2.is_empty() {
+                return Ok(result);
+            }
+        }
+        // Steering: lift the frontier with the strictly longer path; on
+        // incomparable/equal paths lift both (paper's default case).
+        if summary.lt(p1, p2) {
+            result.lookups += lift(db, &mut o1);
+            p1 = summary.parent(p1).expect("deeper path has a parent");
+        } else if summary.lt(p2, p1) {
+            result.lookups += lift(db, &mut o2);
+            p2 = summary.parent(p2).expect("deeper path has a parent");
+        } else if p1 == p2 && summary.depth(p1) == 0 {
+            // Both frontiers sit at the root path and did not intersect —
+            // impossible (the root is unique), but guard against looping.
+            return Ok(result);
+        } else {
+            result.lookups += lift(db, &mut o1);
+            result.lookups += lift(db, &mut o2);
+            p1 = summary.parent(p1).expect("non-root path has a parent");
+            p2 = summary.parent(p2).expect("non-root path has a parent");
+        }
+        result.join_rounds += 1;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::meet2::meet2;
+    use ncq_store::MonetDb;
+    use ncq_xml::parse;
+
+    const FIGURE1: &str = r#"
+<bibliography>
+  <institute>
+    <article key="BB99">
+      <author><firstname>Ben</firstname><lastname>Bit</lastname></author>
+      <title>How to Hack</title>
+      <year>1999</year>
+    </article>
+    <article key="BK99">
+      <author>Bob Byte</author>
+      <title>Hacking &amp; RSI</title>
+      <year>1999</year>
+    </article>
+  </institute>
+</bibliography>"#;
+
+    fn db() -> MonetDb {
+        MonetDb::from_document(&parse(FIGURE1).unwrap())
+    }
+
+    fn cdata_all(db: &MonetDb, s: &str) -> Vec<Oid> {
+        db.string_paths()
+            .flat_map(|p| db.strings_of(p))
+            .filter(|(_, t)| &**t == s)
+            .map(|(o, _)| *o)
+            .collect()
+    }
+
+    fn cdata_containing(db: &MonetDb, s: &str) -> Vec<Oid> {
+        db.string_paths()
+            .flat_map(|p| db.strings_of(p))
+            .filter(|(_, t)| t.contains(s))
+            .map(|(o, _)| *o)
+            .collect()
+    }
+
+    #[test]
+    fn paper_case_bit_1999_yields_only_the_article() {
+        // §3.2 / Listing-2: hits for "Bit" = {o(Bit)}, hits for "1999" =
+        // two year cdatas. The minimal meet is the first article alone —
+        // the second "1999" finds no partner.
+        let db = db();
+        let bits = cdata_containing(&db, "Bit");
+        let years = cdata_all(&db, "1999");
+        assert_eq!(bits.len(), 1);
+        assert_eq!(years.len(), 2);
+        let result = meet_sets(&db, &bits, &years).unwrap();
+        assert_eq!(result.meets.len(), 1);
+        assert_eq!(db.tag(result.meets[0].0), Some("article"));
+    }
+
+    #[test]
+    fn identical_singletons_meet_at_themselves() {
+        // The "Bob" / "Byte" case: same association in both sets.
+        let db = db();
+        let bob = cdata_containing(&db, "Bob");
+        let byte = cdata_containing(&db, "Byte");
+        assert_eq!(bob, byte);
+        let result = meet_sets(&db, &bob, &byte).unwrap();
+        assert_eq!(result.meets.len(), 1);
+        assert_eq!(result.meets[0].0, bob[0]);
+        assert_eq!(result.meets[0].1, 0); // found before any join round
+        assert_eq!(db.label(result.meets[0].0), "cdata");
+    }
+
+    #[test]
+    fn singletons_agree_with_meet2() {
+        let db = db();
+        let oids: Vec<Oid> = db.iter_oids().collect();
+        for &a in &oids {
+            for &b in &oids {
+                let pair = meet2(&db, a, b);
+                let set = meet_sets(&db, &[a], &[b]).unwrap();
+                assert_eq!(set.meets.len(), 1, "{a:?} {b:?}");
+                assert_eq!(set.meets[0].0, pair.meet, "{a:?} {b:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn empty_inputs_produce_no_meets() {
+        let db = db();
+        let some = cdata_all(&db, "1999");
+        assert!(meet_sets(&db, &[], &some).unwrap().meets.is_empty());
+        assert!(meet_sets(&db, &some, &[]).unwrap().meets.is_empty());
+        assert!(meet_sets(&db, &[], &[]).unwrap().meets.is_empty());
+    }
+
+    #[test]
+    fn heterogeneous_input_is_rejected() {
+        let db = db();
+        let mut mixed = cdata_all(&db, "1999");
+        mixed.extend(cdata_containing(&db, "Bit"));
+        let err = meet_sets(&db, &mixed, &[db.root()]).unwrap_err();
+        assert!(matches!(err, MeetError::HeterogeneousInput { .. }));
+        assert!(err.to_string().contains("homogeneous"));
+    }
+
+    #[test]
+    fn result_is_input_order_invariant() {
+        let db = db();
+        let years = cdata_all(&db, "1999");
+        let titles = cdata_containing(&db, "Hack");
+        let fwd = meet_sets(&db, &years, &titles).unwrap();
+        let mut years_rev = years.clone();
+        years_rev.reverse();
+        let mut titles_rev = titles.clone();
+        titles_rev.reverse();
+        let rev = meet_sets(&db, &years_rev, &titles_rev).unwrap();
+        let mut a = fwd.oids();
+        let mut b = rev.oids();
+        a.sort_unstable();
+        b.sort_unstable();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn swap_of_arguments_gives_same_meets() {
+        let db = db();
+        let years = cdata_all(&db, "1999");
+        let titles = cdata_containing(&db, "Hack");
+        let mut ab = meet_sets(&db, &years, &titles).unwrap().oids();
+        let mut ba = meet_sets(&db, &titles, &years).unwrap().oids();
+        ab.sort_unstable();
+        ba.sort_unstable();
+        assert_eq!(ab, ba);
+    }
+
+    #[test]
+    fn two_parallel_pairs_give_two_minimal_meets() {
+        // years × titles: each article pairs its own year with its own
+        // title; both articles surface, nothing above them.
+        let db = db();
+        let years = cdata_all(&db, "1999");
+        let titles = cdata_containing(&db, "Hack");
+        assert_eq!(years.len(), 2);
+        assert_eq!(titles.len(), 2);
+        let result = meet_sets(&db, &years, &titles).unwrap();
+        assert_eq!(result.meets.len(), 2);
+        for &(m, _) in &result.meets {
+            assert_eq!(db.tag(m), Some("article"));
+        }
+    }
+
+    #[test]
+    fn consumed_witnesses_do_not_meet_again() {
+        // "Ben" (one hit) against both years: only the first article can
+        // form a minimal meet; the leftover year climbs alone to the root
+        // and the institute/bibliography never enter the answer.
+        let db = db();
+        let ben = cdata_containing(&db, "Ben");
+        let years = cdata_all(&db, "1999");
+        let result = meet_sets(&db, &ben, &years).unwrap();
+        assert_eq!(result.meets.len(), 1);
+        assert_eq!(db.tag(result.meets[0].0), Some("article"));
+    }
+
+    #[test]
+    fn meets_against_root_set_is_root() {
+        let db = db();
+        let ben = cdata_containing(&db, "Ben");
+        let result = meet_sets(&db, &ben, &[db.root()]).unwrap();
+        assert_eq!(result.oids(), vec![db.root()]);
+    }
+
+    #[test]
+    fn join_rounds_are_counted() {
+        let db = db();
+        let ben = cdata_containing(&db, "Ben");
+        let bit = cdata_containing(&db, "Bit");
+        let result = meet_sets(&db, &ben, &bit).unwrap();
+        // firstname/cdata and lastname/cdata sit at equal depth: two
+        // lockstep rounds lift both to author where they intersect.
+        assert_eq!(result.meets.len(), 1);
+        assert_eq!(db.tag(result.meets[0].0), Some("author"));
+        assert_eq!(result.join_rounds, 2);
+        assert_eq!(result.lookups, 4);
+    }
+}

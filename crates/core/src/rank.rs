@@ -1,0 +1,144 @@
+//! Answer ranking (§4).
+//!
+//! > "The number of joins is also a simple yet effective heuristic for
+//! > establishing a ranking between the result OIDs."
+//!
+//! Meets whose witnesses lie closer together rank higher. Ties break
+//! toward more witnesses (a concept explaining more hits is more
+//! interesting), then document order for determinism. The paper mentions
+//! thesauri and IR techniques as future work — [`rank_meets_by`] is the
+//! hook where such scoring plugs in.
+
+use crate::meet_multi::Meet;
+
+/// Rank in-place by the paper's join-count heuristic.
+pub fn rank_meets(meets: &mut [Meet]) {
+    meets.sort_by(|a, b| {
+        a.distance
+            .cmp(&b.distance)
+            .then(b.witness_count.cmp(&a.witness_count))
+            .then(a.node.cmp(&b.node))
+    });
+}
+
+/// Rank by a custom score (lower is better), stable within equal scores.
+pub fn rank_meets_by<S: Ord>(meets: &mut [Meet], mut score: impl FnMut(&Meet) -> S) {
+    meets.sort_by_key(|m| score(m));
+}
+
+/// The paper's second heuristic: "it is worthwhile to apply additional
+/// heuristics like **distances in the source file**". OIDs are assigned
+/// in document order, so the span of witness origins approximates their
+/// spread in the source text; tighter spans rank first, tree distance
+/// breaks ties.
+pub fn rank_meets_by_source_proximity(meets: &mut [Meet]) {
+    meets.sort_by_key(|m| {
+        let min = m.witnesses.iter().map(|w| w.origin).min();
+        let max = m.witnesses.iter().map(|w| w.origin).max();
+        let span = match (min, max) {
+            (Some(a), Some(b)) => b.index() - a.index(),
+            _ => usize::MAX,
+        };
+        (span, m.distance, m.node)
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::meet_multi::MeetWitness;
+    use ncq_store::{Oid, PathId};
+
+    fn meet(node: usize, distance: usize, witnesses: usize) -> Meet {
+        Meet {
+            node: Oid::from_index(node),
+            path: PathId::from_index(0),
+            distance,
+            witness_count: witnesses,
+            witnesses: (0..witnesses.min(2))
+                .map(|i| MeetWitness {
+                    origin: Oid::from_index(100 + i),
+                    input: i,
+                    climb: distance / 2,
+                })
+                .collect(),
+        }
+    }
+
+    #[test]
+    fn closer_meets_rank_first() {
+        let mut v = vec![meet(1, 9, 2), meet(2, 1, 2), meet(3, 4, 2)];
+        rank_meets(&mut v);
+        let order: Vec<usize> = v.iter().map(|m| m.node.index()).collect();
+        assert_eq!(order, vec![2, 3, 1]);
+    }
+
+    #[test]
+    fn more_witnesses_break_distance_ties() {
+        let mut v = vec![meet(1, 3, 2), meet(2, 3, 5)];
+        rank_meets(&mut v);
+        assert_eq!(v[0].node.index(), 2);
+    }
+
+    #[test]
+    fn document_order_breaks_remaining_ties() {
+        let mut v = vec![meet(9, 3, 2), meet(4, 3, 2)];
+        rank_meets(&mut v);
+        assert_eq!(v[0].node.index(), 4);
+    }
+
+    #[test]
+    fn custom_scores_override() {
+        let mut v = vec![meet(1, 1, 1), meet(2, 9, 9)];
+        // Prefer many witnesses regardless of distance.
+        rank_meets_by(&mut v, |m| std::cmp::Reverse(m.witness_count));
+        assert_eq!(v[0].node.index(), 2);
+    }
+
+    fn meet_with_origins(node: usize, distance: usize, origins: &[usize]) -> Meet {
+        Meet {
+            node: Oid::from_index(node),
+            path: PathId::from_index(0),
+            distance,
+            witness_count: origins.len(),
+            witnesses: origins
+                .iter()
+                .enumerate()
+                .map(|(i, &o)| MeetWitness {
+                    origin: Oid::from_index(o),
+                    input: i,
+                    climb: 1,
+                })
+                .collect(),
+        }
+    }
+
+    #[test]
+    fn source_proximity_prefers_tight_spans() {
+        // Meet 1: witnesses far apart in the source; meet 2: adjacent.
+        let mut v = vec![
+            meet_with_origins(1, 2, &[10, 500]),
+            meet_with_origins(2, 9, &[100, 103]),
+        ];
+        rank_meets_by_source_proximity(&mut v);
+        assert_eq!(v[0].node.index(), 2, "tight source span wins");
+    }
+
+    #[test]
+    fn source_proximity_falls_back_to_distance() {
+        let mut v = vec![
+            meet_with_origins(1, 9, &[10, 20]),
+            meet_with_origins(2, 2, &[100, 110]),
+        ];
+        rank_meets_by_source_proximity(&mut v);
+        // Equal spans (10): tree distance decides.
+        assert_eq!(v[0].node.index(), 2);
+    }
+
+    #[test]
+    fn empty_slice_is_fine() {
+        let mut v: Vec<Meet> = Vec::new();
+        rank_meets(&mut v);
+        assert!(v.is_empty());
+    }
+}

@@ -1,0 +1,47 @@
+//! The paper's Figure 1 running example, verbatim.
+
+use ncq_xml::{parse, Document};
+
+/// The example bibliography of the paper's Figure 1 as XML text: two
+/// articles in one institute's bibliography, with `key` attributes,
+/// structured and unstructured author names, titles and years.
+pub const FIGURE1_XML: &str = r#"<bibliography>
+  <institute>
+    <article key="BB99">
+      <author><firstname>Ben</firstname><lastname>Bit</lastname></author>
+      <title>How to Hack</title>
+      <year>1999</year>
+    </article>
+    <article key="BK99">
+      <author>Bob Byte</author>
+      <title>Hacking &amp; RSI</title>
+      <year>1999</year>
+    </article>
+  </institute>
+</bibliography>"#;
+
+/// Parse [`FIGURE1_XML`] into a document.
+pub fn figure1_document() -> Document {
+    parse(FIGURE1_XML).expect("the Figure 1 example is well-formed")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn figure1_has_19_objects() {
+        // The paper's drawing numbers the nodes o1..o19 (root o1 in the
+        // figure; we count the same 19 element+cdata objects).
+        assert_eq!(figure1_document().len(), 19);
+    }
+
+    #[test]
+    fn figure1_contains_the_paper_strings() {
+        let doc = figure1_document();
+        let all = doc.deep_text(doc.root());
+        for s in ["Ben", "Bit", "Bob Byte", "How to Hack", "Hacking & RSI", "1999"] {
+            assert!(all.contains(s));
+        }
+    }
+}

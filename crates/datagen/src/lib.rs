@@ -1,0 +1,30 @@
+//! # ncq-datagen — deterministic synthetic corpora
+//!
+//! The paper evaluates on two datasets we cannot redistribute:
+//!
+//! 1. a ~200 MB XML file of multimedia-item descriptions produced by
+//!    feature detectors (Schmidt et al., *Feature Grammars*, 1999), and
+//! 2. the DBLP bibliography, snapshot ca. 2000.
+//!
+//! Per the substitution policy in `DESIGN.md`, this crate generates the
+//! closest synthetic equivalents. Both generators are **deterministic**
+//! (seeded [`rand::rngs::StdRng`]) so experiments are reproducible, and
+//! both expose the structural knobs the paper's figures depend on:
+//!
+//! * [`multimedia`] — deep feature-description documents with *probe
+//!   term pairs planted at exact tree distances* 0..=20 (Figure 6 sweeps
+//!   the distance between full-text hits);
+//! * [`dblp`] — a DBLP-like bibliography with conference series (ICDE has
+//!   **no 1985 edition**, reproducing the flat step in Figure 7), years
+//!   1984–1999, and a configurable number of "ICDE in the title"
+//!   false-positive records (the case study reports exactly two);
+//! * [`figure1`] — the paper's running-example document, verbatim.
+
+pub mod dblp;
+pub mod figure1;
+pub mod multimedia;
+pub mod pools;
+
+pub use dblp::{DblpConfig, DblpCorpus};
+pub use figure1::{figure1_document, FIGURE1_XML};
+pub use multimedia::{MultimediaConfig, MultimediaCorpus};

@@ -1,0 +1,86 @@
+//! Vocabulary pools shared by the generators.
+
+/// Author first names.
+pub const FIRST_NAMES: &[&str] = &[
+    "Albrecht", "Martin", "Menzo", "Peter", "Maria", "Serge", "Dana", "Jennifer", "Victor",
+    "Alfred", "Jeffrey", "Rakesh", "Hector", "Jim", "Michael", "David", "Susan", "Patricia",
+    "Laura", "Christos", "Mary", "Hans", "Gerhard", "Sophie", "Erik", "Anna", "Paul", "Rosa",
+    "Timos", "Yannis", "Elena", "Carlo", "Divesh", "Limsoon", "Ben", "Bob", "Grace", "Alan",
+    "Edgar", "Barbara",
+];
+
+/// Author last names.
+pub const LAST_NAMES: &[&str] = &[
+    "Schmidt", "Kersten", "Windhouwer", "Boncz", "Abiteboul", "Florescu", "Widom", "Vianu",
+    "Aho", "Ullman", "Agrawal", "Garcia-Molina", "Gray", "Stonebraker", "DeWitt", "Sagiv",
+    "Faloutsos", "Chen", "Kossmann", "Weikum", "Cluet", "Meijer", "Larson", "Moerkotte",
+    "Sellis", "Ioannidis", "Ceri", "Bonifati", "Srivastava", "Wong", "Bit", "Byte", "Hopcroft",
+    "Codd", "Bernstein", "Lindsay", "Haas", "Mohan", "Lehman", "Naughton",
+];
+
+/// Title vocabulary (database flavored, like DBLP titles).
+pub const TITLE_WORDS: &[&str] = &[
+    "efficient", "scalable", "adaptive", "parallel", "distributed", "incremental", "optimal",
+    "approximate", "semantic", "relational", "semistructured", "temporal", "spatial", "object",
+    "oriented", "query", "queries", "processing", "optimization", "evaluation", "indexing",
+    "storage", "retrieval", "mining", "warehousing", "integration", "replication", "recovery",
+    "transactions", "concurrency", "views", "schemas", "documents", "databases", "systems",
+    "algorithms", "structures", "joins", "aggregation", "caching", "clustering", "partitioning",
+    "benchmarking", "performance", "cost", "models", "languages", "wrappers", "mediators",
+    "streams",
+];
+
+/// Journal names for article records.
+pub const JOURNALS: &[&str] = &[
+    "VLDB Journal",
+    "TODS",
+    "SIGMOD Record",
+    "Information Systems",
+    "TKDE",
+    "Data Engineering Bulletin",
+];
+
+/// Feature-detector names for the multimedia corpus.
+pub const DETECTORS: &[&str] = &[
+    "color", "texture", "shape", "edges", "histogram", "contour", "luminance", "saturation",
+    "wavelet", "gradient", "moments", "regions",
+];
+
+/// Media keywords for the multimedia corpus.
+pub const MEDIA_WORDS: &[&str] = &[
+    "landscape", "portrait", "indoor", "outdoor", "sunset", "forest", "water", "urban", "face",
+    "animal", "vehicle", "building", "sky", "mountain", "beach", "night", "snow", "flower",
+    "crowd", "texture",
+];
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pools_are_nonempty_and_distinct() {
+        for pool in [
+            FIRST_NAMES,
+            LAST_NAMES,
+            TITLE_WORDS,
+            JOURNALS,
+            DETECTORS,
+            MEDIA_WORDS,
+        ] {
+            assert!(!pool.is_empty());
+            let set: std::collections::HashSet<&&str> = pool.iter().collect();
+            assert_eq!(set.len(), pool.len(), "duplicate entries in pool");
+        }
+    }
+
+    #[test]
+    fn year_like_tokens_do_not_appear_in_pools() {
+        // The Fig. 7 query counts on year tokens being unique to <year>
+        // elements; no pool word may look like a year.
+        for pool in [FIRST_NAMES, LAST_NAMES, TITLE_WORDS, JOURNALS] {
+            for w in pool {
+                assert!(w.parse::<u32>().is_err(), "{w} parses as a number");
+            }
+        }
+    }
+}

@@ -1,0 +1,164 @@
+//! The inverted index over all string relations of a database.
+
+use crate::tokenize::tokens;
+use ncq_store::{MonetDb, Oid, PathId};
+use std::collections::HashMap;
+
+/// One posting: the association `(owner, string)` that contained the token,
+/// identified by its relation (path) and owner oid.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub struct Posting {
+    /// Relation (path type) of the association.
+    pub path: PathId,
+    /// Owner oid: the cdata node for text, the element for attributes.
+    pub owner: Oid,
+}
+
+/// Token → postings over every string relation of a [`MonetDb`].
+#[derive(Debug, Clone, Default)]
+pub struct InvertedIndex {
+    map: HashMap<Box<str>, Vec<Posting>>,
+    postings: usize,
+}
+
+impl InvertedIndex {
+    /// Index every string association of `db`.
+    pub fn build(db: &MonetDb) -> InvertedIndex {
+        let mut map: HashMap<Box<str>, Vec<Posting>> = HashMap::new();
+        let mut postings = 0usize;
+        for path in db.string_paths() {
+            for (owner, text) in db.strings_of(path) {
+                let posting = Posting {
+                    path,
+                    owner: *owner,
+                };
+                for tok in tokens(text) {
+                    let list = map.entry(tok.into_boxed_str()).or_default();
+                    // The same token may occur twice in one string; store
+                    // the posting once. Postings arrive in (path, owner)
+                    // order, so checking the tail suffices.
+                    if list.last() != Some(&posting) {
+                        list.push(posting);
+                        postings += 1;
+                    }
+                }
+            }
+        }
+        InvertedIndex { map, postings }
+    }
+
+    /// Postings of a token. The query term is case-folded before lookup.
+    pub fn postings(&self, term: &str) -> &[Posting] {
+        let folded = crate::tokenize::fold(term);
+        self.map.get(folded.as_str()).map_or(&[], Vec::as_slice)
+    }
+
+    /// Whether the token occurs anywhere.
+    pub fn contains(&self, term: &str) -> bool {
+        !self.postings(term).is_empty()
+    }
+
+    /// Number of distinct tokens.
+    pub fn vocabulary_size(&self) -> usize {
+        self.map.len()
+    }
+
+    /// Total number of postings.
+    pub fn posting_count(&self) -> usize {
+        self.postings
+    }
+
+    /// Iterate over the vocabulary (unordered).
+    pub fn vocabulary(&self) -> impl Iterator<Item = &str> {
+        self.map.keys().map(|k| k.as_ref())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ncq_xml::parse;
+
+    fn db() -> MonetDb {
+        MonetDb::from_document(
+            &parse(
+                r#"<bib>
+                     <article key="BB99">
+                       <author>Ben Bit</author>
+                       <title>How to Hack</title>
+                       <year>1999</year>
+                     </article>
+                     <article key="BK99">
+                       <author>Bob Byte</author>
+                       <title>Hacking &amp; RSI</title>
+                       <year>1999</year>
+                     </article>
+                   </bib>"#,
+            )
+            .unwrap(),
+        )
+    }
+
+    #[test]
+    fn word_lookup_finds_cdata_hits() {
+        let db = db();
+        let idx = InvertedIndex::build(&db);
+        let hits = idx.postings("Bit");
+        assert_eq!(hits.len(), 1);
+        assert_eq!(db.relation_name(hits[0].path), "bib/article/author/cdata");
+        // The owner is the cdata node carrying "Ben Bit".
+        assert_eq!(db.string_value(hits[0].path, hits[0].owner), Some("Ben Bit"));
+    }
+
+    #[test]
+    fn lookup_is_case_insensitive() {
+        let idx = InvertedIndex::build(&db());
+        assert_eq!(idx.postings("hack").len(), 1);
+        assert_eq!(idx.postings("HACK"), idx.postings("hack"));
+        assert!(idx.contains("HACKING"));
+    }
+
+    #[test]
+    fn attribute_values_are_indexed_with_element_owner() {
+        let db = db();
+        let idx = InvertedIndex::build(&db);
+        let hits = idx.postings("BB99");
+        assert_eq!(hits.len(), 1);
+        assert_eq!(db.relation_name(hits[0].path), "bib/article/@key");
+        assert_eq!(db.tag(hits[0].owner), Some("article"));
+    }
+
+    #[test]
+    fn shared_token_has_multiple_postings() {
+        let db = db();
+        let idx = InvertedIndex::build(&db);
+        let hits = idx.postings("1999");
+        assert_eq!(hits.len(), 2);
+        assert_ne!(hits[0].owner, hits[1].owner);
+    }
+
+    #[test]
+    fn duplicate_token_in_one_string_posts_once() {
+        let db = MonetDb::from_document(&parse("<a><t>spam spam spam</t></a>").unwrap());
+        let idx = InvertedIndex::build(&db);
+        assert_eq!(idx.postings("spam").len(), 1);
+    }
+
+    #[test]
+    fn missing_token_yields_empty() {
+        let idx = InvertedIndex::build(&db());
+        assert!(idx.postings("absent").is_empty());
+        assert!(!idx.contains("absent"));
+    }
+
+    #[test]
+    fn counters_are_consistent() {
+        let idx = InvertedIndex::build(&db());
+        assert_eq!(idx.vocabulary().count(), idx.vocabulary_size());
+        let total: usize = idx
+            .vocabulary()
+            .map(|t| idx.postings(t).len())
+            .sum();
+        assert_eq!(total, idx.posting_count());
+    }
+}

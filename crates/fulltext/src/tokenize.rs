@@ -1,0 +1,111 @@
+//! Word tokenizer: maximal alphanumeric runs, case-folded.
+//!
+//! `"Hacking & RSI (1999)"` tokenizes to `hacking`, `rsi`, `1999`. This is
+//! deliberately simple — the paper's evaluation searches for author names,
+//! conference acronyms and years, all of which are single tokens.
+
+/// Iterator over the case-folded tokens of a string.
+pub fn tokens(text: &str) -> impl Iterator<Item = String> + '_ {
+    let mut chars = text.char_indices().peekable();
+    std::iter::from_fn(move || {
+        // Skip separators.
+        while let Some(&(_, c)) = chars.peek() {
+            if c.is_alphanumeric() {
+                break;
+            }
+            chars.next();
+        }
+        let mut tok = String::new();
+        while let Some(&(_, c)) = chars.peek() {
+            if !c.is_alphanumeric() {
+                break;
+            }
+            tok.extend(c.to_lowercase());
+            chars.next();
+        }
+        if tok.is_empty() {
+            None
+        } else {
+            Some(tok)
+        }
+    })
+}
+
+/// Case-fold a query term the same way index tokens are folded.
+pub fn fold(term: &str) -> String {
+    term.to_lowercase()
+}
+
+/// Whether `text` contains `needle` case-insensitively (the `contains`
+/// predicate of the paper's query dialect).
+pub fn contains_fold(text: &str, needle: &str) -> bool {
+    if needle.is_empty() {
+        return true;
+    }
+    // Case-insensitive search without allocating for pure-ASCII input.
+    if text.is_ascii() && needle.is_ascii() {
+        let t = text.as_bytes();
+        let n = needle.as_bytes();
+        if n.len() > t.len() {
+            return false;
+        }
+        t.windows(n.len())
+            .any(|w| w.eq_ignore_ascii_case(n))
+    } else {
+        text.to_lowercase().contains(&needle.to_lowercase())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn toks(s: &str) -> Vec<String> {
+        tokens(s).collect()
+    }
+
+    #[test]
+    fn splits_on_non_alphanumerics() {
+        assert_eq!(toks("Hacking & RSI"), vec!["hacking", "rsi"]);
+        assert_eq!(toks("a,b;c.d"), vec!["a", "b", "c", "d"]);
+    }
+
+    #[test]
+    fn folds_case() {
+        assert_eq!(toks("ICDE"), vec!["icde"]);
+        assert_eq!(toks("Ben Bit"), vec!["ben", "bit"]);
+    }
+
+    #[test]
+    fn numbers_are_tokens() {
+        assert_eq!(toks("pp. 115-132, 1999"), vec!["pp", "115", "132", "1999"]);
+    }
+
+    #[test]
+    fn empty_and_separator_only_strings_yield_nothing() {
+        assert!(toks("").is_empty());
+        assert!(toks("  ,;- ").is_empty());
+    }
+
+    #[test]
+    fn unicode_words_tokenize() {
+        assert_eq!(toks("García-Molina"), vec!["garcía", "molina"]);
+        assert_eq!(toks("ÜBER maß"), vec!["über", "maß"]);
+    }
+
+    #[test]
+    fn fold_matches_token_folding() {
+        assert_eq!(fold("ICDE"), "icde");
+        assert_eq!(fold("García"), "garcía");
+    }
+
+    #[test]
+    fn contains_fold_is_case_insensitive() {
+        assert!(contains_fold("How to Hack", "hack"));
+        assert!(contains_fold("How to Hack", "HOW TO"));
+        assert!(!contains_fold("How to Hack", "hacker"));
+        assert!(contains_fold("anything", ""));
+        assert!(contains_fold("Bücher über Bäume", "ÜBER"));
+        assert!(!contains_fold("short", "much longer needle"));
+    }
+}

@@ -1,0 +1,112 @@
+//! Property tests: the inverted index agrees with naive scans.
+
+use ncq_fulltext::{search, HitSet, InvertedIndex};
+use ncq_store::MonetDb;
+use ncq_xml::Document;
+use proptest::prelude::*;
+
+/// Random flat-ish documents with text drawn from a small vocabulary so
+/// that collisions (the interesting case) are frequent.
+fn doc_strategy() -> impl Strategy<Value = Document> {
+    let word = prop::sample::select(vec![
+        "alpha", "beta", "gamma", "delta", "alpha beta", "Beta Gamma", "x1", "x2", "1999",
+    ]);
+    prop::collection::vec((word, 0u8..3), 1..40).prop_map(|items| {
+        let mut doc = Document::new("root");
+        let mut sections: Vec<ncq_xml::NodeId> = vec![doc.root()];
+        for (text, kind) in items {
+            match kind {
+                0 => {
+                    let s = doc.add_element(doc.root(), "section");
+                    sections.push(s);
+                }
+                1 => {
+                    let parent = *sections.last().unwrap();
+                    let item = doc.add_element(parent, "item");
+                    doc.add_text(item, text);
+                }
+                _ => {
+                    let parent = *sections.last().unwrap();
+                    let item = doc.add_element(parent, "item");
+                    doc.set_attribute(item, "note", text);
+                }
+            }
+        }
+        doc
+    })
+}
+
+/// Naive reference: scan every string association for a predicate.
+fn naive_hits(db: &MonetDb, pred: impl Fn(&str) -> bool) -> HitSet {
+    let mut hits = HitSet::new();
+    for p in db.string_paths() {
+        for (owner, text) in db.strings_of(p) {
+            if pred(text) {
+                hits.insert(p, *owner);
+            }
+        }
+    }
+    hits
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// Word hits from the index equal a naive token scan.
+    #[test]
+    fn word_hits_match_naive_scan(doc in doc_strategy(), term in prop::sample::select(vec!["alpha", "beta", "gamma", "1999", "absent"])) {
+        let db = MonetDb::from_document(&doc);
+        let idx = InvertedIndex::build(&db);
+        let from_index = search::word_hits(&idx, term);
+        let reference = naive_hits(&db, |s| {
+            ncq_fulltext::tokenize::tokens(s).any(|t| t == term)
+        });
+        prop_assert_eq!(from_index, reference);
+    }
+
+    /// Substring hits equal a naive case-insensitive contains scan.
+    #[test]
+    fn substring_hits_match_naive_scan(doc in doc_strategy(), needle in prop::sample::select(vec!["alp", "ta", "BETA", "99", "zzz"])) {
+        let db = MonetDb::from_document(&doc);
+        let from_scan = search::substring_hits(&db, needle);
+        let reference = naive_hits(&db, |s| s.to_lowercase().contains(&needle.to_lowercase()));
+        prop_assert_eq!(from_scan, reference);
+    }
+
+    /// Phrase hits are a subset of each word's hits, and each phrase hit
+    /// really contains the normalized phrase.
+    #[test]
+    fn phrase_hits_are_sound(doc in doc_strategy()) {
+        let db = MonetDb::from_document(&doc);
+        let idx = InvertedIndex::build(&db);
+        let phrase = "alpha beta";
+        let hits = search::phrase_hits(&db, &idx, phrase);
+        let alpha = search::word_hits(&idx, "alpha");
+        let beta = search::word_hits(&idx, "beta");
+        for (p, o) in hits.iter() {
+            prop_assert!(alpha.contains(p, o));
+            prop_assert!(beta.contains(p, o));
+            let text = db.string_value(p, o).unwrap();
+            let norm: Vec<String> = ncq_fulltext::tokenize::tokens(text).collect();
+            prop_assert!(norm.join(" ").contains("alpha beta"), "text {text:?}");
+        }
+    }
+
+    /// The index posting count equals the number of (association, token)
+    /// incidences with per-association dedup.
+    #[test]
+    fn posting_count_is_consistent(doc in doc_strategy()) {
+        let db = MonetDb::from_document(&doc);
+        let idx = InvertedIndex::build(&db);
+        let mut expected = 0usize;
+        for p in db.string_paths() {
+            for (_, text) in db.strings_of(p) {
+                let mut toks: Vec<String> = ncq_fulltext::tokenize::tokens(text).collect();
+                toks.sort();
+                toks.dedup();
+                expected += toks.len();
+            }
+        }
+        prop_assert_eq!(idx.posting_count(), expected);
+    }
+}

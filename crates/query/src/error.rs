@@ -1,0 +1,98 @@
+//! Query-language errors.
+
+use std::fmt;
+
+/// Anything that can go wrong between query text and answer.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum QueryError {
+    /// Tokenizer rejected a character.
+    Lex {
+        /// Byte offset of the offending character.
+        offset: usize,
+        /// The character.
+        found: char,
+    },
+    /// Parser found an unexpected token.
+    Parse {
+        /// Byte offset where parsing failed.
+        offset: usize,
+        /// What was found (token text or `end of input`).
+        found: String,
+        /// What the parser expected.
+        expected: String,
+    },
+    /// A variable in `select`/`where` is not bound in `from`.
+    UnboundVariable {
+        /// The variable name.
+        name: String,
+    },
+    /// The same tuple variable was bound twice.
+    DuplicateVariable {
+        /// The variable name.
+        name: String,
+    },
+    /// A meet aggregate needs at least two variables.
+    MeetNeedsTwoVariables,
+    /// Projection result exceeded the configured row limit — the
+    /// "combinatorial explosion" the paper warns about.
+    RowLimitExceeded {
+        /// The configured limit.
+        limit: usize,
+    },
+    /// A `within`/`excluding`/`only` modifier on a projection query.
+    ModifierWithoutMeet,
+}
+
+impl fmt::Display for QueryError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            QueryError::Lex { offset, found } => {
+                write!(f, "unexpected character {found:?} at byte {offset}")
+            }
+            QueryError::Parse {
+                offset,
+                found,
+                expected,
+            } => write!(f, "expected {expected}, found {found} at byte {offset}"),
+            QueryError::UnboundVariable { name } => {
+                write!(f, "variable {name:?} is not bound in the from clause")
+            }
+            QueryError::DuplicateVariable { name } => {
+                write!(f, "variable {name:?} is bound more than once")
+            }
+            QueryError::MeetNeedsTwoVariables => {
+                write!(f, "meet(...) needs at least two variables")
+            }
+            QueryError::RowLimitExceeded { limit } => write!(
+                f,
+                "projection exceeded {limit} rows (combinatorial explosion); refine the query or use meet()"
+            ),
+            QueryError::ModifierWithoutMeet => {
+                write!(f, "within/excluding/only modifiers require a meet(...) select")
+            }
+        }
+    }
+}
+
+impl std::error::Error for QueryError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn displays_are_informative() {
+        let cases: Vec<(QueryError, &str)> = vec![
+            (
+                QueryError::UnboundVariable { name: "t9".into() },
+                "not bound",
+            ),
+            (QueryError::MeetNeedsTwoVariables, "at least two"),
+            (QueryError::RowLimitExceeded { limit: 7 }, "explosion"),
+            (QueryError::ModifierWithoutMeet, "meet"),
+        ];
+        for (e, needle) in cases {
+            assert!(e.to_string().contains(needle), "{e}");
+        }
+    }
+}

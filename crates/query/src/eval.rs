@@ -1,0 +1,496 @@
+//! Query evaluation.
+//!
+//! Two evaluation modes, mirroring the paper's narrative:
+//!
+//! * **Projection** — enumerate all binding combinations; reproduces the
+//!   baseline behaviour the paper criticises (ancestor-implied answers,
+//!   potential combinatorial explosion, bounded here by
+//!   [`QueryConfig::max_rows`]).
+//! * **Meet aggregation** — each variable's binding set is reduced to its
+//!   minimal elements (exactly the string associations of the full-text
+//!   search; all ancestors are implied by them), and the generalized meet
+//!   of the paper's Figure 5 combines them, honouring `within`
+//!   (`meet^δ`), `excluding` and `only` (`meet_Π`).
+
+use crate::ast::{Query, SelectClause, SelectItem};
+use crate::error::QueryError;
+use crate::parser::parse_query;
+use crate::pathexpr::{match_paths, matched_path_ids, PathMatch};
+use ncq_core::{AnswerSet, Database, MeetOptions, PathFilter};
+use ncq_fulltext::HitSet;
+use ncq_store::{Oid, PathId};
+use std::collections::HashSet;
+
+/// Evaluation limits.
+#[derive(Debug, Clone, Copy)]
+pub struct QueryConfig {
+    /// Maximum number of projection rows before
+    /// [`QueryError::RowLimitExceeded`].
+    pub max_rows: usize,
+}
+
+impl Default for QueryConfig {
+    fn default() -> QueryConfig {
+        QueryConfig { max_rows: 10_000 }
+    }
+}
+
+/// One projection row.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Row {
+    /// Projected values (tag names), one per select item.
+    pub values: Vec<String>,
+    /// The bound node per `from` variable (in `from` order).
+    pub nodes: Vec<Oid>,
+}
+
+/// A projection result.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct RowSet {
+    /// Column headers (select-item names).
+    pub columns: Vec<String>,
+    /// Result rows.
+    pub rows: Vec<Row>,
+}
+
+impl RowSet {
+    /// Render rows in the paper's `<answer>` markup (one `<result>` per
+    /// row, first projected value).
+    pub fn to_answer_xml(&self) -> String {
+        let mut out = String::from("<answer>\n");
+        for row in &self.rows {
+            out.push_str(&format!(
+                "  <result> {} </result>\n",
+                row.values.join(", ")
+            ));
+        }
+        out.push_str("</answer>");
+        out
+    }
+}
+
+/// Output of [`run_query`]: rows for projections, ranked answers for meet
+/// aggregates.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum QueryOutput {
+    /// Projection result.
+    Rows(RowSet),
+    /// Meet-aggregation result.
+    Answers(AnswerSet),
+}
+
+/// Parse and evaluate with default limits.
+pub fn run_query(db: &Database, src: &str) -> Result<QueryOutput, QueryError> {
+    run_query_with(db, src, &QueryConfig::default())
+}
+
+/// Parse and evaluate with explicit limits.
+pub fn run_query_with(
+    db: &Database,
+    src: &str,
+    config: &QueryConfig,
+) -> Result<QueryOutput, QueryError> {
+    let query = parse_query(src)?;
+    evaluate(db, &query, config)
+}
+
+/// Evaluate a parsed query.
+pub fn evaluate(
+    db: &Database,
+    query: &Query,
+    config: &QueryConfig,
+) -> Result<QueryOutput, QueryError> {
+    match &query.select {
+        SelectClause::Meet { vars, modifiers } => {
+            let inputs: Vec<HitSet> = vars
+                .iter()
+                .map(|v| hit_group(db, query, v))
+                .collect::<Result<_, _>>()?;
+            let mut options = MeetOptions {
+                max_distance: modifiers.within,
+                ..MeetOptions::default()
+            };
+            if !modifiers.only.is_empty() {
+                let mut allowed: Vec<PathId> = Vec::new();
+                for pat in &modifiers.only {
+                    allowed.extend(matched_path_ids(db.store(), pat));
+                }
+                options.filter = PathFilter::allowing(allowed);
+            } else if !modifiers.excluding.is_empty() {
+                let mut excluded: Vec<PathId> = Vec::new();
+                for pat in &modifiers.excluding {
+                    excluded.extend(matched_path_ids(db.store(), pat));
+                }
+                options.filter = PathFilter::excluding(excluded);
+            }
+            let meets = db.meet_hits(&inputs, &options);
+            Ok(QueryOutput::Answers(AnswerSet::from_meets(
+                db.store(),
+                meets,
+            )))
+        }
+        SelectClause::Projection(items) => projection(db, query, items, config),
+    }
+}
+
+/// The hit group of a meet variable: string associations (or bare nodes
+/// when the variable has no `contains` predicate) under the variable's
+/// matched paths, containing *all* of its needles.
+fn hit_group(db: &Database, query: &Query, var: &str) -> Result<HitSet, QueryError> {
+    let binding = query
+        .binding_for(var)
+        .ok_or_else(|| QueryError::UnboundVariable {
+            name: var.to_owned(),
+        })?;
+    let store = db.store();
+    let matched = matched_path_ids(store, &binding.path);
+    let needles = query.needles_for(var);
+
+    if needles.is_empty() {
+        // No predicate: the variable contributes the matched nodes
+        // themselves (elements of matched element paths).
+        let mut hits = HitSet::new();
+        for &p in &matched {
+            for o in store.oids_of_path(p) {
+                hits.insert(p, o);
+            }
+        }
+        return Ok(hits);
+    }
+
+    let mut result: Option<HitSet> = None;
+    for needle in needles {
+        let mut hits = db.search(needle);
+        hits.retain(|path, _| matched.iter().any(|&mp| store.summary().le(path, mp)));
+        result = Some(match result {
+            None => hits,
+            Some(prev) => {
+                // Association-level conjunction.
+                let mut both = HitSet::new();
+                for (p, o) in prev.iter() {
+                    if hits.contains(p, o) {
+                        both.insert(p, o);
+                    }
+                }
+                both
+            }
+        });
+    }
+    Ok(result.unwrap_or_default())
+}
+
+/// Captured tag-variable assignments of one match.
+type TagAssignment = Vec<(String, ncq_xml::Symbol)>;
+/// One projection binding: a node with its tag captures.
+type BoundNode = (Oid, TagAssignment);
+
+/// A variable's projection bindings: `(node, tag-assignments)` for nodes
+/// matching the path pattern whose subtree contains all needles.
+fn projection_bindings(
+    db: &Database,
+    query: &Query,
+    var: &str,
+) -> Result<Vec<BoundNode>, QueryError> {
+    let binding = query
+        .binding_for(var)
+        .ok_or_else(|| QueryError::UnboundVariable {
+            name: var.to_owned(),
+        })?;
+    let store = db.store();
+    let matches: Vec<PathMatch> = match_paths(store, &binding.path);
+    let needles = query.needles_for(var);
+
+    // Nodes whose subtree contains every needle: intersect, per needle,
+    // the ancestor closures of the hits.
+    let mut containing: Option<HashSet<Oid>> = None;
+    for needle in &needles {
+        let hits = db.search(needle);
+        let mut closure: HashSet<Oid> = HashSet::new();
+        for (_, owner) in hits.iter() {
+            for anc in store.ancestors(owner) {
+                if !closure.insert(anc) {
+                    break; // the rest of the chain is already marked
+                }
+            }
+        }
+        containing = Some(match containing {
+            None => closure,
+            Some(prev) => prev.intersection(&closure).copied().collect(),
+        });
+    }
+
+    let mut out = Vec::new();
+    for m in &matches {
+        for o in store.oids_of_path(m.path) {
+            if containing.as_ref().is_none_or(|c| c.contains(&o)) {
+                out.push((o, m.tags.clone()));
+            }
+        }
+    }
+    // Document order, stable w.r.t. alternative tag assignments.
+    out.sort_by_key(|(o, _)| *o);
+    Ok(out)
+}
+
+fn projection(
+    db: &Database,
+    query: &Query,
+    items: &[SelectItem],
+    config: &QueryConfig,
+) -> Result<QueryOutput, QueryError> {
+    let store = db.store();
+    let var_names: Vec<&str> = query.from.iter().map(|b| b.var.as_str()).collect();
+    let mut bindings = Vec::with_capacity(var_names.len());
+    for v in &var_names {
+        bindings.push(projection_bindings(db, query, v)?);
+    }
+
+    let columns: Vec<String> = items
+        .iter()
+        .map(|i| match i {
+            SelectItem::Var(v) => v.clone(),
+            SelectItem::TagVar(t) => format!("${t}"),
+        })
+        .collect();
+
+    // Nested-loop join over the binding lists, unifying shared tag vars.
+    let mut rows: Vec<Row> = Vec::new();
+    let mut stack: Vec<(usize, Vec<BoundNode>)> = vec![(0, Vec::new())];
+    // Depth-first enumeration without recursion.
+    while let Some((level, chosen)) = stack.pop() {
+        if level == bindings.len() {
+            // Emit a row.
+            let mut values = Vec::with_capacity(items.len());
+            for item in items {
+                match item {
+                    SelectItem::Var(v) => {
+                        let idx = var_names.iter().position(|n| n == v).expect("validated");
+                        values.push(store.label(chosen[idx].0));
+                    }
+                    SelectItem::TagVar(t) => {
+                        let sym = chosen
+                            .iter()
+                            .flat_map(|(_, tags)| tags.iter())
+                            .find(|(name, _)| name == t)
+                            .map(|(_, sym)| *sym)
+                            .expect("validated tag var");
+                        values.push(store.symbols().resolve(sym).to_owned());
+                    }
+                }
+            }
+            let nodes = chosen.iter().map(|(o, _)| *o).collect();
+            let row = Row { values, nodes };
+            if !rows.contains(&row) {
+                rows.push(row);
+                if rows.len() > config.max_rows {
+                    return Err(QueryError::RowLimitExceeded {
+                        limit: config.max_rows,
+                    });
+                }
+            }
+            continue;
+        }
+        // Push candidates in reverse so document order pops first.
+        for cand in bindings[level].iter().rev() {
+            // Unify tag variables with choices made so far.
+            let ok = cand.1.iter().all(|(name, sym)| {
+                chosen
+                    .iter()
+                    .flat_map(|(_, tags)| tags.iter())
+                    .all(|(n2, s2)| n2 != name || s2 == sym)
+            });
+            if ok {
+                let mut next = chosen.clone();
+                next.push(cand.clone());
+                stack.push((level + 1, next));
+            }
+        }
+    }
+
+    Ok(QueryOutput::Rows(RowSet { columns, rows }))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ncq_datagen::FIGURE1_XML;
+
+    fn db() -> Database {
+        Database::from_xml_str(FIGURE1_XML).unwrap()
+    }
+
+    // ----- the paper's two listings -----
+
+    #[test]
+    fn listing1_baseline_returns_ancestor_implied_answers() {
+        let db = db();
+        let out = run_query(
+            &db,
+            "select $T \
+             from %/$T as t1, %/$T as t2 \
+             where t1 contains 'Bit' and t2 contains '1999'",
+        )
+        .unwrap();
+        let QueryOutput::Rows(rows) = out else {
+            panic!("expected rows")
+        };
+        // Tag-unified pairs: article (t1=article1 × t2∈{article1,article2}),
+        // institute×institute, bibliography×bibliography.
+        let mut tags: Vec<&str> = rows.rows.iter().map(|r| r.values[0].as_str()).collect();
+        tags.sort_unstable();
+        assert_eq!(
+            tags,
+            vec!["article", "article", "bibliography", "institute"]
+        );
+        // 4 rows — exactly the over-broad answer of the paper's listing
+        // (the desired `article` plus ancestor-implied rows).
+        assert_eq!(rows.rows.len(), 4);
+    }
+
+    #[test]
+    fn listing2_meet_returns_exactly_the_article() {
+        let db = db();
+        let out = run_query(
+            &db,
+            "select meet(t1, t2) \
+             from bibliography/% as t1, bibliography/% as t2 \
+             where t1 contains 'Bit' and t2 contains '1999'",
+        )
+        .unwrap();
+        let QueryOutput::Answers(answers) = out else {
+            panic!("expected answers")
+        };
+        assert_eq!(answers.tags(), vec!["article"]);
+    }
+
+    // ----- semantics details -----
+
+    #[test]
+    fn projection_without_conditions_lists_matched_nodes() {
+        let db = db();
+        let out = run_query(&db, "select t from bibliography/institute/article as t").unwrap();
+        let QueryOutput::Rows(rows) = out else {
+            panic!()
+        };
+        assert_eq!(rows.rows.len(), 2);
+        assert!(rows.rows.iter().all(|r| r.values[0] == "article"));
+    }
+
+    #[test]
+    fn meet_modifier_within_blocks_far_meets() {
+        let db = db();
+        let q = "select meet(t1, t2) within 4 \
+                 from bibliography/% as t1, bibliography/% as t2 \
+                 where t1 contains 'Bit' and t2 contains '1999'";
+        let QueryOutput::Answers(a) = run_query(&db, q).unwrap() else {
+            panic!()
+        };
+        assert!(a.is_empty()); // needs distance 5
+        let q5 = q.replace("within 4", "within 5");
+        let QueryOutput::Answers(a) = run_query(&db, &q5).unwrap() else {
+            panic!()
+        };
+        assert_eq!(a.tags(), vec!["article"]);
+    }
+
+    #[test]
+    fn meet_modifier_excluding_suppresses_types() {
+        let db = db();
+        // Ben × RSI meet at institute; excluding it empties the answer.
+        let q = "select meet(t1, t2) excluding bibliography/institute \
+                 from bibliography/% as t1, bibliography/% as t2 \
+                 where t1 contains 'Ben' and t2 contains 'RSI'";
+        let QueryOutput::Answers(a) = run_query(&db, q).unwrap() else {
+            panic!()
+        };
+        assert!(a.is_empty());
+    }
+
+    #[test]
+    fn meet_modifier_only_keeps_wanted_types() {
+        let db = db();
+        let q = "select meet(t1, t2) only bibliography/institute/article \
+                 from bibliography/% as t1, bibliography/% as t2 \
+                 where t1 contains 'Bit' and t2 contains '1999'";
+        let QueryOutput::Answers(a) = run_query(&db, q).unwrap() else {
+            panic!()
+        };
+        assert_eq!(a.tags(), vec!["article"]);
+    }
+
+    #[test]
+    fn meet_variable_without_condition_contributes_nodes() {
+        let db = db();
+        // t2 binds all year elements; t1 the Bit hit. They meet at the
+        // first article.
+        let q = "select meet(t1, t2) \
+                 from bibliography/% as t1, bibliography/%/year as t2 \
+                 where t1 contains 'Bit'";
+        let QueryOutput::Answers(a) = run_query(&db, q).unwrap() else {
+            panic!()
+        };
+        assert_eq!(a.tags(), vec!["article"]);
+    }
+
+    #[test]
+    fn path_scope_restricts_hits() {
+        let db = db();
+        // Restrict t1 to titles: 'Bit' occurs only under author, so t1
+        // contributes no hits — no article can be a meet. The two '1999'
+        // hits of t2 still meet each other (Fig. 5 semantics: any two
+        // input nodes) at the institute.
+        let q = "select meet(t1, t2) \
+                 from bibliography/%/title as t1, bibliography/% as t2 \
+                 where t1 contains 'Bit' and t2 contains '1999'";
+        let QueryOutput::Answers(a) = run_query(&db, q).unwrap() else {
+            panic!()
+        };
+        assert_eq!(a.tags(), vec!["institute"]);
+    }
+
+    #[test]
+    fn conjunctive_conditions_on_one_variable() {
+        let db = db();
+        // Only "Bob Byte" contains both.
+        let q = "select meet(t1, t2) \
+                 from bibliography/% as t1, bibliography/% as t2 \
+                 where t1 contains 'Bob' and t1 contains 'Byte' and t2 contains '1999'";
+        let QueryOutput::Answers(a) = run_query(&db, q).unwrap() else {
+            panic!()
+        };
+        assert_eq!(a.tags(), vec!["article"]);
+    }
+
+    #[test]
+    fn row_limit_guards_the_explosion() {
+        let db = db();
+        let q = "select t1, t2 \
+                 from bibliography/% as t1, bibliography/% as t2";
+        let err = run_query_with(&db, q, &QueryConfig { max_rows: 10 }).unwrap_err();
+        assert!(matches!(err, QueryError::RowLimitExceeded { limit: 10 }));
+    }
+
+    #[test]
+    fn attribute_hits_respect_scope() {
+        let db = db();
+        let q = "select meet(t1, t2) \
+                 from bibliography/%/@key as t1, bibliography/% as t2 \
+                 where t1 contains 'BB99' and t2 contains 'Ben'";
+        let QueryOutput::Answers(a) = run_query(&db, q).unwrap() else {
+            panic!()
+        };
+        assert_eq!(a.tags(), vec!["article"]);
+    }
+
+    #[test]
+    fn rows_render_as_answer_xml() {
+        let db = db();
+        let QueryOutput::Rows(rows) =
+            run_query(&db, "select t from bibliography/institute as t").unwrap()
+        else {
+            panic!()
+        };
+        let xml = rows.to_answer_xml();
+        assert!(xml.contains("<result> institute </result>"));
+    }
+}

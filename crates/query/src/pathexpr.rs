@@ -1,0 +1,252 @@
+//! Matching path expressions against a database's path summary.
+//!
+//! A pattern is anchored at the root and matched against every interned
+//! path. `%` (the paper's schema wildcard, "may stand for any sequence of
+//! tags") skips zero or more *element* steps; `*` matches exactly one
+//! element step; `$X` matches one element step and captures its tag,
+//! unifying across repeated occurrences within the same pattern.
+
+use crate::ast::{PathExpr, PathStepExpr};
+use ncq_store::{MonetDb, PathId, PathStep};
+use ncq_xml::Symbol;
+
+/// One successful match of a pattern against a concrete path.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PathMatch {
+    /// The matched path.
+    pub path: PathId,
+    /// Tag-variable assignments, in first-capture order.
+    pub tags: Vec<(String, Symbol)>,
+}
+
+/// All paths of `db` matched by `pattern`, with tag captures. A path may
+/// appear several times when distinct wildcard splits capture different
+/// assignments; `(path, tags)` pairs are deduplicated.
+pub fn match_paths(db: &MonetDb, pattern: &PathExpr) -> Vec<PathMatch> {
+    let summary = db.summary();
+    let mut out: Vec<PathMatch> = Vec::new();
+    for path in summary.iter() {
+        // Materialize the concrete step sequence root → path.
+        let mut steps = Vec::with_capacity(summary.depth(path) + 1);
+        let mut cur = Some(path);
+        while let Some(c) = cur {
+            steps.push(summary.step(c));
+            cur = summary.parent(c);
+        }
+        steps.reverse();
+
+        let mut assignments = Vec::new();
+        collect_matches(db, &steps, &pattern.steps, &mut Vec::new(), &mut assignments);
+        for tags in assignments {
+            let m = PathMatch { path, tags };
+            if !out.contains(&m) {
+                out.push(m);
+            }
+        }
+    }
+    out
+}
+
+/// Whether any path matches (used for filters).
+pub fn matched_path_ids(db: &MonetDb, pattern: &PathExpr) -> Vec<PathId> {
+    let mut ids: Vec<PathId> = match_paths(db, pattern).into_iter().map(|m| m.path).collect();
+    ids.sort_unstable();
+    ids.dedup();
+    ids
+}
+
+fn collect_matches(
+    db: &MonetDb,
+    concrete: &[PathStep],
+    pattern: &[PathStepExpr],
+    bindings: &mut Vec<(String, Symbol)>,
+    out: &mut Vec<Vec<(String, Symbol)>>,
+) {
+    match (concrete.first(), pattern.first()) {
+        (None, None) => {
+            if !out.contains(bindings) {
+                out.push(bindings.clone());
+            }
+        }
+        (Some(_), None) | (None, Some(_)) => {
+            // `%` may still absorb an empty tail.
+            if concrete.is_empty() {
+                if let Some(PathStepExpr::AnySeq) = pattern.first() {
+                    collect_matches(db, concrete, &pattern[1..], bindings, out);
+                }
+            }
+        }
+        (Some(&cstep), Some(pstep)) => match pstep {
+            PathStepExpr::Tag(name) => {
+                if let PathStep::Element(sym) = cstep {
+                    if db.symbols().resolve(sym) == name {
+                        collect_matches(db, &concrete[1..], &pattern[1..], bindings, out);
+                    }
+                }
+            }
+            PathStepExpr::AnyOne => {
+                if matches!(cstep, PathStep::Element(_)) {
+                    collect_matches(db, &concrete[1..], &pattern[1..], bindings, out);
+                }
+            }
+            PathStepExpr::AnySeq => {
+                // Zero steps…
+                collect_matches(db, concrete, &pattern[1..], bindings, out);
+                // …or absorb one element step and stay on `%`.
+                if matches!(cstep, PathStep::Element(_)) {
+                    collect_matches(db, &concrete[1..], pattern, bindings, out);
+                }
+            }
+            PathStepExpr::Attribute(name) => {
+                if let PathStep::Attribute(sym) = cstep {
+                    if db.symbols().resolve(sym) == name {
+                        collect_matches(db, &concrete[1..], &pattern[1..], bindings, out);
+                    }
+                }
+            }
+            PathStepExpr::Cdata => {
+                if matches!(cstep, PathStep::Cdata) {
+                    collect_matches(db, &concrete[1..], &pattern[1..], bindings, out);
+                }
+            }
+            PathStepExpr::TagVar(var) => {
+                if let PathStep::Element(sym) = cstep {
+                    match bindings.iter().find(|(v, _)| v == var) {
+                        Some((_, bound)) if *bound != sym => {}
+                        Some(_) => {
+                            collect_matches(db, &concrete[1..], &pattern[1..], bindings, out)
+                        }
+                        None => {
+                            bindings.push((var.clone(), sym));
+                            collect_matches(db, &concrete[1..], &pattern[1..], bindings, out);
+                            bindings.pop();
+                        }
+                    }
+                }
+            }
+        },
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse_query;
+    use ncq_store::MonetDb;
+    use ncq_xml::parse;
+
+    fn db() -> MonetDb {
+        MonetDb::from_document(
+            &parse(
+                r#"<bib>
+                     <article key="k1"><author><name>A</name></author><year>1999</year></article>
+                     <book><author><name>B</name></author></book>
+                   </bib>"#,
+            )
+            .unwrap(),
+        )
+    }
+
+    fn pattern(src: &str) -> PathExpr {
+        // Reuse the parser: wrap the path into a trivial query.
+        let q = parse_query(&format!("select t from {src} as t")).unwrap();
+        q.from[0].path.clone()
+    }
+
+    fn names(db: &MonetDb, pat: &str) -> Vec<String> {
+        let mut v: Vec<String> = match_paths(db, &pattern(pat))
+            .into_iter()
+            .map(|m| db.relation_name(m.path))
+            .collect();
+        v.sort();
+        v.dedup();
+        v
+    }
+
+    #[test]
+    fn concrete_paths_match_exactly() {
+        let db = db();
+        assert_eq!(names(&db, "bib/article/year"), vec!["bib/article/year"]);
+        assert!(names(&db, "bib/missing").is_empty());
+        // Patterns are anchored: `article/year` alone does not match.
+        assert!(names(&db, "article/year").is_empty());
+    }
+
+    #[test]
+    fn star_matches_exactly_one_element() {
+        let db = db();
+        assert_eq!(
+            names(&db, "bib/*/author"),
+            vec!["bib/article/author", "bib/book/author"]
+        );
+        assert!(names(&db, "bib/*").contains(&"bib/article".to_string()));
+        // `*` does not match attribute or cdata steps.
+        assert!(!names(&db, "bib/article/*")
+            .iter()
+            .any(|n| n.ends_with("@k1") || n.ends_with("@key")));
+    }
+
+    #[test]
+    fn percent_matches_any_element_sequence() {
+        let db = db();
+        let all = names(&db, "bib/%");
+        // Includes bib itself (empty sequence) and deep element paths.
+        assert!(all.contains(&"bib".to_string()));
+        assert!(all.contains(&"bib/article/author/name".to_string()));
+        // But not cdata/attribute paths (those need explicit steps).
+        assert!(!all.iter().any(|n| n.ends_with("cdata") || n.contains('@')));
+    }
+
+    #[test]
+    fn percent_plus_cdata_reaches_text_relations() {
+        let db = db();
+        let all = names(&db, "bib/%/cdata");
+        assert!(all.contains(&"bib/article/year/cdata".to_string()));
+        assert!(all.iter().all(|n| n.ends_with("/cdata")));
+    }
+
+    #[test]
+    fn attribute_steps_match() {
+        let db = db();
+        assert_eq!(names(&db, "bib/article/@key"), vec!["bib/article/@key"]);
+        assert_eq!(names(&db, "bib/%/@key"), vec!["bib/article/@key"]);
+    }
+
+    #[test]
+    fn tag_vars_capture_and_unify() {
+        let db = db();
+        let ms = match_paths(&db, &pattern("bib/$T/author"));
+        let tags: Vec<&str> = ms
+            .iter()
+            .map(|m| db.symbols().resolve(m.tags[0].1))
+            .collect();
+        assert_eq!(tags.len(), 2);
+        assert!(tags.contains(&"article"));
+        assert!(tags.contains(&"book"));
+        // Repeated variable must unify: $T/$T never matches article/author.
+        let ms = match_paths(&db, &pattern("bib/$T/$T"));
+        assert!(ms.is_empty());
+    }
+
+    #[test]
+    fn duplicate_matches_are_deduplicated() {
+        let db = db();
+        // `%/%` offers many splits of the same path; each path appears once.
+        let ms = match_paths(&db, &pattern("bib/%/%/author"));
+        let mut paths: Vec<PathId> = ms.iter().map(|m| m.path).collect();
+        let before = paths.len();
+        paths.sort_unstable();
+        paths.dedup();
+        assert_eq!(before, paths.len());
+    }
+
+    #[test]
+    fn matched_path_ids_are_sorted_unique() {
+        let db = db();
+        let ids = matched_path_ids(&db, &pattern("bib/%"));
+        let mut sorted = ids.clone();
+        sorted.sort_unstable();
+        sorted.dedup();
+        assert_eq!(ids, sorted);
+    }
+}

@@ -1,0 +1,120 @@
+//! Property tests: random query ASTs survive print → parse, and random
+//! query *strings* never panic the pipeline.
+
+use ncq_query::ast::{
+    Binding, Condition, MeetModifiers, PathExpr, PathStepExpr, Query, SelectClause, SelectItem,
+};
+use ncq_query::parse_query;
+use proptest::prelude::*;
+
+fn ident() -> impl Strategy<Value = String> {
+    "[a-z][a-z0-9_]{0,6}".prop_filter("not a keyword", |s| {
+        !matches!(
+            s.as_str(),
+            "select" | "from" | "where" | "and" | "as" | "contains" | "meet" | "within"
+                | "excluding" | "only" | "cdata"
+        )
+    })
+}
+
+fn path_step() -> impl Strategy<Value = PathStepExpr> {
+    prop_oneof![
+        4 => ident().prop_map(PathStepExpr::Tag),
+        1 => Just(PathStepExpr::AnyOne),
+        1 => Just(PathStepExpr::AnySeq),
+        1 => ident().prop_map(PathStepExpr::Attribute),
+        1 => Just(PathStepExpr::Cdata),
+        1 => "[A-Z]".prop_map(PathStepExpr::TagVar),
+    ]
+}
+
+fn path_expr() -> impl Strategy<Value = PathExpr> {
+    prop::collection::vec(path_step(), 1..5).prop_map(|steps| PathExpr { steps })
+}
+
+fn needle() -> impl Strategy<Value = String> {
+    // Anything except quotes (the printer uses single quotes).
+    "[a-zA-Z0-9 .&-]{1,12}".prop_map(|s| s.trim().to_string() + "x")
+}
+
+/// A structurally valid query: distinct binding vars, select/where refer
+/// only to bound vars, meet has ≥ 2 vars.
+fn query() -> impl Strategy<Value = Query> {
+    (
+        prop::collection::vec((path_expr(), ident()), 2..4),
+        any::<bool>(),
+        prop::collection::vec((prop::sample::Index::arbitrary(), needle()), 0..3),
+        proptest::option::of(0usize..10),
+        proptest::option::of(path_expr()),
+    )
+        .prop_map(|(mut from_raw, is_meet, conds, within, excluding)| {
+            // Dedup binding variables.
+            from_raw.sort_by(|a, b| a.1.cmp(&b.1));
+            from_raw.dedup_by(|a, b| a.1 == b.1);
+            let from: Vec<Binding> = from_raw
+                .into_iter()
+                .map(|(path, var)| Binding { path, var })
+                .collect();
+            let tag_vars: Vec<String> = from
+                .iter()
+                .flat_map(|b| b.path.steps.iter())
+                .filter_map(|s| match s {
+                    PathStepExpr::TagVar(v) => Some(v.clone()),
+                    _ => None,
+                })
+                .collect();
+            let select = if is_meet && from.len() >= 2 {
+                SelectClause::Meet {
+                    vars: from.iter().map(|b| b.var.clone()).collect(),
+                    modifiers: MeetModifiers {
+                        within,
+                        excluding: excluding.into_iter().collect(),
+                        only: vec![],
+                    },
+                }
+            } else {
+                let mut items: Vec<SelectItem> =
+                    from.iter().map(|b| SelectItem::Var(b.var.clone())).collect();
+                if let Some(tv) = tag_vars.first() {
+                    items.push(SelectItem::TagVar(tv.clone()));
+                }
+                SelectClause::Projection(items)
+            };
+            let conditions = conds
+                .into_iter()
+                .map(|(idx, needle)| Condition {
+                    var: from[idx.index(from.len())].var.clone(),
+                    needle,
+                })
+                .collect();
+            Query {
+                select,
+                from,
+                conditions,
+            }
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn print_then_parse_is_identity(q in query()) {
+        let printed = q.to_string();
+        let reparsed = parse_query(&printed)
+            .unwrap_or_else(|e| panic!("{printed:?} failed: {e}"));
+        prop_assert_eq!(reparsed, q, "printed: {}", printed);
+    }
+
+    #[test]
+    fn parser_never_panics(src in "\\PC{0,120}") {
+        let _ = parse_query(&src);
+    }
+
+    #[test]
+    fn parser_never_panics_on_query_soup(
+        src in "(select|from|where|meet|contains|and|as|[a-z$@%*/,()' ]){0,40}"
+    ) {
+        let _ = parse_query(&src);
+    }
+}

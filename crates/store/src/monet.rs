@@ -1,0 +1,644 @@
+//! The Monet transform: bulk loading and the loaded database.
+//!
+//! [`MonetDb::from_document`] walks the syntax tree depth-first, assigns
+//! dense [`Oid`]s in document order (paper: "the assignment of OIDs is
+//! arbitrary, e.g., depth-first traversal order"), interns every node's
+//! path `σ(o)`, and scatters the associations into per-path binary
+//! relations:
+//!
+//! * **edge relations** `σ(o) ↦ [(parent, o)]` for element and cdata nodes,
+//! * **string relations** for cdata text (`…/cdata`) and attribute values
+//!   (`…/@name`), keyed by the owner's association path,
+//! * **rank relations** `σ(o) ↦ [(o, rank)]` preserving sibling order.
+//!
+//! On top of the relations, two dense arrays provide the primitives the
+//! meet algorithms need in O(1): `sigma: oid → PathId` and
+//! `parent: oid → Oid` (the paper's "basically a hash look-up").
+
+use crate::oid::Oid;
+use crate::path::{PathId, PathStep, PathSummary};
+use crate::stats::StoreStats;
+use ncq_xml::{Document, NodeId, NodeKind, SymbolTable};
+
+/// A loaded, path-partitioned XML database instance.
+#[derive(Debug, Clone)]
+pub struct MonetDb {
+    symbols: SymbolTable,
+    summary: PathSummary,
+    /// `σ(o)` per oid.
+    sigma: Vec<PathId>,
+    /// Parent oid per oid; the root maps to itself.
+    parent: Vec<Oid>,
+    /// Sibling rank per oid (0-based).
+    rank: Vec<u32>,
+    /// Edge relations indexed by `PathId`: pairs `(parent(o), o)` with
+    /// `σ(o)` = that path. Attribute paths have empty edge relations.
+    edges: Vec<Vec<(Oid, Oid)>>,
+    /// String relations indexed by `PathId`: pairs `(owner, string)`.
+    /// Non-empty only for cdata paths (owner = the cdata node) and
+    /// attribute paths (owner = the element carrying the attribute).
+    strings: Vec<Vec<(Oid, Box<str>)>>,
+    /// Original tree node per oid, for object re-assembly.
+    node_of_oid: Vec<NodeId>,
+    /// Oid per tree node (dense over the arena).
+    oid_of_node: Vec<Oid>,
+}
+
+impl MonetDb {
+    /// Bulk-load a parsed document (paper §2, Definition 4).
+    pub fn from_document(doc: &Document) -> MonetDb {
+        let n = doc.len();
+        let mut db = MonetDb {
+            symbols: doc.symbols().clone(),
+            summary: PathSummary::new(),
+            sigma: Vec::with_capacity(n),
+            parent: Vec::with_capacity(n),
+            rank: Vec::with_capacity(n),
+            edges: Vec::new(),
+            strings: Vec::new(),
+            node_of_oid: Vec::with_capacity(n),
+            oid_of_node: vec![Oid::ROOT; n],
+        };
+        db.load(doc);
+        db
+    }
+
+    fn ensure_path_slot(&mut self, p: PathId) {
+        let need = p.index() + 1;
+        if self.edges.len() < need {
+            self.edges.resize_with(need, Vec::new);
+            self.strings.resize_with(need, Vec::new);
+        }
+    }
+
+    fn load(&mut self, doc: &Document) {
+        // Explicit DFS stack of (node, parent oid, parent path, rank).
+        // Children are pushed in reverse so document order pops first.
+        let root_sym = doc
+            .tag_symbol(doc.root())
+            .expect("root is an element node");
+        // Symbols were cloned from the document, so the root symbol is
+        // valid in our table too.
+        let root_path = self.summary.intern_root(PathStep::Element(root_sym));
+        self.ensure_path_slot(root_path);
+        self.sigma.push(root_path);
+        self.parent.push(Oid::ROOT);
+        self.rank.push(0);
+        self.node_of_oid.push(doc.root());
+        self.oid_of_node[doc.root().index()] = Oid::ROOT;
+        self.load_attributes(doc, doc.root(), Oid::ROOT, root_path);
+
+        let mut stack: Vec<(NodeId, Oid, PathId)> = Vec::new();
+        for &c in doc.children(doc.root()).iter().rev() {
+            stack.push((c, Oid::ROOT, root_path));
+        }
+
+        while let Some((node, parent_oid, parent_path)) = stack.pop() {
+            let oid = Oid::from_index(self.sigma.len());
+            let rank = doc.rank(node) as u32;
+            let path = match doc.kind(node) {
+                NodeKind::Element(sym) => self
+                    .summary
+                    .intern_child(parent_path, PathStep::Element(*sym)),
+                NodeKind::Text(_) => self.summary.intern_child(parent_path, PathStep::Cdata),
+            };
+            self.ensure_path_slot(path);
+            self.sigma.push(path);
+            self.parent.push(parent_oid);
+            self.rank.push(rank);
+            self.node_of_oid.push(node);
+            self.oid_of_node[node.index()] = oid;
+            self.edges[path.index()].push((parent_oid, oid));
+
+            match doc.kind(node) {
+                NodeKind::Text(s) => {
+                    self.strings[path.index()].push((oid, s.as_str().into()));
+                }
+                NodeKind::Element(_) => {
+                    self.load_attributes(doc, node, oid, path);
+                    for &c in doc.children(node).iter().rev() {
+                        stack.push((c, oid, path));
+                    }
+                }
+            }
+        }
+    }
+
+    fn load_attributes(&mut self, doc: &Document, node: NodeId, oid: Oid, path: PathId) {
+        for attr in doc.attributes(node) {
+            let apath = self
+                .summary
+                .intern_child(path, PathStep::Attribute(attr.name));
+            self.ensure_path_slot(apath);
+            self.strings[apath.index()].push((oid, attr.value.as_str().into()));
+        }
+    }
+
+    // ----- primitives used by the meet operators -----
+
+    /// `σ(o)`: the association type / relation of `o` (Definition 3).
+    #[inline]
+    pub fn sigma(&self, o: Oid) -> PathId {
+        self.sigma[o.index()]
+    }
+
+    /// The parent association head: `None` for the root.
+    #[inline]
+    pub fn parent(&self, o: Oid) -> Option<Oid> {
+        if o == Oid::ROOT {
+            None
+        } else {
+            Some(self.parent[o.index()])
+        }
+    }
+
+    /// Depth of `o` (= depth of `σ(o)`; 0 for the root).
+    #[inline]
+    pub fn depth(&self, o: Oid) -> usize {
+        self.summary.depth(self.sigma(o))
+    }
+
+    /// Sibling rank of `o` (0-based).
+    #[inline]
+    pub fn rank(&self, o: Oid) -> usize {
+        self.rank[o.index()] as usize
+    }
+
+    /// The root object.
+    #[inline]
+    pub fn root(&self) -> Oid {
+        Oid::ROOT
+    }
+
+    /// Total number of objects (element + cdata nodes).
+    #[inline]
+    pub fn node_count(&self) -> usize {
+        self.sigma.len()
+    }
+
+    /// Iterate over all oids in document order.
+    pub fn iter_oids(&self) -> impl Iterator<Item = Oid> {
+        (0..self.sigma.len()).map(Oid::from_index)
+    }
+
+    /// Iterate `o, parent(o), …, root`.
+    pub fn ancestors(&self, o: Oid) -> impl Iterator<Item = Oid> + '_ {
+        let mut cur = Some(o);
+        std::iter::from_fn(move || {
+            let c = cur?;
+            cur = self.parent(c);
+            Some(c)
+        })
+    }
+
+    /// Whether `anc` is an ancestor of `o` (inclusive).
+    pub fn is_ancestor_or_self(&self, anc: Oid, o: Oid) -> bool {
+        self.ancestors(o).any(|a| a == anc)
+    }
+
+    // ----- schema access -----
+
+    /// The path summary (tree-shaped schema).
+    #[inline]
+    pub fn summary(&self) -> &PathSummary {
+        &self.summary
+    }
+
+    /// The symbol table shared with the source document.
+    #[inline]
+    pub fn symbols(&self) -> &SymbolTable {
+        &self.symbols
+    }
+
+    /// Human-readable relation name of a path, e.g.
+    /// `bibliography/institute/article/author/cdata`.
+    pub fn relation_name(&self, p: PathId) -> String {
+        self.summary.display(p, &self.symbols)
+    }
+
+    /// Label of `o` for display in answers: the element tag, `cdata`, or
+    /// `@attr`.
+    pub fn label(&self, o: Oid) -> String {
+        self.summary.last_label(self.sigma(o), &self.symbols)
+    }
+
+    /// Tag name of `o` when it is an element node.
+    pub fn tag(&self, o: Oid) -> Option<&str> {
+        match self.summary.step(self.sigma(o)) {
+            PathStep::Element(s) => Some(self.symbols.resolve(s)),
+            _ => None,
+        }
+    }
+
+    // ----- relation access -----
+
+    /// Edge relation of a path: all `(parent, o)` with `σ(o)` = `p`,
+    /// in document order of `o`.
+    pub fn edges_of(&self, p: PathId) -> &[(Oid, Oid)] {
+        self.edges.get(p.index()).map_or(&[], Vec::as_slice)
+    }
+
+    /// String relation of a path: `(owner, string)` pairs.
+    pub fn strings_of(&self, p: PathId) -> &[(Oid, Box<str>)] {
+        self.strings.get(p.index()).map_or(&[], Vec::as_slice)
+    }
+
+    /// The string owned by `owner` in relation `p`, if any. String
+    /// relations are loaded in document order of the owner, so this is a
+    /// binary search.
+    pub fn string_value(&self, p: PathId, owner: Oid) -> Option<&str> {
+        let rel = self.strings_of(p);
+        let idx = rel.binary_search_by_key(&owner, |(o, _)| *o).ok()?;
+        Some(&rel[idx].1)
+    }
+
+    /// All paths that own a non-empty string relation (cdata and attribute
+    /// paths) — the domain of full-text search.
+    pub fn string_paths(&self) -> impl Iterator<Item = PathId> + '_ {
+        self.summary
+            .iter()
+            .filter(|p| !self.strings_of(*p).is_empty())
+    }
+
+    /// All oids whose `σ` equals `p`, in document order.
+    pub fn oids_of_path(&self, p: PathId) -> Vec<Oid> {
+        if self.summary.depth(p) == 0 {
+            return vec![Oid::ROOT];
+        }
+        self.edges_of(p).iter().map(|&(_, o)| o).collect()
+    }
+
+    // ----- provenance -----
+
+    /// The tree node behind an oid.
+    pub fn node_of(&self, o: Oid) -> NodeId {
+        self.node_of_oid[o.index()]
+    }
+
+    /// The oid assigned to a tree node.
+    pub fn oid_of(&self, n: NodeId) -> Oid {
+        self.oid_of_node[n.index()]
+    }
+
+    /// Render the syntax tree in the style of the paper's **Figure 1**:
+    /// one node per line, indented by depth, with labels, oids, attribute
+    /// associations and strings.
+    pub fn dump_tree(&self) -> String {
+        let mut out = String::new();
+        // Depth-first over oids; oids are document order, so a stack of
+        // (oid, depth) walked via children keeps the figure's layout.
+        let mut stack = vec![Oid::ROOT];
+        while let Some(o) = stack.pop() {
+            let depth = self.depth(o);
+            for _ in 0..depth {
+                out.push_str("  ");
+            }
+            match self.summary.step(self.sigma(o)) {
+                PathStep::Cdata => {
+                    let text = self
+                        .string_value(self.sigma(o), o)
+                        .unwrap_or_default();
+                    out.push_str(&format!("cdata, {o} \"{text}\"\n"));
+                }
+                _ => {
+                    out.push_str(&format!("{}, {o}", self.label(o)));
+                    for p in self.summary.children(self.sigma(o)) {
+                        if let PathStep::Attribute(sym) = self.summary.step(*p) {
+                            if let Some(v) = self.string_value(*p, o) {
+                                out.push_str(&format!(
+                                    " [{}=\"{}\"]",
+                                    self.symbols.resolve(sym),
+                                    v
+                                ));
+                            }
+                        }
+                    }
+                    out.push('\n');
+                }
+            }
+            // Children in reverse document order so the stack pops the
+            // first child next.
+            let mut children: Vec<Oid> = Vec::new();
+            for p in self.summary.children(self.sigma(o)) {
+                let edges = self.edges_of(*p);
+                let start = edges.partition_point(|&(parent, _)| parent < o);
+                for &(parent, child) in &edges[start..] {
+                    if parent != o {
+                        break;
+                    }
+                    children.push(child);
+                }
+            }
+            children.sort_unstable();
+            for c in children.into_iter().rev() {
+                stack.push(c);
+            }
+        }
+        out
+    }
+
+    /// Render the Monet transform in the style of the paper's **Figure 2**:
+    /// one line per non-empty relation, `name ↦ {associations}`.
+    pub fn dump_relations(&self) -> String {
+        let mut lines: Vec<String> = Vec::new();
+        for p in self.summary.iter() {
+            let name = self.relation_name(p);
+            let edges = self.edges_of(p);
+            if !edges.is_empty() {
+                let pairs: Vec<String> = edges
+                    .iter()
+                    .map(|(a, b)| format!("({a},{b})"))
+                    .collect();
+                lines.push(format!("{name} -> {{{}}}", pairs.join(", ")));
+            }
+            let strings = self.strings_of(p);
+            if !strings.is_empty() {
+                let pairs: Vec<String> = strings
+                    .iter()
+                    .map(|(o, s)| format!("({o},\"{s}\")"))
+                    .collect();
+                lines.push(format!("{name}/string -> {{{}}}", pairs.join(", ")));
+            }
+        }
+        lines.sort();
+        let mut out = lines.join("\n");
+        out.push('\n');
+        out
+    }
+
+    /// Summary statistics (relation counts, association counts…).
+    pub fn stats(&self) -> StoreStats {
+        let mut s = StoreStats {
+            objects: self.node_count(),
+            paths: self.summary.len(),
+            ..StoreStats::default()
+        };
+        for p in self.summary.iter() {
+            let e = self.edges_of(p).len();
+            let t = self.strings_of(p).len();
+            if e > 0 {
+                s.edge_relations += 1;
+                s.edge_associations += e;
+            }
+            if t > 0 {
+                s.string_relations += 1;
+                s.string_associations += t;
+                s.string_bytes += self.strings_of(p).iter().map(|(_, v)| v.len()).sum::<usize>();
+            }
+            s.max_depth = s.max_depth.max(self.summary.depth(p));
+        }
+        s
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ncq_xml::parse;
+
+    /// The paper's Figure 1 document, verbatim.
+    pub(crate) const FIGURE1: &str = r#"
+<bibliography>
+  <institute>
+    <article key="BB99">
+      <author><firstname>Ben</firstname><lastname>Bit</lastname></author>
+      <title>How to Hack</title>
+      <year>1999</year>
+    </article>
+    <article key="BK99">
+      <author>Bob Byte</author>
+      <title>Hacking &amp; RSI</title>
+      <year>1999</year>
+    </article>
+  </institute>
+</bibliography>"#;
+
+    fn figure1_db() -> MonetDb {
+        MonetDb::from_document(&parse(FIGURE1).unwrap())
+    }
+
+    #[test]
+    fn oids_are_depth_first_document_order() {
+        let db = figure1_db();
+        // Root gets o0, first child o1, etc. Parents precede children.
+        assert_eq!(db.label(Oid::ROOT), "bibliography");
+        assert_eq!(db.label(Oid::from_index(1)), "institute");
+        assert_eq!(db.label(Oid::from_index(2)), "article");
+        for o in db.iter_oids().skip(1) {
+            assert!(db.parent(o).unwrap() < o);
+        }
+    }
+
+    #[test]
+    fn sigma_matches_figure2_relation_names() {
+        let db = figure1_db();
+        let names: Vec<String> = db
+            .summary()
+            .iter()
+            .map(|p| db.relation_name(p))
+            .collect();
+        // Every relation of the paper's Figure 2 must exist.
+        for expected in [
+            "bibliography",
+            "bibliography/institute",
+            "bibliography/institute/article",
+            "bibliography/institute/article/@key",
+            "bibliography/institute/article/author",
+            "bibliography/institute/article/author/cdata",
+            "bibliography/institute/article/author/firstname",
+            "bibliography/institute/article/author/firstname/cdata",
+            "bibliography/institute/article/author/lastname",
+            "bibliography/institute/article/author/lastname/cdata",
+            "bibliography/institute/article/title",
+            "bibliography/institute/article/title/cdata",
+            "bibliography/institute/article/year",
+            "bibliography/institute/article/year/cdata",
+        ] {
+            assert!(names.contains(&expected.to_string()), "missing {expected}");
+        }
+        assert_eq!(names.len(), 14);
+    }
+
+    #[test]
+    fn key_attributes_are_stored_with_element_owner() {
+        let db = figure1_db();
+        let p = db
+            .summary()
+            .lookup_in(
+                &["bibliography", "institute", "article", "@key"],
+                db.symbols(),
+            )
+            .unwrap();
+        let rel = db.strings_of(p);
+        assert_eq!(rel.len(), 2);
+        assert_eq!(&*rel[0].1, "BB99");
+        assert_eq!(&*rel[1].1, "BK99");
+        // Owners are the two article elements.
+        assert_eq!(db.tag(rel[0].0), Some("article"));
+        assert_eq!(db.tag(rel[1].0), Some("article"));
+        assert_ne!(rel[0].0, rel[1].0);
+    }
+
+    #[test]
+    fn year_strings_live_in_one_relation() {
+        let db = figure1_db();
+        let p = db
+            .summary()
+            .lookup_in(
+                &["bibliography", "institute", "article", "year", "cdata"],
+                db.symbols(),
+            )
+            .unwrap();
+        let years: Vec<&str> = db.strings_of(p).iter().map(|(_, s)| &**s).collect();
+        assert_eq!(years, vec!["1999", "1999"]);
+    }
+
+    #[test]
+    fn edge_relations_hold_parent_child_pairs() {
+        let db = figure1_db();
+        let p_art = db
+            .summary()
+            .lookup_in(&["bibliography", "institute", "article"], db.symbols())
+            .unwrap();
+        let edges = db.edges_of(p_art);
+        assert_eq!(edges.len(), 2);
+        // Both articles share the institute parent.
+        assert_eq!(edges[0].0, edges[1].0);
+        assert_eq!(db.label(edges[0].0), "institute");
+    }
+
+    #[test]
+    fn parent_walks_reach_root() {
+        let db = figure1_db();
+        for o in db.iter_oids() {
+            let last = db.ancestors(o).last().unwrap();
+            assert_eq!(last, Oid::ROOT);
+        }
+        assert_eq!(db.parent(Oid::ROOT), None);
+    }
+
+    #[test]
+    fn depth_equals_path_depth_equals_ancestor_count() {
+        let db = figure1_db();
+        for o in db.iter_oids() {
+            assert_eq!(db.depth(o), db.ancestors(o).count() - 1);
+        }
+    }
+
+    #[test]
+    fn ranks_match_sibling_positions() {
+        let db = figure1_db();
+        // institute's children: two articles with ranks 0 and 1.
+        let p_art = db
+            .summary()
+            .lookup_in(&["bibliography", "institute", "article"], db.symbols())
+            .unwrap();
+        let arts = db.oids_of_path(p_art);
+        assert_eq!(db.rank(arts[0]), 0);
+        assert_eq!(db.rank(arts[1]), 1);
+    }
+
+    #[test]
+    fn node_oid_mapping_round_trips() {
+        let doc = parse(FIGURE1).unwrap();
+        let db = MonetDb::from_document(&doc);
+        for o in db.iter_oids() {
+            assert_eq!(db.oid_of(db.node_of(o)), o);
+        }
+    }
+
+    #[test]
+    fn figure1_object_count_matches_paper() {
+        // Figure 1 numbers the tree o1..o19 plus the root: element nodes
+        // and cdata nodes (attribute values are not objects).
+        let db = figure1_db();
+        // bibliography, institute, 2×(article, author, title, year,
+        // title/cdata, year/cdata) = see FIGURE1; count explicitly:
+        // article1: article, author, firstname, firstname/cdata, lastname,
+        //           lastname/cdata, title, title/cdata, year, year/cdata = 10
+        // article2: article, author, author/cdata, title, title/cdata,
+        //           year, year/cdata = 7
+        assert_eq!(db.node_count(), 2 + 10 + 7);
+    }
+
+    #[test]
+    fn string_paths_cover_cdata_and_attributes() {
+        let db = figure1_db();
+        let mut names: Vec<String> = db.string_paths().map(|p| db.relation_name(p)).collect();
+        names.sort();
+        assert!(names.iter().any(|n| n.ends_with("@key")));
+        assert!(names.iter().all(|n| n.ends_with("cdata") || n.ends_with("@key")));
+    }
+
+    #[test]
+    fn is_ancestor_or_self_works() {
+        let db = figure1_db();
+        let any_leaf = db
+            .iter_oids()
+            .find(|&o| db.label(o) == "cdata")
+            .unwrap();
+        assert!(db.is_ancestor_or_self(Oid::ROOT, any_leaf));
+        assert!(db.is_ancestor_or_self(any_leaf, any_leaf));
+        assert!(!db.is_ancestor_or_self(any_leaf, Oid::ROOT));
+    }
+
+    #[test]
+    fn stats_are_consistent() {
+        let db = figure1_db();
+        let s = db.stats();
+        assert_eq!(s.objects, db.node_count());
+        assert_eq!(s.paths, db.summary().len());
+        // Every non-root object contributes exactly one edge association.
+        assert_eq!(s.edge_associations, db.node_count() - 1);
+        // 7 cdata strings + 2 key attributes.
+        assert_eq!(s.string_associations, 9);
+        assert!(s.max_depth >= 5);
+    }
+
+    #[test]
+    fn dump_tree_reproduces_figure1_layout() {
+        let db = figure1_db();
+        let tree = db.dump_tree();
+        let lines: Vec<&str> = tree.lines().collect();
+        assert_eq!(lines[0], "bibliography, o0");
+        assert_eq!(lines[1], "  institute, o1");
+        assert!(lines[2].starts_with("    article, o2 [key=\"BB99\"]"));
+        // Cdata nodes carry their strings.
+        assert!(tree.contains("cdata, o5 \"Ben\""));
+        assert!(tree.contains("\"Hacking & RSI\""));
+        // One line per object.
+        assert_eq!(lines.len(), db.node_count());
+    }
+
+    #[test]
+    fn dump_relations_reproduces_figure2() {
+        let db = figure1_db();
+        let dump = db.dump_relations();
+        // Spot-check the paper's Figure 2 rows (our oid numbering starts
+        // at the root = o0).
+        assert!(dump.contains("bibliography/institute -> {(o0,o1)}"));
+        // The two articles share one relation.
+        assert!(dump.contains("bibliography/institute/article -> {(o1,o2), (o1,o12)}"));
+        // The key attribute relation with both values.
+        assert!(dump
+            .contains("bibliography/institute/article/@key/string -> {(o2,\"BB99\"), (o12,\"BK99\")}"));
+        // Both years in one string relation.
+        assert!(dump.contains(
+            "bibliography/institute/article/year/cdata/string -> {(o11,\"1999\"), (o18,\"1999\")}"
+        ));
+        // Every non-empty relation appears exactly once.
+        let lines: Vec<&str> = dump.lines().collect();
+        let mut dedup = lines.clone();
+        dedup.sort_unstable();
+        dedup.dedup();
+        assert_eq!(lines.len(), dedup.len());
+    }
+
+    #[test]
+    fn single_element_document_loads() {
+        let db = MonetDb::from_document(&parse("<only/>").unwrap());
+        assert_eq!(db.node_count(), 1);
+        assert_eq!(db.label(db.root()), "only");
+        assert_eq!(db.oids_of_path(db.sigma(db.root())), vec![Oid::ROOT]);
+    }
+}

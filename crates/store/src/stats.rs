@@ -1,0 +1,62 @@
+//! Summary statistics about a loaded database instance.
+
+use std::fmt;
+
+/// Counters describing a [`crate::MonetDb`], as printed by the examples and
+/// the benchmark harness.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct StoreStats {
+    /// Objects (element + cdata nodes).
+    pub objects: usize,
+    /// Distinct paths in the path summary.
+    pub paths: usize,
+    /// Non-empty edge relations.
+    pub edge_relations: usize,
+    /// Total parent/child associations.
+    pub edge_associations: usize,
+    /// Non-empty string relations.
+    pub string_relations: usize,
+    /// Total string associations.
+    pub string_associations: usize,
+    /// Total bytes of string payload.
+    pub string_bytes: usize,
+    /// Deepest path in the summary.
+    pub max_depth: usize,
+}
+
+impl fmt::Display for StoreStats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "objects:             {}", self.objects)?;
+        writeln!(f, "paths:               {}", self.paths)?;
+        writeln!(f, "edge relations:      {}", self.edge_relations)?;
+        writeln!(f, "edge associations:   {}", self.edge_associations)?;
+        writeln!(f, "string relations:    {}", self.string_relations)?;
+        writeln!(f, "string associations: {}", self.string_associations)?;
+        writeln!(f, "string bytes:        {}", self.string_bytes)?;
+        write!(f, "max path depth:      {}", self.max_depth)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_lists_all_counters() {
+        let s = StoreStats {
+            objects: 19,
+            paths: 14,
+            edge_relations: 13,
+            edge_associations: 18,
+            string_relations: 7,
+            string_associations: 8,
+            string_bytes: 64,
+            max_depth: 5,
+        };
+        let text = s.to_string();
+        for needle in ["objects:", "paths:", "string bytes:", "max path depth:"] {
+            assert!(text.contains(needle));
+        }
+        assert!(text.contains("19"));
+    }
+}

@@ -1,0 +1,52 @@
+//! Exact-output tests for the Figure 1 / Figure 2 regenerators on small
+//! hand-checked documents.
+
+use ncq_store::MonetDb;
+use ncq_xml::parse;
+
+#[test]
+fn tree_dump_of_tiny_document_is_exact() {
+    let db = MonetDb::from_document(&parse(r#"<a x="1"><b>t</b><c/></a>"#).unwrap());
+    assert_eq!(
+        db.dump_tree(),
+        "a, o0 [x=\"1\"]\n  b, o1\n    cdata, o2 \"t\"\n  c, o3\n"
+    );
+}
+
+#[test]
+fn relation_dump_of_tiny_document_is_exact() {
+    let db = MonetDb::from_document(&parse(r#"<a x="1"><b>t</b><c/></a>"#).unwrap());
+    assert_eq!(
+        db.dump_relations(),
+        "a/@x/string -> {(o0,\"1\")}\n\
+         a/b -> {(o0,o1)}\n\
+         a/b/cdata -> {(o1,o2)}\n\
+         a/b/cdata/string -> {(o2,\"t\")}\n\
+         a/c -> {(o0,o3)}\n"
+    );
+}
+
+#[test]
+fn dumps_scale_to_repeated_structures() {
+    let db = MonetDb::from_document(
+        &parse("<l><i>1</i><i>2</i><i>3</i></l>").unwrap(),
+    );
+    let tree = db.dump_tree();
+    // Items in document order with their strings.
+    let pos1 = tree.find("\"1\"").unwrap();
+    let pos2 = tree.find("\"2\"").unwrap();
+    let pos3 = tree.find("\"3\"").unwrap();
+    assert!(pos1 < pos2 && pos2 < pos3);
+
+    let rels = db.dump_relations();
+    // One edge relation holding all three items.
+    assert!(rels.contains("l/i -> {(o0,o1), (o0,o3), (o0,o5)}"));
+    assert!(rels.contains("l/i/cdata/string -> {(o2,\"1\"), (o4,\"2\"), (o6,\"3\")}"));
+}
+
+#[test]
+fn single_node_document_dumps() {
+    let db = MonetDb::from_document(&parse("<only/>").unwrap());
+    assert_eq!(db.dump_tree(), "only, o0\n");
+    assert_eq!(db.dump_relations(), "\n");
+}

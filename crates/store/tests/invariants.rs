@@ -1,0 +1,178 @@
+//! Property-based invariants of the Monet transform.
+
+use ncq_store::{MonetDb, Oid, PathStep};
+use ncq_xml::{Document, NodeId};
+use proptest::prelude::*;
+
+/// Random document recipes (same instruction-list trick as in ncq-xml).
+#[derive(Debug, Clone)]
+enum Op {
+    Open(&'static str),
+    Close,
+    Text(String),
+    Attr(&'static str, String),
+}
+
+fn ops() -> impl Strategy<Value = Vec<Op>> {
+    let tag = prop::sample::select(vec!["a", "b", "c", "d", "e"]);
+    let word = "[a-z]{1,6}";
+    prop::collection::vec(
+        prop_oneof![
+            3 => tag.clone().prop_map(Op::Open),
+            2 => Just(Op::Close),
+            2 => word.prop_map(Op::Text),
+            1 => (tag, word).prop_map(|(k, v)| Op::Attr(k, v)),
+        ],
+        0..80,
+    )
+}
+
+fn build(ops: &[Op]) -> Document {
+    let mut doc = Document::new("root");
+    let mut stack: Vec<NodeId> = vec![doc.root()];
+    for op in ops {
+        let cur = *stack.last().unwrap();
+        match op {
+            Op::Open(tag) => {
+                let id = doc.add_element(cur, tag);
+                stack.push(id);
+            }
+            Op::Close => {
+                if stack.len() > 1 {
+                    stack.pop();
+                }
+            }
+            Op::Text(s) => {
+                // Avoid adjacent text nodes; the store does not merge them
+                // and neither does the builder.
+                let last_is_text = doc
+                    .children(cur)
+                    .last()
+                    .is_some_and(|&c| doc.text(c).is_some());
+                if !last_is_text {
+                    doc.add_text(cur, s.clone());
+                }
+            }
+            Op::Attr(k, v) => doc.set_attribute(cur, k, v.clone()),
+        }
+    }
+    doc
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(192))]
+
+    /// Every tree node gets exactly one oid; count matches.
+    #[test]
+    fn oid_assignment_is_a_bijection(recipe in ops()) {
+        let doc = build(&recipe);
+        let db = MonetDb::from_document(&doc);
+        prop_assert_eq!(db.node_count(), doc.len());
+        let mut seen = vec![false; doc.len()];
+        for o in db.iter_oids() {
+            let n = db.node_of(o);
+            prop_assert!(!seen[n.index()]);
+            seen[n.index()] = true;
+            prop_assert_eq!(db.oid_of(n), o);
+        }
+    }
+
+    /// Oids are depth-first document order: parent < child, and the
+    /// sequence of node_of(oid) equals the document's DFS pre-order.
+    #[test]
+    fn oids_follow_document_order(recipe in ops()) {
+        let doc = build(&recipe);
+        let db = MonetDb::from_document(&doc);
+        let dfs: Vec<NodeId> = doc.iter_depth_first().collect();
+        for (i, n) in dfs.iter().enumerate() {
+            prop_assert_eq!(db.node_of(Oid::from_index(i)), *n);
+        }
+        for o in db.iter_oids().skip(1) {
+            prop_assert!(db.parent(o).unwrap() < o);
+        }
+    }
+
+    /// Every non-root oid appears exactly once as the child component of
+    /// exactly one edge relation, and that relation is σ(o).
+    #[test]
+    fn edge_relations_partition_the_objects(recipe in ops()) {
+        let doc = build(&recipe);
+        let db = MonetDb::from_document(&doc);
+        let mut appearances = vec![0usize; db.node_count()];
+        for p in db.summary().iter() {
+            for &(parent, child) in db.edges_of(p) {
+                prop_assert_eq!(db.sigma(child), p);
+                prop_assert_eq!(db.parent(child), Some(parent));
+                appearances[child.index()] += 1;
+            }
+        }
+        prop_assert_eq!(appearances[0], 0); // root is in no edge relation
+        for o in db.iter_oids().skip(1) {
+            prop_assert_eq!(appearances[o.index()], 1);
+        }
+    }
+
+    /// σ(o) is consistent: walking parents of o walks parents of σ(o).
+    #[test]
+    fn sigma_tracks_parent_paths(recipe in ops()) {
+        let doc = build(&recipe);
+        let db = MonetDb::from_document(&doc);
+        for o in db.iter_oids().skip(1) {
+            let p = db.parent(o).unwrap();
+            prop_assert_eq!(db.summary().parent(db.sigma(o)), Some(db.sigma(p)));
+        }
+    }
+
+    /// Depth in the tree equals path depth.
+    #[test]
+    fn depth_matches_ancestor_count(recipe in ops()) {
+        let doc = build(&recipe);
+        let db = MonetDb::from_document(&doc);
+        for o in db.iter_oids() {
+            prop_assert_eq!(db.depth(o), db.ancestors(o).count() - 1);
+        }
+    }
+
+    /// String associations cover exactly the text nodes and attributes.
+    #[test]
+    fn string_relations_cover_text_and_attributes(recipe in ops()) {
+        let doc = build(&recipe);
+        let db = MonetDb::from_document(&doc);
+        let text_nodes = doc.iter_depth_first().filter(|&n| doc.text(n).is_some()).count();
+        let attrs: usize = doc.iter_depth_first().map(|n| doc.attributes(n).len()).sum();
+        let total: usize = db.summary().iter().map(|p| db.strings_of(p).len()).sum();
+        prop_assert_eq!(total, text_nodes + attrs);
+        // Cdata string owners are the cdata nodes themselves; attribute
+        // string owners are element nodes.
+        for p in db.summary().iter() {
+            for (owner, _) in db.strings_of(p) {
+                match db.summary().step(p) {
+                    PathStep::Cdata => prop_assert_eq!(db.sigma(*owner), p),
+                    PathStep::Attribute(_) => {
+                        prop_assert_eq!(Some(db.sigma(*owner)), db.summary().parent(p))
+                    }
+                    PathStep::Element(_) => prop_assert!(false, "element paths own no strings"),
+                }
+            }
+        }
+    }
+
+    /// The prefix order `le` agrees with an independent prefix check on
+    /// rendered path strings.
+    #[test]
+    fn le_agrees_with_string_prefixes(recipe in ops()) {
+        let doc = build(&recipe);
+        let db = MonetDb::from_document(&doc);
+        let s = db.summary();
+        let paths: Vec<_> = s.iter().collect();
+        for &a in paths.iter().take(20) {
+            for &b in paths.iter().take(20) {
+                let sa = db.relation_name(a);
+                let sb = db.relation_name(b);
+                let expect = sa == sb
+                    || (sa.starts_with(&sb) && sa.as_bytes().get(sb.len()) == Some(&b'/'));
+                prop_assert_eq!(s.le(a, b), expect, "a={} b={}", sa, sb);
+            }
+        }
+    }
+}

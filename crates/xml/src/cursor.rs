@@ -1,0 +1,191 @@
+//! A byte cursor over the source text with line/column tracking.
+//!
+//! The parser is byte-oriented: XML markup is pure ASCII, and UTF-8
+//! multi-byte sequences can only occur inside names, text and attribute
+//! values, where they are copied through verbatim.
+
+use crate::error::Position;
+
+/// Read head over the input string.
+#[derive(Debug, Clone)]
+pub struct Cursor<'a> {
+    src: &'a str,
+    bytes: &'a [u8],
+    offset: usize,
+    line: u32,
+    column: u32,
+}
+
+impl<'a> Cursor<'a> {
+    /// Create a cursor at the start of `src`.
+    pub fn new(src: &'a str) -> Cursor<'a> {
+        Cursor {
+            src,
+            bytes: src.as_bytes(),
+            offset: 0,
+            line: 1,
+            column: 1,
+        }
+    }
+
+    /// Current position (for error reporting).
+    pub fn position(&self) -> Position {
+        Position {
+            line: self.line,
+            column: self.column,
+            offset: self.offset,
+        }
+    }
+
+    /// Whether the whole input has been consumed.
+    pub fn is_eof(&self) -> bool {
+        self.offset >= self.bytes.len()
+    }
+
+    /// Current byte offset.
+    pub fn offset(&self) -> usize {
+        self.offset
+    }
+
+    /// Look at the current byte without consuming it.
+    pub fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.offset).copied()
+    }
+
+    /// Look `n` bytes ahead of the current byte.
+    pub fn peek_at(&self, n: usize) -> Option<u8> {
+        self.bytes.get(self.offset + n).copied()
+    }
+
+    /// Consume and return the current byte.
+    pub fn bump(&mut self) -> Option<u8> {
+        let b = self.peek()?;
+        self.offset += 1;
+        if b == b'\n' {
+            self.line += 1;
+            self.column = 1;
+        } else {
+            self.column += 1;
+        }
+        Some(b)
+    }
+
+    /// Whether the remaining input starts with `prefix`.
+    pub fn starts_with(&self, prefix: &str) -> bool {
+        self.src[self.offset..].starts_with(prefix)
+    }
+
+    /// Consume `prefix` if the input starts with it; report success.
+    pub fn eat(&mut self, prefix: &str) -> bool {
+        if self.starts_with(prefix) {
+            for _ in 0..prefix.len() {
+                self.bump();
+            }
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Consume bytes while `pred` holds; return the consumed slice.
+    pub fn eat_while(&mut self, mut pred: impl FnMut(u8) -> bool) -> &'a str {
+        let start = self.offset;
+        while let Some(b) = self.peek() {
+            if !pred(b) {
+                break;
+            }
+            self.bump();
+        }
+        &self.src[start..self.offset]
+    }
+
+    /// Skip ASCII whitespace; return how many bytes were skipped.
+    pub fn skip_whitespace(&mut self) -> usize {
+        self.eat_while(|b| b.is_ascii_whitespace()).len()
+    }
+
+    /// Consume everything up to (but not including) `needle`, returning the
+    /// consumed slice, or `None` if `needle` never occurs.
+    pub fn eat_until(&mut self, needle: &str) -> Option<&'a str> {
+        let rest = &self.src[self.offset..];
+        let idx = rest.find(needle)?;
+        let start = self.offset;
+        for _ in 0..idx {
+            self.bump();
+        }
+        Some(&self.src[start..self.offset])
+    }
+
+    /// The remaining unconsumed input (for diagnostics and tests).
+    pub fn rest(&self) -> &'a str {
+        &self.src[self.offset..]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bump_tracks_lines_and_columns() {
+        let mut c = Cursor::new("ab\ncd");
+        assert_eq!(c.position().line, 1);
+        c.bump(); // a
+        c.bump(); // b
+        assert_eq!(c.position().column, 3);
+        c.bump(); // \n
+        assert_eq!(c.position().line, 2);
+        assert_eq!(c.position().column, 1);
+        c.bump(); // c
+        assert_eq!(c.position().column, 2);
+    }
+
+    #[test]
+    fn eat_consumes_only_on_match() {
+        let mut c = Cursor::new("<?xml?>");
+        assert!(!c.eat("<!"));
+        assert_eq!(c.offset(), 0);
+        assert!(c.eat("<?xml"));
+        assert_eq!(c.rest(), "?>");
+    }
+
+    #[test]
+    fn eat_while_stops_at_predicate_boundary() {
+        let mut c = Cursor::new("name>rest");
+        let name = c.eat_while(|b| b != b'>');
+        assert_eq!(name, "name");
+        assert_eq!(c.peek(), Some(b'>'));
+    }
+
+    #[test]
+    fn eat_until_finds_needle() {
+        let mut c = Cursor::new("hello]]>tail");
+        let before = c.eat_until("]]>").unwrap();
+        assert_eq!(before, "hello");
+        assert!(c.starts_with("]]>"));
+    }
+
+    #[test]
+    fn eat_until_missing_needle_returns_none() {
+        let mut c = Cursor::new("no terminator");
+        assert!(c.eat_until("]]>").is_none());
+        // Cursor must be unmoved on failure.
+        assert_eq!(c.offset(), 0);
+    }
+
+    #[test]
+    fn skip_whitespace_counts_bytes() {
+        let mut c = Cursor::new("  \t\nx");
+        assert_eq!(c.skip_whitespace(), 4);
+        assert_eq!(c.peek(), Some(b'x'));
+        assert_eq!(c.skip_whitespace(), 0);
+    }
+
+    #[test]
+    fn peek_at_looks_ahead() {
+        let c = Cursor::new("abc");
+        assert_eq!(c.peek_at(0), Some(b'a'));
+        assert_eq!(c.peek_at(2), Some(b'c'));
+        assert_eq!(c.peek_at(3), None);
+    }
+}

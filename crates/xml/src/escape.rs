@@ -1,0 +1,104 @@
+//! Entity escaping and decoding for text and attribute values.
+
+/// Decode a single entity body (the part between `&` and `;`).
+///
+/// Supports the five predefined entities plus decimal (`#NN`) and
+/// hexadecimal (`#xNN`) character references. Returns `None` when the
+/// entity is unknown or the code point is invalid.
+pub fn decode_entity(entity: &str) -> Option<char> {
+    match entity {
+        "amp" => Some('&'),
+        "lt" => Some('<'),
+        "gt" => Some('>'),
+        "quot" => Some('"'),
+        "apos" => Some('\''),
+        _ => {
+            let rest = entity.strip_prefix('#')?;
+            let code = if let Some(hex) = rest.strip_prefix('x').or_else(|| rest.strip_prefix('X'))
+            {
+                u32::from_str_radix(hex, 16).ok()?
+            } else {
+                rest.parse::<u32>().ok()?
+            };
+            char::from_u32(code)
+        }
+    }
+}
+
+/// Escape character data for element content (`&`, `<`, `>`).
+pub fn escape_text(text: &str) -> String {
+    let mut out = String::with_capacity(text.len());
+    for c in text.chars() {
+        match c {
+            '&' => out.push_str("&amp;"),
+            '<' => out.push_str("&lt;"),
+            '>' => out.push_str("&gt;"),
+            _ => out.push(c),
+        }
+    }
+    out
+}
+
+/// Escape an attribute value for double-quoted serialization.
+pub fn escape_attribute(value: &str) -> String {
+    let mut out = String::with_capacity(value.len());
+    for c in value.chars() {
+        match c {
+            '&' => out.push_str("&amp;"),
+            '<' => out.push_str("&lt;"),
+            '>' => out.push_str("&gt;"),
+            '"' => out.push_str("&quot;"),
+            '\n' => out.push_str("&#10;"),
+            '\t' => out.push_str("&#9;"),
+            _ => out.push(c),
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn predefined_entities_decode() {
+        assert_eq!(decode_entity("amp"), Some('&'));
+        assert_eq!(decode_entity("lt"), Some('<'));
+        assert_eq!(decode_entity("gt"), Some('>'));
+        assert_eq!(decode_entity("quot"), Some('"'));
+        assert_eq!(decode_entity("apos"), Some('\''));
+    }
+
+    #[test]
+    fn numeric_entities_decode() {
+        assert_eq!(decode_entity("#65"), Some('A'));
+        assert_eq!(decode_entity("#x41"), Some('A'));
+        assert_eq!(decode_entity("#X41"), Some('A'));
+        assert_eq!(decode_entity("#x1F600"), Some('😀'));
+    }
+
+    #[test]
+    fn bad_entities_are_rejected() {
+        assert_eq!(decode_entity("bogus"), None);
+        assert_eq!(decode_entity(""), None);
+        assert_eq!(decode_entity("#"), None);
+        assert_eq!(decode_entity("#xZZ"), None);
+        // Surrogate code point: not a valid char.
+        assert_eq!(decode_entity("#xD800"), None);
+        assert_eq!(decode_entity("#x110000"), None);
+    }
+
+    #[test]
+    fn text_escaping_round_trips_specials() {
+        assert_eq!(escape_text("a & b < c > d"), "a &amp; b &lt; c &gt; d");
+        assert_eq!(escape_text("plain"), "plain");
+    }
+
+    #[test]
+    fn attribute_escaping_handles_quotes_and_whitespace() {
+        assert_eq!(
+            escape_attribute("say \"hi\"\t& go\n"),
+            "say &quot;hi&quot;&#9;&amp; go&#10;"
+        );
+    }
+}

@@ -1,0 +1,161 @@
+//! String interning for element and attribute names.
+//!
+//! XML documents repeat a small vocabulary of tag names millions of times;
+//! interning turns every label comparison into a `u32` comparison and every
+//! node label into four bytes. The Monet transform (in `ncq-store`) keys
+//! whole relations by sequences of these symbols, so cheap equality matters
+//! throughout the stack.
+
+use std::collections::HashMap;
+use std::fmt;
+
+/// An interned string. Only meaningful together with the [`SymbolTable`]
+/// that produced it.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Symbol(u32);
+
+impl Symbol {
+    /// Raw index of the symbol inside its table.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+
+    /// Reconstruct a symbol from a raw index. The caller must guarantee the
+    /// index came from the same table's [`Symbol::index`].
+    #[inline]
+    pub fn from_index(index: usize) -> Symbol {
+        Symbol(u32::try_from(index).expect("symbol table overflow"))
+    }
+}
+
+impl fmt::Debug for Symbol {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Symbol({})", self.0)
+    }
+}
+
+/// An append-only string interner.
+///
+/// Lookup by string is hash based; lookup by symbol is a direct index.
+#[derive(Debug, Default, Clone)]
+pub struct SymbolTable {
+    strings: Vec<Box<str>>,
+    by_name: HashMap<Box<str>, Symbol>,
+}
+
+impl SymbolTable {
+    /// Create an empty table.
+    pub fn new() -> SymbolTable {
+        SymbolTable::default()
+    }
+
+    /// Intern `name`, returning the existing symbol when already present.
+    pub fn intern(&mut self, name: &str) -> Symbol {
+        if let Some(&sym) = self.by_name.get(name) {
+            return sym;
+        }
+        let sym = Symbol(u32::try_from(self.strings.len()).expect("symbol table overflow"));
+        let boxed: Box<str> = name.into();
+        self.strings.push(boxed.clone());
+        self.by_name.insert(boxed, sym);
+        sym
+    }
+
+    /// Look up a symbol without interning.
+    pub fn get(&self, name: &str) -> Option<Symbol> {
+        self.by_name.get(name).copied()
+    }
+
+    /// Resolve a symbol back to its string.
+    ///
+    /// # Panics
+    /// Panics if the symbol does not belong to this table.
+    pub fn resolve(&self, sym: Symbol) -> &str {
+        &self.strings[sym.index()]
+    }
+
+    /// Number of distinct interned strings.
+    pub fn len(&self) -> usize {
+        self.strings.len()
+    }
+
+    /// Whether the table is empty.
+    pub fn is_empty(&self) -> bool {
+        self.strings.is_empty()
+    }
+
+    /// Iterate over `(Symbol, &str)` pairs in interning order.
+    pub fn iter(&self) -> impl Iterator<Item = (Symbol, &str)> {
+        self.strings
+            .iter()
+            .enumerate()
+            .map(|(i, s)| (Symbol(i as u32), s.as_ref()))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn intern_returns_same_symbol_for_same_string() {
+        let mut t = SymbolTable::new();
+        let a = t.intern("article");
+        let b = t.intern("article");
+        assert_eq!(a, b);
+        assert_eq!(t.len(), 1);
+    }
+
+    #[test]
+    fn intern_distinguishes_different_strings() {
+        let mut t = SymbolTable::new();
+        let a = t.intern("article");
+        let b = t.intern("author");
+        assert_ne!(a, b);
+        assert_eq!(t.len(), 2);
+    }
+
+    #[test]
+    fn resolve_round_trips() {
+        let mut t = SymbolTable::new();
+        let names = ["bibliography", "institute", "article", "year", "cdata"];
+        let syms: Vec<Symbol> = names.iter().map(|n| t.intern(n)).collect();
+        for (sym, name) in syms.iter().zip(names.iter()) {
+            assert_eq!(t.resolve(*sym), *name);
+        }
+    }
+
+    #[test]
+    fn get_does_not_intern() {
+        let mut t = SymbolTable::new();
+        assert!(t.get("missing").is_none());
+        let s = t.intern("present");
+        assert_eq!(t.get("present"), Some(s));
+        assert_eq!(t.len(), 1);
+    }
+
+    #[test]
+    fn iter_yields_in_interning_order() {
+        let mut t = SymbolTable::new();
+        t.intern("a");
+        t.intern("b");
+        t.intern("c");
+        let collected: Vec<&str> = t.iter().map(|(_, s)| s).collect();
+        assert_eq!(collected, vec!["a", "b", "c"]);
+    }
+
+    #[test]
+    fn from_index_round_trips() {
+        let mut t = SymbolTable::new();
+        let s = t.intern("x");
+        assert_eq!(Symbol::from_index(s.index()), s);
+    }
+
+    #[test]
+    fn empty_string_is_internable() {
+        let mut t = SymbolTable::new();
+        let s = t.intern("");
+        assert_eq!(t.resolve(s), "");
+    }
+}

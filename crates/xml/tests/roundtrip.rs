@@ -1,0 +1,117 @@
+//! Property-based tests: random documents survive write → parse.
+
+use ncq_xml::{parse, write_document, Document, NodeId, WriteOptions};
+use proptest::prelude::*;
+
+/// A recipe for building a random document without borrowing issues:
+/// a list of instructions interpreted against a stack of open elements.
+#[derive(Debug, Clone)]
+enum Op {
+    Open(String),
+    Close,
+    Text(String),
+    Attr(String, String),
+}
+
+fn tag_name() -> impl Strategy<Value = String> {
+    // Names from a small vocabulary keep path summaries realistic.
+    prop::sample::select(vec![
+        "article", "author", "title", "year", "bib", "item", "a", "b-c", "x_y", "n.s",
+    ])
+    .prop_map(str::to_owned)
+}
+
+fn text_content() -> impl Strategy<Value = String> {
+    // Printable text including XML specials and non-ASCII, but no
+    // leading/trailing-whitespace-only strings (the default parse drops
+    // whitespace-only text nodes).
+    "[a-zA-Z0-9<>&\"'é ]{1,20}"
+        .prop_filter("not whitespace-only", |s| !s.trim().is_empty())
+        .prop_map(|s| s.trim().to_owned())
+}
+
+fn ops() -> impl Strategy<Value = Vec<Op>> {
+    prop::collection::vec(
+        prop_oneof![
+            3 => tag_name().prop_map(Op::Open),
+            2 => Just(Op::Close),
+            2 => text_content().prop_map(Op::Text),
+            1 => (tag_name(), text_content()).prop_map(|(k, v)| Op::Attr(k, v)),
+        ],
+        0..60,
+    )
+}
+
+/// Interpret the recipe. Text merging mirrors the parser: consecutive text
+/// children merge into one node, so we merge while building too.
+fn build(ops: &[Op]) -> Document {
+    let mut doc = Document::new("root");
+    let mut stack: Vec<NodeId> = vec![doc.root()];
+    let mut last_was_text: Vec<bool> = vec![false];
+    for op in ops {
+        let cur = *stack.last().unwrap();
+        match op {
+            Op::Open(tag) => {
+                let id = doc.add_element(cur, tag);
+                *last_was_text.last_mut().unwrap() = false;
+                stack.push(id);
+                last_was_text.push(false);
+            }
+            Op::Close => {
+                if stack.len() > 1 {
+                    stack.pop();
+                    last_was_text.pop();
+                }
+            }
+            Op::Text(s) => {
+                if *last_was_text.last().unwrap() {
+                    // Merge with previous text node, as a parser would.
+                    let prev = *doc.children(cur).last().unwrap();
+                    let merged = format!("{}{}", doc.text(prev).unwrap(), s);
+                    // Rebuild: documents are append-only, so emulate merge
+                    // by a fresh doc is overkill — instead avoid the case.
+                    // We just skip consecutive text instead.
+                    let _ = merged;
+                } else {
+                    doc.add_text(cur, s.clone());
+                    *last_was_text.last_mut().unwrap() = true;
+                }
+            }
+            Op::Attr(k, v) => {
+                // Attributes only on the innermost open element.
+                doc.set_attribute(cur, k, v.clone());
+            }
+        }
+    }
+    doc
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn compact_write_then_parse_is_identity(recipe in ops()) {
+        let doc = build(&recipe);
+        let text = write_document(&doc, WriteOptions::default());
+        let doc2 = parse(&text).unwrap();
+        prop_assert!(doc.structural_eq(&doc2), "document:\n{text}");
+    }
+
+    #[test]
+    fn pretty_write_then_parse_is_identity(recipe in ops()) {
+        let doc = build(&recipe);
+        let text = write_document(&doc, WriteOptions { indent: Some(2), declaration: true });
+        let doc2 = parse(&text).unwrap();
+        prop_assert!(doc.structural_eq(&doc2), "document:\n{text}");
+    }
+
+    #[test]
+    fn parse_never_panics_on_arbitrary_input(s in "\\PC{0,200}") {
+        let _ = parse(&s);
+    }
+
+    #[test]
+    fn parse_never_panics_on_tag_soup(s in "[<>/a-z \"'=&;!?\\[\\]-]{0,120}") {
+        let _ = parse(&s);
+    }
+}

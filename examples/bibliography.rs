@@ -1,0 +1,81 @@
+//! The DBLP case study (paper §5, Figure 7): "list all publications in
+//! the ICDE proceedings of a certain year" — without knowing the DBLP
+//! mark-up.
+//!
+//! ```sh
+//! cargo run --release --example bibliography
+//! ```
+
+use nearest_concept::core::{MeetOptions, PathFilter};
+use nearest_concept::datagen::{DblpConfig, DblpCorpus};
+use nearest_concept::Database;
+use std::time::Instant;
+
+fn main() {
+    // Synthetic DBLP: 4 conference series over 1984–1999 (ICDE skips
+    // 1985, like the real one did), plus journal articles.
+    let corpus = DblpCorpus::generate(&DblpConfig {
+        papers_per_edition: 40,
+        journal_articles_per_year: 8,
+        ..DblpConfig::default()
+    });
+    println!(
+        "corpus: {} inproceedings, {} articles, {} editions",
+        corpus.inproceedings,
+        corpus.articles,
+        corpus.editions.len()
+    );
+
+    let t = Instant::now();
+    let db = Database::from_document(&corpus.document);
+    println!(
+        "loaded {} objects, {} relations in {:?}\n",
+        db.store().node_count(),
+        db.store().stats().edge_relations + db.store().stats().string_relations,
+        t.elapsed()
+    );
+
+    // Full-text search: the user knows two strings, nothing else.
+    let icde = db.search("ICDE");
+    let year = db.search("1999");
+    println!("'ICDE' hits: {}   '1999' hits: {}", icde.len(), year.len());
+
+    // The meet, with the document root excluded (paper §5: "with the
+    // document root excluded from the set of possible results").
+    let options = MeetOptions {
+        filter: PathFilter::exclude_root(db.store()),
+        ..MeetOptions::default()
+    };
+    let t = Instant::now();
+    let meets = db.meet_hits(&[icde, year], &options);
+    println!(
+        "meet found {} publications in {:?}\n",
+        meets.len(),
+        t.elapsed()
+    );
+
+    // Show a few answers with their discovered result types.
+    for m in meets.iter().take(5) {
+        let view = nearest_concept::store::ObjectView::assemble(db.store(), m.node);
+        println!(
+            "  <{}> key={:?} (distance {})",
+            db.store().label(m.node),
+            view.attributes
+                .iter()
+                .find(|(k, _)| k == "key")
+                .map(|(_, v)| v.as_str())
+                .unwrap_or("?"),
+            m.distance
+        );
+    }
+
+    // Count result types: mostly inproceedings, the proceedings records,
+    // and (over the full year sweep) two planted false positives.
+    let mut by_tag = std::collections::BTreeMap::new();
+    for m in &meets {
+        *by_tag
+            .entry(db.store().label(m.node))
+            .or_insert(0usize) += 1;
+    }
+    println!("\nresult types: {by_tag:?}");
+}

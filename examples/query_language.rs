@@ -1,0 +1,67 @@
+//! The paper's SQL-with-paths dialect, end to end: the baseline query
+//! with its ancestor-implied answers, the meet reformulation, and the §4
+//! modifiers.
+//!
+//! ```sh
+//! cargo run --example query_language
+//! ```
+
+use nearest_concept::{run_query, Database, QueryOutput};
+
+fn show(db: &Database, title: &str, query: &str) {
+    println!("-- {title}");
+    println!("{query}");
+    match run_query(db, query) {
+        Ok(QueryOutput::Rows(rows)) => println!("{}\n", rows.to_answer_xml()),
+        Ok(QueryOutput::Answers(a)) => println!("{}\n", a.to_answer_xml()),
+        Err(e) => println!("error: {e}\n"),
+    }
+}
+
+fn main() {
+    let db = Database::from_xml_str(nearest_concept::datagen::FIGURE1_XML).unwrap();
+
+    // The paper's introductory query: correct but over-broad — the
+    // institute and bibliography rows are implied by the article row.
+    show(
+        &db,
+        "baseline (paper §1): ancestor-implied answers",
+        "select $T from %/$T as t1, %/$T as t2 \
+         where t1 contains 'Bit' and t2 contains '1999'",
+    );
+
+    // The meet reformulation (paper §3.2): just the nearest concept.
+    show(
+        &db,
+        "meet reformulation (paper §3.2)",
+        "select meet(t1, t2) from bibliography/% as t1, bibliography/% as t2 \
+         where t1 contains 'Bit' and t2 contains '1999'",
+    );
+
+    // §4 modifiers: distance bound…
+    show(
+        &db,
+        "meet^4 — the hits are 5 edges apart, so the answer is empty",
+        "select meet(t1, t2) within 4 \
+         from bibliography/% as t1, bibliography/% as t2 \
+         where t1 contains 'Bit' and t2 contains '1999'",
+    );
+
+    // …and result-type restriction.
+    show(
+        &db,
+        "meet_Π — allow only article results",
+        "select meet(t1, t2) only bibliography/institute/article \
+         from bibliography/% as t1, bibliography/% as t2 \
+         where t1 contains 'Bit' and t2 contains '1999'",
+    );
+
+    // Path scopes: restrict where the hits may come from.
+    show(
+        &db,
+        "scoped variables — attribute hits",
+        "select meet(t1, t2) \
+         from bibliography/%/@key as t1, bibliography/% as t2 \
+         where t1 contains 'BB99' and t2 contains 'Ben'",
+    );
+}

@@ -1,0 +1,37 @@
+//! # nearest-concept — facade crate
+//!
+//! Umbrella crate re-exporting the whole *Nearest Concept Queries* stack,
+//! a Rust reproduction of Schmidt, Kersten & Windhouwer, *"Querying XML
+//! Documents Made Easy: Nearest Concept Queries"*, ICDE 2001.
+//!
+//! Most applications only need [`Database`]:
+//!
+//! ```
+//! use nearest_concept::Database;
+//!
+//! let db = Database::from_xml_str(
+//!     "<bib><article><author>Ben Bit</author><year>1999</year></article></bib>",
+//! ).unwrap();
+//! let answers = db.meet_terms(&["Bit", "1999"]).unwrap();
+//! assert_eq!(answers.results[0].tag, "article");
+//! ```
+//!
+//! The individual layers are re-exported as modules:
+//!
+//! * [`xml`] — XML parser and syntax tree (conceptual model)
+//! * [`store`] — Monet transform (physical model, path-partitioned relations)
+//! * [`fulltext`] — inverted index producing meet inputs
+//! * [`core`] — the meet operator family and the [`Database`] facade
+//! * [`query`] — the paper's SQL-with-paths dialect incl. the `meet` aggregate
+//! * [`datagen`] — synthetic DBLP / multimedia corpora used by the benchmarks
+
+pub use ncq_core as core;
+pub use ncq_datagen as datagen;
+pub use ncq_fulltext as fulltext;
+pub use ncq_query as query;
+pub use ncq_store as store;
+pub use ncq_xml as xml;
+
+pub use ncq_core::{Answer, AnswerSet, Database, MeetOptions, RefGraph};
+pub use ncq_fulltext::Thesaurus;
+pub use ncq_query::{run_query, QueryOutput};

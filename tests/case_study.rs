@@ -1,0 +1,112 @@
+//! The DBLP case study end to end (paper §5 / Figure 7), on the synthetic
+//! corpus.
+
+use nearest_concept::core::{MeetOptions, PathFilter};
+use nearest_concept::datagen::{DblpConfig, DblpCorpus};
+use nearest_concept::fulltext::HitSet;
+use nearest_concept::Database;
+
+fn setup() -> (Database, DblpCorpus) {
+    let corpus = DblpCorpus::generate(&DblpConfig {
+        papers_per_edition: 10,
+        journal_articles_per_year: 4,
+        ..DblpConfig::default()
+    });
+    (Database::from_document(&corpus.document), corpus)
+}
+
+fn case_study(db: &Database, year_from: u16, year_to: u16) -> Vec<nearest_concept::core::Meet> {
+    let icde = db.search_word("ICDE");
+    let mut years = HitSet::new();
+    for y in year_from..=year_to {
+        years.union(&db.search_word(&y.to_string()));
+    }
+    let options = MeetOptions {
+        filter: PathFilter::exclude_root(db.store()),
+        ..MeetOptions::default()
+    };
+    db.meet_hits(&[icde, years], &options)
+}
+
+#[test]
+fn single_year_returns_that_years_icde_publications() {
+    let (db, corpus) = setup();
+    let meets = case_study(&db, 1999, 1999);
+    let expected: usize = corpus
+        .editions
+        .iter()
+        .filter(|(c, y, _)| c == "ICDE" && *y == 1999)
+        .map(|(_, _, n)| n + 1) // papers + the proceedings record
+        .sum();
+    assert_eq!(meets.len(), expected);
+    // Every answer really is an ICDE record of 1999.
+    let store = db.store();
+    for m in &meets {
+        let tag = store.label(m.node);
+        assert!(
+            tag == "inproceedings" || tag == "proceedings",
+            "unexpected result type {tag}"
+        );
+        let text = nearest_concept::store::ObjectView::deep_text(store, m.node);
+        assert!(text.contains("1999"), "answer must be a 1999 record");
+        assert!(text.contains("ICDE") || text.contains("Proceedings of the ICDE"));
+    }
+}
+
+#[test]
+fn year_without_icde_returns_nothing() {
+    let (db, _) = setup();
+    // No ICDE in 1985 → no ICDE publication meets for that single year.
+    let meets = case_study(&db, 1985, 1985);
+    assert!(
+        meets.is_empty(),
+        "got {} unexpected meets",
+        meets.len()
+    );
+}
+
+#[test]
+fn full_interval_matches_paper_structure() {
+    let (db, corpus) = setup();
+    let meets = case_study(&db, 1984, 1999);
+    let icde_records: usize = corpus
+        .editions
+        .iter()
+        .filter(|(c, _, _)| c == "ICDE")
+        .map(|(_, _, n)| n + 1)
+        .sum();
+    // All ICDE records of the interval + exactly the two planted false
+    // positives ("just two false positives", paper §5).
+    assert_eq!(meets.len(), icde_records + 2);
+    let store = db.store();
+    let fp: Vec<String> = meets
+        .iter()
+        .map(|m| store.label(m.node))
+        .filter(|t| t == "article")
+        .collect();
+    assert_eq!(fp.len(), 2);
+}
+
+#[test]
+fn cardinality_grows_monotonically_with_the_interval() {
+    let (db, _) = setup();
+    let mut last = 0usize;
+    for year_from in (1984u16..=1999).rev() {
+        let n = case_study(&db, year_from, 1999).len();
+        assert!(n >= last, "shrank at {year_from}");
+        last = n;
+    }
+}
+
+#[test]
+fn meets_identify_records_not_fields() {
+    let (db, _) = setup();
+    let meets = case_study(&db, 1999, 1999);
+    let store = db.store();
+    for m in &meets {
+        // Record elements are direct children of the dblp root.
+        assert_eq!(store.parent(m.node), Some(store.root()));
+        // Their witnesses are the booktitle/title hit and the year hit.
+        assert!(m.witness_count >= 2);
+    }
+}

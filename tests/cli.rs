@@ -1,0 +1,141 @@
+//! Smoke tests for the `ncq` command-line tool (spawned as a real
+//! process via the Cargo-provided binary path).
+
+use std::io::Write as _;
+use std::process::{Command, Stdio};
+
+fn figure1_file() -> tempfileish::TempXml {
+    tempfileish::TempXml::new(nearest_concept::datagen::FIGURE1_XML)
+}
+
+/// Minimal self-cleaning temp file helper (no external crates).
+mod tempfileish {
+    use std::path::PathBuf;
+
+    pub struct TempXml {
+        pub path: PathBuf,
+    }
+
+    impl TempXml {
+        pub fn new(content: &str) -> TempXml {
+            let mut path = std::env::temp_dir();
+            path.push(format!(
+                "ncq-test-{}-{}.xml",
+                std::process::id(),
+                std::time::SystemTime::now()
+                    .duration_since(std::time::UNIX_EPOCH)
+                    .unwrap()
+                    .as_nanos()
+            ));
+            std::fs::write(&path, content).expect("write temp xml");
+            TempXml { path }
+        }
+    }
+
+    impl Drop for TempXml {
+        fn drop(&mut self) {
+            let _ = std::fs::remove_file(&self.path);
+        }
+    }
+}
+
+#[test]
+fn terms_mode_prints_the_answer() {
+    let f = figure1_file();
+    let out = Command::new(env!("CARGO_BIN_EXE_ncq"))
+        .arg(&f.path)
+        .args(["--terms", "Bit,1999"])
+        .output()
+        .expect("run ncq");
+    assert!(out.status.success());
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("<result> article </result>"), "{stdout}");
+}
+
+#[test]
+fn query_mode_runs_sql() {
+    let f = figure1_file();
+    let out = Command::new(env!("CARGO_BIN_EXE_ncq"))
+        .arg(&f.path)
+        .args([
+            "--query",
+            "select meet(a,b) from bibliography/% a, bibliography/% b \
+             where a contains 'Ben' and b contains 'Bit'",
+        ])
+        .output()
+        .expect("run ncq");
+    assert!(out.status.success());
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("<result> author </result>"), "{stdout}");
+}
+
+#[test]
+fn stats_mode_prints_counters() {
+    let f = figure1_file();
+    let out = Command::new(env!("CARGO_BIN_EXE_ncq"))
+        .arg(&f.path)
+        .arg("--stats")
+        .output()
+        .expect("run ncq");
+    assert!(out.status.success());
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("objects:"));
+    assert!(stdout.contains("string associations:"));
+}
+
+#[test]
+fn within_flag_bounds_the_meet() {
+    let f = figure1_file();
+    let out = Command::new(env!("CARGO_BIN_EXE_ncq"))
+        .arg(&f.path)
+        .args(["--terms", "Bit,1999", "--within", "4"])
+        .output()
+        .expect("run ncq");
+    assert!(out.status.success());
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(!stdout.contains("article"), "{stdout}");
+}
+
+#[test]
+fn interactive_loop_processes_stdin() {
+    let f = figure1_file();
+    let mut child = Command::new(env!("CARGO_BIN_EXE_ncq"))
+        .arg(&f.path)
+        .stdin(Stdio::piped())
+        .stdout(Stdio::piped())
+        .stderr(Stdio::null())
+        .spawn()
+        .expect("spawn ncq");
+    child
+        .stdin
+        .as_mut()
+        .unwrap()
+        .write_all(b"? Bob Byte\nquit\n")
+        .unwrap();
+    let out = child.wait_with_output().expect("wait");
+    assert!(out.status.success());
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("<result> cdata </result>"), "{stdout}");
+}
+
+#[test]
+fn missing_file_fails_with_nonzero_exit() {
+    let out = Command::new(env!("CARGO_BIN_EXE_ncq"))
+        .arg("/nonexistent/file.xml")
+        .output()
+        .expect("run ncq");
+    assert!(!out.status.success());
+}
+
+#[test]
+fn malformed_xml_fails_with_parse_error() {
+    let f = tempfileish::TempXml::new("<broken>");
+    let out = Command::new(env!("CARGO_BIN_EXE_ncq"))
+        .arg(&f.path)
+        .arg("--stats")
+        .output()
+        .expect("run ncq");
+    assert!(!out.status.success());
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("parse error"), "{stderr}");
+}
