@@ -48,9 +48,7 @@ fn restrictions(c: &mut Criterion) {
         .warm_up_time(Duration::from_millis(200))
         .measurement_time(Duration::from_secs(1));
     for (name, opts) in variants {
-        group.bench_function(name, |b| {
-            b.iter(|| db.meet_hits(black_box(&inputs), &opts))
-        });
+        group.bench_function(name, |b| b.iter(|| db.meet_hits(black_box(&inputs), &opts)));
     }
     group.finish();
 }

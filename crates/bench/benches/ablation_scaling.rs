@@ -5,7 +5,7 @@
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 use ncq_bench::experiments::corpora;
-use ncq_core::{meet_sets, MeetOptions};
+use ncq_core::{meet_sets, meet_sets_sweep, MeetOptions};
 use ncq_fulltext::HitSet;
 use ncq_store::Oid;
 use std::hint::black_box;
@@ -46,6 +46,9 @@ fn scaling(c: &mut Criterion) {
         group.throughput(Throughput::Elements(n));
         group.bench_with_input(BenchmarkId::new("meet_sets_fig4", n), &frac, |b, _| {
             b.iter(|| meet_sets(db.store(), black_box(s1), black_box(s2)).unwrap())
+        });
+        group.bench_with_input(BenchmarkId::new("meet_sets_sweep", n), &frac, |b, _| {
+            b.iter(|| meet_sets_sweep(db.store(), black_box(s1), black_box(s2)).unwrap())
         });
 
         let inputs = [

@@ -35,6 +35,9 @@ fn substrates(c: &mut Criterion) {
     group.bench_function("index_build", |b| {
         b.iter(|| InvertedIndex::build(black_box(&store)))
     });
+    group.bench_function("meet_index_build", |b| {
+        b.iter(|| ncq_store::MeetIndex::build(black_box(&store)))
+    });
     group.finish();
 
     let (db, _) = corpora::dblp_case_study();

@@ -8,7 +8,8 @@
 //! Prints paper-style tables to stdout and, when `--out` is given, writes
 //! the raw series as JSON (one file per experiment) for EXPERIMENTS.md.
 
-use ncq_bench::experiments::{ablations, corpora, extensions, fig6, fig7, listings};
+use ncq_bench::experiments::{ablations, corpora, extensions, fig6, fig7, listings, pr1};
+use ncq_bench::json::ToJson;
 use std::io::Write as _;
 use std::path::PathBuf;
 
@@ -43,7 +44,7 @@ fn parse_args() -> Result<Args, String> {
             "--help" | "-h" => {
                 println!(
                     "usage: repro [--exp all|fig1|fig2|listing1|listing2|sec31|fig6|fig7|\
-                     ablations|extensions] [--scale small|paper] [--out DIR]"
+                     ablations|extensions|pr1] [--scale small|paper] [--out DIR]"
                 );
                 std::process::exit(0);
             }
@@ -53,12 +54,13 @@ fn parse_args() -> Result<Args, String> {
     Ok(Args { exp, scale, out })
 }
 
-fn write_json(out: &Option<PathBuf>, name: &str, value: &impl serde::Serialize) {
+fn write_json(out: &Option<PathBuf>, name: &str, value: &impl ToJson) {
     if let Some(dir) = out {
         std::fs::create_dir_all(dir).expect("create output dir");
         let path = dir.join(format!("{name}.json"));
         let mut f = std::io::BufWriter::new(std::fs::File::create(&path).expect("create file"));
-        serde_json::to_writer_pretty(&mut f, value).expect("serialize");
+        f.write_all(value.to_json().render().as_bytes())
+            .expect("serialize");
         f.flush().expect("flush");
         eprintln!("wrote {}", path.display());
     }
@@ -154,6 +156,18 @@ fn main() {
         let rows = ablations::restrictions(&db, &inputs, 5);
         println!("{}", ablations::restrictions_table(&rows));
         write_json(&args.out, "ablation_restrictions", &rows);
+    }
+
+    // The PR 1 perf snapshot runs only when explicitly requested: it
+    // builds multi-million-node corpora and writes BENCH_pr1.json (the
+    // cross-PR perf trajectory record), neither of which a bare `repro`
+    // run should trigger as a side effect.
+    if args.exp == "pr1" {
+        let result = pr1::run(args.scale == Scale::Small);
+        println!("{}", pr1::table(&result));
+        let dir = args.out.clone().unwrap_or_else(|| PathBuf::from("."));
+        let target = Some(dir);
+        write_json(&target, "BENCH_pr1", &result);
     }
 
     if want("extensions") {

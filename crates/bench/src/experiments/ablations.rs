@@ -11,16 +11,15 @@
 //!   add more than array-lookup overhead.
 
 use crate::measure::{micros, time_median};
-use ncq_core::{meet2, meet2_naive, Database, MeetOptions, PathFilter};
+use ncq_core::{meet2, meet2_indexed, meet2_naive, Database, MeetOptions, PathFilter};
 use ncq_fulltext::HitSet;
 use ncq_store::Oid;
 use ncq_xml::Document;
-use serde::Serialize;
 
 // ----- Ablation A: steering -----
 
 /// One row of the steering ablation.
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone)]
 pub struct SteeringRow {
     /// Depth at which the probe pair sits.
     pub depth: usize,
@@ -34,6 +33,8 @@ pub struct SteeringRow {
     pub steered_us: f64,
     /// Naive time, µs.
     pub naive_us: f64,
+    /// Indexed (Euler-tour LCA) time, µs — O(1), no parent walk.
+    pub indexed_us: f64,
 }
 
 /// A deep chain document: `root/e/e/…/e` with a small fork of two leaves
@@ -59,9 +60,13 @@ pub fn steering(depths: &[usize], runs: usize) -> Vec<SteeringRow> {
         .iter()
         .map(|&depth| {
             let (db, a, b) = deep_chain_db(depth);
+            db.store().meet_index(); // build outside the timed region
             let (m_s, d_s) = time_median(runs, || meet2(db.store(), a, b));
             let (m_n, d_n) = time_median(runs, || meet2_naive(db.store(), a, b));
+            let (m_i, d_i) = time_median(runs, || meet2_indexed(db.store(), a, b));
             assert_eq!(m_s.meet, m_n.meet);
+            assert_eq!(m_s.meet, m_i.meet);
+            assert_eq!(m_s.distance, m_i.distance);
             SteeringRow {
                 depth,
                 distance: m_s.distance,
@@ -69,6 +74,7 @@ pub fn steering(depths: &[usize], runs: usize) -> Vec<SteeringRow> {
                 naive_lookups: m_n.lookups,
                 steered_us: micros(d_s),
                 naive_us: micros(d_n),
+                indexed_us: micros(d_i),
             }
         })
         .collect()
@@ -77,7 +83,7 @@ pub fn steering(depths: &[usize], runs: usize) -> Vec<SteeringRow> {
 // ----- Ablation B: scaling -----
 
 /// One row of the input-scaling ablation.
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone)]
 pub struct ScalingRow {
     /// Number of input associations.
     pub input_hits: usize,
@@ -88,7 +94,13 @@ pub struct ScalingRow {
 }
 
 /// Scale the generalized meet over growing prefixes of a hit set.
-pub fn scaling(db: &Database, hits_a: &HitSet, hits_b: &HitSet, steps: usize, runs: usize) -> Vec<ScalingRow> {
+pub fn scaling(
+    db: &Database,
+    hits_a: &HitSet,
+    hits_b: &HitSet,
+    steps: usize,
+    runs: usize,
+) -> Vec<ScalingRow> {
     let all_a: Vec<_> = hits_a.iter().collect();
     let all_b: Vec<_> = hits_b.iter().collect();
     let mut rows = Vec::new();
@@ -111,7 +123,7 @@ pub fn scaling(db: &Database, hits_a: &HitSet, hits_b: &HitSet, steps: usize, ru
 // ----- Ablation C: restrictions -----
 
 /// One row of the restrictions ablation.
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone)]
 pub struct RestrictionRow {
     /// Which variant ran.
     pub variant: String,
@@ -165,13 +177,19 @@ pub fn restrictions(db: &Database, inputs: &[HitSet], runs: usize) -> Vec<Restri
 /// Text table for the steering ablation.
 pub fn steering_table(rows: &[SteeringRow]) -> String {
     let mut out = String::from(
-        "# Ablation A — sigma-steered meet2 vs naive LCA\n\
-         # depth  distance  steered_lookups  naive_lookups  steered_us  naive_us\n",
+        "# Ablation A — sigma-steered meet2 vs naive LCA vs Euler-tour index\n\
+         # depth  distance  steered_lookups  naive_lookups  steered_us  naive_us  indexed_us\n",
     );
     for r in rows {
         out.push_str(&format!(
-            "{:>7}  {:>8}  {:>15}  {:>13}  {:>10.2}  {:>8.2}\n",
-            r.depth, r.distance, r.steered_lookups, r.naive_lookups, r.steered_us, r.naive_us
+            "{:>7}  {:>8}  {:>15}  {:>13}  {:>10.2}  {:>8.2}  {:>10.2}\n",
+            r.depth,
+            r.distance,
+            r.steered_lookups,
+            r.naive_lookups,
+            r.steered_us,
+            r.naive_us,
+            r.indexed_us
         ));
     }
     out
@@ -193,8 +211,7 @@ pub fn scaling_table(rows: &[ScalingRow]) -> String {
 
 /// Text table for the restrictions ablation.
 pub fn restrictions_table(rows: &[RestrictionRow]) -> String {
-    let mut out =
-        String::from("# Ablation C — §4 restrictions\n# variant  meets  meet_us\n");
+    let mut out = String::from("# Ablation C — §4 restrictions\n# variant  meets  meet_us\n");
     for r in rows {
         out.push_str(&format!(
             "{:>22}  {:>5}  {:>8.2}\n",
@@ -203,6 +220,26 @@ pub fn restrictions_table(rows: &[RestrictionRow]) -> String {
     }
     out
 }
+
+crate::impl_to_json_struct!(SteeringRow {
+    depth,
+    distance,
+    steered_lookups,
+    naive_lookups,
+    steered_us,
+    naive_us,
+    indexed_us,
+});
+crate::impl_to_json_struct!(ScalingRow {
+    input_hits,
+    meets,
+    meet_us
+});
+crate::impl_to_json_struct!(RestrictionRow {
+    variant,
+    meets,
+    meet_us
+});
 
 #[cfg(test)]
 mod tests {

@@ -9,10 +9,9 @@
 use crate::measure::{micros, time_median};
 use ncq_core::{distance, graph_distance, Database, MeetOptions, RefGraph};
 use ncq_fulltext::Thesaurus;
-use serde::Serialize;
 
 /// Result of the graph-meet extension experiment.
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone)]
 pub struct GraphResult {
     /// Reference edges discovered (crossref → key).
     pub reference_edges: usize,
@@ -72,7 +71,7 @@ pub fn graph_meets(db: &Database, runs: usize) -> GraphResult {
 }
 
 /// Result of the thesaurus experiment.
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone)]
 pub struct ThesaurusResult {
     /// The narrow term.
     pub term: String,
@@ -145,6 +144,22 @@ pub fn table(g: &GraphResult, t: &ThesaurusResult) -> String {
         t.broad_answers,
     )
 }
+
+crate::impl_to_json_struct!(GraphResult {
+    reference_edges,
+    pairs,
+    shortcuts,
+    mean_tree_distance,
+    mean_graph_distance,
+    graph_meet_us,
+});
+crate::impl_to_json_struct!(ThesaurusResult {
+    term,
+    narrow_hits,
+    broad_hits,
+    narrow_answers,
+    broad_answers,
+});
 
 #[cfg(test)]
 mod tests {

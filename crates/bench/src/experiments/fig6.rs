@@ -15,7 +15,6 @@
 use crate::measure::{micros, millis, time_median};
 use ncq_core::{Database, MeetOptions};
 use ncq_datagen::MultimediaCorpus;
-use serde::Serialize;
 
 /// Configuration for the Figure 6 run.
 #[derive(Debug, Clone)]
@@ -39,7 +38,7 @@ impl Default for Fig6Config {
 }
 
 /// One row of the Figure 6 series.
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone)]
 pub struct Fig6Row {
     /// Hit distance in edges.
     pub distance: usize,
@@ -54,7 +53,7 @@ pub struct Fig6Row {
 }
 
 /// The full Figure 6 result.
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone)]
 pub struct Fig6Result {
     /// One row per distance.
     pub rows: Vec<Fig6Row>,
@@ -132,6 +131,18 @@ pub fn table(result: &Fig6Result) -> String {
     }
     out
 }
+
+crate::impl_to_json_struct!(Fig6Row {
+    distance,
+    fulltext_ms,
+    fulltext_and_meet_ms,
+    meet_us,
+    meet2_us,
+});
+crate::impl_to_json_struct!(Fig6Result {
+    rows,
+    corpus_objects
+});
 
 #[cfg(test)]
 mod tests {

@@ -18,7 +18,6 @@
 use crate::measure::{millis, time_median};
 use ncq_core::{Database, MeetOptions, PathFilter};
 use ncq_fulltext::HitSet;
-use serde::Serialize;
 
 /// Configuration for the Figure 7 sweep.
 #[derive(Debug, Clone)]
@@ -42,7 +41,7 @@ impl Default for Fig7Config {
 }
 
 /// One point of the Figure 7 series.
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone)]
 pub struct Fig7Row {
     /// Interval start (sweeps 1999 → 1984).
     pub year_from: u16,
@@ -57,7 +56,7 @@ pub struct Fig7Row {
 }
 
 /// The full Figure 7 result.
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone)]
 pub struct Fig7Result {
     /// One row per interval start, 1999 first.
     pub rows: Vec<Fig7Row>,
@@ -90,10 +89,7 @@ pub fn run(db: &Database, config: &Fig7Config) -> Fig7Result {
 
         let (meets, d) = time_median(config.runs, || db.meet_hits(&inputs, &options));
 
-        let false_positives = meets
-            .iter()
-            .filter(|m| !legit.contains(&m.path))
-            .count();
+        let false_positives = meets.iter().filter(|m| !legit.contains(&m.path)).count();
         rows.push(Fig7Row {
             year_from,
             input_cardinality: inputs[0].len() + inputs[1].len(),
@@ -124,6 +120,18 @@ pub fn table(result: &Fig7Result) -> String {
     out
 }
 
+crate::impl_to_json_struct!(Fig7Row {
+    year_from,
+    input_cardinality,
+    output_cardinality,
+    meet_ms,
+    false_positives,
+});
+crate::impl_to_json_struct!(Fig7Result {
+    rows,
+    corpus_objects
+});
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -151,7 +159,15 @@ mod tests {
         };
         assert_eq!(by_year(1985), by_year(1986), "1985 must be a flat step");
         assert!(by_year(1984) > by_year(1985));
-        assert!(by_year(1999) >= corpus.editions.iter().filter(|e| e.0 == "ICDE" && e.1 == 1999).map(|e| e.2).sum::<usize>());
+        assert!(
+            by_year(1999)
+                >= corpus
+                    .editions
+                    .iter()
+                    .filter(|e| e.0 == "ICDE" && e.1 == 1999)
+                    .map(|e| e.2)
+                    .sum::<usize>()
+        );
 
         // The full sweep sees exactly the two planted false positives.
         assert_eq!(result.rows.last().unwrap().false_positives, 2);

@@ -3,10 +3,9 @@
 
 use ncq_core::Database;
 use ncq_query::{run_query, QueryOutput};
-use serde::Serialize;
 
 /// Reproduction of the two answer listings.
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone)]
 pub struct ListingsResult {
     /// Tags returned by the baseline query (paper §1): the desired answer
     /// plus ancestor-implied rows.
@@ -39,11 +38,7 @@ pub fn run(db: &Database) -> ListingsResult {
         panic!("listing 2 is a meet");
     };
     ListingsResult {
-        baseline_tags: rows
-            .rows
-            .iter()
-            .map(|r| r.values[0].clone())
-            .collect(),
+        baseline_tags: rows.rows.iter().map(|r| r.values[0].clone()).collect(),
         meet_tags: answers.tags().iter().map(|t| t.to_string()).collect(),
         baseline_xml: rows.to_answer_xml(),
         meet_xml: answers.to_answer_xml(),
@@ -51,7 +46,7 @@ pub fn run(db: &Database) -> ListingsResult {
 }
 
 /// One §3.1 worked example.
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone)]
 pub struct Sec31Example {
     /// The two search terms.
     pub terms: [String; 2],
@@ -74,10 +69,7 @@ pub fn sec31(db: &Database) -> Vec<Sec31Example> {
     .into_iter()
     .map(|(a, b, expected)| {
         let answers = db.meet_terms(&[a, b]).expect("meet runs");
-        let first = answers
-            .results
-            .first()
-            .expect("each example has an answer");
+        let first = answers.results.first().expect("each example has an answer");
         Sec31Example {
             terms: [a.to_owned(), b.to_owned()],
             expected_tag: expected.to_owned(),
@@ -87,6 +79,19 @@ pub fn sec31(db: &Database) -> Vec<Sec31Example> {
     })
     .collect()
 }
+
+crate::impl_to_json_struct!(ListingsResult {
+    baseline_tags,
+    meet_tags,
+    baseline_xml,
+    meet_xml,
+});
+crate::impl_to_json_struct!(Sec31Example {
+    terms,
+    expected_tag,
+    actual_tag,
+    distance,
+});
 
 #[cfg(test)]
 mod tests {

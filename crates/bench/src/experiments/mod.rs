@@ -5,6 +5,7 @@ pub mod extensions;
 pub mod fig6;
 pub mod fig7;
 pub mod listings;
+pub mod pr1;
 
 /// Shared corpus builders at the scales used by `repro` and the benches.
 pub mod corpora {

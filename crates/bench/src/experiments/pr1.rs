@@ -1,0 +1,474 @@
+//! PR 1 perf snapshot: the structural meet index against the paper's
+//! walk/lift evaluation strategies.
+//!
+//! Three comparisons, emitted as `BENCH_pr1.json` by
+//! `repro --exp pr1` to seed the perf trajectory:
+//!
+//! * **meet2** — naive two-ancestor-list LCA vs σ-steered walk vs
+//!   Euler-tour index, on deep two-chain documents where the probe pair
+//!   is `2·depth + 2` edges apart (the steered walk pays the full
+//!   distance; the index answers in O(1));
+//! * **meet_sets** — Fig. 4 frontier lifting vs the document-order plane
+//!   sweep on the DBLP case-study hit sets;
+//! * **meet_multi** — Fig. 5 token roll-up vs the indexed plane sweep on
+//!   the same workload.
+//!
+//! Every row records an `agree` flag asserting the compared
+//! implementations returned identical answers on that workload.
+
+use crate::experiments::corpora;
+use ncq_core::{
+    meet2, meet2_indexed, meet2_naive, meet_multi, meet_multi_indexed, meet_sets, meet_sets_sweep,
+    Database, MeetOptions,
+};
+use ncq_fulltext::HitSet;
+use ncq_store::Oid;
+use ncq_xml::Document;
+use std::time::Instant;
+
+/// Median µs per call over `runs` samples of `iters` batched calls.
+fn median_us<R>(runs: usize, iters: usize, mut f: impl FnMut() -> R) -> f64 {
+    let mut samples = Vec::with_capacity(runs);
+    for _ in 0..runs {
+        let start = Instant::now();
+        for _ in 0..iters {
+            std::hint::black_box(f());
+        }
+        samples.push(start.elapsed().as_secs_f64() * 1e6 / iters as f64);
+    }
+    samples.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+    samples[samples.len() / 2]
+}
+
+/// One probe pair of [`deep_pair_corpus`]: leaves `2·depth + 2` edges
+/// apart with the meet at the root. Unlike the steering ablation's
+/// bottom fork (constant distance 4), this shape scales the *distance*
+/// with the depth, which is what separates O(distance) walks from the
+/// O(1) index.
+pub fn deep_pair_db(depth: usize) -> (Database, Oid, Oid) {
+    let (db, pairs) = deep_pair_corpus(depth);
+    let &(a, b) = pairs.first().expect("corpus plants at least one pair");
+    (db, a, b)
+}
+
+/// A ~4M-node corpus of "comb" chains: every chain node carries ~64 leaf
+/// children before the next chain step, so consecutive ancestors are far
+/// apart in OID space and every parent hop is a fresh cache line —
+/// DFS-contiguous bare chains would let the prefetcher hide the walk,
+/// which no production document does. The node count is chosen to push
+/// the store's per-oid arrays well past L2, as a production corpus
+/// would. Returns probe pairs spanning distinct combs (distance
+/// `2·depth + 2`, meet at the root); cycling through them keeps
+/// measurements out of the walk's own cache shadow.
+pub fn deep_pair_corpus(depth: usize) -> (Database, Vec<(Oid, Oid)>) {
+    const PAD: usize = 64;
+    let chains = (4_194_304 / ((depth + 1) * (PAD + 1))).max(2);
+    let mut doc = Document::new("root");
+    let mut leaves = Vec::with_capacity(chains);
+    for c in 0..chains {
+        let mut cur = doc.root();
+        for i in 0..depth {
+            cur = doc.add_element(cur, "e");
+            // Irregular padding: a constant stride between consecutive
+            // ancestors would let the hardware prefetcher stream the
+            // parent walk, which real document shapes do not allow.
+            let pad = PAD / 2 + (c.wrapping_mul(31) + i.wrapping_mul(17)) % PAD;
+            for _ in 0..pad {
+                doc.add_element(cur, "pad");
+            }
+        }
+        leaves.push(doc.add_text(cur, format!("probe-{c}")));
+    }
+    let db = Database::from_document(&doc);
+    let half = chains / 2;
+    let pairs = (0..half)
+        .map(|i| {
+            (
+                db.store().oid_of(leaves[i]),
+                db.store().oid_of(leaves[i + half]),
+            )
+        })
+        .collect();
+    (db, pairs)
+}
+
+/// `pairs` records, each forking *at the top* into two `depth`-long
+/// chains ending in `<a>s</a>` / `<b>t</b>`: two large homogeneous hit
+/// sets whose minimal meets (the record heads) are `2·depth + 2` edges
+/// from their witnesses. Frontier lifting pays `O(hits log hits)` per
+/// level for `depth` levels before any meet surfaces; the plane sweep
+/// pays one sorted pass with O(1) LCA probes.
+fn deep_sets_db(depth: usize, pairs: usize) -> (Database, Vec<Oid>, Vec<Oid>) {
+    let mut doc = Document::new("root");
+    for _ in 0..pairs {
+        let head = doc.add_element(doc.root(), "h");
+        let mut cur = head;
+        for _ in 0..depth {
+            cur = doc.add_element(cur, "x");
+        }
+        let a = doc.add_element(cur, "a");
+        doc.add_text(a, "s");
+        let mut cur = head;
+        for _ in 0..depth {
+            cur = doc.add_element(cur, "y");
+        }
+        let b = doc.add_element(cur, "b");
+        doc.add_text(b, "t");
+    }
+    let db = Database::from_document(&doc);
+    let s = largest_group(&db.search_word("s"));
+    let t = largest_group(&db.search_word("t"));
+    (db, s, t)
+}
+
+/// One pairwise-meet row.
+#[derive(Debug, Clone)]
+pub struct Pr1MeetRow {
+    /// Chain depth (probe distance = `2·depth + 2`).
+    pub depth: usize,
+    /// Distance between the probes.
+    pub distance: usize,
+    /// Naive two-ancestor-list LCA, µs.
+    pub naive_us: f64,
+    /// σ-steered walk (Fig. 3), µs.
+    pub steered_us: f64,
+    /// Euler-tour index, µs.
+    pub indexed_us: f64,
+    /// `steered_us / indexed_us`.
+    pub indexed_speedup_vs_steered: f64,
+    /// All three implementations returned the same meet and distance.
+    pub agree: bool,
+}
+
+/// One set-meet row (Fig. 4 lift vs plane sweep).
+#[derive(Debug, Clone)]
+pub struct Pr1SetsRow {
+    /// Workload label.
+    pub workload: String,
+    /// Total input OIDs.
+    pub input_hits: usize,
+    /// Minimal meets found.
+    pub meets: usize,
+    /// Frontier lifting, µs.
+    pub lift_us: f64,
+    /// Document-order plane sweep, µs.
+    pub sweep_us: f64,
+    /// `lift_us / sweep_us`.
+    pub sweep_speedup: f64,
+    /// Both evaluations returned the same (meet, round) multiset.
+    pub agree: bool,
+}
+
+/// One generalized-meet row (Fig. 5 roll-up vs indexed sweep).
+#[derive(Debug, Clone)]
+pub struct Pr1MultiRow {
+    /// Workload label.
+    pub workload: String,
+    /// Total input hits.
+    pub input_hits: usize,
+    /// Meets found.
+    pub meets: usize,
+    /// Token roll-up, µs.
+    pub rollup_us: f64,
+    /// Indexed plane sweep, µs.
+    pub indexed_us: f64,
+    /// `rollup_us / indexed_us`.
+    pub indexed_speedup: f64,
+    /// Both evaluations returned identical meets.
+    pub agree: bool,
+}
+
+/// The full PR 1 snapshot.
+#[derive(Debug, Clone)]
+pub struct Pr1Result {
+    /// Pairwise meet comparison across depths.
+    pub meet2: Vec<Pr1MeetRow>,
+    /// Set meet comparison.
+    pub meet_sets: Vec<Pr1SetsRow>,
+    /// Generalized meet comparison.
+    pub meet_multi: Vec<Pr1MultiRow>,
+}
+
+crate::impl_to_json_struct!(Pr1MeetRow {
+    depth,
+    distance,
+    naive_us,
+    steered_us,
+    indexed_us,
+    indexed_speedup_vs_steered,
+    agree,
+});
+crate::impl_to_json_struct!(Pr1SetsRow {
+    workload,
+    input_hits,
+    meets,
+    lift_us,
+    sweep_us,
+    sweep_speedup,
+    agree,
+});
+crate::impl_to_json_struct!(Pr1MultiRow {
+    workload,
+    input_hits,
+    meets,
+    rollup_us,
+    indexed_us,
+    indexed_speedup,
+    agree,
+});
+crate::impl_to_json_struct!(Pr1Result {
+    meet2,
+    meet_sets,
+    meet_multi,
+});
+
+/// The largest homogeneous group of a hit set (one relation's OIDs).
+fn largest_group(hits: &HitSet) -> Vec<Oid> {
+    hits.groups()
+        .iter()
+        .max_by_key(|(_, v)| v.len())
+        .map(|(_, v)| v.clone())
+        .unwrap_or_default()
+}
+
+fn meet2_rows(depths: &[usize], runs: usize, iters: usize) -> Vec<Pr1MeetRow> {
+    depths
+        .iter()
+        .map(|&depth| {
+            let (db, pairs) = deep_pair_corpus(depth);
+            let store = db.store();
+            store.meet_index(); // build outside the timed region
+            let agree = pairs.iter().all(|&(a, b)| {
+                let n = meet2_naive(store, a, b);
+                let s = meet2(store, a, b);
+                let i = meet2_indexed(store, a, b);
+                n.meet == s.meet
+                    && s.meet == i.meet
+                    && n.distance == s.distance
+                    && s.distance == i.distance
+            });
+            let distance = meet2(store, pairs[0].0, pairs[0].1).distance;
+            // Cycle through distinct probe pairs so repeated iterations
+            // do not replay one cache-resident ancestor chain.
+            let mut cycle = {
+                let mut k = 0usize;
+                move || {
+                    let p = pairs[k % pairs.len()];
+                    k += 1;
+                    p
+                }
+            };
+            let naive_us = median_us(runs, iters, || {
+                let (a, b) = cycle();
+                meet2_naive(store, a, b)
+            });
+            let steered_us = median_us(runs, iters, || {
+                let (a, b) = cycle();
+                meet2(store, a, b)
+            });
+            let indexed_us = median_us(runs, iters, || {
+                let (a, b) = cycle();
+                meet2_indexed(store, a, b)
+            });
+            Pr1MeetRow {
+                depth,
+                distance,
+                naive_us,
+                steered_us,
+                indexed_us,
+                indexed_speedup_vs_steered: steered_us / indexed_us,
+                agree,
+            }
+        })
+        .collect()
+}
+
+fn sets_row(name: &str, db: &Database, s1: &[Oid], s2: &[Oid], runs: usize) -> Pr1SetsRow {
+    let store = db.store();
+    store.meet_index();
+    let lift = meet_sets(store, s1, s2).expect("homogeneous");
+    let sweep = meet_sets_sweep(store, s1, s2).expect("homogeneous");
+    let sorted = |r: &ncq_core::SetMeets| {
+        let mut m = r.meets.clone();
+        m.sort_unstable();
+        m
+    };
+    let agree = sorted(&lift) == sorted(&sweep);
+    let lift_us = median_us(runs, 1, || meet_sets(store, s1, s2));
+    let sweep_us = median_us(runs, 1, || meet_sets_sweep(store, s1, s2));
+    Pr1SetsRow {
+        workload: name.to_string(),
+        input_hits: s1.len() + s2.len(),
+        meets: lift.meets.len(),
+        lift_us,
+        sweep_us,
+        sweep_speedup: lift_us / sweep_us,
+        agree,
+    }
+}
+
+fn multi_row(name: &str, db: &Database, inputs: &[HitSet], runs: usize) -> Pr1MultiRow {
+    let store = db.store();
+    store.meet_index();
+    let options = MeetOptions::default();
+    let rollup = meet_multi(store, inputs, &options);
+    let indexed = meet_multi_indexed(store, inputs, &options);
+    let key = |ms: &[ncq_core::Meet]| {
+        ms.iter()
+            .map(|m| (m.node, m.distance, m.witness_count))
+            .collect::<Vec<_>>()
+    };
+    let agree = key(&rollup) == key(&indexed);
+    let rollup_us = median_us(runs, 1, || meet_multi(store, inputs, &options));
+    let indexed_us = median_us(runs, 1, || meet_multi_indexed(store, inputs, &options));
+    Pr1MultiRow {
+        workload: name.to_string(),
+        input_hits: inputs.iter().map(HitSet::len).sum(),
+        meets: rollup.len(),
+        rollup_us,
+        indexed_us,
+        indexed_speedup: rollup_us / indexed_us,
+        agree,
+    }
+}
+
+/// Run the snapshot. `quick` shrinks depths and repetitions for tests.
+pub fn run(quick: bool) -> Pr1Result {
+    let (depths, runs, iters): (&[usize], usize, usize) = if quick {
+        (&[16, 64], 3, 200)
+    } else {
+        (&[16, 64, 256, 1024], 9, 2000)
+    };
+    let meet2 = meet2_rows(depths, runs, iters);
+
+    let (db, _) = if quick {
+        corpora::dblp_small()
+    } else {
+        corpora::dblp_case_study()
+    };
+    let icde = db.search_word("ICDE");
+    let mut years = HitSet::new();
+    for y in 1984u16..=1999 {
+        years.union(&db.search_word(&y.to_string()));
+    }
+    let set_runs = if quick { 3 } else { 9 };
+    let booktitles = largest_group(&icde);
+    let year_cdatas = largest_group(&years);
+    let (sets_depth, sets_pairs) = if quick { (8, 50) } else { (32, 2000) };
+    let (deep_db, deep_s, deep_t) = deep_sets_db(sets_depth, sets_pairs);
+    let mut meet_sets = vec![
+        sets_row(
+            "dblp icde-booktitles × year-cdatas (flat)",
+            &db,
+            &booktitles,
+            &year_cdatas,
+            set_runs,
+        ),
+        sets_row(
+            &format!("deep forks (depth {sets_depth}, {sets_pairs} pairs)"),
+            &deep_db,
+            &deep_s,
+            &deep_t,
+            set_runs,
+        ),
+    ];
+    if !quick {
+        let (deeper_db, deeper_s, deeper_t) = deep_sets_db(96, 2000);
+        meet_sets.push(sets_row(
+            "deep forks (depth 96, 2000 pairs)",
+            &deeper_db,
+            &deeper_s,
+            &deeper_t,
+            set_runs,
+        ));
+    }
+
+    let inputs = [icde.clone(), years.clone()];
+    let deep_inputs = [deep_db.search_word("s"), deep_db.search_word("t")];
+    let meet_multi = vec![
+        multi_row(
+            "dblp icde × years[1984..=1999] (flat)",
+            &db,
+            &inputs,
+            set_runs,
+        ),
+        multi_row(
+            &format!("deep forks (depth {sets_depth}, {sets_pairs} pairs)"),
+            &deep_db,
+            &deep_inputs,
+            set_runs,
+        ),
+    ];
+
+    Pr1Result {
+        meet2,
+        meet_sets,
+        meet_multi,
+    }
+}
+
+/// Text table for stdout.
+pub fn table(r: &Pr1Result) -> String {
+    let mut out = String::from(
+        "# PR 1 — O(1) structural meet index vs walk/lift baselines\n\
+         ## meet2 (distance = 2*depth + 2)\n\
+         # depth  distance  naive_us  steered_us  indexed_us  speedup  agree\n",
+    );
+    for r in &r.meet2 {
+        out.push_str(&format!(
+            "{:>7}  {:>8}  {:>8.3}  {:>10.3}  {:>10.3}  {:>6.1}x  {}\n",
+            r.depth,
+            r.distance,
+            r.naive_us,
+            r.steered_us,
+            r.indexed_us,
+            r.indexed_speedup_vs_steered,
+            r.agree
+        ));
+    }
+    out.push_str("## meet_sets (Fig. 4 lift vs plane sweep)\n");
+    for r in &r.meet_sets {
+        out.push_str(&format!(
+            "{}: hits={} meets={} lift={:.1}us sweep={:.1}us ({:.1}x) agree={}\n",
+            r.workload, r.input_hits, r.meets, r.lift_us, r.sweep_us, r.sweep_speedup, r.agree
+        ));
+    }
+    out.push_str("## meet_multi (Fig. 5 roll-up vs indexed sweep)\n");
+    for r in &r.meet_multi {
+        out.push_str(&format!(
+            "{}: hits={} meets={} rollup={:.1}us indexed={:.1}us ({:.1}x) agree={}\n",
+            r.workload,
+            r.input_hits,
+            r.meets,
+            r.rollup_us,
+            r.indexed_us,
+            r.indexed_speedup,
+            r.agree
+        ));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quick_snapshot_agrees_everywhere() {
+        let r = run(true);
+        assert_eq!(r.meet2.len(), 2);
+        for row in &r.meet2 {
+            assert!(row.agree, "meet2 implementations disagree at {}", row.depth);
+            assert_eq!(row.distance, 2 * row.depth + 2);
+        }
+        for row in &r.meet_sets {
+            assert!(row.agree, "meet_sets lift vs sweep disagree");
+            assert!(row.meets > 0);
+        }
+        for row in &r.meet_multi {
+            assert!(row.agree, "meet_multi roll-up vs sweep disagree");
+            assert!(row.meets > 0);
+        }
+        assert!(table(&r).contains("PR 1"));
+    }
+}

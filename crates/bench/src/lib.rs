@@ -15,6 +15,7 @@
 //! paths with statistical rigor.
 
 pub mod experiments;
+pub mod json;
 pub mod measure;
 
-pub use experiments::{ablations, fig6, fig7, listings};
+pub use experiments::{ablations, fig6, fig7, listings, pr1};

@@ -103,10 +103,7 @@ impl AnswerSet {
     pub fn to_answer_xml(&self) -> String {
         let mut out = String::from("<answer>\n");
         for r in &self.results {
-            out.push_str(&format!(
-                "  <result> {} </result> ({})\n",
-                r.tag, r.oid
-            ));
+            out.push_str(&format!("  <result> {} </result> ({})\n", r.tag, r.oid));
         }
         out.push_str("</answer>");
         out

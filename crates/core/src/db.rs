@@ -6,9 +6,9 @@
 //! data that comes at little cost".
 
 use crate::answer::AnswerSet;
-use crate::meet2::{meet2, Meet2};
-use crate::meet_multi::{meet_multi, Meet, MeetOptions};
-use crate::meet_sets::{meet_sets, MeetError, SetMeets};
+use crate::meet2::{meet2_indexed, Meet2};
+use crate::meet_multi::{meet_multi_indexed, Meet, MeetOptions};
+use crate::meet_sets::{meet_sets_sweep, MeetError, SetMeets};
 use crate::rank::rank_meets;
 use ncq_fulltext::{search, HitSet, InvertedIndex};
 use ncq_store::{MonetDb, Oid};
@@ -71,20 +71,27 @@ impl Database {
     }
 
     // ----- meet entry points -----
+    //
+    // The facade serves every meet through the indexed fast paths (O(1)
+    // LCA over the Euler-tour index); the steered walks and frontier
+    // lifts remain available in `meet2` / `meet_sets` / `meet_multi` as
+    // the paper-faithful baselines the ablations measure against.
 
-    /// Pairwise meet (paper Fig. 3).
+    /// Pairwise meet (paper Fig. 3), via the O(1) indexed fast path.
     pub fn meet_pair(&self, o1: Oid, o2: Oid) -> Meet2 {
-        meet2(&self.store, o1, o2)
+        meet2_indexed(&self.store, o1, o2)
     }
 
-    /// Set meet over two homogeneous OID sets (paper Fig. 4).
+    /// Set meet over two homogeneous OID sets (paper Fig. 4), via the
+    /// document-order plane sweep.
     pub fn meet_oid_sets(&self, s1: &[Oid], s2: &[Oid]) -> Result<SetMeets, MeetError> {
-        meet_sets(&self.store, s1, s2)
+        meet_sets_sweep(&self.store, s1, s2)
     }
 
-    /// Generalized meet over hit groups (paper Fig. 5), ranked.
+    /// Generalized meet over hit groups (paper Fig. 5), ranked, via the
+    /// document-order plane sweep.
     pub fn meet_hits(&self, inputs: &[HitSet], options: &MeetOptions) -> Vec<Meet> {
-        let mut meets = meet_multi(&self.store, inputs, options);
+        let mut meets = meet_multi_indexed(&self.store, inputs, options);
         rank_meets(&mut meets);
         meets
     }

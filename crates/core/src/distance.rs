@@ -4,19 +4,20 @@
 //! > corresponds to the number of edges on the shortest path from `o₁`
 //! > to `o₂`. So we can define `d(o₁, o₂)` = number of joins …"
 
-use crate::meet2::{meet2, Meet2};
+use crate::meet2::{meet2_indexed, Meet2};
 use ncq_store::{MonetDb, Oid};
 
 /// Number of edges on the shortest path between two nodes (through their
-/// meet) — the paper's `d(o₁, o₂)`.
+/// meet) — the paper's `d(o₁, o₂)`. Served by the O(1) indexed meet; the
+/// value is identical to what the steered walk would count.
 pub fn distance(db: &MonetDb, o1: Oid, o2: Oid) -> usize {
-    meet2(db, o1, o2).distance
+    meet2_indexed(db, o1, o2).distance
 }
 
 /// `meet^δ`: the pairwise meet, or `None` ("⊥") when the nodes are more
 /// than `max_distance` edges apart.
 pub fn meet2_bounded(db: &MonetDb, o1: Oid, o2: Oid, max_distance: usize) -> Option<Meet2> {
-    let m = meet2(db, o1, o2);
+    let m = meet2_indexed(db, o1, o2);
     (m.distance <= max_distance).then_some(m)
 }
 
@@ -27,9 +28,7 @@ mod tests {
     use ncq_xml::parse;
 
     fn db() -> MonetDb {
-        MonetDb::from_document(
-            &parse("<r><a><b><c>x</c></b></a><d>y</d></r>").unwrap(),
-        )
+        MonetDb::from_document(&parse("<r><a><b><c>x</c></b></a><d>y</d></r>").unwrap())
     }
 
     fn by_label(db: &MonetDb, l: &str) -> Oid {

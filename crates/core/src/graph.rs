@@ -21,14 +21,64 @@
 
 use ncq_store::{MonetDb, Oid, PathStep};
 use std::collections::{HashMap, VecDeque};
+use std::sync::OnceLock;
+
+/// Undirected adjacency in compressed-sparse-row layout: neighbor runs
+/// are contiguous slices, so the BFS inner loop does no hashing.
+#[derive(Debug, Clone, Default)]
+struct Csr {
+    /// `offsets[o] .. offsets[o + 1]` indexes `neighbors` for node `o`;
+    /// nodes beyond the highest referenced oid have no entries.
+    offsets: Vec<u32>,
+    neighbors: Vec<u32>,
+}
+
+impl Csr {
+    fn build(pairs: &[(u32, u32)]) -> Csr {
+        let max_node = pairs
+            .iter()
+            .map(|&(a, b)| a.max(b) as usize + 1)
+            .max()
+            .unwrap_or(0);
+        let mut counts = vec![0u32; max_node + 1];
+        for &(a, b) in pairs {
+            counts[a as usize + 1] += 1;
+            counts[b as usize + 1] += 1;
+        }
+        for i in 1..counts.len() {
+            counts[i] += counts[i - 1];
+        }
+        let offsets = counts;
+        let mut fill = offsets.clone();
+        let mut neighbors = vec![0u32; pairs.len() * 2];
+        for &(a, b) in pairs {
+            neighbors[fill[a as usize] as usize] = b;
+            fill[a as usize] += 1;
+            neighbors[fill[b as usize] as usize] = a;
+            fill[b as usize] += 1;
+        }
+        Csr { offsets, neighbors }
+    }
+
+    fn neighbors_of(&self, o: usize) -> &[u32] {
+        if o + 1 >= self.offsets.len() {
+            return &[];
+        }
+        &self.neighbors[self.offsets[o] as usize..self.offsets[o + 1] as usize]
+    }
+}
 
 /// Reference edges overlaid on the document tree.
+///
+/// Edges are staged as pairs and compiled into a dense CSR adjacency on
+/// first traversal (cached; [`RefGraph::add_edge`] invalidates), so the
+/// bidirectional-BFS inner loop reads contiguous slices instead of
+/// probing a hash map per node.
 #[derive(Debug, Clone, Default)]
 pub struct RefGraph {
-    /// Adjacency: element → referenced elements (both directions are
-    /// traversed; storage is directed for provenance).
-    edges: HashMap<Oid, Vec<Oid>>,
-    edge_count: usize,
+    /// Directed staging for provenance; traversal is undirected.
+    pairs: Vec<(u32, u32)>,
+    csr: OnceLock<Csr>,
 }
 
 impl RefGraph {
@@ -39,19 +89,18 @@ impl RefGraph {
 
     /// Add one reference edge.
     pub fn add_edge(&mut self, from: Oid, to: Oid) {
-        self.edges.entry(from).or_default().push(to);
-        self.edges.entry(to).or_default().push(from);
-        self.edge_count += 1;
+        self.pairs.push((from.index() as u32, to.index() as u32));
+        self.csr = OnceLock::new();
     }
 
     /// Number of reference edges.
     pub fn len(&self) -> usize {
-        self.edge_count
+        self.pairs.len()
     }
 
     /// Whether the overlay has no edges.
     pub fn is_empty(&self) -> bool {
-        self.edge_count == 0
+        self.pairs.is_empty()
     }
 
     /// Build from key/reference conventions: every element owning an
@@ -101,8 +150,10 @@ impl RefGraph {
         graph
     }
 
-    fn refs_of(&self, o: Oid) -> &[Oid] {
-        self.edges.get(&o).map_or(&[], Vec::as_slice)
+    fn refs_of(&self, o: Oid) -> &[u32] {
+        self.csr
+            .get_or_init(|| Csr::build(&self.pairs))
+            .neighbors_of(o.index())
     }
 }
 
@@ -140,7 +191,12 @@ fn neighbors(db: &MonetDb, graph: &RefGraph, o: Oid, out: &mut Vec<Oid>) {
             out.push(c);
         }
     }
-    out.extend_from_slice(graph.refs_of(o));
+    out.extend(
+        graph
+            .refs_of(o)
+            .iter()
+            .map(|&r| Oid::from_index(r as usize)),
+    );
 }
 
 /// The graph meet: midpoint of a shortest path in the tree+reference
@@ -157,9 +213,12 @@ pub fn graph_meet(db: &MonetDb, graph: &RefGraph, o1: Oid, o2: Oid) -> Option<Gr
             d2: 0,
         });
     }
-    // Bidirectional BFS with per-side distance maps.
-    let mut dist1: HashMap<Oid, usize> = HashMap::from([(o1, 0)]);
-    let mut dist2: HashMap<Oid, usize> = HashMap::from([(o2, 0)]);
+    // Bidirectional BFS. Distance maps stay sparse: the search visits
+    // far fewer nodes than the document holds, and a dense per-call
+    // array would cost O(n) zero-fill on every query. (The adjacency —
+    // the actual inner-loop hot path — is hash-free CSR.)
+    let mut dist1: HashMap<Oid, u32> = HashMap::from([(o1, 0)]);
+    let mut dist2: HashMap<Oid, u32> = HashMap::from([(o2, 0)]);
     let mut q1: VecDeque<Oid> = VecDeque::from([o1]);
     let mut q2: VecDeque<Oid> = VecDeque::from([o2]);
     let mut best: Option<(usize, Oid)> = None;
@@ -181,7 +240,7 @@ pub fn graph_meet(db: &MonetDb, graph: &RefGraph, o1: Oid, o2: Oid) -> Option<Gr
         let layer = qa.len();
         for _ in 0..layer {
             let cur = qa.pop_front().expect("layer size checked");
-            let d_cur = da[&cur];
+            let d_cur = da[&cur] as usize;
             // Prune: cannot improve on the best meeting point.
             if let Some((b, _)) = best {
                 if d_cur + 1 >= b {
@@ -189,24 +248,24 @@ pub fn graph_meet(db: &MonetDb, graph: &RefGraph, o1: Oid, o2: Oid) -> Option<Gr
                 }
             }
             neighbors(db, graph, cur, &mut scratch);
-            for &n in &scratch {
-                if da.contains_key(&n) {
+            for &nb in &scratch {
+                if da.contains_key(&nb) {
                     continue;
                 }
-                da.insert(n, d_cur + 1);
-                if let Some(&other) = db_.get(&n) {
-                    let total = d_cur + 1 + other;
+                da.insert(nb, (d_cur + 1) as u32);
+                if let Some(&other) = db_.get(&nb) {
+                    let total = d_cur + 1 + other as usize;
                     if best.is_none_or(|(b, _)| total < b) {
-                        best = Some((total, n));
+                        best = Some((total, nb));
                     }
                 }
-                qa.push_back(n);
+                qa.push_back(nb);
             }
         }
         if let Some((b, _)) = best {
             // Both frontiers have advanced past b/2 → cannot improve.
-            let min_d1 = q1.front().map(|o| dist1[o]).unwrap_or(usize::MAX);
-            let min_d2 = q2.front().map(|o| dist2[o]).unwrap_or(usize::MAX);
+            let min_d1 = q1.front().map(|o| dist1[o] as usize).unwrap_or(usize::MAX);
+            let min_d2 = q2.front().map(|o| dist2[o] as usize).unwrap_or(usize::MAX);
             if min_d1.saturating_add(min_d2).saturating_add(2) > b {
                 break;
             }
@@ -216,8 +275,8 @@ pub fn graph_meet(db: &MonetDb, graph: &RefGraph, o1: Oid, o2: Oid) -> Option<Gr
     best.map(|(total, node)| GraphMeet {
         meet: node,
         distance: total,
-        d1: dist1[&node],
-        d2: total - dist1[&node],
+        d1: dist1[&node] as usize,
+        d2: total - dist1[&node] as usize,
     })
 }
 
@@ -317,10 +376,8 @@ mod tests {
     #[test]
     fn cycles_terminate() {
         // a ↔ b reference edge creates a cycle with the tree path.
-        let doc = parse(
-            r#"<r><a key="ka"><ref>kb</ref></a><b key="kb"><ref>ka</ref></b></r>"#,
-        )
-        .unwrap();
+        let doc =
+            parse(r#"<r><a key="ka"><ref>kb</ref></a><b key="kb"><ref>ka</ref></b></r>"#).unwrap();
         let db = MonetDb::from_document(&doc);
         let graph = RefGraph::from_key_references(&db, "key", "ref");
         assert_eq!(graph.len(), 2);

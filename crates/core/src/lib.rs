@@ -48,12 +48,13 @@ pub mod meet2;
 pub mod meet_multi;
 pub mod meet_sets;
 pub mod rank;
+mod sweep;
 
 pub use answer::{Answer, AnswerSet, Witness};
 pub use db::Database;
 pub use distance::{distance, meet2_bounded};
 pub use filter::PathFilter;
 pub use graph::{graph_distance, graph_meet, GraphMeet, RefGraph};
-pub use meet2::{meet2, meet2_naive, Meet2};
-pub use meet_multi::{meet_multi, Meet, MeetOptions};
-pub use meet_sets::{meet_sets, MeetError, SetMeets};
+pub use meet2::{meet2, meet2_indexed, meet2_naive, Meet2};
+pub use meet_multi::{meet_multi, meet_multi_indexed, Meet, MeetOptions};
+pub use meet_sets::{meet_sets, meet_sets_sweep, MeetError, SetMeets};

@@ -13,6 +13,11 @@
 //! then walk the other upward probing membership. It performs
 //! `depth(o₁) + d` look-ups where the steered version performs exactly
 //! `d = distance(o₁, o₂)`.
+//!
+//! [`meet2_indexed`] is the production fast path: O(1) via the Euler-tour
+//! LCA index of [`ncq_store::MeetIndex`], with the steered walk retained
+//! as the ablation baseline. All three implementations agree on `meet`
+//! and `distance` for every pair.
 
 use ncq_store::{MonetDb, Oid};
 
@@ -64,12 +69,27 @@ pub fn meet2(db: &MonetDb, o1: Oid, o2: Oid) -> Meet2 {
     }
 }
 
+/// Indexed fast path: O(1) LCA via the Euler-tour RMQ of
+/// [`MonetDb::meet_index`] — no parent walk at all. `distance` is still
+/// the paper's join count (`depth(o₁) + depth(o₂) − 2·depth(meet)`), but
+/// `lookups` is 0: the relational joins are modelled, not executed.
+pub fn meet2_indexed(db: &MonetDb, o1: Oid, o2: Oid) -> Meet2 {
+    let (meet, distance) = db.meet_index().meet(o1, o2);
+    Meet2 {
+        meet,
+        distance,
+        lookups: 0,
+    }
+}
+
 /// Naive baseline: collect all ancestors of `o1`, then probe `o2`'s
 /// ancestors against them. No σ steering.
 pub fn meet2_naive(db: &MonetDb, o1: Oid, o2: Oid) -> Meet2 {
-    // Ancestor list of o1, index = climb count.
+    // Ancestor list of o1, index = climb count. The iterator always
+    // yields o1 itself first, but guard the subtraction so an empty list
+    // can never underflow in release builds.
     let anc1: Vec<Oid> = db.ancestors(o1).collect();
-    let mut lookups = anc1.len() - 1; // parent() calls to build the list
+    let mut lookups = anc1.len().saturating_sub(1); // parent() calls to build the list
 
     let mut b = o2;
     let mut climb2 = 0usize;
@@ -216,6 +236,21 @@ mod tests {
     }
 
     #[test]
+    fn indexed_agrees_with_steered_everywhere() {
+        let db = db();
+        let oids: Vec<Oid> = db.iter_oids().collect();
+        for &a in &oids {
+            for &b in &oids {
+                let s = meet2(&db, a, b);
+                let i = meet2_indexed(&db, a, b);
+                assert_eq!(s.meet, i.meet, "meet mismatch for {a:?},{b:?}");
+                assert_eq!(s.distance, i.distance, "distance mismatch for {a:?},{b:?}");
+                assert_eq!(i.lookups, 0, "indexed meet performs no parent walk");
+            }
+        }
+    }
+
+    #[test]
     fn steered_version_needs_no_more_lookups_than_distance() {
         let db = db();
         let oids: Vec<Oid> = db.iter_oids().collect();
@@ -242,9 +277,8 @@ mod tests {
                 // the child of m on the path to a differs from the one to
                 // b unless a==b (then m==a==b).
                 if a != b {
-                    let step = |x: Oid| -> Option<Oid> {
-                        db.ancestors(x).take_while(|&n| n != m).last()
-                    };
+                    let step =
+                        |x: Oid| -> Option<Oid> { db.ancestors(x).take_while(|&n| n != m).last() };
                     match (step(a), step(b)) {
                         (Some(ca), Some(cb)) => assert_ne!(ca, cb),
                         // One of them IS the meet.

@@ -194,7 +194,11 @@ pub fn meet_multi(db: &MonetDb, inputs: &[HitSet], options: &MeetOptions) -> Vec
                 // pair with its closest member.
             }
             // Climb to the parent path (single token, or a failed meet^δ
-            // candidate).
+            // candidate). Tokens beyond δ keep climbing: they can no
+            // longer *form* a meet, but they still count as witnesses of
+            // a meet formed by closer hits higher up — pruning them here
+            // would change witness counts (and diverge from the indexed
+            // plane sweep, which sees every unconsumed hit in a subtree).
             let Some(parent_path) = parent_path else {
                 continue; // lone token at the root: dies
             };
@@ -211,14 +215,6 @@ pub fn meet_multi(db: &MonetDb, inputs: &[HitSet], options: &MeetOptions) -> Vec
                     })
                     .collect(),
             };
-            // meet^δ pruning: a token whose best climb already exceeds δ
-            // can never participate in a valid meet.
-            if options
-                .max_distance
-                .is_some_and(|d| climbed.min_climb > d)
-            {
-                continue;
-            }
             let parent_oid = db.parent(oid).expect("non-root nodes have parents");
             tokens
                 .entry(parent_path)
@@ -228,6 +224,92 @@ pub fn meet_multi(db: &MonetDb, inputs: &[HitSet], options: &MeetOptions) -> Vec
                 .or_insert(climbed);
         }
     }
+
+    // Deterministic order: deepest meets first, then document order.
+    meets.sort_by_key(|m| (std::cmp::Reverse(summary.depth(m.path)), m.node));
+    meets
+}
+
+/// Indexed plane-sweep evaluation of the generalized meet.
+///
+/// Produces exactly the meets of [`meet_multi`] (same nodes, distances,
+/// witness counts and witness climbs) without any token climbing: all
+/// hits are merged in document order; candidate meets are the LCAs of
+/// adjacent hits (O(1) via [`MonetDb::meet_index`]), processed deepest
+/// first from a heap. Because preorder intervals are contiguous, the
+/// unconsumed hits of a subtree form a contiguous run in the merged list:
+/// accepting a meet consumes that run and creates exactly one new
+/// adjacency. A candidate whose two closest hits violate `meet^δ` is
+/// skipped — its hits stay alive for shallower candidates, mirroring the
+/// roll-up's merged tokens climbing on.
+///
+/// Cost: O(hits log hits) for sort + heap, with O(1) work per LCA probe —
+/// replacing the roll-up's O(hits × depth) parent climbing.
+pub fn meet_multi_indexed(db: &MonetDb, inputs: &[HitSet], options: &MeetOptions) -> Vec<Meet> {
+    let summary = db.summary();
+    let cap = options.cap();
+    let index = db.meet_index();
+
+    // Merge all hits in document order, keeping input provenance and
+    // multiplicity (two attribute hits owned by one element are two
+    // witnesses, exactly as in the roll-up).
+    let mut items: Vec<(Oid, u32)> = inputs
+        .iter()
+        .enumerate()
+        .flat_map(|(i, hits)| hits.iter().map(move |(_, o)| (o, i as u32)))
+        .collect();
+    items.sort_unstable();
+
+    let oids: Vec<Oid> = items.iter().map(|&(o, _)| o).collect();
+    let mut meets: Vec<Meet> = Vec::new();
+
+    crate::sweep::plane_sweep(
+        index,
+        &oids,
+        // Any two hits can meet in the generalized operator.
+        |_, _| true,
+        |m, run| {
+            // Distance between the two closest witnesses through m.
+            let m_depth = index.depth(m);
+            let (mut min_climb, mut second_climb) = (usize::MAX, usize::MAX);
+            for &i in run {
+                let climb = index.depth(items[i].0) - m_depth;
+                if climb < min_climb {
+                    second_climb = min_climb;
+                    min_climb = climb;
+                } else if climb < second_climb {
+                    second_climb = climb;
+                }
+            }
+            let distance = min_climb.saturating_add(second_climb);
+            if options.max_distance.is_some_and(|d| distance > d) {
+                // Too far apart: hits stay alive for higher meets.
+                return crate::sweep::Verdict::Reject;
+            }
+            // Consume the run; a suppressed result type still consumes
+            // its witnesses ("they are output and not considered
+            // anymore").
+            if options.filter.accepts(db.sigma(m)) {
+                let witnesses = run
+                    .iter()
+                    .take(cap)
+                    .map(|&i| MeetWitness {
+                        origin: items[i].0,
+                        input: items[i].1 as usize,
+                        climb: index.depth(items[i].0) - m_depth,
+                    })
+                    .collect();
+                meets.push(Meet {
+                    node: m,
+                    path: db.sigma(m),
+                    distance,
+                    witness_count: run.len(),
+                    witnesses,
+                });
+            }
+            crate::sweep::Verdict::Accept
+        },
+    );
 
     // Deterministic order: deepest meets first, then document order.
     meets.sort_by_key(|m| (std::cmp::Reverse(summary.depth(m.path)), m.node));
@@ -349,10 +431,7 @@ mod tests {
         let inputs = vec![hits(&db, &idx, "Bit"), hits(&db, &idx, "1999")];
         let article_path = db
             .summary()
-            .lookup_in(
-                &["bibliography", "institute", "article"],
-                db.symbols(),
-            )
+            .lookup_in(&["bibliography", "institute", "article"], db.symbols())
             .unwrap();
         let opts = MeetOptions {
             filter: PathFilter::allowing([article_path]),
@@ -448,10 +527,7 @@ mod tests {
         ];
         let meets = meet_multi(&db, &inputs, &MeetOptions::default());
         assert_eq!(meets.len(), 2);
-        let depths: Vec<usize> = meets
-            .iter()
-            .map(|m| db.summary().depth(m.path))
-            .collect();
+        let depths: Vec<usize> = meets.iter().map(|m| db.summary().depth(m.path)).collect();
         assert!(depths[0] >= depths[1]);
         // Shuffling the input groups does not change the answer set.
         let inputs_rev: Vec<HitSet> = inputs.iter().rev().cloned().collect();

@@ -169,6 +169,66 @@ pub fn meet_sets(db: &MonetDb, set1: &[Oid], set2: &[Oid]) -> Result<SetMeets, M
     }
 }
 
+/// Indexed plane-sweep evaluation of the Figure 4 operator.
+///
+/// Semantics are identical to [`meet_sets`] (same minimal meets, same
+/// per-meet round), but instead of lifting whole frontiers level by level
+/// — O(hits × depth) parent look-ups — the two sorted hit lists are merged
+/// in document order and swept by the shared engine in
+/// [`crate::sweep`]: candidates are adjacent-pair LCAs (O(1) via
+/// [`MonetDb::meet_index`]), processed deepest first; accepting a meet
+/// consumes the contiguous run of survivors inside its subtree, which
+/// creates exactly one new adjacency. O(hits log hits) total.
+///
+/// Bookkeeping differences (documented, not semantic): `lookups` counts
+/// RMQ LCA probes instead of parent look-ups, and `join_rounds` is the
+/// largest round any meet surfaced in (the lift rounds are modelled, not
+/// executed).
+pub fn meet_sets_sweep(db: &MonetDb, set1: &[Oid], set2: &[Oid]) -> Result<SetMeets, MeetError> {
+    let p1 = check_homogeneous(db, set1)?;
+    let p2 = check_homogeneous(db, set2)?;
+    let mut result = SetMeets::default();
+    let (Some(p1), Some(p2)) = (p1, p2) else {
+        return Ok(result); // one side empty → no meets
+    };
+    let summary = db.summary();
+    let (d1, d2) = (summary.depth(p1), summary.depth(p2));
+    // Rounds the lift-based evaluation would need to reach depth `d`:
+    // |d1 − d2| steering rounds, then lockstep from min(d1, d2) down.
+    let round_at = |meet_depth: usize| d1.abs_diff(d2) + (d1.min(d2) - meet_depth);
+
+    let mut o1: Vec<Oid> = set1.to_vec();
+    let mut o2: Vec<Oid> = set2.to_vec();
+    o1.sort_unstable();
+    o1.dedup();
+    o2.sort_unstable();
+    o2.dedup();
+
+    // Document-order merge, remembering which side each element came from.
+    let mut items: Vec<(Oid, u8)> = Vec::with_capacity(o1.len() + o2.len());
+    items.extend(o1.into_iter().map(|o| (o, 0u8)));
+    items.extend(o2.into_iter().map(|o| (o, 1u8)));
+    items.sort_unstable();
+    let oids: Vec<Oid> = items.iter().map(|&(o, _)| o).collect();
+
+    let index = db.meet_index();
+    let mut meets: Vec<(Oid, usize)> = Vec::new();
+    result.lookups = crate::sweep::plane_sweep(
+        index,
+        &oids,
+        // A meet needs one element of each input set.
+        |li, ri| items[li].1 != items[ri].1,
+        |m, _run| {
+            meets.push((m, round_at(index.depth(m))));
+            crate::sweep::Verdict::Accept
+        },
+    );
+    result.meets = meets;
+
+    result.join_rounds = result.meets.iter().map(|&(_, r)| r).max().unwrap_or(0);
+    Ok(result)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -339,6 +399,79 @@ mod tests {
         let ben = cdata_containing(&db, "Ben");
         let result = meet_sets(&db, &ben, &[db.root()]).unwrap();
         assert_eq!(result.oids(), vec![db.root()]);
+    }
+
+    #[test]
+    fn sweep_agrees_with_lift_on_all_homogeneous_pairs() {
+        // Every pair of homogeneous sets constructible from the Figure 1
+        // relations: lift and sweep must return identical (meet, round)
+        // multisets.
+        let db = db();
+        let mut by_path: std::collections::BTreeMap<_, Vec<Oid>> = Default::default();
+        for o in db.iter_oids() {
+            by_path.entry(db.sigma(o)).or_default().push(o);
+        }
+        let groups: Vec<Vec<Oid>> = by_path.into_values().collect();
+        for s1 in &groups {
+            for s2 in &groups {
+                let lift = meet_sets(&db, s1, s2).unwrap();
+                let sweep = meet_sets_sweep(&db, s1, s2).unwrap();
+                let mut a = lift.meets.clone();
+                let mut b = sweep.meets.clone();
+                a.sort_unstable();
+                b.sort_unstable();
+                assert_eq!(a, b, "sets {s1:?} vs {s2:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn sweep_singletons_agree_with_meet2() {
+        let db = db();
+        let oids: Vec<Oid> = db.iter_oids().collect();
+        for &a in &oids {
+            for &b in &oids {
+                let pair = meet2(&db, a, b);
+                let set = meet_sets_sweep(&db, &[a], &[b]).unwrap();
+                assert_eq!(set.meets.len(), 1, "{a:?} {b:?}");
+                assert_eq!(set.meets[0].0, pair.meet, "{a:?} {b:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn sweep_handles_empty_and_heterogeneous_inputs() {
+        let db = db();
+        let some = cdata_all(&db, "1999");
+        assert!(meet_sets_sweep(&db, &[], &some).unwrap().meets.is_empty());
+        assert!(meet_sets_sweep(&db, &some, &[]).unwrap().meets.is_empty());
+        let mut mixed = some.clone();
+        mixed.extend(cdata_containing(&db, "Bit"));
+        assert!(meet_sets_sweep(&db, &mixed, &[db.root()]).is_err());
+    }
+
+    #[test]
+    fn sweep_consumes_leftovers_into_shallower_meets() {
+        // The case that forces the sweep's re-adjacency step: the deepest
+        // cross pair meets first and is consumed; the remaining outer
+        // elements (not adjacent in the original merge) must still meet.
+        let doc = parse("<r><c><a>s</a></c><c><a>s</a><b>t</b></c><c><b>t</b></c></r>").unwrap();
+        let db = MonetDb::from_document(&doc);
+        let s: Vec<Oid> = cdata_all(&db, "s");
+        let t: Vec<Oid> = cdata_all(&db, "t");
+        assert_eq!((s.len(), t.len()), (2, 2));
+        let lift = meet_sets(&db, &s, &t).unwrap();
+        let sweep = meet_sets_sweep(&db, &s, &t).unwrap();
+        let mut a = lift.meets.clone();
+        let mut b = sweep.meets.clone();
+        a.sort_unstable();
+        b.sort_unstable();
+        assert_eq!(a, b);
+        // The middle <c> meets first and is consumed; the leftover outer
+        // pair — never adjacent in the original merge — meets at the root.
+        assert_eq!(sweep.meets.len(), 2);
+        assert_eq!(db.tag(sweep.meets[0].0), Some("c"));
+        assert_eq!(db.tag(sweep.meets[1].0), Some("r"));
     }
 
     #[test]

@@ -1,0 +1,137 @@
+//! Shared document-order plane-sweep engine for the indexed set
+//! operators.
+//!
+//! [`meet_sets_sweep`](crate::meet_sets::meet_sets_sweep) and
+//! [`meet_multi_indexed`](crate::meet_multi::meet_multi_indexed) share
+//! the same core: items sorted in document order form a doubly-linked
+//! list; candidate meets are the LCAs of adjacent alive items, processed
+//! deepest first from a max-heap; accepting a meet consumes the
+//! contiguous run of alive items inside its subtree (preorder intervals
+//! are contiguous, so the run is an interval of the list) and bridges
+//! the gap, creating exactly one new adjacency. This module hosts that
+//! machinery once; the operators differ only in which adjacencies may
+//! propose and what happens at a candidate.
+//!
+//! A rejected candidate (only `meet^δ` rejects) is memoized by node:
+//! consumption can only *remove* witnesses from a subtree, so the two
+//! closest climbs at a node can only grow — a node that once failed the
+//! distance bound fails it forever. The memo caps the per-node run-scan
+//! work at once per distinct node, avoiding a quadratic blow-up when
+//! many adjacencies share one shallow LCA.
+
+use ncq_store::{MeetIndex, Oid};
+use std::collections::{BinaryHeap, HashSet};
+
+/// What the per-candidate callback decided.
+pub(crate) enum Verdict {
+    /// Consume the run; the callback has recorded the meet (or chosen to
+    /// suppress it — consumption happens either way).
+    Accept,
+    /// Leave the run alive (a `meet^δ` failure); the node is memoized
+    /// and never re-proposed.
+    Reject,
+}
+
+/// Run the sweep over `oids` (document-order sorted, multiplicity
+/// preserved). `proposes(li, ri)` gates which adjacencies may form a
+/// candidate (e.g. cross-side only for the two-set operator);
+/// `on_candidate(meet, run)` receives the meet node and the alive run's
+/// item indices, deepest candidates first. Returns the number of LCA
+/// probes performed.
+pub(crate) fn plane_sweep(
+    index: &MeetIndex,
+    oids: &[Oid],
+    mut proposes: impl FnMut(usize, usize) -> bool,
+    mut on_candidate: impl FnMut(Oid, &[usize]) -> Verdict,
+) -> usize {
+    let n = oids.len();
+    let mut probes = 0usize;
+    if n < 2 {
+        return probes;
+    }
+
+    const NONE: usize = usize::MAX;
+    let mut prev: Vec<usize> = (0..n).map(|i| i.checked_sub(1).unwrap_or(NONE)).collect();
+    let mut next: Vec<usize> = (1..=n).map(|i| if i < n { i } else { NONE }).collect();
+    let mut alive = vec![true; n];
+
+    // Max-heap: (LCA depth, doc order, left, right) — deepest first;
+    // equal depths are disjoint subtrees, ordered by document position
+    // for determinism.
+    let mut heap: BinaryHeap<(u32, std::cmp::Reverse<u32>, u32, u32)> = BinaryHeap::new();
+    let mut rejected: HashSet<Oid> = HashSet::new();
+    let mut run: Vec<usize> = Vec::new();
+
+    macro_rules! push_candidate {
+        ($li:expr, $ri:expr) => {
+            if proposes($li, $ri) {
+                let m = index.lca(oids[$li], oids[$ri]);
+                probes += 1;
+                heap.push((
+                    index.depth(m) as u32,
+                    std::cmp::Reverse(m.index() as u32),
+                    $li as u32,
+                    $ri as u32,
+                ));
+            }
+        };
+    }
+    for i in 1..n {
+        push_candidate!(i - 1, i);
+    }
+
+    while let Some((_, std::cmp::Reverse(m_raw), li, ri)) = heap.pop() {
+        let (li, ri) = (li as usize, ri as usize);
+        if !alive[li] || !alive[ri] || next[li] != ri {
+            continue; // stale adjacency
+        }
+        let m = Oid::from_index(m_raw as usize);
+        if rejected.contains(&m) {
+            continue; // permanently over the distance bound
+        }
+
+        // The alive items in subtree(m): a contiguous run around the
+        // proposing pair.
+        let mut lo = li;
+        while prev[lo] != NONE && index.is_ancestor_or_self(m, oids[prev[lo]]) {
+            lo = prev[lo];
+        }
+        let mut hi = ri;
+        while next[hi] != NONE && index.is_ancestor_or_self(m, oids[next[hi]]) {
+            hi = next[hi];
+        }
+        run.clear();
+        let mut cur = lo;
+        loop {
+            run.push(cur);
+            if cur == hi {
+                break;
+            }
+            cur = next[cur];
+        }
+
+        match on_candidate(m, &run) {
+            Verdict::Reject => {
+                rejected.insert(m);
+                continue;
+            }
+            Verdict::Accept => {}
+        }
+
+        // Consume the run and bridge the gap.
+        for &i in &run {
+            alive[i] = false;
+        }
+        let (left, right) = (prev[lo], next[hi]);
+        if left != NONE {
+            next[left] = right;
+        }
+        if right != NONE {
+            prev[right] = left;
+        }
+        if left != NONE && right != NONE {
+            push_candidate!(left, right);
+        }
+    }
+    probes
+}

@@ -229,13 +229,7 @@ fn add_inproceedings(doc: &mut Document, rng: &mut StdRng, conf: &str, year: u16
     doc.add_text(cr, format!("conf/{}{}", conf.to_lowercase(), year % 100));
 }
 
-fn add_article(
-    doc: &mut Document,
-    rng: &mut StdRng,
-    year: u16,
-    idx: usize,
-    mention: Option<&str>,
-) {
+fn add_article(doc: &mut Document, rng: &mut StdRng, year: u16, idx: usize, mention: Option<&str>) {
     let root = doc.root();
     let node = doc.add_element(root, "article");
     let journal = pools::JOURNALS[rng.random_range(0..pools::JOURNALS.len())];
@@ -285,7 +279,10 @@ mod tests {
             .any(|(c, y, _)| c == "ICDE" && *y == 1985));
         // But 1984 and 1986 exist.
         for y in [1984u16, 1986] {
-            assert!(corpus.editions.iter().any(|(c, yy, _)| c == "ICDE" && *yy == y));
+            assert!(corpus
+                .editions
+                .iter()
+                .any(|(c, yy, _)| c == "ICDE" && *yy == y));
         }
     }
 
@@ -351,9 +348,7 @@ mod tests {
         for &rec in doc.children(doc.root()) {
             if doc.tag_name(rec) == Some("article") {
                 for &c in doc.children(rec) {
-                    if doc.tag_name(c) == Some("title")
-                        && doc.deep_text(c).contains("ICDE")
-                    {
+                    if doc.tag_name(c) == Some("title") && doc.deep_text(c).contains("ICDE") {
                         mentions += 1;
                     }
                 }

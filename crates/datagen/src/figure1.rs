@@ -40,7 +40,14 @@ mod tests {
     fn figure1_contains_the_paper_strings() {
         let doc = figure1_document();
         let all = doc.deep_text(doc.root());
-        for s in ["Ben", "Bit", "Bob Byte", "How to Hack", "Hacking & RSI", "1999"] {
+        for s in [
+            "Ben",
+            "Bit",
+            "Bob Byte",
+            "How to Hack",
+            "Hacking & RSI",
+            "1999",
+        ] {
             assert!(all.contains(s));
         }
     }

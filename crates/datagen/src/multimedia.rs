@@ -145,7 +145,10 @@ fn add_noise_item(doc: &mut Document, rng: &mut StdRng, idx: usize) {
             let n_vals = 1 + rng.random_range(0..3);
             for _ in 0..n_vals {
                 let v = doc.add_element(f, "value");
-                doc.add_text(v, format!("{:.4}", rng.random_range(0..10_000) as f64 / 10_000.0));
+                doc.add_text(
+                    v,
+                    format!("{:.4}", rng.random_range(0..10_000) as f64 / 10_000.0),
+                );
             }
         }
         let kw = doc.add_element(region, "keywords");

@@ -11,22 +11,99 @@ pub const FIRST_NAMES: &[&str] = &[
 
 /// Author last names.
 pub const LAST_NAMES: &[&str] = &[
-    "Schmidt", "Kersten", "Windhouwer", "Boncz", "Abiteboul", "Florescu", "Widom", "Vianu",
-    "Aho", "Ullman", "Agrawal", "Garcia-Molina", "Gray", "Stonebraker", "DeWitt", "Sagiv",
-    "Faloutsos", "Chen", "Kossmann", "Weikum", "Cluet", "Meijer", "Larson", "Moerkotte",
-    "Sellis", "Ioannidis", "Ceri", "Bonifati", "Srivastava", "Wong", "Bit", "Byte", "Hopcroft",
-    "Codd", "Bernstein", "Lindsay", "Haas", "Mohan", "Lehman", "Naughton",
+    "Schmidt",
+    "Kersten",
+    "Windhouwer",
+    "Boncz",
+    "Abiteboul",
+    "Florescu",
+    "Widom",
+    "Vianu",
+    "Aho",
+    "Ullman",
+    "Agrawal",
+    "Garcia-Molina",
+    "Gray",
+    "Stonebraker",
+    "DeWitt",
+    "Sagiv",
+    "Faloutsos",
+    "Chen",
+    "Kossmann",
+    "Weikum",
+    "Cluet",
+    "Meijer",
+    "Larson",
+    "Moerkotte",
+    "Sellis",
+    "Ioannidis",
+    "Ceri",
+    "Bonifati",
+    "Srivastava",
+    "Wong",
+    "Bit",
+    "Byte",
+    "Hopcroft",
+    "Codd",
+    "Bernstein",
+    "Lindsay",
+    "Haas",
+    "Mohan",
+    "Lehman",
+    "Naughton",
 ];
 
 /// Title vocabulary (database flavored, like DBLP titles).
 pub const TITLE_WORDS: &[&str] = &[
-    "efficient", "scalable", "adaptive", "parallel", "distributed", "incremental", "optimal",
-    "approximate", "semantic", "relational", "semistructured", "temporal", "spatial", "object",
-    "oriented", "query", "queries", "processing", "optimization", "evaluation", "indexing",
-    "storage", "retrieval", "mining", "warehousing", "integration", "replication", "recovery",
-    "transactions", "concurrency", "views", "schemas", "documents", "databases", "systems",
-    "algorithms", "structures", "joins", "aggregation", "caching", "clustering", "partitioning",
-    "benchmarking", "performance", "cost", "models", "languages", "wrappers", "mediators",
+    "efficient",
+    "scalable",
+    "adaptive",
+    "parallel",
+    "distributed",
+    "incremental",
+    "optimal",
+    "approximate",
+    "semantic",
+    "relational",
+    "semistructured",
+    "temporal",
+    "spatial",
+    "object",
+    "oriented",
+    "query",
+    "queries",
+    "processing",
+    "optimization",
+    "evaluation",
+    "indexing",
+    "storage",
+    "retrieval",
+    "mining",
+    "warehousing",
+    "integration",
+    "replication",
+    "recovery",
+    "transactions",
+    "concurrency",
+    "views",
+    "schemas",
+    "documents",
+    "databases",
+    "systems",
+    "algorithms",
+    "structures",
+    "joins",
+    "aggregation",
+    "caching",
+    "clustering",
+    "partitioning",
+    "benchmarking",
+    "performance",
+    "cost",
+    "models",
+    "languages",
+    "wrappers",
+    "mediators",
     "streams",
 ];
 
@@ -42,15 +119,42 @@ pub const JOURNALS: &[&str] = &[
 
 /// Feature-detector names for the multimedia corpus.
 pub const DETECTORS: &[&str] = &[
-    "color", "texture", "shape", "edges", "histogram", "contour", "luminance", "saturation",
-    "wavelet", "gradient", "moments", "regions",
+    "color",
+    "texture",
+    "shape",
+    "edges",
+    "histogram",
+    "contour",
+    "luminance",
+    "saturation",
+    "wavelet",
+    "gradient",
+    "moments",
+    "regions",
 ];
 
 /// Media keywords for the multimedia corpus.
 pub const MEDIA_WORDS: &[&str] = &[
-    "landscape", "portrait", "indoor", "outdoor", "sunset", "forest", "water", "urban", "face",
-    "animal", "vehicle", "building", "sky", "mountain", "beach", "night", "snow", "flower",
-    "crowd", "texture",
+    "landscape",
+    "portrait",
+    "indoor",
+    "outdoor",
+    "sunset",
+    "forest",
+    "water",
+    "urban",
+    "face",
+    "animal",
+    "vehicle",
+    "building",
+    "sky",
+    "mountain",
+    "beach",
+    "night",
+    "snow",
+    "flower",
+    "crowd",
+    "texture",
 ];
 
 #[cfg(test)]

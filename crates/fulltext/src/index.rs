@@ -44,10 +44,17 @@ impl InvertedIndex {
                 }
             }
         }
+        // Contract: every posting list is sorted by (path, owner) —
+        // document order within a relation — and deduplicated. It holds
+        // by construction (string_paths iterates paths in interning
+        // order, owners in document order); the galloping intersections
+        // and the meet plane sweeps rely on it.
+        debug_assert!(map.values().all(|v| v.windows(2).all(|w| w[0] < w[1])));
         InvertedIndex { map, postings }
     }
 
-    /// Postings of a token. The query term is case-folded before lookup.
+    /// Postings of a token, sorted by `(path, owner)` and deduplicated.
+    /// The query term is case-folded before lookup.
     pub fn postings(&self, term: &str) -> &[Posting] {
         let folded = crate::tokenize::fold(term);
         self.map.get(folded.as_str()).map_or(&[], Vec::as_slice)
@@ -107,7 +114,10 @@ mod tests {
         assert_eq!(hits.len(), 1);
         assert_eq!(db.relation_name(hits[0].path), "bib/article/author/cdata");
         // The owner is the cdata node carrying "Ben Bit".
-        assert_eq!(db.string_value(hits[0].path, hits[0].owner), Some("Ben Bit"));
+        assert_eq!(
+            db.string_value(hits[0].path, hits[0].owner),
+            Some("Ben Bit")
+        );
     }
 
     #[test]
@@ -155,10 +165,7 @@ mod tests {
     fn counters_are_consistent() {
         let idx = InvertedIndex::build(&db());
         assert_eq!(idx.vocabulary().count(), idx.vocabulary_size());
-        let total: usize = idx
-            .vocabulary()
-            .map(|t| idx.postings(t).len())
-            .sum();
+        let total: usize = idx.vocabulary().map(|t| idx.postings(t).len()).sum();
         assert_eq!(total, idx.posting_count());
     }
 }

@@ -25,10 +25,12 @@
 
 pub mod hits;
 pub mod index;
+pub mod intersect;
 pub mod search;
 pub mod thesaurus;
 pub mod tokenize;
 
 pub use hits::HitSet;
 pub use index::{InvertedIndex, Posting};
+pub use intersect::{intersect, intersect_all};
 pub use thesaurus::{expanded_hits, Thesaurus};

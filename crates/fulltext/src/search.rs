@@ -23,29 +23,17 @@ pub fn phrase_hits(db: &MonetDb, index: &InvertedIndex, phrase: &str) -> HitSet 
     match words.as_slice() {
         [] => HitSet::new(),
         [single] => word_hits(index, single),
-        [first, rest @ ..] => {
-            let folded: String = {
-                // Normalized phrase: words joined by one space.
-                let mut s = String::new();
-                s.push_str(first);
-                for w in rest {
-                    s.push(' ');
-                    s.push_str(w);
-                }
-                s
-            };
+        [_, ..] => {
+            let folded = words.join(" ");
+            // Candidate associations contain *every* word: a galloping
+            // multi-way intersection over the sorted posting lists,
+            // starting from the rarest word.
+            let lists: Vec<&[crate::index::Posting]> =
+                words.iter().map(|w| index.postings(w)).collect();
+            let candidates = crate::intersect::intersect_all(&lists);
             HitSet::from_pairs(
-                index
-                    .postings(first)
-                    .iter()
-                    .filter(|p| {
-                        rest.iter().all(|w| {
-                            index
-                                .postings(w)
-                                .binary_search_by(|q| (q.path, q.owner).cmp(&(p.path, p.owner)))
-                                .is_ok()
-                        })
-                    })
+                candidates
+                    .into_iter()
                     .filter(|p| {
                         db.string_value(p.path, p.owner).is_some_and(|s| {
                             let norm: Vec<String> = tokens(s).collect();

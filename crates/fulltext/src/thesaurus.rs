@@ -131,7 +131,10 @@ mod tests {
         let mut t = Thesaurus::new();
         t.add_synonyms(&["databases", "DBMS"]);
         // Plain search finds one title; broadened finds both.
-        assert_eq!(expanded_hits(&db, &idx, &Thesaurus::new(), "databases").len(), 1);
+        assert_eq!(
+            expanded_hits(&db, &idx, &Thesaurus::new(), "databases").len(),
+            1
+        );
         assert_eq!(expanded_hits(&db, &idx, &t, "databases").len(), 2);
         // Symmetric: searching the synonym also broadens.
         assert_eq!(expanded_hits(&db, &idx, &t, "dbms").len(), 2);

@@ -49,8 +49,7 @@ pub fn contains_fold(text: &str, needle: &str) -> bool {
         if n.len() > t.len() {
             return false;
         }
-        t.windows(n.len())
-            .any(|w| w.eq_ignore_ascii_case(n))
+        t.windows(n.len()).any(|w| w.eq_ignore_ascii_case(n))
     } else {
         text.to_lowercase().contains(&needle.to_lowercase())
     }

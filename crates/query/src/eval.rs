@@ -19,7 +19,6 @@ use crate::pathexpr::{match_paths, matched_path_ids, PathMatch};
 use ncq_core::{AnswerSet, Database, MeetOptions, PathFilter};
 use ncq_fulltext::HitSet;
 use ncq_store::{Oid, PathId};
-use std::collections::HashSet;
 
 /// Evaluation limits.
 #[derive(Debug, Clone, Copy)]
@@ -59,10 +58,7 @@ impl RowSet {
     pub fn to_answer_xml(&self) -> String {
         let mut out = String::from("<answer>\n");
         for row in &self.rows {
-            out.push_str(&format!(
-                "  <result> {} </result>\n",
-                row.values.join(", ")
-            ));
+            out.push_str(&format!("  <result> {} </result>\n", row.values.join(", ")));
         }
         out.push_str("</answer>");
         out
@@ -148,14 +144,12 @@ fn hit_group(db: &Database, query: &Query, var: &str) -> Result<HitSet, QueryErr
 
     if needles.is_empty() {
         // No predicate: the variable contributes the matched nodes
-        // themselves (elements of matched element paths).
-        let mut hits = HitSet::new();
-        for &p in &matched {
-            for o in store.oids_of_path(p) {
-                hits.insert(p, o);
-            }
-        }
-        return Ok(hits);
+        // themselves (elements of matched element paths), read straight
+        // from the meet index's document-order posting lists.
+        let index = store.meet_index();
+        return Ok(HitSet::from_pairs(matched.iter().flat_map(|&p| {
+            index.oids_of_path(p).iter().map(move |&o| (p, o))
+        })));
     }
 
     let mut result: Option<HitSet> = None;
@@ -197,32 +191,31 @@ fn projection_bindings(
             name: var.to_owned(),
         })?;
     let store = db.store();
+    let index = store.meet_index();
     let matches: Vec<PathMatch> = match_paths(store, &binding.path);
     let needles = query.needles_for(var);
 
-    // Nodes whose subtree contains every needle: intersect, per needle,
-    // the ancestor closures of the hits.
-    let mut containing: Option<HashSet<Oid>> = None;
-    for needle in &needles {
-        let hits = db.search(needle);
-        let mut closure: HashSet<Oid> = HashSet::new();
-        for (_, owner) in hits.iter() {
-            for anc in store.ancestors(owner) {
-                if !closure.insert(anc) {
-                    break; // the rest of the chain is already marked
-                }
-            }
-        }
-        containing = Some(match containing {
-            None => closure,
-            Some(prev) => prev.intersection(&closure).copied().collect(),
-        });
-    }
+    // "Whose offspring contains the needle" is a subtree-interval test:
+    // collect each needle's hit owners in document order once, then probe
+    // candidates with an O(log hits) emptiness check on their preorder
+    // interval — no ancestor-closure materialization.
+    let needle_owners: Vec<Vec<Oid>> = needles
+        .iter()
+        .map(|needle| {
+            let mut owners: Vec<Oid> = db.search(needle).iter().map(|(_, o)| o).collect();
+            owners.sort_unstable();
+            owners.dedup();
+            owners
+        })
+        .collect();
 
     let mut out = Vec::new();
     for m in &matches {
-        for o in store.oids_of_path(m.path) {
-            if containing.as_ref().is_none_or(|c| c.contains(&o)) {
+        for &o in index.oids_of_path(m.path) {
+            if needle_owners
+                .iter()
+                .all(|owners| index.subtree_contains_any(o, owners))
+            {
                 out.push((o, m.tags.clone()));
             }
         }

@@ -53,27 +53,45 @@ pub fn lex(src: &str) -> Result<Vec<Token>, QueryError> {
                 i += 1;
             }
             b'(' => {
-                out.push(Token { kind: TokenKind::LParen, offset });
+                out.push(Token {
+                    kind: TokenKind::LParen,
+                    offset,
+                });
                 i += 1;
             }
             b')' => {
-                out.push(Token { kind: TokenKind::RParen, offset });
+                out.push(Token {
+                    kind: TokenKind::RParen,
+                    offset,
+                });
                 i += 1;
             }
             b',' => {
-                out.push(Token { kind: TokenKind::Comma, offset });
+                out.push(Token {
+                    kind: TokenKind::Comma,
+                    offset,
+                });
                 i += 1;
             }
             b'/' => {
-                out.push(Token { kind: TokenKind::Slash, offset });
+                out.push(Token {
+                    kind: TokenKind::Slash,
+                    offset,
+                });
                 i += 1;
             }
             b'*' => {
-                out.push(Token { kind: TokenKind::Star, offset });
+                out.push(Token {
+                    kind: TokenKind::Star,
+                    offset,
+                });
                 i += 1;
             }
             b'%' => {
-                out.push(Token { kind: TokenKind::Percent, offset });
+                out.push(Token {
+                    kind: TokenKind::Percent,
+                    offset,
+                });
                 i += 1;
             }
             b'$' | b'@' => {
@@ -217,10 +235,10 @@ mod tests {
 
     #[test]
     fn numbers() {
-        assert_eq!(kinds("within 12"), vec![
-            TokenKind::Word("within".into()),
-            TokenKind::Number(12),
-        ]);
+        assert_eq!(
+            kinds("within 12"),
+            vec![TokenKind::Word("within".into()), TokenKind::Number(12),]
+        );
     }
 
     #[test]

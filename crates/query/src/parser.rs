@@ -30,12 +30,7 @@ impl Parser {
         self.tokens
             .get(self.pos)
             .map(|t| t.offset)
-            .unwrap_or_else(|| {
-                self.tokens
-                    .last()
-                    .map(|t| t.offset + 1)
-                    .unwrap_or(0)
-            })
+            .unwrap_or_else(|| self.tokens.last().map(|t| t.offset + 1).unwrap_or(0))
     }
 
     fn advance(&mut self) -> Option<TokenKind> {
@@ -128,7 +123,10 @@ impl Parser {
         // `meet(` starts the aggregate; a bare word `meet` not followed by
         // `(` is an ordinary variable.
         let is_meet = matches!(self.peek(), Some(TokenKind::Word(w)) if w.eq_ignore_ascii_case("meet"))
-            && matches!(self.tokens.get(self.pos + 1).map(|t| &t.kind), Some(TokenKind::LParen));
+            && matches!(
+                self.tokens.get(self.pos + 1).map(|t| &t.kind),
+                Some(TokenKind::LParen)
+            );
         if is_meet {
             self.pos += 2; // meet (
             let mut vars = vec![self.expect_word("variable")?];
@@ -377,8 +375,7 @@ mod tests {
         assert!(matches!(e, QueryError::UnboundVariable { .. }));
         let e = parse_query("select meet(t1, t9) from x as t1").unwrap_err();
         assert!(matches!(e, QueryError::UnboundVariable { .. }));
-        let e =
-            parse_query("select t1 from x as t1 where t9 contains 'x'").unwrap_err();
+        let e = parse_query("select t1 from x as t1 where t9 contains 'x'").unwrap_err();
         assert!(matches!(e, QueryError::UnboundVariable { .. }));
         let e = parse_query("select $Z from x/$T as t1").unwrap_err();
         assert!(matches!(e, QueryError::UnboundVariable { .. }));

@@ -36,7 +36,13 @@ pub fn match_paths(db: &MonetDb, pattern: &PathExpr) -> Vec<PathMatch> {
         steps.reverse();
 
         let mut assignments = Vec::new();
-        collect_matches(db, &steps, &pattern.steps, &mut Vec::new(), &mut assignments);
+        collect_matches(
+            db,
+            &steps,
+            &pattern.steps,
+            &mut Vec::new(),
+            &mut assignments,
+        );
         for tags in assignments {
             let m = PathMatch { path, tags };
             if !out.contains(&m) {
@@ -49,7 +55,10 @@ pub fn match_paths(db: &MonetDb, pattern: &PathExpr) -> Vec<PathMatch> {
 
 /// Whether any path matches (used for filters).
 pub fn matched_path_ids(db: &MonetDb, pattern: &PathExpr) -> Vec<PathId> {
-    let mut ids: Vec<PathId> = match_paths(db, pattern).into_iter().map(|m| m.path).collect();
+    let mut ids: Vec<PathId> = match_paths(db, pattern)
+        .into_iter()
+        .map(|m| m.path)
+        .collect();
     ids.sort_unstable();
     ids.dedup();
     ids

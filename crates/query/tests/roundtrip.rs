@@ -1,120 +1,198 @@
-//! Property tests: random query ASTs survive print → parse, and random
+//! Randomized tests: random query ASTs survive print → parse, and random
 //! query *strings* never panic the pipeline.
+//!
+//! Seeded loops over a deterministic PRNG stand in for proptest (the
+//! offline build cannot fetch it); failures print the seed.
 
 use ncq_query::ast::{
     Binding, Condition, MeetModifiers, PathExpr, PathStepExpr, Query, SelectClause, SelectItem,
 };
 use ncq_query::parse_query;
-use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
 
-fn ident() -> impl Strategy<Value = String> {
-    "[a-z][a-z0-9_]{0,6}".prop_filter("not a keyword", |s| {
-        !matches!(
+fn ident(rng: &mut StdRng) -> String {
+    loop {
+        let len = rng.random_range(1usize..8);
+        let mut s = String::new();
+        s.push((b'a' + rng.random_range(0u8..26)) as char);
+        const TAIL: [char; 38] = [
+            'a', 'b', 'c', 'd', 'e', 'f', 'g', 'h', 'i', 'j', 'k', 'l', 'm', 'n', 'o', 'p', 'q',
+            'r', 's', 't', 'u', 'v', 'w', 'x', 'y', 'z', '0', '1', '2', '3', '4', '5', '6', '7',
+            '8', '9', '_', '_',
+        ];
+        for _ in 1..len {
+            s.push(TAIL[rng.random_range(0..TAIL.len())]);
+        }
+        let keyword = matches!(
             s.as_str(),
-            "select" | "from" | "where" | "and" | "as" | "contains" | "meet" | "within"
-                | "excluding" | "only" | "cdata"
-        )
-    })
+            "select"
+                | "from"
+                | "where"
+                | "and"
+                | "as"
+                | "contains"
+                | "meet"
+                | "within"
+                | "excluding"
+                | "only"
+                | "cdata"
+        );
+        if !keyword {
+            return s;
+        }
+    }
 }
 
-fn path_step() -> impl Strategy<Value = PathStepExpr> {
-    prop_oneof![
-        4 => ident().prop_map(PathStepExpr::Tag),
-        1 => Just(PathStepExpr::AnyOne),
-        1 => Just(PathStepExpr::AnySeq),
-        1 => ident().prop_map(PathStepExpr::Attribute),
-        1 => Just(PathStepExpr::Cdata),
-        1 => "[A-Z]".prop_map(PathStepExpr::TagVar),
-    ]
+fn path_step(rng: &mut StdRng) -> PathStepExpr {
+    match rng.random_range(0usize..9) {
+        0..=3 => PathStepExpr::Tag(ident(rng)),
+        4 => PathStepExpr::AnyOne,
+        5 => PathStepExpr::AnySeq,
+        6 => PathStepExpr::Attribute(ident(rng)),
+        7 => PathStepExpr::Cdata,
+        _ => PathStepExpr::TagVar(((b'A' + rng.random_range(0u8..26)) as char).to_string()),
+    }
 }
 
-fn path_expr() -> impl Strategy<Value = PathExpr> {
-    prop::collection::vec(path_step(), 1..5).prop_map(|steps| PathExpr { steps })
+fn path_expr(rng: &mut StdRng) -> PathExpr {
+    let n = rng.random_range(1usize..5);
+    PathExpr {
+        steps: (0..n).map(|_| path_step(rng)).collect(),
+    }
 }
 
-fn needle() -> impl Strategy<Value = String> {
+fn needle(rng: &mut StdRng) -> String {
     // Anything except quotes (the printer uses single quotes).
-    "[a-zA-Z0-9 .&-]{1,12}".prop_map(|s| s.trim().to_string() + "x")
+    const CHARS: [char; 10] = ['a', 'B', '7', ' ', '.', '&', '-', 'z', 'Q', '0'];
+    let len = rng.random_range(1usize..13);
+    let s: String = (0..len)
+        .map(|_| CHARS[rng.random_range(0..CHARS.len())])
+        .collect();
+    s.trim().to_string() + "x"
 }
 
 /// A structurally valid query: distinct binding vars, select/where refer
 /// only to bound vars, meet has ≥ 2 vars.
-fn query() -> impl Strategy<Value = Query> {
-    (
-        prop::collection::vec((path_expr(), ident()), 2..4),
-        any::<bool>(),
-        prop::collection::vec((prop::sample::Index::arbitrary(), needle()), 0..3),
-        proptest::option::of(0usize..10),
-        proptest::option::of(path_expr()),
-    )
-        .prop_map(|(mut from_raw, is_meet, conds, within, excluding)| {
-            // Dedup binding variables.
-            from_raw.sort_by(|a, b| a.1.cmp(&b.1));
-            from_raw.dedup_by(|a, b| a.1 == b.1);
-            let from: Vec<Binding> = from_raw
-                .into_iter()
-                .map(|(path, var)| Binding { path, var })
-                .collect();
-            let tag_vars: Vec<String> = from
-                .iter()
-                .flat_map(|b| b.path.steps.iter())
-                .filter_map(|s| match s {
-                    PathStepExpr::TagVar(v) => Some(v.clone()),
-                    _ => None,
-                })
-                .collect();
-            let select = if is_meet && from.len() >= 2 {
-                SelectClause::Meet {
-                    vars: from.iter().map(|b| b.var.clone()).collect(),
-                    modifiers: MeetModifiers {
-                        within,
-                        excluding: excluding.into_iter().collect(),
-                        only: vec![],
-                    },
-                }
-            } else {
-                let mut items: Vec<SelectItem> =
-                    from.iter().map(|b| SelectItem::Var(b.var.clone())).collect();
-                if let Some(tv) = tag_vars.first() {
-                    items.push(SelectItem::TagVar(tv.clone()));
-                }
-                SelectClause::Projection(items)
-            };
-            let conditions = conds
-                .into_iter()
-                .map(|(idx, needle)| Condition {
-                    var: from[idx.index(from.len())].var.clone(),
-                    needle,
-                })
-                .collect();
-            Query {
-                select,
-                from,
-                conditions,
-            }
+fn random_query(rng: &mut StdRng) -> Query {
+    let n_bindings = rng.random_range(2usize..4);
+    let mut from_raw: Vec<(PathExpr, String)> = (0..n_bindings)
+        .map(|_| (path_expr(rng), ident(rng)))
+        .collect();
+    let is_meet = rng.random_bool();
+    let n_conds = rng.random_range(0usize..3);
+    let within = if rng.random_bool() {
+        Some(rng.random_range(0usize..10))
+    } else {
+        None
+    };
+    let excluding = if rng.random_bool() {
+        Some(path_expr(rng))
+    } else {
+        None
+    };
+
+    // Dedup binding variables.
+    from_raw.sort_by(|a, b| a.1.cmp(&b.1));
+    from_raw.dedup_by(|a, b| a.1 == b.1);
+    let from: Vec<Binding> = from_raw
+        .into_iter()
+        .map(|(path, var)| Binding { path, var })
+        .collect();
+    let tag_vars: Vec<String> = from
+        .iter()
+        .flat_map(|b| b.path.steps.iter())
+        .filter_map(|s| match s {
+            PathStepExpr::TagVar(v) => Some(v.clone()),
+            _ => None,
         })
+        .collect();
+    let select = if is_meet && from.len() >= 2 {
+        SelectClause::Meet {
+            vars: from.iter().map(|b| b.var.clone()).collect(),
+            modifiers: MeetModifiers {
+                within,
+                excluding: excluding.into_iter().collect(),
+                only: vec![],
+            },
+        }
+    } else {
+        let mut items: Vec<SelectItem> = from
+            .iter()
+            .map(|b| SelectItem::Var(b.var.clone()))
+            .collect();
+        if let Some(tv) = tag_vars.first() {
+            items.push(SelectItem::TagVar(tv.clone()));
+        }
+        SelectClause::Projection(items)
+    };
+    let conditions = (0..n_conds)
+        .map(|_| Condition {
+            var: from[rng.random_range(0..from.len())].var.clone(),
+            needle: needle(rng),
+        })
+        .collect();
+    Query {
+        select,
+        from,
+        conditions,
+    }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(256))]
+const CASES: u64 = 256;
 
-    #[test]
-    fn print_then_parse_is_identity(q in query()) {
+#[test]
+fn print_then_parse_is_identity() {
+    for seed in 0..CASES {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let q = random_query(&mut rng);
         let printed = q.to_string();
         let reparsed = parse_query(&printed)
-            .unwrap_or_else(|e| panic!("{printed:?} failed: {e}"));
-        prop_assert_eq!(reparsed, q, "printed: {}", printed);
+            .unwrap_or_else(|e| panic!("seed {seed}: {printed:?} failed: {e}"));
+        assert_eq!(reparsed, q, "seed {seed}, printed: {printed}");
     }
+}
 
-    #[test]
-    fn parser_never_panics(src in "\\PC{0,120}") {
+#[test]
+fn parser_never_panics() {
+    const CHARS: [char; 24] = [
+        'a', 'z', '$', '@', '%', '*', '/', ',', '(', ')', '\'', ' ', '"', '0', '9', '<', '>', '=',
+        ';', '.', '-', 'é', '≤', '\t',
+    ];
+    for seed in 0..CASES {
+        let mut rng = StdRng::seed_from_u64(1 << 32 | seed);
+        let len = rng.random_range(0usize..120);
+        let src: String = (0..len)
+            .map(|_| CHARS[rng.random_range(0..CHARS.len())])
+            .collect();
         let _ = parse_query(&src);
     }
+}
 
-    #[test]
-    fn parser_never_panics_on_query_soup(
-        src in "(select|from|where|meet|contains|and|as|[a-z$@%*/,()' ]){0,40}"
-    ) {
+#[test]
+fn parser_never_panics_on_query_soup() {
+    const PIECES: [&str; 14] = [
+        "select ",
+        "from ",
+        "where ",
+        "meet",
+        "contains ",
+        "and ",
+        "as ",
+        "(",
+        ")",
+        "'",
+        "$t",
+        "%",
+        "/",
+        ", ",
+    ];
+    for seed in 0..CASES {
+        let mut rng = StdRng::seed_from_u64(2 << 32 | seed);
+        let n = rng.random_range(0usize..40);
+        let src: String = (0..n)
+            .map(|_| PIECES[rng.random_range(0..PIECES.len())])
+            .collect();
         let _ = parse_query(&src);
     }
 }

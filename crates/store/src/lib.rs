@@ -31,12 +31,14 @@
 //! assert_eq!(db.relation_name(db.sigma(*owner)), "bib/article/year/cdata");
 //! ```
 
+pub mod index;
 pub mod monet;
 pub mod object;
 pub mod oid;
 pub mod path;
 pub mod stats;
 
+pub use index::MeetIndex;
 pub use monet::MonetDb;
 pub use object::ObjectView;
 pub use oid::Oid;

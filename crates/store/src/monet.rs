@@ -15,10 +15,12 @@
 //! meet algorithms need in O(1): `sigma: oid → PathId` and
 //! `parent: oid → Oid` (the paper's "basically a hash look-up").
 
+use crate::index::MeetIndex;
 use crate::oid::Oid;
 use crate::path::{PathId, PathStep, PathSummary};
 use crate::stats::StoreStats;
 use ncq_xml::{Document, NodeId, NodeKind, SymbolTable};
+use std::sync::OnceLock;
 
 /// A loaded, path-partitioned XML database instance.
 #[derive(Debug, Clone)]
@@ -42,6 +44,9 @@ pub struct MonetDb {
     node_of_oid: Vec<NodeId>,
     /// Oid per tree node (dense over the arena).
     oid_of_node: Vec<Oid>,
+    /// Lazily built structural meet index (Euler-tour LCA); the database
+    /// is immutable after loading, so the cache never invalidates.
+    meet_index: OnceLock<MeetIndex>,
 }
 
 impl MonetDb {
@@ -58,6 +63,7 @@ impl MonetDb {
             strings: Vec::new(),
             node_of_oid: Vec::with_capacity(n),
             oid_of_node: vec![Oid::ROOT; n],
+            meet_index: OnceLock::new(),
         };
         db.load(doc);
         db
@@ -74,9 +80,7 @@ impl MonetDb {
     fn load(&mut self, doc: &Document) {
         // Explicit DFS stack of (node, parent oid, parent path, rank).
         // Children are pushed in reverse so document order pops first.
-        let root_sym = doc
-            .tag_symbol(doc.root())
-            .expect("root is an element node");
+        let root_sym = doc.tag_symbol(doc.root()).expect("root is an element node");
         // Symbols were cloned from the document, so the root symbol is
         // valid in our table too.
         let root_path = self.summary.intern_root(PathStep::Element(root_sym));
@@ -196,6 +200,14 @@ impl MonetDb {
         self.ancestors(o).any(|a| a == anc)
     }
 
+    /// The structural meet index: O(1) `lca` / `distance` /
+    /// `is_ancestor_or_self` after a one-off O(n log n) build. Built
+    /// lazily on first use and cached for the lifetime of the database
+    /// (which is immutable after bulk load).
+    pub fn meet_index(&self) -> &MeetIndex {
+        self.meet_index.get_or_init(|| MeetIndex::build(self))
+    }
+
     // ----- schema access -----
 
     /// The path summary (tree-shaped schema).
@@ -295,9 +307,7 @@ impl MonetDb {
             }
             match self.summary.step(self.sigma(o)) {
                 PathStep::Cdata => {
-                    let text = self
-                        .string_value(self.sigma(o), o)
-                        .unwrap_or_default();
+                    let text = self.string_value(self.sigma(o), o).unwrap_or_default();
                     out.push_str(&format!("cdata, {o} \"{text}\"\n"));
                 }
                 _ => {
@@ -345,10 +355,7 @@ impl MonetDb {
             let name = self.relation_name(p);
             let edges = self.edges_of(p);
             if !edges.is_empty() {
-                let pairs: Vec<String> = edges
-                    .iter()
-                    .map(|(a, b)| format!("({a},{b})"))
-                    .collect();
+                let pairs: Vec<String> = edges.iter().map(|(a, b)| format!("({a},{b})")).collect();
                 lines.push(format!("{name} -> {{{}}}", pairs.join(", ")));
             }
             let strings = self.strings_of(p);
@@ -383,7 +390,11 @@ impl MonetDb {
             if t > 0 {
                 s.string_relations += 1;
                 s.string_associations += t;
-                s.string_bytes += self.strings_of(p).iter().map(|(_, v)| v.len()).sum::<usize>();
+                s.string_bytes += self
+                    .strings_of(p)
+                    .iter()
+                    .map(|(_, v)| v.len())
+                    .sum::<usize>();
             }
             s.max_depth = s.max_depth.max(self.summary.depth(p));
         }
@@ -432,11 +443,7 @@ mod tests {
     #[test]
     fn sigma_matches_figure2_relation_names() {
         let db = figure1_db();
-        let names: Vec<String> = db
-            .summary()
-            .iter()
-            .map(|p| db.relation_name(p))
-            .collect();
+        let names: Vec<String> = db.summary().iter().map(|p| db.relation_name(p)).collect();
         // Every relation of the paper's Figure 2 must exist.
         for expected in [
             "bibliography",
@@ -567,16 +574,15 @@ mod tests {
         let mut names: Vec<String> = db.string_paths().map(|p| db.relation_name(p)).collect();
         names.sort();
         assert!(names.iter().any(|n| n.ends_with("@key")));
-        assert!(names.iter().all(|n| n.ends_with("cdata") || n.ends_with("@key")));
+        assert!(names
+            .iter()
+            .all(|n| n.ends_with("cdata") || n.ends_with("@key")));
     }
 
     #[test]
     fn is_ancestor_or_self_works() {
         let db = figure1_db();
-        let any_leaf = db
-            .iter_oids()
-            .find(|&o| db.label(o) == "cdata")
-            .unwrap();
+        let any_leaf = db.iter_oids().find(|&o| db.label(o) == "cdata").unwrap();
         assert!(db.is_ancestor_or_self(Oid::ROOT, any_leaf));
         assert!(db.is_ancestor_or_self(any_leaf, any_leaf));
         assert!(!db.is_ancestor_or_self(any_leaf, Oid::ROOT));
@@ -620,8 +626,9 @@ mod tests {
         // The two articles share one relation.
         assert!(dump.contains("bibliography/institute/article -> {(o1,o2), (o1,o12)}"));
         // The key attribute relation with both values.
-        assert!(dump
-            .contains("bibliography/institute/article/@key/string -> {(o2,\"BB99\"), (o12,\"BK99\")}"));
+        assert!(dump.contains(
+            "bibliography/institute/article/@key/string -> {(o2,\"BB99\"), (o12,\"BK99\")}"
+        ));
         // Both years in one string relation.
         assert!(dump.contains(
             "bibliography/institute/article/year/cdata/string -> {(o11,\"1999\"), (o18,\"1999\")}"

@@ -41,11 +41,7 @@ impl ObjectView {
         match summary.step(path) {
             PathStep::Cdata => {
                 // The node's own string lives in its path's string relation.
-                if let Some((_, s)) = db
-                    .strings_of(path)
-                    .iter()
-                    .find(|(owner, _)| *owner == oid)
-                {
+                if let Some((_, s)) = db.strings_of(path).iter().find(|(owner, _)| *owner == oid) {
                     text.push_str(s);
                 }
             }
@@ -169,9 +165,11 @@ mod tests {
         let db = db();
         let cd = db
             .iter_oids()
-            .find(|&o| db.label(o) == "cdata" && {
-                let v = ObjectView::assemble(&db, o);
-                v.text == "1999"
+            .find(|&o| {
+                db.label(o) == "cdata" && {
+                    let v = ObjectView::assemble(&db, o);
+                    v.text == "1999"
+                }
             })
             .unwrap();
         let v = ObjectView::assemble(&db, cd);

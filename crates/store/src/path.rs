@@ -307,7 +307,10 @@ mod tests {
     fn lookup_reverses_display() {
         let (mut ps, sym, _, p_art, p_year, p_key) = setup();
         let p_cd = ps.intern_child(p_art, PathStep::Cdata);
-        assert_eq!(ps.lookup_in(&["bib", "article", "year"], &sym), Some(p_year));
+        assert_eq!(
+            ps.lookup_in(&["bib", "article", "year"], &sym),
+            Some(p_year)
+        );
         assert_eq!(ps.lookup_in(&["bib", "article", "@key"], &sym), Some(p_key));
         assert_eq!(ps.lookup_in(&["bib", "article", "cdata"], &sym), Some(p_cd));
         assert_eq!(ps.lookup_in(&["bib", "nothere"], &sym), None);

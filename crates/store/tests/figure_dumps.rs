@@ -28,9 +28,7 @@ fn relation_dump_of_tiny_document_is_exact() {
 
 #[test]
 fn dumps_scale_to_repeated_structures() {
-    let db = MonetDb::from_document(
-        &parse("<l><i>1</i><i>2</i><i>3</i></l>").unwrap(),
-    );
+    let db = MonetDb::from_document(&parse("<l><i>1</i><i>2</i><i>3</i></l>").unwrap());
     let tree = db.dump_tree();
     // Items in document order with their strings.
     let pos1 = tree.find("\"1\"").unwrap();

@@ -1,8 +1,12 @@
-//! Property-based invariants of the Monet transform.
+//! Randomized invariants of the Monet transform and the meet index.
+//!
+//! Seeded loops over a deterministic PRNG stand in for proptest (the
+//! offline build cannot fetch it); failures print the seed.
 
 use ncq_store::{MonetDb, Oid, PathStep};
 use ncq_xml::{Document, NodeId};
-use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
 
 /// Random document recipes (same instruction-list trick as in ncq-xml).
 #[derive(Debug, Clone)]
@@ -13,18 +17,25 @@ enum Op {
     Attr(&'static str, String),
 }
 
-fn ops() -> impl Strategy<Value = Vec<Op>> {
-    let tag = prop::sample::select(vec!["a", "b", "c", "d", "e"]);
-    let word = "[a-z]{1,6}";
-    prop::collection::vec(
-        prop_oneof![
-            3 => tag.clone().prop_map(Op::Open),
-            2 => Just(Op::Close),
-            2 => word.prop_map(Op::Text),
-            1 => (tag, word).prop_map(|(k, v)| Op::Attr(k, v)),
-        ],
-        0..80,
-    )
+const TAGS: [&str; 5] = ["a", "b", "c", "d", "e"];
+
+fn word(rng: &mut StdRng) -> String {
+    let len = rng.random_range(1usize..7);
+    (0..len)
+        .map(|_| (b'a' + rng.random_range(0u8..26)) as char)
+        .collect()
+}
+
+fn ops(rng: &mut StdRng) -> Vec<Op> {
+    let n = rng.random_range(0usize..80);
+    (0..n)
+        .map(|_| match rng.random_range(0usize..8) {
+            0..=2 => Op::Open(TAGS[rng.random_range(0..TAGS.len())]),
+            3..=4 => Op::Close,
+            5..=6 => Op::Text(word(rng)),
+            _ => Op::Attr(TAGS[rng.random_range(0..TAGS.len())], word(rng)),
+        })
+        .collect()
 }
 
 fn build(ops: &[Op]) -> Document {
@@ -59,120 +70,188 @@ fn build(ops: &[Op]) -> Document {
     doc
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(192))]
+const CASES: u64 = 192;
 
-    /// Every tree node gets exactly one oid; count matches.
-    #[test]
-    fn oid_assignment_is_a_bijection(recipe in ops()) {
-        let doc = build(&recipe);
+fn for_random_dbs(salt: u64, mut check: impl FnMut(&Document, &MonetDb, u64)) {
+    for seed in 0..CASES {
+        let mut rng = StdRng::seed_from_u64(salt << 32 | seed);
+        let doc = build(&ops(&mut rng));
         let db = MonetDb::from_document(&doc);
-        prop_assert_eq!(db.node_count(), doc.len());
+        check(&doc, &db, seed);
+    }
+}
+
+/// Every tree node gets exactly one oid; count matches.
+#[test]
+fn oid_assignment_is_a_bijection() {
+    for_random_dbs(1, |doc, db, seed| {
+        assert_eq!(db.node_count(), doc.len(), "seed {seed}");
         let mut seen = vec![false; doc.len()];
         for o in db.iter_oids() {
             let n = db.node_of(o);
-            prop_assert!(!seen[n.index()]);
+            assert!(!seen[n.index()], "seed {seed}");
             seen[n.index()] = true;
-            prop_assert_eq!(db.oid_of(n), o);
+            assert_eq!(db.oid_of(n), o, "seed {seed}");
         }
-    }
+    });
+}
 
-    /// Oids are depth-first document order: parent < child, and the
-    /// sequence of node_of(oid) equals the document's DFS pre-order.
-    #[test]
-    fn oids_follow_document_order(recipe in ops()) {
-        let doc = build(&recipe);
-        let db = MonetDb::from_document(&doc);
+/// Oids are depth-first document order: parent < child, and the sequence
+/// of node_of(oid) equals the document's DFS pre-order.
+#[test]
+fn oids_follow_document_order() {
+    for_random_dbs(2, |doc, db, seed| {
         let dfs: Vec<NodeId> = doc.iter_depth_first().collect();
         for (i, n) in dfs.iter().enumerate() {
-            prop_assert_eq!(db.node_of(Oid::from_index(i)), *n);
+            assert_eq!(db.node_of(Oid::from_index(i)), *n, "seed {seed}");
         }
         for o in db.iter_oids().skip(1) {
-            prop_assert!(db.parent(o).unwrap() < o);
+            assert!(db.parent(o).unwrap() < o, "seed {seed}");
         }
-    }
+    });
+}
 
-    /// Every non-root oid appears exactly once as the child component of
-    /// exactly one edge relation, and that relation is σ(o).
-    #[test]
-    fn edge_relations_partition_the_objects(recipe in ops()) {
-        let doc = build(&recipe);
-        let db = MonetDb::from_document(&doc);
+/// Every non-root oid appears exactly once as the child component of
+/// exactly one edge relation, and that relation is σ(o).
+#[test]
+fn edge_relations_partition_the_objects() {
+    for_random_dbs(3, |_, db, seed| {
         let mut appearances = vec![0usize; db.node_count()];
         for p in db.summary().iter() {
             for &(parent, child) in db.edges_of(p) {
-                prop_assert_eq!(db.sigma(child), p);
-                prop_assert_eq!(db.parent(child), Some(parent));
+                assert_eq!(db.sigma(child), p, "seed {seed}");
+                assert_eq!(db.parent(child), Some(parent), "seed {seed}");
                 appearances[child.index()] += 1;
             }
         }
-        prop_assert_eq!(appearances[0], 0); // root is in no edge relation
+        assert_eq!(appearances[0], 0, "root is in no edge relation");
         for o in db.iter_oids().skip(1) {
-            prop_assert_eq!(appearances[o.index()], 1);
+            assert_eq!(appearances[o.index()], 1, "seed {seed}");
         }
-    }
+    });
+}
 
-    /// σ(o) is consistent: walking parents of o walks parents of σ(o).
-    #[test]
-    fn sigma_tracks_parent_paths(recipe in ops()) {
-        let doc = build(&recipe);
-        let db = MonetDb::from_document(&doc);
+/// σ(o) is consistent: walking parents of o walks parents of σ(o).
+#[test]
+fn sigma_tracks_parent_paths() {
+    for_random_dbs(4, |_, db, seed| {
         for o in db.iter_oids().skip(1) {
             let p = db.parent(o).unwrap();
-            prop_assert_eq!(db.summary().parent(db.sigma(o)), Some(db.sigma(p)));
+            assert_eq!(
+                db.summary().parent(db.sigma(o)),
+                Some(db.sigma(p)),
+                "seed {seed}"
+            );
         }
-    }
+    });
+}
 
-    /// Depth in the tree equals path depth.
-    #[test]
-    fn depth_matches_ancestor_count(recipe in ops()) {
-        let doc = build(&recipe);
-        let db = MonetDb::from_document(&doc);
+/// Depth in the tree equals path depth.
+#[test]
+fn depth_matches_ancestor_count() {
+    for_random_dbs(5, |_, db, seed| {
         for o in db.iter_oids() {
-            prop_assert_eq!(db.depth(o), db.ancestors(o).count() - 1);
+            assert_eq!(db.depth(o), db.ancestors(o).count() - 1, "seed {seed}");
         }
-    }
+    });
+}
 
-    /// String associations cover exactly the text nodes and attributes.
-    #[test]
-    fn string_relations_cover_text_and_attributes(recipe in ops()) {
-        let doc = build(&recipe);
-        let db = MonetDb::from_document(&doc);
-        let text_nodes = doc.iter_depth_first().filter(|&n| doc.text(n).is_some()).count();
-        let attrs: usize = doc.iter_depth_first().map(|n| doc.attributes(n).len()).sum();
+/// String associations cover exactly the text nodes and attributes.
+#[test]
+fn string_relations_cover_text_and_attributes() {
+    for_random_dbs(6, |doc, db, seed| {
+        let text_nodes = doc
+            .iter_depth_first()
+            .filter(|&n| doc.text(n).is_some())
+            .count();
+        let attrs: usize = doc
+            .iter_depth_first()
+            .map(|n| doc.attributes(n).len())
+            .sum();
         let total: usize = db.summary().iter().map(|p| db.strings_of(p).len()).sum();
-        prop_assert_eq!(total, text_nodes + attrs);
+        assert_eq!(total, text_nodes + attrs, "seed {seed}");
         // Cdata string owners are the cdata nodes themselves; attribute
         // string owners are element nodes.
         for p in db.summary().iter() {
             for (owner, _) in db.strings_of(p) {
                 match db.summary().step(p) {
-                    PathStep::Cdata => prop_assert_eq!(db.sigma(*owner), p),
+                    PathStep::Cdata => assert_eq!(db.sigma(*owner), p, "seed {seed}"),
                     PathStep::Attribute(_) => {
-                        prop_assert_eq!(Some(db.sigma(*owner)), db.summary().parent(p))
+                        assert_eq!(
+                            Some(db.sigma(*owner)),
+                            db.summary().parent(p),
+                            "seed {seed}"
+                        )
                     }
-                    PathStep::Element(_) => prop_assert!(false, "element paths own no strings"),
+                    PathStep::Element(_) => panic!("element paths own no strings"),
                 }
             }
         }
-    }
+    });
+}
 
-    /// The prefix order `le` agrees with an independent prefix check on
-    /// rendered path strings.
-    #[test]
-    fn le_agrees_with_string_prefixes(recipe in ops()) {
-        let doc = build(&recipe);
-        let db = MonetDb::from_document(&doc);
+/// The prefix order `le` agrees with an independent prefix check on
+/// rendered path strings.
+#[test]
+fn le_agrees_with_string_prefixes() {
+    for_random_dbs(7, |_, db, seed| {
         let s = db.summary();
         let paths: Vec<_> = s.iter().collect();
         for &a in paths.iter().take(20) {
             for &b in paths.iter().take(20) {
                 let sa = db.relation_name(a);
                 let sb = db.relation_name(b);
-                let expect = sa == sb
-                    || (sa.starts_with(&sb) && sa.as_bytes().get(sb.len()) == Some(&b'/'));
-                prop_assert_eq!(s.le(a, b), expect, "a={} b={}", sa, sb);
+                let expect =
+                    sa == sb || (sa.starts_with(&sb) && sa.as_bytes().get(sb.len()) == Some(&b'/'));
+                assert_eq!(s.le(a, b), expect, "seed {seed} a={sa} b={sb}");
             }
         }
-    }
+    });
+}
+
+/// The meet index agrees with parent-pointer walks on every primitive:
+/// depth, inclusive-ancestor test, LCA, distance, and per-path postings.
+#[test]
+fn meet_index_agrees_with_parent_walks() {
+    for_random_dbs(8, |_, db, seed| {
+        let idx = db.meet_index();
+        let n = db.node_count();
+        // Exhaustive on small documents, sampled on larger ones.
+        let mut rng = StdRng::seed_from_u64(9 << 32 | seed);
+        let pairs: Vec<(Oid, Oid)> = if n <= 24 {
+            db.iter_oids()
+                .flat_map(|a| db.iter_oids().map(move |b| (a, b)))
+                .collect()
+        } else {
+            (0..200)
+                .map(|_| {
+                    (
+                        Oid::from_index(rng.random_range(0..n)),
+                        Oid::from_index(rng.random_range(0..n)),
+                    )
+                })
+                .collect()
+        };
+        for (a, b) in pairs {
+            let anc: Vec<Oid> = db.ancestors(a).collect();
+            let reference = db.ancestors(b).find(|x| anc.contains(x)).unwrap();
+            assert_eq!(idx.lca(a, b), reference, "seed {seed} {a:?} {b:?}");
+            let expect_d = db.depth(a) + db.depth(b) - 2 * db.depth(reference);
+            assert_eq!(idx.distance(a, b), expect_d, "seed {seed} {a:?} {b:?}");
+            assert_eq!(
+                idx.is_ancestor_or_self(a, b),
+                db.is_ancestor_or_self(a, b),
+                "seed {seed} {a:?} {b:?}"
+            );
+            assert_eq!(idx.depth(a), db.depth(a), "seed {seed}");
+        }
+        let mut total = 0usize;
+        for p in db.summary().iter() {
+            let oids = idx.oids_of_path(p);
+            assert!(oids.windows(2).all(|w| w[0] < w[1]), "seed {seed}");
+            assert_eq!(oids, db.oids_of_path(p).as_slice(), "seed {seed}");
+            total += oids.len();
+        }
+        assert_eq!(total, n, "seed {seed}");
+    });
 }

@@ -269,7 +269,9 @@ impl<'a> Parser<'a> {
     fn parse_entity(&mut self) -> Result<char, ParseError> {
         let pos = self.cursor.position();
         self.cursor.eat("&");
-        let body = self.cursor.eat_while(|b| b != b';' && b != b'<' && b != b'&');
+        let body = self
+            .cursor
+            .eat_while(|b| b != b';' && b != b'<' && b != b'&');
         if !self.cursor.eat(";") {
             return Err(self.err_at(
                 ParseErrorKind::InvalidEntity {
@@ -365,7 +367,9 @@ impl<'a> Parser<'a> {
         self.cursor.bump();
         let mut out = String::new();
         loop {
-            let chunk = self.cursor.eat_while(|b| b != quote && b != b'&' && b != b'<');
+            let chunk = self
+                .cursor
+                .eat_while(|b| b != quote && b != b'&' && b != b'<');
             out.push_str(chunk);
             match self.cursor.peek() {
                 Some(b) if b == quote => {

@@ -316,10 +316,7 @@ impl Document {
                     let ac = a.children(an);
                     let bc = b.children(bn);
                     ac.len() == bc.len()
-                        && ac
-                            .iter()
-                            .zip(bc.iter())
-                            .all(|(&x, &y)| eq_rec(a, x, b, y))
+                        && ac.iter().zip(bc.iter()).all(|(&x, &y)| eq_rec(a, x, b, y))
                 }
                 _ => false,
             }

@@ -145,7 +145,8 @@ mod tests {
 
     #[test]
     fn pretty_printed_output_reparses_to_same_tree() {
-        let src = r#"<bib><article key="k"><title>T &lt; U</title><year>1999</year></article></bib>"#;
+        let src =
+            r#"<bib><article key="k"><title>T &lt; U</title><year>1999</year></article></bib>"#;
         let doc = parse(src).unwrap();
         let pretty = write_document(
             &doc,

@@ -73,9 +73,7 @@ fn main() {
     // and (over the full year sweep) two planted false positives.
     let mut by_tag = std::collections::BTreeMap::new();
     for m in &meets {
-        *by_tag
-            .entry(db.store().label(m.node))
-            .or_insert(0usize) += 1;
+        *by_tag.entry(db.store().label(m.node)).or_insert(0usize) += 1;
     }
     println!("\nresult types: {by_tag:?}");
 }

@@ -82,8 +82,5 @@ fn main() {
     let (a, b) = MultimediaCorpus::marker_terms(8, 0);
     let oa = db.search(&a).iter().next().unwrap().1;
     let ob = db.search(&b).iter().next().unwrap().1;
-    println!(
-        "\nd({a}, {b}) = {} edges",
-        distance(db.store(), oa, ob)
-    );
+    println!("\nd({a}, {b}) = {} edges", distance(db.store(), oa, ob));
 }

@@ -76,9 +76,7 @@ fn main() {
     let edbt_answers = broad
         .results
         .iter()
-        .filter(|a| {
-            nearest_concept::store::ObjectView::deep_text(store, a.oid).contains("EDBT")
-        })
+        .filter(|a| nearest_concept::store::ObjectView::deep_text(store, a.oid).contains("EDBT"))
         .count();
     println!("of which EDBT records: {edbt_answers}");
 }

@@ -50,10 +50,7 @@ fn parse_args() -> Args {
             "--stats" => args.stats = true,
             "--exclude-root" => args.exclude_root = true,
             "--within" => {
-                args.within = it
-                    .next()
-                    .and_then(|n| n.parse().ok())
-                    .or_else(|| usage());
+                args.within = it.next().and_then(|n| n.parse().ok()).or_else(|| usage());
             }
             "--help" | "-h" => usage(),
             _ if args.file.is_empty() && !a.starts_with('-') => args.file = a,

@@ -58,11 +58,7 @@ fn year_without_icde_returns_nothing() {
     let (db, _) = setup();
     // No ICDE in 1985 → no ICDE publication meets for that single year.
     let meets = case_study(&db, 1985, 1985);
-    assert!(
-        meets.is_empty(),
-        "got {} unexpected meets",
-        meets.len()
-    );
+    assert!(meets.is_empty(), "got {} unexpected meets", meets.len());
 }
 
 #[test]

@@ -24,7 +24,10 @@ fn listing1_baseline_has_ancestor_implied_answers() {
     tags.sort_unstable();
     // Four rows: the desired article plus the rows the paper calls
     // "implied by the path from the first node to the root".
-    assert_eq!(tags, vec!["article", "article", "bibliography", "institute"]);
+    assert_eq!(
+        tags,
+        vec!["article", "article", "bibliography", "institute"]
+    );
 }
 
 #[test]
@@ -48,11 +51,20 @@ fn listing2_meet_is_the_true_subset() {
 fn section_3_1_worked_examples() {
     let db = figure1_db();
     // meet("Ben","Bit") = the author node.
-    assert_eq!(db.meet_terms(&["Ben", "Bit"]).unwrap().tags(), vec!["author"]);
+    assert_eq!(
+        db.meet_terms(&["Ben", "Bit"]).unwrap().tags(),
+        vec!["author"]
+    );
     // meet("Bob","Byte") = the cdata node itself (same association).
-    assert_eq!(db.meet_terms(&["Bob", "Byte"]).unwrap().tags(), vec!["cdata"]);
+    assert_eq!(
+        db.meet_terms(&["Bob", "Byte"]).unwrap().tags(),
+        vec!["cdata"]
+    );
     // meet("Bit","1999") = the article.
-    assert_eq!(db.meet_terms(&["Bit", "1999"]).unwrap().tags(), vec!["article"]);
+    assert_eq!(
+        db.meet_terms(&["Bit", "1999"]).unwrap().tags(),
+        vec!["article"]
+    );
 }
 
 #[test]
@@ -137,6 +149,9 @@ fn object_reassembly_recovers_the_paper_example() {
     let bk99 = db.search("BK99").iter().next().unwrap().1;
     let view = nearest_concept::store::ObjectView::assemble(store, bk99);
     assert_eq!(view.label, "article");
-    assert_eq!(view.attributes, vec![("key".to_string(), "BK99".to_string())]);
+    assert_eq!(
+        view.attributes,
+        vec![("key".to_string(), "BK99".to_string())]
+    );
     assert_eq!(view.children.len(), 3); // author, title, year
 }
