@@ -8,7 +8,7 @@
 //! Prints paper-style tables to stdout and, when `--out` is given, writes
 //! the raw series as JSON (one file per experiment) for EXPERIMENTS.md.
 
-use ncq_bench::experiments::{ablations, corpora, extensions, fig6, fig7, listings, pr1};
+use ncq_bench::experiments::{ablations, corpora, extensions, fig6, fig7, listings, pr1, pr2};
 use ncq_bench::json::ToJson;
 use std::io::Write as _;
 use std::path::PathBuf;
@@ -44,7 +44,7 @@ fn parse_args() -> Result<Args, String> {
             "--help" | "-h" => {
                 println!(
                     "usage: repro [--exp all|fig1|fig2|listing1|listing2|sec31|fig6|fig7|\
-                     ablations|extensions|pr1] [--scale small|paper] [--out DIR]"
+                     ablations|extensions|pr1|pr2] [--scale small|paper] [--out DIR]"
                 );
                 std::process::exit(0);
             }
@@ -168,6 +168,18 @@ fn main() {
         let dir = args.out.clone().unwrap_or_else(|| PathBuf::from("."));
         let target = Some(dir);
         write_json(&target, "BENCH_pr1", &result);
+    }
+
+    // PR 2 perf snapshot: the depth-aware planner vs fixed strategies
+    // and ncq-server throughput. Explicit-only, like pr1: it spins up
+    // worker pools and writes BENCH_pr2.json (the cross-PR trajectory
+    // record).
+    if args.exp == "pr2" {
+        let result = pr2::run(args.scale == Scale::Small);
+        println!("{}", pr2::table(&result));
+        let dir = args.out.clone().unwrap_or_else(|| PathBuf::from("."));
+        let target = Some(dir);
+        write_json(&target, "BENCH_pr2", &result);
     }
 
     if want("extensions") {

@@ -6,6 +6,7 @@ pub mod fig6;
 pub mod fig7;
 pub mod listings;
 pub mod pr1;
+pub mod pr2;
 
 /// Shared corpus builders at the scales used by `repro` and the benches.
 pub mod corpora {

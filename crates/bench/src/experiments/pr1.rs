@@ -98,7 +98,7 @@ pub fn deep_pair_corpus(depth: usize) -> (Database, Vec<(Oid, Oid)>) {
 /// from their witnesses. Frontier lifting pays `O(hits log hits)` per
 /// level for `depth` levels before any meet surfaces; the plane sweep
 /// pays one sorted pass with O(1) LCA probes.
-fn deep_sets_db(depth: usize, pairs: usize) -> (Database, Vec<Oid>, Vec<Oid>) {
+pub(crate) fn deep_sets_db(depth: usize, pairs: usize) -> (Database, Vec<Oid>, Vec<Oid>) {
     let mut doc = Document::new("root");
     for _ in 0..pairs {
         let head = doc.add_element(doc.root(), "h");

@@ -1,0 +1,411 @@
+//! PR 2 perf snapshot: the depth-aware meet planner and the batched
+//! query server.
+//!
+//! Two tables, emitted as `BENCH_pr2.json` by `repro --exp pr2`:
+//!
+//! * **planner** — per workload (flat DBLP-like vs deep fork corpora),
+//!   the fixed Fig. 4 frontier lift, the fixed plane sweep, and the
+//!   planner-routed facade call side by side. The headline column is
+//!   `planner_speedup_vs_best_fixed` = best-fixed-median /
+//!   planner-median: ≥ ~1.0 everywhere means the planner closed the
+//!   `BENCH_pr1.json` flat-row regression (sweep-only was 0.4× there)
+//!   without giving back the deep-corpus win.
+//! * **server** — throughput of `ncq-server` under concurrent clients,
+//!   batched vs unbatched admission, with the term-cache hit rate that
+//!   batching exists to exploit.
+//!
+//! Interleaved measurement: each timing round samples lift, sweep and
+//! planner back-to-back, so drift hits all three alike.
+
+use crate::experiments::corpora;
+use crate::experiments::pr1::deep_sets_db;
+use ncq_core::{meet_sets, meet_sets_sweep, Database, SetMeets};
+use ncq_fulltext::HitSet;
+use ncq_server::{Request, Server, ServerConfig};
+use ncq_store::Oid;
+use std::sync::Arc;
+use std::time::Instant;
+
+/// One planner workload row.
+#[derive(Debug, Clone)]
+pub struct Pr2PlannerRow {
+    /// Workload label.
+    pub workload: String,
+    /// Total input OIDs.
+    pub input_hits: usize,
+    /// Depth of the inputs = the planner's lift-round estimate.
+    pub est_rounds: usize,
+    /// The planner's lift-round budget for this cardinality.
+    pub round_budget: usize,
+    /// Strategy the planner chose (`lift` / `sweep`).
+    pub chosen: String,
+    /// Minimal meets found.
+    pub meets: usize,
+    /// Fixed frontier lift, µs (median).
+    pub lift_us: f64,
+    /// Fixed plane sweep, µs (median).
+    pub sweep_us: f64,
+    /// Planner-routed facade call, µs (median, includes planning).
+    pub planner_us: f64,
+    /// `min(lift_us, sweep_us) / planner_us` — ≥ ~1.0 means the planner
+    /// matches the best fixed strategy.
+    pub planner_speedup_vs_best_fixed: f64,
+    /// All three evaluations returned the same (meet, round) multiset.
+    pub agree: bool,
+}
+
+/// One server throughput row.
+#[derive(Debug, Clone)]
+pub struct Pr2ServerRow {
+    /// Workload label.
+    pub workload: String,
+    /// Worker threads.
+    pub workers: usize,
+    /// Concurrent client threads.
+    pub clients: usize,
+    /// Batch size cap (1 = batching off).
+    pub batch_max: usize,
+    /// Requests served.
+    pub queries: usize,
+    /// Wall-clock milliseconds for the whole run.
+    pub wall_ms: f64,
+    /// Queries per second.
+    pub qps: f64,
+    /// Share of term look-ups answered from worker caches.
+    pub term_cache_hit_rate: f64,
+    /// Largest batch a worker actually formed.
+    pub max_batch: usize,
+}
+
+/// The full PR 2 snapshot.
+#[derive(Debug, Clone)]
+pub struct Pr2Result {
+    /// Planner vs fixed strategies.
+    pub planner: Vec<Pr2PlannerRow>,
+    /// Server throughput.
+    pub server: Vec<Pr2ServerRow>,
+}
+
+crate::impl_to_json_struct!(Pr2PlannerRow {
+    workload,
+    input_hits,
+    est_rounds,
+    round_budget,
+    chosen,
+    meets,
+    lift_us,
+    sweep_us,
+    planner_us,
+    planner_speedup_vs_best_fixed,
+    agree,
+});
+crate::impl_to_json_struct!(Pr2ServerRow {
+    workload,
+    workers,
+    clients,
+    batch_max,
+    queries,
+    wall_ms,
+    qps,
+    term_cache_hit_rate,
+    max_batch,
+});
+crate::impl_to_json_struct!(Pr2Result { planner, server });
+
+fn sorted_meets(r: &SetMeets) -> Vec<(Oid, usize)> {
+    let mut m = r.meets.clone();
+    m.sort_unstable();
+    m
+}
+
+/// Measure one workload with interleaved sampling: every round times
+/// lift, sweep and the planner-routed call back-to-back.
+fn planner_row(name: &str, db: &Database, s1: &[Oid], s2: &[Oid], rounds: usize) -> Pr2PlannerRow {
+    let store = db.store();
+    store.meet_index(); // build outside every timed region
+    let plan = db.plan_oid_sets(s1, s2).expect("non-empty inputs");
+    let lift_ref = meet_sets(store, s1, s2).expect("homogeneous");
+    let sweep_ref = meet_sets_sweep(store, s1, s2).expect("homogeneous");
+    let auto_ref = db.meet_oid_sets(s1, s2).expect("homogeneous");
+    let agree = sorted_meets(&lift_ref) == sorted_meets(&sweep_ref)
+        && sorted_meets(&sweep_ref) == sorted_meets(&auto_ref);
+
+    let mut lift_samples = Vec::with_capacity(rounds);
+    let mut sweep_samples = Vec::with_capacity(rounds);
+    let mut planner_samples = Vec::with_capacity(rounds);
+    for round in 0..rounds {
+        // Rotate the execution order each round: each variant inherits
+        // every possible cache shadow equally often, so none is
+        // systematically measured right after the most polluting one.
+        for slot in 0..3 {
+            let which = (round + slot) % 3;
+            let t = Instant::now();
+            match which {
+                0 => {
+                    std::hint::black_box(meet_sets(store, s1, s2)).ok();
+                }
+                1 => {
+                    std::hint::black_box(meet_sets_sweep(store, s1, s2)).ok();
+                }
+                _ => {
+                    std::hint::black_box(db.meet_oid_sets(s1, s2)).ok();
+                }
+            }
+            let us = t.elapsed().as_secs_f64() * 1e6;
+            match which {
+                0 => lift_samples.push(us),
+                1 => sweep_samples.push(us),
+                _ => planner_samples.push(us),
+            }
+        }
+    }
+    let median = |mut v: Vec<f64>| -> f64 {
+        v.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+        v[v.len() / 2]
+    };
+    let (lift_us, sweep_us, planner_us) = (
+        median(lift_samples),
+        median(sweep_samples),
+        median(planner_samples),
+    );
+    Pr2PlannerRow {
+        workload: name.to_string(),
+        input_hits: s1.len() + s2.len(),
+        est_rounds: plan.est_rounds,
+        round_budget: plan.round_budget,
+        chosen: plan.strategy.name().to_string(),
+        meets: lift_ref.meets.len(),
+        lift_us,
+        sweep_us,
+        planner_us,
+        planner_speedup_vs_best_fixed: lift_us.min(sweep_us) / planner_us,
+        agree,
+    }
+}
+
+/// Fire `per_client` MeetTerms queries from `clients` threads and
+/// measure wall-clock throughput.
+fn server_row(
+    name: &str,
+    db: &Arc<Database>,
+    terms: &[(String, String)],
+    workers: usize,
+    clients: usize,
+    batch_max: usize,
+    per_client: usize,
+) -> Pr2ServerRow {
+    let server = Server::start(
+        Arc::clone(db),
+        ServerConfig {
+            workers,
+            batch_max,
+            queue_capacity: 256,
+            ..ServerConfig::default()
+        },
+    );
+    let start = Instant::now();
+    let handles: Vec<_> = (0..clients)
+        .map(|c| {
+            let client = server.client();
+            let terms = terms.to_vec();
+            std::thread::spawn(move || {
+                for i in 0..per_client {
+                    let (a, b) = &terms[(c + i) % terms.len()];
+                    let request = Request::meet_terms([a.clone(), b.clone()]);
+                    client.request(request).expect("served");
+                }
+            })
+        })
+        .collect();
+    for h in handles {
+        h.join().expect("client thread");
+    }
+    let wall = start.elapsed();
+    let stats = server.shutdown();
+    let queries = clients * per_client;
+    let lookups = stats.term_decodes + stats.term_cache_hits;
+    Pr2ServerRow {
+        workload: name.to_string(),
+        workers,
+        clients,
+        batch_max,
+        queries,
+        wall_ms: wall.as_secs_f64() * 1e3,
+        qps: queries as f64 / wall.as_secs_f64(),
+        term_cache_hit_rate: if lookups == 0 {
+            0.0
+        } else {
+            stats.term_cache_hits as f64 / lookups as f64
+        },
+        max_batch: stats.max_batch,
+    }
+}
+
+/// Run the snapshot. `quick` shrinks corpora and repetitions for CI.
+pub fn run(quick: bool) -> Pr2Result {
+    let rounds = if quick { 9 } else { 61 };
+
+    // Flat workload: the DBLP case study hit sets of BENCH_pr1's
+    // regression row.
+    let (flat_db, _) = if quick {
+        corpora::dblp_small()
+    } else {
+        corpora::dblp_case_study()
+    };
+    let icde = flat_db.search_word("ICDE");
+    let mut years = HitSet::new();
+    for y in 1984u16..=1999 {
+        years.union(&flat_db.search_word(&y.to_string()));
+    }
+    let largest = |h: &HitSet| -> Vec<Oid> {
+        h.groups()
+            .iter()
+            .max_by_key(|(_, v)| v.len())
+            .map(|(_, v)| v.clone())
+            .unwrap_or_default()
+    };
+    let booktitles = largest(&icde);
+    let year_cdatas = largest(&years);
+
+    let (deep_depth, deep_pairs) = if quick { (96, 200) } else { (96, 2000) };
+    let (deep_db, deep_s, deep_t) = deep_sets_db(deep_depth, deep_pairs);
+    let (deeper_db, deeper_s, deeper_t) = if quick {
+        deep_sets_db(256, 80)
+    } else {
+        deep_sets_db(256, 1000)
+    };
+
+    let planner = vec![
+        planner_row(
+            "dblp icde-booktitles × year-cdatas (flat)",
+            &flat_db,
+            &booktitles,
+            &year_cdatas,
+            rounds,
+        ),
+        planner_row(
+            &format!("deep forks (depth {deep_depth}, {deep_pairs} pairs)"),
+            &deep_db,
+            &deep_s,
+            &deep_t,
+            rounds,
+        ),
+        planner_row(
+            "deep forks (depth 256)",
+            &deeper_db,
+            &deeper_s,
+            &deeper_t,
+            rounds,
+        ),
+    ];
+
+    // Server throughput over the flat corpus: mixed year terms repeat
+    // across clients, which is what the batch term cache exploits.
+    let server_db = Arc::new(flat_db);
+    let term_pairs: Vec<(String, String)> = (1990u16..=1997)
+        .map(|y| ("ICDE".to_string(), y.to_string()))
+        .collect();
+    let per_client = if quick { 40 } else { 200 };
+    let workers = std::thread::available_parallelism().map_or(1, |n| n.get());
+    let server = vec![
+        server_row(
+            "dblp meet(ICDE, year) unbatched",
+            &server_db,
+            &term_pairs,
+            workers,
+            8,
+            1,
+            per_client,
+        ),
+        server_row(
+            "dblp meet(ICDE, year) batched",
+            &server_db,
+            &term_pairs,
+            workers,
+            8,
+            32,
+            per_client,
+        ),
+        server_row(
+            "dblp meet(ICDE, year) single client",
+            &server_db,
+            &term_pairs,
+            workers,
+            1,
+            32,
+            per_client,
+        ),
+    ];
+
+    Pr2Result { planner, server }
+}
+
+/// Text table for stdout.
+pub fn table(r: &Pr2Result) -> String {
+    let mut out = String::from(
+        "# PR 2 — depth-aware planner + batched query server\n\
+         ## planner (fixed lift vs fixed sweep vs planner-routed)\n",
+    );
+    for row in &r.planner {
+        out.push_str(&format!(
+            "{}: hits={} depth={} budget={} chose={} meets={} lift={:.1}us sweep={:.1}us \
+             planner={:.1}us ({:.2}x best fixed) agree={}\n",
+            row.workload,
+            row.input_hits,
+            row.est_rounds,
+            row.round_budget,
+            row.chosen,
+            row.meets,
+            row.lift_us,
+            row.sweep_us,
+            row.planner_us,
+            row.planner_speedup_vs_best_fixed,
+            row.agree
+        ));
+    }
+    out.push_str("## server throughput (MeetTerms workload)\n");
+    for row in &r.server {
+        out.push_str(&format!(
+            "{}: workers={} clients={} batch_max={} queries={} wall={:.1}ms qps={:.0} \
+             cache-hit={:.0}% max-batch={}\n",
+            row.workload,
+            row.workers,
+            row.clients,
+            row.batch_max,
+            row.queries,
+            row.wall_ms,
+            row.qps,
+            100.0 * row.term_cache_hit_rate,
+            row.max_batch
+        ));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quick_snapshot_has_sane_shape() {
+        let r = run(true);
+        assert_eq!(r.planner.len(), 3);
+        for row in &r.planner {
+            assert!(row.agree, "{}: strategies disagree", row.workload);
+            assert!(row.meets > 0);
+            assert!(row.planner_us > 0.0);
+        }
+        // The flat row lifts, the depth-256 row sweeps.
+        assert_eq!(r.planner[0].chosen, "lift");
+        assert_eq!(r.planner[2].chosen, "sweep");
+        assert_eq!(r.server.len(), 3);
+        for row in &r.server {
+            assert_eq!(row.queries, row.clients * 40);
+            assert!(row.qps > 0.0);
+        }
+        // Batched admission shares decodes: near-perfect hit rate after
+        // the first decode of each term.
+        assert!(r.server[1].term_cache_hit_rate > 0.5);
+        assert!(table(&r).contains("PR 2"));
+    }
+}

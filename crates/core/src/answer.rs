@@ -99,6 +99,39 @@ impl AnswerSet {
         self.results.iter().map(|r| r.tag.as_str()).collect()
     }
 
+    /// Full serialization: the paper's `<answer>` markup enriched with
+    /// everything an [`Answer`] carries — result oid, path, ranking
+    /// distance, witness count, and the witness sample with matched
+    /// strings. This is the wire format of `ncq-server` responses and
+    /// the fixture format of the paper-listing golden suite (exhaustive
+    /// by design: any behavioural drift shows up as a fixture diff).
+    pub fn to_detailed_xml(&self) -> String {
+        use ncq_xml::escape::{escape_attribute, escape_text};
+        let mut out = String::from("<answer>\n");
+        for r in &self.results {
+            out.push_str(&format!(
+                "  <result tag=\"{}\" path=\"{}\" oid=\"{}\" distance=\"{}\" witnesses=\"{}\">\n",
+                escape_attribute(&r.tag),
+                escape_attribute(&r.path),
+                r.oid,
+                r.distance,
+                r.witness_count
+            ));
+            for w in &r.witnesses {
+                out.push_str(&format!(
+                    "    <witness term=\"{}\" origin=\"{}\" climb=\"{}\">{}</witness>\n",
+                    w.term,
+                    w.origin,
+                    w.climb,
+                    escape_text(w.text.as_deref().unwrap_or_default())
+                ));
+            }
+            out.push_str("  </result>\n");
+        }
+        out.push_str("</answer>");
+        out
+    }
+
     /// Render in the paper's `<answer>` markup.
     pub fn to_answer_xml(&self) -> String {
         let mut out = String::from("<answer>\n");
@@ -173,6 +206,28 @@ mod tests {
         assert!(xml.contains("<result> article </result>"));
         assert!(xml.ends_with("</answer>"));
         assert_eq!(format!("{answers}"), xml);
+    }
+
+    #[test]
+    fn detailed_xml_serializes_every_field() {
+        let (db, idx) = setup();
+        let inputs = vec![
+            search::term_hits(&db, &idx, "Bit"),
+            search::term_hits(&db, &idx, "1999"),
+        ];
+        let meets = meet_multi(&db, &inputs, &MeetOptions::default());
+        let answers = AnswerSet::from_meets(&db, meets);
+        let xml = answers.to_detailed_xml();
+        assert!(xml.contains("tag=\"article\""));
+        assert!(xml.contains("path=\"bib/article\""));
+        assert!(xml.contains("distance=\""));
+        assert!(xml.contains("witnesses=\"2\""));
+        assert!(xml.contains(">Ben Bit</witness>"));
+        assert!(xml.contains(">1999</witness>"));
+        assert_eq!(
+            AnswerSet::default().to_detailed_xml(),
+            "<answer>\n</answer>"
+        );
     }
 
     #[test]

@@ -7,8 +7,9 @@
 
 use crate::answer::AnswerSet;
 use crate::meet2::{meet2_indexed, Meet2};
-use crate::meet_multi::{meet_multi_indexed, Meet, MeetOptions};
-use crate::meet_sets::{meet_sets_sweep, MeetError, SetMeets};
+use crate::meet_multi::{Meet, MeetOptions};
+use crate::meet_sets::{MeetError, SetMeets};
+use crate::planner::{MeetPlanner, MeetStrategy, PlanDecision};
 use crate::rank::rank_meets;
 use ncq_fulltext::{search, HitSet, InvertedIndex};
 use ncq_store::{MonetDb, Oid};
@@ -72,26 +73,58 @@ impl Database {
 
     // ----- meet entry points -----
     //
-    // The facade serves every meet through the indexed fast paths (O(1)
-    // LCA over the Euler-tour index); the steered walks and frontier
-    // lifts remain available in `meet2` / `meet_sets` / `meet_multi` as
-    // the paper-faithful baselines the ablations measure against.
+    // The facade serves every meet through the depth-aware
+    // [`MeetPlanner`]: shallow inputs keep the paper's frontier
+    // lift/roll-up, deep inputs take the indexed plane sweep (O(1) LCA
+    // over the Euler-tour index). The raw operators in `meet2` /
+    // `meet_sets` / `meet_multi` remain the fixed strategies the
+    // ablations measure against.
+
+    /// The depth-aware planner over this database.
+    pub fn planner(&self) -> MeetPlanner<'_> {
+        MeetPlanner::new(&self.store)
+    }
 
     /// Pairwise meet (paper Fig. 3), via the O(1) indexed fast path.
     pub fn meet_pair(&self, o1: Oid, o2: Oid) -> Meet2 {
         meet2_indexed(&self.store, o1, o2)
     }
 
-    /// Set meet over two homogeneous OID sets (paper Fig. 4), via the
-    /// document-order plane sweep.
+    /// Set meet over two homogeneous OID sets (paper Fig. 4), with the
+    /// planner choosing between frontier lift and plane sweep.
+    ///
+    /// Errors with [`MeetError::EmptyInput`] when either set is empty.
     pub fn meet_oid_sets(&self, s1: &[Oid], s2: &[Oid]) -> Result<SetMeets, MeetError> {
-        meet_sets_sweep(&self.store, s1, s2)
+        self.meet_oid_sets_with(s1, s2, MeetStrategy::Auto)
     }
 
-    /// Generalized meet over hit groups (paper Fig. 5), ranked, via the
-    /// document-order plane sweep.
-    pub fn meet_hits(&self, inputs: &[HitSet], options: &MeetOptions) -> Vec<Meet> {
-        let mut meets = meet_multi_indexed(&self.store, inputs, options);
+    /// [`Database::meet_oid_sets`] with an explicit strategy override.
+    pub fn meet_oid_sets_with(
+        &self,
+        s1: &[Oid],
+        s2: &[Oid],
+        strategy: MeetStrategy,
+    ) -> Result<SetMeets, MeetError> {
+        self.planner().meet_sets(s1, s2, strategy)
+    }
+
+    /// The plan [`Database::meet_oid_sets`] would execute, without
+    /// running it.
+    pub fn plan_oid_sets(&self, s1: &[Oid], s2: &[Oid]) -> Result<PlanDecision, MeetError> {
+        self.planner().plan_sets(s1, s2)
+    }
+
+    /// Generalized meet over hit groups (paper Fig. 5), ranked. The
+    /// planner picks roll-up or indexed sweep;
+    /// [`MeetOptions::strategy`] forces either. Inputs are accepted
+    /// through any [`std::borrow::Borrow`]-able holder (`HitSet`,
+    /// `&HitSet`, `Arc<HitSet>`), so shared caches need no deep copy.
+    pub fn meet_hits<H: std::borrow::Borrow<HitSet>>(
+        &self,
+        inputs: &[H],
+        options: &MeetOptions,
+    ) -> Vec<Meet> {
+        let mut meets = self.planner().meet_multi(inputs, options);
         rank_meets(&mut meets);
         meets
     }
@@ -191,6 +224,55 @@ mod tests {
         let titles: Vec<Oid> = db.search_word("Hack").iter().map(|(_, o)| o).collect();
         let meets = db.meet_oid_sets(&years, &titles).unwrap();
         assert_eq!(meets.meets.len(), 1);
+    }
+
+    #[test]
+    fn meet_oid_sets_rejects_empty_inputs() {
+        let db = Database::from_xml_str(FIGURE1).unwrap();
+        let years: Vec<Oid> = db.search("1999").iter().map(|(_, o)| o).collect();
+        assert_eq!(db.meet_oid_sets(&[], &years), Err(MeetError::EmptyInput));
+        assert_eq!(db.meet_oid_sets(&years, &[]), Err(MeetError::EmptyInput));
+        assert_eq!(db.meet_oid_sets(&[], &[]), Err(MeetError::EmptyInput));
+        assert_eq!(db.plan_oid_sets(&[], &years), Err(MeetError::EmptyInput));
+    }
+
+    #[test]
+    fn strategy_overrides_agree_through_the_facade() {
+        let db = Database::from_xml_str(FIGURE1).unwrap();
+        let years: Vec<Oid> = db.search("1999").iter().map(|(_, o)| o).collect();
+        let titles: Vec<Oid> = db.search_word("Hack").iter().map(|(_, o)| o).collect();
+        let sorted = |r: SetMeets| {
+            let mut m = r.meets;
+            m.sort_unstable();
+            m
+        };
+        let auto = sorted(db.meet_oid_sets(&years, &titles).unwrap());
+        for strategy in [crate::MeetStrategy::Lift, crate::MeetStrategy::Sweep] {
+            let forced = sorted(db.meet_oid_sets_with(&years, &titles, strategy).unwrap());
+            assert_eq!(auto, forced, "{strategy:?}");
+        }
+        // Forced strategies agree for the generalized meet too.
+        let inputs = vec![db.search("Bit"), db.search("1999")];
+        let key = |ms: Vec<Meet>| -> Vec<_> {
+            ms.iter()
+                .map(|m| (m.node, m.distance, m.witness_count))
+                .collect()
+        };
+        let lift = key(db.meet_hits(
+            &inputs,
+            &MeetOptions {
+                strategy: crate::MeetStrategy::Lift,
+                ..MeetOptions::default()
+            },
+        ));
+        let sweep = key(db.meet_hits(
+            &inputs,
+            &MeetOptions {
+                strategy: crate::MeetStrategy::Sweep,
+                ..MeetOptions::default()
+            },
+        ));
+        assert_eq!(lift, sweep);
     }
 
     #[test]

@@ -47,6 +47,7 @@ pub mod graph;
 pub mod meet2;
 pub mod meet_multi;
 pub mod meet_sets;
+pub mod planner;
 pub mod rank;
 mod sweep;
 
@@ -57,4 +58,7 @@ pub use filter::PathFilter;
 pub use graph::{graph_distance, graph_meet, GraphMeet, RefGraph};
 pub use meet2::{meet2, meet2_indexed, meet2_naive, Meet2};
 pub use meet_multi::{meet_multi, meet_multi_indexed, Meet, MeetOptions};
-pub use meet_sets::{meet_sets, meet_sets_sweep, MeetError, SetMeets};
+pub use meet_sets::{
+    meet_sets, meet_sets_lift_ordered, meet_sets_sweep, meet_sets_sweep_merged, MeetError, SetMeets,
+};
+pub use planner::{ChosenStrategy, MeetPlanner, MeetStrategy, PlanDecision, PlannerConfig};

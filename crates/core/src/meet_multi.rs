@@ -27,8 +27,10 @@
 //!   climb alone exceeds `δ` are pruned.
 
 use crate::filter::PathFilter;
+use crate::planner::MeetStrategy;
 use ncq_fulltext::HitSet;
 use ncq_store::{MonetDb, Oid, PathId};
+use std::borrow::Borrow;
 use std::collections::HashMap;
 
 /// Tuning and restriction knobs for [`meet_multi`].
@@ -41,6 +43,10 @@ pub struct MeetOptions {
     /// Cap on stored witnesses per meet (the count is always exact;
     /// only the sample is bounded). Default 8.
     pub witness_cap: usize,
+    /// Evaluation strategy. Consumed by the planner-routed facade
+    /// entry points ([`crate::Database::meet_hits`] and friends); the
+    /// raw operators in this module *are* the strategies and ignore it.
+    pub strategy: MeetStrategy,
 }
 
 impl MeetOptions {
@@ -122,10 +128,17 @@ impl Token {
 
 /// The paper's Figure 5 with the §4 restrictions.
 ///
-/// `inputs` are hit groups (e.g. one [`HitSet`] per full-text term). The
-/// result is the set of minimal meets, deepest first; each meet's
-/// witnesses tell which hits it explains.
-pub fn meet_multi(db: &MonetDb, inputs: &[HitSet], options: &MeetOptions) -> Vec<Meet> {
+/// `inputs` are hit groups (e.g. one [`HitSet`] per full-text term),
+/// accepted through any [`Borrow`]-able holder (`HitSet`, `&HitSet`,
+/// `Arc<HitSet>` — the server's shared term cache) so callers never
+/// deep-copy hit lists just to group them. The result is the set of
+/// minimal meets, deepest first; each meet's witnesses tell which hits
+/// it explains.
+pub fn meet_multi<H: Borrow<HitSet>>(
+    db: &MonetDb,
+    inputs: &[H],
+    options: &MeetOptions,
+) -> Vec<Meet> {
     let summary = db.summary();
     let cap = options.cap();
 
@@ -134,7 +147,7 @@ pub fn meet_multi(db: &MonetDb, inputs: &[HitSet], options: &MeetOptions) -> Vec
     let mut tokens: HashMap<PathId, HashMap<Oid, Token>> = HashMap::new();
     let mut max_depth = 0usize;
     for (input_idx, hits) in inputs.iter().enumerate() {
-        for (path, oid) in hits.iter() {
+        for (path, oid) in hits.borrow().iter() {
             // Attribute hits are owned by the element carrying the
             // attribute: their token starts on the element, i.e. on the
             // attribute path's parent.
@@ -170,6 +183,11 @@ pub fn meet_multi(db: &MonetDb, inputs: &[HitSet], options: &MeetOptions) -> Vec
             continue;
         };
         let parent_path = summary.parent(path);
+        // Document order, not hash order: token absorption order decides
+        // the witness sample, which must be deterministic (the golden
+        // suite and the server's response-equality guarantee pin it).
+        let mut node_tokens: Vec<(Oid, Token)> = node_tokens.into_iter().collect();
+        node_tokens.sort_unstable_by_key(|&(o, _)| o);
         for (oid, token) in node_tokens {
             if token.count >= 2 {
                 let distance = token.min_climb.saturating_add(token.second_climb);
@@ -245,7 +263,11 @@ pub fn meet_multi(db: &MonetDb, inputs: &[HitSet], options: &MeetOptions) -> Vec
 ///
 /// Cost: O(hits log hits) for sort + heap, with O(1) work per LCA probe —
 /// replacing the roll-up's O(hits × depth) parent climbing.
-pub fn meet_multi_indexed(db: &MonetDb, inputs: &[HitSet], options: &MeetOptions) -> Vec<Meet> {
+pub fn meet_multi_indexed<H: Borrow<HitSet>>(
+    db: &MonetDb,
+    inputs: &[H],
+    options: &MeetOptions,
+) -> Vec<Meet> {
     let summary = db.summary();
     let cap = options.cap();
     let index = db.meet_index();
@@ -256,7 +278,7 @@ pub fn meet_multi_indexed(db: &MonetDb, inputs: &[HitSet], options: &MeetOptions
     let mut items: Vec<(Oid, u32)> = inputs
         .iter()
         .enumerate()
-        .flat_map(|(i, hits)| hits.iter().map(move |(_, o)| (o, i as u32)))
+        .flat_map(|(i, hits)| hits.borrow().iter().map(move |(_, o)| (o, i as u32)))
         .collect();
     items.sort_unstable();
 
@@ -473,7 +495,7 @@ mod tests {
     #[test]
     fn empty_inputs_give_no_meets() {
         let (db, _) = setup();
-        assert!(meet_multi(&db, &[], &MeetOptions::default()).is_empty());
+        assert!(meet_multi::<HitSet>(&db, &[], &MeetOptions::default()).is_empty());
         let empty = HitSet::new();
         assert!(meet_multi(&db, &[empty], &MeetOptions::default()).is_empty());
     }

@@ -23,6 +23,12 @@ pub enum MeetError {
         /// Offending path.
         found: PathId,
     },
+    /// An input set was empty — a meet needs a witness from each side.
+    /// Raised by the facade and the indexed paths so callers can tell
+    /// "the query can never match" apart from "the sets met nowhere";
+    /// the paper-faithful [`meet_sets`] lift keeps its Fig. 4 behaviour
+    /// of returning no meets.
+    EmptyInput,
 }
 
 impl fmt::Display for MeetError {
@@ -31,6 +37,10 @@ impl fmt::Display for MeetError {
             MeetError::HeterogeneousInput { expected, found } => write!(
                 f,
                 "meet_sets requires homogeneous input sets (found paths {expected:?} and {found:?}); use meet_multi for mixed input"
+            ),
+            MeetError::EmptyInput => write!(
+                f,
+                "meet_sets requires two non-empty input sets (a meet needs a witness from each side)"
             ),
         }
     }
@@ -187,30 +197,44 @@ pub fn meet_sets(db: &MonetDb, set1: &[Oid], set2: &[Oid]) -> Result<SetMeets, M
 pub fn meet_sets_sweep(db: &MonetDb, set1: &[Oid], set2: &[Oid]) -> Result<SetMeets, MeetError> {
     let p1 = check_homogeneous(db, set1)?;
     let p2 = check_homogeneous(db, set2)?;
-    let mut result = SetMeets::default();
     let (Some(p1), Some(p2)) = (p1, p2) else {
-        return Ok(result); // one side empty → no meets
+        return Err(MeetError::EmptyInput);
     };
-    let summary = db.summary();
-    let (d1, d2) = (summary.depth(p1), summary.depth(p2));
-    // Rounds the lift-based evaluation would need to reach depth `d`:
-    // |d1 − d2| steering rounds, then lockstep from min(d1, d2) down.
-    let round_at = |meet_depth: usize| d1.abs_diff(d2) + (d1.min(d2) - meet_depth);
 
+    let (o1, o2) = sorted_sides(set1, set2);
+    // Document-order merge, remembering which side each element came from.
+    let mut items: Vec<(Oid, u8)> = Vec::with_capacity(o1.len() + o2.len());
+    items.extend(o1.into_iter().map(|o| (o, 0u8)));
+    items.extend(o2.into_iter().map(|o| (o, 1u8)));
+    items.sort_unstable();
+    Ok(sweep_sets_items(db, p1, p2, &items))
+}
+
+/// Copy both inputs, sort and deduplicate each side.
+fn sorted_sides(set1: &[Oid], set2: &[Oid]) -> (Vec<Oid>, Vec<Oid>) {
     let mut o1: Vec<Oid> = set1.to_vec();
     let mut o2: Vec<Oid> = set2.to_vec();
     o1.sort_unstable();
     o1.dedup();
     o2.sort_unstable();
     o2.dedup();
+    (o1, o2)
+}
 
-    // Document-order merge, remembering which side each element came from.
-    let mut items: Vec<(Oid, u8)> = Vec::with_capacity(o1.len() + o2.len());
-    items.extend(o1.into_iter().map(|o| (o, 0u8)));
-    items.extend(o2.into_iter().map(|o| (o, 1u8)));
-    items.sort_unstable();
+/// The shared sweep body behind [`meet_sets_sweep`] and
+/// [`meet_sets_sweep_merged`]: run the plane-sweep engine over a
+/// document-order `(oid, side)` item list and model the lift rounds per
+/// meet. Any change to the bookkeeping here changes both entry points
+/// together — the equivalence property tests pin them to each other.
+fn sweep_sets_items(db: &MonetDb, p1: PathId, p2: PathId, items: &[(Oid, u8)]) -> SetMeets {
+    let summary = db.summary();
+    let (d1, d2) = (summary.depth(p1), summary.depth(p2));
+    // Rounds the lift-based evaluation would need to reach depth `d`:
+    // |d1 − d2| steering rounds, then lockstep from min(d1, d2) down.
+    let round_at = |meet_depth: usize| d1.abs_diff(d2) + (d1.min(d2) - meet_depth);
     let oids: Vec<Oid> = items.iter().map(|&(o, _)| o).collect();
 
+    let mut result = SetMeets::default();
     let index = db.meet_index();
     let mut meets: Vec<(Oid, usize)> = Vec::new();
     result.lookups = crate::sweep::plane_sweep(
@@ -224,9 +248,126 @@ pub fn meet_sets_sweep(db: &MonetDb, set1: &[Oid], set2: &[Oid]) -> Result<SetMe
         },
     );
     result.meets = meets;
-
     result.join_rounds = result.meets.iter().map(|&(_, r)| r).max().unwrap_or(0);
-    Ok(result)
+    result
+}
+
+// ----- planner-tier executors -----
+//
+// The [`crate::planner::MeetPlanner`] does more than choose between the
+// two evaluations above: like a relational optimizer handing "interesting
+// orders" to its operators, it establishes the inputs' physical
+// properties once (homogeneous, sorted, deduplicated, depths known) and
+// dispatches to executors that exploit them. Both return exactly the
+// (meet, round) multiset of their paper-faithful counterparts — the
+// property tests pin it — but shed the per-round / global sorts.
+
+/// Lift one sorted homogeneous frontier: parents of same-path nodes are
+/// monotone in document order (same-depth subtree intervals are disjoint
+/// and ordered), so mapping to parents preserves sortedness and dedup is
+/// a linear adjacent-compare instead of a sort. Returns the look-ups.
+fn lift_ordered(db: &MonetDb, set: &mut Vec<Oid>) -> usize {
+    let lookups = set.len();
+    for o in set.iter_mut() {
+        if let Some(p) = db.parent(*o) {
+            *o = p;
+        }
+    }
+    debug_assert!(set.windows(2).all(|w| w[0] <= w[1]));
+    set.dedup();
+    lookups
+}
+
+/// The planner's lift executor: semantics of [`meet_sets`] (same meets,
+/// rounds and look-up counts), with each round O(frontier) instead of
+/// O(frontier log frontier). Errors on empty input like the other
+/// planner-tier paths.
+pub fn meet_sets_lift_ordered(
+    db: &MonetDb,
+    set1: &[Oid],
+    set2: &[Oid],
+) -> Result<SetMeets, MeetError> {
+    let p1 = check_homogeneous(db, set1)?;
+    let p2 = check_homogeneous(db, set2)?;
+    let mut result = SetMeets::default();
+    let (Some(mut p1), Some(mut p2)) = (p1, p2) else {
+        return Err(MeetError::EmptyInput);
+    };
+
+    let (mut o1, mut o2) = sorted_sides(set1, set2);
+    let summary = db.summary();
+    loop {
+        if o1.is_empty() || o2.is_empty() {
+            return Ok(result);
+        }
+        // D := O1 ∩ O2 can only be non-empty when both frontiers sit on
+        // one path (an oid has one σ) — the planner executor skips the
+        // scan entirely on the steering rounds the baseline pays it.
+        if p1 == p2 {
+            let d = intersect(&o1, &o2);
+            if !d.is_empty() {
+                let round = result.join_rounds;
+                result.meets.extend(d.iter().map(|&o| (o, round)));
+                difference(&mut o1, &d);
+                difference(&mut o2, &d);
+                if o1.is_empty() || o2.is_empty() {
+                    return Ok(result);
+                }
+            }
+        }
+        if summary.lt(p1, p2) {
+            result.lookups += lift_ordered(db, &mut o1);
+            p1 = summary.parent(p1).expect("deeper path has a parent");
+        } else if summary.lt(p2, p1) {
+            result.lookups += lift_ordered(db, &mut o2);
+            p2 = summary.parent(p2).expect("deeper path has a parent");
+        } else if p1 == p2 && summary.depth(p1) == 0 {
+            return Ok(result);
+        } else {
+            result.lookups += lift_ordered(db, &mut o1);
+            result.lookups += lift_ordered(db, &mut o2);
+            p1 = summary.parent(p1).expect("non-root path has a parent");
+            p2 = summary.parent(p2).expect("non-root path has a parent");
+        }
+        result.join_rounds += 1;
+    }
+}
+
+/// The planner's sweep executor: semantics of [`meet_sets_sweep`] (same
+/// meets, rounds and probe counts), with the document-order item list
+/// built by a linear merge of the two sorted sides instead of a global
+/// O(n log n) re-sort.
+pub fn meet_sets_sweep_merged(
+    db: &MonetDb,
+    set1: &[Oid],
+    set2: &[Oid],
+) -> Result<SetMeets, MeetError> {
+    let p1 = check_homogeneous(db, set1)?;
+    let p2 = check_homogeneous(db, set2)?;
+    let (Some(p1), Some(p2)) = (p1, p2) else {
+        return Err(MeetError::EmptyInput);
+    };
+
+    let (o1, o2) = sorted_sides(set1, set2);
+    // Linear merge, ties pulling side 0 first (matching the tuple order
+    // the sorting evaluation produces for an oid present in both sides).
+    let mut items: Vec<(Oid, u8)> = Vec::with_capacity(o1.len() + o2.len());
+    let (mut i, mut j) = (0, 0);
+    while i < o1.len() || j < o2.len() {
+        let take_left = match (o1.get(i), o2.get(j)) {
+            (Some(a), Some(b)) => a <= b,
+            (Some(_), None) => true,
+            _ => false,
+        };
+        if take_left {
+            items.push((o1[i], 0));
+            i += 1;
+        } else {
+            items.push((o2[j], 1));
+            j += 1;
+        }
+    }
+    Ok(sweep_sets_items(db, p1, p2, &items))
 }
 
 #[cfg(test)]
@@ -443,11 +584,18 @@ mod tests {
     fn sweep_handles_empty_and_heterogeneous_inputs() {
         let db = db();
         let some = cdata_all(&db, "1999");
-        assert!(meet_sets_sweep(&db, &[], &some).unwrap().meets.is_empty());
-        assert!(meet_sets_sweep(&db, &some, &[]).unwrap().meets.is_empty());
+        // Empty input is a typed error on the indexed path (the lift
+        // keeps the paper's empty-result behaviour, pinned above).
+        assert_eq!(meet_sets_sweep(&db, &[], &some), Err(MeetError::EmptyInput));
+        assert_eq!(meet_sets_sweep(&db, &some, &[]), Err(MeetError::EmptyInput));
+        assert_eq!(meet_sets_sweep(&db, &[], &[]), Err(MeetError::EmptyInput));
+        assert!(MeetError::EmptyInput.to_string().contains("non-empty"));
         let mut mixed = some.clone();
         mixed.extend(cdata_containing(&db, "Bit"));
-        assert!(meet_sets_sweep(&db, &mixed, &[db.root()]).is_err());
+        assert!(matches!(
+            meet_sets_sweep(&db, &mixed, &[db.root()]),
+            Err(MeetError::HeterogeneousInput { .. })
+        ));
     }
 
     #[test]
@@ -472,6 +620,65 @@ mod tests {
         assert_eq!(sweep.meets.len(), 2);
         assert_eq!(db.tag(sweep.meets[0].0), Some("c"));
         assert_eq!(db.tag(sweep.meets[1].0), Some("r"));
+    }
+
+    #[test]
+    fn planner_tier_executors_match_their_baselines() {
+        // Every homogeneous pair constructible from Figure 1: the
+        // ordered lift must equal the sorting lift exactly — meets,
+        // rounds AND look-up counts — and likewise the merged sweep
+        // against the sorting sweep.
+        let db = db();
+        let mut by_path: std::collections::BTreeMap<_, Vec<Oid>> = Default::default();
+        for o in db.iter_oids() {
+            by_path.entry(db.sigma(o)).or_default().push(o);
+        }
+        let groups: Vec<Vec<Oid>> = by_path.into_values().collect();
+        let sorted = |r: &SetMeets| {
+            let mut m = r.meets.clone();
+            m.sort_unstable();
+            m
+        };
+        for s1 in &groups {
+            for s2 in &groups {
+                let lift = meet_sets(&db, s1, s2).unwrap();
+                let lift_ordered = meet_sets_lift_ordered(&db, s1, s2).unwrap();
+                assert_eq!(sorted(&lift), sorted(&lift_ordered), "{s1:?} vs {s2:?}");
+                assert_eq!(lift.join_rounds, lift_ordered.join_rounds);
+                assert_eq!(lift.lookups, lift_ordered.lookups);
+                let sweep = meet_sets_sweep(&db, s1, s2).unwrap();
+                let merged = meet_sets_sweep_merged(&db, s1, s2).unwrap();
+                assert_eq!(sorted(&sweep), sorted(&merged), "{s1:?} vs {s2:?}");
+                assert_eq!(sweep.join_rounds, merged.join_rounds);
+                assert_eq!(sweep.lookups, merged.lookups);
+            }
+        }
+    }
+
+    #[test]
+    fn planner_tier_executors_error_on_empty_input() {
+        let db = db();
+        let some = cdata_all(&db, "1999");
+        for f in [meet_sets_lift_ordered, meet_sets_sweep_merged] {
+            assert_eq!(f(&db, &[], &some), Err(MeetError::EmptyInput));
+            assert_eq!(f(&db, &some, &[]), Err(MeetError::EmptyInput));
+        }
+    }
+
+    #[test]
+    fn merged_sweep_handles_shared_oids_and_readjacency() {
+        // The re-adjacency document of the sweep test, plus inputs that
+        // share an oid across both sides (merge tie-breaking).
+        let doc = parse("<r><c><a>s</a></c><c><a>s</a><b>t</b></c><c><b>t</b></c></r>").unwrap();
+        let db = MonetDb::from_document(&doc);
+        let s: Vec<Oid> = cdata_all(&db, "s");
+        let t: Vec<Oid> = cdata_all(&db, "t");
+        let sweep = meet_sets_sweep(&db, &s, &t).unwrap();
+        let merged = meet_sets_sweep_merged(&db, &s, &t).unwrap();
+        assert_eq!(sweep, merged);
+        let shared = meet_sets_sweep_merged(&db, &s, &s).unwrap();
+        let baseline = meet_sets_sweep(&db, &s, &s).unwrap();
+        assert_eq!(shared, baseline);
     }
 
     #[test]

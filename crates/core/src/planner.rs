@@ -1,0 +1,399 @@
+//! Depth-aware meet planning: lift vs sweep, chosen per query.
+//!
+//! PR 1 left a regression on shallow corpora (`BENCH_pr1.json`,
+//! `meet_sets` flat row ≈ 0.4×): on DBLP-like documents (node depth ≈ 3)
+//! the paper's Figure 4 **frontier lift** still beats the indexed
+//! **plane sweep**, while on deep documents the sweep wins by a widening
+//! margin. The reason is visible in the cost models:
+//!
+//! * lift pays `O(hits)` parent look-ups *per level* for roughly as many
+//!   rounds as the inputs are deep — cheap when depth is small;
+//! * the sweep pays one `O(hits log hits)` sorted pass with heap pushes
+//!   and O(1) LCA probes — depth-independent, but with a larger constant.
+//!
+//! [`MeetPlanner`] compares the two estimates per query: the **round
+//! estimate** (how deep the inputs sit, i.e. how many parent-join rounds
+//! the lift could need) against a **round budget** proportional to
+//! `log₂(hits)` (the sweep's per-item cost). Shallow inputs ⇒ lift;
+//! deep inputs ⇒ sweep. [`MeetStrategy::Lift`] / [`MeetStrategy::Sweep`]
+//! override the decision — tests and the `repro` ablations force either
+//! side; [`MeetStrategy::Auto`] plans.
+//!
+//! For the generalized meet (Fig. 5) the same shape applies, except the
+//! lift side is the token roll-up whose hash-map bookkeeping loses to
+//! the sweep well before depth does (PR 1 measured the indexed sweep
+//! 1.7× faster even on flat DBLP at ~6k hits): the roll-up is only
+//! planned for small inputs on shallow corpora, where either evaluation
+//! is microseconds and the roll-up avoids touching the Euler-tour index
+//! entirely.
+
+use crate::meet_multi::{meet_multi, meet_multi_indexed, Meet, MeetOptions};
+use crate::meet_sets::{meet_sets_lift_ordered, meet_sets_sweep_merged, MeetError, SetMeets};
+use ncq_fulltext::HitSet;
+use ncq_store::{MonetDb, Oid};
+use std::borrow::Borrow;
+
+/// Which evaluation strategy a meet query should use.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub enum MeetStrategy {
+    /// Let the [`MeetPlanner`] decide from depth statistics and input
+    /// cardinalities (the default).
+    #[default]
+    Auto,
+    /// Force the paper-faithful evaluation: Fig. 4 frontier lifting for
+    /// homogeneous sets, Fig. 5 token roll-up for hit groups.
+    Lift,
+    /// Force the indexed document-order plane sweep.
+    Sweep,
+}
+
+/// Planner thresholds. The defaults are calibrated against
+/// `BENCH_pr1.json` / `BENCH_pr2.json`; tests tighten them to force
+/// decisions.
+#[derive(Debug, Clone, Copy)]
+pub struct PlannerConfig {
+    /// Flat component of the lift round budget.
+    pub lift_round_base: usize,
+    /// Rounds granted per *bit* of input cardinality (bit length =
+    /// ⌊log₂(hits)⌋ + 1) — a proxy for the sweep's per-item log factor.
+    pub lift_rounds_per_log2: usize,
+    /// Above this many total hits the generalized roll-up is never
+    /// planned (its per-token hashing loses to the sweep regardless of
+    /// depth).
+    pub rollup_max_hits: usize,
+    /// When the generalized inputs span more than this many distinct
+    /// relations, [`MeetPlanner::plan_multi`] stops scanning per-group
+    /// depths and uses the corpus-level [`ncq_store::DepthStats`]
+    /// (p90 depth) as its round estimate instead.
+    pub group_scan_limit: usize,
+}
+
+impl Default for PlannerConfig {
+    fn default() -> PlannerConfig {
+        PlannerConfig {
+            lift_round_base: 4,
+            lift_rounds_per_log2: 2,
+            rollup_max_hits: 64,
+            group_scan_limit: 16,
+        }
+    }
+}
+
+/// The strategy a plan resolved to (never `Auto`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ChosenStrategy {
+    /// Frontier lift / token roll-up.
+    Lift,
+    /// Indexed plane sweep.
+    Sweep,
+}
+
+impl ChosenStrategy {
+    /// Lower-case name for tables and logs.
+    pub fn name(self) -> &'static str {
+        match self {
+            ChosenStrategy::Lift => "lift",
+            ChosenStrategy::Sweep => "sweep",
+        }
+    }
+}
+
+/// One planning decision, with the quantities it weighed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PlanDecision {
+    /// The chosen evaluation.
+    pub strategy: ChosenStrategy,
+    /// Total input hits.
+    pub hits: usize,
+    /// Parent-join rounds the lift could need (depth of the deepest
+    /// input).
+    pub est_rounds: usize,
+    /// Rounds the lift is granted before the sweep is preferred.
+    pub round_budget: usize,
+}
+
+/// Per-query planner over a loaded database.
+///
+/// Cheap to construct (borrows the store and copies the config);
+/// [`crate::Database`] builds one per meet call.
+#[derive(Debug, Clone, Copy)]
+pub struct MeetPlanner<'a> {
+    db: &'a MonetDb,
+    config: PlannerConfig,
+}
+
+/// Bit length of `n` (⌊log₂(n)⌋ + 1 for n ≥ 1; 1 for n = 0) — the
+/// cardinality proxy the round budget scales with.
+fn bit_length(n: usize) -> usize {
+    usize::BITS as usize - n.max(1).leading_zeros() as usize
+}
+
+impl<'a> MeetPlanner<'a> {
+    /// Planner with default thresholds.
+    pub fn new(db: &'a MonetDb) -> MeetPlanner<'a> {
+        MeetPlanner::with_config(db, PlannerConfig::default())
+    }
+
+    /// Planner with explicit thresholds.
+    pub fn with_config(db: &'a MonetDb, config: PlannerConfig) -> MeetPlanner<'a> {
+        MeetPlanner { db, config }
+    }
+
+    /// The thresholds in effect.
+    pub fn config(&self) -> PlannerConfig {
+        self.config
+    }
+
+    fn decide(&self, hits: usize, est_rounds: usize) -> PlanDecision {
+        let round_budget =
+            self.config.lift_round_base + self.config.lift_rounds_per_log2 * bit_length(hits);
+        let strategy = if est_rounds <= round_budget {
+            ChosenStrategy::Lift
+        } else {
+            ChosenStrategy::Sweep
+        };
+        PlanDecision {
+            strategy,
+            hits,
+            est_rounds,
+            round_budget,
+        }
+    }
+
+    /// Plan a Fig. 4 two-set meet. The inputs are homogeneous, so their
+    /// depth — the exact worst-case number of lift rounds — is the depth
+    /// of either set's shared path.
+    ///
+    /// Errors with [`MeetError::EmptyInput`] when either set is empty:
+    /// there is nothing to plan (and nothing to meet).
+    pub fn plan_sets(&self, set1: &[Oid], set2: &[Oid]) -> Result<PlanDecision, MeetError> {
+        let (Some(&o1), Some(&o2)) = (set1.first(), set2.first()) else {
+            return Err(MeetError::EmptyInput);
+        };
+        let est_rounds = self.db.depth(o1).max(self.db.depth(o2));
+        Ok(self.decide(set1.len() + set2.len(), est_rounds))
+    }
+
+    /// Plan-and-execute a Fig. 4 two-set meet. `strategy` overrides the
+    /// plan unless it is [`MeetStrategy::Auto`].
+    ///
+    /// Execution goes through the planner-tier executors
+    /// ([`meet_sets_lift_ordered`] / [`meet_sets_sweep_merged`]): same
+    /// answers as the paper-faithful operators, exploiting the physical
+    /// properties (homogeneous, sorted, deduplicated) the plan
+    /// established.
+    pub fn meet_sets(
+        &self,
+        set1: &[Oid],
+        set2: &[Oid],
+        strategy: MeetStrategy,
+    ) -> Result<SetMeets, MeetError> {
+        let chosen = match strategy {
+            MeetStrategy::Auto => self.plan_sets(set1, set2)?.strategy,
+            MeetStrategy::Lift => ChosenStrategy::Lift,
+            MeetStrategy::Sweep => ChosenStrategy::Sweep,
+        };
+        if set1.is_empty() || set2.is_empty() {
+            return Err(MeetError::EmptyInput);
+        }
+        match chosen {
+            ChosenStrategy::Lift => meet_sets_lift_ordered(self.db, set1, set2),
+            ChosenStrategy::Sweep => meet_sets_sweep_merged(self.db, set1, set2),
+        }
+    }
+
+    /// Plan a Fig. 5 generalized meet over hit groups. The round
+    /// estimate is the depth of the deepest hit path — or, when the
+    /// inputs span more than [`PlannerConfig::group_scan_limit`]
+    /// distinct relations, the corpus-level p90 depth from the cached
+    /// [`ncq_store::DepthStats`] (broad hit sets are statistical
+    /// samples of the corpus, and the O(1) summary beats re-scanning
+    /// hundreds of group depths per query). The roll-up is additionally
+    /// capped at [`PlannerConfig::rollup_max_hits`].
+    pub fn plan_multi<H: Borrow<HitSet>>(&self, inputs: &[H]) -> PlanDecision {
+        let summary = self.db.summary();
+        let hits: usize = inputs.iter().map(|h| h.borrow().len()).sum();
+        let group_count: usize = inputs.iter().map(|h| h.borrow().group_count()).sum();
+        let est_rounds = if group_count > self.config.group_scan_limit {
+            self.db.depth_stats().p90_depth
+        } else {
+            inputs
+                .iter()
+                .flat_map(|h| h.borrow().groups().keys())
+                .map(|&p| summary.depth(p))
+                .max()
+                .unwrap_or(0)
+        };
+        let mut decision = self.decide(hits, est_rounds);
+        if hits > self.config.rollup_max_hits {
+            decision.strategy = ChosenStrategy::Sweep;
+        }
+        decision
+    }
+
+    /// Plan-and-execute a Fig. 5 generalized meet.
+    /// [`MeetOptions::strategy`] carries the override.
+    pub fn meet_multi<H: Borrow<HitSet>>(&self, inputs: &[H], options: &MeetOptions) -> Vec<Meet> {
+        let chosen = match options.strategy {
+            MeetStrategy::Auto => self.plan_multi(inputs).strategy,
+            MeetStrategy::Lift => ChosenStrategy::Lift,
+            MeetStrategy::Sweep => ChosenStrategy::Sweep,
+        };
+        match chosen {
+            ChosenStrategy::Lift => meet_multi(self.db, inputs, options),
+            ChosenStrategy::Sweep => meet_multi_indexed(self.db, inputs, options),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ncq_xml::parse;
+
+    fn deep_db(depth: usize, chains: usize) -> MonetDb {
+        let mut xml = String::from("<r>");
+        for c in 0..chains {
+            for _ in 0..depth {
+                xml.push_str("<e>");
+            }
+            xml.push_str(&format!("<a>s{c}</a><b>t{c}</b>"));
+            for _ in 0..depth {
+                xml.push_str("</e>");
+            }
+        }
+        xml.push_str("</r>");
+        MonetDb::from_document(&parse(&xml).unwrap())
+    }
+
+    fn cdata_oids(db: &MonetDb, prefix: &str) -> Vec<Oid> {
+        let mut v: Vec<Oid> = db
+            .string_paths()
+            .flat_map(|p| db.strings_of(p))
+            .filter(|(_, t)| t.starts_with(prefix))
+            .map(|(o, _)| *o)
+            .collect();
+        v.sort_unstable();
+        v
+    }
+
+    #[test]
+    fn shallow_inputs_plan_lift() {
+        let db = deep_db(1, 8);
+        let s = cdata_oids(&db, "s");
+        let t = cdata_oids(&db, "t");
+        let plan = MeetPlanner::new(&db).plan_sets(&s, &t).unwrap();
+        assert_eq!(plan.strategy, ChosenStrategy::Lift);
+        assert_eq!(plan.hits, 16);
+    }
+
+    #[test]
+    fn deep_inputs_plan_sweep() {
+        let db = deep_db(64, 4);
+        let s = cdata_oids(&db, "s");
+        let t = cdata_oids(&db, "t");
+        let plan = MeetPlanner::new(&db).plan_sets(&s, &t).unwrap();
+        // est_rounds = 66 (chain + <a> + cdata), budget = 4 + 2·log2(8).
+        assert_eq!(plan.strategy, ChosenStrategy::Sweep);
+        assert!(plan.est_rounds > plan.round_budget);
+    }
+
+    #[test]
+    fn empty_input_is_a_typed_error() {
+        let db = deep_db(1, 2);
+        let s = cdata_oids(&db, "s");
+        let planner = MeetPlanner::new(&db);
+        assert_eq!(planner.plan_sets(&s, &[]), Err(MeetError::EmptyInput));
+        assert_eq!(planner.plan_sets(&[], &s), Err(MeetError::EmptyInput));
+        for strategy in [MeetStrategy::Auto, MeetStrategy::Lift, MeetStrategy::Sweep] {
+            assert_eq!(
+                planner.meet_sets(&s, &[], strategy),
+                Err(MeetError::EmptyInput),
+                "{strategy:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn overrides_beat_the_plan_but_agree_on_answers() {
+        let db = deep_db(16, 6);
+        let s = cdata_oids(&db, "s");
+        let t = cdata_oids(&db, "t");
+        let planner = MeetPlanner::new(&db);
+        let auto = planner.meet_sets(&s, &t, MeetStrategy::Auto).unwrap();
+        let lift = planner.meet_sets(&s, &t, MeetStrategy::Lift).unwrap();
+        let sweep = planner.meet_sets(&s, &t, MeetStrategy::Sweep).unwrap();
+        let key = |r: &SetMeets| {
+            let mut m = r.meets.clone();
+            m.sort_unstable();
+            m
+        };
+        assert_eq!(key(&auto), key(&lift));
+        assert_eq!(key(&lift), key(&sweep));
+    }
+
+    #[test]
+    fn multi_rollup_is_capped_by_hits() {
+        let db = deep_db(1, 40); // shallow, 80 hits > rollup_max_hits
+        let planner = MeetPlanner::new(&db);
+        let inputs = vec![
+            HitSet::from_pairs(cdata_oids(&db, "s").into_iter().map(|o| (db.sigma(o), o))),
+            HitSet::from_pairs(cdata_oids(&db, "t").into_iter().map(|o| (db.sigma(o), o))),
+        ];
+        let plan = planner.plan_multi(&inputs);
+        assert_eq!(plan.strategy, ChosenStrategy::Sweep);
+        assert_eq!(plan.hits, 80);
+        // The small prefix still plans the roll-up.
+        let small = vec![
+            HitSet::from_pairs(
+                cdata_oids(&db, "s")
+                    .into_iter()
+                    .take(4)
+                    .map(|o| (db.sigma(o), o)),
+            ),
+            HitSet::from_pairs(
+                cdata_oids(&db, "t")
+                    .into_iter()
+                    .take(4)
+                    .map(|o| (db.sigma(o), o)),
+            ),
+        ];
+        assert_eq!(planner.plan_multi(&small).strategy, ChosenStrategy::Lift);
+    }
+
+    #[test]
+    fn bit_length_is_sane() {
+        assert_eq!(bit_length(0), 1);
+        assert_eq!(bit_length(1), 1);
+        assert_eq!(bit_length(2), 2);
+        assert_eq!(bit_length(3), 2);
+        assert_eq!(bit_length(1024), 11);
+    }
+
+    #[test]
+    fn wide_inputs_plan_from_corpus_depth_stats() {
+        // More distinct relations than group_scan_limit: the estimate
+        // must come from the cached corpus DepthStats, not a scan.
+        let mut xml = String::from("<r>");
+        for i in 0..40 {
+            xml.push_str(&format!("<t{i}>w</t{i}>"));
+        }
+        xml.push_str("</r>");
+        let db = MonetDb::from_document(&ncq_xml::parse(&xml).unwrap());
+        let planner = MeetPlanner::new(&db);
+        let wide =
+            vec![HitSet::from_pairs(db.string_paths().flat_map(|p| {
+                db.strings_of(p).iter().map(move |&(o, _)| (p, o))
+            }))];
+        assert!(wide[0].group_count() > planner.config().group_scan_limit);
+        let plan = planner.plan_multi(&wide);
+        assert_eq!(plan.est_rounds, db.depth_stats().p90_depth);
+        // Under the limit, the exact per-group scan is used.
+        let narrow =
+            vec![HitSet::from_pairs(db.string_paths().take(2).flat_map(
+                |p| db.strings_of(p).iter().map(move |&(o, _)| (p, o)),
+            ))];
+        let plan = planner.plan_multi(&narrow);
+        assert_eq!(plan.est_rounds, 2); // r/t{i}/cdata
+    }
+}

@@ -1,0 +1,148 @@
+//! Planner regression tests: seeded-PRNG corpora at depth ∈ {3, 16, 256}
+//! pin (a) that sweep and lift return identical `SetMeets` and (b) that
+//! the planner picks lift on the flat corpus and sweep on the deep one —
+//! the `BENCH_pr1.json` flat-row regression, closed.
+
+use ncq_core::{
+    meet_sets, meet_sets_sweep, ChosenStrategy, Database, MeetError, MeetPlanner, MeetStrategy,
+    SetMeets,
+};
+use ncq_store::Oid;
+use ncq_xml::Document;
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+
+/// A corpus whose marker cdatas sit at exactly `depth`: `records` record
+/// heads under the root, each carrying a chain of `depth - 3` inner
+/// elements (so root=0, record=1, chain…, a/b, cdata=depth), ending in a
+/// randomized number of `<a>s</a>` / `<b>t</b>` leaf pairs plus noise
+/// children. Seeded, so every run builds the same trees.
+fn corpus(seed: u64, depth: usize, records: usize) -> Database {
+    assert!(depth >= 3, "root/record/a/cdata is already depth 3");
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut doc = Document::new("root");
+    for _ in 0..records {
+        let head = doc.add_element(doc.root(), "record");
+        let mut cur = head;
+        for _ in 0..depth - 3 {
+            cur = doc.add_element(cur, "link");
+            // Noise siblings keep OID gaps irregular.
+            for _ in 0..rng.random_range(0usize..2) {
+                doc.add_element(cur, "pad");
+            }
+        }
+        for _ in 0..rng.random_range(1usize..4) {
+            let a = doc.add_element(cur, "a");
+            doc.add_text(a, "s");
+            let b = doc.add_element(cur, "b");
+            doc.add_text(b, "t");
+        }
+    }
+    Database::from_document(&doc)
+}
+
+/// The two homogeneous marker sets (every `s` cdata, every `t` cdata).
+fn marker_sets(db: &Database) -> (Vec<Oid>, Vec<Oid>) {
+    let store = db.store();
+    let pick = |needle: &str| -> Vec<Oid> {
+        let mut v: Vec<Oid> = store
+            .string_paths()
+            .flat_map(|p| store.strings_of(p))
+            .filter(|(_, t)| &**t == needle)
+            .map(|(o, _)| *o)
+            .collect();
+        v.sort_unstable();
+        v
+    };
+    (pick("s"), pick("t"))
+}
+
+fn sorted(r: &SetMeets) -> Vec<(Oid, usize)> {
+    let mut m = r.meets.clone();
+    m.sort_unstable();
+    m
+}
+
+const DEPTHS: [usize; 3] = [3, 16, 256];
+
+#[test]
+fn sweep_and_lift_agree_at_every_depth() {
+    for (i, &depth) in DEPTHS.iter().enumerate() {
+        for seed in 0..8u64 {
+            let records = if depth >= 256 { 6 } else { 24 };
+            let db = corpus((i as u64) << 32 | seed, depth, records);
+            let (s, t) = marker_sets(&db);
+            assert!(!s.is_empty() && !t.is_empty());
+            let store = db.store();
+            assert_eq!(store.depth(s[0]), depth, "marker depth is exact");
+            let lift = meet_sets(store, &s, &t).unwrap();
+            let sweep = meet_sets_sweep(store, &s, &t).unwrap();
+            assert_eq!(
+                sorted(&lift),
+                sorted(&sweep),
+                "depth {depth} seed {seed}: lift and sweep diverged"
+            );
+            // Every record head is a minimal meet: one per record's pairs.
+            assert!(!lift.meets.is_empty());
+            // The planner dispatch returns the same answers as both.
+            let auto = db.meet_oid_sets(&s, &t).unwrap();
+            assert_eq!(sorted(&auto), sorted(&lift));
+        }
+    }
+}
+
+#[test]
+fn planner_picks_lift_flat_and_sweep_deep() {
+    let flat = corpus(0xF1A7, 3, 64);
+    let (s, t) = marker_sets(&flat);
+    let plan = flat.plan_oid_sets(&s, &t).unwrap();
+    assert_eq!(
+        plan.strategy,
+        ChosenStrategy::Lift,
+        "flat corpus (depth 3, {} hits) must lift: {plan:?}",
+        plan.hits
+    );
+
+    let deep = corpus(0xDEEB, 256, 8);
+    let (s, t) = marker_sets(&deep);
+    let plan = deep.plan_oid_sets(&s, &t).unwrap();
+    assert_eq!(
+        plan.strategy,
+        ChosenStrategy::Sweep,
+        "deep corpus (depth 256, {} hits) must sweep: {plan:?}",
+        plan.hits
+    );
+    assert_eq!(plan.est_rounds, 256);
+}
+
+#[test]
+fn forced_strategies_execute_the_forced_path() {
+    // Pin the override contract on a mid-depth corpus where Auto could
+    // go either way: lookups is the tell (the lift counts parent
+    // look-ups ≥ rounds × hits; the sweep counts O(hits) LCA probes).
+    let db = corpus(0x16, 16, 24);
+    let (s, t) = marker_sets(&db);
+    let planner = MeetPlanner::new(db.store());
+    let lift = planner.meet_sets(&s, &t, MeetStrategy::Lift).unwrap();
+    let sweep = planner.meet_sets(&s, &t, MeetStrategy::Sweep).unwrap();
+    let reference_lift = meet_sets(db.store(), &s, &t).unwrap();
+    let reference_sweep = meet_sets_sweep(db.store(), &s, &t).unwrap();
+    assert_eq!(lift.lookups, reference_lift.lookups);
+    assert_eq!(sweep.lookups, reference_sweep.lookups);
+    assert_ne!(
+        lift.lookups, sweep.lookups,
+        "the two strategies must be observably different evaluations"
+    );
+}
+
+#[test]
+fn planner_empty_input_regression() {
+    let db = corpus(0, 3, 4);
+    let (s, _) = marker_sets(&db);
+    assert_eq!(db.meet_oid_sets(&s, &[]), Err(MeetError::EmptyInput));
+    assert_eq!(db.meet_oid_sets(&[], &s), Err(MeetError::EmptyInput));
+    assert_eq!(
+        meet_sets_sweep(db.store(), &[], &s),
+        Err(MeetError::EmptyInput)
+    );
+}

@@ -4,8 +4,8 @@
 //! offline build cannot fetch it); failures print the seed.
 
 use ncq_core::{
-    meet2, meet2_indexed, meet2_naive, meet_multi, meet_multi_indexed, meet_sets, meet_sets_sweep,
-    MeetOptions,
+    meet2, meet2_indexed, meet2_naive, meet_multi, meet_multi_indexed, meet_sets,
+    meet_sets_lift_ordered, meet_sets_sweep, meet_sets_sweep_merged, MeetOptions,
 };
 use ncq_fulltext::HitSet;
 use ncq_store::{MonetDb, Oid};
@@ -151,6 +151,16 @@ fn meet_sets_results_are_minimal_and_sweep_agrees() {
         lift_meets.sort_unstable();
         sweep_meets.sort_unstable();
         assert_eq!(lift_meets, sweep_meets, "seed {seed}");
+        // The planner-tier executors reproduce their baselines exactly
+        // (meets, rounds and look-up/probe counts) on random trees.
+        let ordered = meet_sets_lift_ordered(&db, s1, s2).unwrap();
+        let mut ordered_meets = ordered.meets.clone();
+        ordered_meets.sort_unstable();
+        assert_eq!(lift_meets, ordered_meets, "seed {seed}");
+        assert_eq!(result.join_rounds, ordered.join_rounds, "seed {seed}");
+        assert_eq!(result.lookups, ordered.lookups, "seed {seed}");
+        let merged = meet_sets_sweep_merged(&db, s1, s2).unwrap();
+        assert_eq!(sweep, merged, "seed {seed}");
     }
 }
 

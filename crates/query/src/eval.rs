@@ -16,7 +16,7 @@ use crate::ast::{Query, SelectClause, SelectItem};
 use crate::error::QueryError;
 use crate::parser::parse_query;
 use crate::pathexpr::{match_paths, matched_path_ids, PathMatch};
-use ncq_core::{AnswerSet, Database, MeetOptions, PathFilter};
+use ncq_core::{AnswerSet, Database, MeetOptions, MeetStrategy, PathFilter};
 use ncq_fulltext::HitSet;
 use ncq_store::{Oid, PathId};
 
@@ -32,6 +32,20 @@ impl Default for QueryConfig {
     fn default() -> QueryConfig {
         QueryConfig { max_rows: 10_000 }
     }
+}
+
+/// Full evaluation options: limits plus planner overrides.
+///
+/// The meet planner normally decides per query between the Fig. 4/5
+/// lift/roll-up and the indexed plane sweep; `strategy` forces either
+/// side — the planner regression tests and `ncq-server` config knobs
+/// thread through here.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct QueryOptions {
+    /// Evaluation limits.
+    pub config: QueryConfig,
+    /// Meet evaluation strategy ([`MeetStrategy::Auto`] plans).
+    pub strategy: MeetStrategy,
 }
 
 /// One projection row.
@@ -77,25 +91,43 @@ pub enum QueryOutput {
 
 /// Parse and evaluate with default limits.
 pub fn run_query(db: &Database, src: &str) -> Result<QueryOutput, QueryError> {
-    run_query_with(db, src, &QueryConfig::default())
+    run_query_opts(db, src, &QueryOptions::default())
 }
 
-/// Parse and evaluate with explicit limits.
+/// Parse and evaluate with explicit limits (planner left on Auto).
 pub fn run_query_with(
     db: &Database,
     src: &str,
     config: &QueryConfig,
 ) -> Result<QueryOutput, QueryError> {
+    run_query_opts(
+        db,
+        src,
+        &QueryOptions {
+            config: *config,
+            ..QueryOptions::default()
+        },
+    )
+}
+
+/// Parse and evaluate with full [`QueryOptions`] (limits + planner
+/// overrides).
+pub fn run_query_opts(
+    db: &Database,
+    src: &str,
+    options: &QueryOptions,
+) -> Result<QueryOutput, QueryError> {
     let query = parse_query(src)?;
-    evaluate(db, &query, config)
+    evaluate(db, &query, options)
 }
 
 /// Evaluate a parsed query.
 pub fn evaluate(
     db: &Database,
     query: &Query,
-    config: &QueryConfig,
+    opts: &QueryOptions,
 ) -> Result<QueryOutput, QueryError> {
+    let config = &opts.config;
     match &query.select {
         SelectClause::Meet { vars, modifiers } => {
             let inputs: Vec<HitSet> = vars
@@ -104,6 +136,7 @@ pub fn evaluate(
                 .collect::<Result<_, _>>()?;
             let mut options = MeetOptions {
                 max_distance: modifiers.within,
+                strategy: opts.strategy,
                 ..MeetOptions::default()
             };
             if !modifiers.only.is_empty() {
@@ -452,6 +485,41 @@ mod tests {
             panic!()
         };
         assert_eq!(a.tags(), vec!["article"]);
+    }
+
+    #[test]
+    fn forced_strategies_agree_with_the_planner() {
+        let db = db();
+        let q = "select meet(t1, t2) \
+                 from bibliography/% as t1, bibliography/% as t2 \
+                 where t1 contains 'Bit' and t2 contains '1999'";
+        let run = |strategy| {
+            let QueryOutput::Answers(a) = run_query_opts(
+                &db,
+                q,
+                &QueryOptions {
+                    strategy,
+                    ..QueryOptions::default()
+                },
+            )
+            .unwrap() else {
+                panic!("meet query")
+            };
+            a
+        };
+        let auto = run(MeetStrategy::Auto);
+        let lift = run(MeetStrategy::Lift);
+        let sweep = run(MeetStrategy::Sweep);
+        assert_eq!(auto.tags(), vec!["article"]);
+        for other in [&lift, &sweep] {
+            assert_eq!(auto.tags(), other.tags());
+            assert_eq!(auto.results[0].oid, other.results[0].oid);
+            assert_eq!(auto.results[0].distance, other.results[0].distance);
+            assert_eq!(
+                auto.results[0].witness_count,
+                other.results[0].witness_count
+            );
+        }
     }
 
     #[test]

@@ -82,5 +82,7 @@ pub mod pathexpr;
 
 pub use ast::{Query, SelectClause};
 pub use error::QueryError;
-pub use eval::{run_query, run_query_with, QueryConfig, QueryOutput, Row, RowSet};
+pub use eval::{
+    run_query, run_query_opts, run_query_with, QueryConfig, QueryOptions, QueryOutput, Row, RowSet,
+};
 pub use parser::parse_query;

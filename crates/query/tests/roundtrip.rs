@@ -86,11 +86,12 @@ fn random_query(rng: &mut StdRng) -> Query {
     } else {
         None
     };
-    let excluding = if rng.random_bool() {
-        Some(path_expr(rng))
-    } else {
-        None
-    };
+    let excluding: Vec<PathExpr> = (0..rng.random_range(0usize..3))
+        .map(|_| path_expr(rng))
+        .collect();
+    let only: Vec<PathExpr> = (0..rng.random_range(0usize..3))
+        .map(|_| path_expr(rng))
+        .collect();
 
     // Dedup binding variables.
     from_raw.sort_by(|a, b| a.1.cmp(&b.1));
@@ -112,8 +113,8 @@ fn random_query(rng: &mut StdRng) -> Query {
             vars: from.iter().map(|b| b.var.clone()).collect(),
             modifiers: MeetModifiers {
                 within,
-                excluding: excluding.into_iter().collect(),
-                only: vec![],
+                excluding,
+                only,
             },
         }
     } else {
@@ -162,6 +163,92 @@ fn parser_never_panics() {
     for seed in 0..CASES {
         let mut rng = StdRng::seed_from_u64(1 << 32 | seed);
         let len = rng.random_range(0usize..120);
+        let src: String = (0..len)
+            .map(|_| CHARS[rng.random_range(0..CHARS.len())])
+            .collect();
+        let _ = parse_query(&src);
+    }
+}
+
+/// Mutate a valid query string: each round inserts, deletes, replaces
+/// or duplicates a random byte-range (on char boundaries). The pipeline
+/// must reject or accept, never panic — and on acceptance, the printer
+/// must still round-trip (parse → print → parse is a fixpoint).
+#[test]
+fn mutated_valid_queries_never_panic_and_reparse_stably() {
+    const JUNK: [char; 16] = [
+        'a', 'Z', '$', '@', '%', '*', '/', ',', '(', ')', '\'', ' ', '0', '\t', '"', ';',
+    ];
+    for seed in 0..CASES {
+        let mut rng = StdRng::seed_from_u64(3 << 32 | seed);
+        let mut src = random_query(&mut rng).to_string();
+        for _ in 0..rng.random_range(1usize..6) {
+            let chars: Vec<char> = src.chars().collect();
+            if chars.is_empty() {
+                break;
+            }
+            let at = rng.random_range(0..chars.len());
+            let mutated: String = match rng.random_range(0usize..4) {
+                // Insert junk.
+                0 => chars[..at]
+                    .iter()
+                    .chain([&JUNK[rng.random_range(0..JUNK.len())]])
+                    .chain(&chars[at..])
+                    .collect(),
+                // Delete one char.
+                1 => chars[..at].iter().chain(&chars[at + 1..]).collect(),
+                // Replace one char.
+                2 => {
+                    let mut v = chars.clone();
+                    v[at] = JUNK[rng.random_range(0..JUNK.len())];
+                    v.into_iter().collect()
+                }
+                // Duplicate a range.
+                _ => {
+                    let end = rng.random_range(at..chars.len().min(at + 12) + 1);
+                    chars[..end]
+                        .iter()
+                        .chain(&chars[at..end])
+                        .chain(&chars[end..])
+                        .collect()
+                }
+            };
+            if let Ok(q) = parse_query(&mutated) {
+                let printed = q.to_string();
+                let again = parse_query(&printed)
+                    .unwrap_or_else(|e| panic!("seed {seed}: reparse of {printed:?} failed: {e}"));
+                assert_eq!(again, q, "seed {seed}: print/parse not a fixpoint");
+            }
+            src = mutated;
+        }
+    }
+}
+
+/// Lexer-level garbage: random byte strings (not just word soup) must
+/// never panic, including multi-byte UTF-8 and control characters.
+#[test]
+fn lexer_survives_random_unicode() {
+    const CHARS: [char; 16] = [
+        'a',
+        '\u{0}',
+        '\u{7f}',
+        'é',
+        '漢',
+        '\u{1F600}',
+        '\'',
+        '"',
+        '\\',
+        '\n',
+        '\r',
+        '\t',
+        '$',
+        '@',
+        '%',
+        '9',
+    ];
+    for seed in 0..CASES {
+        let mut rng = StdRng::seed_from_u64(4 << 32 | seed);
+        let len = rng.random_range(0usize..80);
         let src: String = (0..len)
             .map(|_| CHARS[rng.random_range(0..CHARS.len())])
             .collect();

@@ -1,0 +1,48 @@
+//! # ncq-server — batched concurrent query service
+//!
+//! The paper closes by positioning the meet operator as "a sensible and
+//! valuable add-on to an already existing search engine"; the ROADMAP
+//! north star is a service shape — heavy traffic, many concurrent
+//! clients. This crate is that server loop around
+//! [`ncq_core::Database`]:
+//!
+//! * **thread-per-core workers** over an `Arc<Database>` (the database
+//!   is immutable after load, so workers share it without locks);
+//! * a **bounded admission queue**: [`Client::request`] blocks while the
+//!   queue is at capacity (back-pressure), [`Client::try_request`]
+//!   refuses instead ([`ServerError::Saturated`]) — the admission
+//!   policy of a service that would rather shed than stall;
+//! * **batched execution**: a worker drains up to
+//!   [`ServerConfig::batch_max`] queued requests (waiting up to
+//!   [`ServerConfig::batch_window`] for stragglers) and evaluates them
+//!   together, sharing full-text posting decodes for terms repeated
+//!   across the batch via a per-worker term cache;
+//! * **per-worker scratch reuse**: hit-set input buffers and the
+//!   response line buffer live in a per-worker arena and are recycled
+//!   across queries instead of reallocated;
+//! * a **blocking client handle** ([`Client`]) plus a **line protocol**
+//!   ([`protocol`]) used by the integration tests and examples.
+//!
+//! ```
+//! use ncq_core::Database;
+//! use ncq_server::{Request, Response, Server, ServerConfig};
+//! use std::sync::Arc;
+//!
+//! let db = Arc::new(Database::from_xml_str(
+//!     "<bib><article><author>Ben Bit</author><year>1999</year></article></bib>",
+//! ).unwrap());
+//! let server = Server::start(db, ServerConfig::default());
+//! let client = server.client();
+//! let response = client.request(Request::meet_terms(["Bit", "1999"])).unwrap();
+//! match response {
+//!     Response::Answers(a) => assert_eq!(a.tags(), vec!["article"]),
+//!     other => panic!("unexpected {other:?}"),
+//! }
+//! server.shutdown();
+//! ```
+
+pub mod protocol;
+pub mod server;
+
+pub use protocol::serve_lines;
+pub use server::{Client, Request, Response, Server, ServerConfig, ServerError, ServerStats};

@@ -1,0 +1,211 @@
+//! A minimal line protocol over any `BufRead`/`Write` transport.
+//!
+//! One request per line, verb first (case-insensitive):
+//!
+//! ```text
+//! MEET term term …​ [WITHIN n]     meet of full-text terms (meet^δ via WITHIN)
+//! SQL select meet(a, b) from …​    the SQL-with-paths dialect
+//! SEARCH term                     full-text hit count
+//! PING                            liveness check
+//! QUIT                            end the session
+//! ```
+//!
+//! Responses are framed so multi-line XML survives a line transport:
+//!
+//! ```text
+//! OK <n>        followed by exactly n payload lines
+//! ERR <message> single line, no payload
+//! ```
+//!
+//! Meet answers are serialized with
+//! [`AnswerSet::to_detailed_xml`](ncq_core::AnswerSet::to_detailed_xml)
+//! (tags, paths, distances and witnesses — the same fixture format the
+//! golden suite pins); projections use the paper's `<answer>` row
+//! markup. The function is transport-agnostic: tests drive it over
+//! in-memory buffers, examples over OS pipes, and a TCP acceptor only
+//! needs to hand each connection's stream pair to [`serve_lines`].
+
+use crate::server::{Client, Request, Response};
+use std::io::{BufRead, Write};
+
+/// Serve one session: read commands from `input` until EOF or `QUIT`,
+/// writing framed responses to `output`. Query errors are reported
+/// in-band (`ERR …`); only transport failures surface as `io::Error`.
+pub fn serve_lines<R: BufRead, W: Write>(
+    client: &Client,
+    input: R,
+    mut output: W,
+) -> std::io::Result<()> {
+    let mut payload = String::new();
+    for line in input.lines() {
+        let line = line?;
+        let trimmed = line.trim();
+        if trimmed.is_empty() {
+            continue;
+        }
+        let (verb, rest) = match trimmed.split_once(char::is_whitespace) {
+            Some((v, r)) => (v, r.trim()),
+            None => (trimmed, ""),
+        };
+        payload.clear();
+        match verb.to_ascii_uppercase().as_str() {
+            "QUIT" => break,
+            "PING" => write_ok(&mut output, "")?,
+            "MEET" => match parse_meet(rest) {
+                Ok(request) => respond(client, request, &mut output, &mut payload)?,
+                Err(msg) => write_err(&mut output, &msg)?,
+            },
+            "SQL" if !rest.is_empty() => {
+                respond(client, Request::sql(rest), &mut output, &mut payload)?
+            }
+            "SEARCH" if !rest.is_empty() => {
+                respond(client, Request::search(rest), &mut output, &mut payload)?
+            }
+            "SQL" => write_err(&mut output, "SQL needs a query")?,
+            "SEARCH" => write_err(&mut output, "SEARCH needs a term")?,
+            other => write_err(&mut output, &format!("unknown verb {other:?}"))?,
+        }
+    }
+    output.flush()
+}
+
+/// `MEET t1 t2 … [WITHIN n]` — terms are whitespace-separated; a
+/// trailing `WITHIN <number>` becomes the distance bound.
+fn parse_meet(rest: &str) -> Result<Request, String> {
+    let mut terms: Vec<String> = rest.split_whitespace().map(str::to_owned).collect();
+    let mut within = None;
+    if terms.len() >= 2 && terms[terms.len() - 2].eq_ignore_ascii_case("within") {
+        let n = terms[terms.len() - 1]
+            .parse::<usize>()
+            .map_err(|_| format!("WITHIN needs a number, got {:?}", terms[terms.len() - 1]))?;
+        within = Some(n);
+        terms.truncate(terms.len() - 2);
+    }
+    if terms.is_empty() {
+        return Err("MEET needs at least one term".to_owned());
+    }
+    Ok(Request::MeetTerms { terms, within })
+}
+
+fn respond<W: Write>(
+    client: &Client,
+    request: Request,
+    output: &mut W,
+    payload: &mut String,
+) -> std::io::Result<()> {
+    match client.request(request) {
+        Ok(Response::Answers(a)) => {
+            payload.push_str(&a.to_detailed_xml());
+            write_ok(output, payload)
+        }
+        Ok(Response::Rows(r)) => {
+            payload.push_str(&r.to_answer_xml());
+            write_ok(output, payload)
+        }
+        Ok(Response::Count(n)) => {
+            payload.push_str(&n.to_string());
+            write_ok(output, payload)
+        }
+        Ok(Response::Error(msg)) => write_err(output, &msg),
+        Err(e) => write_err(output, &e.to_string()),
+    }
+}
+
+fn write_ok<W: Write>(output: &mut W, payload: &str) -> std::io::Result<()> {
+    let lines = if payload.is_empty() {
+        0
+    } else {
+        payload.lines().count()
+    };
+    writeln!(output, "OK {lines}")?;
+    if !payload.is_empty() {
+        writeln!(output, "{payload}")?;
+    }
+    Ok(())
+}
+
+fn write_err<W: Write>(output: &mut W, message: &str) -> std::io::Result<()> {
+    // Keep the frame parseable: an error is always exactly one line.
+    let flat = message.replace('\n', " ");
+    writeln!(output, "ERR {flat}")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::server::{Server, ServerConfig};
+    use ncq_core::Database;
+    use std::sync::Arc;
+
+    fn session(input: &str) -> String {
+        let db = Arc::new(
+            Database::from_xml_str(
+                r#"<bib><article key="BB99"><author>Ben Bit</author>
+                   <year>1999</year></article></bib>"#,
+            )
+            .unwrap(),
+        );
+        let server = Server::start(
+            db,
+            ServerConfig {
+                workers: 1,
+                ..ServerConfig::default()
+            },
+        );
+        let mut out = Vec::new();
+        serve_lines(&server.client(), input.as_bytes(), &mut out).unwrap();
+        String::from_utf8(out).unwrap()
+    }
+
+    #[test]
+    fn meet_command_returns_framed_xml() {
+        let out = session("MEET Bit 1999\nQUIT\n");
+        let mut lines = out.lines();
+        let header = lines.next().unwrap();
+        let n: usize = header.strip_prefix("OK ").unwrap().parse().unwrap();
+        let body: Vec<&str> = lines.collect();
+        assert_eq!(body.len(), n);
+        assert!(body[0].starts_with("<answer>"));
+        assert!(out.contains("tag=\"article\""));
+        assert!(out.contains(">1999</witness>"));
+    }
+
+    #[test]
+    fn within_bounds_the_meet() {
+        // article meet needs distance 3 here (Bit climbs 2, 1999 climbs 1
+        // — actually author/cdata → article is 2, year/cdata → 2; bound 1
+        // kills it).
+        let out = session("MEET Bit 1999 WITHIN 1\n");
+        assert!(out.starts_with("OK"));
+        assert!(!out.contains("result"), "{out}");
+    }
+
+    #[test]
+    fn sql_search_ping_and_errors() {
+        let out = session(
+            "PING\nSEARCH 1999\nSQL select meet(a, b) from bib/% as a, bib/% as b \
+             where a contains 'Ben' and b contains 'Bit'\nSQL !!!\nNONSENSE\nMEET\n",
+        );
+        let lines: Vec<&str> = out.lines().collect();
+        assert_eq!(lines[0], "OK 0"); // PING
+        assert_eq!(lines[1], "OK 1"); // SEARCH
+        assert_eq!(lines[2], "1");
+        assert!(out.contains("tag=\"cdata\"")); // Ben Bit meet at the cdata
+        assert!(out.contains("ERR ")); // the SQL parse error
+        assert!(out.contains("unknown verb"));
+        assert!(out.contains("MEET needs at least one term"));
+    }
+
+    #[test]
+    fn projection_rows_are_framed() {
+        let out = session("SQL select t from bib/article as t\n");
+        assert!(out.starts_with("OK "));
+        assert!(out.contains("<result> article </result>"));
+    }
+
+    #[test]
+    fn bad_within_is_an_error() {
+        let out = session("MEET Bit WITHIN abc\n");
+        assert!(out.contains("ERR WITHIN needs a number"));
+    }
+}

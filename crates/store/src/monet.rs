@@ -18,7 +18,7 @@
 use crate::index::MeetIndex;
 use crate::oid::Oid;
 use crate::path::{PathId, PathStep, PathSummary};
-use crate::stats::StoreStats;
+use crate::stats::{DepthStats, StoreStats};
 use ncq_xml::{Document, NodeId, NodeKind, SymbolTable};
 use std::sync::OnceLock;
 
@@ -47,6 +47,8 @@ pub struct MonetDb {
     /// Lazily built structural meet index (Euler-tour LCA); the database
     /// is immutable after loading, so the cache never invalidates.
     meet_index: OnceLock<MeetIndex>,
+    /// Lazily computed node-depth distribution (planner input).
+    depth_stats: OnceLock<DepthStats>,
 }
 
 impl MonetDb {
@@ -64,6 +66,7 @@ impl MonetDb {
             node_of_oid: Vec::with_capacity(n),
             oid_of_node: vec![Oid::ROOT; n],
             meet_index: OnceLock::new(),
+            depth_stats: OnceLock::new(),
         };
         db.load(doc);
         db
@@ -206,6 +209,25 @@ impl MonetDb {
     /// (which is immutable after bulk load).
     pub fn meet_index(&self) -> &MeetIndex {
         self.meet_index.get_or_init(|| MeetIndex::build(self))
+    }
+
+    /// Node-depth distribution of the instance — the corpus-shape signal
+    /// the depth-aware meet planner reads. Computed once (one pass over
+    /// the `σ` array) and cached.
+    pub fn depth_stats(&self) -> DepthStats {
+        *self.depth_stats.get_or_init(|| {
+            let max_depth = self
+                .summary
+                .iter()
+                .map(|p| self.summary.depth(p))
+                .max()
+                .unwrap_or(0);
+            let mut histogram = vec![0usize; max_depth + 1];
+            for &p in &self.sigma {
+                histogram[self.summary.depth(p)] += 1;
+            }
+            DepthStats::from_histogram(&histogram)
+        })
     }
 
     // ----- schema access -----
@@ -639,6 +661,20 @@ mod tests {
         dedup.sort_unstable();
         dedup.dedup();
         assert_eq!(lines.len(), dedup.len());
+    }
+
+    #[test]
+    fn depth_stats_match_per_node_depths() {
+        let db = figure1_db();
+        let s = db.depth_stats();
+        assert_eq!(s.nodes, db.node_count());
+        let max = db.iter_oids().map(|o| db.depth(o)).max().unwrap();
+        let sum: usize = db.iter_oids().map(|o| db.depth(o)).sum();
+        assert_eq!(s.max_depth, max);
+        assert!((s.mean_depth - sum as f64 / db.node_count() as f64).abs() < 1e-12);
+        assert!(s.p90_depth <= s.max_depth);
+        // Cached: second call returns the same value.
+        assert_eq!(db.depth_stats(), s);
     }
 
     #[test]

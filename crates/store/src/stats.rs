@@ -37,9 +37,93 @@ impl fmt::Display for StoreStats {
     }
 }
 
+/// Node-depth distribution of a loaded instance — the signal the
+/// depth-aware meet planner keys on (shallow corpora favour the Fig. 4
+/// frontier lift, deep corpora the indexed plane sweep).
+///
+/// Computed once per database ([`crate::MonetDb::depth_stats`]) over the
+/// dense `σ` array; all three counters are object-level (element + cdata
+/// nodes), not path-level like [`StoreStats::max_depth`].
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct DepthStats {
+    /// Objects counted.
+    pub nodes: usize,
+    /// Deepest object.
+    pub max_depth: usize,
+    /// Mean object depth.
+    pub mean_depth: f64,
+    /// Depth below which 90% of the objects sit (inclusive).
+    pub p90_depth: usize,
+}
+
+impl DepthStats {
+    /// Build from a depth histogram: `histogram[d]` = number of objects
+    /// at depth `d`.
+    pub fn from_histogram(histogram: &[usize]) -> DepthStats {
+        let nodes: usize = histogram.iter().sum();
+        if nodes == 0 {
+            return DepthStats::default();
+        }
+        let max_depth = histogram.iter().rposition(|&c| c > 0).unwrap_or(0);
+        let sum: usize = histogram.iter().enumerate().map(|(d, &c)| d * c).sum();
+        let p90_target = nodes - nodes / 10; // ceil(0.9 * nodes) ≤ this ≤ nodes
+        let mut seen = 0usize;
+        let mut p90_depth = max_depth;
+        for (d, &c) in histogram.iter().enumerate() {
+            seen += c;
+            if seen >= p90_target {
+                p90_depth = d;
+                break;
+            }
+        }
+        DepthStats {
+            nodes,
+            max_depth,
+            mean_depth: sum as f64 / nodes as f64,
+            p90_depth,
+        }
+    }
+}
+
+impl fmt::Display for DepthStats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "nodes: {}, depth max/mean/p90: {}/{:.2}/{}",
+            self.nodes, self.max_depth, self.mean_depth, self.p90_depth
+        )
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn depth_stats_from_histogram() {
+        // 1 root, 3 at depth 1, 6 at depth 2.
+        let s = DepthStats::from_histogram(&[1, 3, 6]);
+        assert_eq!(s.nodes, 10);
+        assert_eq!(s.max_depth, 2);
+        assert!((s.mean_depth - 1.5).abs() < 1e-12);
+        assert_eq!(s.p90_depth, 2);
+        assert!(s.to_string().contains("depth max/mean/p90"));
+    }
+
+    #[test]
+    fn depth_stats_skewed_p90() {
+        // 90 shallow objects, 10 in one deep chain.
+        let mut h = vec![90usize];
+        h.extend(std::iter::repeat_n(1, 10));
+        let s = DepthStats::from_histogram(&h);
+        assert_eq!(s.max_depth, 10);
+        assert_eq!(s.p90_depth, 0);
+    }
+
+    #[test]
+    fn depth_stats_empty_histogram() {
+        assert_eq!(DepthStats::from_histogram(&[]), DepthStats::default());
+    }
 
     #[test]
     fn display_lists_all_counters() {

@@ -21,17 +21,21 @@
 //! * [`xml`] — XML parser and syntax tree (conceptual model)
 //! * [`store`] — Monet transform (physical model, path-partitioned relations)
 //! * [`fulltext`] — inverted index producing meet inputs
-//! * [`core`] — the meet operator family and the [`Database`] facade
+//! * [`core`] — the meet operator family, the depth-aware meet planner
+//!   and the [`Database`] facade
 //! * [`query`] — the paper's SQL-with-paths dialect incl. the `meet` aggregate
+//! * [`server`] — batched concurrent query service over `Arc<Database>`
 //! * [`datagen`] — synthetic DBLP / multimedia corpora used by the benchmarks
 
 pub use ncq_core as core;
 pub use ncq_datagen as datagen;
 pub use ncq_fulltext as fulltext;
 pub use ncq_query as query;
+pub use ncq_server as server;
 pub use ncq_store as store;
 pub use ncq_xml as xml;
 
-pub use ncq_core::{Answer, AnswerSet, Database, MeetOptions, RefGraph};
+pub use ncq_core::{Answer, AnswerSet, Database, MeetOptions, MeetStrategy, RefGraph};
 pub use ncq_fulltext::Thesaurus;
-pub use ncq_query::{run_query, QueryOutput};
+pub use ncq_query::{run_query, run_query_opts, QueryOptions, QueryOutput};
+pub use ncq_server::{Client, Server, ServerConfig};

@@ -1,0 +1,200 @@
+//! Golden snapshots of every Listing/Figure query of the paper.
+//!
+//! Each query runs through `run_query` over the Figure 1 document and
+//! its **full** serialized output — the detailed `AnswerSet` XML with
+//! result oids, paths, distances and witnesses, or the complete
+//! projection row set — is compared byte-for-byte against a checked-in
+//! fixture under `tests/golden/`. Any behavioural drift (ranking,
+//! witness accounting, planner routing, serialization) shows up as a
+//! fixture diff instead of slipping past tag-only assertions.
+//!
+//! Regenerate after an *intended* change with:
+//!
+//! ```text
+//! UPDATE_GOLDEN=1 cargo test --test paper_listings_golden
+//! ```
+
+use nearest_concept::{run_query, Database, QueryOutput};
+use std::path::PathBuf;
+
+/// The paper queries under snapshot, name → query text.
+///
+/// Sources: Listing 1/2 (introduction and §3.2), the §3.1 worked
+/// examples (meet of two full-text hits), and the §4 extensions
+/// (`within` = meet^δ, `excluding`/`only` = meet_Π) plus attribute
+/// search, scoped paths and conjunctive predicates.
+const QUERIES: &[(&str, &str)] = &[
+    (
+        "listing1_baseline",
+        "select $T from %/$T as t1, %/$T as t2 \
+         where t1 contains 'Bit' and t2 contains '1999'",
+    ),
+    (
+        "listing2_meet",
+        "select meet(t1, t2) from bibliography/% as t1, bibliography/% as t2 \
+         where t1 contains 'Bit' and t2 contains '1999'",
+    ),
+    (
+        "sec31_ben_bit_author",
+        "select meet(t1, t2) from bibliography/% as t1, bibliography/% as t2 \
+         where t1 contains 'Ben' and t2 contains 'Bit'",
+    ),
+    (
+        "sec31_bob_byte_cdata",
+        "select meet(t1, t2) from bibliography/% as t1, bibliography/% as t2 \
+         where t1 contains 'Bob' and t2 contains 'Byte'",
+    ),
+    (
+        "sec31_cross_article_institute",
+        "select meet(t1, t2) from bibliography/% as t1, bibliography/% as t2 \
+         where t1 contains 'Ben' and t2 contains 'RSI'",
+    ),
+    (
+        "sec4_within_blocks_article",
+        "select meet(t1, t2) within 4 \
+         from bibliography/% as t1, bibliography/% as t2 \
+         where t1 contains 'Bit' and t2 contains '1999'",
+    ),
+    (
+        "sec4_within_admits_article",
+        "select meet(t1, t2) within 5 \
+         from bibliography/% as t1, bibliography/% as t2 \
+         where t1 contains 'Bit' and t2 contains '1999'",
+    ),
+    (
+        "sec4_excluding_institute",
+        "select meet(t1, t2) excluding bibliography/institute \
+         from bibliography/% as t1, bibliography/% as t2 \
+         where t1 contains 'Ben' and t2 contains 'RSI'",
+    ),
+    (
+        "sec4_only_article",
+        "select meet(t1, t2) only bibliography/institute/article \
+         from bibliography/% as t1, bibliography/% as t2 \
+         where t1 contains 'Bit' and t2 contains '1999'",
+    ),
+    (
+        "attribute_key_meets_author",
+        "select meet(t1, t2) from bibliography/%/@key as t1, bibliography/% as t2 \
+         where t1 contains 'BB99' and t2 contains 'Ben'",
+    ),
+    (
+        "scoped_title_shifts_the_meet",
+        "select meet(t1, t2) from bibliography/%/title as t1, bibliography/% as t2 \
+         where t1 contains 'Bit' and t2 contains '1999'",
+    ),
+    (
+        "conjunctive_bob_byte",
+        "select meet(t1, t2) from bibliography/% as t1, bibliography/% as t2 \
+         where t1 contains 'Bob' and t1 contains 'Byte' and t2 contains '1999'",
+    ),
+    (
+        "four_terms_ranked",
+        "select meet(t1, t2, t3, t4) \
+         from bibliography/% as t1, bibliography/% as t2, \
+              bibliography/% as t3, bibliography/% as t4 \
+         where t1 contains 'Bob' and t2 contains 'Byte' \
+           and t3 contains 'Ben' and t4 contains 'Bit'",
+    ),
+    (
+        "unconditioned_variable_binds_years",
+        "select meet(t1, t2) from bibliography/% as t1, bibliography/%/year as t2 \
+         where t1 contains 'Bit'",
+    ),
+    (
+        "projection_articles",
+        "select t from bibliography/institute/article as t",
+    ),
+];
+
+fn golden_dir() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("tests")
+        .join("golden")
+}
+
+/// Full serialization of a query output: detailed answer XML for meet
+/// queries, the complete row set (columns + rows + nodes) for
+/// projections.
+fn serialize(output: &QueryOutput) -> String {
+    match output {
+        QueryOutput::Answers(answers) => answers.to_detailed_xml() + "\n",
+        QueryOutput::Rows(rows) => {
+            let mut out = format!("<rows columns=\"{}\">\n", rows.columns.join(","));
+            for row in &rows.rows {
+                let nodes: Vec<String> = row.nodes.iter().map(ToString::to_string).collect();
+                out.push_str(&format!(
+                    "  <row nodes=\"{}\"> {} </row>\n",
+                    nodes.join(","),
+                    row.values.join(", ")
+                ));
+            }
+            out.push_str("</rows>\n");
+            out
+        }
+    }
+}
+
+#[test]
+fn paper_listing_queries_match_golden_fixtures() {
+    let db = Database::from_xml_str(nearest_concept::datagen::FIGURE1_XML).unwrap();
+    let update = std::env::var("UPDATE_GOLDEN").is_ok_and(|v| v == "1");
+    let dir = golden_dir();
+    if update {
+        std::fs::create_dir_all(&dir).expect("create golden dir");
+    }
+
+    let mut failures = Vec::new();
+    for (name, query) in QUERIES {
+        let output = run_query(&db, query)
+            .unwrap_or_else(|e| panic!("golden query {name} failed to run: {e}"));
+        let actual = serialize(&output);
+        let path = dir.join(format!("{name}.xml"));
+        if update {
+            std::fs::write(&path, &actual).expect("write golden fixture");
+            continue;
+        }
+        match std::fs::read_to_string(&path) {
+            Ok(expected) if expected == actual => {}
+            Ok(expected) => failures.push(format!(
+                "{name}: output drifted from {path:?}\n--- expected ---\n{expected}\n--- actual ---\n{actual}"
+            )),
+            Err(e) => failures.push(format!(
+                "{name}: cannot read fixture {path:?} ({e}); run UPDATE_GOLDEN=1 to create it"
+            )),
+        }
+    }
+    assert!(
+        failures.is_empty(),
+        "{} golden mismatches:\n{}",
+        failures.len(),
+        failures.join("\n")
+    );
+}
+
+/// The suite stays in sync with the fixture directory: no orphaned
+/// fixtures, no duplicate query names.
+#[test]
+fn golden_fixture_directory_is_in_sync() {
+    let mut names: Vec<&str> = QUERIES.iter().map(|&(n, _)| n).collect();
+    names.sort_unstable();
+    let dedup: std::collections::BTreeSet<&str> = names.iter().copied().collect();
+    assert_eq!(dedup.len(), names.len(), "duplicate query names");
+
+    let dir = golden_dir();
+    if !dir.exists() {
+        return; // first run before UPDATE_GOLDEN=1
+    }
+    for entry in std::fs::read_dir(&dir).expect("read golden dir") {
+        let path = entry.expect("dir entry").path();
+        let stem = path
+            .file_stem()
+            .and_then(|s| s.to_str())
+            .unwrap_or_default()
+            .to_owned();
+        assert!(
+            dedup.contains(stem.as_str()),
+            "orphaned fixture {path:?} (no matching query in the suite)"
+        );
+    }
+}
