@@ -8,7 +8,7 @@
 //! Prints paper-style tables to stdout and, when `--out` is given, writes
 //! the raw series as JSON (one file per experiment) for EXPERIMENTS.md.
 
-use ncq_bench::experiments::{ablations, corpora, extensions, fig6, fig7, listings, pr1, pr2};
+use ncq_bench::experiments::{ablations, corpora, extensions, fig6, fig7, listings, pr1, pr2, pr3};
 use ncq_bench::json::ToJson;
 use std::io::Write as _;
 use std::path::PathBuf;
@@ -44,7 +44,7 @@ fn parse_args() -> Result<Args, String> {
             "--help" | "-h" => {
                 println!(
                     "usage: repro [--exp all|fig1|fig2|listing1|listing2|sec31|fig6|fig7|\
-                     ablations|extensions|pr1|pr2] [--scale small|paper] [--out DIR]"
+                     ablations|extensions|pr1|pr2|pr3] [--scale small|paper] [--out DIR]"
                 );
                 std::process::exit(0);
             }
@@ -180,6 +180,18 @@ fn main() {
         let dir = args.out.clone().unwrap_or_else(|| PathBuf::from("."));
         let target = Some(dir);
         write_json(&target, "BENCH_pr2", &result);
+    }
+
+    // PR 3 perf snapshot: sharded scatter/gather meets vs the single
+    // database at K ∈ {1,2,4,8}. Explicit-only, like pr1/pr2: it builds
+    // large corpora and writes BENCH_pr3.json (the cross-PR trajectory
+    // record).
+    if args.exp == "pr3" {
+        let result = pr3::run(args.scale == Scale::Small);
+        println!("{}", pr3::table(&result));
+        let dir = args.out.clone().unwrap_or_else(|| PathBuf::from("."));
+        let target = Some(dir);
+        write_json(&target, "BENCH_pr3", &result);
     }
 
     if want("extensions") {

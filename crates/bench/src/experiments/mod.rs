@@ -7,6 +7,7 @@ pub mod fig7;
 pub mod listings;
 pub mod pr1;
 pub mod pr2;
+pub mod pr3;
 
 /// Shared corpus builders at the scales used by `repro` and the benches.
 pub mod corpora {

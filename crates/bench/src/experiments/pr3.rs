@@ -1,0 +1,317 @@
+//! PR 3 perf snapshot: sharded scatter/gather meets vs the single
+//! database.
+//!
+//! One table, emitted as `BENCH_pr3.json` by `repro --exp pr3`: for
+//! each workload (deep fork corpus, flat DBLP) and each operator
+//! (`meet_sets`, `meet_multi`), the single-`Database` evaluation is
+//! timed against [`ShardedDb`] at K ∈ {1, 2, 4, 8}. K = 1 measures the
+//! facade overhead (the sharded layer delegates to the identical
+//! planner executors — the headline is ≥ ~1.0×, no regression); K ≥ 2
+//! measures the scatter/gather parallel speedup.
+//!
+//! Interleaved measurement: each timing round samples the single and
+//! the sharded evaluation back-to-back, so drift hits both alike.
+//! Every row asserts answer equality before timing.
+
+use crate::experiments::corpora;
+use crate::experiments::pr1::deep_sets_db;
+use ncq_core::{Database, MeetOptions};
+use ncq_fulltext::HitSet;
+use ncq_shard::ShardedDb;
+use ncq_store::Oid;
+use std::time::Instant;
+
+/// One workload × operator × K row.
+#[derive(Debug, Clone)]
+pub struct Pr3Row {
+    /// Workload label.
+    pub workload: String,
+    /// Operator (`meet_sets` / `meet_multi`).
+    pub op: String,
+    /// Requested shard count.
+    pub k: usize,
+    /// Shards actually built (≤ k).
+    pub shards: usize,
+    /// Replicated spine nodes.
+    pub spine: usize,
+    /// Total input hits.
+    pub hits: usize,
+    /// Single-database evaluation, µs (median).
+    pub single_us: f64,
+    /// Sharded evaluation, µs (median).
+    pub sharded_us: f64,
+    /// `single_us / sharded_us` — > 1 means the scatter won.
+    pub speedup: f64,
+    /// Sharded and single answers were identical.
+    pub agree: bool,
+}
+
+/// The full PR 3 snapshot.
+#[derive(Debug, Clone)]
+pub struct Pr3Result {
+    /// All rows, grouped by workload then operator then K.
+    pub rows: Vec<Pr3Row>,
+}
+
+crate::impl_to_json_struct!(Pr3Row {
+    workload,
+    op,
+    k,
+    shards,
+    spine,
+    hits,
+    single_us,
+    sharded_us,
+    speedup,
+    agree,
+});
+crate::impl_to_json_struct!(Pr3Result { rows });
+
+/// The cost floor: the minimum over interleaved samples. For identical
+/// code paths (the K = 1 facade delegation) the floors coincide almost
+/// exactly, making the "no regression" row robust against scheduler
+/// noise that a median still admits.
+fn floor(v: Vec<f64>) -> f64 {
+    v.into_iter().fold(f64::INFINITY, f64::min)
+}
+
+/// Time `single()` vs `sharded()` interleaved; callers pre-check
+/// agreement.
+fn race(rounds: usize, mut single: impl FnMut(), mut sharded: impl FnMut()) -> (f64, f64) {
+    // Warm caches and the allocator on both sides before sampling.
+    for _ in 0..3 {
+        single();
+        sharded();
+    }
+    let mut single_samples = Vec::with_capacity(rounds);
+    let mut sharded_samples = Vec::with_capacity(rounds);
+    for round in 0..rounds {
+        // Alternate which side runs first so cache shadows average out.
+        for slot in 0..2 {
+            let run_single = (round + slot) % 2 == 0;
+            let t = Instant::now();
+            if run_single {
+                single();
+            } else {
+                sharded();
+            }
+            let us = t.elapsed().as_secs_f64() * 1e6;
+            if run_single {
+                single_samples.push(us);
+            } else {
+                sharded_samples.push(us);
+            }
+        }
+    }
+    (floor(single_samples), floor(sharded_samples))
+}
+
+#[allow(clippy::too_many_arguments)]
+fn sets_row(
+    workload: &str,
+    db: &Database,
+    sharded: &ShardedDb,
+    k: usize,
+    s1: &[Oid],
+    s2: &[Oid],
+    rounds: usize,
+) -> Pr3Row {
+    let a = db.meet_oid_sets(s1, s2).expect("homogeneous inputs");
+    let b = sharded.meet_oid_sets(s1, s2).expect("homogeneous inputs");
+    let agree = a.meets == b.meets && a.join_rounds == b.join_rounds;
+    let (single_us, sharded_us) = race(
+        rounds,
+        || {
+            std::hint::black_box(db.meet_oid_sets(s1, s2)).ok();
+        },
+        || {
+            std::hint::black_box(sharded.meet_oid_sets(s1, s2)).ok();
+        },
+    );
+    Pr3Row {
+        workload: workload.to_string(),
+        op: "meet_sets".to_string(),
+        k,
+        shards: sharded.shard_count(),
+        spine: sharded.partition().spine_len(),
+        hits: s1.len() + s2.len(),
+        single_us,
+        sharded_us,
+        speedup: single_us / sharded_us,
+        agree,
+    }
+}
+
+fn multi_row(
+    workload: &str,
+    db: &Database,
+    sharded: &ShardedDb,
+    k: usize,
+    inputs: &[HitSet],
+    rounds: usize,
+) -> Pr3Row {
+    let options = MeetOptions::default();
+    let agree = db.meet_hits(inputs, &options) == sharded.meet_hits(inputs, &options);
+    let (single_us, sharded_us) = race(
+        rounds,
+        || {
+            std::hint::black_box(db.meet_hits(inputs, &options));
+        },
+        || {
+            std::hint::black_box(sharded.meet_hits(inputs, &options));
+        },
+    );
+    Pr3Row {
+        workload: workload.to_string(),
+        op: "meet_multi".to_string(),
+        k,
+        shards: sharded.shard_count(),
+        spine: sharded.partition().spine_len(),
+        hits: inputs.iter().map(HitSet::len).sum(),
+        single_us,
+        sharded_us,
+        speedup: single_us / sharded_us,
+        agree,
+    }
+}
+
+/// Run the snapshot. `quick` shrinks corpora and repetitions for CI.
+pub fn run(quick: bool) -> Pr3Result {
+    let rounds = if quick { 15 } else { 41 };
+    let ks = [1usize, 2, 4, 8];
+    let mut rows = Vec::new();
+
+    // Deep corpus: long chains, sweep-tier meets — the scatter's home
+    // turf (per-shard plane sweeps run fully parallel).
+    let (deep_depth, deep_pairs) = if quick { (96, 300) } else { (96, 3000) };
+    let (deep_db, deep_s, deep_t) = deep_sets_db(deep_depth, deep_pairs);
+    // Share the database by Arc: both engines probe one copy of the
+    // store and index, so K = 1 measures the facade alone.
+    let deep_db = std::sync::Arc::new(deep_db);
+    let deep_inputs = vec![
+        HitSet::from_pairs(deep_s.iter().map(|&o| (deep_db.store().sigma(o), o))),
+        HitSet::from_pairs(deep_t.iter().map(|&o| (deep_db.store().sigma(o), o))),
+    ];
+    let deep_label = format!("deep forks (depth {deep_depth}, {deep_pairs} pairs)");
+    for k in ks {
+        let sharded = ShardedDb::new(std::sync::Arc::clone(&deep_db), k);
+        rows.push(sets_row(
+            &deep_label,
+            &deep_db,
+            &sharded,
+            k,
+            &deep_s,
+            &deep_t,
+            rounds,
+        ));
+        rows.push(multi_row(
+            &deep_label,
+            &deep_db,
+            &sharded,
+            k,
+            &deep_inputs,
+            rounds,
+        ));
+    }
+
+    // Flat corpus: the DBLP case study. The planner keeps meet_sets on
+    // the lift tier here (served from the spine replica — the row pins
+    // "no regression"); meet_multi exceeds the roll-up cap and
+    // scatters.
+    let (flat_db, _) = if quick {
+        corpora::dblp_small()
+    } else {
+        corpora::dblp_case_study()
+    };
+    let flat_db = std::sync::Arc::new(flat_db);
+    let icde = flat_db.search_word("ICDE");
+    let mut years = HitSet::new();
+    for y in 1984u16..=1999 {
+        years.union(&flat_db.search_word(&y.to_string()));
+    }
+    let largest = |h: &HitSet| -> Vec<Oid> {
+        h.groups()
+            .iter()
+            .max_by_key(|(_, v)| v.len())
+            .map(|(_, v)| v.clone())
+            .unwrap_or_default()
+    };
+    let booktitles = largest(&icde);
+    let year_cdatas = largest(&years);
+    let flat_inputs = vec![icde, years];
+    for k in ks {
+        let sharded = ShardedDb::new(std::sync::Arc::clone(&flat_db), k);
+        rows.push(sets_row(
+            "dblp icde-booktitles × year-cdatas (flat)",
+            &flat_db,
+            &sharded,
+            k,
+            &booktitles,
+            &year_cdatas,
+            rounds,
+        ));
+        rows.push(multi_row(
+            "dblp meet(ICDE-hits, year-hits) (flat)",
+            &flat_db,
+            &sharded,
+            k,
+            &flat_inputs,
+            rounds,
+        ));
+    }
+
+    Pr3Result { rows }
+}
+
+/// Text table for stdout.
+pub fn table(r: &Pr3Result) -> String {
+    let mut out = String::from(
+        "# PR 3 — preorder-interval sharded execution (scatter/gather meets)\n\
+         ## sharded vs single (speedup = single/sharded; K=1 pins the facade overhead)\n",
+    );
+    for row in &r.rows {
+        out.push_str(&format!(
+            "{} [{}] K={}: shards={} spine={} hits={} single={:.1}us sharded={:.1}us \
+             ({:.2}x) agree={}\n",
+            row.workload,
+            row.op,
+            row.k,
+            row.shards,
+            row.spine,
+            row.hits,
+            row.single_us,
+            row.sharded_us,
+            row.speedup,
+            row.agree
+        ));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quick_snapshot_has_sane_shape() {
+        let r = run(true);
+        // 2 workloads × 2 ops × 4 K values.
+        assert_eq!(r.rows.len(), 16);
+        for row in &r.rows {
+            assert!(
+                row.agree,
+                "{} [{}] K={}: answers diverged",
+                row.workload, row.op, row.k
+            );
+            assert!(row.single_us > 0.0 && row.sharded_us > 0.0);
+            assert!(row.shards >= 1 && row.shards <= row.k);
+            if row.k == 1 {
+                assert_eq!(row.shards, 1);
+                assert_eq!(row.spine, 0);
+            }
+        }
+        let text = table(&r);
+        assert!(text.contains("meet_sets"));
+        assert!(text.contains("K=8"));
+    }
+}

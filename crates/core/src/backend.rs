@@ -1,0 +1,93 @@
+//! The execution-backend abstraction: one query surface, many engines.
+//!
+//! The query language ([`ncq-query`]), the server and the examples all
+//! consume the same three capabilities — resolve a term to hits, meet
+//! hit groups, expose the store for schema work. [`MeetBackend`] names
+//! that surface so callers can be written once and served by either the
+//! single-process [`Database`] or a sharded execution layer
+//! (`ncq-shard`'s `ShardedDb`), with identical answers.
+//!
+//! The trait is object-safe on purpose: `ncq-server` holds its backend
+//! as `Arc<dyn MeetBackend>` so one worker pool can front whichever
+//! engine the deployment loaded.
+
+use crate::answer::AnswerSet;
+use crate::db::Database;
+use crate::meet_multi::{Meet, MeetOptions};
+use ncq_fulltext::HitSet;
+use ncq_store::MonetDb;
+
+/// A queryable meet engine: full-text resolution plus the generalized
+/// meet, over one shared [`MonetDb`] schema.
+///
+/// Implementations must agree with [`Database`] bit-for-bit: the golden
+/// suite and the sharding equivalence property tests run the same
+/// queries through every backend and compare serialized answers.
+pub trait MeetBackend: Send + Sync {
+    /// The underlying Monet transform (for sharded engines: the full
+    /// store, whose top levels double as the replicated spine).
+    fn store(&self) -> &MonetDb;
+
+    /// Hits for one term (word, phrase or substring — the dispatch of
+    /// [`ncq_fulltext::search::term_hits`]).
+    fn search(&self, term: &str) -> HitSet;
+
+    /// The generalized meet over hit groups (paper Fig. 5), ranked —
+    /// the engine's equivalent of [`Database::meet_hits`].
+    fn meet_hit_groups(&self, inputs: &[&HitSet], options: &MeetOptions) -> Vec<Meet>;
+
+    /// The paper's signature query through this engine: search each
+    /// term, meet the hit groups, resolve an [`AnswerSet`].
+    fn meet_terms_answers(&self, terms: &[&str], options: &MeetOptions) -> AnswerSet {
+        let inputs: Vec<HitSet> = terms.iter().map(|t| self.search(t)).collect();
+        let refs: Vec<&HitSet> = inputs.iter().collect();
+        let meets = self.meet_hit_groups(&refs, options);
+        AnswerSet::from_meets(self.store(), meets)
+    }
+}
+
+impl MeetBackend for Database {
+    fn store(&self) -> &MonetDb {
+        Database::store(self)
+    }
+
+    fn search(&self, term: &str) -> HitSet {
+        Database::search(self, term)
+    }
+
+    fn meet_hit_groups(&self, inputs: &[&HitSet], options: &MeetOptions) -> Vec<Meet> {
+        self.meet_hits(inputs, options)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const FIGURE1: &str = r#"
+<bibliography>
+  <institute>
+    <article key="BB99">
+      <author><firstname>Ben</firstname><lastname>Bit</lastname></author>
+      <title>How to Hack</title>
+      <year>1999</year>
+    </article>
+  </institute>
+</bibliography>"#;
+
+    #[test]
+    fn database_backend_matches_its_inherent_api() {
+        let db = Database::from_xml_str(FIGURE1).unwrap();
+        let backend: &dyn MeetBackend = &db;
+        assert_eq!(backend.search("Bit"), db.search("Bit"));
+        let inputs = vec![db.search("Bit"), db.search("1999")];
+        let refs: Vec<&HitSet> = inputs.iter().collect();
+        let opts = MeetOptions::default();
+        assert_eq!(
+            backend.meet_hit_groups(&refs, &opts),
+            db.meet_hits(&inputs, &opts)
+        );
+        let answers = backend.meet_terms_answers(&["Bit", "1999"], &opts);
+        assert_eq!(answers, db.meet_terms(&["Bit", "1999"]).unwrap());
+    }
+}

@@ -40,6 +40,7 @@
 //! ```
 
 pub mod answer;
+pub mod backend;
 pub mod db;
 pub mod distance;
 pub mod filter;
@@ -49,9 +50,10 @@ pub mod meet_multi;
 pub mod meet_sets;
 pub mod planner;
 pub mod rank;
-mod sweep;
+pub mod sweep;
 
 pub use answer::{Answer, AnswerSet, Witness};
+pub use backend::MeetBackend;
 pub use db::Database;
 pub use distance::{distance, meet2_bounded};
 pub use filter::PathFilter;

@@ -50,7 +50,12 @@ pub struct MeetOptions {
 }
 
 impl MeetOptions {
-    fn cap(&self) -> usize {
+    /// The effective witness-sample bound: [`MeetOptions::witness_cap`]
+    /// with `0` meaning the default of 8. Public so alternative
+    /// executors (the sharded scatter/gather) apply the exact same
+    /// bound — witness samples are part of the byte-identical-answers
+    /// contract.
+    pub fn cap(&self) -> usize {
         if self.witness_cap == 0 {
             8
         } else {

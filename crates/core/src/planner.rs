@@ -167,10 +167,33 @@ impl<'a> MeetPlanner<'a> {
     /// Errors with [`MeetError::EmptyInput`] when either set is empty:
     /// there is nothing to plan (and nothing to meet).
     pub fn plan_sets(&self, set1: &[Oid], set2: &[Oid]) -> Result<PlanDecision, MeetError> {
+        // The global plan is the shard plan with no spine above it —
+        // one estimator, so the two can never drift apart.
+        self.plan_shard_sets(set1, set2, 0)
+    }
+
+    /// Plan one *shard's* slice of a Fig. 4 two-set meet. A sharded
+    /// scatter phase only evaluates the rounds **below the replicated
+    /// spine** — everything at or above the shard's root resolves in
+    /// the gather phase — so the lift-round estimate is the input depth
+    /// *minus* `floor_depth` (the depth of the shard's shallowest owned
+    /// node). Shards over deep chunks still sweep; shards whose chunks
+    /// sit just under the spine lift, independently of what their
+    /// sibling shards choose.
+    pub fn plan_shard_sets(
+        &self,
+        set1: &[Oid],
+        set2: &[Oid],
+        floor_depth: usize,
+    ) -> Result<PlanDecision, MeetError> {
         let (Some(&o1), Some(&o2)) = (set1.first(), set2.first()) else {
             return Err(MeetError::EmptyInput);
         };
-        let est_rounds = self.db.depth(o1).max(self.db.depth(o2));
+        let est_rounds = self
+            .db
+            .depth(o1)
+            .max(self.db.depth(o2))
+            .saturating_sub(floor_depth);
         Ok(self.decide(set1.len() + set2.len(), est_rounds))
     }
 
@@ -359,6 +382,32 @@ mod tests {
             ),
         ];
         assert_eq!(planner.plan_multi(&small).strategy, ChosenStrategy::Lift);
+    }
+
+    #[test]
+    fn shard_plans_subtract_the_spine_floor() {
+        let db = deep_db(64, 4);
+        let s = cdata_oids(&db, "s");
+        let t = cdata_oids(&db, "t");
+        let planner = MeetPlanner::new(&db);
+        // Globally the inputs are deep → sweep; a shard whose spine
+        // floor sits just above the hits has almost no rounds left → lift.
+        assert_eq!(
+            planner.plan_sets(&s, &t).unwrap().strategy,
+            ChosenStrategy::Sweep
+        );
+        let floored = planner.plan_shard_sets(&s, &t, 64).unwrap();
+        assert_eq!(floored.strategy, ChosenStrategy::Lift);
+        assert_eq!(floored.est_rounds, 2);
+        // Floor 0 degenerates to the global estimate.
+        assert_eq!(
+            planner.plan_shard_sets(&s, &t, 0).unwrap(),
+            planner.plan_sets(&s, &t).unwrap()
+        );
+        assert_eq!(
+            planner.plan_shard_sets(&[], &t, 3),
+            Err(MeetError::EmptyInput)
+        );
     }
 
     #[test]

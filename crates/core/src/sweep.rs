@@ -23,12 +23,17 @@ use ncq_store::{MeetIndex, Oid};
 use std::collections::{BinaryHeap, HashSet};
 
 /// What the per-candidate callback decided.
-pub(crate) enum Verdict {
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Verdict {
     /// Consume the run; the callback has recorded the meet (or chosen to
     /// suppress it — consumption happens either way).
     Accept,
-    /// Leave the run alive (a `meet^δ` failure); the node is memoized
-    /// and never re-proposed.
+    /// Leave the run alive; the node is memoized and never re-proposed
+    /// by this sweep. Two callers rely on it: `meet^δ` failures (the
+    /// distance can only grow, so the node fails forever), and the
+    /// sharded scatter phase, which *defers* candidates on the
+    /// replicated spine — their runs span shards, so only the gather
+    /// sweep may consume them.
     Reject,
 }
 
@@ -38,7 +43,16 @@ pub(crate) enum Verdict {
 /// `on_candidate(meet, run)` receives the meet node and the alive run's
 /// item indices, deepest candidates first. Returns the number of LCA
 /// probes performed.
-pub(crate) fn plane_sweep(
+///
+/// Accepted candidates surface in `(depth descending, node ascending)`
+/// order: initial candidates all enter the heap up front, a bridge
+/// adjacency created by consuming a run at depth `d` proposes a proper
+/// ancestor (depth < `d`), and rejected candidates propose nothing — so
+/// the heap never receives a candidate at a depth it has already
+/// drained past. The sharded scatter/gather executors rely on this to
+/// stitch per-shard accept sequences back into the exact global order
+/// by a single sort.
+pub fn plane_sweep(
     index: &MeetIndex,
     oids: &[Oid],
     mut proposes: impl FnMut(usize, usize) -> bool,

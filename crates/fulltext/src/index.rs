@@ -53,6 +53,25 @@ impl InvertedIndex {
         InvertedIndex { map, postings }
     }
 
+    /// Restriction of the index to the postings whose owner satisfies
+    /// `keep` — the per-shard posting build of a sharded execution
+    /// layer. Each global posting list is filtered in order, so the
+    /// sorted/deduplicated contract carries over; restricting an index
+    /// by a partition of the OID space yields indexes whose posting
+    /// lists partition the originals (no duplication, nothing lost).
+    pub fn restrict(&self, mut keep: impl FnMut(Oid) -> bool) -> InvertedIndex {
+        let mut map: HashMap<Box<str>, Vec<Posting>> = HashMap::new();
+        let mut postings = 0usize;
+        for (token, list) in &self.map {
+            let kept: Vec<Posting> = list.iter().filter(|p| keep(p.owner)).copied().collect();
+            if !kept.is_empty() {
+                postings += kept.len();
+                map.insert(token.clone(), kept);
+            }
+        }
+        InvertedIndex { map, postings }
+    }
+
     /// Postings of a token, sorted by `(path, owner)` and deduplicated.
     /// The query term is case-folded before lookup.
     pub fn postings(&self, term: &str) -> &[Posting] {
@@ -159,6 +178,34 @@ mod tests {
         let idx = InvertedIndex::build(&db());
         assert!(idx.postings("absent").is_empty());
         assert!(!idx.contains("absent"));
+    }
+
+    #[test]
+    fn restriction_partitions_the_postings() {
+        let db = db();
+        let idx = InvertedIndex::build(&db);
+        // Split the OID space at an arbitrary pivot: the two restricted
+        // indexes partition every posting list.
+        let pivot = Oid::from_index(db.node_count() / 2);
+        let low = idx.restrict(|o| o < pivot);
+        let high = idx.restrict(|o| o >= pivot);
+        assert_eq!(
+            low.posting_count() + high.posting_count(),
+            idx.posting_count()
+        );
+        for token in idx.vocabulary() {
+            let mut merged: Vec<Posting> = low
+                .postings(token)
+                .iter()
+                .chain(high.postings(token))
+                .copied()
+                .collect();
+            merged.sort_unstable();
+            assert_eq!(merged, idx.postings(token), "{token}");
+            assert!(low.postings(token).windows(2).all(|w| w[0] < w[1]));
+        }
+        // Tokens with no surviving postings vanish entirely.
+        assert!(idx.restrict(|_| false).vocabulary_size() == 0);
     }
 
     #[test]

@@ -16,9 +16,12 @@ use crate::ast::{Query, SelectClause, SelectItem};
 use crate::error::QueryError;
 use crate::parser::parse_query;
 use crate::pathexpr::{match_paths, matched_path_ids, PathMatch};
-use ncq_core::{AnswerSet, Database, MeetOptions, MeetStrategy, PathFilter};
+use ncq_core::{AnswerSet, MeetBackend, MeetOptions, MeetStrategy, PathFilter};
 use ncq_fulltext::HitSet;
 use ncq_store::{Oid, PathId};
+
+#[cfg(test)]
+use ncq_core::Database;
 
 /// Evaluation limits.
 #[derive(Debug, Clone, Copy)]
@@ -90,13 +93,17 @@ pub enum QueryOutput {
 }
 
 /// Parse and evaluate with default limits.
-pub fn run_query(db: &Database, src: &str) -> Result<QueryOutput, QueryError> {
+///
+/// Generic over the execution backend: the single-process
+/// [`ncq_core::Database`] and the sharded facade both serve the same
+/// dialect with identical answers (the golden suite pins it).
+pub fn run_query<B: MeetBackend + ?Sized>(db: &B, src: &str) -> Result<QueryOutput, QueryError> {
     run_query_opts(db, src, &QueryOptions::default())
 }
 
 /// Parse and evaluate with explicit limits (planner left on Auto).
-pub fn run_query_with(
-    db: &Database,
+pub fn run_query_with<B: MeetBackend + ?Sized>(
+    db: &B,
     src: &str,
     config: &QueryConfig,
 ) -> Result<QueryOutput, QueryError> {
@@ -112,8 +119,8 @@ pub fn run_query_with(
 
 /// Parse and evaluate with full [`QueryOptions`] (limits + planner
 /// overrides).
-pub fn run_query_opts(
-    db: &Database,
+pub fn run_query_opts<B: MeetBackend + ?Sized>(
+    db: &B,
     src: &str,
     options: &QueryOptions,
 ) -> Result<QueryOutput, QueryError> {
@@ -122,8 +129,8 @@ pub fn run_query_opts(
 }
 
 /// Evaluate a parsed query.
-pub fn evaluate(
-    db: &Database,
+pub fn evaluate<B: MeetBackend + ?Sized>(
+    db: &B,
     query: &Query,
     opts: &QueryOptions,
 ) -> Result<QueryOutput, QueryError> {
@@ -152,7 +159,8 @@ pub fn evaluate(
                 }
                 options.filter = PathFilter::excluding(excluded);
             }
-            let meets = db.meet_hits(&inputs, &options);
+            let input_refs: Vec<&HitSet> = inputs.iter().collect();
+            let meets = db.meet_hit_groups(&input_refs, &options);
             Ok(QueryOutput::Answers(AnswerSet::from_meets(
                 db.store(),
                 meets,
@@ -165,7 +173,11 @@ pub fn evaluate(
 /// The hit group of a meet variable: string associations (or bare nodes
 /// when the variable has no `contains` predicate) under the variable's
 /// matched paths, containing *all* of its needles.
-fn hit_group(db: &Database, query: &Query, var: &str) -> Result<HitSet, QueryError> {
+fn hit_group<B: MeetBackend + ?Sized>(
+    db: &B,
+    query: &Query,
+    var: &str,
+) -> Result<HitSet, QueryError> {
     let binding = query
         .binding_for(var)
         .ok_or_else(|| QueryError::UnboundVariable {
@@ -213,8 +225,8 @@ type BoundNode = (Oid, TagAssignment);
 
 /// A variable's projection bindings: `(node, tag-assignments)` for nodes
 /// matching the path pattern whose subtree contains all needles.
-fn projection_bindings(
-    db: &Database,
+fn projection_bindings<B: MeetBackend + ?Sized>(
+    db: &B,
     query: &Query,
     var: &str,
 ) -> Result<Vec<BoundNode>, QueryError> {
@@ -258,8 +270,8 @@ fn projection_bindings(
     Ok(out)
 }
 
-fn projection(
-    db: &Database,
+fn projection<B: MeetBackend + ?Sized>(
+    db: &B,
     query: &Query,
     items: &[SelectItem],
     config: &QueryConfig,

@@ -21,7 +21,14 @@
 //!   response line buffer live in a per-worker arena and are recycled
 //!   across queries instead of reallocated;
 //! * a **blocking client handle** ([`Client`]) plus a **line protocol**
-//!   ([`protocol`]) used by the integration tests and examples.
+//!   ([`protocol`]) used by the integration tests and examples;
+//! * a **TCP acceptor** ([`net::TcpAcceptor`]): thread-per-connection
+//!   `serve_lines` sessions over `std::net::TcpListener` with a hard
+//!   connection cap (over-cap connections get one in-band `ERR` line);
+//! * **backend dispatch**: workers hold an `Arc<dyn MeetBackend>`, so
+//!   the same pool serves the single-process [`ncq_core::Database`] or
+//!   the sharded `ncq-shard::ShardedDb`
+//!   ([`Server::start_backend`]).
 //!
 //! ```
 //! use ncq_core::Database;
@@ -41,8 +48,10 @@
 //! server.shutdown();
 //! ```
 
+pub mod net;
 pub mod protocol;
 pub mod server;
 
+pub use net::{NetConfig, TcpAcceptor};
 pub use protocol::serve_lines;
 pub use server::{Client, Request, Response, Server, ServerConfig, ServerError, ServerStats};

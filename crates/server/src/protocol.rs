@@ -6,6 +6,7 @@
 //! MEET term term …​ [WITHIN n]     meet of full-text terms (meet^δ via WITHIN)
 //! SQL select meet(a, b) from …​    the SQL-with-paths dialect
 //! SEARCH term                     full-text hit count
+//! STATS                           service counters incl. admission shed rate
 //! PING                            liveness check
 //! QUIT                            end the session
 //! ```
@@ -51,6 +52,10 @@ pub fn serve_lines<R: BufRead, W: Write>(
         match verb.to_ascii_uppercase().as_str() {
             "QUIT" => break,
             "PING" => write_ok(&mut output, "")?,
+            "STATS" => {
+                payload.push_str(&format_stats(client));
+                write_ok(&mut output, &payload)?;
+            }
             "MEET" => match parse_meet(rest) {
                 Ok(request) => respond(client, request, &mut output, &mut payload)?,
                 Err(msg) => write_err(&mut output, &msg)?,
@@ -67,6 +72,23 @@ pub fn serve_lines<R: BufRead, W: Write>(
         }
     }
     output.flush()
+}
+
+/// The `STATS` payload: one `key=value` line per counter, plus the
+/// derived admission shed rate (shed / admission attempts) — the
+/// back-pressure signal an operator watches to size the queue.
+fn format_stats(client: &Client) -> String {
+    let stats = client.stats();
+    format!(
+        "served={}\nbatches={}\nmax_batch={}\nterm_decodes={}\nterm_cache_hits={}\nshed={}\nshed_rate={:.4}",
+        stats.served,
+        stats.batches,
+        stats.max_batch,
+        stats.term_decodes,
+        stats.term_cache_hits,
+        stats.shed,
+        stats.shed_rate()
+    )
 }
 
 /// `MEET t1 t2 … [WITHIN n]` — terms are whitespace-separated; a
@@ -194,6 +216,27 @@ mod tests {
         assert!(out.contains("ERR ")); // the SQL parse error
         assert!(out.contains("unknown verb"));
         assert!(out.contains("MEET needs at least one term"));
+    }
+
+    #[test]
+    fn stats_are_framed_key_values() {
+        let out = session("MEET Bit 1999\nSTATS\nQUIT\n");
+        // Skip the MEET frame, find the STATS frame.
+        let stats_at = out
+            .lines()
+            .position(|l| l.starts_with("served="))
+            .expect("stats payload");
+        let lines: Vec<&str> = out.lines().collect();
+        let header = lines[stats_at - 1];
+        let n: usize = header.strip_prefix("OK ").unwrap().parse().unwrap();
+        assert_eq!(n, 7, "one line per counter plus the shed rate");
+        assert_eq!(lines[stats_at], "served=1");
+        assert!(lines[stats_at..stats_at + n]
+            .iter()
+            .any(|l| l.starts_with("shed=0")));
+        assert!(lines[stats_at..stats_at + n]
+            .iter()
+            .any(|l| l.starts_with("shed_rate=0.0000")));
     }
 
     #[test]

@@ -8,7 +8,7 @@
 //! always makes progress and a saturated client always eventually
 //! admits or observes shutdown.
 
-use ncq_core::{AnswerSet, Database, MeetOptions, MeetStrategy};
+use ncq_core::{AnswerSet, Database, MeetBackend, MeetOptions, MeetStrategy};
 use ncq_fulltext::HitSet;
 use ncq_query::{run_query_opts, QueryConfig, QueryOptions, QueryOutput, RowSet};
 use std::collections::{HashMap, VecDeque};
@@ -163,6 +163,25 @@ pub struct ServerStats {
     pub term_decodes: usize,
     /// Term look-ups answered from a worker cache (shared decodes).
     pub term_cache_hits: usize,
+    /// Requests refused at admission ([`Client::try_request`] on a full
+    /// queue) plus connections refused by the TCP acceptor's connection
+    /// cap — every form of shedding the service performs.
+    pub shed: usize,
+}
+
+impl ServerStats {
+    /// Share of admission attempts that were shed: `shed / (served +
+    /// shed)`. Served is the right denominator for a drained queue —
+    /// every admitted request is eventually served — and keeps the
+    /// rate meaningful while the server is still running.
+    pub fn shed_rate(&self) -> f64 {
+        let attempts = self.served + self.shed;
+        if attempts == 0 {
+            0.0
+        } else {
+            self.shed as f64 / attempts as f64
+        }
+    }
 }
 
 #[derive(Default)]
@@ -172,6 +191,7 @@ struct Counters {
     max_batch: AtomicUsize,
     term_decodes: AtomicUsize,
     term_cache_hits: AtomicUsize,
+    shed: AtomicUsize,
 }
 
 impl Counters {
@@ -182,6 +202,7 @@ impl Counters {
             max_batch: self.max_batch.load(Relaxed),
             term_decodes: self.term_decodes.load(Relaxed),
             term_cache_hits: self.term_cache_hits.load(Relaxed),
+            shed: self.shed.load(Relaxed),
         }
     }
 }
@@ -197,7 +218,7 @@ struct QueueState {
 }
 
 struct Shared {
-    db: Arc<Database>,
+    db: Arc<dyn MeetBackend>,
     config: ServerConfig,
     state: Mutex<QueueState>,
     /// Signalled when jobs are queued or shutdown begins.
@@ -225,6 +246,13 @@ impl Server {
     /// meet index is built eagerly so the first queries don't race to
     /// build it.
     pub fn start(db: Arc<Database>, config: ServerConfig) -> Server {
+        Server::start_backend(db, config)
+    }
+
+    /// Spawn the worker pool over any [`MeetBackend`] — the
+    /// single-process [`Database`] or a sharded engine. Workers are
+    /// agnostic: they decode terms, batch, and meet through the trait.
+    pub fn start_backend(db: Arc<dyn MeetBackend>, config: ServerConfig) -> Server {
         db.store().meet_index();
         let workers = if config.workers == 0 {
             thread::available_parallelism().map_or(1, |n| n.get())
@@ -314,6 +342,7 @@ impl Client {
                 break;
             }
             if !block {
+                self.shared.stats.shed.fetch_add(1, Relaxed);
                 return Err(ServerError::Saturated);
             }
             state = self.shared.space.wait(state).expect("queue lock");
@@ -358,6 +387,14 @@ impl Client {
     /// Current counters.
     pub fn stats(&self) -> ServerStats {
         self.shared.stats.snapshot()
+    }
+
+    /// Record one shed request on behalf of a front end that refuses
+    /// work before it reaches the queue (the TCP acceptor's connection
+    /// cap) — keeps [`ServerStats::shed_rate`] covering every form of
+    /// shedding the service performs.
+    pub(crate) fn note_shed(&self) {
+        self.shared.stats.shed.fetch_add(1, Relaxed);
     }
 }
 
@@ -507,7 +544,8 @@ fn execute(
                 strategy: shared.config.strategy,
                 ..MeetOptions::default()
             };
-            let meets = shared.db.meet_hits(&scratch.inputs, &options);
+            let input_refs: Vec<&HitSet> = scratch.inputs.iter().map(Arc::as_ref).collect();
+            let meets = shared.db.meet_hit_groups(&input_refs, &options);
             Response::Answers(AnswerSet::from_meets(shared.db.store(), meets))
         }
         Request::Sql { src } => {
@@ -517,7 +555,7 @@ fn execute(
                 },
                 strategy: shared.config.strategy,
             };
-            match run_query_opts(&shared.db, src, &options) {
+            match run_query_opts(&*shared.db, src, &options) {
                 Ok(QueryOutput::Answers(a)) => Response::Answers(a),
                 Ok(QueryOutput::Rows(r)) => Response::Rows(r),
                 Err(e) => Response::Error(e.to_string()),
@@ -671,6 +709,23 @@ mod tests {
         assert!(first.is_ok());
         let second = client.submit(Request::search("y"), false);
         assert!(matches!(second, Err(ServerError::Saturated)));
+        // Shedding is counted, and the rate reflects refused admissions.
+        assert_eq!(client.stats().shed, 1);
+        assert_eq!(client.stats().shed_rate(), 1.0);
+    }
+
+    #[test]
+    fn shed_rate_is_zero_without_pressure() {
+        let s = server(ServerConfig {
+            workers: 1,
+            ..ServerConfig::default()
+        });
+        let client = s.client();
+        client.meet_terms(["Bit", "1999"]).unwrap();
+        let stats = s.shutdown();
+        assert_eq!(stats.shed, 0);
+        assert_eq!(stats.shed_rate(), 0.0);
+        assert_eq!(ServerStats::default().shed_rate(), 0.0);
     }
 
     #[test]

@@ -1,0 +1,223 @@
+//! Sharding equivalence property suite: for random trees and random K,
+//! [`ShardedDb`] answers are identical to [`Database`] answers across
+//! `meet2`, `meet_sets` and `meet_multi` — document order included —
+//! plus full-text search and `AnswerSet` XML byte equality.
+//!
+//! Seeded loops over a deterministic PRNG stand in for proptest (the
+//! offline build cannot fetch it); failures print the seed.
+
+use ncq_core::{Database, MeetOptions, MeetStrategy, PathFilter};
+use ncq_fulltext::HitSet;
+use ncq_shard::ShardedDb;
+use ncq_store::Oid;
+use ncq_xml::Document;
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+
+/// Random tree with text leaves: node `i + 1` hangs under a random
+/// earlier node; some nodes carry cdata from a small token pool so
+/// full-text search and posting restriction are exercised.
+fn random_tree(rng: &mut StdRng) -> Document {
+    const TAGS: [&str; 5] = ["a", "b", "c", "d", "e"];
+    const WORDS: [&str; 6] = ["alpha", "beta", "gamma", "delta", "twin peaks", "omega"];
+    let mut doc = Document::new("root");
+    let mut nodes = vec![doc.root()];
+    let n = rng.random_range(1usize..150);
+    for i in 0..n {
+        let parent = nodes[rng.random_range(0..nodes.len())];
+        let node = doc.add_element(parent, TAGS[i % TAGS.len()]);
+        if rng.random_range(0..3usize) == 0 {
+            let w1 = WORDS[rng.random_range(0..WORDS.len())];
+            let w2 = WORDS[rng.random_range(0..WORDS.len())];
+            doc.add_text(node, format!("{w1} {w2}"));
+        }
+        nodes.push(node);
+    }
+    doc
+}
+
+fn random_oid(rng: &mut StdRng, db: &Database) -> Oid {
+    Oid::from_index(rng.random_range(0..db.store().node_count()))
+}
+
+/// A random homogeneous OID set: all members share one path.
+fn random_homogeneous_set(rng: &mut StdRng, db: &Database) -> Vec<Oid> {
+    let store = db.store();
+    let anchor = random_oid(rng, db);
+    let candidates = store.meet_index().oids_of_path(store.sigma(anchor));
+    let len = rng.random_range(1..candidates.len().min(12) + 1);
+    let mut set = Vec::with_capacity(len);
+    for _ in 0..len {
+        set.push(candidates[rng.random_range(0..candidates.len())]);
+    }
+    set
+}
+
+/// A random hit group (arbitrary paths).
+fn random_hit_set(rng: &mut StdRng, db: &Database) -> HitSet {
+    let store = db.store();
+    let len = rng.random_range(1usize..15);
+    HitSet::from_pairs((0..len).map(|_| {
+        let o = random_oid(rng, db);
+        (store.sigma(o), o)
+    }))
+}
+
+const CASES: u64 = 96;
+
+fn random_k(rng: &mut StdRng) -> usize {
+    rng.random_range(2usize..9)
+}
+
+#[test]
+fn meet2_is_identical() {
+    for seed in 0..CASES {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let db = Database::from_document(&random_tree(&mut rng));
+        let sharded = ShardedDb::new(db.clone(), random_k(&mut rng));
+        for _ in 0..20 {
+            let a = random_oid(&mut rng, &db);
+            let b = random_oid(&mut rng, &db);
+            assert_eq!(db.meet_pair(a, b), sharded.meet_pair(a, b), "seed {seed}");
+        }
+    }
+}
+
+#[test]
+fn meet_sets_is_identical_including_order() {
+    for seed in 0..CASES {
+        let mut rng = StdRng::seed_from_u64(0xC0FFEE ^ seed);
+        let db = Database::from_document(&random_tree(&mut rng));
+        let k = random_k(&mut rng);
+        let sharded = ShardedDb::new(db.clone(), k);
+        for _ in 0..8 {
+            let s1 = random_homogeneous_set(&mut rng, &db);
+            let s2 = random_homogeneous_set(&mut rng, &db);
+            for strategy in [MeetStrategy::Auto, MeetStrategy::Lift, MeetStrategy::Sweep] {
+                let single = db.meet_oid_sets_with(&s1, &s2, strategy);
+                let shard = sharded.meet_oid_sets_with(&s1, &s2, strategy);
+                match (single, shard) {
+                    (Ok(a), Ok(b)) => {
+                        // The answers — the (meet, round) sequence in
+                        // result order — must match exactly. (The
+                        // look-up counters are execution-shape
+                        // bookkeeping: a scatter counts its own probes.)
+                        assert_eq!(a.meets, b.meets, "seed {seed} k {k} {strategy:?}");
+                        assert_eq!(a.join_rounds, b.join_rounds, "seed {seed} k {k}");
+                    }
+                    (a, b) => panic!("seed {seed}: result mismatch {a:?} vs {b:?}"),
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn meet_multi_is_identical_including_witnesses() {
+    for seed in 0..CASES {
+        let mut rng = StdRng::seed_from_u64(0xBEEF00 ^ seed);
+        let db = Database::from_document(&random_tree(&mut rng));
+        let k = random_k(&mut rng);
+        let sharded = ShardedDb::new(db.clone(), k);
+        for _ in 0..6 {
+            let groups = rng.random_range(1usize..4);
+            let inputs: Vec<HitSet> = (0..groups).map(|_| random_hit_set(&mut rng, &db)).collect();
+            let max_distance = match rng.random_range(0..3usize) {
+                0 => None,
+                _ => Some(rng.random_range(0usize..8)),
+            };
+            let filter = match rng.random_range(0..3usize) {
+                0 => PathFilter::exclude_root(db.store()),
+                _ => PathFilter::All,
+            };
+            for strategy in [MeetStrategy::Auto, MeetStrategy::Sweep] {
+                let options = MeetOptions {
+                    max_distance,
+                    filter: filter.clone(),
+                    strategy,
+                    witness_cap: rng.random_range(1usize..5),
+                };
+                // Full structural equality: nodes, paths, distances,
+                // witness counts AND the capped witness samples, in
+                // result order.
+                assert_eq!(
+                    db.meet_hits(&inputs, &options),
+                    sharded.meet_hits(&inputs, &options),
+                    "seed {seed} k {k} {strategy:?}"
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn search_and_answer_xml_are_byte_identical() {
+    for seed in 0..CASES {
+        let mut rng = StdRng::seed_from_u64(0xA11CE ^ seed);
+        let db = Database::from_document(&random_tree(&mut rng));
+        let k = random_k(&mut rng);
+        let sharded = ShardedDb::new(db.clone(), k);
+        for term in ["alpha", "beta", "twin peaks", "gamm", "absent", "omega"] {
+            assert_eq!(db.search(term), sharded.search(term), "seed {seed} {term}");
+        }
+        for terms in [
+            vec!["alpha", "beta"],
+            vec!["gamma", "delta", "omega"],
+            vec!["twin peaks", "alpha"],
+        ] {
+            let a = db.meet_terms(&terms).unwrap();
+            let b = sharded.meet_terms(&terms).unwrap();
+            assert_eq!(
+                a.to_detailed_xml(),
+                b.to_detailed_xml(),
+                "seed {seed} k {k} {terms:?}"
+            );
+        }
+    }
+}
+
+#[test]
+fn datagen_corpora_match_at_all_k() {
+    use ncq_datagen::{DblpConfig, DblpCorpus, MultimediaConfig, MultimediaCorpus};
+    let dblp = DblpCorpus::generate(&DblpConfig {
+        papers_per_edition: 6,
+        journal_articles_per_year: 2,
+        ..DblpConfig::default()
+    });
+    let mm = MultimediaCorpus::generate(&MultimediaConfig {
+        noise_items: 60,
+        ..MultimediaConfig::default()
+    });
+    for doc in [&dblp.document, &mm.document] {
+        let db = Database::from_document(doc);
+        for k in [1, 2, 4, 8] {
+            let sharded = ShardedDb::new(db.clone(), k);
+            for terms in [
+                vec!["ICDE", "1995"],
+                vec!["1990", "1991"],
+                vec!["video", "colour"],
+                vec!["absent-token", "1999"],
+            ] {
+                let a = db.meet_terms(&terms).unwrap();
+                let b = sharded.meet_terms(&terms).unwrap();
+                assert_eq!(a.to_detailed_xml(), b.to_detailed_xml(), "k {k} {terms:?}");
+            }
+            let icde = db.search("ICDE");
+            assert_eq!(icde, sharded.search("ICDE"), "k {k}");
+            // Homogeneous sets: the largest relation of each hit set.
+            let largest = |h: &HitSet| -> Vec<Oid> {
+                h.groups()
+                    .iter()
+                    .max_by_key(|(_, v)| v.len())
+                    .map(|(_, v)| v.clone())
+                    .unwrap_or_default()
+            };
+            let (g1, g2) = (largest(&icde), largest(&db.search("1995")));
+            if !g1.is_empty() && !g2.is_empty() {
+                let a = db.meet_oid_sets(&g1, &g2).unwrap();
+                let b = sharded.meet_oid_sets(&g1, &g2).unwrap();
+                assert_eq!(a.meets, b.meets, "k {k}");
+            }
+        }
+    }
+}

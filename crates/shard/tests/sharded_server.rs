@@ -1,0 +1,87 @@
+//! `ncq-server` workers serving a [`ShardedDb`]: the backend dispatch
+//! end of the sharded layer. Responses must match a server over the
+//! single database exactly, and concurrent clients must agree.
+
+use ncq_core::Database;
+use ncq_datagen::{DblpConfig, DblpCorpus};
+use ncq_server::{Request, Response, Server, ServerConfig};
+use ncq_shard::ShardedDb;
+use std::sync::Arc;
+
+fn dblp() -> Database {
+    let corpus = DblpCorpus::generate(&DblpConfig {
+        papers_per_edition: 10,
+        journal_articles_per_year: 3,
+        ..DblpConfig::default()
+    });
+    Database::from_document(&corpus.document)
+}
+
+fn config(workers: usize) -> ServerConfig {
+    ServerConfig {
+        workers,
+        ..ServerConfig::default()
+    }
+}
+
+#[test]
+fn sharded_server_matches_single_server() {
+    let db = dblp();
+    let single = Server::start(Arc::new(db.clone()), config(2));
+    let sharded = Server::start_backend(Arc::new(ShardedDb::new(db, 4)), config(2));
+
+    let requests = [
+        Request::meet_terms(["ICDE", "1995"]),
+        Request::meet_terms(["1990", "1991", "1992"]),
+        Request::search("ICDE"),
+        Request::sql(
+            "select meet(a, b) from dblp/% as a, dblp/% as b \
+                      where a contains 'ICDE' and b contains '1995'",
+        ),
+        Request::sql("select nonsense !!"),
+    ];
+    let (c1, c2) = (single.client(), sharded.client());
+    for request in &requests {
+        let a = c1.request(request.clone()).unwrap();
+        let b = c2.request(request.clone()).unwrap();
+        assert_eq!(a, b, "{request:?}");
+    }
+    single.shutdown();
+    sharded.shutdown();
+}
+
+#[test]
+fn concurrent_clients_agree_over_the_sharded_backend() {
+    let backend = Arc::new(ShardedDb::new(dblp(), 4));
+    let server = Server::start_backend(backend, config(4));
+    let reference = match server
+        .client()
+        .request(Request::meet_terms(["ICDE", "1995"]))
+        .unwrap()
+    {
+        Response::Answers(a) => a,
+        other => panic!("unexpected {other:?}"),
+    };
+    let handles: Vec<_> = (0..6)
+        .map(|_| {
+            let client = server.client();
+            let reference = reference.clone();
+            std::thread::spawn(move || {
+                for _ in 0..20 {
+                    match client
+                        .request(Request::meet_terms(["ICDE", "1995"]))
+                        .unwrap()
+                    {
+                        Response::Answers(a) => assert_eq!(a, reference),
+                        other => panic!("unexpected {other:?}"),
+                    }
+                }
+            })
+        })
+        .collect();
+    for h in handles {
+        h.join().unwrap();
+    }
+    let stats = server.shutdown();
+    assert_eq!(stats.served, 121);
+}

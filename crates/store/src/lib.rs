@@ -43,4 +43,4 @@ pub use monet::MonetDb;
 pub use object::ObjectView;
 pub use oid::Oid;
 pub use path::{PathId, PathStep, PathSummary};
-pub use stats::{DepthStats, StoreStats};
+pub use stats::{DepthStats, PartitionStats, StoreStats};

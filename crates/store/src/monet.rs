@@ -18,8 +18,9 @@
 use crate::index::MeetIndex;
 use crate::oid::Oid;
 use crate::path::{PathId, PathStep, PathSummary};
-use crate::stats::{DepthStats, StoreStats};
+use crate::stats::{DepthStats, PartitionStats, StoreStats};
 use ncq_xml::{Document, NodeId, NodeKind, SymbolTable};
+use std::ops::Range;
 use std::sync::OnceLock;
 
 /// A loaded, path-partitioned XML database instance.
@@ -49,6 +50,8 @@ pub struct MonetDb {
     meet_index: OnceLock<MeetIndex>,
     /// Lazily computed node-depth distribution (planner input).
     depth_stats: OnceLock<DepthStats>,
+    /// Lazily computed per-oid mass prefix sums (partitioner input).
+    partition_stats: OnceLock<PartitionStats>,
 }
 
 impl MonetDb {
@@ -67,6 +70,7 @@ impl MonetDb {
             oid_of_node: vec![Oid::ROOT; n],
             meet_index: OnceLock::new(),
             depth_stats: OnceLock::new(),
+            partition_stats: OnceLock::new(),
         };
         db.load(doc);
         db
@@ -230,6 +234,22 @@ impl MonetDb {
         })
     }
 
+    /// Per-object mass prefix sums — the signal a partitioner balances
+    /// when cutting the document into preorder-interval shards. The
+    /// weight of an object is `1 + strings(o)` (structural mass plus
+    /// posting mass). Computed once and cached.
+    pub fn partition_stats(&self) -> &PartitionStats {
+        self.partition_stats.get_or_init(|| {
+            let mut weights = vec![1u64; self.node_count()];
+            for p in self.summary.iter() {
+                for (owner, _) in self.strings_of(p) {
+                    weights[owner.index()] += 1;
+                }
+            }
+            PartitionStats::from_weights(weights)
+        })
+    }
+
     // ----- schema access -----
 
     /// The path summary (tree-shaped schema).
@@ -275,6 +295,30 @@ impl MonetDb {
     /// String relation of a path: `(owner, string)` pairs.
     pub fn strings_of(&self, p: PathId) -> &[(Oid, Box<str>)] {
         self.strings.get(p.index()).map_or(&[], Vec::as_slice)
+    }
+
+    /// Restriction of a string relation to a preorder OID interval:
+    /// the `(owner, string)` pairs with `owner.index()` in `range`.
+    /// String relations are loaded in document order of the owner, so
+    /// the restriction is a contiguous subslice found by two binary
+    /// searches — the zero-copy "relation restriction" a sharded
+    /// execution layer scans instead of the whole relation.
+    pub fn strings_in_range(&self, p: PathId, range: Range<usize>) -> &[(Oid, Box<str>)] {
+        let rel = self.strings_of(p);
+        let lo = rel.partition_point(|&(o, _)| o.index() < range.start);
+        let hi = rel.partition_point(|&(o, _)| o.index() < range.end);
+        &rel[lo..hi]
+    }
+
+    /// Restriction of an edge relation to a preorder OID interval of the
+    /// *child*: the `(parent, o)` pairs with `o.index()` in `range`.
+    /// Edge relations are in document order of `o`, so this is again a
+    /// contiguous subslice.
+    pub fn edges_in_range(&self, p: PathId, range: Range<usize>) -> &[(Oid, Oid)] {
+        let rel = self.edges_of(p);
+        let lo = rel.partition_point(|&(_, o)| o.index() < range.start);
+        let hi = rel.partition_point(|&(_, o)| o.index() < range.end);
+        &rel[lo..hi]
     }
 
     /// The string owned by `owner` in relation `p`, if any. String
@@ -675,6 +719,75 @@ mod tests {
         assert!(s.p90_depth <= s.max_depth);
         // Cached: second call returns the same value.
         assert_eq!(db.depth_stats(), s);
+    }
+
+    #[test]
+    fn partition_stats_weigh_structure_plus_strings() {
+        let db = figure1_db();
+        let s = db.partition_stats();
+        assert_eq!(s.len(), db.node_count());
+        // Total mass = every object once + every string association.
+        assert_eq!(
+            s.total_mass(),
+            (db.node_count() + db.stats().string_associations) as u64
+        );
+        // A cdata node weighs 2 (itself + its string); the root weighs 1.
+        let cdata = db.iter_oids().find(|&o| db.label(o) == "cdata").unwrap();
+        assert_eq!(s.mass_of(cdata.index()), 2);
+        assert_eq!(s.mass_of(Oid::ROOT.index()), 1);
+        // An article owns a @key attribute string.
+        let article = db
+            .iter_oids()
+            .find(|&o| db.tag(o) == Some("article"))
+            .unwrap();
+        assert_eq!(s.mass_of(article.index()), 2);
+        // Subtree masses sum like intervals: whole document = root range.
+        let idx = db.meet_index();
+        assert_eq!(
+            s.interval_mass(idx.subtree_range(Oid::ROOT)),
+            s.total_mass()
+        );
+        // Cached.
+        assert!(std::ptr::eq(s, db.partition_stats()));
+    }
+
+    #[test]
+    fn range_restrictions_are_contiguous_subslices() {
+        let db = figure1_db();
+        let idx = db.meet_index();
+        // Restrict every relation to the second article's subtree and
+        // compare against a filter.
+        let article2 = db
+            .iter_oids()
+            .filter(|&o| db.tag(o) == Some("article"))
+            .nth(1)
+            .unwrap();
+        let range = idx.subtree_range(article2);
+        for p in db.summary().iter() {
+            let strings: Vec<_> = db
+                .strings_of(p)
+                .iter()
+                .filter(|(o, _)| range.contains(&o.index()))
+                .cloned()
+                .collect();
+            assert_eq!(db.strings_in_range(p, range.clone()), strings.as_slice());
+            let edges: Vec<_> = db
+                .edges_of(p)
+                .iter()
+                .filter(|(_, o)| range.contains(&o.index()))
+                .copied()
+                .collect();
+            assert_eq!(db.edges_in_range(p, range.clone()), edges.as_slice());
+        }
+        // The restricted year relation holds exactly the second year.
+        let p_year = db
+            .summary()
+            .lookup_in(
+                &["bibliography", "institute", "article", "year", "cdata"],
+                db.symbols(),
+            )
+            .unwrap();
+        assert_eq!(db.strings_in_range(p_year, range).len(), 1);
     }
 
     #[test]

@@ -24,7 +24,10 @@
 //! * [`core`] — the meet operator family, the depth-aware meet planner
 //!   and the [`Database`] facade
 //! * [`query`] — the paper's SQL-with-paths dialect incl. the `meet` aggregate
-//! * [`server`] — batched concurrent query service over `Arc<Database>`
+//! * [`shard`] — preorder-interval sharded execution (partition map,
+//!   replicated spine, scatter/gather meets)
+//! * [`server`] — batched concurrent query service over any
+//!   [`ncq_core::MeetBackend`] (`Database` or [`ShardedDb`])
 //! * [`datagen`] — synthetic DBLP / multimedia corpora used by the benchmarks
 
 pub use ncq_core as core;
@@ -32,10 +35,12 @@ pub use ncq_datagen as datagen;
 pub use ncq_fulltext as fulltext;
 pub use ncq_query as query;
 pub use ncq_server as server;
+pub use ncq_shard as shard;
 pub use ncq_store as store;
 pub use ncq_xml as xml;
 
-pub use ncq_core::{Answer, AnswerSet, Database, MeetOptions, MeetStrategy, RefGraph};
+pub use ncq_core::{Answer, AnswerSet, Database, MeetBackend, MeetOptions, MeetStrategy, RefGraph};
 pub use ncq_fulltext::Thesaurus;
 pub use ncq_query::{run_query, run_query_opts, QueryOptions, QueryOutput};
 pub use ncq_server::{Client, Server, ServerConfig};
+pub use ncq_shard::ShardedDb;

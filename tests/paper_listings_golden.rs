@@ -172,6 +172,42 @@ fn paper_listing_queries_match_golden_fixtures() {
     );
 }
 
+/// The sharded engine answers every paper-listing query byte-identically
+/// to the single database: the same fixtures, run through `ShardedDb`
+/// at K = 4 (and the degenerate K = 1). The fixtures are *not*
+/// regenerated here — `UPDATE_GOLDEN` only applies to the single-db
+/// test above, so sharding can never silently redefine the truth.
+#[test]
+fn sharded_execution_matches_the_golden_fixtures() {
+    let db = Database::from_xml_str(nearest_concept::datagen::FIGURE1_XML).unwrap();
+    let dir = golden_dir();
+    let mut failures = Vec::new();
+    for k in [1, 4] {
+        let sharded = nearest_concept::ShardedDb::new(db.clone(), k);
+        for (name, query) in QUERIES {
+            let output = sharded
+                .run_query(query)
+                .unwrap_or_else(|e| panic!("sharded golden query {name} failed: {e}"));
+            let actual = serialize(&output);
+            match std::fs::read_to_string(dir.join(format!("{name}.xml"))) {
+                Ok(expected) if expected == actual => {}
+                Ok(expected) => failures.push(format!(
+                    "{name} (K={k}): sharded output drifted\n--- expected ---\n{expected}\n--- actual ---\n{actual}"
+                )),
+                Err(e) => failures.push(format!(
+                    "{name}: cannot read fixture ({e}); run UPDATE_GOLDEN=1 first"
+                )),
+            }
+        }
+    }
+    assert!(
+        failures.is_empty(),
+        "{} sharded golden mismatches:\n{}",
+        failures.len(),
+        failures.join("\n")
+    );
+}
+
 /// The suite stays in sync with the fixture directory: no orphaned
 /// fixtures, no duplicate query names.
 #[test]

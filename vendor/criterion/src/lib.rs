@@ -121,8 +121,12 @@ impl BenchmarkGroup<'_> {
             if b.elapsed >= target || iters >= 1 << 30 {
                 break;
             }
-            // Aim directly for the target from the observed cost.
-            let per_iter = b.elapsed.as_nanos().max(1) / iters as u128;
+            // Aim directly for the target from the observed cost. Floor
+            // the per-iteration estimate at 1 ns: a release-mode batch
+            // can finish in fewer nanoseconds than it ran iterations,
+            // and the integer ratio would otherwise round to zero and
+            // divide-by-zero the next line.
+            let per_iter = (b.elapsed.as_nanos() / iters as u128).max(1);
             iters = ((target.as_nanos() / per_iter) as u64).clamp(iters + 1, iters * 100);
         }
         // Warm-up.
