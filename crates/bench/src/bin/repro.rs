@@ -8,7 +8,9 @@
 //! Prints paper-style tables to stdout and, when `--out` is given, writes
 //! the raw series as JSON (one file per experiment) for EXPERIMENTS.md.
 
-use ncq_bench::experiments::{ablations, corpora, extensions, fig6, fig7, listings, pr1, pr2, pr3};
+use ncq_bench::experiments::{
+    ablations, corpora, extensions, fig6, fig7, listings, pr1, pr2, pr3, pr4,
+};
 use ncq_bench::json::ToJson;
 use std::io::Write as _;
 use std::path::PathBuf;
@@ -44,7 +46,7 @@ fn parse_args() -> Result<Args, String> {
             "--help" | "-h" => {
                 println!(
                     "usage: repro [--exp all|fig1|fig2|listing1|listing2|sec31|fig6|fig7|\
-                     ablations|extensions|pr1|pr2|pr3] [--scale small|paper] [--out DIR]"
+                     ablations|extensions|pr1|pr2|pr3|pr4] [--scale small|paper] [--out DIR]"
                 );
                 std::process::exit(0);
             }
@@ -192,6 +194,17 @@ fn main() {
         let dir = args.out.clone().unwrap_or_else(|| PathBuf::from("."));
         let target = Some(dir);
         write_json(&target, "BENCH_pr3", &result);
+    }
+
+    // PR 4 perf snapshot: snapshot cold start vs parse+build. Explicit-
+    // only, like pr1/pr2/pr3: it serializes multi-megabyte corpora and
+    // writes BENCH_pr4.json (the cross-PR trajectory record).
+    if args.exp == "pr4" {
+        let result = pr4::run(args.scale == Scale::Small);
+        println!("{}", pr4::table(&result));
+        let dir = args.out.clone().unwrap_or_else(|| PathBuf::from("."));
+        let target = Some(dir);
+        write_json(&target, "BENCH_pr4", &result);
     }
 
     if want("extensions") {

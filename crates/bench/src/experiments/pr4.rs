@@ -1,0 +1,308 @@
+//! PR 4 perf snapshot: cold start from a persistent snapshot vs the
+//! parse → transform → index build pipeline.
+//!
+//! One table, emitted as `BENCH_pr4.json` by `repro --exp pr4`: for
+//! each corpus (DBLP substitute, multimedia substitute, deep fork
+//! forest) at several scales, the **full** cold start is timed both
+//! ways through the filesystem:
+//!
+//! * `parse_build`: read the XML file, parse, Monet transform, build
+//!   the inverted index, the Euler-tour meet index and the planner /
+//!   partitioner statistics — everything a process needs before it can
+//!   serve its first indexed meet;
+//! * `snapshot_load`: `Database::open_snapshot` on the versioned
+//!   binary snapshot of the same instance (checksum verification
+//!   included).
+//!
+//! Every row asserts answer equality between the built and the loaded
+//! engine before timing, and checks that saving twice produces
+//! byte-identical files (the determinism contract the CI
+//! `snapshot-compat` job enforces with `cmp`).
+
+use ncq_core::Database;
+use ncq_datagen::{DblpConfig, DblpCorpus, MultimediaConfig, MultimediaCorpus};
+use ncq_xml::{write_document, WriteOptions};
+use std::path::Path;
+use std::time::Instant;
+
+/// One corpus × scale row.
+#[derive(Debug, Clone)]
+pub struct Pr4Row {
+    /// Corpus label.
+    pub corpus: String,
+    /// Objects in the instance.
+    pub nodes: usize,
+    /// Serialized XML size, bytes.
+    pub xml_bytes: usize,
+    /// Snapshot file size, bytes.
+    pub snapshot_bytes: usize,
+    /// Full parse + build cold start, ms (min over rounds).
+    pub parse_build_ms: f64,
+    /// Snapshot load cold start, ms (min over rounds).
+    pub snapshot_load_ms: f64,
+    /// `parse_build_ms / snapshot_load_ms`.
+    pub speedup: f64,
+    /// The loaded engine answered a probe meet identically.
+    pub agree: bool,
+    /// Two saves produced byte-identical snapshots.
+    pub deterministic: bool,
+}
+
+/// The full PR 4 snapshot.
+#[derive(Debug, Clone)]
+pub struct Pr4Result {
+    /// All rows, grouped by corpus then scale.
+    pub rows: Vec<Pr4Row>,
+}
+
+crate::impl_to_json_struct!(Pr4Row {
+    corpus,
+    nodes,
+    xml_bytes,
+    snapshot_bytes,
+    parse_build_ms,
+    snapshot_load_ms,
+    speedup,
+    agree,
+    deterministic,
+});
+crate::impl_to_json_struct!(Pr4Result { rows });
+
+/// The deep fork forest of the PR 1/PR 3 snapshots, as XML text:
+/// `pairs` records, each a `<h>` head with two depth-`depth` chains
+/// ending in text leaves — the corpus whose meet index build is most
+/// expensive relative to its size.
+fn deep_xml(depth: usize, pairs: usize) -> String {
+    let mut xml = String::with_capacity(pairs * depth * 8);
+    xml.push_str("<root>");
+    for _ in 0..pairs {
+        xml.push_str("<h>");
+        for _ in 0..depth {
+            xml.push_str("<x>");
+        }
+        xml.push_str("<a>s</a>");
+        for _ in 0..depth {
+            xml.push_str("</x>");
+        }
+        for _ in 0..depth {
+            xml.push_str("<y>");
+        }
+        xml.push_str("<b>t</b>");
+        for _ in 0..depth {
+            xml.push_str("</y>");
+        }
+        xml.push_str("</h>");
+    }
+    xml.push_str("</root>");
+    xml
+}
+
+/// The complete cold start the snapshot replaces: parse the XML text,
+/// run the Monet transform, build the inverted index, the meet index
+/// and both cached statistics.
+fn build_cold(xml: &str) -> Database {
+    let db = Database::from_xml_str(xml).expect("benchmark corpus parses");
+    db.store().meet_index();
+    db.store().depth_stats();
+    db.store().partition_stats();
+    db
+}
+
+/// Probe terms per corpus: two terms that hit every corpus in this
+/// file (datagen text pools and the deep forest leaves).
+fn probe_terms(corpus: &str) -> [&'static str; 2] {
+    if corpus.starts_with("deep") {
+        ["s", "t"]
+    } else {
+        ["1999", "1995"]
+    }
+}
+
+fn time_ms(mut f: impl FnMut()) -> f64 {
+    let t = Instant::now();
+    f();
+    t.elapsed().as_secs_f64() * 1e3
+}
+
+fn floor(v: impl IntoIterator<Item = f64>) -> f64 {
+    v.into_iter().fold(f64::INFINITY, f64::min)
+}
+
+fn row(label: &str, xml: String, dir: &Path, rounds: usize) -> Pr4Row {
+    let xml_path = dir.join(format!("{}.xml", label.replace([' ', '(', ')', ','], "_")));
+    let snap_path = xml_path.with_extension("ncq");
+    let snap_path2 = xml_path.with_extension("ncq2");
+    std::fs::write(&xml_path, &xml).expect("write corpus xml");
+
+    // Reference build; its snapshot is what cold loads read back.
+    let reference = build_cold(&xml);
+    reference.save_snapshot(&snap_path).expect("save snapshot");
+    reference.save_snapshot(&snap_path2).expect("save snapshot");
+    let bytes_a = std::fs::read(&snap_path).expect("read snapshot");
+    let bytes_b = std::fs::read(&snap_path2).expect("read snapshot");
+    let deterministic = bytes_a == bytes_b;
+
+    // Correctness gate before timing: the loaded engine answers a
+    // probe meet byte-identically.
+    let loaded = Database::open_snapshot(&snap_path).expect("load snapshot");
+    let [t1, t2] = probe_terms(label);
+    let agree = reference.meet_terms(&[t1, t2]).unwrap().to_detailed_xml()
+        == loaded.meet_terms(&[t1, t2]).unwrap().to_detailed_xml();
+
+    // Interleaved cold starts; keep the engines alive until after the
+    // round so allocator reuse doesn't lopsidedly favour either side.
+    let mut parse_samples = Vec::with_capacity(rounds);
+    let mut load_samples = Vec::with_capacity(rounds);
+    for _ in 0..rounds {
+        let mut built = None;
+        parse_samples.push(time_ms(|| {
+            let text = std::fs::read_to_string(&xml_path).expect("read corpus xml");
+            built = Some(build_cold(&text));
+        }));
+        let mut opened = None;
+        load_samples.push(time_ms(|| {
+            opened = Some(Database::open_snapshot(&snap_path).expect("load snapshot"));
+        }));
+        drop(built);
+        drop(opened);
+    }
+    let parse_build_ms = floor(parse_samples);
+    let snapshot_load_ms = floor(load_samples);
+
+    for p in [&xml_path, &snap_path, &snap_path2] {
+        std::fs::remove_file(p).ok();
+    }
+    Pr4Row {
+        corpus: label.to_string(),
+        nodes: reference.store().node_count(),
+        xml_bytes: xml.len(),
+        snapshot_bytes: bytes_a.len(),
+        parse_build_ms,
+        snapshot_load_ms,
+        speedup: parse_build_ms / snapshot_load_ms,
+        agree,
+        deterministic,
+    }
+}
+
+fn dblp_xml(papers_per_edition: usize, journal_articles_per_year: usize) -> String {
+    let corpus = DblpCorpus::generate(&DblpConfig {
+        papers_per_edition,
+        journal_articles_per_year,
+        ..DblpConfig::default()
+    });
+    write_document(&corpus.document, WriteOptions::default())
+}
+
+fn multimedia_xml(noise_items: usize) -> String {
+    let corpus = MultimediaCorpus::generate(&MultimediaConfig {
+        noise_items,
+        ..MultimediaConfig::default()
+    });
+    write_document(&corpus.document, WriteOptions::default())
+}
+
+/// Run the snapshot. `quick` shrinks corpora and repetitions for CI.
+pub fn run(quick: bool) -> Pr4Result {
+    let dir = std::env::temp_dir().join("ncq-bench-pr4");
+    std::fs::create_dir_all(&dir).expect("create bench scratch dir");
+    let rounds = if quick { 3 } else { 5 };
+    let mut rows = Vec::new();
+
+    // DBLP substitute (flat, string-heavy).
+    rows.push(row("dblp (small)", dblp_xml(8, 3), &dir, rounds));
+    if !quick {
+        rows.push(row("dblp (case-study)", dblp_xml(75, 12), &dir, rounds));
+    }
+
+    // Multimedia substitute (Figure 6's corpus shape).
+    rows.push(row("multimedia (small)", multimedia_xml(100), &dir, rounds));
+    if !quick {
+        rows.push(row(
+            "multimedia (large)",
+            multimedia_xml(2_000),
+            &dir,
+            rounds,
+        ));
+    }
+
+    // Deep fork forest (structure-heavy; the meet index build is the
+    // dominant preprocess here — the acceptance row).
+    let (small_pairs, large_pairs) = (300, 3_000);
+    rows.push(row(
+        &format!("deep forks (depth 96, {small_pairs} pairs)"),
+        deep_xml(96, small_pairs),
+        &dir,
+        rounds,
+    ));
+    if !quick {
+        rows.push(row(
+            &format!("deep forks (depth 96, {large_pairs} pairs)"),
+            deep_xml(96, large_pairs),
+            &dir,
+            rounds,
+        ));
+    }
+
+    Pr4Result { rows }
+}
+
+/// Text table for stdout.
+pub fn table(r: &Pr4Result) -> String {
+    let mut out = String::from(
+        "# PR 4 — persistent snapshots (cold start: parse+build vs snapshot load)\n\
+         ## speedup = parse_build / snapshot_load; both sides read from the filesystem\n",
+    );
+    for row in &r.rows {
+        out.push_str(&format!(
+            "{}: nodes={} xml={}B snap={}B parse_build={:.1}ms load={:.1}ms \
+             ({:.1}x) agree={} deterministic={}\n",
+            row.corpus,
+            row.nodes,
+            row.xml_bytes,
+            row.snapshot_bytes,
+            row.parse_build_ms,
+            row.snapshot_load_ms,
+            row.speedup,
+            row.agree,
+            row.deterministic
+        ));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quick_snapshot_has_sane_shape() {
+        let r = run(true);
+        assert_eq!(r.rows.len(), 3);
+        for row in &r.rows {
+            assert!(row.agree, "{}: loaded answers diverged", row.corpus);
+            assert!(row.deterministic, "{}: bytes nondeterministic", row.corpus);
+            assert!(row.parse_build_ms > 0.0 && row.snapshot_load_ms > 0.0);
+            assert!(row.nodes > 0 && row.snapshot_bytes > 0);
+        }
+        let text = table(&r);
+        assert!(text.contains("deep forks"));
+        assert!(text.contains("dblp"));
+    }
+
+    #[test]
+    fn deep_xml_parses_to_the_expected_shape() {
+        let db = Database::from_xml_str(&deep_xml(4, 3)).unwrap();
+        // 1 root + 3 × (1 head + 2×(4 chain + 1 leaf + 1 cdata)).
+        assert_eq!(db.store().node_count(), 1 + 3 * (1 + 2 * 6));
+        assert_eq!(db.search("s").len(), 3);
+    }
+
+    // Keep the corpora helpers honest (they feed `repro --exp pr4`).
+    #[test]
+    fn corpus_builders_emit_parseable_xml() {
+        for xml in [dblp_xml(2, 1), multimedia_xml(5)] {
+            assert!(Database::from_xml_str(&xml).is_ok());
+        }
+    }
+}

@@ -15,7 +15,10 @@ use crate::answer::AnswerSet;
 use crate::db::Database;
 use crate::meet_multi::{Meet, MeetOptions};
 use ncq_fulltext::HitSet;
+use ncq_store::snapshot::SnapshotError;
 use ncq_store::MonetDb;
+use std::path::Path;
+use std::sync::Arc;
 
 /// A queryable meet engine: full-text resolution plus the generalized
 /// meet, over one shared [`MonetDb`] schema.
@@ -44,6 +47,26 @@ pub trait MeetBackend: Send + Sync {
         let meets = self.meet_hit_groups(&refs, options);
         AnswerSet::from_meets(self.store(), meets)
     }
+
+    /// Persist this engine's full state as a versioned snapshot file
+    /// (the server's `SNAPSHOT SAVE` verb dispatches here). Engines
+    /// with extra state beyond store + postings override this to stack
+    /// their own sections; the default serves the common
+    /// store+fulltext shape.
+    fn save_snapshot(&self, _path: &Path) -> Result<(), SnapshotError> {
+        Err(SnapshotError::Unsupported {
+            context: "this backend does not persist snapshots",
+        })
+    }
+
+    /// Cold-load a snapshot as an engine of the *same shape* as `self`
+    /// (the server's `SNAPSHOT LOAD` hot-swap dispatches here, so
+    /// reloading never silently downgrades a sharded deployment to a
+    /// single-process one). The default loads a plain [`Database`];
+    /// sharded engines override to re-partition at their current K.
+    fn open_snapshot_like(&self, path: &Path) -> Result<Arc<dyn MeetBackend>, SnapshotError> {
+        Ok(Arc::new(Database::open_snapshot(path)?))
+    }
 }
 
 impl MeetBackend for Database {
@@ -57,6 +80,10 @@ impl MeetBackend for Database {
 
     fn meet_hit_groups(&self, inputs: &[&HitSet], options: &MeetOptions) -> Vec<Meet> {
         self.meet_hits(inputs, options)
+    }
+
+    fn save_snapshot(&self, path: &Path) -> Result<(), SnapshotError> {
+        Database::save_snapshot(self, path)
     }
 }
 

@@ -12,8 +12,10 @@ use crate::meet_sets::{MeetError, SetMeets};
 use crate::planner::{MeetPlanner, MeetStrategy, PlanDecision};
 use crate::rank::rank_meets;
 use ncq_fulltext::{search, HitSet, InvertedIndex};
+use ncq_store::snapshot::{SnapshotError, SnapshotReader, SnapshotWriter};
 use ncq_store::{MonetDb, Oid};
 use ncq_xml::{Document, ParseError};
+use std::path::Path;
 
 /// A queryable XML database: storage, full-text index and meet operators
 /// behind one handle.
@@ -39,6 +41,54 @@ impl Database {
     /// The underlying Monet transform.
     pub fn store(&self) -> &MonetDb {
         &self.store
+    }
+
+    // ----- persistence -----
+    //
+    // The versioned snapshot container is `ncq_store::snapshot`; the
+    // facade stacks the full-text section on the store's sections so
+    // one file cold-starts the whole engine with no parse, no meet
+    // index DFS and no re-tokenization.
+
+    /// Serialize the whole engine (store + meet index + stats +
+    /// inverted index) into a snapshot writer. Exposed so execution
+    /// layers with extra state (e.g. a shard partition map) can append
+    /// their own sections before writing the file.
+    pub fn encode_snapshot(&self) -> SnapshotWriter {
+        let mut writer = SnapshotWriter::new();
+        self.store.encode_snapshot(&mut writer);
+        self.index.encode_snapshot(&mut writer);
+        writer
+    }
+
+    /// Reconstruct an engine from a verified snapshot reader.
+    pub fn decode_snapshot(reader: &SnapshotReader) -> Result<Database, SnapshotError> {
+        let store = MonetDb::decode_snapshot(reader)?;
+        let index = InvertedIndex::decode_snapshot(reader, &store)?;
+        Ok(Database { store, index })
+    }
+
+    /// Save a snapshot file (atomic rename; deterministic bytes).
+    pub fn save_snapshot(&self, path: impl AsRef<Path>) -> Result<(), SnapshotError> {
+        self.encode_snapshot().write_to(path.as_ref())
+    }
+
+    /// Cold-start from a snapshot file: milliseconds of bulk column
+    /// reads instead of the parse → transform → index build pipeline.
+    /// The meet index, depth stats and partition stats arrive
+    /// pre-computed.
+    pub fn open_snapshot(path: impl AsRef<Path>) -> Result<Database, SnapshotError> {
+        Database::decode_snapshot(&SnapshotReader::open(path.as_ref())?)
+    }
+
+    /// The snapshot as in-memory bytes (tests and tooling).
+    pub fn snapshot_to_bytes(&self) -> Vec<u8> {
+        self.encode_snapshot().to_bytes()
+    }
+
+    /// Decode an engine from in-memory snapshot bytes.
+    pub fn from_snapshot_bytes(bytes: Vec<u8>) -> Result<Database, SnapshotError> {
+        Database::decode_snapshot(&SnapshotReader::from_bytes(bytes)?)
     }
 
     /// The underlying inverted index.

@@ -17,8 +17,10 @@ pub struct Posting {
 /// Token → postings over every string relation of a [`MonetDb`].
 #[derive(Debug, Clone, Default)]
 pub struct InvertedIndex {
-    map: HashMap<Box<str>, Vec<Posting>>,
-    postings: usize,
+    /// `pub(crate)` so the snapshot codec (`crate::snapshot`) can
+    /// persist and reconstruct the posting lists directly.
+    pub(crate) map: HashMap<Box<str>, Vec<Posting>>,
+    pub(crate) postings: usize,
 }
 
 impl InvertedIndex {

@@ -27,6 +27,7 @@ pub mod hits;
 pub mod index;
 pub mod intersect;
 pub mod search;
+pub mod snapshot;
 pub mod thesaurus;
 pub mod tokenize;
 

@@ -1,0 +1,179 @@
+//! Snapshot codec for the inverted index.
+//!
+//! The index is the most expensive build artifact after the meet index:
+//! every string association is tokenized and case-folded at build time.
+//! Persisting the finished posting lists means a cold start re-hashes
+//! the (small) vocabulary but never re-tokenizes the (large) corpus.
+//!
+//! Layout of the `FULLTEXT` section (all little-endian, inside the
+//! checksummed container of [`ncq_store::snapshot`]):
+//!
+//! ```text
+//! token count (u32)
+//! per token, in lexicographic byte order:
+//!   token (u32 len + UTF-8 bytes)
+//!   posting count (u32)
+//!   postings: (path u32, owner u32) pairs, in (path, owner) order
+//! ```
+//!
+//! Tokens are written **sorted** — the in-memory `HashMap` iterates in
+//! a nondeterministic order, and snapshot bytes must be a pure function
+//! of the database (the CI determinism gate `cmp`s two saves).
+
+use crate::index::{InvertedIndex, Posting};
+use ncq_store::snapshot::{section, SnapshotError, SnapshotReader, SnapshotWriter};
+use ncq_store::{MonetDb, Oid, PathId};
+use std::collections::HashMap;
+
+impl InvertedIndex {
+    /// Write the `FULLTEXT` section.
+    pub fn encode_snapshot(&self, writer: &mut SnapshotWriter) {
+        let mut tokens: Vec<&str> = self.map.keys().map(|k| k.as_ref()).collect();
+        tokens.sort_unstable();
+        let mut s = writer.section(section::FULLTEXT);
+        s.put_u32(tokens.len() as u32);
+        for token in tokens {
+            let postings = &self.map[token];
+            s.put_str(token);
+            s.put_u32(postings.len() as u32);
+            for p in postings {
+                s.put_u32(p.path.index() as u32);
+                s.put_u32(p.owner.index() as u32);
+            }
+        }
+    }
+
+    /// Read the `FULLTEXT` section back, validating the posting
+    /// contract (sorted by `(path, owner)`, deduplicated, in range for
+    /// `store`) that the galloping intersections and plane sweeps rely
+    /// on.
+    pub fn decode_snapshot(
+        reader: &SnapshotReader,
+        store: &MonetDb,
+    ) -> Result<InvertedIndex, SnapshotError> {
+        let mut s = reader.section(section::FULLTEXT)?;
+        let token_count = s.get_u32("token count")? as usize;
+        let paths = store.summary().len();
+        let n = store.node_count();
+        // Capacities are clamped to what the payload can hold (a token
+        // entry is ≥ 9 bytes, a posting 8): inconsistent counts must
+        // fail typed when the bytes run out, not abort the allocator.
+        let mut map: HashMap<Box<str>, Vec<Posting>> =
+            HashMap::with_capacity(token_count.min(s.remaining() / 9));
+        let mut total = 0usize;
+        for _ in 0..token_count {
+            let token = s.get_str("token")?;
+            let len = s.get_u32("posting count")? as usize;
+            let mut postings = Vec::with_capacity(len.min(s.remaining() / 8));
+            let mut last: Option<Posting> = None;
+            for _ in 0..len {
+                let path = s.get_u32("posting path")? as usize;
+                let owner = s.get_u32("posting owner")? as usize;
+                if path >= paths || owner >= n {
+                    return Err(SnapshotError::Corrupt {
+                        context: "posting out of range",
+                    });
+                }
+                let posting = Posting {
+                    path: PathId::from_index(path),
+                    owner: Oid::from_index(owner),
+                };
+                if last.is_some_and(|prev| prev >= posting) {
+                    return Err(SnapshotError::Corrupt {
+                        context: "posting list not sorted/deduplicated",
+                    });
+                }
+                last = Some(posting);
+                postings.push(posting);
+            }
+            if postings.is_empty() {
+                return Err(SnapshotError::Corrupt {
+                    context: "empty posting list",
+                });
+            }
+            total += postings.len();
+            if map.insert(token.into(), postings).is_some() {
+                return Err(SnapshotError::Corrupt {
+                    context: "duplicate token",
+                });
+            }
+        }
+        Ok(InvertedIndex {
+            map,
+            postings: total,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ncq_xml::parse;
+
+    fn store() -> MonetDb {
+        MonetDb::from_document(
+            &parse(
+                r#"<bib>
+                     <article key="BB99"><author>Ben Bit</author>
+                       <title>How to Hack</title><year>1999</year></article>
+                     <article key="BK99"><author>Bob Byte</author>
+                       <title>Hacking &amp; RSI</title><year>1999</year></article>
+                   </bib>"#,
+            )
+            .unwrap(),
+        )
+    }
+
+    fn round_trip(store: &MonetDb, idx: &InvertedIndex) -> InvertedIndex {
+        let mut w = SnapshotWriter::new();
+        idx.encode_snapshot(&mut w);
+        InvertedIndex::decode_snapshot(&SnapshotReader::from_bytes(w.to_bytes()).unwrap(), store)
+            .unwrap()
+    }
+
+    #[test]
+    fn round_trip_preserves_every_posting_list() {
+        let store = store();
+        let idx = InvertedIndex::build(&store);
+        let loaded = round_trip(&store, &idx);
+        assert_eq!(loaded.vocabulary_size(), idx.vocabulary_size());
+        assert_eq!(loaded.posting_count(), idx.posting_count());
+        for token in idx.vocabulary() {
+            assert_eq!(loaded.postings(token), idx.postings(token), "{token}");
+        }
+    }
+
+    #[test]
+    fn encoding_is_deterministic_despite_the_hash_map() {
+        let store = store();
+        let idx = InvertedIndex::build(&store);
+        let bytes = |i: &InvertedIndex| {
+            let mut w = SnapshotWriter::new();
+            i.encode_snapshot(&mut w);
+            w.to_bytes()
+        };
+        // Same index twice, and a rebuilt index (fresh hash seeds).
+        assert_eq!(bytes(&idx), bytes(&idx));
+        assert_eq!(bytes(&idx), bytes(&InvertedIndex::build(&store)));
+        assert_eq!(bytes(&idx), bytes(&round_trip(&store, &idx)));
+    }
+
+    #[test]
+    fn out_of_range_postings_are_rejected() {
+        let store = store();
+        let mut w = SnapshotWriter::new();
+        {
+            let mut s = w.section(section::FULLTEXT);
+            s.put_u32(1);
+            s.put_str("ghost");
+            s.put_u32(1);
+            s.put_u32(0);
+            s.put_u32(u32::MAX); // owner far out of range
+        }
+        let r = SnapshotReader::from_bytes(w.to_bytes()).unwrap();
+        assert!(matches!(
+            InvertedIndex::decode_snapshot(&r, &store),
+            Err(SnapshotError::Corrupt { .. })
+        ));
+    }
+}

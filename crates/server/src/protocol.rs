@@ -6,6 +6,10 @@
 //! MEET term term …​ [WITHIN n]     meet of full-text terms (meet^δ via WITHIN)
 //! SQL select meet(a, b) from …​    the SQL-with-paths dialect
 //! SEARCH term                     full-text hit count
+//! SNAPSHOT SAVE name              persist the serving backend to a snapshot
+//! SNAPSHOT LOAD name              cold-load a snapshot, hot-swap it in
+//!                                 (both gated by ServerConfig::snapshot_dir;
+//!                                 `name` is a bare file inside that dir)
 //! STATS                           service counters incl. admission shed rate
 //! PING                            liveness check
 //! QUIT                            end the session
@@ -68,6 +72,10 @@ pub fn serve_lines<R: BufRead, W: Write>(
             }
             "SQL" => write_err(&mut output, "SQL needs a query")?,
             "SEARCH" => write_err(&mut output, "SEARCH needs a term")?,
+            "SNAPSHOT" => match parse_snapshot(rest) {
+                Ok(request) => respond(client, request, &mut output, &mut payload)?,
+                Err(msg) => write_err(&mut output, &msg)?,
+            },
             other => write_err(&mut output, &format!("unknown verb {other:?}"))?,
         }
     }
@@ -109,6 +117,22 @@ fn parse_meet(rest: &str) -> Result<Request, String> {
     Ok(Request::MeetTerms { terms, within })
 }
 
+/// `SNAPSHOT SAVE <name>` / `SNAPSHOT LOAD <name>` — the name is the
+/// rest of the line verbatim (snapshot files may carry spaces); the
+/// server resolves it inside its configured snapshot directory and
+/// refuses anything that is not a bare file name.
+fn parse_snapshot(rest: &str) -> Result<Request, String> {
+    let (mode, path) = match rest.split_once(char::is_whitespace) {
+        Some((m, p)) if !p.trim().is_empty() => (m, p.trim()),
+        _ => return Err("SNAPSHOT needs SAVE|LOAD and a path".to_owned()),
+    };
+    match mode.to_ascii_uppercase().as_str() {
+        "SAVE" => Ok(Request::snapshot_save(path)),
+        "LOAD" => Ok(Request::snapshot_load(path)),
+        other => Err(format!("SNAPSHOT knows SAVE and LOAD, not {other:?}")),
+    }
+}
+
 fn respond<W: Write>(
     client: &Client,
     request: Request,
@@ -126,6 +150,10 @@ fn respond<W: Write>(
         }
         Ok(Response::Count(n)) => {
             payload.push_str(&n.to_string());
+            write_ok(output, payload)
+        }
+        Ok(Response::Info(msg)) => {
+            payload.push_str(&msg);
             write_ok(output, payload)
         }
         Ok(Response::Error(msg)) => write_err(output, &msg),
@@ -250,5 +278,52 @@ mod tests {
     fn bad_within_is_an_error() {
         let out = session("MEET Bit WITHIN abc\n");
         assert!(out.contains("ERR WITHIN needs a number"));
+    }
+
+    #[test]
+    fn snapshot_verbs_round_trip_over_the_wire() {
+        let dir = std::env::temp_dir().join("ncq-protocol-snapshot-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let db = Arc::new(
+            Database::from_xml_str(
+                r#"<bib><article key="BB99"><author>Ben Bit</author>
+                   <year>1999</year></article></bib>"#,
+            )
+            .unwrap(),
+        );
+        let server = Server::start(
+            db,
+            ServerConfig {
+                workers: 1,
+                snapshot_dir: Some(dir.clone()),
+                ..ServerConfig::default()
+            },
+        );
+        let mut out = Vec::new();
+        serve_lines(
+            &server.client(),
+            "SNAPSHOT SAVE wire.ncq\nSNAPSHOT LOAD wire.ncq\nMEET Bit 1999\n\
+             SNAPSHOT SAVE ../escape.ncq\nSNAPSHOT\nSNAPSHOT PRUNE x\nQUIT\n"
+                .as_bytes(),
+            &mut out,
+        )
+        .unwrap();
+        let out = String::from_utf8(out).unwrap();
+        assert!(out.contains("snapshot saved"), "{out}");
+        assert!(out.contains("snapshot loaded"), "{out}");
+        assert!(out.contains("tag=\"article\""), "{out}");
+        assert!(out.contains("bare file name"), "{out}");
+        assert!(out.contains("ERR SNAPSHOT needs SAVE|LOAD and a path"));
+        assert!(out.contains("ERR SNAPSHOT knows SAVE and LOAD"));
+        std::fs::remove_file(dir.join("wire.ncq")).ok();
+    }
+
+    #[test]
+    fn snapshot_verbs_are_disabled_by_default_on_the_wire() {
+        // `session()` uses the default config (no snapshot_dir): the
+        // control verbs must refuse in-band, queries keep working.
+        let out = session("SNAPSHOT SAVE x.ncq\nMEET Bit 1999\nQUIT\n");
+        assert!(out.contains("ERR snapshot verbs are disabled"), "{out}");
+        assert!(out.contains("tag=\"article\""), "{out}");
     }
 }

@@ -11,10 +11,12 @@
 use ncq_core::{AnswerSet, Database, MeetBackend, MeetOptions, MeetStrategy};
 use ncq_fulltext::HitSet;
 use ncq_query::{run_query_opts, QueryConfig, QueryOptions, QueryOutput, RowSet};
+use ncq_store::snapshot::SnapshotError;
 use std::collections::{HashMap, VecDeque};
 use std::fmt;
+use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicUsize, Ordering::Relaxed};
-use std::sync::{mpsc, Arc, Condvar, Mutex};
+use std::sync::{mpsc, Arc, Condvar, Mutex, RwLock};
 use std::thread;
 use std::time::{Duration, Instant};
 
@@ -45,6 +47,13 @@ pub struct ServerConfig {
     /// Distinct terms each worker keeps decoded (FIFO eviction);
     /// `0` disables the cache.
     pub term_cache_capacity: usize,
+    /// Directory the `SNAPSHOT SAVE`/`SNAPSHOT LOAD` control verbs may
+    /// touch. `None` (the default) disables them entirely — the verbs
+    /// ride the same socket as queries, so an exposed server must not
+    /// hand arbitrary-path file writes to every TCP client. When set,
+    /// requests name a bare file inside this directory (no separators,
+    /// no `..`).
+    pub snapshot_dir: Option<PathBuf>,
 }
 
 impl Default for ServerConfig {
@@ -57,6 +66,7 @@ impl Default for ServerConfig {
             strategy: MeetStrategy::Auto,
             max_rows: 10_000,
             term_cache_capacity: 4096,
+            snapshot_dir: None,
         }
     }
 }
@@ -82,6 +92,26 @@ pub enum Request {
         /// The term.
         term: String,
     },
+    /// Persist the serving backend's state as a versioned snapshot
+    /// file (the line protocol's `SNAPSHOT SAVE <name>`). Gated by
+    /// [`ServerConfig::snapshot_dir`]: refused in-band unless the
+    /// directory is configured, and `path` must be a bare file name
+    /// resolved inside it.
+    SnapshotSave {
+        /// Destination file name inside the configured snapshot dir.
+        path: PathBuf,
+    },
+    /// Cold-load a snapshot and hot-swap it in as the serving backend
+    /// (the line protocol's `SNAPSHOT LOAD <name>`). The swap takes
+    /// effect for batches formed after this request completes; worker
+    /// term caches are invalidated. The loaded engine keeps the
+    /// current backend's *shape* ([`MeetBackend::open_snapshot_like`]):
+    /// a sharded deployment reloads sharded at its current K. Gated by
+    /// [`ServerConfig::snapshot_dir`] like the save verb.
+    SnapshotLoad {
+        /// Source file name inside the configured snapshot dir.
+        path: PathBuf,
+    },
 }
 
 impl Request {
@@ -106,6 +136,16 @@ impl Request {
     pub fn search(term: impl Into<String>) -> Request {
         Request::Search { term: term.into() }
     }
+
+    /// A [`Request::SnapshotSave`] to the given file.
+    pub fn snapshot_save(path: impl Into<PathBuf>) -> Request {
+        Request::SnapshotSave { path: path.into() }
+    }
+
+    /// A [`Request::SnapshotLoad`] from the given file.
+    pub fn snapshot_load(path: impl Into<PathBuf>) -> Request {
+        Request::SnapshotLoad { path: path.into() }
+    }
 }
 
 /// What the service answers.
@@ -117,6 +157,9 @@ pub enum Response {
     Rows(RowSet),
     /// Full-text hit count.
     Count(usize),
+    /// A control-plane acknowledgement (snapshot save/load), one line
+    /// of human-readable detail.
+    Info(String),
     /// The query failed (parse error, row-limit explosion, …). The
     /// service stays up; errors are per-request.
     Error(String),
@@ -218,7 +261,15 @@ struct QueueState {
 }
 
 struct Shared {
-    db: Arc<dyn MeetBackend>,
+    /// The serving backend. Behind an `RwLock` so `SNAPSHOT LOAD` can
+    /// hot-swap a cold-started engine in; workers take one read-clone
+    /// per batch (an uncontended read lock + refcount bump), so the
+    /// steady-state cost is nil and a swap never stalls in-flight
+    /// evaluation — old batches finish on the old `Arc`.
+    db: RwLock<Arc<dyn MeetBackend>>,
+    /// Bumped on every backend swap; workers drop their term caches
+    /// when it moves (cached decodes refer to the previous engine).
+    generation: AtomicUsize,
     config: ServerConfig,
     state: Mutex<QueueState>,
     /// Signalled when jobs are queued or shutdown begins.
@@ -226,6 +277,19 @@ struct Shared {
     /// Signalled when queue slots free up or shutdown begins.
     space: Condvar,
     stats: Counters,
+}
+
+impl Shared {
+    /// The current backend (a refcount bump, not a copy) together with
+    /// its generation. Both are read under the read lock — and a swap
+    /// bumps the generation while still holding the write lock — so
+    /// the pair is always consistent: a worker can never observe a new
+    /// engine with an old generation (which would let it serve
+    /// un-invalidated term-cache decodes from the previous corpus).
+    fn backend(&self) -> (Arc<dyn MeetBackend>, usize) {
+        let guard = self.db.read().expect("backend lock");
+        (Arc::clone(&guard), self.generation.load(Relaxed))
+    }
 }
 
 /// The running service. Dropping (or [`Server::shutdown`]) drains the
@@ -260,7 +324,8 @@ impl Server {
             config.workers
         };
         let shared = Arc::new(Shared {
-            db,
+            db: RwLock::new(db),
+            generation: AtomicUsize::new(0),
             config,
             state: Mutex::new(QueueState {
                 queue: VecDeque::new(),
@@ -280,6 +345,18 @@ impl Server {
             })
             .collect();
         Server { shared, workers }
+    }
+
+    /// Cold-start the service from a snapshot file: the single-process
+    /// [`Database`] is loaded (meet index, stats and postings arrive
+    /// pre-computed — no parse, no O(n log n) preprocess) and the
+    /// worker pool spun up over it.
+    pub fn open_snapshot(
+        path: impl AsRef<Path>,
+        config: ServerConfig,
+    ) -> Result<Server, SnapshotError> {
+        let db = Arc::new(Database::open_snapshot(path)?);
+        Ok(Server::start(db, config))
     }
 
     /// A new client handle.
@@ -419,10 +496,15 @@ impl TermCache {
         }
     }
 
-    fn get_or_decode(&mut self, shared: &Shared, term: &str) -> Arc<HitSet> {
+    fn get_or_decode(
+        &mut self,
+        shared: &Shared,
+        db: &Arc<dyn MeetBackend>,
+        term: &str,
+    ) -> Arc<HitSet> {
         if self.capacity == 0 {
             shared.stats.term_decodes.fetch_add(1, Relaxed);
-            return Arc::new(shared.db.search(term));
+            return Arc::new(db.search(term));
         }
         if let Some(hits) = self.map.get(term) {
             shared.stats.term_cache_hits.fetch_add(1, Relaxed);
@@ -434,10 +516,16 @@ impl TermCache {
                 self.map.remove(&oldest);
             }
         }
-        let hits = Arc::new(shared.db.search(term));
+        let hits = Arc::new(db.search(term));
         self.map.insert(term.to_owned(), Arc::clone(&hits));
         self.order.push_back(term.to_owned());
         hits
+    }
+
+    /// Drop every cached decode (the backend was swapped).
+    fn invalidate(&mut self) {
+        self.map.clear();
+        self.order.clear();
     }
 }
 
@@ -451,7 +539,18 @@ struct Scratch {
 fn worker_loop(shared: &Shared) {
     let mut cache = TermCache::new(shared.config.term_cache_capacity);
     let mut scratch = Scratch::default();
+    let mut seen_generation = shared.generation.load(Relaxed);
     while let Some(mut batch) = next_batch(shared) {
+        // One backend per batch: a concurrent SNAPSHOT LOAD swaps the
+        // engine for *subsequent* batches; cached term decodes from the
+        // old engine are dropped when the generation moves. Backend and
+        // generation are read as one consistent pair (see
+        // [`Shared::backend`]).
+        let (db, generation) = shared.backend();
+        if generation != seen_generation {
+            cache.invalidate();
+            seen_generation = generation;
+        }
         shared.stats.batches.fetch_add(1, Relaxed);
         shared.stats.max_batch.fetch_max(batch.len(), Relaxed);
         for job in batch.drain(..) {
@@ -459,7 +558,7 @@ fn worker_loop(shared: &Shared) {
             // (in-band) and leave the worker serving — otherwise queued
             // clients would block in recv() forever once the pool died.
             let response = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-                execute(shared, &mut cache, &mut scratch, &job.request)
+                execute(shared, &db, &mut cache, &mut scratch, &job.request)
             }))
             .unwrap_or_else(|_| {
                 scratch.inputs.clear();
@@ -529,6 +628,7 @@ fn next_batch(shared: &Shared) -> Option<Vec<Job>> {
 
 fn execute(
     shared: &Shared,
+    db: &Arc<dyn MeetBackend>,
     cache: &mut TermCache,
     scratch: &mut Scratch,
     request: &Request,
@@ -537,7 +637,7 @@ fn execute(
         Request::MeetTerms { terms, within } => {
             scratch.inputs.clear();
             for term in terms {
-                scratch.inputs.push(cache.get_or_decode(shared, term));
+                scratch.inputs.push(cache.get_or_decode(shared, db, term));
             }
             let options = MeetOptions {
                 max_distance: *within,
@@ -545,8 +645,8 @@ fn execute(
                 ..MeetOptions::default()
             };
             let input_refs: Vec<&HitSet> = scratch.inputs.iter().map(Arc::as_ref).collect();
-            let meets = shared.db.meet_hit_groups(&input_refs, &options);
-            Response::Answers(AnswerSet::from_meets(shared.db.store(), meets))
+            let meets = db.meet_hit_groups(&input_refs, &options);
+            Response::Answers(AnswerSet::from_meets(db.store(), meets))
         }
         Request::Sql { src } => {
             let options = QueryOptions {
@@ -555,13 +655,72 @@ fn execute(
                 },
                 strategy: shared.config.strategy,
             };
-            match run_query_opts(&*shared.db, src, &options) {
+            match run_query_opts(&**db, src, &options) {
                 Ok(QueryOutput::Answers(a)) => Response::Answers(a),
                 Ok(QueryOutput::Rows(r)) => Response::Rows(r),
                 Err(e) => Response::Error(e.to_string()),
             }
         }
-        Request::Search { term } => Response::Count(cache.get_or_decode(shared, term).len()),
+        Request::Search { term } => Response::Count(cache.get_or_decode(shared, db, term).len()),
+        Request::SnapshotSave { path } => match resolve_snapshot_path(&shared.config, path) {
+            Ok(full) => match db.save_snapshot(&full) {
+                Ok(()) => Response::Info(format!(
+                    "snapshot saved: {} objects -> {}",
+                    db.store().node_count(),
+                    full.display()
+                )),
+                Err(e) => Response::Error(e.to_string()),
+            },
+            Err(msg) => Response::Error(msg),
+        },
+        Request::SnapshotLoad { path } => match resolve_snapshot_path(&shared.config, path) {
+            // Same-shape reload: a sharded backend re-shards at its
+            // current K, a plain Database loads a plain Database.
+            Ok(full) => match db.open_snapshot_like(&full) {
+                Ok(fresh) => {
+                    let objects = fresh.store().node_count();
+                    {
+                        // Bump the generation while still holding the
+                        // write lock: readers take (backend, generation)
+                        // under the read lock, so they can never pair
+                        // the new engine with the old generation (stale
+                        // term-cache decodes) or vice versa.
+                        let mut guard = shared.db.write().expect("backend lock");
+                        *guard = fresh;
+                        shared.generation.fetch_add(1, Relaxed);
+                    }
+                    Response::Info(format!(
+                        "snapshot loaded: {} objects <- {} (takes effect for subsequent batches)",
+                        objects,
+                        full.display()
+                    ))
+                }
+                Err(e) => Response::Error(e.to_string()),
+            },
+            Err(msg) => Response::Error(msg),
+        },
+    }
+}
+
+/// Resolve a snapshot verb's file argument against the configured
+/// snapshot directory. The verbs are network-reachable, so this is the
+/// security gate: disabled unless [`ServerConfig::snapshot_dir`] is
+/// set, and the argument must be a single bare file name (no path
+/// separators, no `..`, nothing absolute) so a client can never direct
+/// writes or reads outside the operator-chosen directory.
+fn resolve_snapshot_path(config: &ServerConfig, requested: &Path) -> Result<PathBuf, String> {
+    let Some(dir) = &config.snapshot_dir else {
+        return Err(
+            "snapshot verbs are disabled (ServerConfig::snapshot_dir is not set)".to_owned(),
+        );
+    };
+    let mut components = requested.components();
+    match (components.next(), components.next()) {
+        (Some(std::path::Component::Normal(name)), None) => Ok(dir.join(name)),
+        _ => Err(format!(
+            "snapshot name {:?} must be a bare file name inside the snapshot dir",
+            requested.display()
+        )),
     }
 }
 
@@ -634,6 +793,97 @@ mod tests {
     }
 
     #[test]
+    fn snapshot_save_load_hot_swaps_the_backend() {
+        let dir = std::env::temp_dir().join("ncq-server-snapshot-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("figure1.ncq");
+
+        let s = server(ServerConfig {
+            workers: 2,
+            snapshot_dir: Some(dir.clone()),
+            ..ServerConfig::default()
+        });
+        let client = s.client();
+        match client
+            .request(Request::snapshot_save("figure1.ncq"))
+            .unwrap()
+        {
+            Response::Info(msg) => assert!(msg.contains("snapshot saved"), "{msg}"),
+            other => panic!("unexpected {other:?}"),
+        }
+
+        // Cold-start an independent server straight from the file.
+        let cold = Server::open_snapshot(
+            &path,
+            ServerConfig {
+                workers: 1,
+                ..ServerConfig::default()
+            },
+        )
+        .unwrap();
+        assert_eq!(
+            cold.client().meet_terms(["Bit", "1999"]).unwrap().tags(),
+            vec!["article"]
+        );
+
+        // Hot-swap the running server onto the snapshot; the service
+        // keeps answering (same corpus, so same answers) and term
+        // caches refresh rather than serving stale decodes.
+        assert_eq!(client.meet_terms(["Bit", "1999"]).unwrap().len(), 1);
+        match client
+            .request(Request::snapshot_load("figure1.ncq"))
+            .unwrap()
+        {
+            Response::Info(msg) => assert!(msg.contains("snapshot loaded"), "{msg}"),
+            other => panic!("unexpected {other:?}"),
+        }
+        assert_eq!(
+            client.meet_terms(["Bit", "1999"]).unwrap().tags(),
+            vec!["article"]
+        );
+
+        // A load failure is an in-band error; service stays up.
+        match client
+            .request(Request::snapshot_load("absent.ncq"))
+            .unwrap()
+        {
+            Response::Error(msg) => assert!(msg.contains("io error"), "{msg}"),
+            other => panic!("unexpected {other:?}"),
+        }
+        assert_eq!(client.meet_terms(["Bob", "Byte"]).unwrap().len(), 1);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn snapshot_verbs_are_gated_by_the_configured_directory() {
+        // Default config: verbs disabled outright.
+        let s = server(ServerConfig {
+            workers: 1,
+            ..ServerConfig::default()
+        });
+        match s.client().request(Request::snapshot_save("x.ncq")).unwrap() {
+            Response::Error(msg) => assert!(msg.contains("disabled"), "{msg}"),
+            other => panic!("unexpected {other:?}"),
+        }
+
+        // Configured dir: traversal and absolute paths are refused.
+        let dir = std::env::temp_dir().join("ncq-server-snapshot-gate");
+        std::fs::create_dir_all(&dir).unwrap();
+        let s = server(ServerConfig {
+            workers: 1,
+            snapshot_dir: Some(dir),
+            ..ServerConfig::default()
+        });
+        let client = s.client();
+        for bad in ["../escape.ncq", "/etc/passwd", "nested/dir.ncq", ".."] {
+            match client.request(Request::snapshot_save(bad)).unwrap() {
+                Response::Error(msg) => assert!(msg.contains("bare file name"), "{bad}: {msg}"),
+                other => panic!("{bad}: unexpected {other:?}"),
+            }
+        }
+    }
+
+    #[test]
     fn query_errors_are_responses_not_crashes() {
         let s = server(ServerConfig {
             workers: 1,
@@ -687,9 +937,10 @@ mod tests {
         // pre-loaded while the worker is held busy by a slow batch
         // window. Simplest deterministic variant: don't start workers at
         // all — capacity is exceeded by the second unserved submit.
-        let db = Arc::new(Database::from_xml_str(FIGURE1).unwrap());
+        let db: Arc<dyn MeetBackend> = Arc::new(Database::from_xml_str(FIGURE1).unwrap());
         let shared = Arc::new(Shared {
-            db,
+            db: RwLock::new(db),
+            generation: AtomicUsize::new(0),
             config: ServerConfig {
                 queue_capacity: 1,
                 ..ServerConfig::default()

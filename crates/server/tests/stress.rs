@@ -112,6 +112,11 @@ fn reference(db: &Database, request: &Request) -> Response {
             }
         }
         Request::Search { term } => Response::Count(db.search(term).len()),
+        // The stress mix is query-only; snapshot control requests are
+        // covered by the unit and protocol suites.
+        Request::SnapshotSave { .. } | Request::SnapshotLoad { .. } => {
+            unreachable!("snapshot requests are not part of the stress mix")
+        }
     }
 }
 

@@ -38,6 +38,7 @@
 pub mod partition;
 mod pool;
 pub mod sharded;
+pub mod snapshot;
 
 pub use partition::{PartitionMap, ShardInfo};
 pub use sharded::ShardedDb;

@@ -51,11 +51,16 @@ pub struct ShardInfo {
 /// The K-way partition of one document.
 #[derive(Debug, Clone)]
 pub struct PartitionMap {
-    shards: Vec<ShardInfo>,
+    /// The K the partition was *requested* with (shard_count may be
+    /// smaller for tiny documents). Persisted with the map so a
+    /// snapshot load can tell whether a stored cut matches the K it
+    /// was asked for.
+    pub(crate) requested_k: usize,
+    pub(crate) shards: Vec<ShardInfo>,
     /// Bitset over OIDs: true = spine (replicated) node.
-    spine: Vec<u64>,
-    spine_nodes: usize,
-    total_mass: u64,
+    pub(crate) spine: Vec<u64>,
+    pub(crate) spine_nodes: usize,
+    pub(crate) total_mass: u64,
 }
 
 impl PartitionMap {
@@ -73,6 +78,7 @@ impl PartitionMap {
         let mut spine_nodes = 0usize;
         if k == 1 || n == 1 {
             return PartitionMap {
+                requested_k: k,
                 shards: vec![ShardInfo {
                     roots: vec![db.root()],
                     range: 0..n,
@@ -150,6 +156,7 @@ impl PartitionMap {
         debug_assert!(acc.is_empty());
 
         PartitionMap {
+            requested_k: k,
             shards,
             spine,
             spine_nodes,
@@ -183,6 +190,11 @@ impl PartitionMap {
     /// decompose into K non-empty parts).
     pub fn shard_count(&self) -> usize {
         self.shards.len()
+    }
+
+    /// The K the partition was requested with.
+    pub fn requested_k(&self) -> usize {
+        self.requested_k
     }
 
     /// The shards, in preorder of their covering intervals.

@@ -110,16 +110,32 @@ impl ShardedDb {
     /// server also fronting the single engine) costs nothing — the
     /// store and index are never copied.
     pub fn new(db: impl Into<Arc<Database>>, k: usize) -> ShardedDb {
-        let cores = std::thread::available_parallelism().map_or(1, |n| n.get());
-        ShardedDb::with_workers(db, k, cores.min(k.max(1)))
+        ShardedDb::with_workers(db, k, default_workers(k))
     }
 
     /// [`ShardedDb::new`] with an explicit worker count.
     pub fn with_workers(db: impl Into<Arc<Database>>, k: usize, workers: usize) -> ShardedDb {
         let db: Arc<Database> = db.into();
+        // `with_partition` forces the meet index before any scatter
+        // task can race the build; `PartitionMap::build` reads it too.
+        let partition = PartitionMap::build(db.store(), k);
+        ShardedDb::with_partition(db, partition, workers)
+    }
+
+    /// Assemble the sharded layer around an existing partition map —
+    /// the path a snapshot load takes (the stored cut is reused instead
+    /// of re-running the chunk decomposition). Per-shard restricted
+    /// postings and the spine slices are derived from the map here
+    /// either way, so a loaded layout is indistinguishable from a
+    /// freshly built one.
+    pub fn with_partition(
+        db: impl Into<Arc<Database>>,
+        partition: PartitionMap,
+        workers: usize,
+    ) -> ShardedDb {
+        let db: Arc<Database> = db.into();
         let store = db.store();
         store.meet_index(); // eager: scatter tasks must never race the build
-        let partition = PartitionMap::build(store, k);
         let shards = partition
             .shards()
             .iter()
@@ -657,6 +673,30 @@ impl MeetBackend for ShardedDb {
     fn meet_hit_groups(&self, inputs: &[&HitSet], options: &MeetOptions) -> Vec<Meet> {
         self.meet_hits(inputs, options)
     }
+
+    fn save_snapshot(&self, path: &std::path::Path) -> Result<(), ncq_store::SnapshotError> {
+        ShardedDb::save_snapshot(self, path)
+    }
+
+    fn open_snapshot_like(
+        &self,
+        path: &std::path::Path,
+    ) -> Result<Arc<dyn MeetBackend>, ncq_store::SnapshotError> {
+        // Same shape: re-shard the loaded corpus at this engine's
+        // requested K (the stored cut is reused when it matches).
+        Ok(Arc::new(ShardedDb::open_snapshot(
+            path,
+            self.partition().requested_k(),
+        )?))
+    }
+}
+
+/// Default scatter-pool size for a K-way layout: one worker per shard,
+/// capped by the machine's cores. One policy, shared by
+/// [`ShardedDb::new`] and the snapshot cold-start path.
+pub(crate) fn default_workers(k: usize) -> usize {
+    let cores = std::thread::available_parallelism().map_or(1, |n| n.get());
+    cores.min(k.max(1))
 }
 
 impl std::fmt::Debug for ShardedDb {

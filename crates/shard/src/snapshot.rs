@@ -1,0 +1,312 @@
+//! Snapshot codec for the shard partition map, and the sharded
+//! engine's cold-start entry points.
+//!
+//! A sharded deployment persists one extra section on top of the
+//! store/fulltext sections of [`ncq_core::Database`]: the
+//! [`PartitionMap`] — chunk roots, covering preorder intervals, the
+//! spine bitset and the mass accounting. Everything else a shard needs
+//! (restricted postings, spine slices) is *derived* from the map plus
+//! the global relations, so the section stays tiny while
+//! [`ShardedDb::open_snapshot`] still skips the chunk decomposition
+//! walk entirely.
+//!
+//! Layout of the `PARTITION` section (little-endian, inside the
+//! checksummed container of [`ncq_store::snapshot`]):
+//!
+//! ```text
+//! requested K (u32) · shard count (u32)
+//! per shard:
+//!   chunk roots (u32 count + u32 oids, preorder)
+//!   covering interval start/end (u64, u64)
+//!   owned nodes (u64) · owned mass (u64) · min root depth (u32)
+//! spine bitset (u32 word count + u64 words)
+//! spine node count (u64) · total mass (u64)
+//! ```
+
+use crate::partition::{PartitionMap, ShardInfo};
+use crate::sharded::ShardedDb;
+use ncq_core::Database;
+use ncq_store::snapshot::{section, SnapshotError, SnapshotReader, SnapshotWriter};
+use ncq_store::Oid;
+use std::path::Path;
+use std::sync::Arc;
+
+impl PartitionMap {
+    /// Write the `PARTITION` section.
+    pub fn encode_snapshot(&self, writer: &mut SnapshotWriter) {
+        let mut s = writer.section(section::PARTITION);
+        s.put_u32(self.requested_k as u32);
+        s.put_u32(self.shards.len() as u32);
+        for shard in &self.shards {
+            s.put_u32_col(shard.roots.iter().map(|o| o.index() as u32));
+            s.put_u64(shard.range.start as u64);
+            s.put_u64(shard.range.end as u64);
+            s.put_u64(shard.nodes as u64);
+            s.put_u64(shard.mass);
+            s.put_u32(shard.min_root_depth as u32);
+        }
+        s.put_u64_col(self.spine.iter().copied());
+        s.put_u64(self.spine_nodes as u64);
+        s.put_u64(self.total_mass);
+    }
+
+    /// Read the `PARTITION` section back, validating the structural
+    /// invariants the executors build on (non-empty shards, ascending
+    /// disjoint covering intervals, spine bitset sized to the
+    /// instance).
+    pub fn decode_snapshot(
+        reader: &SnapshotReader,
+        node_count: usize,
+    ) -> Result<PartitionMap, SnapshotError> {
+        let mut s = reader.section(section::PARTITION)?;
+        let requested_k = s.get_u32("partition requested k")? as usize;
+        let shard_count = s.get_u32("partition shard count")? as usize;
+        if requested_k == 0 || shard_count == 0 || shard_count > requested_k {
+            return Err(SnapshotError::Corrupt {
+                context: "partition shard counts inconsistent",
+            });
+        }
+        // Clamped: a shard entry spans ≥ 40 payload bytes, so an
+        // inconsistent count fails typed instead of aborting on a
+        // multi-gigabyte pre-allocation.
+        let mut shards = Vec::with_capacity(shard_count.min(s.remaining() / 40));
+        let mut prev_end = 0usize;
+        for _ in 0..shard_count {
+            let roots_raw = s.get_u32_col("partition chunk roots")?;
+            let start = s.get_u64("partition range start")? as usize;
+            let end = s.get_u64("partition range end")? as usize;
+            let nodes = s.get_u64("partition shard nodes")? as usize;
+            let mass = s.get_u64("partition shard mass")?;
+            let min_root_depth = s.get_u32("partition min root depth")? as usize;
+            if roots_raw.is_empty()
+                || start < prev_end
+                || end <= start
+                || end > node_count
+                || roots_raw.first().is_some_and(|&r| r as usize != start)
+                || roots_raw
+                    .iter()
+                    .any(|&r| (r as usize) < start || r as usize >= end)
+                || roots_raw.windows(2).any(|w| w[0] >= w[1])
+                || nodes > end - start
+            {
+                return Err(SnapshotError::Corrupt {
+                    context: "partition shard interval invalid",
+                });
+            }
+            prev_end = end;
+            shards.push(ShardInfo {
+                roots: roots_raw
+                    .iter()
+                    .map(|&r| Oid::from_index(r as usize))
+                    .collect(),
+                range: start..end,
+                nodes,
+                mass,
+                min_root_depth,
+            });
+        }
+        let spine = s.get_u64_col("partition spine bitset")?;
+        let spine_nodes = s.get_u64("partition spine count")? as usize;
+        let total_mass = s.get_u64("partition total mass")?;
+        if spine.len() != node_count.div_ceil(64)
+            || spine_nodes != spine.iter().map(|w| w.count_ones() as usize).sum::<usize>()
+        {
+            return Err(SnapshotError::Corrupt {
+                context: "partition spine bitset inconsistent",
+            });
+        }
+        // Coverage: every oid outside the covering intervals must be a
+        // spine node. `shard_of` clamps its interval search, so an oid
+        // in an unnoticed gap would be silently attributed to a shard
+        // that does not own it — this must be a typed error instead.
+        let is_spine = |o: usize| spine[o / 64] >> (o % 64) & 1 == 1;
+        let mut cursor = 0usize;
+        for shard in &shards {
+            if (cursor..shard.range.start).any(|o| !is_spine(o)) {
+                return Err(SnapshotError::Corrupt {
+                    context: "partition leaves a non-spine object uncovered",
+                });
+            }
+            cursor = shard.range.end;
+        }
+        if (cursor..node_count).any(|o| !is_spine(o)) {
+            return Err(SnapshotError::Corrupt {
+                context: "partition leaves a non-spine object uncovered",
+            });
+        }
+        Ok(PartitionMap {
+            requested_k,
+            shards,
+            spine,
+            spine_nodes,
+            total_mass,
+        })
+    }
+}
+
+impl ShardedDb {
+    /// Persist the sharded engine: the database sections plus the
+    /// partition map. Restricted postings are not written — they are
+    /// re-derived from the map at load (a linear filter), keeping the
+    /// file identical to the single-engine snapshot plus one small
+    /// section, and keeping saves from any engine byte-deterministic.
+    pub fn save_snapshot(&self, path: impl AsRef<Path>) -> Result<(), SnapshotError> {
+        let mut writer = self.database().encode_snapshot();
+        self.partition().encode_snapshot(&mut writer);
+        writer.write_to(path.as_ref())
+    }
+
+    /// Cold-start a sharded engine from a snapshot. When the snapshot
+    /// carries a partition map built for the same requested `k`, the
+    /// stored cut is reused; otherwise (different `k`, or a snapshot
+    /// saved from a single engine) the partition is rebuilt from the
+    /// loaded stats — still without any parse or index preprocess,
+    /// since the meet index and mass prefix sums arrive pre-computed.
+    pub fn open_snapshot(path: impl AsRef<Path>, k: usize) -> Result<ShardedDb, SnapshotError> {
+        let reader = SnapshotReader::open(path.as_ref())?;
+        let db = Arc::new(Database::decode_snapshot(&reader)?);
+        let workers = crate::sharded::default_workers(k);
+        if reader.has_section(section::PARTITION) {
+            let partition = PartitionMap::decode_snapshot(&reader, db.store().node_count())?;
+            if partition.requested_k() == k {
+                return Ok(ShardedDb::with_partition(db, partition, workers));
+            }
+        }
+        Ok(ShardedDb::with_workers(db, k, workers))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ncq_xml::parse;
+
+    fn wide_xml(sections: usize, leaves: usize) -> String {
+        let mut xml = String::from("<r>");
+        for s in 0..sections {
+            xml.push_str("<sec>");
+            for l in 0..leaves {
+                xml.push_str(&format!("<p>text {s} {l}</p>"));
+            }
+            xml.push_str("</sec>");
+        }
+        xml.push_str("</r>");
+        xml
+    }
+
+    fn db() -> Database {
+        Database::from_document(&parse(&wide_xml(12, 6)).unwrap())
+    }
+
+    #[test]
+    fn partition_map_round_trips_exactly() {
+        let db = db();
+        let map = PartitionMap::build(db.store(), 4);
+        let mut w = db.encode_snapshot();
+        map.encode_snapshot(&mut w);
+        let r = SnapshotReader::from_bytes(w.to_bytes()).unwrap();
+        let loaded = PartitionMap::decode_snapshot(&r, db.store().node_count()).unwrap();
+        assert_eq!(loaded.requested_k(), 4);
+        assert_eq!(loaded.shard_count(), map.shard_count());
+        assert_eq!(loaded.spine_len(), map.spine_len());
+        assert_eq!(loaded.total_mass(), map.total_mass());
+        for (a, b) in loaded.shards().iter().zip(map.shards()) {
+            assert_eq!(a.roots, b.roots);
+            assert_eq!(a.range, b.range);
+            assert_eq!(a.nodes, b.nodes);
+            assert_eq!(a.mass, b.mass);
+            assert_eq!(a.min_root_depth, b.min_root_depth);
+        }
+        for o in db.store().iter_oids() {
+            assert_eq!(loaded.is_spine(o), map.is_spine(o));
+            assert_eq!(loaded.shard_of(o), map.shard_of(o));
+        }
+    }
+
+    #[test]
+    fn sharded_snapshot_cold_start_matches_the_live_engine() {
+        let dir = std::env::temp_dir().join("ncq-snapshot-shard-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("wide.ncq");
+
+        let db = db();
+        let sharded = ShardedDb::new(db.clone(), 4);
+        sharded.save_snapshot(&path).unwrap();
+
+        // Same K: the stored cut is reused.
+        let loaded = ShardedDb::open_snapshot(&path, 4).unwrap();
+        assert_eq!(loaded.shard_count(), sharded.shard_count());
+        assert_eq!(
+            loaded.partition().spine_len(),
+            sharded.partition().spine_len()
+        );
+        let a = sharded.meet_terms(&["text", "3"]).unwrap();
+        let b = loaded.meet_terms(&["text", "3"]).unwrap();
+        assert_eq!(a.to_detailed_xml(), b.to_detailed_xml());
+        // And both agree with the unsharded engine.
+        let c = db.meet_terms(&["text", "3"]).unwrap();
+        assert_eq!(a.to_detailed_xml(), c.to_detailed_xml());
+
+        // Different K: the partition is rebuilt, answers unchanged.
+        let rek = ShardedDb::open_snapshot(&path, 2).unwrap();
+        assert_eq!(rek.partition().requested_k(), 2);
+        assert_eq!(
+            rek.meet_terms(&["text", "3"]).unwrap().to_detailed_xml(),
+            a.to_detailed_xml()
+        );
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn coverage_gaps_over_non_spine_objects_are_typed() {
+        // Hand-build a PARTITION section whose two shards leave oids
+        // 5..10 uncovered with an empty spine: `shard_of` would clamp
+        // such an oid into the wrong shard, so decode must refuse.
+        let node_count = 15usize;
+        let mut w = SnapshotWriter::new();
+        {
+            let mut s = w.section(section::PARTITION);
+            s.put_u32(2); // requested k
+            s.put_u32(2); // shard count
+            for (start, end) in [(0u64, 5u64), (10, 15)] {
+                s.put_u32_col(std::iter::once(start as u32)); // roots
+                s.put_u64(start);
+                s.put_u64(end);
+                s.put_u64(end - start); // nodes
+                s.put_u64(end - start); // mass
+                s.put_u32(1); // min root depth
+            }
+            s.put_u64_col(std::iter::once(0u64)); // empty spine bitset
+            s.put_u64(0); // spine nodes
+            s.put_u64(15); // total mass
+        }
+        let r = SnapshotReader::from_bytes(w.to_bytes()).unwrap();
+        assert!(matches!(
+            PartitionMap::decode_snapshot(&r, node_count),
+            Err(SnapshotError::Corrupt {
+                context: "partition leaves a non-spine object uncovered"
+            })
+        ));
+    }
+
+    #[test]
+    fn truncated_partition_section_is_typed() {
+        let db = db();
+        let map = PartitionMap::build(db.store(), 4);
+        let mut w = SnapshotWriter::new();
+        map.encode_snapshot(&mut w);
+        let bytes = w.to_bytes();
+        // Chop the payload tail and re-frame: the checksum must catch it.
+        for cut in 1..64 {
+            let mut corrupt = bytes.clone();
+            corrupt.truncate(bytes.len() - cut);
+            assert!(SnapshotReader::from_bytes(corrupt).is_err());
+        }
+        // A wrong node count is a Corrupt, not a panic.
+        let r = SnapshotReader::from_bytes(bytes).unwrap();
+        assert!(matches!(
+            PartitionMap::decode_snapshot(&r, db.store().node_count() / 2),
+            Err(SnapshotError::Corrupt { .. })
+        ));
+    }
+}

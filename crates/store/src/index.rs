@@ -61,15 +61,18 @@ use crate::path::PathId;
 #[derive(Debug, Clone)]
 pub struct MeetIndex {
     /// Tree depth per oid (copied out of the path summary for locality).
-    depth: Vec<u32>,
+    /// `pub(crate)` fields: the snapshot codec persists the four source
+    /// arrays (`depth`, `subtree_end`, `tour`, `path_oids`) and rebuilds
+    /// the derived RMQ tables with [`MeetIndex::assemble`].
+    pub(crate) depth: Vec<u32>,
     /// Exclusive end of the preorder interval per oid: the subtree of `o`
     /// is exactly the OID range `o.index()..subtree_end[o.index()]`.
-    subtree_end: Vec<u32>,
+    pub(crate) subtree_end: Vec<u32>,
     /// `(first_visit << 32) | depth` per oid: one load per query
     /// endpoint yields both the tour position and the depth.
     visit_depth: Vec<u64>,
     /// The Euler tour: `2n − 1` oid values.
-    tour: Vec<u32>,
+    pub(crate) tour: Vec<u32>,
     /// `depth[tour[i]]`, materialized so in-block scans read contiguous
     /// memory instead of chasing `tour` → `depth`.
     tour_depth: Vec<u32>,
@@ -88,7 +91,7 @@ pub struct MeetIndex {
     /// Number of 32-entry tour blocks.
     num_blocks: usize,
     /// OIDs per path, in document order.
-    path_oids: Vec<Vec<Oid>>,
+    pub(crate) path_oids: Vec<Vec<Oid>>,
 }
 
 /// Tour block size: 32 entries = two cache lines of `tour_depth`, and a
@@ -145,18 +148,16 @@ impl MeetIndex {
         }
 
         // Euler tour via an explicit DFS stack of (node, next child slot).
+        // First-visit positions are recovered from the tour by `assemble`.
         let tour_len = 2 * n - 1;
         let mut tour = Vec::with_capacity(tour_len);
-        let mut first_visit = vec![0u32; n];
         let mut stack: Vec<(u32, u32)> = vec![(0, child_start[0])];
-        first_visit[0] = 0;
         tour.push(0u32);
         while let Some(top) = stack.last_mut() {
             let node = top.0 as usize;
             if top.1 < child_start[node + 1] {
                 let child = children[top.1 as usize];
                 top.1 += 1;
-                first_visit[child as usize] = tour.len() as u32;
                 tour.push(child);
                 stack.push((child, child_start[child as usize]));
             } else {
@@ -168,7 +169,69 @@ impl MeetIndex {
         }
         debug_assert_eq!(tour.len(), tour_len);
 
-        let tour_depth: Vec<u32> = tour.iter().map(|&o| depth[o as usize]).collect();
+        MeetIndex::assemble(depth, subtree_end, tour, path_oids)
+            .expect("a freshly built DFS tour always assembles")
+    }
+
+    /// Finish an index from its four source arrays — the preorder
+    /// intervals, the Euler tour and the per-path postings — by
+    /// rebuilding the derived structures (first visits, tour depths,
+    /// block RMQ tables) in linear passes plus the small
+    /// O((n/32)·log(n/32)) sparse-table fill. [`MeetIndex::build`]
+    /// funnels through here after its DFS; the snapshot loader calls it
+    /// directly on the persisted arrays, which is what makes a cold
+    /// start skip the construction DFS entirely. Returns `None` for a
+    /// tour that is not a preorder DFS walk (only reachable from a
+    /// corrupt snapshot — the builder's own tour always qualifies).
+    pub(crate) fn assemble(
+        depth: Vec<u32>,
+        subtree_end: Vec<u32>,
+        tour: Vec<u32>,
+        path_oids: Vec<Vec<Oid>>,
+    ) -> Option<MeetIndex> {
+        let n = depth.len();
+        let tour_len = tour.len();
+        debug_assert_eq!(tour_len, 2 * n - 1);
+
+        // First tour occurrence per oid (one forward pass). OIDs are
+        // preorder and the tour is a DFS walk, so nodes are discovered
+        // in oid order: entry `o` is a first visit exactly when it is
+        // the next undiscovered oid — an append, not a random write.
+        // (The snapshot loader skips this pass: its bit-packed tour
+        // replay emits the first visits directly and enters through
+        // `assemble_with_visits`.)
+        let mut first_visit: Vec<u32> = Vec::with_capacity(n);
+        for (i, &o) in tour.iter().enumerate() {
+            if o as usize == first_visit.len() {
+                first_visit.push(i as u32);
+            }
+        }
+        if first_visit.len() != n {
+            return None;
+        }
+        Some(MeetIndex::assemble_with_visits(
+            depth,
+            subtree_end,
+            tour,
+            first_visit,
+            path_oids,
+        ))
+    }
+
+    /// [`MeetIndex::assemble`] with the first-visit positions already
+    /// known. The caller guarantees `first_visit[o]` is the tour index
+    /// of `o`'s first occurrence and that every oid occurs.
+    pub(crate) fn assemble_with_visits(
+        depth: Vec<u32>,
+        subtree_end: Vec<u32>,
+        tour: Vec<u32>,
+        first_visit: Vec<u32>,
+        path_oids: Vec<Vec<Oid>>,
+    ) -> MeetIndex {
+        let n = depth.len();
+        let tour_len = tour.len();
+        debug_assert_eq!(first_visit.len(), n);
+
         // Note the layout difference: visit_depth is
         // (first_visit << 32) | depth, while the RMQ tables pack
         // (depth << 32) | pos so the u64 order is depth-first.
@@ -176,31 +239,38 @@ impl MeetIndex {
             .map(|i| ((first_visit[i] as u64) << 32) | depth[i] as u64)
             .collect();
 
-        // Per-block prefix/suffix packed argmins.
+        // Per-block pass, fused for locality: gather the block's tour
+        // depths, fold its prefix/suffix packed argmins and seed the
+        // sparse table's level 0 while the 32 entries are cache-hot.
+        // The big arrays are appended to (prefix order) or staged in a
+        // block-sized scratch (suffix order) so nothing is zero-filled
+        // only to be overwritten.
         let num_blocks = tour_len.div_ceil(BLOCK);
-        let mut prefix_min = vec![0u64; tour_len];
-        let mut suffix_min = vec![0u64; tour_len];
-        for b in 0..num_blocks {
+        let levels = usize::BITS as usize - (num_blocks.leading_zeros() as usize);
+        let mut tour_depth: Vec<u32> = Vec::with_capacity(tour_len);
+        let mut prefix_min: Vec<u64> = Vec::with_capacity(tour_len);
+        let mut suffix_min: Vec<u64> = Vec::with_capacity(tour_len);
+        let mut block_table = vec![0u64; levels * num_blocks];
+        let mut scratch = [0u64; BLOCK];
+        for (b, level0) in block_table.iter_mut().take(num_blocks).enumerate() {
             let start = b * BLOCK;
             let end = (start + BLOCK).min(tour_len);
-            let mut best = pack(tour_depth[start], start);
-            for i in start..end {
-                best = best.min(pack(tour_depth[i], i));
-                prefix_min[i] = best;
+            tour_depth.extend(tour[start..end].iter().map(|&o| depth[o as usize]));
+            let block = &tour_depth[start..end];
+            let mut best = pack(block[0], start);
+            for (off, &d) in block.iter().enumerate() {
+                best = best.min(pack(d, start + off));
+                prefix_min.push(best);
             }
-            let mut best = pack(tour_depth[end - 1], end - 1);
-            for i in (start..end).rev() {
-                best = best.min(pack(tour_depth[i], i));
-                suffix_min[i] = best;
+            let mut best = pack(block[block.len() - 1], end - 1);
+            for (off, &d) in block.iter().enumerate().rev() {
+                best = best.min(pack(d, start + off));
+                scratch[off] = best;
             }
+            suffix_min.extend_from_slice(&scratch[..block.len()]);
+            *level0 = scratch[0];
         }
-
-        // Sparse table over whole-block minima.
-        let levels = usize::BITS as usize - (num_blocks.leading_zeros() as usize);
-        let mut block_table = vec![0u64; levels * num_blocks];
-        for b in 0..num_blocks {
-            block_table[b] = suffix_min[b * BLOCK];
-        }
+        // Remaining sparse-table levels over whole-block minima.
         for level in 1..levels {
             let half = 1usize << (level - 1);
             let width = 1usize << level;

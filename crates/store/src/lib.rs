@@ -36,6 +36,7 @@ pub mod monet;
 pub mod object;
 pub mod oid;
 pub mod path;
+pub mod snapshot;
 pub mod stats;
 
 pub use index::MeetIndex;
@@ -43,4 +44,8 @@ pub use monet::MonetDb;
 pub use object::ObjectView;
 pub use oid::Oid;
 pub use path::{PathId, PathStep, PathSummary};
+pub use snapshot::{
+    SectionBuf, SectionCursor, SnapshotError, SnapshotReader, SnapshotWriter, SNAPSHOT_MAGIC,
+    SNAPSHOT_VERSION,
+};
 pub use stats::{DepthStats, PartitionStats, StoreStats};

@@ -26,32 +26,35 @@ use std::sync::OnceLock;
 /// A loaded, path-partitioned XML database instance.
 #[derive(Debug, Clone)]
 pub struct MonetDb {
-    symbols: SymbolTable,
-    summary: PathSummary,
+    /// Field visibility is `pub(crate)` so the snapshot codec
+    /// (`crate::snapshot`) can persist and reconstruct the columns
+    /// without an intermediate copy.
+    pub(crate) symbols: SymbolTable,
+    pub(crate) summary: PathSummary,
     /// `σ(o)` per oid.
-    sigma: Vec<PathId>,
+    pub(crate) sigma: Vec<PathId>,
     /// Parent oid per oid; the root maps to itself.
-    parent: Vec<Oid>,
+    pub(crate) parent: Vec<Oid>,
     /// Sibling rank per oid (0-based).
-    rank: Vec<u32>,
+    pub(crate) rank: Vec<u32>,
     /// Edge relations indexed by `PathId`: pairs `(parent(o), o)` with
     /// `σ(o)` = that path. Attribute paths have empty edge relations.
-    edges: Vec<Vec<(Oid, Oid)>>,
+    pub(crate) edges: Vec<Vec<(Oid, Oid)>>,
     /// String relations indexed by `PathId`: pairs `(owner, string)`.
     /// Non-empty only for cdata paths (owner = the cdata node) and
     /// attribute paths (owner = the element carrying the attribute).
-    strings: Vec<Vec<(Oid, Box<str>)>>,
+    pub(crate) strings: Vec<Vec<(Oid, Box<str>)>>,
     /// Original tree node per oid, for object re-assembly.
-    node_of_oid: Vec<NodeId>,
+    pub(crate) node_of_oid: Vec<NodeId>,
     /// Oid per tree node (dense over the arena).
-    oid_of_node: Vec<Oid>,
+    pub(crate) oid_of_node: Vec<Oid>,
     /// Lazily built structural meet index (Euler-tour LCA); the database
     /// is immutable after loading, so the cache never invalidates.
-    meet_index: OnceLock<MeetIndex>,
+    pub(crate) meet_index: OnceLock<MeetIndex>,
     /// Lazily computed node-depth distribution (planner input).
-    depth_stats: OnceLock<DepthStats>,
+    pub(crate) depth_stats: OnceLock<DepthStats>,
     /// Lazily computed per-oid mass prefix sums (partitioner input).
-    partition_stats: OnceLock<PartitionStats>,
+    pub(crate) partition_stats: OnceLock<PartitionStats>,
 }
 
 impl MonetDb {
@@ -72,7 +75,7 @@ impl MonetDb {
             depth_stats: OnceLock::new(),
             partition_stats: OnceLock::new(),
         };
-        db.load(doc);
+        db.bulk_load(doc);
         db
     }
 
@@ -84,7 +87,7 @@ impl MonetDb {
         }
     }
 
-    fn load(&mut self, doc: &Document) {
+    fn bulk_load(&mut self, doc: &Document) {
         // Explicit DFS stack of (node, parent oid, parent path, rank).
         // Children are pushed in reverse so document order pops first.
         let root_sym = doc.tag_symbol(doc.root()).expect("root is an element node");
@@ -347,15 +350,29 @@ impl MonetDb {
     }
 
     // ----- provenance -----
+    //
+    // For databases whose arena ids coincide with document order (every
+    // parsed document, and any snapshot-loaded instance), the maps are
+    // the identity permutation and are stored as *empty* vectors — the
+    // accessors fall back to the identity instead of materializing n
+    // entries twice.
 
     /// The tree node behind an oid.
     pub fn node_of(&self, o: Oid) -> NodeId {
-        self.node_of_oid[o.index()]
+        if self.node_of_oid.is_empty() {
+            NodeId::from_index(o.index())
+        } else {
+            self.node_of_oid[o.index()]
+        }
     }
 
     /// The oid assigned to a tree node.
     pub fn oid_of(&self, n: NodeId) -> Oid {
-        self.oid_of_node[n.index()]
+        if self.oid_of_node.is_empty() {
+            Oid::from_index(n.index())
+        } else {
+            self.oid_of_node[n.index()]
+        }
     }
 
     /// Render the syntax tree in the style of the paper's **Figure 1**:

@@ -1,0 +1,1298 @@
+//! Persistent snapshots: a versioned on-disk layout for the Monet
+//! relations, the structural meet index and the instance statistics.
+//!
+//! # Why
+//!
+//! The meet operator's O(1) fast paths rest on preprocessed state — the
+//! Euler-tour/RMQ [`MeetIndex`], per-path postings, depth and mass
+//! statistics — that the seed pipeline rebuilt on every process start
+//! (parse → Monet transform → index build, O(n log n) and dominated by
+//! XML parsing and tokenization). A snapshot pays that cost **once**:
+//! [`MonetDb::save`] serializes the loaded columns and the finished
+//! index; [`MonetDb::load`] reconstructs the database with bulk
+//! little-endian column reads and linear finishing passes, no DFS, no
+//! re-tokenization. Higher layers stack their own sections on the same
+//! container: `ncq-fulltext` persists the inverted index, `ncq-shard`
+//! the partition map, `ncq-core` ties them together behind
+//! `Database::save_snapshot` / `Database::open_snapshot`.
+//!
+//! # Layout (version 1)
+//!
+//! ```text
+//! offset 0   magic   b"NCQSNAP\0"                      8 bytes
+//!        8   layout version (u32 LE)                   4 bytes
+//!       12   section count  (u32 LE)                   4 bytes
+//!       16   section table: per section                28 bytes each
+//!              id (u32) · offset (u64) · len (u64) · checksum64 (u64)
+//!        …   section payloads, back to back
+//! ```
+//!
+//! Everything is little-endian. Each section's checksum covers its raw
+//! payload bytes; [`SnapshotReader::from_bytes`] verifies every
+//! checksum up front, so a bit flip anywhere surfaces as a typed
+//! [`SnapshotError`] — never a panic and never silently wrong data.
+//! Writers emit sections in a fixed order with sorted interior maps, so
+//! **snapshot bytes are a pure function of the database**: saving twice
+//! yields byte-identical files (the CI `snapshot-compat` job `cmp`s
+//! them).
+//!
+//! # Versioning policy
+//!
+//! `SNAPSHOT_VERSION` names the layout, not the software: any change to
+//! section payload encodings, section semantics or the header must bump
+//! it, and loaders refuse other versions with
+//! [`SnapshotError::UnsupportedVersion`]. A pinned fixture
+//! (`tests/golden/snapshot_v1.bin`) makes a forgotten bump fail loudly
+//! in CI. Adding a **new optional section id** is backward compatible
+//! and needs no bump — readers ignore unknown ids.
+
+use crate::index::MeetIndex;
+use crate::monet::MonetDb;
+use crate::oid::Oid;
+use crate::path::{PathId, PathStep, PathSummary};
+use crate::stats::{DepthStats, PartitionStats};
+use ncq_xml::{NodeId, Symbol, SymbolTable};
+use std::fmt;
+use std::path::Path;
+use std::sync::OnceLock;
+
+/// The 8-byte file magic.
+pub const SNAPSHOT_MAGIC: [u8; 8] = *b"NCQSNAP\0";
+
+/// Current layout version. Bump on any payload or header change.
+pub const SNAPSHOT_VERSION: u32 = 1;
+
+/// Well-known section ids. Unknown ids are ignored by readers, so
+/// higher layers can add sections without touching this crate.
+pub mod section {
+    /// Interned tag/attribute vocabulary (`SymbolTable`).
+    pub const SYMBOLS: u32 = 1;
+    /// The path summary (tree-shaped schema).
+    pub const PATHS: u32 = 2;
+    /// Dense per-oid columns: `σ`, parent, rank, node↔oid provenance.
+    pub const COLUMNS: u32 = 3;
+    /// String relations (cdata text and attribute values) per path.
+    pub const STRINGS: u32 = 4;
+    /// The structural meet index: preorder intervals, Euler tour,
+    /// per-path document-order postings.
+    pub const MEET_INDEX: u32 = 5;
+    /// `DepthStats` + `PartitionStats` (planner / partitioner inputs).
+    pub const STATS: u32 = 6;
+    /// The full-text inverted index (written by `ncq-fulltext`).
+    pub const FULLTEXT: u32 = 7;
+    /// The shard partition map (written by `ncq-shard`).
+    pub const PARTITION: u32 = 8;
+}
+
+/// Typed snapshot failures. Loading never panics on malformed input:
+/// every corruption mode maps to one of these.
+#[derive(Debug)]
+pub enum SnapshotError {
+    /// The underlying file could not be read or written.
+    Io(std::io::Error),
+    /// The file does not start with [`SNAPSHOT_MAGIC`].
+    BadMagic,
+    /// The layout version is not the one this build reads.
+    UnsupportedVersion {
+        /// Version found in the header.
+        found: u32,
+        /// Version this build supports.
+        supported: u32,
+    },
+    /// The file ends before the advertised structure does.
+    Truncated {
+        /// What was being read when the bytes ran out.
+        context: &'static str,
+    },
+    /// A section's payload does not match its table checksum.
+    ChecksumMismatch {
+        /// Section id from [`section`].
+        section: u32,
+    },
+    /// A required section is absent.
+    MissingSection {
+        /// Section id from [`section`].
+        section: u32,
+    },
+    /// A checksum-valid payload decodes to inconsistent data (a writer
+    /// bug or an unbumped layout change — the version pin's domain).
+    Corrupt {
+        /// What failed to validate.
+        context: &'static str,
+    },
+    /// The operation is not supported by this backend/engine.
+    Unsupported {
+        /// What was requested.
+        context: &'static str,
+    },
+}
+
+impl fmt::Display for SnapshotError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SnapshotError::Io(e) => write!(f, "snapshot io error: {e}"),
+            SnapshotError::BadMagic => write!(f, "not a snapshot file (bad magic)"),
+            SnapshotError::UnsupportedVersion { found, supported } => write!(
+                f,
+                "unsupported snapshot layout version {found} (this build reads {supported})"
+            ),
+            SnapshotError::Truncated { context } => {
+                write!(f, "snapshot truncated while reading {context}")
+            }
+            SnapshotError::ChecksumMismatch { section } => {
+                write!(f, "snapshot section {section} failed its checksum")
+            }
+            SnapshotError::MissingSection { section } => {
+                write!(f, "snapshot is missing required section {section}")
+            }
+            SnapshotError::Corrupt { context } => {
+                write!(f, "snapshot payload is corrupt: {context}")
+            }
+            SnapshotError::Unsupported { context } => {
+                write!(f, "snapshot operation unsupported: {context}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for SnapshotError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            SnapshotError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<std::io::Error> for SnapshotError {
+    fn from(e: std::io::Error) -> SnapshotError {
+        SnapshotError::Io(e)
+    }
+}
+
+/// Word-wise multiply–rotate mix (xxHash-flavoured): dependency-free,
+/// processes 8 bytes per step (~GB/s, vs ~50 ms for a byte-serial FNV
+/// over a 28 MB section — cold-start time is the whole point of the
+/// snapshot), and avalanches every flipped bit through the multiplies.
+/// An integrity check against truncation and bit rot, not an
+/// adversarial MAC.
+fn checksum64(bytes: &[u8]) -> u64 {
+    const M: u64 = 0x9E37_79B9_7F4A_7C15;
+    const SEEDS: [u64; 4] = [
+        0xcbf2_9ce4_8422_2325,
+        0x8422_2325_cbf2_9ce4,
+        0x9ce4_8422_2325_cbf2,
+        0x2325_cbf2_9ce4_8422,
+    ];
+    // Four independent lanes over 32-byte strides: the mul→rot→mul
+    // chain is latency-bound, so lane-level ILP roughly quadruples
+    // throughput on one core.
+    let mut lanes = SEEDS;
+    let mut strides = bytes.chunks_exact(32);
+    for s in &mut strides {
+        for (lane, c) in lanes.iter_mut().zip(s.chunks_exact(8)) {
+            let w = u64::from_le_bytes(c.try_into().expect("8 bytes"));
+            *lane ^= w.wrapping_mul(M);
+            *lane = lane.rotate_left(27).wrapping_mul(M);
+        }
+    }
+    let mut h = (bytes.len() as u64).wrapping_mul(M)
+        ^ lanes[0]
+            .wrapping_mul(M)
+            .wrapping_add(lanes[1].rotate_left(17))
+            .wrapping_mul(M)
+            .wrapping_add(lanes[2].rotate_left(31))
+            .wrapping_mul(M)
+            .wrapping_add(lanes[3].rotate_left(47));
+    // Tail: the remaining 0..31 bytes, zero-padded per 8-byte word.
+    let rem = strides.remainder();
+    let mut words = rem.chunks_exact(8);
+    for c in &mut words {
+        let w = u64::from_le_bytes(c.try_into().expect("8 bytes"));
+        h ^= w.wrapping_mul(M);
+        h = h.rotate_left(27).wrapping_mul(M);
+    }
+    let last = words.remainder();
+    if !last.is_empty() {
+        let mut tail = [0u8; 8];
+        tail[..last.len()].copy_from_slice(last);
+        h ^= u64::from_le_bytes(tail).wrapping_mul(M);
+        h = h.rotate_left(27).wrapping_mul(M);
+    }
+    h = h.wrapping_mul(M);
+    h ^ (h >> 29)
+}
+
+// ----- writing -----
+
+/// Accumulates sections in memory, then emits the framed file. Section
+/// order is the writer's call order, which every codec keeps fixed —
+/// part of the byte-determinism contract.
+#[derive(Default)]
+pub struct SnapshotWriter {
+    sections: Vec<(u32, Vec<u8>)>,
+}
+
+/// Append-only little-endian payload buffer for one section.
+pub struct SectionBuf<'a> {
+    buf: &'a mut Vec<u8>,
+}
+
+impl SnapshotWriter {
+    /// An empty snapshot.
+    pub fn new() -> SnapshotWriter {
+        SnapshotWriter::default()
+    }
+
+    /// Start (or panic on a duplicate of) section `id`.
+    pub fn section(&mut self, id: u32) -> SectionBuf<'_> {
+        assert!(
+            self.sections.iter().all(|&(existing, _)| existing != id),
+            "duplicate snapshot section {id}"
+        );
+        self.sections.push((id, Vec::new()));
+        let buf = &mut self.sections.last_mut().expect("just pushed").1;
+        SectionBuf { buf }
+    }
+
+    /// Render the framed snapshot: header, section table, payloads.
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let table_end = 16 + 28 * self.sections.len();
+        let total: usize = table_end + self.sections.iter().map(|(_, b)| b.len()).sum::<usize>();
+        let mut out = Vec::with_capacity(total);
+        out.extend_from_slice(&SNAPSHOT_MAGIC);
+        out.extend_from_slice(&SNAPSHOT_VERSION.to_le_bytes());
+        out.extend_from_slice(&(self.sections.len() as u32).to_le_bytes());
+        let mut offset = table_end as u64;
+        for (id, payload) in &self.sections {
+            out.extend_from_slice(&id.to_le_bytes());
+            out.extend_from_slice(&offset.to_le_bytes());
+            out.extend_from_slice(&(payload.len() as u64).to_le_bytes());
+            out.extend_from_slice(&checksum64(payload).to_le_bytes());
+            offset += payload.len() as u64;
+        }
+        for (_, payload) in &self.sections {
+            out.extend_from_slice(payload);
+        }
+        out
+    }
+
+    /// Write the snapshot to `path` (atomically: a temp file in the
+    /// same directory is renamed into place, so readers never observe a
+    /// half-written snapshot). The temp name is unique per process and
+    /// write, so concurrent saves — even to the same destination — never
+    /// scribble over each other's staging file; the last rename wins.
+    pub fn write_to(&self, path: &Path) -> Result<(), SnapshotError> {
+        static WRITE_SEQ: std::sync::atomic::AtomicU64 = std::sync::atomic::AtomicU64::new(0);
+        let bytes = self.to_bytes();
+        let seq = WRITE_SEQ.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+        let tmp = path.with_extension(format!("tmp-snapshot-{}-{seq}", std::process::id()));
+        std::fs::write(&tmp, &bytes)?;
+        if let Err(e) = std::fs::rename(&tmp, path) {
+            std::fs::remove_file(&tmp).ok();
+            return Err(e.into());
+        }
+        Ok(())
+    }
+}
+
+impl SectionBuf<'_> {
+    /// Append one byte.
+    pub fn put_u8(&mut self, v: u8) {
+        self.buf.push(v);
+    }
+
+    /// Append a `u32`, little-endian.
+    pub fn put_u32(&mut self, v: u32) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    /// Append a `u64`, little-endian.
+    pub fn put_u64(&mut self, v: u64) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    /// Append a length-prefixed UTF-8 string.
+    pub fn put_str(&mut self, s: &str) {
+        self.put_u32(u32::try_from(s.len()).expect("string too long for snapshot"));
+        self.buf.extend_from_slice(s.as_bytes());
+    }
+
+    /// Append a length-prefixed `u32` column as one contiguous LE run —
+    /// the zero-copy-friendly encoding the bulk readers decode with
+    /// `chunks_exact`.
+    pub fn put_u32_col(&mut self, col: impl ExactSizeIterator<Item = u32>) {
+        self.put_u32(u32::try_from(col.len()).expect("column too long for snapshot"));
+        self.buf.reserve(4 * col.len());
+        for v in col {
+            self.buf.extend_from_slice(&v.to_le_bytes());
+        }
+    }
+
+    /// Append a length-prefixed `u64` column as one contiguous LE run.
+    pub fn put_u64_col(&mut self, col: impl ExactSizeIterator<Item = u64>) {
+        self.put_u32(u32::try_from(col.len()).expect("column too long for snapshot"));
+        self.buf.reserve(8 * col.len());
+        for v in col {
+            self.buf.extend_from_slice(&v.to_le_bytes());
+        }
+    }
+}
+
+// ----- reading -----
+
+/// A parsed, checksum-verified snapshot. Owns the raw bytes; section
+/// cursors borrow slices of them (the bulk column decodes are straight
+/// `chunks_exact` runs over the mapped payload).
+pub struct SnapshotReader {
+    data: Vec<u8>,
+    /// `(id, payload range)` in file order.
+    table: Vec<(u32, std::ops::Range<usize>)>,
+}
+
+impl SnapshotReader {
+    /// Read and verify a snapshot file.
+    pub fn open(path: &Path) -> Result<SnapshotReader, SnapshotError> {
+        SnapshotReader::from_bytes(std::fs::read(path)?)
+    }
+
+    /// Parse and verify a snapshot from raw bytes: magic, version,
+    /// table bounds, and **every** section checksum.
+    pub fn from_bytes(data: Vec<u8>) -> Result<SnapshotReader, SnapshotError> {
+        if data.len() < 8 {
+            return Err(SnapshotError::Truncated { context: "magic" });
+        }
+        if data[..8] != SNAPSHOT_MAGIC {
+            return Err(SnapshotError::BadMagic);
+        }
+        if data.len() < 16 {
+            return Err(SnapshotError::Truncated { context: "header" });
+        }
+        let version = u32::from_le_bytes(data[8..12].try_into().expect("4 bytes"));
+        if version != SNAPSHOT_VERSION {
+            return Err(SnapshotError::UnsupportedVersion {
+                found: version,
+                supported: SNAPSHOT_VERSION,
+            });
+        }
+        let count = u32::from_le_bytes(data[12..16].try_into().expect("4 bytes")) as usize;
+        let table_end = 16usize
+            .checked_add(count.checked_mul(28).ok_or(SnapshotError::Corrupt {
+                context: "section count overflows",
+            })?)
+            .ok_or(SnapshotError::Corrupt {
+                context: "section table overflows",
+            })?;
+        if data.len() < table_end {
+            return Err(SnapshotError::Truncated {
+                context: "section table",
+            });
+        }
+        let mut table = Vec::with_capacity(count);
+        for i in 0..count {
+            let at = 16 + 28 * i;
+            let id = u32::from_le_bytes(data[at..at + 4].try_into().expect("4 bytes"));
+            let offset = u64::from_le_bytes(data[at + 4..at + 12].try_into().expect("8 bytes"));
+            let len = u64::from_le_bytes(data[at + 12..at + 20].try_into().expect("8 bytes"));
+            let checksum = u64::from_le_bytes(data[at + 20..at + 28].try_into().expect("8 bytes"));
+            let start = usize::try_from(offset).map_err(|_| SnapshotError::Corrupt {
+                context: "section offset overflows",
+            })?;
+            let end = start
+                .checked_add(usize::try_from(len).map_err(|_| SnapshotError::Corrupt {
+                    context: "section length overflows",
+                })?)
+                .ok_or(SnapshotError::Corrupt {
+                    context: "section range overflows",
+                })?;
+            if start < table_end || end > data.len() {
+                return Err(SnapshotError::Truncated {
+                    context: "section payload",
+                });
+            }
+            if table.iter().any(|&(existing, _)| existing == id) {
+                return Err(SnapshotError::Corrupt {
+                    context: "duplicate section id",
+                });
+            }
+            if checksum64(&data[start..end]) != checksum {
+                return Err(SnapshotError::ChecksumMismatch { section: id });
+            }
+            table.push((id, start..end));
+        }
+        Ok(SnapshotReader { data, table })
+    }
+
+    /// Whether a section is present.
+    pub fn has_section(&self, id: u32) -> bool {
+        self.table.iter().any(|&(existing, _)| existing == id)
+    }
+
+    /// A cursor over a required section's payload.
+    pub fn section(&self, id: u32) -> Result<SectionCursor<'_>, SnapshotError> {
+        let range = self
+            .table
+            .iter()
+            .find(|&&(existing, _)| existing == id)
+            .map(|(_, r)| r.clone())
+            .ok_or(SnapshotError::MissingSection { section: id })?;
+        Ok(SectionCursor {
+            buf: &self.data[range],
+            pos: 0,
+        })
+    }
+}
+
+/// Sequential little-endian reader over one section payload. All reads
+/// are bounds-checked: payload underruns surface as
+/// [`SnapshotError::Corrupt`] (the checksum already passed, so running
+/// out of bytes means the encoder and decoder disagree — exactly what
+/// the version pin exists to catch).
+pub struct SectionCursor<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> SectionCursor<'a> {
+    fn take(&mut self, n: usize, context: &'static str) -> Result<&'a [u8], SnapshotError> {
+        let end = self
+            .pos
+            .checked_add(n)
+            .filter(|&e| e <= self.buf.len())
+            .ok_or(SnapshotError::Corrupt { context })?;
+        let slice = &self.buf[self.pos..end];
+        self.pos = end;
+        Ok(slice)
+    }
+
+    /// Read one byte.
+    pub fn get_u8(&mut self, context: &'static str) -> Result<u8, SnapshotError> {
+        Ok(self.take(1, context)?[0])
+    }
+
+    /// Read a `u32`.
+    pub fn get_u32(&mut self, context: &'static str) -> Result<u32, SnapshotError> {
+        Ok(u32::from_le_bytes(
+            self.take(4, context)?.try_into().expect("4 bytes"),
+        ))
+    }
+
+    /// Read a `u64`.
+    pub fn get_u64(&mut self, context: &'static str) -> Result<u64, SnapshotError> {
+        Ok(u64::from_le_bytes(
+            self.take(8, context)?.try_into().expect("8 bytes"),
+        ))
+    }
+
+    /// Read a length-prefixed UTF-8 string.
+    pub fn get_str(&mut self, context: &'static str) -> Result<&'a str, SnapshotError> {
+        let len = self.get_u32(context)? as usize;
+        let bytes = self.take(len, context)?;
+        std::str::from_utf8(bytes).map_err(|_| SnapshotError::Corrupt { context })
+    }
+
+    /// Read a length-prefixed `u32` column.
+    pub fn get_u32_col(&mut self, context: &'static str) -> Result<Vec<u32>, SnapshotError> {
+        let len = self.get_u32(context)? as usize;
+        let bytes = self.take(4 * len, context)?;
+        Ok(bytes
+            .chunks_exact(4)
+            .map(|c| u32::from_le_bytes(c.try_into().expect("4 bytes")))
+            .collect())
+    }
+
+    /// Read a length-prefixed `u32` column, mapping every element
+    /// through `f` after a `< bound` range check — one pass, one
+    /// allocation (the hot path of the bulk column loads; pass
+    /// `u32::MAX` as `bound` for unconstrained values).
+    pub fn get_u32_col_mapped<T>(
+        &mut self,
+        context: &'static str,
+        bound: u32,
+        f: impl Fn(u32) -> T,
+    ) -> Result<Vec<T>, SnapshotError> {
+        let len = self.get_u32(context)? as usize;
+        let bytes = self.take(4 * len, context)?;
+        let mut out = Vec::with_capacity(len);
+        for c in bytes.chunks_exact(4) {
+            let v = u32::from_le_bytes(c.try_into().expect("4 bytes"));
+            if v >= bound {
+                return Err(SnapshotError::Corrupt { context });
+            }
+            out.push(f(v));
+        }
+        Ok(out)
+    }
+
+    /// Read a length-prefixed `u64` column.
+    pub fn get_u64_col(&mut self, context: &'static str) -> Result<Vec<u64>, SnapshotError> {
+        let len = self.get_u32(context)? as usize;
+        let bytes = self.take(8 * len, context)?;
+        Ok(bytes
+            .chunks_exact(8)
+            .map(|c| u64::from_le_bytes(c.try_into().expect("8 bytes")))
+            .collect())
+    }
+
+    /// Whether the cursor consumed the whole payload.
+    pub fn at_end(&self) -> bool {
+        self.pos == self.buf.len()
+    }
+
+    /// Unconsumed payload bytes. Decoders clamp length-prefix-derived
+    /// pre-allocations with this (`count.min(remaining / min_elem)`):
+    /// a checksum-valid but inconsistent count must surface as a typed
+    /// [`SnapshotError::Corrupt`] when the payload runs out, never as
+    /// an allocator abort from a multi-gigabyte `with_capacity`.
+    pub fn remaining(&self) -> usize {
+        self.buf.len() - self.pos
+    }
+}
+
+// ----- MonetDb + MeetIndex + stats codecs -----
+
+/// Path step encoding tags.
+const STEP_ELEMENT: u8 = 0;
+const STEP_ATTRIBUTE: u8 = 1;
+const STEP_CDATA: u8 = 2;
+
+impl MonetDb {
+    /// Serialize the store into `writer`: symbols, path summary, dense
+    /// columns, string relations, the (eagerly built) meet index and
+    /// the instance statistics. Edge relations are *not* written — they
+    /// are a pure function of the `σ`/parent columns and are rebuilt in
+    /// one linear pass at load, byte-identically.
+    pub fn encode_snapshot(&self, writer: &mut SnapshotWriter) {
+        // SYMBOLS: interning order reproduces ids on replay.
+        let mut s = writer.section(section::SYMBOLS);
+        s.put_u32(self.symbols.len() as u32);
+        for (_, name) in self.symbols.iter() {
+            s.put_str(name);
+        }
+
+        // PATHS: parents-before-children by interning order, so the
+        // loader replays `intern_root`/`intern_child` and gets the same
+        // dense ids back.
+        let mut s = writer.section(section::PATHS);
+        s.put_u32(self.summary.len() as u32);
+        for p in self.summary.iter() {
+            s.put_u32(
+                self.summary
+                    .parent(p)
+                    .map_or(u32::MAX, |q| q.index() as u32),
+            );
+            match self.summary.step(p) {
+                PathStep::Element(sym) => {
+                    s.put_u8(STEP_ELEMENT);
+                    s.put_u32(sym.index() as u32);
+                }
+                PathStep::Attribute(sym) => {
+                    s.put_u8(STEP_ATTRIBUTE);
+                    s.put_u32(sym.index() as u32);
+                }
+                PathStep::Cdata => s.put_u8(STEP_CDATA),
+            }
+        }
+
+        // COLUMNS: the dense per-oid arrays, one contiguous LE run
+        // each. Only `σ` and parent are stored — sibling ranks are
+        // recomputed from the parent column in one linear pass (a
+        // parent's children appear in oid order), and the node↔oid
+        // provenance maps collapse to a single flag byte when they are
+        // the identity permutation (always true for parsed documents,
+        // whose arena ids are assigned in document order).
+        let n = self.sigma.len();
+        let mut s = writer.section(section::COLUMNS);
+        s.put_u32(n as u32);
+        s.put_u32_col(self.sigma.iter().map(|p| p.index() as u32));
+        s.put_u32_col(self.parent.iter().map(|o| o.index() as u32));
+        // Empty provenance vectors already mean "identity" (the
+        // snapshot-loaded representation), so a save → load → save
+        // cycle stays byte-stable.
+        let identity = self
+            .node_of_oid
+            .iter()
+            .enumerate()
+            .all(|(i, nd)| nd.index() == i)
+            && self
+                .oid_of_node
+                .iter()
+                .enumerate()
+                .all(|(i, o)| o.index() == i);
+        s.put_u8(identity as u8);
+        if !identity {
+            s.put_u32_col(self.node_of_oid.iter().map(|n| n.index() as u32));
+            s.put_u32_col(self.oid_of_node.iter().map(|o| o.index() as u32));
+        }
+
+        // STRINGS: per path (including empty relations, so the loader
+        // needs no slot bookkeeping), `(owner, string)` in load order.
+        let mut s = writer.section(section::STRINGS);
+        s.put_u32(self.strings.len() as u32);
+        for rel in &self.strings {
+            s.put_u32(rel.len() as u32);
+            for (owner, text) in rel {
+                s.put_u32(owner.index() as u32);
+                s.put_str(text);
+            }
+        }
+
+        // MEET_INDEX: the Euler tour and the per-path document-order
+        // postings. Because OIDs are preorder and the tour is a DFS
+        // walk, every tour step is either *down* to the next
+        // undiscovered oid or *up* to the current node's parent — one
+        // bit per step (2n − 2 bits ≈ n/4 bytes, vs 4 bytes per tour
+        // entry), packed LSB-first into u64 words. Depths and preorder
+        // intervals are recomputed from the parent column, and the
+        // block RMQ tables are linear-pass reconstructions
+        // (`MeetIndex::assemble`) — the construction DFS never reruns.
+        let index = self.meet_index();
+        let mut s = writer.section(section::MEET_INDEX);
+        let steps = index.tour.len() - 1;
+        s.put_u32(steps as u32);
+        let words = steps.div_ceil(64);
+        let mut packed = vec![0u64; words];
+        for (i, w) in index.tour.windows(2).enumerate() {
+            // Down-steps discover a new (larger) oid; up-steps return
+            // to the (smaller) parent.
+            if w[1] > w[0] {
+                packed[i / 64] |= 1 << (i % 64);
+            }
+        }
+        s.put_u64_col(packed.into_iter());
+        s.put_u32(index.path_oids.len() as u32);
+        for oids in &index.path_oids {
+            s.put_u32_col(oids.iter().map(|o| o.index() as u32));
+        }
+
+        // STATS: the planner and partitioner inputs.
+        let depth_stats = self.depth_stats();
+        let partition_stats = self.partition_stats();
+        let mut s = writer.section(section::STATS);
+        s.put_u64(depth_stats.nodes as u64);
+        s.put_u64(depth_stats.max_depth as u64);
+        s.put_u64(depth_stats.mean_depth.to_bits());
+        s.put_u64(depth_stats.p90_depth as u64);
+        // Per-oid masses, compact: `mass − 1` fits a byte for all but
+        // pathological objects (mass = 1 structural unit + strings(o)),
+        // so the column is ~1 byte/object instead of 8; 0xFF escapes to
+        // a full u64.
+        s.put_u32(partition_stats.len() as u32);
+        for i in 0..partition_stats.len() {
+            let m = partition_stats.mass_of(i) - 1;
+            if m < 0xFF {
+                s.put_u8(m as u8);
+            } else {
+                s.put_u8(0xFF);
+                s.put_u64(m);
+            }
+        }
+    }
+
+    /// Reconstruct a store from a verified snapshot.
+    pub fn decode_snapshot(reader: &SnapshotReader) -> Result<MonetDb, SnapshotError> {
+        // SYMBOLS.
+        let mut s = reader.section(section::SYMBOLS)?;
+        let symbol_count = s.get_u32("symbol count")? as usize;
+        let mut symbols = SymbolTable::new();
+        for _ in 0..symbol_count {
+            symbols.intern(s.get_str("symbol")?);
+        }
+        if symbols.len() != symbol_count {
+            return Err(SnapshotError::Corrupt {
+                context: "duplicate symbols",
+            });
+        }
+
+        // PATHS: replay interning; dense ids must come back unchanged.
+        let mut s = reader.section(section::PATHS)?;
+        let path_count = s.get_u32("path count")? as usize;
+        let mut summary = PathSummary::new();
+        for i in 0..path_count {
+            let parent = s.get_u32("path parent")?;
+            let tag = s.get_u8("path step tag")?;
+            let step = match tag {
+                STEP_ELEMENT | STEP_ATTRIBUTE => {
+                    let sym = s.get_u32("path symbol")? as usize;
+                    if sym >= symbols.len() {
+                        return Err(SnapshotError::Corrupt {
+                            context: "path symbol out of range",
+                        });
+                    }
+                    if tag == STEP_ELEMENT {
+                        PathStep::Element(Symbol::from_index(sym))
+                    } else {
+                        PathStep::Attribute(Symbol::from_index(sym))
+                    }
+                }
+                STEP_CDATA => PathStep::Cdata,
+                _ => {
+                    return Err(SnapshotError::Corrupt {
+                        context: "unknown path step tag",
+                    })
+                }
+            };
+            let id = if parent == u32::MAX {
+                summary.intern_root(step)
+            } else {
+                if parent as usize >= i {
+                    return Err(SnapshotError::Corrupt {
+                        context: "path parent not before child",
+                    });
+                }
+                summary.intern_child(PathId::from_index(parent as usize), step)
+            };
+            if id.index() != i {
+                return Err(SnapshotError::Corrupt {
+                    context: "non-canonical path table",
+                });
+            }
+        }
+
+        // COLUMNS.
+        let mut s = reader.section(section::COLUMNS)?;
+        let n = s.get_u32("object count")? as usize;
+        if n == 0 {
+            return Err(SnapshotError::Corrupt {
+                context: "empty instance (a loaded document has a root)",
+            });
+        }
+        // Unchecked bulk decode + separate vectorizable max scans, then
+        // a one-pass convert; cheaper than branchy per-element checks.
+        let sigma_raw = s.get_u32_col("sigma column")?;
+        let parent_raw = s.get_u32_col("parent column")?;
+        if sigma_raw.len() != n || parent_raw.len() != n {
+            return Err(SnapshotError::Corrupt {
+                context: "column length mismatch",
+            });
+        }
+        if sigma_raw
+            .iter()
+            .max()
+            .is_some_and(|&p| p as usize >= path_count)
+        {
+            return Err(SnapshotError::Corrupt {
+                context: "sigma path out of range",
+            });
+        }
+        let sigma: Vec<PathId> = sigma_raw
+            .iter()
+            .map(|&p| PathId::from_index(p as usize))
+            .collect();
+        drop(sigma_raw);
+        if parent_raw[0] != 0 || (1..n).any(|i| parent_raw[i] as usize >= i) {
+            return Err(SnapshotError::Corrupt {
+                context: "parent column is not preorder",
+            });
+        }
+        let parent: Vec<Oid> = parent_raw
+            .iter()
+            .map(|&o| Oid::from_index(o as usize))
+            .collect();
+        // Sibling ranks: children of any parent appear in oid order, so
+        // one counting pass reproduces `Document::rank` exactly.
+        let mut rank = vec![0u32; n];
+        let mut next_rank = vec![0u32; n];
+        for i in 1..n {
+            let p = parent_raw[i] as usize;
+            rank[i] = next_rank[p];
+            next_rank[p] += 1;
+        }
+        drop(next_rank);
+        // Provenance maps: a flag byte marks the identity permutation
+        // (parsed documents), represented as empty vectors — the
+        // accessors fall back to the identity; explicit columns
+        // otherwise.
+        let (node_of_oid, oid_of_node) = if s.get_u8("provenance flag")? == 1 {
+            (Vec::new(), Vec::new())
+        } else {
+            let nodes: Vec<NodeId> = s.get_u32_col_mapped("node_of_oid column", u32::MAX, |v| {
+                NodeId::from_index(v as usize)
+            })?;
+            let oids: Vec<Oid> = s.get_u32_col_mapped("oid_of_node column", n as u32, |v| {
+                Oid::from_index(v as usize)
+            })?;
+            if nodes.len() != n || oids.len() != n {
+                return Err(SnapshotError::Corrupt {
+                    context: "provenance column length mismatch",
+                });
+            }
+            (nodes, oids)
+        };
+
+        // STRINGS.
+        let mut s = reader.section(section::STRINGS)?;
+        let string_paths = s.get_u32("string relation count")? as usize;
+        if string_paths != path_count {
+            return Err(SnapshotError::Corrupt {
+                context: "string relation count mismatch",
+            });
+        }
+        let mut strings: Vec<Vec<(Oid, Box<str>)>> = Vec::with_capacity(path_count);
+        for _ in 0..path_count {
+            let len = s.get_u32("string relation length")? as usize;
+            // Capacity clamped to what the payload can actually hold
+            // (≥ 8 bytes per entry: owner + string length prefix).
+            let mut rel = Vec::with_capacity(len.min(s.remaining() / 8));
+            let mut last: Option<u32> = None;
+            for _ in 0..len {
+                let owner = s.get_u32("string owner")?;
+                if owner as usize >= n || last.is_some_and(|prev| prev >= owner) {
+                    return Err(SnapshotError::Corrupt {
+                        context: "string relation not in document order",
+                    });
+                }
+                last = Some(owner);
+                let text = s.get_str("string payload")?;
+                rel.push((Oid::from_index(owner as usize), text.into()));
+            }
+            strings.push(rel);
+        }
+
+        // Edge relations: pure function of the columns — one counting
+        // pass sizes every relation exactly, one fill pass in oid order
+        // reproduces the bulk-load push order (no reallocation).
+        let mut edge_counts = vec![0u32; path_count];
+        for &p in &sigma[1..] {
+            edge_counts[p.index()] += 1;
+        }
+        let mut edges: Vec<Vec<(Oid, Oid)>> = edge_counts
+            .iter()
+            .map(|&c| Vec::with_capacity(c as usize))
+            .collect();
+        for i in 1..n {
+            edges[sigma[i].index()].push((parent[i], Oid::from_index(i)));
+        }
+
+        // MEET_INDEX. Depths and preorder intervals are pure functions
+        // of the (already validated, preorder) parent column — one
+        // forward and one reverse pass, the same folds the builder
+        // runs.
+        let mut depth = vec![0u32; n];
+        for i in 1..n {
+            depth[i] = depth[parent_raw[i] as usize] + 1;
+        }
+        let mut subtree_end: Vec<u32> = (1..=n as u32).collect();
+        for i in (1..n).rev() {
+            let p = parent_raw[i] as usize;
+            if subtree_end[p] < subtree_end[i] {
+                subtree_end[p] = subtree_end[i];
+            }
+        }
+        let mut s = reader.section(section::MEET_INDEX)?;
+        // Replay the bit-packed walk: a set bit descends to the next
+        // undiscovered oid (preorder discovery order), a clear bit
+        // climbs to the parent. Every reconstructed entry is < n by
+        // construction, so no separate range scan is needed.
+        let steps = s.get_u32("index tour steps")? as usize;
+        let packed = s.get_u64_col("index tour bits")?;
+        if steps != 2 * n - 2 || packed.len() != steps.div_ceil(64) {
+            return Err(SnapshotError::Corrupt {
+                context: "meet index shape mismatch",
+            });
+        }
+        let mut tour: Vec<u32> = Vec::with_capacity(steps + 1);
+        let mut first_visit: Vec<u32> = Vec::with_capacity(n);
+        tour.push(0);
+        first_visit.push(0);
+        {
+            let mut cur = 0u32;
+            for (i, &word) in packed.iter().enumerate() {
+                let bits = if (i + 1) * 64 <= steps {
+                    64
+                } else {
+                    steps - i * 64
+                };
+                for b in 0..bits {
+                    if word >> b & 1 == 1 {
+                        // Down-step: discover the next oid; its first
+                        // visit is the position about to be pushed. The
+                        // descent must follow a real tree edge —
+                        // without this check a wrong-but-checksummed
+                        // bit stream could reconstruct a non-Euler walk
+                        // whose RMQ answers meets silently wrong.
+                        let next = first_visit.len();
+                        if next >= n {
+                            return Err(SnapshotError::Corrupt {
+                                context: "euler tour discovers too many objects",
+                            });
+                        }
+                        if parent_raw[next] != cur {
+                            return Err(SnapshotError::Corrupt {
+                                context: "euler tour descends a non-edge",
+                            });
+                        }
+                        cur = next as u32;
+                        first_visit.push(tour.len() as u32);
+                    } else {
+                        if cur == 0 {
+                            return Err(SnapshotError::Corrupt {
+                                context: "euler tour climbs above the root",
+                            });
+                        }
+                        cur = parent_raw[cur as usize];
+                    }
+                    tour.push(cur);
+                }
+            }
+            if first_visit.len() != n {
+                return Err(SnapshotError::Corrupt {
+                    context: "euler tour does not discover every object",
+                });
+            }
+        }
+        let index_paths = s.get_u32("index path count")? as usize;
+        if index_paths != path_count {
+            return Err(SnapshotError::Corrupt {
+                context: "meet index shape mismatch",
+            });
+        }
+        let mut path_oids: Vec<Vec<Oid>> = Vec::with_capacity(path_count);
+        let mut posted = 0usize;
+        for _ in 0..path_count {
+            let oids = s.get_u32_col_mapped("index path postings", n as u32, |v| {
+                Oid::from_index(v as usize)
+            })?;
+            posted += oids.len();
+            path_oids.push(oids);
+        }
+        if posted != n {
+            return Err(SnapshotError::Corrupt {
+                context: "postings do not cover the instance",
+            });
+        }
+        let index =
+            MeetIndex::assemble_with_visits(depth, subtree_end, tour, first_visit, path_oids);
+
+        // STATS.
+        let mut s = reader.section(section::STATS)?;
+        let depth_stats = DepthStats {
+            nodes: s.get_u64("depth stats nodes")? as usize,
+            max_depth: s.get_u64("depth stats max")? as usize,
+            mean_depth: f64::from_bits(s.get_u64("depth stats mean")?),
+            p90_depth: s.get_u64("depth stats p90")? as usize,
+        };
+        if depth_stats.nodes != n {
+            return Err(SnapshotError::Corrupt {
+                context: "depth stats disagree with columns",
+            });
+        }
+        let weight_count = s.get_u32("partition weight count")? as usize;
+        if weight_count != n {
+            return Err(SnapshotError::Corrupt {
+                context: "partition weights length mismatch",
+            });
+        }
+        // Specialized raw-slice loop accumulating the prefix sums
+        // directly: one byte per object in the common case, no
+        // intermediate weights vector, no per-read cursor plumbing.
+        let mut prefix = Vec::with_capacity(n + 1);
+        prefix.push(0u64);
+        {
+            let buf = s.buf;
+            let mut pos = s.pos;
+            let mut acc = 0u64;
+            for _ in 0..n {
+                let b = *buf.get(pos).ok_or(SnapshotError::Corrupt {
+                    context: "partition weight",
+                })?;
+                pos += 1;
+                let m = if b == 0xFF {
+                    let end = pos + 8;
+                    if end > buf.len() {
+                        return Err(SnapshotError::Corrupt {
+                            context: "partition weight escape",
+                        });
+                    }
+                    let wide = u64::from_le_bytes(buf[pos..end].try_into().expect("8 bytes"));
+                    pos = end;
+                    wide
+                } else {
+                    b as u64
+                };
+                acc = m.checked_add(1).and_then(|w| acc.checked_add(w)).ok_or(
+                    SnapshotError::Corrupt {
+                        context: "partition weight overflows",
+                    },
+                )?;
+                prefix.push(acc);
+            }
+            s.pos = pos;
+        }
+        debug_assert!(s.at_end(), "stats section fully consumed");
+        let partition_stats = PartitionStats::from_prefix(prefix);
+
+        let db = MonetDb {
+            symbols,
+            summary,
+            sigma,
+            parent,
+            rank,
+            edges,
+            strings,
+            node_of_oid,
+            oid_of_node,
+            meet_index: OnceLock::new(),
+            depth_stats: OnceLock::new(),
+            partition_stats: OnceLock::new(),
+        };
+        let _ = db.meet_index.set(index);
+        let _ = db.depth_stats.set(depth_stats);
+        let _ = db.partition_stats.set(partition_stats);
+        Ok(db)
+    }
+
+    /// Save the store (plus index and stats) as a standalone snapshot
+    /// file. Higher layers that stack more sections go through
+    /// [`MonetDb::encode_snapshot`] instead.
+    pub fn save(&self, path: &Path) -> Result<(), SnapshotError> {
+        let mut writer = SnapshotWriter::new();
+        self.encode_snapshot(&mut writer);
+        writer.write_to(path)
+    }
+
+    /// Load a store from a snapshot file — no parse, no DFS, no
+    /// O(n log n) preprocess: the meet index, depth stats and partition
+    /// stats arrive pre-computed.
+    pub fn load(path: &Path) -> Result<MonetDb, SnapshotError> {
+        MonetDb::decode_snapshot(&SnapshotReader::open(path)?)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ncq_xml::parse;
+
+    const FIGURE1: &str = r#"
+<bibliography>
+  <institute>
+    <article key="BB99">
+      <author><firstname>Ben</firstname><lastname>Bit</lastname></author>
+      <title>How to Hack</title>
+      <year>1999</year>
+    </article>
+    <article key="BK99">
+      <author>Bob Byte</author>
+      <title>Hacking &amp; RSI</title>
+      <year>1999</year>
+    </article>
+  </institute>
+</bibliography>"#;
+
+    fn db() -> MonetDb {
+        MonetDb::from_document(&parse(FIGURE1).unwrap())
+    }
+
+    fn snapshot_bytes(db: &MonetDb) -> Vec<u8> {
+        let mut w = SnapshotWriter::new();
+        db.encode_snapshot(&mut w);
+        w.to_bytes()
+    }
+
+    #[test]
+    fn round_trip_preserves_every_relation_and_lookup() {
+        let original = db();
+        let loaded = MonetDb::decode_snapshot(
+            &SnapshotReader::from_bytes(snapshot_bytes(&original)).unwrap(),
+        )
+        .unwrap();
+
+        assert_eq!(loaded.node_count(), original.node_count());
+        assert_eq!(loaded.summary().len(), original.summary().len());
+        assert_eq!(loaded.dump_tree(), original.dump_tree());
+        assert_eq!(loaded.dump_relations(), original.dump_relations());
+        assert_eq!(loaded.stats(), original.stats());
+        assert_eq!(loaded.depth_stats(), original.depth_stats());
+        assert_eq!(loaded.partition_stats(), original.partition_stats());
+        for o in original.iter_oids() {
+            assert_eq!(loaded.sigma(o), original.sigma(o));
+            assert_eq!(loaded.parent(o), original.parent(o));
+            assert_eq!(loaded.rank(o), original.rank(o));
+            assert_eq!(loaded.node_of(o), original.node_of(o));
+        }
+        // The meet index answers identically without being rebuilt.
+        let (a, b) = (Oid::from_index(5), Oid::from_index(15));
+        assert_eq!(
+            loaded.meet_index().meet(a, b),
+            original.meet_index().meet(a, b)
+        );
+        for p in original.summary().iter() {
+            assert_eq!(
+                loaded.meet_index().oids_of_path(p),
+                original.meet_index().oids_of_path(p)
+            );
+        }
+    }
+
+    #[test]
+    fn snapshot_bytes_are_deterministic() {
+        let original = db();
+        assert_eq!(snapshot_bytes(&original), snapshot_bytes(&original));
+        // A freshly loaded clone re-saves byte-identically too.
+        let loaded = MonetDb::decode_snapshot(
+            &SnapshotReader::from_bytes(snapshot_bytes(&original)).unwrap(),
+        )
+        .unwrap();
+        assert_eq!(snapshot_bytes(&loaded), snapshot_bytes(&original));
+    }
+
+    #[test]
+    fn save_and_load_round_trip_through_a_file() {
+        let dir = std::env::temp_dir().join("ncq-snapshot-store-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("figure1.ncq");
+        let original = db();
+        original.save(&path).unwrap();
+        let loaded = MonetDb::load(&path).unwrap();
+        assert_eq!(loaded.dump_relations(), original.dump_relations());
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn bad_magic_is_typed() {
+        let mut bytes = snapshot_bytes(&db());
+        bytes[0] ^= 0xFF;
+        assert!(matches!(
+            SnapshotReader::from_bytes(bytes),
+            Err(SnapshotError::BadMagic)
+        ));
+    }
+
+    #[test]
+    fn version_mismatch_is_typed() {
+        let mut bytes = snapshot_bytes(&db());
+        bytes[8] = 99;
+        assert!(matches!(
+            SnapshotReader::from_bytes(bytes),
+            Err(SnapshotError::UnsupportedVersion { found: 99, .. })
+        ));
+    }
+
+    #[test]
+    fn payload_bit_flips_fail_the_checksum() {
+        let bytes = snapshot_bytes(&db());
+        // Flip one byte in every section payload in turn.
+        let table_end = {
+            let count = u32::from_le_bytes(bytes[12..16].try_into().unwrap()) as usize;
+            16 + 28 * count
+        };
+        for at in [table_end, table_end + 97, bytes.len() - 1] {
+            let mut corrupt = bytes.clone();
+            corrupt[at] ^= 0x10;
+            assert!(
+                matches!(
+                    SnapshotReader::from_bytes(corrupt),
+                    Err(SnapshotError::ChecksumMismatch { .. })
+                ),
+                "flip at {at} went undetected"
+            );
+        }
+    }
+
+    #[test]
+    fn truncation_at_every_length_is_typed_not_a_panic() {
+        let bytes = snapshot_bytes(&db());
+        // Exhaustive prefix truncation: cheap at Figure 1 scale and
+        // covers every section boundary by construction.
+        for len in 0..bytes.len() {
+            let result = SnapshotReader::from_bytes(bytes[..len].to_vec())
+                .and_then(|r| MonetDb::decode_snapshot(&r));
+            assert!(result.is_err(), "prefix of {len} bytes decoded");
+        }
+    }
+
+    #[test]
+    fn missing_section_is_typed() {
+        let mut w = SnapshotWriter::new();
+        w.section(section::SYMBOLS).put_u32(0);
+        let r = SnapshotReader::from_bytes(w.to_bytes()).unwrap();
+        assert!(matches!(
+            r.section(section::COLUMNS),
+            Err(SnapshotError::MissingSection {
+                section: section::COLUMNS
+            })
+        ));
+        assert!(matches!(
+            MonetDb::decode_snapshot(&r),
+            Err(SnapshotError::MissingSection { .. })
+        ));
+    }
+
+    #[test]
+    fn huge_declared_counts_fail_typed_without_allocating() {
+        // A checksum-valid payload whose length prefix claims ~4 billion
+        // string entries must not abort on a pre-allocation — capacity
+        // is clamped to the actual payload, so it fails typed.
+        let original = db();
+        let mut w = SnapshotWriter::new();
+        original.encode_snapshot(&mut w);
+        let mut bytes = w.to_bytes();
+        // Find the STRINGS section and rewrite its first relation's
+        // length prefix (right after the u32 path count), then repair
+        // the checksum so only the decoder sees the lie.
+        let count = u32::from_le_bytes(bytes[12..16].try_into().unwrap()) as usize;
+        let (mut start, mut end) = (0usize, 0usize);
+        let mut table_at = 0usize;
+        for i in 0..count {
+            let at = 16 + 28 * i;
+            if u32::from_le_bytes(bytes[at..at + 4].try_into().unwrap()) == section::STRINGS {
+                start = u64::from_le_bytes(bytes[at + 4..at + 12].try_into().unwrap()) as usize;
+                end = start
+                    + u64::from_le_bytes(bytes[at + 12..at + 20].try_into().unwrap()) as usize;
+                table_at = at;
+            }
+        }
+        bytes[start + 4..start + 8].copy_from_slice(&u32::MAX.to_le_bytes());
+        let sum = checksum64(&bytes[start..end]);
+        bytes[table_at + 20..table_at + 28].copy_from_slice(&sum.to_le_bytes());
+        let result = MonetDb::decode_snapshot(&SnapshotReader::from_bytes(bytes).unwrap());
+        assert!(matches!(result, Err(SnapshotError::Corrupt { .. })));
+    }
+
+    #[test]
+    fn non_edge_tour_bits_fail_typed_not_silently_wrong() {
+        // A 3-node chain r -> x -> y. The canonical tour bits are
+        // down,down,up,up (0b0011 LSB-first). Rewriting them to
+        // down,up,down,up (0b0101) keeps the step count, discovers
+        // every oid and never climbs above the root — but the second
+        // down would descend the non-edge r -> y, which must be a
+        // typed Corrupt, not an index that answers meets wrongly.
+        let chain = MonetDb::from_document(&parse("<r><x><y/></x></r>").unwrap());
+        let mut w = SnapshotWriter::new();
+        chain.encode_snapshot(&mut w);
+        let mut bytes = w.to_bytes();
+        let count = u32::from_le_bytes(bytes[12..16].try_into().unwrap()) as usize;
+        for i in 0..count {
+            let at = 16 + 28 * i;
+            if u32::from_le_bytes(bytes[at..at + 4].try_into().unwrap()) == section::MEET_INDEX {
+                let start = u64::from_le_bytes(bytes[at + 4..at + 12].try_into().unwrap()) as usize;
+                let end = start
+                    + u64::from_le_bytes(bytes[at + 12..at + 20].try_into().unwrap()) as usize;
+                // Payload: steps u32, word count u32, then the word.
+                assert_eq!(bytes[start + 8], 0b0011);
+                bytes[start + 8] = 0b0101;
+                let sum = checksum64(&bytes[start..end]);
+                bytes[at + 20..at + 28].copy_from_slice(&sum.to_le_bytes());
+            }
+        }
+        let result = MonetDb::decode_snapshot(&SnapshotReader::from_bytes(bytes).unwrap());
+        assert!(matches!(
+            result,
+            Err(SnapshotError::Corrupt {
+                context: "euler tour descends a non-edge"
+            })
+        ));
+    }
+
+    #[test]
+    fn unknown_sections_are_ignored() {
+        let original = db();
+        let mut w = SnapshotWriter::new();
+        original.encode_snapshot(&mut w);
+        w.section(0xBEEF).put_str("future extension");
+        let loaded =
+            MonetDb::decode_snapshot(&SnapshotReader::from_bytes(w.to_bytes()).unwrap()).unwrap();
+        assert_eq!(loaded.dump_relations(), original.dump_relations());
+    }
+}

@@ -126,6 +126,16 @@ impl PartitionStats {
         PartitionStats { prefix }
     }
 
+    /// Adopt an already-computed prefix array (the snapshot loader
+    /// accumulates it while decoding the weight column, skipping the
+    /// intermediate weights vector). The caller guarantees `prefix[0]`
+    /// is 0 and the array is non-decreasing.
+    pub(crate) fn from_prefix(prefix: Vec<u64>) -> PartitionStats {
+        debug_assert!(prefix.first() == Some(&0));
+        debug_assert!(prefix.windows(2).all(|w| w[0] <= w[1]));
+        PartitionStats { prefix }
+    }
+
     /// Number of objects covered.
     pub fn len(&self) -> usize {
         self.prefix.len() - 1

@@ -44,3 +44,4 @@ pub use ncq_fulltext::Thesaurus;
 pub use ncq_query::{run_query, run_query_opts, QueryOptions, QueryOutput};
 pub use ncq_server::{Client, Server, ServerConfig};
 pub use ncq_shard::ShardedDb;
+pub use ncq_store::{SnapshotError, SnapshotReader, SnapshotWriter, SNAPSHOT_VERSION};

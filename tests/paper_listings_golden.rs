@@ -208,6 +208,64 @@ fn sharded_execution_matches_the_golden_fixtures() {
     );
 }
 
+/// Snapshot cold starts serve the paper byte-identically: the database
+/// is saved to a versioned snapshot, reloaded cold, and every golden
+/// query re-runs through both the snapshot-loaded `Database` and a
+/// snapshot-loaded `ShardedDb` (K = 4, reusing the persisted partition
+/// map) against the same fixtures. `UPDATE_GOLDEN` does not apply here
+/// either — a snapshot load can never redefine the truth.
+#[test]
+fn snapshot_loaded_engines_match_the_golden_fixtures() {
+    let dir = std::env::temp_dir().join("ncq-golden-snapshot-test");
+    std::fs::create_dir_all(&dir).expect("create scratch dir");
+    let path = dir.join("figure1-golden.ncq");
+
+    let db = Database::from_xml_str(nearest_concept::datagen::FIGURE1_XML).unwrap();
+    let sharded = nearest_concept::ShardedDb::new(db, 4);
+    sharded.save_snapshot(&path).expect("save snapshot");
+
+    let loaded_db = Database::open_snapshot(&path).expect("open snapshot");
+    let loaded_sharded =
+        nearest_concept::ShardedDb::open_snapshot(&path, 4).expect("open sharded snapshot");
+
+    let mut failures = Vec::new();
+    for (name, query) in QUERIES {
+        let expected = match std::fs::read_to_string(golden_dir().join(format!("{name}.xml"))) {
+            Ok(x) => x,
+            Err(e) => {
+                failures.push(format!("{name}: cannot read fixture ({e})"));
+                continue;
+            }
+        };
+        let single = serialize(
+            &run_query(&loaded_db, query)
+                .unwrap_or_else(|e| panic!("snapshot golden query {name} failed: {e}")),
+        );
+        if single != expected {
+            failures.push(format!(
+                "{name}: snapshot-loaded Database drifted\n--- expected ---\n{expected}\n--- actual ---\n{single}"
+            ));
+        }
+        let scattered = serialize(
+            &loaded_sharded
+                .run_query(query)
+                .unwrap_or_else(|e| panic!("sharded snapshot golden query {name} failed: {e}")),
+        );
+        if scattered != expected {
+            failures.push(format!(
+                "{name}: snapshot-loaded ShardedDb (K=4) drifted\n--- expected ---\n{expected}\n--- actual ---\n{scattered}"
+            ));
+        }
+    }
+    std::fs::remove_file(&path).ok();
+    assert!(
+        failures.is_empty(),
+        "{} snapshot golden mismatches:\n{}",
+        failures.len(),
+        failures.join("\n")
+    );
+}
+
 /// The suite stays in sync with the fixture directory: no orphaned
 /// fixtures, no duplicate query names.
 #[test]
@@ -223,6 +281,11 @@ fn golden_fixture_directory_is_in_sync() {
     }
     for entry in std::fs::read_dir(&dir).expect("read golden dir") {
         let path = entry.expect("dir entry").path();
+        if path.extension().and_then(|e| e.to_str()) != Some("xml") {
+            // Non-XML fixtures (e.g. the pinned snapshot_v*.bin of the
+            // snapshot_roundtrip suite) live here too.
+            continue;
+        }
         let stem = path
             .file_stem()
             .and_then(|s| s.to_str())
