@@ -9,7 +9,7 @@
 //! the raw series as JSON (one file per experiment) for EXPERIMENTS.md.
 
 use ncq_bench::experiments::{
-    ablations, corpora, extensions, fig6, fig7, listings, pr1, pr2, pr3, pr4,
+    ablations, corpora, extensions, fig6, fig7, listings, pr1, pr2, pr3, pr4, pr5,
 };
 use ncq_bench::json::ToJson;
 use std::io::Write as _;
@@ -46,7 +46,7 @@ fn parse_args() -> Result<Args, String> {
             "--help" | "-h" => {
                 println!(
                     "usage: repro [--exp all|fig1|fig2|listing1|listing2|sec31|fig6|fig7|\
-                     ablations|extensions|pr1|pr2|pr3|pr4] [--scale small|paper] [--out DIR]"
+                     ablations|extensions|pr1|pr2|pr3|pr4|pr5] [--scale small|paper] [--out DIR]"
                 );
                 std::process::exit(0);
             }
@@ -205,6 +205,18 @@ fn main() {
         let dir = args.out.clone().unwrap_or_else(|| PathBuf::from("."));
         let target = Some(dir);
         write_json(&target, "BENCH_pr4", &result);
+    }
+
+    // PR 5 perf snapshot: the forest catalog — manifest cold start vs
+    // separate opens and the 1-corpus routing overhead gate. Explicit-
+    // only, like the other prN experiments: it builds large corpora and
+    // writes BENCH_pr5.json (the cross-PR trajectory record).
+    if args.exp == "pr5" {
+        let result = pr5::run(args.scale == Scale::Small);
+        println!("{}", pr5::table(&result));
+        let dir = args.out.clone().unwrap_or_else(|| PathBuf::from("."));
+        let target = Some(dir);
+        write_json(&target, "BENCH_pr5", &result);
     }
 
     if want("extensions") {

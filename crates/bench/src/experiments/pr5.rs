@@ -1,0 +1,314 @@
+//! PR 5 perf snapshot: the forest catalog — manifest cold start vs N
+//! separate opens, and the per-corpus routing overhead at 1 corpus.
+//!
+//! One table, emitted as `BENCH_pr5.json` by `repro --exp pr5`:
+//!
+//! * **cold start** — a 3-corpus manifest (dblp + multimedia + deep
+//!   forks) opened through `Catalog::open_manifest` (checksum-verified
+//!   per entry) vs the same three snapshots opened as separate
+//!   `Database`s. The manifest adds one small file read and three
+//!   whole-file checksums; the ratio records what that costs.
+//! * **routing overhead** — `meet_terms` through a 1-corpus
+//!   `ForestBackend` vs the direct `Database`. The forest's trait
+//!   surface is a default-corpus passthrough, so the acceptance gate
+//!   is ≥ 0.95× (the routed path may cost at most ~5%).
+//!
+//! Every row asserts byte-identical answers between the routed and
+//! direct engines before timing.
+
+use ncq_core::{Catalog, Database, ForestBackend, MeetBackend, MeetOptions};
+use ncq_datagen::{DblpConfig, DblpCorpus, MultimediaConfig, MultimediaCorpus};
+use ncq_store::manifest::{Manifest, ManifestEntry};
+use std::sync::Arc;
+use std::time::Instant;
+
+/// Cold-start comparison for the whole 3-corpus forest.
+#[derive(Debug, Clone)]
+pub struct Pr5Cold {
+    /// Total objects across the three corpora.
+    pub nodes: usize,
+    /// Manifest file + three snapshot files, bytes.
+    pub manifest_bytes: usize,
+    /// `Catalog::open_manifest` wall time, ms (min over rounds).
+    pub manifest_open_ms: f64,
+    /// Three separate `Database::open_snapshot` calls, ms (min).
+    pub separate_opens_ms: f64,
+    /// `separate / manifest` — ≥ 1.0 means the manifest costs nothing
+    /// beyond the opens it performs.
+    pub ratio: f64,
+    /// Every corpus answered its probe byte-identically through the
+    /// catalog.
+    pub agree: bool,
+}
+
+/// Routing overhead for one corpus.
+#[derive(Debug, Clone)]
+pub struct Pr5Routing {
+    /// Corpus label.
+    pub corpus: String,
+    /// Probe `meet_terms` ops/s on the direct `Database`.
+    pub direct_ops_per_s: f64,
+    /// The same probes through a 1-corpus `ForestBackend`.
+    pub forest_ops_per_s: f64,
+    /// `forest / direct` — the acceptance gate is ≥ 0.95.
+    pub ratio: f64,
+    /// Routed and direct answers were byte-identical.
+    pub agree: bool,
+}
+
+/// The full PR 5 snapshot.
+#[derive(Debug, Clone)]
+pub struct Pr5Result {
+    /// The manifest-vs-separate cold start.
+    pub cold: Pr5Cold,
+    /// Per-corpus routing overhead rows.
+    pub routing: Vec<Pr5Routing>,
+}
+
+crate::impl_to_json_struct!(Pr5Cold {
+    nodes,
+    manifest_bytes,
+    manifest_open_ms,
+    separate_opens_ms,
+    ratio,
+    agree,
+});
+crate::impl_to_json_struct!(Pr5Routing {
+    corpus,
+    direct_ops_per_s,
+    forest_ops_per_s,
+    ratio,
+    agree,
+});
+crate::impl_to_json_struct!(Pr5Result { cold, routing });
+
+fn deep_xml(depth: usize, pairs: usize) -> String {
+    let mut xml = String::with_capacity(pairs * depth * 8);
+    xml.push_str("<root>");
+    for _ in 0..pairs {
+        xml.push_str("<h>");
+        for _ in 0..depth {
+            xml.push_str("<x>");
+        }
+        xml.push_str("<a>s</a>");
+        for _ in 0..depth {
+            xml.push_str("</x>");
+        }
+        for _ in 0..depth {
+            xml.push_str("<y>");
+        }
+        xml.push_str("<b>t</b>");
+        for _ in 0..depth {
+            xml.push_str("</y>");
+        }
+        xml.push_str("</h>");
+    }
+    xml.push_str("</root>");
+    xml
+}
+
+fn corpora(quick: bool) -> Vec<(&'static str, Database, [&'static str; 2])> {
+    let dblp = DblpCorpus::generate(&DblpConfig {
+        papers_per_edition: if quick { 8 } else { 50 },
+        journal_articles_per_year: if quick { 3 } else { 10 },
+        ..DblpConfig::default()
+    });
+    let multimedia = MultimediaCorpus::generate(&MultimediaConfig {
+        noise_items: if quick { 100 } else { 1_000 },
+        ..MultimediaConfig::default()
+    });
+    let deep = deep_xml(64, if quick { 100 } else { 800 });
+    vec![
+        (
+            "dblp",
+            Database::from_document(&dblp.document),
+            ["1999", "1995"],
+        ),
+        (
+            "multimedia",
+            Database::from_document(&multimedia.document),
+            ["1999", "1995"],
+        ),
+        ("deep", Database::from_xml_str(&deep).unwrap(), ["s", "t"]),
+    ]
+}
+
+fn time_ms(mut f: impl FnMut()) -> f64 {
+    let t = Instant::now();
+    f();
+    t.elapsed().as_secs_f64() * 1e3
+}
+
+fn floor(v: impl IntoIterator<Item = f64>) -> f64 {
+    v.into_iter().fold(f64::INFINITY, f64::min)
+}
+
+/// Probe `meet_terms` ops/s over a fixed iteration budget.
+fn ops_per_s(iters: usize, mut f: impl FnMut()) -> f64 {
+    let t = Instant::now();
+    for _ in 0..iters {
+        f();
+    }
+    iters as f64 / t.elapsed().as_secs_f64()
+}
+
+/// Run the snapshot. `quick` shrinks corpora and repetitions for CI.
+pub fn run(quick: bool) -> Pr5Result {
+    let dir = std::env::temp_dir().join("ncq-bench-pr5");
+    std::fs::create_dir_all(&dir).expect("create bench scratch dir");
+    let rounds = if quick { 3 } else { 5 };
+    let all = corpora(quick);
+
+    // Save every corpus and describe it in a manifest.
+    let mut manifest = Manifest::new();
+    let mut snapshot_paths = Vec::new();
+    let mut total_nodes = 0usize;
+    let mut manifest_bytes = 0usize;
+    for (name, db, _) in &all {
+        db.store().meet_index();
+        let path = dir.join(format!("{name}.ncq"));
+        db.save_snapshot(&path).expect("save corpus snapshot");
+        manifest_bytes += std::fs::metadata(&path).expect("snapshot metadata").len() as usize;
+        manifest
+            .push(ManifestEntry::describe(*name, &path, 1).expect("describe corpus"))
+            .expect("push corpus");
+        total_nodes += db.store().node_count();
+        snapshot_paths.push(path);
+    }
+    let mpath = dir.join("forest.ncqm");
+    manifest.save(&mpath).expect("save manifest");
+    manifest_bytes += std::fs::metadata(&mpath).expect("manifest metadata").len() as usize;
+
+    // Correctness gate: every corpus probed through the catalog answers
+    // byte-identically to its direct engine.
+    let catalog = Catalog::open_manifest(&mpath).expect("open manifest");
+    let opts = MeetOptions::default();
+    let agree = all.iter().all(|(name, db, terms)| {
+        catalog
+            .get(name)
+            .expect("corpus in catalog")
+            .meet_terms_answers(&terms[..], &opts)
+            .to_detailed_xml()
+            == db.meet_terms(&terms[..]).unwrap().to_detailed_xml()
+    });
+    drop(catalog);
+
+    // Interleaved cold starts.
+    let mut manifest_samples = Vec::with_capacity(rounds);
+    let mut separate_samples = Vec::with_capacity(rounds);
+    for _ in 0..rounds {
+        let mut opened_catalog = None;
+        manifest_samples.push(time_ms(|| {
+            opened_catalog = Some(Catalog::open_manifest(&mpath).expect("open manifest"));
+        }));
+        let mut opened_dbs = Vec::new();
+        separate_samples.push(time_ms(|| {
+            for path in &snapshot_paths {
+                opened_dbs.push(Database::open_snapshot(path).expect("open snapshot"));
+            }
+        }));
+        drop(opened_catalog);
+        drop(opened_dbs);
+    }
+    let manifest_open_ms = floor(manifest_samples);
+    let separate_opens_ms = floor(separate_samples);
+    let cold = Pr5Cold {
+        nodes: total_nodes,
+        manifest_bytes,
+        manifest_open_ms,
+        separate_opens_ms,
+        ratio: separate_opens_ms / manifest_open_ms,
+        agree,
+    };
+
+    // Routing overhead: a 1-corpus forest vs the direct database.
+    let iters = if quick { 200 } else { 1_000 };
+    let mut routing = Vec::new();
+    for (name, db, terms) in &all {
+        let direct = Arc::new(db.clone());
+        let mut catalog = Catalog::new();
+        catalog
+            .add(*name, Arc::clone(&direct) as Arc<dyn MeetBackend>)
+            .expect("one-corpus catalog");
+        let forest = ForestBackend::new(catalog).expect("non-empty catalog");
+        let agree = forest
+            .meet_terms_answers(&terms[..], &opts)
+            .to_detailed_xml()
+            == direct.meet_terms(&terms[..]).unwrap().to_detailed_xml();
+        // Warm both sides, then measure; min-noise single pass each.
+        for _ in 0..iters / 10 {
+            let _ = direct.meet_terms(&terms[..]).unwrap();
+            let _ = forest.meet_terms_answers(&terms[..], &opts);
+        }
+        let direct_ops = ops_per_s(iters, || {
+            let _ = direct.meet_terms(&terms[..]).unwrap();
+        });
+        let forest_ops = ops_per_s(iters, || {
+            let _ = forest.meet_terms_answers(&terms[..], &opts);
+        });
+        routing.push(Pr5Routing {
+            corpus: name.to_string(),
+            direct_ops_per_s: direct_ops,
+            forest_ops_per_s: forest_ops,
+            ratio: forest_ops / direct_ops,
+            agree,
+        });
+    }
+
+    for p in snapshot_paths.iter().chain(std::iter::once(&mpath)) {
+        std::fs::remove_file(p).ok();
+    }
+    Pr5Result { cold, routing }
+}
+
+/// Text table for stdout.
+pub fn table(r: &Pr5Result) -> String {
+    let mut out =
+        String::from("# PR 5 — forest catalog (manifest cold start + per-corpus routing)\n");
+    out.push_str(&format!(
+        "cold start: nodes={} bytes={} manifest_open={:.1}ms separate_opens={:.1}ms \
+         ({:.2}x) agree={}\n",
+        r.cold.nodes,
+        r.cold.manifest_bytes,
+        r.cold.manifest_open_ms,
+        r.cold.separate_opens_ms,
+        r.cold.ratio,
+        r.cold.agree
+    ));
+    out.push_str("## routing overhead at 1 corpus (gate: forest/direct >= 0.95)\n");
+    for row in &r.routing {
+        out.push_str(&format!(
+            "{}: direct={:.0} ops/s forest={:.0} ops/s ratio={:.3} agree={}\n",
+            row.corpus, row.direct_ops_per_s, row.forest_ops_per_s, row.ratio, row.agree
+        ));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quick_snapshot_has_sane_shape_and_meets_the_gate() {
+        let r = run(true);
+        assert!(r.cold.agree, "catalog answers diverged");
+        assert!(r.cold.manifest_open_ms > 0.0 && r.cold.separate_opens_ms > 0.0);
+        assert!(r.cold.nodes > 0 && r.cold.manifest_bytes > 0);
+        assert_eq!(r.routing.len(), 3);
+        for row in &r.routing {
+            assert!(row.agree, "{}: routed answers diverged", row.corpus);
+            // The acceptance gate with slack for CI noise at quick
+            // scale: the passthrough must never cost a double-digit
+            // share of a meet.
+            assert!(
+                row.ratio >= 0.90,
+                "{}: routing overhead ratio {:.3} below the floor",
+                row.corpus,
+                row.ratio
+            );
+        }
+        let text = table(&r);
+        assert!(text.contains("routing overhead"));
+    }
+}

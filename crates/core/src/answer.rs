@@ -33,6 +33,11 @@ pub struct Witness {
 /// One result of a meet query.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Answer {
+    /// The corpus the result came from — `None` for single-document
+    /// engines, `Some(name)` when a forest backend concatenated
+    /// answers across its catalog (the corpus tag disambiguates
+    /// per-corpus oids, which collide across documents).
+    pub corpus: Option<String>,
     /// The nearest concept node.
     pub oid: Oid,
     /// Its tag — the paper's `<result>` payload (`cdata` for text nodes).
@@ -62,6 +67,7 @@ impl AnswerSet {
         let results = meets
             .into_iter()
             .map(|m| Answer {
+                corpus: None,
                 oid: m.node,
                 tag: db.label(m.node),
                 path: db.relation_name(m.path),
@@ -99,6 +105,13 @@ impl AnswerSet {
         self.results.iter().map(|r| r.tag.as_str()).collect()
     }
 
+    /// Tag every result with a corpus name (forest concatenation).
+    pub fn tag_corpus(&mut self, corpus: &str) {
+        for r in &mut self.results {
+            r.corpus = Some(corpus.to_owned());
+        }
+    }
+
     /// Full serialization: the paper's `<answer>` markup enriched with
     /// everything an [`Answer`] carries — result oid, path, ranking
     /// distance, witness count, and the witness sample with matched
@@ -109,8 +122,18 @@ impl AnswerSet {
         use ncq_xml::escape::{escape_attribute, escape_text};
         let mut out = String::from("<answer>\n");
         for r in &self.results {
+            // The corpus attribute appears only on forest-tagged
+            // answers, so single-corpus serializations (the golden
+            // fixtures, the snapshot suites) are byte-identical to the
+            // pre-forest format.
+            let corpus = r
+                .corpus
+                .as_deref()
+                .map(|c| format!(" corpus=\"{}\"", escape_attribute(c)))
+                .unwrap_or_default();
             out.push_str(&format!(
-                "  <result tag=\"{}\" path=\"{}\" oid=\"{}\" distance=\"{}\" witnesses=\"{}\">\n",
+                "  <result{} tag=\"{}\" path=\"{}\" oid=\"{}\" distance=\"{}\" witnesses=\"{}\">\n",
+                corpus,
                 escape_attribute(&r.tag),
                 escape_attribute(&r.path),
                 r.oid,

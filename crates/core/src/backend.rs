@@ -48,6 +48,58 @@ pub trait MeetBackend: Send + Sync {
         AnswerSet::from_meets(self.store(), meets)
     }
 
+    // ----- forest surface -----
+    //
+    // Single-document engines are a forest of one: the default
+    // implementations below say "no named corpora" and route the
+    // all-corpora meet to the engine itself. `ncq-core::ForestBackend`
+    // overrides the lot to serve a `Catalog` of named corpora; callers
+    // (the query evaluator's `from corpus(name)` resolution, the
+    // server's `USE`/`CORPORA` verbs) stay engine-agnostic.
+
+    /// Resolve a named corpus to its engine. `None` when this backend
+    /// serves no corpus of that name (single-document engines always
+    /// answer `None`).
+    fn corpus(&self, _name: &str) -> Option<Arc<dyn MeetBackend>> {
+        None
+    }
+
+    /// The corpus names this backend serves, in catalog order. Empty
+    /// for single-document engines.
+    fn corpus_names(&self) -> Vec<String> {
+        Vec::new()
+    }
+
+    /// The name of the corpus unqualified queries hit, when this
+    /// backend routes by corpus.
+    fn default_corpus(&self) -> Option<String> {
+        None
+    }
+
+    /// The signature query fanned out across *every* corpus: answers
+    /// concatenate in catalog order (stable cross-corpus document
+    /// order), each tagged with its corpus name. A single-document
+    /// engine is its own one-corpus forest, untagged.
+    fn meet_terms_forest(&self, terms: &[&str], options: &MeetOptions) -> AnswerSet {
+        self.meet_terms_answers(terms, options)
+    }
+
+    /// Cold-load a snapshot and splice it in as corpus `name`,
+    /// returning the backend to serve *subsequent* batches. The
+    /// replacement keeps the corpus's current engine shape (via
+    /// [`MeetBackend::open_snapshot_like`] on that corpus) and shares
+    /// every other corpus's engine by refcount, so in-flight batches on
+    /// the old backend — and all other corpora — are untouched.
+    fn reload_corpus(
+        &self,
+        _name: &str,
+        _path: &Path,
+    ) -> Result<Arc<dyn MeetBackend>, SnapshotError> {
+        Err(SnapshotError::Unsupported {
+            context: "this backend has no named corpora to reload",
+        })
+    }
+
     /// Persist this engine's full state as a versioned snapshot file
     /// (the server's `SNAPSHOT SAVE` verb dispatches here). Engines
     /// with extra state beyond store + postings override this to stack

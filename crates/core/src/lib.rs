@@ -41,6 +41,7 @@
 
 pub mod answer;
 pub mod backend;
+pub mod catalog;
 pub mod db;
 pub mod distance;
 pub mod filter;
@@ -54,6 +55,7 @@ pub mod sweep;
 
 pub use answer::{Answer, AnswerSet, Witness};
 pub use backend::MeetBackend;
+pub use catalog::{Catalog, CatalogError, ForestBackend};
 pub use db::Database;
 pub use distance::{distance, meet2_bounded};
 pub use filter::PathFilter;

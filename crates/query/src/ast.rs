@@ -87,6 +87,10 @@ pub struct Condition {
 pub struct Query {
     /// What to return.
     pub select: SelectClause,
+    /// The corpus this query addresses — `from corpus(name), …`.
+    /// `None` resolves to the evaluation default (the backend itself
+    /// for single-document engines, the catalog default for forests).
+    pub corpus: Option<String>,
     /// The bindings.
     pub from: Vec<Binding>,
     /// Conjunctive conditions.
@@ -153,6 +157,9 @@ impl fmt::Display for Query {
             }
         }
         write!(f, " from ")?;
+        if let Some(corpus) = &self.corpus {
+            write!(f, "corpus({corpus}), ")?;
+        }
         for (i, b) in self.from.iter().enumerate() {
             if i > 0 {
                 write!(f, ", ")?;
@@ -195,6 +202,7 @@ mod tests {
     fn sample() -> Query {
         Query {
             select: SelectClause::Projection(vec![SelectItem::TagVar("T".into())]),
+            corpus: None,
             from: vec![Binding {
                 path: PathExpr {
                     steps: vec![

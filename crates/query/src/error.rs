@@ -41,6 +41,12 @@ pub enum QueryError {
     },
     /// A `within`/`excluding`/`only` modifier on a projection query.
     ModifierWithoutMeet,
+    /// The query addressed a corpus the backend does not serve (or the
+    /// backend serves no named corpora at all).
+    UnknownCorpus {
+        /// The requested corpus name.
+        name: String,
+    },
 }
 
 impl fmt::Display for QueryError {
@@ -70,6 +76,9 @@ impl fmt::Display for QueryError {
             QueryError::ModifierWithoutMeet => {
                 write!(f, "within/excluding/only modifiers require a meet(...) select")
             }
+            QueryError::UnknownCorpus { name } => {
+                write!(f, "unknown corpus {name:?} (this backend serves no corpus of that name)")
+            }
         }
     }
 }
@@ -90,6 +99,12 @@ mod tests {
             (QueryError::MeetNeedsTwoVariables, "at least two"),
             (QueryError::RowLimitExceeded { limit: 7 }, "explosion"),
             (QueryError::ModifierWithoutMeet, "meet"),
+            (
+                QueryError::UnknownCorpus {
+                    name: "dblp".into(),
+                },
+                "unknown corpus",
+            ),
         ];
         for (e, needle) in cases {
             assert!(e.to_string().contains(needle), "{e}");

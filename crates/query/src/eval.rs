@@ -43,12 +43,16 @@ impl Default for QueryConfig {
 /// lift/roll-up and the indexed plane sweep; `strategy` forces either
 /// side — the planner regression tests and `ncq-server` config knobs
 /// thread through here.
-#[derive(Debug, Clone, Copy, Default)]
+#[derive(Debug, Clone, Default)]
 pub struct QueryOptions {
     /// Evaluation limits.
     pub config: QueryConfig,
     /// Meet evaluation strategy ([`MeetStrategy::Auto`] plans).
     pub strategy: MeetStrategy,
+    /// Corpus to evaluate against when the query text names none —
+    /// the server's `USE` verb threads the session corpus through
+    /// here. An explicit `from corpus(name)` in the query wins.
+    pub default_corpus: Option<String>,
 }
 
 /// One projection row.
@@ -128,8 +132,29 @@ pub fn run_query_opts<B: MeetBackend + ?Sized>(
     evaluate(db, &query, options)
 }
 
-/// Evaluate a parsed query.
+/// Evaluate a parsed query, resolving its corpus first: an explicit
+/// `from corpus(name)` wins over [`QueryOptions::default_corpus`];
+/// with neither, the backend itself evaluates (which for a forest
+/// backend is its catalog's default corpus). A name the backend cannot
+/// resolve is a typed [`QueryError::UnknownCorpus`].
 pub fn evaluate<B: MeetBackend + ?Sized>(
+    db: &B,
+    query: &Query,
+    opts: &QueryOptions,
+) -> Result<QueryOutput, QueryError> {
+    match query.corpus.as_deref().or(opts.default_corpus.as_deref()) {
+        Some(name) => {
+            let target = db.corpus(name).ok_or_else(|| QueryError::UnknownCorpus {
+                name: name.to_owned(),
+            })?;
+            evaluate_resolved(&*target, query, opts)
+        }
+        None => evaluate_resolved(db, query, opts),
+    }
+}
+
+/// Evaluate against an already-resolved backend.
+fn evaluate_resolved<B: MeetBackend + ?Sized>(
     db: &B,
     query: &Query,
     opts: &QueryOptions,
@@ -532,6 +557,82 @@ mod tests {
                 other.results[0].witness_count
             );
         }
+    }
+
+    #[test]
+    fn corpus_routing_resolves_against_a_forest() {
+        use ncq_core::{Catalog, ForestBackend};
+        use std::sync::Arc;
+        let mut catalog = Catalog::new();
+        catalog
+            .add("paper", Arc::new(db()) as Arc<dyn MeetBackend>)
+            .unwrap();
+        catalog
+            .add(
+                "shop",
+                Arc::new(
+                    Database::from_xml_str(
+                        "<shop><item><label>Bit driver</label><price>1999</price></item></shop>",
+                    )
+                    .unwrap(),
+                ) as Arc<dyn MeetBackend>,
+            )
+            .unwrap();
+        let forest = ForestBackend::new(catalog).unwrap();
+
+        // Explicit corpus routes to the named engine, byte-identically
+        // to a direct run on it.
+        let q = "select meet(t1, t2) from corpus(shop), shop/% as t1, shop/% as t2 \
+                 where t1 contains 'Bit' and t2 contains '1999'";
+        let QueryOutput::Answers(a) = run_query(&forest, q).unwrap() else {
+            panic!()
+        };
+        assert_eq!(a.tags(), vec!["item"]);
+
+        // No corpus → the catalog default (the paper corpus).
+        let q2 = "select meet(t1, t2) from bibliography/% as t1, bibliography/% as t2 \
+                  where t1 contains 'Bit' and t2 contains '1999'";
+        let QueryOutput::Answers(a) = run_query(&forest, q2).unwrap() else {
+            panic!()
+        };
+        assert_eq!(a.tags(), vec!["article"]);
+
+        // The session default (QueryOptions) routes unqualified text…
+        let opts = QueryOptions {
+            default_corpus: Some("shop".into()),
+            ..QueryOptions::default()
+        };
+        let q3 = "select meet(t1, t2) from shop/% as t1, shop/% as t2 \
+                  where t1 contains 'Bit' and t2 contains '1999'";
+        let QueryOutput::Answers(a) = run_query_opts(&forest, q3, &opts).unwrap() else {
+            panic!()
+        };
+        assert_eq!(a.tags(), vec!["item"]);
+        // …but an explicit corpus in the text wins over it.
+        let QueryOutput::Answers(a) = run_query_opts(
+            &forest,
+            q2,
+            &QueryOptions {
+                default_corpus: Some("paper".into()),
+                ..QueryOptions::default()
+            },
+        )
+        .unwrap() else {
+            panic!()
+        };
+        assert_eq!(a.tags(), vec!["article"]);
+
+        // Unknown corpus is typed — on the forest and on a plain
+        // Database (which serves no corpora at all).
+        let bad = "select t from corpus(absent), x as t";
+        assert!(matches!(
+            run_query(&forest, bad),
+            Err(QueryError::UnknownCorpus { name }) if name == "absent"
+        ));
+        assert!(matches!(
+            run_query(&db(), "select t from corpus(paper), x as t"),
+            Err(QueryError::UnknownCorpus { .. })
+        ));
     }
 
     #[test]

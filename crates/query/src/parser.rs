@@ -102,6 +102,7 @@ impl Parser {
         self.expect_keyword("select")?;
         let select = self.select_clause()?;
         self.expect_keyword("from")?;
+        let corpus = self.corpus_clause()?;
         let from = self.bindings()?;
         let mut conditions = Vec::new();
         if self.eat_keyword("where") {
@@ -114,9 +115,33 @@ impl Parser {
         }
         Ok(Query {
             select,
+            corpus,
             from,
             conditions,
         })
+    }
+
+    /// `corpus(name)` right after `from` addresses a named corpus of a
+    /// forest deployment. Only the word `corpus` *followed by `(`* is
+    /// the clause — a path whose first tag happens to be `corpus` is
+    /// never followed by a parenthesis, so both stay parseable. The
+    /// trailing comma is optional.
+    fn corpus_clause(&mut self) -> Result<Option<String>, QueryError> {
+        let is_clause = matches!(self.peek(), Some(TokenKind::Word(w)) if w.eq_ignore_ascii_case("corpus"))
+            && matches!(
+                self.tokens.get(self.pos + 1).map(|t| &t.kind),
+                Some(TokenKind::LParen)
+            );
+        if !is_clause {
+            return Ok(None);
+        }
+        self.pos += 2; // corpus (
+        let name = self.expect_word("corpus name")?;
+        self.expect_kind(&TokenKind::RParen, ")")?;
+        if self.peek() == Some(&TokenKind::Comma) {
+            self.pos += 1;
+        }
+        Ok(Some(name))
     }
 
     fn select_clause(&mut self) -> Result<SelectClause, QueryError> {
@@ -333,6 +358,47 @@ mod tests {
                 assert_eq!(modifiers.excluding.len(), 1);
             }
             _ => panic!("expected meet"),
+        }
+    }
+
+    #[test]
+    fn corpus_clause_parses_and_round_trips() {
+        let q = parse_query(
+            "select meet(t1, t2) from corpus(dblp), bibliography/% as t1, \
+             bibliography/% as t2 where t1 contains 'Bit'",
+        )
+        .unwrap();
+        assert_eq!(q.corpus.as_deref(), Some("dblp"));
+        assert_eq!(q.from.len(), 2);
+        // Canonical print re-parses to the same AST.
+        assert_eq!(parse_query(&q.to_string()).unwrap(), q);
+        // The comma after the clause is optional.
+        let q2 = parse_query("select t from corpus(dblp) x as t").unwrap();
+        assert_eq!(q2.corpus.as_deref(), Some("dblp"));
+        // Case-insensitive keyword, like the rest of the dialect.
+        let q3 = parse_query("select t from CORPUS(deep), x as t").unwrap();
+        assert_eq!(q3.corpus.as_deref(), Some("deep"));
+    }
+
+    #[test]
+    fn corpus_as_a_plain_tag_still_works() {
+        // A path starting with the tag `corpus` is not the clause.
+        let q = parse_query("select t from corpus/% as t").unwrap();
+        assert_eq!(q.corpus, None);
+        assert_eq!(q.from[0].path.steps[0], S::Tag("corpus".into()));
+        // And `corpus` as a binding variable is fine too.
+        let q = parse_query("select corpus from x as corpus").unwrap();
+        assert_eq!(q.corpus, None);
+    }
+
+    #[test]
+    fn malformed_corpus_clauses_are_parse_errors() {
+        for bad in [
+            "select t from corpus(), x as t",
+            "select t from corpus(a b), x as t",
+            "select t from corpus(a, x as t",
+        ] {
+            assert!(parse_query(bad).is_err(), "{bad} should fail");
         }
     }
 

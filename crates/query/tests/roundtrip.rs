@@ -133,8 +133,16 @@ fn random_query(rng: &mut StdRng) -> Query {
             needle: needle(rng),
         })
         .collect();
+    // A corpus-qualified query half the time (any identifier works —
+    // `corpus` only becomes the clause when followed by `(`).
+    let corpus = if rng.random_bool() {
+        Some(ident(rng))
+    } else {
+        None
+    };
     Query {
         select,
+        corpus,
         from,
         conditions,
     }

@@ -26,9 +26,15 @@
 //!   `serve_lines` sessions over `std::net::TcpListener` with a hard
 //!   connection cap (over-cap connections get one in-band `ERR` line);
 //! * **backend dispatch**: workers hold an `Arc<dyn MeetBackend>`, so
-//!   the same pool serves the single-process [`ncq_core::Database`] or
-//!   the sharded `ncq-shard::ShardedDb`
-//!   ([`Server::start_backend`]).
+//!   the same pool serves the single-process [`ncq_core::Database`],
+//!   the sharded `ncq-shard::ShardedDb`, or a multi-corpus
+//!   [`ncq_core::ForestBackend`] ([`Server::start_backend`]);
+//! * **forest serving**: [`Server::open_manifest`] boots a catalog of
+//!   named corpora from a manifest file; requests route per corpus
+//!   (`USE` / `CORPORA` verbs, per-request `corpus` fields), stats
+//!   count per corpus, and `SNAPSHOT LOAD <file> INTO <corpus>`
+//!   hot-swaps one corpus while sharing every other corpus's engine
+//!   with the in-flight batches.
 //!
 //! ```
 //! use ncq_core::Database;
@@ -54,4 +60,7 @@ pub mod server;
 
 pub use net::{NetConfig, TcpAcceptor};
 pub use protocol::serve_lines;
-pub use server::{Client, Request, Response, Server, ServerConfig, ServerError, ServerStats};
+pub use server::{
+    Client, Request, Response, Server, ServerConfig, ServerError, ServerStats, SnapshotPathError,
+    ALL_CORPORA,
+};

@@ -5,12 +5,19 @@
 //! ```text
 //! MEET term term …​ [WITHIN n]     meet of full-text terms (meet^δ via WITHIN)
 //! SQL select meet(a, b) from …​    the SQL-with-paths dialect
+//!                                 (`from corpus(name), …` routes per query)
 //! SEARCH term                     full-text hit count
+//! USE corpus                      route this session at a forest corpus
+//!                                 (`USE *` fans MEET/SEARCH across all)
+//! CORPORA                         list the forest's corpora (default marked)
 //! SNAPSHOT SAVE name              persist the serving backend to a snapshot
-//! SNAPSHOT LOAD name              cold-load a snapshot, hot-swap it in
+//! SNAPSHOT LOAD name [INTO c]     cold-load a snapshot, hot-swap it in —
+//!                                 the whole backend, or just corpus `c` of
+//!                                 a forest (other corpora untouched)
 //!                                 (both gated by ServerConfig::snapshot_dir;
 //!                                 `name` is a bare file inside that dir)
 //! STATS                           service counters incl. admission shed rate
+//!                                 and per-corpus query counts
 //! PING                            liveness check
 //! QUIT                            end the session
 //! ```
@@ -42,6 +49,10 @@ pub fn serve_lines<R: BufRead, W: Write>(
     mut output: W,
 ) -> std::io::Result<()> {
     let mut payload = String::new();
+    // The session's corpus routing, set by `USE`. `None` = the
+    // deployment's default corpus; `Some("*")` fans MEET/SEARCH out
+    // across the whole catalog.
+    let mut session_corpus: Option<String> = None;
     for line in input.lines() {
         let line = line?;
         let trimmed = line.trim();
@@ -60,16 +71,37 @@ pub fn serve_lines<R: BufRead, W: Write>(
                 payload.push_str(&format_stats(client));
                 write_ok(&mut output, &payload)?;
             }
-            "MEET" => match parse_meet(rest) {
-                Ok(request) => respond(client, request, &mut output, &mut payload)?,
+            "CORPORA" => respond(client, Request::Corpora, &mut output, &mut payload)?,
+            "USE" if !rest.is_empty() => match validate_use(client, rest) {
+                Ok(()) => {
+                    session_corpus = Some(rest.to_owned());
+                    payload.push_str(&format!("using corpus {rest}"));
+                    write_ok(&mut output, &payload)?;
+                }
                 Err(msg) => write_err(&mut output, &msg)?,
             },
-            "SQL" if !rest.is_empty() => {
-                respond(client, Request::sql(rest), &mut output, &mut payload)?
-            }
-            "SEARCH" if !rest.is_empty() => {
-                respond(client, Request::search(rest), &mut output, &mut payload)?
-            }
+            "USE" => write_err(&mut output, "USE needs a corpus name (or *)")?,
+            "MEET" => match parse_meet(rest) {
+                Ok(request) => respond(
+                    client,
+                    request.with_corpus(session_corpus.clone()),
+                    &mut output,
+                    &mut payload,
+                )?,
+                Err(msg) => write_err(&mut output, &msg)?,
+            },
+            "SQL" if !rest.is_empty() => respond(
+                client,
+                Request::sql(rest).with_corpus(session_corpus.clone()),
+                &mut output,
+                &mut payload,
+            )?,
+            "SEARCH" if !rest.is_empty() => respond(
+                client,
+                Request::search(rest).with_corpus(session_corpus.clone()),
+                &mut output,
+                &mut payload,
+            )?,
             "SQL" => write_err(&mut output, "SQL needs a query")?,
             "SEARCH" => write_err(&mut output, "SEARCH needs a term")?,
             "SNAPSHOT" => match parse_snapshot(rest) {
@@ -82,12 +114,33 @@ pub fn serve_lines<R: BufRead, W: Write>(
     output.flush()
 }
 
+/// A `USE` argument must name a corpus of the serving deployment (or
+/// `*`, which needs the deployment to have corpora at all); validating
+/// at `USE` time gives the operator one clear error instead of a
+/// failure on every subsequent query.
+fn validate_use(client: &Client, name: &str) -> Result<(), String> {
+    let (names, _) = client.corpora().map_err(|e| e.to_string())?;
+    if names.is_empty() {
+        return Err("this deployment serves no corpora (single-document backend)".to_owned());
+    }
+    if name == "*" || names.iter().any(|n| n == name) {
+        Ok(())
+    } else {
+        Err(format!(
+            "unknown corpus {name:?} (CORPORA lists {})",
+            names.join(", ")
+        ))
+    }
+}
+
 /// The `STATS` payload: one `key=value` line per counter, plus the
 /// derived admission shed rate (shed / admission attempts) — the
-/// back-pressure signal an operator watches to size the queue.
+/// back-pressure signal an operator watches to size the queue — and,
+/// on forest deployments, one `corpus.<name>=<served>` line per corpus
+/// that has seen queries (per-corpus load at a glance).
 fn format_stats(client: &Client) -> String {
     let stats = client.stats();
-    format!(
+    let mut out = format!(
         "served={}\nbatches={}\nmax_batch={}\nterm_decodes={}\nterm_cache_hits={}\nshed={}\nshed_rate={:.4}",
         stats.served,
         stats.batches,
@@ -96,7 +149,11 @@ fn format_stats(client: &Client) -> String {
         stats.term_cache_hits,
         stats.shed,
         stats.shed_rate()
-    )
+    );
+    for (name, served) in &stats.queries_by_corpus {
+        out.push_str(&format!("\ncorpus.{name}={served}"));
+    }
+    out
 }
 
 /// `MEET t1 t2 … [WITHIN n]` — terms are whitespace-separated; a
@@ -114,22 +171,41 @@ fn parse_meet(rest: &str) -> Result<Request, String> {
     if terms.is_empty() {
         return Err("MEET needs at least one term".to_owned());
     }
-    Ok(Request::MeetTerms { terms, within })
+    Ok(Request::MeetTerms {
+        terms,
+        within,
+        corpus: None,
+    })
 }
 
-/// `SNAPSHOT SAVE <name>` / `SNAPSHOT LOAD <name>` — the name is the
-/// rest of the line verbatim (snapshot files may carry spaces); the
-/// server resolves it inside its configured snapshot directory and
-/// refuses anything that is not a bare file name.
+/// `SNAPSHOT SAVE <name>` / `SNAPSHOT LOAD <name> [INTO <corpus>]` —
+/// names are single whitespace-free tokens. This is a deliberate
+/// (breaking) hardening: earlier releases accepted names with spaces,
+/// so a snapshot saved as `my file.ncq` back then is no longer
+/// addressable over the wire — the error hints at renaming it on disk
+/// inside the snapshot dir. `INTO` splices the load into one forest
+/// corpus instead of swapping the whole backend.
 fn parse_snapshot(rest: &str) -> Result<Request, String> {
-    let (mode, path) = match rest.split_once(char::is_whitespace) {
-        Some((m, p)) if !p.trim().is_empty() => (m, p.trim()),
-        _ => return Err("SNAPSHOT needs SAVE|LOAD and a path".to_owned()),
-    };
-    match mode.to_ascii_uppercase().as_str() {
-        "SAVE" => Ok(Request::snapshot_save(path)),
-        "LOAD" => Ok(Request::snapshot_load(path)),
-        other => Err(format!("SNAPSHOT knows SAVE and LOAD, not {other:?}")),
+    let tokens: Vec<&str> = rest.split_whitespace().collect();
+    match tokens.as_slice() {
+        [mode, path] => match mode.to_ascii_uppercase().as_str() {
+            "SAVE" => Ok(Request::snapshot_save(*path)),
+            "LOAD" => Ok(Request::snapshot_load(*path)),
+            other => Err(format!("SNAPSHOT knows SAVE and LOAD, not {other:?}")),
+        },
+        [mode, path, into, corpus] if into.eq_ignore_ascii_case("into") => {
+            match mode.to_ascii_uppercase().as_str() {
+                "LOAD" => Ok(Request::snapshot_load_into(*path, *corpus)),
+                "SAVE" => Err("SNAPSHOT SAVE does not take INTO".to_owned()),
+                other => Err(format!("SNAPSHOT knows SAVE and LOAD, not {other:?}")),
+            }
+        }
+        [] | [_] => Err("SNAPSHOT needs SAVE|LOAD and a path".to_owned()),
+        _ => Err(
+            "SNAPSHOT arguments are SAVE|LOAD <name> [INTO <corpus>]; snapshot names \
+             cannot contain spaces (rename files saved by older releases on disk)"
+                .to_owned(),
+        ),
     }
 }
 
@@ -154,6 +230,18 @@ fn respond<W: Write>(
         }
         Ok(Response::Info(msg)) => {
             payload.push_str(&msg);
+            write_ok(output, payload)
+        }
+        Ok(Response::Corpora { names, default }) => {
+            for (i, name) in names.iter().enumerate() {
+                if i > 0 {
+                    payload.push('\n');
+                }
+                payload.push_str(name);
+                if default.as_deref() == Some(name.as_str()) {
+                    payload.push_str(" (default)");
+                }
+            }
             write_ok(output, payload)
         }
         Ok(Response::Error(msg)) => write_err(output, &msg),

@@ -8,17 +8,21 @@
 //! always makes progress and a saturated client always eventually
 //! admits or observes shutdown.
 
-use ncq_core::{AnswerSet, Database, MeetBackend, MeetOptions, MeetStrategy};
+use ncq_core::{AnswerSet, CatalogError, Database, MeetBackend, MeetOptions, MeetStrategy};
 use ncq_fulltext::HitSet;
 use ncq_query::{run_query_opts, QueryConfig, QueryOptions, QueryOutput, RowSet};
 use ncq_store::snapshot::SnapshotError;
-use std::collections::{HashMap, VecDeque};
+use std::collections::{BTreeMap, HashMap, VecDeque};
 use std::fmt;
 use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicUsize, Ordering::Relaxed};
 use std::sync::{mpsc, Arc, Condvar, Mutex, RwLock};
 use std::thread;
 use std::time::{Duration, Instant};
+
+/// The corpus argument that fans a request out across every corpus of
+/// a forest deployment (`USE *` on the wire).
+pub const ALL_CORPORA: &str = "*";
 
 /// Service tuning knobs.
 #[derive(Debug, Clone)]
@@ -72,6 +76,12 @@ impl Default for ServerConfig {
 }
 
 /// One query, as admitted by the queue.
+///
+/// The `corpus` fields route against a forest deployment: `None` hits
+/// the backend's default corpus, `Some(name)` a named corpus,
+/// `Some("*")` ([`ALL_CORPORA`]) fans out across the whole catalog
+/// (MEET and SEARCH only). On single-document backends any
+/// `Some(...)` routing is an in-band error.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum Request {
     /// The paper's signature query: full-text search each term, meet the
@@ -81,17 +91,27 @@ pub enum Request {
         terms: Vec<String>,
         /// Maximum witness distance (`meet^δ`).
         within: Option<usize>,
+        /// Corpus routing (see the enum docs).
+        corpus: Option<String>,
     },
     /// A query in the SQL-with-paths dialect.
     Sql {
         /// Query text.
         src: String,
+        /// Session default corpus; an explicit `from corpus(name)` in
+        /// the text wins. `"*"` is not meaningful for SQL.
+        corpus: Option<String>,
     },
     /// A bare full-text search, answered with the hit count.
     Search {
         /// The term.
         term: String,
+        /// Corpus routing (see the enum docs).
+        corpus: Option<String>,
     },
+    /// List the corpora this deployment serves (empty for a
+    /// single-document backend) and the default corpus.
+    Corpora,
     /// Persist the serving backend's state as a versioned snapshot
     /// file (the line protocol's `SNAPSHOT SAVE <name>`). Gated by
     /// [`ServerConfig::snapshot_dir`]: refused in-band unless the
@@ -101,21 +121,31 @@ pub enum Request {
         /// Destination file name inside the configured snapshot dir.
         path: PathBuf,
     },
-    /// Cold-load a snapshot and hot-swap it in as the serving backend
-    /// (the line protocol's `SNAPSHOT LOAD <name>`). The swap takes
-    /// effect for batches formed after this request completes; worker
-    /// term caches are invalidated. The loaded engine keeps the
-    /// current backend's *shape* ([`MeetBackend::open_snapshot_like`]):
-    /// a sharded deployment reloads sharded at its current K. Gated by
-    /// [`ServerConfig::snapshot_dir`] like the save verb.
+    /// Cold-load a snapshot and hot-swap it in (the line protocol's
+    /// `SNAPSHOT LOAD <name> [INTO <corpus>]`). Without a corpus the
+    /// whole backend swaps, keeping its *shape*
+    /// ([`MeetBackend::open_snapshot_like`]): a sharded deployment
+    /// reloads sharded at its current K. With a corpus, only that
+    /// corpus of a forest deployment swaps
+    /// ([`MeetBackend::reload_corpus`]): the fresh engine keeps the
+    /// corpus's shape and every *other* corpus's engine is shared by
+    /// refcount, so sibling corpora — and all in-flight batches — are
+    /// untouched. Either way the swap takes effect for batches formed
+    /// after this request completes, and worker term caches are
+    /// invalidated. Gated by [`ServerConfig::snapshot_dir`] like the
+    /// save verb.
     SnapshotLoad {
         /// Source file name inside the configured snapshot dir.
         path: PathBuf,
+        /// Forest corpus to splice the snapshot into; `None` swaps the
+        /// whole backend.
+        corpus: Option<String>,
     },
 }
 
 impl Request {
-    /// A [`Request::MeetTerms`] without a distance bound.
+    /// A [`Request::MeetTerms`] without a distance bound, against the
+    /// default corpus.
     pub fn meet_terms<I, S>(terms: I) -> Request
     where
         I: IntoIterator<Item = S>,
@@ -124,17 +154,24 @@ impl Request {
         Request::MeetTerms {
             terms: terms.into_iter().map(Into::into).collect(),
             within: None,
+            corpus: None,
         }
     }
 
-    /// A [`Request::Sql`] from query text.
+    /// A [`Request::Sql`] from query text (default corpus).
     pub fn sql(src: impl Into<String>) -> Request {
-        Request::Sql { src: src.into() }
+        Request::Sql {
+            src: src.into(),
+            corpus: None,
+        }
     }
 
-    /// A [`Request::Search`] for one term.
+    /// A [`Request::Search`] for one term (default corpus).
     pub fn search(term: impl Into<String>) -> Request {
-        Request::Search { term: term.into() }
+        Request::Search {
+            term: term.into(),
+            corpus: None,
+        }
     }
 
     /// A [`Request::SnapshotSave`] to the given file.
@@ -142,9 +179,33 @@ impl Request {
         Request::SnapshotSave { path: path.into() }
     }
 
-    /// A [`Request::SnapshotLoad`] from the given file.
+    /// A [`Request::SnapshotLoad`] from the given file (whole-backend
+    /// swap).
     pub fn snapshot_load(path: impl Into<PathBuf>) -> Request {
-        Request::SnapshotLoad { path: path.into() }
+        Request::SnapshotLoad {
+            path: path.into(),
+            corpus: None,
+        }
+    }
+
+    /// A [`Request::SnapshotLoad`] spliced into one forest corpus.
+    pub fn snapshot_load_into(path: impl Into<PathBuf>, corpus: impl Into<String>) -> Request {
+        Request::SnapshotLoad {
+            path: path.into(),
+            corpus: Some(corpus.into()),
+        }
+    }
+
+    /// This request routed at the given corpus (`None` clears the
+    /// routing; snapshot saves and `CORPORA` are unaffected).
+    pub fn with_corpus(mut self, corpus: Option<String>) -> Request {
+        match &mut self {
+            Request::MeetTerms { corpus: c, .. }
+            | Request::Sql { corpus: c, .. }
+            | Request::Search { corpus: c, .. } => *c = corpus,
+            Request::SnapshotSave { .. } | Request::SnapshotLoad { .. } | Request::Corpora => {}
+        }
+        self
     }
 }
 
@@ -160,6 +221,15 @@ pub enum Response {
     /// A control-plane acknowledgement (snapshot save/load), one line
     /// of human-readable detail.
     Info(String),
+    /// The corpora of a forest deployment ([`Request::Corpora`]) —
+    /// names in catalog order plus the default corpus. Both empty for
+    /// single-document backends.
+    Corpora {
+        /// Corpus names, catalog order.
+        names: Vec<String>,
+        /// The default corpus, if the backend routes by corpus.
+        default: Option<String>,
+    },
     /// The query failed (parse error, row-limit explosion, …). The
     /// service stays up; errors are per-request.
     Error(String),
@@ -194,7 +264,7 @@ impl fmt::Display for ServerError {
 impl std::error::Error for ServerError {}
 
 /// Counters accumulated since start, readable while serving.
-#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct ServerStats {
     /// Requests answered.
     pub served: usize,
@@ -210,6 +280,11 @@ pub struct ServerStats {
     /// queue) plus connections refused by the TCP acceptor's connection
     /// cap — every form of shedding the service performs.
     pub shed: usize,
+    /// Queries served per corpus, sorted by name — populated only when
+    /// requests route by corpus (forest deployments; a fan-out request
+    /// counts once per corpus it reached). Read per-corpus load and
+    /// shed pressure from here.
+    pub queries_by_corpus: Vec<(String, usize)>,
 }
 
 impl ServerStats {
@@ -235,6 +310,10 @@ struct Counters {
     term_decodes: AtomicUsize,
     term_cache_hits: AtomicUsize,
     shed: AtomicUsize,
+    /// Per-corpus query counts. A mutex (not a sharded atomic map)
+    /// because the set of corpora is tiny and the increment sits next
+    /// to a full query evaluation.
+    by_corpus: Mutex<BTreeMap<String, usize>>,
 }
 
 impl Counters {
@@ -246,7 +325,23 @@ impl Counters {
             term_decodes: self.term_decodes.load(Relaxed),
             term_cache_hits: self.term_cache_hits.load(Relaxed),
             shed: self.shed.load(Relaxed),
+            queries_by_corpus: self
+                .by_corpus
+                .lock()
+                .expect("corpus counter lock")
+                .iter()
+                .map(|(k, v)| (k.clone(), *v))
+                .collect(),
         }
+    }
+
+    fn note_corpus(&self, name: &str) {
+        *self
+            .by_corpus
+            .lock()
+            .expect("corpus counter lock")
+            .entry(name.to_owned())
+            .or_insert(0) += 1;
     }
 }
 
@@ -359,6 +454,22 @@ impl Server {
         Ok(Server::start(db, config))
     }
 
+    /// Cold-start a *forest* service from a manifest file: every
+    /// corpus entry opens from its snapshot (shard-aware — entries
+    /// with `shards > 1` cold-start as `ncq-shard::ShardedDb`,
+    /// reusing the stored partition cut), verified against the
+    /// manifest's recorded checksums, and the worker pool spins up
+    /// over the resulting [`ForestBackend`]. Unqualified queries hit
+    /// the manifest's default corpus; `USE <corpus>` / `from
+    /// corpus(name)` route the rest.
+    pub fn open_manifest(
+        path: impl AsRef<Path>,
+        config: ServerConfig,
+    ) -> Result<Server, CatalogError> {
+        let forest = ncq_shard::open_forest(path)?;
+        Ok(Server::start_backend(Arc::new(forest), config))
+    }
+
     /// A new client handle.
     pub fn client(&self) -> Client {
         Client {
@@ -466,6 +577,16 @@ impl Client {
         self.shared.stats.snapshot()
     }
 
+    /// Convenience: the corpora this deployment serves and its default
+    /// (both empty/`None` for single-document backends).
+    pub fn corpora(&self) -> Result<(Vec<String>, Option<String>), ServerError> {
+        match self.request(Request::Corpora)? {
+            Response::Corpora { names, default } => Ok((names, default)),
+            Response::Error(msg) => Err(ServerError::Query(msg)),
+            other => Err(ServerError::Query(format!("unexpected response {other:?}"))),
+        }
+    }
+
     /// Record one shed request on behalf of a front end that refuses
     /// work before it reaches the queue (the TCP acceptor's connection
     /// cap) — keeps [`ServerStats::shed_rate`] covering every form of
@@ -481,6 +602,11 @@ impl Client {
 /// immutable, so entries never invalidate; the cap only bounds memory.
 /// Entries are `Arc<HitSet>` so handing a cached decode to the meet
 /// operators is a refcount bump, not a deep copy of the posting lists.
+///
+/// Keys are `corpus \0 term`: the same term decodes differently per
+/// corpus of a forest, and corpus names can never contain NUL
+/// (enforced by the manifest/catalog name validation), so the split at
+/// the first NUL is unambiguous.
 struct TermCache {
     map: HashMap<String, Arc<HitSet>>,
     order: VecDeque<String>,
@@ -500,13 +626,15 @@ impl TermCache {
         &mut self,
         shared: &Shared,
         db: &Arc<dyn MeetBackend>,
+        corpus: &str,
         term: &str,
     ) -> Arc<HitSet> {
         if self.capacity == 0 {
             shared.stats.term_decodes.fetch_add(1, Relaxed);
             return Arc::new(db.search(term));
         }
-        if let Some(hits) = self.map.get(term) {
+        let key = format!("{corpus}\0{term}");
+        if let Some(hits) = self.map.get(&key) {
             shared.stats.term_cache_hits.fetch_add(1, Relaxed);
             return Arc::clone(hits);
         }
@@ -517,8 +645,8 @@ impl TermCache {
             }
         }
         let hits = Arc::new(db.search(term));
-        self.map.insert(term.to_owned(), Arc::clone(&hits));
-        self.order.push_back(term.to_owned());
+        self.map.insert(key.clone(), Arc::clone(&hits));
+        self.order.push_back(key);
         hits
     }
 
@@ -626,6 +754,25 @@ fn next_batch(shared: &Shared) -> Option<Vec<Job>> {
     Some(batch)
 }
 
+/// Resolve a request's corpus routing: `(engine to evaluate on, stat
+/// key to count under)`. `None` routing on a forest resolves to the
+/// default corpus *name* for accounting while evaluating through the
+/// forest backend itself (whose trait surface already routes to the
+/// default corpus); on a single-document backend there is no corpus to
+/// count. An explicit name resolves through [`MeetBackend::corpus`].
+fn resolve_corpus(
+    db: &Arc<dyn MeetBackend>,
+    corpus: &Option<String>,
+) -> Result<(Arc<dyn MeetBackend>, Option<String>), String> {
+    match corpus.as_deref() {
+        None => Ok((Arc::clone(db), db.default_corpus())),
+        Some(name) => match db.corpus(name) {
+            Some(target) => Ok((target, Some(name.to_owned()))),
+            None => Err(format!("unknown corpus {name:?}")),
+        },
+    }
+}
+
 fn execute(
     shared: &Shared,
     db: &Arc<dyn MeetBackend>,
@@ -634,26 +781,94 @@ fn execute(
     request: &Request,
 ) -> Response {
     match request {
-        Request::MeetTerms { terms, within } => {
-            scratch.inputs.clear();
-            for term in terms {
-                scratch.inputs.push(cache.get_or_decode(shared, db, term));
-            }
+        Request::MeetTerms {
+            terms,
+            within,
+            corpus,
+        } => {
             let options = MeetOptions {
                 max_distance: *within,
                 strategy: shared.config.strategy,
                 ..MeetOptions::default()
             };
+            if corpus.as_deref() == Some(ALL_CORPORA) {
+                // Fan out across the whole catalog: per-corpus answers
+                // concatenate in catalog order, corpus-tagged. Decodes
+                // go through the per-corpus engines (and the tagged
+                // term cache), same as single-corpus routing.
+                let names = db.corpus_names();
+                if names.is_empty() {
+                    return Response::Error(
+                        "this deployment serves no corpora (single-document backend)".to_owned(),
+                    );
+                }
+                let mut all = AnswerSet::default();
+                for name in &names {
+                    let Some(target) = db.corpus(name) else {
+                        return Response::Error(format!("unknown corpus {name:?}"));
+                    };
+                    shared.stats.note_corpus(name);
+                    scratch.inputs.clear();
+                    for term in terms {
+                        scratch
+                            .inputs
+                            .push(cache.get_or_decode(shared, &target, name, term));
+                    }
+                    let input_refs: Vec<&HitSet> = scratch.inputs.iter().map(Arc::as_ref).collect();
+                    all.results.extend(
+                        ncq_core::catalog::corpus_tagged_meet(
+                            name,
+                            &*target,
+                            &input_refs,
+                            &options,
+                        )
+                        .results,
+                    );
+                }
+                return Response::Answers(all);
+            }
+            let (target, stat_name) = match resolve_corpus(db, corpus) {
+                Ok(pair) => pair,
+                Err(msg) => return Response::Error(msg),
+            };
+            if let Some(name) = &stat_name {
+                shared.stats.note_corpus(name);
+            }
+            let cache_corpus = stat_name.as_deref().unwrap_or("");
+            scratch.inputs.clear();
+            for term in terms {
+                scratch
+                    .inputs
+                    .push(cache.get_or_decode(shared, &target, cache_corpus, term));
+            }
             let input_refs: Vec<&HitSet> = scratch.inputs.iter().map(Arc::as_ref).collect();
-            let meets = db.meet_hit_groups(&input_refs, &options);
-            Response::Answers(AnswerSet::from_meets(db.store(), meets))
+            let meets = target.meet_hit_groups(&input_refs, &options);
+            Response::Answers(AnswerSet::from_meets(target.store(), meets))
         }
-        Request::Sql { src } => {
+        Request::Sql { src, corpus } => {
+            if corpus.as_deref() == Some(ALL_CORPORA) {
+                return Response::Error(
+                    "SQL evaluates against one corpus; USE a concrete corpus name".to_owned(),
+                );
+            }
+            // The evaluator resolves `from corpus(name)` itself; the
+            // session corpus only fills the default. Accounting follows
+            // the session/default routing (the service layer cannot see
+            // a corpus named inside the query text without parsing it
+            // twice).
+            if let Some(name) = corpus
+                .as_deref()
+                .map(str::to_owned)
+                .or_else(|| db.default_corpus())
+            {
+                shared.stats.note_corpus(&name);
+            }
             let options = QueryOptions {
                 config: QueryConfig {
                     max_rows: shared.config.max_rows,
                 },
                 strategy: shared.config.strategy,
+                default_corpus: corpus.clone(),
             };
             match run_query_opts(&**db, src, &options) {
                 Ok(QueryOutput::Answers(a)) => Response::Answers(a),
@@ -661,7 +876,42 @@ fn execute(
                 Err(e) => Response::Error(e.to_string()),
             }
         }
-        Request::Search { term } => Response::Count(cache.get_or_decode(shared, db, term).len()),
+        Request::Search { term, corpus } => {
+            if corpus.as_deref() == Some(ALL_CORPORA) {
+                let names = db.corpus_names();
+                if names.is_empty() {
+                    return Response::Error(
+                        "this deployment serves no corpora (single-document backend)".to_owned(),
+                    );
+                }
+                let mut total = 0usize;
+                for name in &names {
+                    let Some(target) = db.corpus(name) else {
+                        return Response::Error(format!("unknown corpus {name:?}"));
+                    };
+                    shared.stats.note_corpus(name);
+                    total += cache.get_or_decode(shared, &target, name, term).len();
+                }
+                return Response::Count(total);
+            }
+            let (target, stat_name) = match resolve_corpus(db, corpus) {
+                Ok(pair) => pair,
+                Err(msg) => return Response::Error(msg),
+            };
+            if let Some(name) = &stat_name {
+                shared.stats.note_corpus(name);
+            }
+            let cache_corpus = stat_name.as_deref().unwrap_or("");
+            Response::Count(
+                cache
+                    .get_or_decode(shared, &target, cache_corpus, term)
+                    .len(),
+            )
+        }
+        Request::Corpora => Response::Corpora {
+            names: db.corpus_names(),
+            default: db.default_corpus(),
+        },
         Request::SnapshotSave { path } => match resolve_snapshot_path(&shared.config, path) {
             Ok(full) => match db.save_snapshot(&full) {
                 Ok(()) => Response::Info(format!(
@@ -671,56 +921,154 @@ fn execute(
                 )),
                 Err(e) => Response::Error(e.to_string()),
             },
-            Err(msg) => Response::Error(msg),
+            Err(e) => Response::Error(e.to_string()),
         },
-        Request::SnapshotLoad { path } => match resolve_snapshot_path(&shared.config, path) {
-            // Same-shape reload: a sharded backend re-shards at its
-            // current K, a plain Database loads a plain Database.
-            Ok(full) => match db.open_snapshot_like(&full) {
-                Ok(fresh) => {
+        Request::SnapshotLoad { path, corpus } => {
+            let full = match resolve_snapshot_path(&shared.config, path) {
+                Ok(full) => full,
+                Err(e) => return Response::Error(e.to_string()),
+            };
+            match corpus {
+                None => {
+                    // Whole-backend reload: the fresh engine is built
+                    // entirely from the file (only its *shape* comes
+                    // from the current backend), so building outside
+                    // the write lock is safe — concurrent whole-backend
+                    // loads are last-write-wins by design, which
+                    // matches the verb's "replace everything" meaning.
+                    let fresh = match db.open_snapshot_like(&full) {
+                        Ok(fresh) => fresh,
+                        Err(e) => return Response::Error(e.to_string()),
+                    };
                     let objects = fresh.store().node_count();
                     {
                         // Bump the generation while still holding the
-                        // write lock: readers take (backend, generation)
-                        // under the read lock, so they can never pair
-                        // the new engine with the old generation (stale
-                        // term-cache decodes) or vice versa.
+                        // write lock: readers take (backend,
+                        // generation) under the read lock, so they can
+                        // never pair the new engine with the old
+                        // generation (stale term-cache decodes) or
+                        // vice versa.
                         let mut guard = shared.db.write().expect("backend lock");
                         *guard = fresh;
                         shared.generation.fetch_add(1, Relaxed);
                     }
                     Response::Info(format!(
-                        "snapshot loaded: {} objects <- {} (takes effect for subsequent batches)",
-                        objects,
+                        "snapshot loaded: {objects} objects <- {} (takes effect for subsequent batches)",
                         full.display()
                     ))
                 }
-                Err(e) => Response::Error(e.to_string()),
-            },
-            Err(msg) => Response::Error(msg),
-        },
+                Some(name) => {
+                    // Per-corpus splice. The replacement forest clones
+                    // the *current* catalog (not this batch's possibly
+                    // stale backend — a sibling corpus may have been
+                    // swapped since the batch formed), and the
+                    // expensive snapshot load runs outside the write
+                    // lock: if another swap lands in between (the
+                    // generation moved), rebuild against the new
+                    // current forest instead of silently discarding
+                    // that swap. Retries are rare — swaps are operator
+                    // actions — and each one observes a strictly newer
+                    // generation.
+                    loop {
+                        let (current, observed) = shared.backend();
+                        let fresh = match current.reload_corpus(name, &full) {
+                            Ok(fresh) => fresh,
+                            Err(e) => return Response::Error(format!("corpus {name:?}: {e}")),
+                        };
+                        let mut guard = shared.db.write().expect("backend lock");
+                        if shared.generation.load(Relaxed) != observed {
+                            continue; // lost a race: splice into the newer forest
+                        }
+                        *guard = fresh;
+                        shared.generation.fetch_add(1, Relaxed);
+                        drop(guard);
+                        return Response::Info(format!(
+                            "corpus {name:?} reloaded <- {} (takes effect for subsequent batches)",
+                            full.display()
+                        ));
+                    }
+                }
+            }
+        }
     }
 }
+
+/// Typed failures of the snapshot verbs' path gate — returned in-band
+/// so a network client sees a protocol error, never backend io text
+/// for a name that should have been refused up front.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SnapshotPathError {
+    /// [`ServerConfig::snapshot_dir`] is not set.
+    Disabled,
+    /// The argument is not a single bare file name (separators, `..`,
+    /// absolute paths, or nothing at all).
+    NotBare {
+        /// The offending argument.
+        requested: String,
+    },
+    /// The file name is empty or carries whitespace, NUL or other
+    /// control characters.
+    BadName {
+        /// The offending argument.
+        requested: String,
+    },
+}
+
+impl fmt::Display for SnapshotPathError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SnapshotPathError::Disabled => write!(
+                f,
+                "snapshot verbs are disabled (ServerConfig::snapshot_dir is not set)"
+            ),
+            SnapshotPathError::NotBare { requested } => write!(
+                f,
+                "snapshot name {requested:?} must be a bare file name inside the snapshot dir"
+            ),
+            SnapshotPathError::BadName { requested } => write!(
+                f,
+                "snapshot name {requested:?} must be non-empty without whitespace or control characters"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for SnapshotPathError {}
 
 /// Resolve a snapshot verb's file argument against the configured
 /// snapshot directory. The verbs are network-reachable, so this is the
 /// security gate: disabled unless [`ServerConfig::snapshot_dir`] is
 /// set, and the argument must be a single bare file name (no path
-/// separators, no `..`, nothing absolute) so a client can never direct
-/// writes or reads outside the operator-chosen directory.
-fn resolve_snapshot_path(config: &ServerConfig, requested: &Path) -> Result<PathBuf, String> {
+/// separators, no `..`, nothing absolute, no embedded whitespace, NUL
+/// or control characters) so a client can never direct writes or reads
+/// outside the operator-chosen directory — and a malformed name is a
+/// typed [`SnapshotPathError`] instead of whatever the filesystem
+/// would have said.
+fn resolve_snapshot_path(
+    config: &ServerConfig,
+    requested: &Path,
+) -> Result<PathBuf, SnapshotPathError> {
     let Some(dir) = &config.snapshot_dir else {
-        return Err(
-            "snapshot verbs are disabled (ServerConfig::snapshot_dir is not set)".to_owned(),
-        );
+        return Err(SnapshotPathError::Disabled);
     };
     let mut components = requested.components();
-    match (components.next(), components.next()) {
-        (Some(std::path::Component::Normal(name)), None) => Ok(dir.join(name)),
-        _ => Err(format!(
-            "snapshot name {:?} must be a bare file name inside the snapshot dir",
-            requested.display()
-        )),
+    let name = match (components.next(), components.next()) {
+        (Some(std::path::Component::Normal(name)), None) => name,
+        _ => {
+            return Err(SnapshotPathError::NotBare {
+                requested: requested.display().to_string(),
+            })
+        }
+    };
+    match name.to_str() {
+        Some(utf8)
+            if !utf8.is_empty() && !utf8.chars().any(|c| c.is_whitespace() || c.is_control()) =>
+        {
+            Ok(dir.join(name))
+        }
+        _ => Err(SnapshotPathError::BadName {
+            requested: requested.display().to_string(),
+        }),
     }
 }
 

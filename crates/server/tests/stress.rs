@@ -68,6 +68,7 @@ fn request_mix(db: &Database, terms: &[String]) -> Vec<(Request, Response)> {
         mix.push(Request::MeetTerms {
             terms: vec![pair[0].clone(), pair[1].clone()],
             within: Some(6),
+            corpus: None,
         });
         mix.push(Request::search(pair[0].clone()));
         mix.push(Request::sql(format!(
@@ -92,7 +93,7 @@ fn request_mix(db: &Database, terms: &[String]) -> Vec<(Request, Response)> {
 /// defaults: Auto planner, 10k row limit).
 fn reference(db: &Database, request: &Request) -> Response {
     match request {
-        Request::MeetTerms { terms, within } => {
+        Request::MeetTerms { terms, within, .. } => {
             let refs: Vec<&str> = terms.iter().map(String::as_str).collect();
             let options = ncq_core::MeetOptions {
                 max_distance: *within,
@@ -100,7 +101,7 @@ fn reference(db: &Database, request: &Request) -> Response {
             };
             Response::Answers(db.meet_terms_with(&refs, &options).unwrap())
         }
-        Request::Sql { src } => {
+        Request::Sql { src, .. } => {
             let options = QueryOptions {
                 config: QueryConfig { max_rows: 10_000 },
                 ..QueryOptions::default()
@@ -111,11 +112,11 @@ fn reference(db: &Database, request: &Request) -> Response {
                 Err(e) => Response::Error(e.to_string()),
             }
         }
-        Request::Search { term } => Response::Count(db.search(term).len()),
-        // The stress mix is query-only; snapshot control requests are
-        // covered by the unit and protocol suites.
-        Request::SnapshotSave { .. } | Request::SnapshotLoad { .. } => {
-            unreachable!("snapshot requests are not part of the stress mix")
+        Request::Search { term, .. } => Response::Count(db.search(term).len()),
+        // The stress mix is query-only; snapshot and catalog control
+        // requests are covered by the unit and protocol suites.
+        Request::SnapshotSave { .. } | Request::SnapshotLoad { .. } | Request::Corpora => {
+            unreachable!("control requests are not part of the stress mix")
         }
     }
 }

@@ -35,10 +35,12 @@
 //! assert_eq!(answers.results[0].tag, "article");
 //! ```
 
+pub mod forest;
 pub mod partition;
 mod pool;
 pub mod sharded;
 pub mod snapshot;
 
+pub use forest::{open_catalog, open_forest, sharded_corpus};
 pub use partition::{PartitionMap, ShardInfo};
 pub use sharded::ShardedDb;

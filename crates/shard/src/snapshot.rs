@@ -163,11 +163,22 @@ impl ShardedDb {
     /// loaded stats — still without any parse or index preprocess,
     /// since the meet index and mass prefix sums arrive pre-computed.
     pub fn open_snapshot(path: impl AsRef<Path>, k: usize) -> Result<ShardedDb, SnapshotError> {
-        let reader = SnapshotReader::open(path.as_ref())?;
-        let db = Arc::new(Database::decode_snapshot(&reader)?);
+        ShardedDb::from_reader(&SnapshotReader::open(path.as_ref())?, k)
+    }
+
+    /// Cold-start a sharded engine from in-memory snapshot bytes — the
+    /// path the forest catalog takes after verifying a corpus file
+    /// against its manifest checksum (the bytes are already read, so
+    /// re-opening the file would double the IO).
+    pub fn from_snapshot_bytes(bytes: Vec<u8>, k: usize) -> Result<ShardedDb, SnapshotError> {
+        ShardedDb::from_reader(&SnapshotReader::from_bytes(bytes)?, k)
+    }
+
+    fn from_reader(reader: &SnapshotReader, k: usize) -> Result<ShardedDb, SnapshotError> {
+        let db = Arc::new(Database::decode_snapshot(reader)?);
         let workers = crate::sharded::default_workers(k);
         if reader.has_section(section::PARTITION) {
-            let partition = PartitionMap::decode_snapshot(&reader, db.store().node_count())?;
+            let partition = PartitionMap::decode_snapshot(reader, db.store().node_count())?;
             if partition.requested_k() == k {
                 return Ok(ShardedDb::with_partition(db, partition, workers));
             }

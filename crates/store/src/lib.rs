@@ -32,6 +32,7 @@
 //! ```
 
 pub mod index;
+pub mod manifest;
 pub mod monet;
 pub mod object;
 pub mod oid;
@@ -40,6 +41,9 @@ pub mod snapshot;
 pub mod stats;
 
 pub use index::MeetIndex;
+pub use manifest::{
+    validate_corpus_name, Manifest, ManifestEntry, ManifestError, MANIFEST_MAGIC, MANIFEST_VERSION,
+};
 pub use monet::MonetDb;
 pub use object::ObjectView;
 pub use oid::Oid;

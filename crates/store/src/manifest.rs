@@ -1,0 +1,620 @@
+//! The forest manifest: a versioned catalog file naming N corpora.
+//!
+//! The ROADMAP's forest-of-documents item needs exactly one artifact
+//! beyond the PR-4 snapshot: a small, corruption-proof file that names
+//! every corpus of a deployment and says where its snapshot lives, how
+//! many shards it wants, and what the snapshot bytes must hash to. A
+//! catalog (`ncq-core::Catalog`) opens this file and materializes one
+//! engine per entry; the scatter/gather layer then addresses
+//! `(corpus, shard)` pairs instead of assuming one document per
+//! process.
+//!
+//! # Layout (manifest version 1)
+//!
+//! ```text
+//! offset 0   magic   b"NCQFRST\0"                    8 bytes
+//!        8   manifest version (u32 LE)               4 bytes
+//!       12   checksum64 of the body (u64 LE)         8 bytes
+//!       20   body:
+//!              corpus count (u32) · default corpus index (u32)
+//!              per corpus:
+//!                name (len-prefixed str)
+//!                snapshot path (len-prefixed str)
+//!                shard count (u32)
+//!                snapshot layout version (u32)
+//!                snapshot checksum64 (u64)
+//! ```
+//!
+//! The same corruption discipline as [`crate::snapshot`]: every failure
+//! mode is a typed [`ManifestError`], never a panic — bad magic, a
+//! version this build does not read, truncation anywhere, a flipped
+//! bit (the body checksum), duplicate or malformed corpus names, a
+//! default index out of range. The per-entry snapshot checksum lets the
+//! catalog detect a swapped or bit-rotted snapshot *file* before
+//! decoding it, and the recorded layout version makes a stale manifest
+//! (pointing at snapshots of another era) fail with a version message
+//! instead of a decode error.
+//!
+//! Snapshot paths are stored verbatim; relative paths are resolved
+//! against the manifest file's directory ([`Manifest::resolve`]), so a
+//! manifest and its snapshots move between machines as one directory.
+
+use crate::snapshot::{checksum64, SectionBuf, SectionCursor, SnapshotError, SNAPSHOT_MAGIC};
+use std::fmt;
+use std::path::{Path, PathBuf};
+
+/// The 8-byte manifest magic.
+pub const MANIFEST_MAGIC: [u8; 8] = *b"NCQFRST\0";
+
+/// Current manifest layout version. Bump on any layout change.
+pub const MANIFEST_VERSION: u32 = 1;
+
+/// Typed manifest failures. Loading never panics on malformed input.
+#[derive(Debug)]
+pub enum ManifestError {
+    /// The underlying file could not be read or written.
+    Io(std::io::Error),
+    /// The file does not start with [`MANIFEST_MAGIC`].
+    BadMagic,
+    /// The manifest layout version is not the one this build reads.
+    UnsupportedVersion {
+        /// Version found in the header.
+        found: u32,
+        /// Version this build supports.
+        supported: u32,
+    },
+    /// The file ends before the advertised structure does.
+    Truncated {
+        /// What was being read when the bytes ran out.
+        context: &'static str,
+    },
+    /// The body does not match the header checksum.
+    ChecksumMismatch,
+    /// A checksum-valid body decodes to inconsistent data.
+    Corrupt {
+        /// What failed to validate.
+        context: &'static str,
+    },
+    /// A corpus name is not a query-dialect word (see
+    /// [`validate_corpus_name`]) — names are `from corpus(name)`
+    /// arguments, protocol verb tokens and cache-key components, so
+    /// they must stay single unambiguous identifiers.
+    InvalidName {
+        /// The offending name.
+        name: String,
+    },
+    /// The same corpus name appears twice.
+    DuplicateCorpus {
+        /// The duplicated name.
+        name: String,
+    },
+}
+
+impl fmt::Display for ManifestError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ManifestError::Io(e) => write!(f, "manifest io error: {e}"),
+            ManifestError::BadMagic => write!(f, "not a forest manifest (bad magic)"),
+            ManifestError::UnsupportedVersion { found, supported } => write!(
+                f,
+                "unsupported manifest version {found} (this build reads {supported})"
+            ),
+            ManifestError::Truncated { context } => {
+                write!(f, "manifest truncated while reading {context}")
+            }
+            ManifestError::ChecksumMismatch => write!(f, "manifest body failed its checksum"),
+            ManifestError::Corrupt { context } => {
+                write!(f, "manifest payload is corrupt: {context}")
+            }
+            ManifestError::InvalidName { name } => write!(
+                f,
+                "corpus name {name:?} must be a query-dialect word (letter or _ first, \
+                 then letters, digits, _ - . :)"
+            ),
+            ManifestError::DuplicateCorpus { name } => {
+                write!(f, "corpus {name:?} appears more than once")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ManifestError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ManifestError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<std::io::Error> for ManifestError {
+    fn from(e: std::io::Error) -> ManifestError {
+        ManifestError::Io(e)
+    }
+}
+
+/// Cursor failures become manifest failures: the bounds-checked readers
+/// of [`SectionCursor`] report `Corrupt`/`Truncated`, which keep their
+/// context here.
+impl From<SnapshotError> for ManifestError {
+    fn from(e: SnapshotError) -> ManifestError {
+        match e {
+            SnapshotError::Truncated { context } => ManifestError::Truncated { context },
+            SnapshotError::Corrupt { context } => ManifestError::Corrupt { context },
+            _ => ManifestError::Corrupt {
+                context: "manifest body",
+            },
+        }
+    }
+}
+
+/// Whether `name` can name a corpus. The rule is exactly the query
+/// lexer's *word* shape — first byte alphabetic, `_` or multi-byte
+/// UTF-8; remaining bytes alphanumeric, `_`, `-`, `.`, `:` or
+/// multi-byte UTF-8 — so every valid corpus name is addressable as
+/// `from corpus(name)` and round-trips through the canonical query
+/// printer. This also excludes whitespace, NUL and all other control
+/// characters, keeping names single unambiguous protocol tokens and
+/// collision-free term-cache key prefixes. Shared by the manifest
+/// decoder, `ncq-core::Catalog` and the server verbs.
+pub fn validate_corpus_name(name: &str) -> Result<(), ManifestError> {
+    let bytes = name.as_bytes();
+    let valid = match bytes.first() {
+        None => false,
+        Some(&first) => {
+            (first.is_ascii_alphabetic() || first == b'_' || first >= 0x80)
+                && bytes[1..].iter().all(|&b| {
+                    b.is_ascii_alphanumeric() || matches!(b, b'_' | b'-' | b'.' | b':') || b >= 0x80
+                })
+        }
+    };
+    if valid {
+        Ok(())
+    } else {
+        Err(ManifestError::InvalidName {
+            name: name.to_owned(),
+        })
+    }
+}
+
+/// One corpus of a forest deployment.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ManifestEntry {
+    /// Corpus name — the routing key of `FROM corpus(name)` queries and
+    /// the `USE` verb.
+    pub name: String,
+    /// Snapshot path as stored (relative paths resolve against the
+    /// manifest's directory).
+    pub snapshot: String,
+    /// Requested shard count (1 = single-process engine).
+    pub shards: usize,
+    /// The snapshot's layout version as recorded at manifest build
+    /// time; a catalog refuses entries whose version it cannot read.
+    pub layout_version: u32,
+    /// `checksum64` of the whole snapshot file, so a swapped or rotted
+    /// snapshot is detected before decoding.
+    pub checksum: u64,
+}
+
+impl ManifestEntry {
+    /// Describe an existing snapshot file: read it, record its layout
+    /// version and checksum. The snapshot itself is not decoded.
+    pub fn describe(
+        name: impl Into<String>,
+        snapshot_path: impl AsRef<Path>,
+        shards: usize,
+    ) -> Result<ManifestEntry, ManifestError> {
+        let name = name.into();
+        validate_corpus_name(&name)?;
+        let path = snapshot_path.as_ref();
+        let bytes = std::fs::read(path)?;
+        if bytes.len() < 12 || bytes[..8] != SNAPSHOT_MAGIC {
+            return Err(ManifestError::Corrupt {
+                context: "described file is not a snapshot",
+            });
+        }
+        let layout_version = u32::from_le_bytes(bytes[8..12].try_into().expect("4 bytes"));
+        Ok(ManifestEntry {
+            name,
+            snapshot: path.to_string_lossy().into_owned(),
+            shards: shards.max(1),
+            layout_version,
+            checksum: checksum64(&bytes),
+        })
+    }
+}
+
+/// A versioned, checksummed catalog of corpora.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Manifest {
+    /// The corpora, in catalog order (cross-corpus answers concatenate
+    /// in this order).
+    pub corpora: Vec<ManifestEntry>,
+    /// Index of the default corpus (the one unqualified queries hit).
+    pub default: usize,
+}
+
+impl Manifest {
+    /// An empty manifest (push entries, then save).
+    pub fn new() -> Manifest {
+        Manifest::default()
+    }
+
+    /// Append an entry, enforcing name validity and uniqueness.
+    pub fn push(&mut self, entry: ManifestEntry) -> Result<(), ManifestError> {
+        validate_corpus_name(&entry.name)?;
+        if self.corpora.iter().any(|e| e.name == entry.name) {
+            return Err(ManifestError::DuplicateCorpus { name: entry.name });
+        }
+        self.corpora.push(entry);
+        Ok(())
+    }
+
+    /// The entry named `name`, if any.
+    pub fn entry(&self, name: &str) -> Option<&ManifestEntry> {
+        self.corpora.iter().find(|e| e.name == name)
+    }
+
+    /// Resolve an entry's snapshot path against the manifest location:
+    /// absolute paths pass through, relative ones join the manifest's
+    /// directory.
+    pub fn resolve(manifest_path: &Path, entry: &ManifestEntry) -> PathBuf {
+        let p = Path::new(&entry.snapshot);
+        if p.is_absolute() {
+            p.to_path_buf()
+        } else {
+            manifest_path.parent().unwrap_or(Path::new(".")).join(p)
+        }
+    }
+
+    /// Render the framed manifest bytes (deterministic).
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut body = Vec::new();
+        {
+            let mut b = SectionBuf::over(&mut body);
+            b.put_u32(self.corpora.len() as u32);
+            b.put_u32(self.default as u32);
+            for e in &self.corpora {
+                b.put_str(&e.name);
+                b.put_str(&e.snapshot);
+                b.put_u32(e.shards as u32);
+                b.put_u32(e.layout_version);
+                b.put_u64(e.checksum);
+            }
+        }
+        let mut out = Vec::with_capacity(20 + body.len());
+        out.extend_from_slice(&MANIFEST_MAGIC);
+        out.extend_from_slice(&MANIFEST_VERSION.to_le_bytes());
+        out.extend_from_slice(&checksum64(&body).to_le_bytes());
+        out.extend_from_slice(&body);
+        out
+    }
+
+    /// Parse and validate manifest bytes: magic, version, body
+    /// checksum, then every structural invariant (non-empty, default in
+    /// range, valid unique names, positive shard counts, no trailing
+    /// garbage).
+    pub fn from_bytes(bytes: &[u8]) -> Result<Manifest, ManifestError> {
+        if bytes.len() < 8 {
+            return Err(ManifestError::Truncated { context: "magic" });
+        }
+        if bytes[..8] != MANIFEST_MAGIC {
+            return Err(ManifestError::BadMagic);
+        }
+        if bytes.len() < 20 {
+            return Err(ManifestError::Truncated { context: "header" });
+        }
+        let version = u32::from_le_bytes(bytes[8..12].try_into().expect("4 bytes"));
+        if version != MANIFEST_VERSION {
+            return Err(ManifestError::UnsupportedVersion {
+                found: version,
+                supported: MANIFEST_VERSION,
+            });
+        }
+        let checksum = u64::from_le_bytes(bytes[12..20].try_into().expect("8 bytes"));
+        let body = &bytes[20..];
+        if checksum64(body) != checksum {
+            return Err(ManifestError::ChecksumMismatch);
+        }
+        let mut c = SectionCursor::new(body);
+        let count = c.get_u32("corpus count")? as usize;
+        if count == 0 {
+            return Err(ManifestError::Corrupt {
+                context: "manifest names no corpora",
+            });
+        }
+        let default = c.get_u32("default corpus index")? as usize;
+        if default >= count {
+            return Err(ManifestError::Corrupt {
+                context: "default corpus index out of range",
+            });
+        }
+        // Clamped: an entry spans ≥ 24 payload bytes, so a lying count
+        // fails typed instead of aborting on a huge pre-allocation.
+        let mut corpora = Vec::with_capacity(count.min(c.remaining() / 24 + 1));
+        for _ in 0..count {
+            let name = c.get_str("corpus name")?.to_owned();
+            validate_corpus_name(&name)?;
+            if corpora.iter().any(|e: &ManifestEntry| e.name == name) {
+                return Err(ManifestError::DuplicateCorpus { name });
+            }
+            let snapshot = c.get_str("corpus snapshot path")?.to_owned();
+            let shards = c.get_u32("corpus shard count")? as usize;
+            if shards == 0 {
+                return Err(ManifestError::Corrupt {
+                    context: "corpus shard count is zero",
+                });
+            }
+            let layout_version = c.get_u32("corpus layout version")?;
+            let checksum = c.get_u64("corpus snapshot checksum")?;
+            corpora.push(ManifestEntry {
+                name,
+                snapshot,
+                shards,
+                layout_version,
+                checksum,
+            });
+        }
+        if !c.at_end() {
+            return Err(ManifestError::Corrupt {
+                context: "trailing bytes after the last corpus",
+            });
+        }
+        Ok(Manifest { corpora, default })
+    }
+
+    /// Write the manifest to `path` (atomic temp-file + rename, like
+    /// snapshot saves). The temp name is unique per process *and*
+    /// write, so concurrent saves — even to the same destination —
+    /// never scribble over each other's staging file; the last rename
+    /// wins.
+    pub fn save(&self, path: impl AsRef<Path>) -> Result<(), ManifestError> {
+        static WRITE_SEQ: std::sync::atomic::AtomicU64 = std::sync::atomic::AtomicU64::new(0);
+        let path = path.as_ref();
+        let bytes = self.to_bytes();
+        let seq = WRITE_SEQ.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+        let tmp = path.with_extension(format!("tmp-manifest-{}-{seq}", std::process::id()));
+        std::fs::write(&tmp, &bytes)?;
+        if let Err(e) = std::fs::rename(&tmp, path) {
+            std::fs::remove_file(&tmp).ok();
+            return Err(e.into());
+        }
+        Ok(())
+    }
+
+    /// Read and validate a manifest file.
+    pub fn load(path: impl AsRef<Path>) -> Result<Manifest, ManifestError> {
+        Manifest::from_bytes(&std::fs::read(path.as_ref())?)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Manifest {
+        let mut m = Manifest::new();
+        for (name, path, shards) in [
+            ("dblp", "dblp.ncq", 1usize),
+            ("multimedia", "snapshots/mm.ncq", 4),
+            ("deep", "/abs/deep.ncq", 2),
+        ] {
+            m.push(ManifestEntry {
+                name: name.into(),
+                snapshot: path.into(),
+                shards,
+                layout_version: crate::snapshot::SNAPSHOT_VERSION,
+                checksum: 0x1234_5678_9abc_def0 ^ shards as u64,
+            })
+            .unwrap();
+        }
+        m.default = 1;
+        m
+    }
+
+    #[test]
+    fn round_trip_preserves_every_field() {
+        let m = sample();
+        let loaded = Manifest::from_bytes(&m.to_bytes()).unwrap();
+        assert_eq!(loaded, m);
+        assert_eq!(loaded.entry("deep").unwrap().shards, 2);
+        assert!(loaded.entry("absent").is_none());
+    }
+
+    #[test]
+    fn bytes_are_deterministic() {
+        assert_eq!(sample().to_bytes(), sample().to_bytes());
+    }
+
+    #[test]
+    fn truncation_at_every_prefix_is_typed_never_a_panic() {
+        let bytes = sample().to_bytes();
+        for len in 0..bytes.len() {
+            assert!(
+                Manifest::from_bytes(&bytes[..len]).is_err(),
+                "prefix of {len} bytes decoded"
+            );
+        }
+    }
+
+    #[test]
+    fn every_byte_flip_is_typed_never_a_panic() {
+        let bytes = sample().to_bytes();
+        for at in 0..bytes.len() {
+            let mut corrupt = bytes.clone();
+            corrupt[at] ^= 0x40;
+            // Any single flip must be rejected: magic, version, the
+            // checksum field itself, or the body (caught by the
+            // checksum). No flip may decode successfully — a flipped
+            // body byte that somehow passed would silently reroute
+            // corpora.
+            assert!(
+                Manifest::from_bytes(&corrupt).is_err(),
+                "flip at {at} went undetected"
+            );
+        }
+    }
+
+    #[test]
+    fn header_failures_are_distinct() {
+        let bytes = sample().to_bytes();
+        let mut bad_magic = bytes.clone();
+        bad_magic[0] ^= 0xFF;
+        assert!(matches!(
+            Manifest::from_bytes(&bad_magic),
+            Err(ManifestError::BadMagic)
+        ));
+        let mut bad_version = bytes.clone();
+        bad_version[8] = 99;
+        assert!(matches!(
+            Manifest::from_bytes(&bad_version),
+            Err(ManifestError::UnsupportedVersion { found: 99, .. })
+        ));
+        let mut flipped_body = bytes.clone();
+        let last = flipped_body.len() - 1;
+        flipped_body[last] ^= 0x01;
+        assert!(matches!(
+            Manifest::from_bytes(&flipped_body),
+            Err(ManifestError::ChecksumMismatch)
+        ));
+    }
+
+    #[test]
+    fn duplicate_names_are_typed() {
+        let mut m = sample();
+        // `push` refuses up front …
+        assert!(matches!(
+            m.push(ManifestEntry {
+                name: "dblp".into(),
+                snapshot: "other.ncq".into(),
+                shards: 1,
+                layout_version: 1,
+                checksum: 0,
+            }),
+            Err(ManifestError::DuplicateCorpus { .. })
+        ));
+        // … and a hand-built duplicate fails at decode.
+        m.corpora.push(ManifestEntry {
+            name: "dblp".into(),
+            snapshot: "other.ncq".into(),
+            shards: 1,
+            layout_version: 1,
+            checksum: 0,
+        });
+        assert!(matches!(
+            Manifest::from_bytes(&m.to_bytes()),
+            Err(ManifestError::DuplicateCorpus { name }) if name == "dblp"
+        ));
+    }
+
+    #[test]
+    fn malformed_names_are_typed() {
+        // Whitespace/control forms, plus names the query lexer could
+        // never address as `from corpus(name)`: leading digits,
+        // punctuation that closes or splits the clause.
+        for bad in [
+            "",
+            "two words",
+            "tab\tname",
+            "nul\0name",
+            "nl\nname",
+            "2024",
+            "a)b",
+            "x,y",
+            "*",
+            "semi;colon",
+        ] {
+            assert!(
+                matches!(
+                    validate_corpus_name(bad),
+                    Err(ManifestError::InvalidName { .. })
+                ),
+                "{bad:?} accepted"
+            );
+            let mut m = sample();
+            m.corpora[0].name = bad.to_owned();
+            assert!(
+                Manifest::from_bytes(&m.to_bytes()).is_err(),
+                "{bad:?} decoded"
+            );
+        }
+        assert!(validate_corpus_name("dblp-2026.v1").is_ok());
+    }
+
+    #[test]
+    fn structural_invariants_are_typed() {
+        // Empty manifest.
+        let empty = Manifest::new();
+        assert!(matches!(
+            Manifest::from_bytes(&empty.to_bytes()),
+            Err(ManifestError::Corrupt { .. })
+        ));
+        // Default index out of range.
+        let mut m = sample();
+        m.default = 3;
+        assert!(matches!(
+            Manifest::from_bytes(&m.to_bytes()),
+            Err(ManifestError::Corrupt { .. })
+        ));
+        // Zero shard count.
+        let mut m = sample();
+        m.corpora[2].shards = 0;
+        assert!(matches!(
+            Manifest::from_bytes(&m.to_bytes()),
+            Err(ManifestError::Corrupt { .. })
+        ));
+    }
+
+    #[test]
+    fn save_load_round_trips_through_a_file_and_resolves_paths() {
+        let dir = std::env::temp_dir().join("ncq-manifest-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("forest.ncqm");
+        let m = sample();
+        m.save(&path).unwrap();
+        let loaded = Manifest::load(&path).unwrap();
+        assert_eq!(loaded, m);
+        // Relative entries resolve against the manifest dir; absolute
+        // ones pass through.
+        assert_eq!(
+            Manifest::resolve(&path, loaded.entry("dblp").unwrap()),
+            dir.join("dblp.ncq")
+        );
+        assert_eq!(
+            Manifest::resolve(&path, loaded.entry("multimedia").unwrap()),
+            dir.join("snapshots/mm.ncq")
+        );
+        assert_eq!(
+            Manifest::resolve(&path, loaded.entry("deep").unwrap()),
+            PathBuf::from("/abs/deep.ncq")
+        );
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn describe_reads_version_and_checksum_from_a_real_snapshot() {
+        let dir = std::env::temp_dir().join("ncq-manifest-describe-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let snap = dir.join("fig.ncq");
+        let db = crate::MonetDb::from_document(&ncq_xml::parse("<bib><a>x</a></bib>").unwrap());
+        db.save(&snap).unwrap();
+        let entry = ManifestEntry::describe("fig", &snap, 1).unwrap();
+        assert_eq!(entry.layout_version, crate::snapshot::SNAPSHOT_VERSION);
+        assert_eq!(entry.checksum, checksum64(&std::fs::read(&snap).unwrap()));
+        // A non-snapshot file is refused.
+        let junk = dir.join("junk.bin");
+        std::fs::write(&junk, b"not a snapshot").unwrap();
+        assert!(matches!(
+            ManifestEntry::describe("junk", &junk, 1),
+            Err(ManifestError::Corrupt { .. })
+        ));
+        // A dangling path is a typed io error.
+        assert!(matches!(
+            ManifestEntry::describe("gone", dir.join("gone.ncq"), 1),
+            Err(ManifestError::Io(_))
+        ));
+        for p in [&snap, &junk] {
+            std::fs::remove_file(p).ok();
+        }
+    }
+}

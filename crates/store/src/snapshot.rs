@@ -175,8 +175,10 @@ impl From<std::io::Error> for SnapshotError {
 /// over a 28 MB section — cold-start time is the whole point of the
 /// snapshot), and avalanches every flipped bit through the multiplies.
 /// An integrity check against truncation and bit rot, not an
-/// adversarial MAC.
-fn checksum64(bytes: &[u8]) -> u64 {
+/// adversarial MAC. Public because sibling codecs (the forest
+/// [`crate::manifest`]) checksum their own payloads — and whole
+/// snapshot *files* — with the same function.
+pub fn checksum64(bytes: &[u8]) -> u64 {
     const M: u64 = 0x9E37_79B9_7F4A_7C15;
     const SEEDS: [u64; 4] = [
         0xcbf2_9ce4_8422_2325,
@@ -296,7 +298,14 @@ impl SnapshotWriter {
     }
 }
 
-impl SectionBuf<'_> {
+impl<'a> SectionBuf<'a> {
+    /// A writer over a caller-owned buffer — codecs outside the
+    /// snapshot container (e.g. the forest manifest) reuse the
+    /// little-endian appenders without framing a section table.
+    pub fn over(buf: &'a mut Vec<u8>) -> SectionBuf<'a> {
+        SectionBuf { buf }
+    }
+
     /// Append one byte.
     pub fn put_u8(&mut self, v: u8) {
         self.buf.push(v);
@@ -454,6 +463,13 @@ pub struct SectionCursor<'a> {
 }
 
 impl<'a> SectionCursor<'a> {
+    /// A cursor over a raw buffer — codecs outside the snapshot
+    /// container (e.g. the forest manifest) reuse the bounds-checked
+    /// little-endian readers on their own payloads.
+    pub fn new(buf: &'a [u8]) -> SectionCursor<'a> {
+        SectionCursor { buf, pos: 0 }
+    }
+
     fn take(&mut self, n: usize, context: &'static str) -> Result<&'a [u8], SnapshotError> {
         let end = self
             .pos

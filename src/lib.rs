@@ -39,9 +39,15 @@ pub use ncq_shard as shard;
 pub use ncq_store as store;
 pub use ncq_xml as xml;
 
-pub use ncq_core::{Answer, AnswerSet, Database, MeetBackend, MeetOptions, MeetStrategy, RefGraph};
+pub use ncq_core::{
+    Answer, AnswerSet, Catalog, CatalogError, Database, ForestBackend, MeetBackend, MeetOptions,
+    MeetStrategy, RefGraph,
+};
 pub use ncq_fulltext::Thesaurus;
 pub use ncq_query::{run_query, run_query_opts, QueryOptions, QueryOutput};
 pub use ncq_server::{Client, Server, ServerConfig};
-pub use ncq_shard::ShardedDb;
-pub use ncq_store::{SnapshotError, SnapshotReader, SnapshotWriter, SNAPSHOT_VERSION};
+pub use ncq_shard::{open_forest, ShardedDb};
+pub use ncq_store::{
+    Manifest, ManifestEntry, ManifestError, SnapshotError, SnapshotReader, SnapshotWriter,
+    MANIFEST_VERSION, SNAPSHOT_VERSION,
+};

@@ -266,6 +266,95 @@ fn snapshot_loaded_engines_match_the_golden_fixtures() {
     );
 }
 
+/// A multi-corpus catalog serves the paper byte-identically: the whole
+/// suite replays through a [`ForestBackend`] whose default corpus is
+/// Figure 1 (with two unrelated corpora alongside), exercising the
+/// catalog's default-corpus routing, the explicit
+/// `QueryOptions::default_corpus` session routing, and proving a
+/// forest never redefines the single-document truth. `UPDATE_GOLDEN`
+/// does not apply here.
+#[test]
+fn forest_routed_execution_matches_the_golden_fixtures() {
+    use nearest_concept::core::{Catalog, ForestBackend, MeetBackend};
+    use nearest_concept::{run_query_opts, QueryOptions};
+    use std::sync::Arc;
+
+    let mut catalog = Catalog::new();
+    catalog
+        .add(
+            "figure1",
+            Arc::new(Database::from_xml_str(nearest_concept::datagen::FIGURE1_XML).unwrap())
+                as Arc<dyn MeetBackend>,
+        )
+        .expect("add figure1");
+    let (dblp, _) = {
+        let corpus =
+            nearest_concept::datagen::DblpCorpus::generate(&nearest_concept::datagen::DblpConfig {
+                papers_per_edition: 4,
+                journal_articles_per_year: 2,
+                ..nearest_concept::datagen::DblpConfig::default()
+            });
+        (Database::from_document(&corpus.document), corpus)
+    };
+    catalog
+        .add("dblp", Arc::new(dblp) as Arc<dyn MeetBackend>)
+        .expect("add dblp");
+    let (multimedia, _) = {
+        let corpus = nearest_concept::datagen::MultimediaCorpus::generate(
+            &nearest_concept::datagen::MultimediaConfig {
+                noise_items: 20,
+                ..nearest_concept::datagen::MultimediaConfig::default()
+            },
+        );
+        (Database::from_document(&corpus.document), corpus)
+    };
+    catalog
+        .add("multimedia", Arc::new(multimedia) as Arc<dyn MeetBackend>)
+        .expect("add multimedia");
+    let forest = ForestBackend::new(catalog).expect("non-empty catalog");
+
+    let session = QueryOptions {
+        default_corpus: Some("figure1".into()),
+        ..QueryOptions::default()
+    };
+    let mut failures = Vec::new();
+    for (name, query) in QUERIES {
+        let expected = match std::fs::read_to_string(golden_dir().join(format!("{name}.xml"))) {
+            Ok(x) => x,
+            Err(e) => {
+                failures.push(format!("{name}: cannot read fixture ({e})"));
+                continue;
+            }
+        };
+        // Default-corpus routing (no corpus named anywhere).
+        let routed = serialize(
+            &run_query(&forest, query)
+                .unwrap_or_else(|e| panic!("forest golden query {name} failed: {e}")),
+        );
+        if routed != expected {
+            failures.push(format!(
+                "{name}: forest default routing drifted\n--- expected ---\n{expected}\n--- actual ---\n{routed}"
+            ));
+        }
+        // Session routing (the server's USE path).
+        let via_session = serialize(
+            &run_query_opts(&forest, query, &session)
+                .unwrap_or_else(|e| panic!("forest session query {name} failed: {e}")),
+        );
+        if via_session != expected {
+            failures.push(format!(
+                "{name}: forest session routing drifted\n--- expected ---\n{expected}\n--- actual ---\n{via_session}"
+            ));
+        }
+    }
+    assert!(
+        failures.is_empty(),
+        "{} forest golden mismatches:\n{}",
+        failures.len(),
+        failures.join("\n")
+    );
+}
+
 /// The suite stays in sync with the fixture directory: no orphaned
 /// fixtures, no duplicate query names.
 #[test]
