@@ -9,7 +9,7 @@
 //! the raw series as JSON (one file per experiment) for EXPERIMENTS.md.
 
 use ncq_bench::experiments::{
-    ablations, corpora, extensions, fig6, fig7, listings, pr1, pr2, pr3, pr4, pr5,
+    ablations, corpora, extensions, fig6, fig7, listings, pr1, pr2, pr3, pr4, pr5, pr6,
 };
 use ncq_bench::json::ToJson;
 use std::io::Write as _;
@@ -46,7 +46,8 @@ fn parse_args() -> Result<Args, String> {
             "--help" | "-h" => {
                 println!(
                     "usage: repro [--exp all|fig1|fig2|listing1|listing2|sec31|fig6|fig7|\
-                     ablations|extensions|pr1|pr2|pr3|pr4|pr5] [--scale small|paper] [--out DIR]"
+                     ablations|extensions|pr1|pr2|pr3|pr4|pr5|pr6] [--scale small|paper] \
+                     [--out DIR]"
                 );
                 std::process::exit(0);
             }
@@ -217,6 +218,19 @@ fn main() {
         let dir = args.out.clone().unwrap_or_else(|| PathBuf::from("."));
         let target = Some(dir);
         write_json(&target, "BENCH_pr5", &result);
+    }
+
+    // PR 6 perf snapshot: distributed serving — loopback remote-engine
+    // overhead vs in-process and the kill-a-replica failover profile.
+    // Explicit-only, like the other prN experiments: it binds loopback
+    // listeners and writes BENCH_pr6.json (the cross-PR trajectory
+    // record).
+    if args.exp == "pr6" {
+        let result = pr6::run(args.scale == Scale::Small);
+        println!("{}", pr6::table(&result));
+        let dir = args.out.clone().unwrap_or_else(|| PathBuf::from("."));
+        let target = Some(dir);
+        write_json(&target, "BENCH_pr6", &result);
     }
 
     if want("extensions") {

@@ -10,6 +10,7 @@ pub mod pr2;
 pub mod pr3;
 pub mod pr4;
 pub mod pr5;
+pub mod pr6;
 
 /// Shared corpus builders at the scales used by `repro` and the benches.
 pub mod corpora {

@@ -1,0 +1,322 @@
+//! PR 6 perf snapshot: distributed serving — the remote engine's
+//! loopback overhead vs the in-process backend, and the cost of the
+//! failover path when a replica dies mid-stream.
+//!
+//! Two tables, emitted as `BENCH_pr6.json` by `repro --exp pr6`:
+//!
+//! * **loopback overhead** — `meet_terms` through a [`RemoteBackend`]
+//!   talking to a [`RemoteEngine`] on 127.0.0.1 vs the direct
+//!   `Database`. The remote path pays framing, checksumming and two
+//!   kernel round trips per meet; the ratio records what that costs.
+//!   There is no gate on the ratio (a loopback hop *should* lose to a
+//!   function call) — the gate is byte-identical answers.
+//! * **failover latency** — a two-replica router warmed up healthy,
+//!   then one replica is shut down. Three numbers: the healthy per-op
+//!   floor, the first op after the kill (pays detection: one failed
+//!   exchange plus the retry to the survivor) and the steady state
+//!   afterwards (routing around the down replica). The acceptance
+//!   gate is bounded detection — the first post-kill op must finish
+//!   inside the router's timeout budget, and answers stay
+//!   byte-identical throughout.
+
+use ncq_core::{Database, MeetBackend, MeetOptions, RemoteBackend, RemoteConfig};
+use ncq_datagen::{DblpConfig, DblpCorpus, MultimediaConfig, MultimediaCorpus};
+use ncq_server::{EngineConfig, RemoteEngine};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// Loopback overhead for one corpus.
+#[derive(Debug, Clone)]
+pub struct Pr6Loopback {
+    /// Corpus label.
+    pub corpus: String,
+    /// Probe `meet_terms` ops/s on the direct `Database`.
+    pub direct_ops_per_s: f64,
+    /// The same probes through a loopback `RemoteBackend`.
+    pub remote_ops_per_s: f64,
+    /// `remote / direct` — recorded, not gated.
+    pub ratio: f64,
+    /// Remote and direct answers were byte-identical.
+    pub agree: bool,
+}
+
+/// Failover-path latency with a two-replica router.
+#[derive(Debug, Clone)]
+pub struct Pr6Failover {
+    /// Timed probes per phase.
+    pub probes: usize,
+    /// Per-op floor with both replicas healthy, ms.
+    pub healthy_ms: f64,
+    /// The first op after one replica is killed, ms (pays detection).
+    pub failover_first_ms: f64,
+    /// Per-op floor once the dead replica is routed around, ms.
+    pub failover_steady_ms: f64,
+    /// Router retries observed across the run.
+    pub retries: u64,
+    /// Router failovers observed across the run.
+    pub failovers: u64,
+    /// Replicas the router demoted to down.
+    pub replicas_down: u64,
+    /// Every answer before and after the kill was byte-identical.
+    pub agree: bool,
+}
+
+/// The full PR 6 snapshot.
+#[derive(Debug, Clone)]
+pub struct Pr6Result {
+    /// Per-corpus loopback overhead rows.
+    pub loopback: Vec<Pr6Loopback>,
+    /// The kill-a-replica latency profile.
+    pub failover: Pr6Failover,
+}
+
+crate::impl_to_json_struct!(Pr6Loopback {
+    corpus,
+    direct_ops_per_s,
+    remote_ops_per_s,
+    ratio,
+    agree,
+});
+crate::impl_to_json_struct!(Pr6Failover {
+    probes,
+    healthy_ms,
+    failover_first_ms,
+    failover_steady_ms,
+    retries,
+    failovers,
+    replicas_down,
+    agree,
+});
+crate::impl_to_json_struct!(Pr6Result { loopback, failover });
+
+fn corpora(quick: bool) -> Vec<(&'static str, Database, [&'static str; 2])> {
+    let dblp = DblpCorpus::generate(&DblpConfig {
+        papers_per_edition: if quick { 8 } else { 50 },
+        journal_articles_per_year: if quick { 3 } else { 10 },
+        ..DblpConfig::default()
+    });
+    let multimedia = MultimediaCorpus::generate(&MultimediaConfig {
+        noise_items: if quick { 100 } else { 1_000 },
+        ..MultimediaConfig::default()
+    });
+    vec![
+        (
+            "dblp",
+            Database::from_document(&dblp.document),
+            ["1999", "1995"],
+        ),
+        (
+            "multimedia",
+            Database::from_document(&multimedia.document),
+            ["1999", "1995"],
+        ),
+    ]
+}
+
+/// Router tuning for the snapshot: tight enough that the failover
+/// numbers describe the router, not five-second default timeouts.
+fn router_config() -> RemoteConfig {
+    RemoteConfig {
+        connect_timeout: Duration::from_millis(300),
+        read_timeout: Duration::from_millis(2_000),
+        write_timeout: Duration::from_millis(2_000),
+        retry_rounds: 2,
+        backoff_base: Duration::from_millis(2),
+        backoff_max: Duration::from_millis(20),
+        down_probe_after: Duration::from_secs(30),
+        ..RemoteConfig::default()
+    }
+}
+
+/// The worst case one op may take under [`router_config`]: every
+/// replica exhausts connect+read+write in all retry rounds plus the
+/// capped backoffs. The failover gate asserts against this, not
+/// against a wall-clock guess.
+#[cfg(test)]
+fn timeout_budget_ms() -> f64 {
+    let c = router_config();
+    let per_attempt = c.connect_timeout + c.read_timeout + c.write_timeout;
+    let attempts = 2 * (1 + c.retry_rounds) * 2; // replicas × rounds × passes
+    let backoff = c.backoff_max * c.retry_rounds as u32;
+    (per_attempt * attempts as u32 + backoff).as_secs_f64() * 1e3
+}
+
+fn ops_per_s(iters: usize, mut f: impl FnMut()) -> f64 {
+    let t = Instant::now();
+    for _ in 0..iters {
+        f();
+    }
+    iters as f64 / t.elapsed().as_secs_f64()
+}
+
+fn min_op_ms(probes: usize, mut f: impl FnMut()) -> f64 {
+    let mut floor = f64::INFINITY;
+    for _ in 0..probes {
+        let t = Instant::now();
+        f();
+        floor = floor.min(t.elapsed().as_secs_f64() * 1e3);
+    }
+    floor
+}
+
+fn engine(db: &Arc<Database>) -> RemoteEngine {
+    RemoteEngine::bind(
+        "127.0.0.1:0",
+        Arc::clone(db) as Arc<dyn MeetBackend>,
+        EngineConfig::default(),
+    )
+    .expect("bind loopback engine")
+}
+
+/// Run the snapshot. `quick` shrinks corpora and repetitions for CI.
+pub fn run(quick: bool) -> Pr6Result {
+    let iters = if quick { 60 } else { 400 };
+    let probes = if quick { 20 } else { 100 };
+    let opts = MeetOptions::default();
+
+    // Loopback overhead, one row per corpus.
+    let mut loopback = Vec::new();
+    for (name, db, terms) in corpora(quick) {
+        let db = Arc::new(db);
+        let replica = engine(&db);
+        let remote = RemoteBackend::new(
+            (*db).clone(),
+            &[replica.local_addr().to_string()],
+            router_config(),
+        )
+        .expect("one-replica router");
+
+        let agree = remote
+            .try_meet_terms_answers(&terms[..], &opts)
+            .expect("loopback meet")
+            .to_detailed_xml()
+            == db.meet_terms(&terms[..]).unwrap().to_detailed_xml();
+        // Warm both sides (index build, connection pool), then measure.
+        for _ in 0..iters / 10 {
+            let _ = db.meet_terms(&terms[..]).unwrap();
+            let _ = remote.try_meet_terms_answers(&terms[..], &opts).unwrap();
+        }
+        let direct_ops = ops_per_s(iters, || {
+            let _ = db.meet_terms(&terms[..]).unwrap();
+        });
+        let remote_ops = ops_per_s(iters, || {
+            let _ = remote.try_meet_terms_answers(&terms[..], &opts).unwrap();
+        });
+        loopback.push(Pr6Loopback {
+            corpus: name.to_string(),
+            direct_ops_per_s: direct_ops,
+            remote_ops_per_s: remote_ops,
+            ratio: remote_ops / direct_ops,
+            agree,
+        });
+        replica.shutdown();
+    }
+
+    // Failover latency: two replicas, kill the first mid-stream.
+    let (_, db, terms) = corpora(quick).swap_remove(0);
+    let db = Arc::new(db);
+    let doomed = engine(&db);
+    let survivor = engine(&db);
+    let remote = RemoteBackend::new(
+        (*db).clone(),
+        &[
+            doomed.local_addr().to_string(),
+            survivor.local_addr().to_string(),
+        ],
+        router_config(),
+    )
+    .expect("two-replica router");
+    let expected = db.meet_terms(&terms[..]).unwrap().to_detailed_xml();
+    let mut agree = true;
+    let mut probe = |remote: &RemoteBackend| {
+        let answers = remote
+            .try_meet_terms_answers(&terms[..], &opts)
+            .expect("a live replica remains");
+        agree &= answers.to_detailed_xml() == expected;
+    };
+
+    for _ in 0..probes / 4 {
+        probe(&remote); // warm pool + both replicas' indexes
+    }
+    let healthy_ms = min_op_ms(probes, || probe(&remote));
+
+    doomed.shutdown();
+    let t = Instant::now();
+    probe(&remote);
+    let failover_first_ms = t.elapsed().as_secs_f64() * 1e3;
+    let failover_steady_ms = min_op_ms(probes, || probe(&remote));
+
+    let stats = remote.robustness_stats();
+    survivor.shutdown();
+
+    Pr6Result {
+        loopback,
+        failover: Pr6Failover {
+            probes,
+            healthy_ms,
+            failover_first_ms,
+            failover_steady_ms,
+            retries: stats.retries,
+            failovers: stats.failovers,
+            replicas_down: stats.replicas_down,
+            agree,
+        },
+    }
+}
+
+/// Text table for stdout.
+pub fn table(r: &Pr6Result) -> String {
+    let mut out = String::from("# PR 6 — distributed serving (loopback overhead + failover)\n");
+    out.push_str("## loopback remote engine vs in-process (gate: byte-identical answers)\n");
+    for row in &r.loopback {
+        out.push_str(&format!(
+            "{}: direct={:.0} ops/s remote={:.0} ops/s ratio={:.3} agree={}\n",
+            row.corpus, row.direct_ops_per_s, row.remote_ops_per_s, row.ratio, row.agree
+        ));
+    }
+    let f = &r.failover;
+    out.push_str("## kill-one-of-two-replicas latency profile\n");
+    out.push_str(&format!(
+        "healthy={:.3}ms first_after_kill={:.1}ms steady={:.3}ms \
+         (retries={} failovers={} replicas_down={}) agree={}\n",
+        f.healthy_ms,
+        f.failover_first_ms,
+        f.failover_steady_ms,
+        f.retries,
+        f.failovers,
+        f.replicas_down,
+        f.agree
+    ));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quick_snapshot_has_sane_shape_and_bounded_failover() {
+        let r = run(true);
+        assert_eq!(r.loopback.len(), 2);
+        for row in &r.loopback {
+            assert!(row.agree, "{}: remote answers diverged", row.corpus);
+            assert!(row.direct_ops_per_s > 0.0 && row.remote_ops_per_s > 0.0);
+        }
+        let f = &r.failover;
+        assert!(f.agree, "answers diverged across the kill");
+        assert!(f.failovers >= 1, "the kill must register as a failover");
+        assert!(f.replicas_down >= 1, "the dead replica must be demoted");
+        // The acceptance gate: detection is bounded by the router's own
+        // timeout budget, never an open-ended hang. (No ratio gates —
+        // wall-clock ratios are too noisy for CI.)
+        assert!(
+            f.failover_first_ms < timeout_budget_ms(),
+            "first post-kill op took {:.0}ms, budget {:.0}ms",
+            f.failover_first_ms,
+            timeout_budget_ms()
+        );
+        assert!(f.healthy_ms.is_finite() && f.failover_steady_ms.is_finite());
+        let text = table(&r);
+        assert!(text.contains("failover"));
+    }
+}

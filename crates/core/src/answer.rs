@@ -53,11 +53,27 @@ pub struct Answer {
     pub witnesses: Vec<Witness>,
 }
 
+/// A corpus (or shard) that could not contribute to a fan-out answer:
+/// every replica of its engine was down, so the results list covers the
+/// surviving corpora only. Typed graceful degradation — the marker
+/// rides *inside* the answer set instead of failing the whole batch.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PartialAnswer {
+    /// The corpus whose engine did not answer.
+    pub corpus: String,
+    /// Why (the rendered [`crate::backend::BackendError`]).
+    pub detail: String,
+}
+
 /// All results of one meet query, ranked.
 #[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct AnswerSet {
     /// Ranked results (best first).
     pub results: Vec<Answer>,
+    /// Corpora that failed to answer during a fan-out (empty on full
+    /// answers — the common case, and the only case single-corpus
+    /// serializations ever see).
+    pub partials: Vec<PartialAnswer>,
 }
 
 impl AnswerSet {
@@ -87,7 +103,10 @@ impl AnswerSet {
                     .collect(),
             })
             .collect();
-        AnswerSet { results }
+        AnswerSet {
+            results,
+            partials: Vec::new(),
+        }
     }
 
     /// Number of results.
@@ -98,6 +117,19 @@ impl AnswerSet {
     /// Whether the query found nothing.
     pub fn is_empty(&self) -> bool {
         self.results.is_empty()
+    }
+
+    /// Whether any corpus failed to contribute (fan-out degradation).
+    pub fn is_partial(&self) -> bool {
+        !self.partials.is_empty()
+    }
+
+    /// Record that `corpus` could not answer.
+    pub fn push_partial(&mut self, corpus: impl Into<String>, detail: impl Into<String>) {
+        self.partials.push(PartialAnswer {
+            corpus: corpus.into(),
+            detail: detail.into(),
+        });
     }
 
     /// The tags of all results, in rank order — the paper's answer lists.
@@ -150,6 +182,16 @@ impl AnswerSet {
                 ));
             }
             out.push_str("  </result>\n");
+        }
+        // Partial markers appear only on degraded fan-out answers, so
+        // full answers — including every pre-forest golden fixture —
+        // serialize byte-identically to the earlier formats.
+        for p in &self.partials {
+            out.push_str(&format!(
+                "  <partial corpus=\"{}\" detail=\"{}\"/>\n",
+                escape_attribute(&p.corpus),
+                escape_attribute(&p.detail)
+            ));
         }
         out.push_str("</answer>");
         out

@@ -17,8 +17,70 @@ use crate::meet_multi::{Meet, MeetOptions};
 use ncq_fulltext::HitSet;
 use ncq_store::snapshot::SnapshotError;
 use ncq_store::MonetDb;
+use std::fmt;
 use std::path::Path;
 use std::sync::Arc;
+
+/// Typed execution failures of a fallible backend. Local engines never
+/// fail (their `try_*` defaults wrap the infallible surface); remote
+/// engines surface transport exhaustion and remote-side refusals here —
+/// never a panic, never a hang past the configured timeout budget.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum BackendError {
+    /// Every replica of the engine was tried (with retries and
+    /// backoff) and none answered.
+    Unavailable {
+        /// What the last transport failure looked like.
+        detail: String,
+        /// Total connection/request attempts made before giving up.
+        attempts: usize,
+    },
+    /// The remote engine answered, but with an in-band error (the
+    /// request itself was refused — retrying elsewhere would not help).
+    Remote {
+        /// The remote error message.
+        detail: String,
+    },
+}
+
+impl fmt::Display for BackendError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            BackendError::Unavailable { detail, attempts } => {
+                write!(f, "engine unavailable after {attempts} attempts: {detail}")
+            }
+            BackendError::Remote { detail } => write!(f, "remote engine error: {detail}"),
+        }
+    }
+}
+
+impl std::error::Error for BackendError {}
+
+/// Robustness counters a backend accumulates while serving: the
+/// forest-wide roll-up feeds the server's `STATS` verb. Local engines
+/// report zeros; [`crate::RemoteBackend`] counts its failover router's
+/// work; `ForestBackend` sums over its corpora.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct RobustnessStats {
+    /// Backoff retry rounds taken after a full replica sweep failed.
+    pub retries: u64,
+    /// Mid-call re-issues on another replica after one failed.
+    pub failovers: u64,
+    /// Replicas currently believed down (a gauge, not a counter).
+    pub replicas_down: u64,
+    /// Connect/read/write timeouts observed on replica transports.
+    pub timeouts: u64,
+}
+
+impl RobustnessStats {
+    /// Accumulate another backend's counters into this one.
+    pub fn merge(&mut self, other: &RobustnessStats) {
+        self.retries += other.retries;
+        self.failovers += other.failovers;
+        self.replicas_down += other.replicas_down;
+        self.timeouts += other.timeouts;
+    }
+}
 
 /// A queryable meet engine: full-text resolution plus the generalized
 /// meet, over one shared [`MonetDb`] schema.
@@ -46,6 +108,49 @@ pub trait MeetBackend: Send + Sync {
         let refs: Vec<&HitSet> = inputs.iter().collect();
         let meets = self.meet_hit_groups(&refs, options);
         AnswerSet::from_meets(self.store(), meets)
+    }
+
+    // ----- fallible surface -----
+    //
+    // Local engines cannot fail, so the defaults below just wrap the
+    // infallible methods. Remote engines override these to surface
+    // transport exhaustion as typed [`BackendError`]s; every serving
+    // path (the query evaluator, the server's batch executor, the
+    // forest fan-out) calls the `try_*` forms so a dead replica set
+    // degrades to an error or a partial answer instead of a panic.
+
+    /// Fallible [`MeetBackend::search`].
+    fn try_search(&self, term: &str) -> Result<HitSet, BackendError> {
+        Ok(self.search(term))
+    }
+
+    /// Fallible [`MeetBackend::meet_hit_groups`].
+    fn try_meet_hit_groups(
+        &self,
+        inputs: &[&HitSet],
+        options: &MeetOptions,
+    ) -> Result<Vec<Meet>, BackendError> {
+        Ok(self.meet_hit_groups(inputs, options))
+    }
+
+    /// Fallible [`MeetBackend::meet_terms_answers`].
+    fn try_meet_terms_answers(
+        &self,
+        terms: &[&str],
+        options: &MeetOptions,
+    ) -> Result<AnswerSet, BackendError> {
+        let mut inputs = Vec::with_capacity(terms.len());
+        for t in terms {
+            inputs.push(self.try_search(t)?);
+        }
+        let refs: Vec<&HitSet> = inputs.iter().collect();
+        let meets = self.try_meet_hit_groups(&refs, options)?;
+        Ok(AnswerSet::from_meets(self.store(), meets))
+    }
+
+    /// This engine's robustness counters (zeros for local engines).
+    fn robustness_stats(&self) -> RobustnessStats {
+        RobustnessStats::default()
     }
 
     // ----- forest surface -----

@@ -32,7 +32,7 @@
 //! or sibling corpora.
 
 use crate::answer::AnswerSet;
-use crate::backend::MeetBackend;
+use crate::backend::{BackendError, MeetBackend, RobustnessStats};
 use crate::db::Database;
 use crate::meet_multi::MeetOptions;
 use ncq_fulltext::HitSet;
@@ -153,6 +153,21 @@ pub fn corpus_tagged_meet(
     let mut answers = AnswerSet::from_meets(backend.store(), meets);
     answers.tag_corpus(name);
     answers
+}
+
+/// Fallible [`corpus_tagged_meet`]: a remote corpus whose replicas are
+/// all down surfaces a typed [`BackendError`] that fan-out callers
+/// convert into a [`crate::answer::PartialAnswer`] marker.
+pub fn try_corpus_tagged_meet(
+    name: &str,
+    backend: &dyn MeetBackend,
+    inputs: &[&HitSet],
+    options: &MeetOptions,
+) -> Result<AnswerSet, BackendError> {
+    let meets = backend.try_meet_hit_groups(inputs, options)?;
+    let mut answers = AnswerSet::from_meets(backend.store(), meets);
+    answers.tag_corpus(name);
+    Ok(answers)
 }
 
 #[derive(Clone)]
@@ -280,9 +295,27 @@ impl Catalog {
     /// corpus the snapshot file is read once, verified against the
     /// manifest's recorded checksum and layout version (both typed
     /// failures), and handed to `opener` as bytes.
+    ///
+    /// Entries with replica endpoints bypass the opener: the snapshot
+    /// becomes the coordinator's local resolver copy inside a
+    /// [`crate::RemoteBackend`] (default router configuration) that
+    /// proxies search/meet to the listed replicas with failover —
+    /// shard-aware openers need no remote logic of their own, because
+    /// the remote process does its own sharding.
     pub fn open_manifest_with(
         path: impl AsRef<Path>,
+        opener: impl FnMut(&ManifestEntry, Vec<u8>) -> Result<Arc<dyn MeetBackend>, SnapshotError>,
+    ) -> Result<Catalog, CatalogError> {
+        Catalog::open_manifest_remote(path, opener, crate::remote::RemoteConfig::default())
+    }
+
+    /// [`Catalog::open_manifest_with`] with an explicit router
+    /// configuration for endpoint-backed entries (timeouts, retry
+    /// rounds, backoff — the stress suites tighten these).
+    pub fn open_manifest_remote(
+        path: impl AsRef<Path>,
         mut opener: impl FnMut(&ManifestEntry, Vec<u8>) -> Result<Arc<dyn MeetBackend>, SnapshotError>,
+        remote_config: crate::remote::RemoteConfig,
     ) -> Result<Catalog, CatalogError> {
         let path = path.as_ref();
         let manifest = Manifest::load(path)?;
@@ -305,10 +338,34 @@ impl Catalog {
                     name: entry.name.clone(),
                 });
             }
-            let backend = opener(entry, bytes).map_err(|e| CatalogError::Corpus {
-                name: entry.name.clone(),
-                error: e,
-            })?;
+            let backend = if entry.endpoints.is_empty() {
+                opener(entry, bytes).map_err(|e| CatalogError::Corpus {
+                    name: entry.name.clone(),
+                    error: e,
+                })?
+            } else {
+                let resolver =
+                    Database::from_snapshot_bytes(bytes).map_err(|e| CatalogError::Corpus {
+                        name: entry.name.clone(),
+                        error: e,
+                    })?;
+                let remote = crate::remote::RemoteBackend::new(
+                    resolver,
+                    &entry.endpoints,
+                    remote_config.clone(),
+                )
+                .map_err(|_| CatalogError::Corpus {
+                    name: entry.name.clone(),
+                    // Unreachable in practice: the manifest decoder
+                    // refuses entries with an empty endpoint string
+                    // list only when the list is genuinely empty, and
+                    // that case routes to the opener above.
+                    error: SnapshotError::Unsupported {
+                        context: "remote corpus entry lost its endpoints",
+                    },
+                })?;
+                Arc::new(remote) as Arc<dyn MeetBackend>
+            };
             catalog.add(entry.name.clone(), backend)?;
         }
         let default = &manifest.corpora[manifest.default].name;
@@ -375,6 +432,20 @@ impl MeetBackend for ForestBackend {
             .meet_hit_groups(inputs, options)
     }
 
+    fn try_search(&self, term: &str) -> Result<HitSet, BackendError> {
+        self.catalog.default_backend().try_search(term)
+    }
+
+    fn try_meet_hit_groups(
+        &self,
+        inputs: &[&HitSet],
+        options: &MeetOptions,
+    ) -> Result<Vec<crate::meet_multi::Meet>, BackendError> {
+        self.catalog
+            .default_backend()
+            .try_meet_hit_groups(inputs, options)
+    }
+
     fn corpus(&self, name: &str) -> Option<Arc<dyn MeetBackend>> {
         self.catalog.get(name).map(Arc::clone)
     }
@@ -387,15 +458,36 @@ impl MeetBackend for ForestBackend {
         self.catalog.default_name().map(str::to_owned)
     }
 
+    /// Graceful degradation: a corpus whose engine is unavailable (a
+    /// remote corpus with every replica down) contributes a typed
+    /// [`crate::answer::PartialAnswer`] marker instead of failing the
+    /// whole fan-out — the surviving corpora still answer, in catalog
+    /// order.
     fn meet_terms_forest(&self, terms: &[&str], options: &MeetOptions) -> AnswerSet {
         let mut all = AnswerSet::default();
         for (name, backend) in self.catalog.iter() {
-            let inputs: Vec<HitSet> = terms.iter().map(|t| backend.search(t)).collect();
-            let refs: Vec<&HitSet> = inputs.iter().collect();
-            all.results
-                .extend(corpus_tagged_meet(name, &**backend, &refs, options).results);
+            let answers = (|| {
+                let mut inputs = Vec::with_capacity(terms.len());
+                for t in terms {
+                    inputs.push(backend.try_search(t)?);
+                }
+                let refs: Vec<&HitSet> = inputs.iter().collect();
+                try_corpus_tagged_meet(name, &**backend, &refs, options)
+            })();
+            match answers {
+                Ok(a) => all.results.extend(a.results),
+                Err(e) => all.push_partial(name, e.to_string()),
+            }
         }
         all
+    }
+
+    fn robustness_stats(&self) -> RobustnessStats {
+        let mut total = RobustnessStats::default();
+        for (_, backend) in self.catalog.iter() {
+            total.merge(&backend.robustness_stats());
+        }
+        total
     }
 
     fn save_snapshot(&self, _path: &Path) -> Result<(), SnapshotError> {

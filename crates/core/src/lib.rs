@@ -51,10 +51,11 @@ pub mod meet_multi;
 pub mod meet_sets;
 pub mod planner;
 pub mod rank;
+pub mod remote;
 pub mod sweep;
 
-pub use answer::{Answer, AnswerSet, Witness};
-pub use backend::MeetBackend;
+pub use answer::{Answer, AnswerSet, PartialAnswer, Witness};
+pub use backend::{BackendError, MeetBackend, RobustnessStats};
 pub use catalog::{Catalog, CatalogError, ForestBackend};
 pub use db::Database;
 pub use distance::{distance, meet2_bounded};
@@ -66,3 +67,7 @@ pub use meet_sets::{
     meet_sets, meet_sets_lift_ordered, meet_sets_sweep, meet_sets_sweep_merged, MeetError, SetMeets,
 };
 pub use planner::{ChosenStrategy, MeetPlanner, MeetStrategy, PlanDecision, PlannerConfig};
+pub use remote::{
+    EngineRequest, EngineResponse, HealthMonitor, RemoteBackend, RemoteConfig, ReplicaHealth,
+    WireError, DEFAULT_FRAME_CAP,
+};

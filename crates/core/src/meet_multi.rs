@@ -34,7 +34,7 @@ use std::borrow::Borrow;
 use std::collections::HashMap;
 
 /// Tuning and restriction knobs for [`meet_multi`].
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct MeetOptions {
     /// Result-type restriction (`meet_Π`).
     pub filter: PathFilter,

@@ -1,0 +1,1370 @@
+//! Remote meet engines: a framed wire protocol and a failover-routing
+//! [`RemoteBackend`].
+//!
+//! The forest catalog (PR 5) still assumed every engine lives
+//! in-process. This module is the distribution step: a corpus or shard
+//! engine can run in another process behind `ncq-server`'s framed
+//! engine listener, and the coordinator holds a [`RemoteBackend`] that
+//! proxies the [`MeetBackend`] surface over TCP — answers byte-identical
+//! to in-process execution, because the replica runs the same engine
+//! over the same snapshot and the wire codec is lossless.
+//!
+//! # Frame layout
+//!
+//! ```text
+//! offset 0   payload length (u32 LE)       4 bytes
+//!        4   checksum64(payload) (u64 LE)  8 bytes
+//!       12   payload                       length bytes
+//! ```
+//!
+//! The checksum makes a corrupted-in-flight frame a *typed* failure
+//! ([`WireError::Corrupt`]) instead of a silently wrong answer — the
+//! fault-injection suite flips response bytes and expects the router to
+//! fail over, not to return garbage. Request payloads are
+//! `[opcode u8][body]`; response payloads are `[status u8][body]` with
+//! status 0 = OK and 1 = an in-band error message. Bodies use the
+//! bounds-checked [`SectionBuf`]/[`SectionCursor`] readers shared with
+//! the snapshot layer, so truncation and garbage decode to typed
+//! errors, never panics.
+//!
+//! # Failover routing
+//!
+//! A [`RemoteBackend`] names one or more replica endpoints. Each
+//! replica carries a health state machine — healthy → suspect → down,
+//! driven by in-band call failures and (optionally) a periodic
+//! [`HealthMonitor`] ping thread. Calls sweep replicas in endpoint
+//! order, skipping ones believed down (until their half-open probe
+//! timer elapses), re-issuing the request on the next replica
+//! mid-query on any transport or framing failure, with bounded retry
+//! rounds under exponential backoff + seeded jitter. When every sweep
+//! fails, the call returns a typed
+//! [`BackendError::Unavailable`] — never a panic, never a hang past
+//! the configured timeout budget (every socket carries connect, read
+//! and write timeouts).
+
+use crate::backend::{BackendError, MeetBackend, RobustnessStats};
+use crate::db::Database;
+use crate::filter::PathFilter;
+use crate::meet_multi::{Meet, MeetOptions, MeetWitness};
+use crate::planner::MeetStrategy;
+use ncq_fulltext::HitSet;
+use ncq_store::snapshot::{checksum64, SectionBuf, SectionCursor, SnapshotError};
+use ncq_store::{MonetDb, Oid, PathId};
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+use std::fmt;
+use std::io::{Read, Write};
+use std::net::{TcpStream, ToSocketAddrs};
+use std::path::Path;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering::Relaxed};
+use std::sync::{Arc, Mutex, Weak};
+use std::time::{Duration, Instant};
+
+/// Frame header length: u32 payload length + u64 payload checksum.
+pub const FRAME_HEADER_LEN: usize = 12;
+
+/// Default cap on a single frame's payload (64 MiB): a length field
+/// past this is refused before any allocation.
+pub const DEFAULT_FRAME_CAP: u32 = 64 << 20;
+
+/// Typed wire failures. Decoding never panics on malformed input.
+#[derive(Debug)]
+pub enum WireError {
+    /// The underlying socket failed (includes connect/read/write
+    /// timeouts — see [`WireError::is_timeout`]).
+    Io(std::io::Error),
+    /// A frame's length field exceeds the configured cap.
+    FrameTooLarge {
+        /// Advertised payload length.
+        len: u64,
+        /// The cap in effect.
+        cap: u64,
+    },
+    /// The stream ended before the advertised structure did.
+    Truncated {
+        /// What was being read when the bytes ran out.
+        context: &'static str,
+    },
+    /// A complete frame decodes to inconsistent data (failed payload
+    /// checksum, unknown opcode/status, malformed body).
+    Corrupt {
+        /// What failed to validate.
+        context: String,
+    },
+    /// The remote engine answered with an in-band error message.
+    Remote(String),
+}
+
+impl WireError {
+    /// Whether this failure is a socket timeout (connect, read or
+    /// write deadline exceeded) — counted separately by the router.
+    pub fn is_timeout(&self) -> bool {
+        matches!(
+            self,
+            WireError::Io(e) if matches!(
+                e.kind(),
+                std::io::ErrorKind::TimedOut | std::io::ErrorKind::WouldBlock
+            )
+        )
+    }
+}
+
+impl fmt::Display for WireError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            WireError::Io(e) => write!(f, "wire io error: {e}"),
+            WireError::FrameTooLarge { len, cap } => {
+                write!(f, "frame length {len} exceeds cap {cap}")
+            }
+            WireError::Truncated { context } => {
+                write!(f, "wire stream truncated while reading {context}")
+            }
+            WireError::Corrupt { context } => write!(f, "wire frame is corrupt: {context}"),
+            WireError::Remote(msg) => write!(f, "remote engine error: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for WireError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            WireError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<std::io::Error> for WireError {
+    fn from(e: std::io::Error) -> WireError {
+        WireError::Io(e)
+    }
+}
+
+/// Cursor failures become wire failures, keeping their context.
+impl From<SnapshotError> for WireError {
+    fn from(e: SnapshotError) -> WireError {
+        match e {
+            SnapshotError::Truncated { context } => WireError::Corrupt {
+                context: format!("body truncated at {context}"),
+            },
+            other => WireError::Corrupt {
+                context: other.to_string(),
+            },
+        }
+    }
+}
+
+/// Write one checksummed frame.
+pub fn write_frame(w: &mut impl Write, payload: &[u8], cap: u32) -> Result<(), WireError> {
+    if payload.len() as u64 > cap as u64 {
+        return Err(WireError::FrameTooLarge {
+            len: payload.len() as u64,
+            cap: cap as u64,
+        });
+    }
+    let mut header = [0u8; FRAME_HEADER_LEN];
+    header[..4].copy_from_slice(&(payload.len() as u32).to_le_bytes());
+    header[4..].copy_from_slice(&checksum64(payload).to_le_bytes());
+    w.write_all(&header)?;
+    w.write_all(payload)?;
+    w.flush()?;
+    Ok(())
+}
+
+/// Read one frame, verifying length cap and payload checksum. A clean
+/// EOF before the first header byte is reported as `Truncated { "frame
+/// header" }` — callers that treat end-of-session as normal check for
+/// that context with zero bytes read via [`read_frame_or_eof`].
+pub fn read_frame(r: &mut impl Read, cap: u32) -> Result<Vec<u8>, WireError> {
+    match read_frame_or_eof(r, cap)? {
+        Some(payload) => Ok(payload),
+        None => Err(WireError::Truncated {
+            context: "frame header",
+        }),
+    }
+}
+
+/// [`read_frame`], but a clean EOF at a frame boundary returns
+/// `Ok(None)` (a session ending between requests is not an error).
+pub fn read_frame_or_eof(r: &mut impl Read, cap: u32) -> Result<Option<Vec<u8>>, WireError> {
+    let mut header = [0u8; FRAME_HEADER_LEN];
+    let mut filled = 0usize;
+    while filled < FRAME_HEADER_LEN {
+        match r.read(&mut header[filled..]) {
+            Ok(0) if filled == 0 => return Ok(None),
+            Ok(0) => {
+                return Err(WireError::Truncated {
+                    context: "frame header",
+                })
+            }
+            Ok(n) => filled += n,
+            Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
+            Err(e) => return Err(e.into()),
+        }
+    }
+    let len = u32::from_le_bytes(header[..4].try_into().expect("4 bytes"));
+    let checksum = u64::from_le_bytes(header[4..].try_into().expect("8 bytes"));
+    if len > cap {
+        return Err(WireError::FrameTooLarge {
+            len: len as u64,
+            cap: cap as u64,
+        });
+    }
+    let mut payload = vec![0u8; len as usize];
+    if let Err(e) = r.read_exact(&mut payload) {
+        return if e.kind() == std::io::ErrorKind::UnexpectedEof {
+            Err(WireError::Truncated {
+                context: "frame payload",
+            })
+        } else {
+            Err(e.into())
+        };
+    }
+    if checksum64(&payload) != checksum {
+        return Err(WireError::Corrupt {
+            context: "frame payload failed its checksum".to_owned(),
+        });
+    }
+    Ok(Some(payload))
+}
+
+// ----- request / response codec -----
+
+const OP_PING: u8 = 1;
+const OP_SEARCH: u8 = 2;
+const OP_MEET: u8 = 3;
+
+const STATUS_OK: u8 = 0;
+const STATUS_ERR: u8 = 1;
+
+const RESP_PONG: u8 = 0;
+const RESP_HITS: u8 = 1;
+const RESP_MEETS: u8 = 2;
+
+/// One engine-protocol request: the [`MeetBackend`] surface on the
+/// wire. `meet_terms`/`run_query` compose from these on the
+/// coordinator (search per term, one meet over the groups), so the
+/// protocol stays three opcodes.
+#[derive(Debug, Clone, PartialEq)]
+pub enum EngineRequest {
+    /// Liveness probe (the health monitor's heartbeat).
+    Ping,
+    /// Resolve one term to hits.
+    Search {
+        /// The term (word, phrase or substring syntax).
+        term: String,
+    },
+    /// The generalized meet over hit groups.
+    Meet {
+        /// The hit groups.
+        inputs: Vec<HitSet>,
+        /// Meet options (filter, distance bound, witness cap,
+        /// strategy).
+        options: MeetOptions,
+    },
+}
+
+/// One engine-protocol response.
+#[derive(Debug, Clone, PartialEq)]
+pub enum EngineResponse {
+    /// Answer to [`EngineRequest::Ping`].
+    Pong,
+    /// Answer to [`EngineRequest::Search`].
+    Hits(HitSet),
+    /// Answer to [`EngineRequest::Meet`].
+    Meets(Vec<Meet>),
+}
+
+fn put_hit_set(b: &mut SectionBuf<'_>, hits: &HitSet) {
+    b.put_u32(hits.group_count() as u32);
+    for (path, oids) in hits.groups() {
+        b.put_u32(path.index() as u32);
+        b.put_u32_col(oids.iter().map(|o| o.index() as u32));
+    }
+}
+
+fn get_hit_set(c: &mut SectionCursor<'_>) -> Result<HitSet, WireError> {
+    let groups = c.get_u32("hit set group count")? as usize;
+    let mut pairs: Vec<(PathId, Oid)> = Vec::new();
+    for _ in 0..groups {
+        let path = PathId::from_index(c.get_u32("hit group path")? as usize);
+        let oids = c.get_u32_col("hit group oids")?;
+        pairs.extend(
+            oids.into_iter()
+                .map(|o| (path, Oid::from_index(o as usize))),
+        );
+    }
+    Ok(HitSet::from_pairs(pairs))
+}
+
+fn put_options(b: &mut SectionBuf<'_>, options: &MeetOptions) {
+    match &options.filter {
+        PathFilter::All => b.put_u8(0),
+        PathFilter::Exclude(set) => {
+            b.put_u8(1);
+            let mut ids: Vec<u32> = set.iter().map(|p| p.index() as u32).collect();
+            ids.sort_unstable();
+            b.put_u32_col(ids.into_iter());
+        }
+        PathFilter::Allow(set) => {
+            b.put_u8(2);
+            let mut ids: Vec<u32> = set.iter().map(|p| p.index() as u32).collect();
+            ids.sort_unstable();
+            b.put_u32_col(ids.into_iter());
+        }
+    }
+    match options.max_distance {
+        None => b.put_u8(0),
+        Some(d) => {
+            b.put_u8(1);
+            b.put_u64(d as u64);
+        }
+    }
+    b.put_u64(options.witness_cap as u64);
+    b.put_u8(match options.strategy {
+        MeetStrategy::Auto => 0,
+        MeetStrategy::Lift => 1,
+        MeetStrategy::Sweep => 2,
+    });
+}
+
+fn get_options(c: &mut SectionCursor<'_>) -> Result<MeetOptions, WireError> {
+    let filter = match c.get_u8("filter variant")? {
+        0 => PathFilter::All,
+        1 => PathFilter::Exclude(
+            c.get_u32_col("filter exclude set")?
+                .into_iter()
+                .map(|p| PathId::from_index(p as usize))
+                .collect(),
+        ),
+        2 => PathFilter::Allow(
+            c.get_u32_col("filter allow set")?
+                .into_iter()
+                .map(|p| PathId::from_index(p as usize))
+                .collect(),
+        ),
+        other => {
+            return Err(WireError::Corrupt {
+                context: format!("unknown filter variant {other}"),
+            })
+        }
+    };
+    let max_distance = match c.get_u8("max distance flag")? {
+        0 => None,
+        1 => Some(c.get_u64("max distance")? as usize),
+        other => {
+            return Err(WireError::Corrupt {
+                context: format!("bad max-distance flag {other}"),
+            })
+        }
+    };
+    let witness_cap = c.get_u64("witness cap")? as usize;
+    let strategy = match c.get_u8("strategy")? {
+        0 => MeetStrategy::Auto,
+        1 => MeetStrategy::Lift,
+        2 => MeetStrategy::Sweep,
+        other => {
+            return Err(WireError::Corrupt {
+                context: format!("unknown strategy {other}"),
+            })
+        }
+    };
+    Ok(MeetOptions {
+        filter,
+        max_distance,
+        witness_cap,
+        strategy,
+    })
+}
+
+fn put_meets(b: &mut SectionBuf<'_>, meets: &[Meet]) {
+    b.put_u32(meets.len() as u32);
+    for m in meets {
+        b.put_u32(m.node.index() as u32);
+        b.put_u32(m.path.index() as u32);
+        b.put_u64(m.distance as u64);
+        b.put_u64(m.witness_count as u64);
+        b.put_u32(m.witnesses.len() as u32);
+        for w in &m.witnesses {
+            b.put_u32(w.origin.index() as u32);
+            b.put_u64(w.input as u64);
+            b.put_u64(w.climb as u64);
+        }
+    }
+}
+
+fn get_meets(c: &mut SectionCursor<'_>) -> Result<Vec<Meet>, WireError> {
+    let count = c.get_u32("meet count")? as usize;
+    // Clamped: a meet spans ≥ 24 payload bytes, so a lying count fails
+    // typed instead of aborting on a huge pre-allocation.
+    let mut meets = Vec::with_capacity(count.min(c.remaining() / 24 + 1));
+    for _ in 0..count {
+        let node = Oid::from_index(c.get_u32("meet node")? as usize);
+        let path = PathId::from_index(c.get_u32("meet path")? as usize);
+        let distance = c.get_u64("meet distance")? as usize;
+        let witness_count = c.get_u64("meet witness count")? as usize;
+        let wlen = c.get_u32("meet witness list length")? as usize;
+        let mut witnesses = Vec::with_capacity(wlen.min(c.remaining() / 20 + 1));
+        for _ in 0..wlen {
+            witnesses.push(MeetWitness {
+                origin: Oid::from_index(c.get_u32("witness origin")? as usize),
+                input: c.get_u64("witness input")? as usize,
+                climb: c.get_u64("witness climb")? as usize,
+            });
+        }
+        meets.push(Meet {
+            node,
+            path,
+            distance,
+            witness_count,
+            witnesses,
+        });
+    }
+    Ok(meets)
+}
+
+/// Serialize a request payload (deterministic).
+pub fn encode_request(req: &EngineRequest) -> Vec<u8> {
+    let mut out = Vec::new();
+    let mut b = SectionBuf::over(&mut out);
+    match req {
+        EngineRequest::Ping => b.put_u8(OP_PING),
+        EngineRequest::Search { term } => {
+            b.put_u8(OP_SEARCH);
+            b.put_str(term);
+        }
+        EngineRequest::Meet { inputs, options } => {
+            b.put_u8(OP_MEET);
+            b.put_u32(inputs.len() as u32);
+            for h in inputs {
+                put_hit_set(&mut b, h);
+            }
+            put_options(&mut b, options);
+        }
+    }
+    out
+}
+
+/// Parse and validate a request payload.
+pub fn decode_request(payload: &[u8]) -> Result<EngineRequest, WireError> {
+    let mut c = SectionCursor::new(payload);
+    let req = match c.get_u8("request opcode")? {
+        OP_PING => EngineRequest::Ping,
+        OP_SEARCH => EngineRequest::Search {
+            term: c.get_str("search term")?.to_owned(),
+        },
+        OP_MEET => {
+            let n = c.get_u32("meet input count")? as usize;
+            let mut inputs = Vec::with_capacity(n.min(c.remaining() / 4 + 1));
+            for _ in 0..n {
+                inputs.push(get_hit_set(&mut c)?);
+            }
+            let options = get_options(&mut c)?;
+            EngineRequest::Meet { inputs, options }
+        }
+        other => {
+            return Err(WireError::Corrupt {
+                context: format!("unknown request opcode {other}"),
+            })
+        }
+    };
+    if !c.at_end() {
+        return Err(WireError::Corrupt {
+            context: "trailing bytes after request body".to_owned(),
+        });
+    }
+    Ok(req)
+}
+
+/// Serialize a success response payload (deterministic).
+pub fn encode_response(resp: &EngineResponse) -> Vec<u8> {
+    let mut out = Vec::new();
+    let mut b = SectionBuf::over(&mut out);
+    b.put_u8(STATUS_OK);
+    match resp {
+        EngineResponse::Pong => b.put_u8(RESP_PONG),
+        EngineResponse::Hits(hits) => {
+            b.put_u8(RESP_HITS);
+            put_hit_set(&mut b, hits);
+        }
+        EngineResponse::Meets(meets) => {
+            b.put_u8(RESP_MEETS);
+            put_meets(&mut b, meets);
+        }
+    }
+    out
+}
+
+/// Serialize an in-band error response payload.
+pub fn encode_error_response(message: &str) -> Vec<u8> {
+    let mut out = Vec::new();
+    let mut b = SectionBuf::over(&mut out);
+    b.put_u8(STATUS_ERR);
+    b.put_str(message);
+    out
+}
+
+/// Parse and validate a response payload. An in-band error status
+/// becomes [`WireError::Remote`].
+pub fn decode_response(payload: &[u8]) -> Result<EngineResponse, WireError> {
+    let mut c = SectionCursor::new(payload);
+    match c.get_u8("response status")? {
+        STATUS_OK => {}
+        STATUS_ERR => {
+            return Err(WireError::Remote(c.get_str("error message")?.to_owned()));
+        }
+        other => {
+            return Err(WireError::Corrupt {
+                context: format!("unknown response status {other}"),
+            })
+        }
+    }
+    let resp = match c.get_u8("response kind")? {
+        RESP_PONG => EngineResponse::Pong,
+        RESP_HITS => EngineResponse::Hits(get_hit_set(&mut c)?),
+        RESP_MEETS => EngineResponse::Meets(get_meets(&mut c)?),
+        other => {
+            return Err(WireError::Corrupt {
+                context: format!("unknown response kind {other}"),
+            })
+        }
+    };
+    if !c.at_end() {
+        return Err(WireError::Corrupt {
+            context: "trailing bytes after response body".to_owned(),
+        });
+    }
+    Ok(resp)
+}
+
+// ----- failover router -----
+
+/// Per-replica health. Transitions: any failure moves `Healthy` to
+/// `Suspect`; [`RemoteConfig::suspect_threshold`] consecutive failures
+/// move `Suspect` to `Down`; any success resets to `Healthy`. A down
+/// replica is skipped by the router until its half-open probe timer
+/// ([`RemoteConfig::down_probe_after`]) elapses.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ReplicaHealth {
+    /// Answering normally.
+    Healthy,
+    /// Failed recently; still tried, but no longer trusted.
+    Suspect,
+    /// Considered dead; probed at most once per probe interval.
+    Down,
+}
+
+/// Router tuning knobs. Every socket the router opens carries the
+/// connect/read/write timeouts, so the worst-case latency of a call is
+/// bounded by `(retry_rounds + 1) × replicas × (connect + read +
+/// write)` plus the backoff sleeps — the "timeout budget" the stress
+/// suite asserts against.
+#[derive(Debug, Clone)]
+pub struct RemoteConfig {
+    /// TCP connect deadline per attempt.
+    pub connect_timeout: Duration,
+    /// Socket read deadline per response.
+    pub read_timeout: Duration,
+    /// Socket write deadline per request.
+    pub write_timeout: Duration,
+    /// Extra full-sweep rounds after the first (0 = single sweep).
+    pub retry_rounds: usize,
+    /// Backoff before retry round r: `backoff_base × 2^(r-1)` plus
+    /// jitter in `[0, backoff_base)`, capped at `backoff_max`.
+    pub backoff_base: Duration,
+    /// Upper bound on one backoff sleep.
+    pub backoff_max: Duration,
+    /// How long a down replica stays skipped before a half-open probe.
+    pub down_probe_after: Duration,
+    /// Consecutive failures that demote a suspect replica to down.
+    pub suspect_threshold: u32,
+    /// Frame payload cap for this connection.
+    pub frame_cap: u32,
+    /// Seed of the deterministic jitter stream.
+    pub jitter_seed: u64,
+}
+
+impl Default for RemoteConfig {
+    fn default() -> RemoteConfig {
+        RemoteConfig {
+            connect_timeout: Duration::from_millis(1000),
+            read_timeout: Duration::from_millis(5000),
+            write_timeout: Duration::from_millis(5000),
+            retry_rounds: 2,
+            backoff_base: Duration::from_millis(10),
+            backoff_max: Duration::from_millis(500),
+            down_probe_after: Duration::from_millis(500),
+            suspect_threshold: 2,
+            frame_cap: DEFAULT_FRAME_CAP,
+            jitter_seed: 0x6e63_715f_6a69_7474, // "ncq_jitt"
+        }
+    }
+}
+
+struct ReplicaState {
+    health: ReplicaHealth,
+    conn: Option<TcpStream>,
+    consecutive_failures: u32,
+    probe_after: Option<Instant>,
+}
+
+struct Replica {
+    addr: String,
+    state: Mutex<ReplicaState>,
+}
+
+impl Replica {
+    fn new(addr: String) -> Replica {
+        Replica {
+            addr,
+            state: Mutex::new(ReplicaState {
+                health: ReplicaHealth::Healthy,
+                conn: None,
+                consecutive_failures: 0,
+                probe_after: None,
+            }),
+        }
+    }
+
+    fn health(&self) -> ReplicaHealth {
+        self.state.lock().expect("replica state lock").health
+    }
+
+    /// Whether the router should try this replica in the current
+    /// sweep: healthy and suspect replicas always, down replicas only
+    /// once their half-open probe timer has elapsed.
+    fn eligible(&self) -> bool {
+        let st = self.state.lock().expect("replica state lock");
+        match st.health {
+            ReplicaHealth::Healthy | ReplicaHealth::Suspect => true,
+            ReplicaHealth::Down => st.probe_after.is_none_or(|t| Instant::now() >= t),
+        }
+    }
+
+    /// One request/response exchange over the pooled connection
+    /// (established lazily, dropped on any failure so the next attempt
+    /// starts from a clean socket). The state lock is held across the
+    /// exchange: calls to *one replica* serialize, calls across
+    /// replicas proceed in parallel.
+    fn exchange(&self, request: &[u8], config: &RemoteConfig) -> Result<Vec<u8>, WireError> {
+        let mut st = self.state.lock().expect("replica state lock");
+        if st.conn.is_none() {
+            let addr = self
+                .addr
+                .to_socket_addrs()?
+                .next()
+                .ok_or_else(|| WireError::Corrupt {
+                    context: format!("endpoint {:?} resolves to no address", self.addr),
+                })?;
+            let stream = TcpStream::connect_timeout(&addr, config.connect_timeout)?;
+            stream.set_read_timeout(Some(config.read_timeout))?;
+            stream.set_write_timeout(Some(config.write_timeout))?;
+            stream.set_nodelay(true)?;
+            st.conn = Some(stream);
+        }
+        let stream = st.conn.as_mut().expect("connection just ensured");
+        let result = write_frame(stream, request, config.frame_cap)
+            .and_then(|()| read_frame(stream, config.frame_cap));
+        if result.is_err() {
+            st.conn = None;
+        }
+        result
+    }
+
+    fn mark_ok(&self) {
+        let mut st = self.state.lock().expect("replica state lock");
+        st.health = ReplicaHealth::Healthy;
+        st.consecutive_failures = 0;
+        st.probe_after = None;
+    }
+
+    fn mark_failed(&self, config: &RemoteConfig) {
+        let mut st = self.state.lock().expect("replica state lock");
+        st.conn = None;
+        st.consecutive_failures = st.consecutive_failures.saturating_add(1);
+        if st.consecutive_failures >= config.suspect_threshold {
+            st.health = ReplicaHealth::Down;
+            st.probe_after = Some(Instant::now() + config.down_probe_after);
+        } else {
+            st.health = ReplicaHealth::Suspect;
+        }
+    }
+}
+
+#[derive(Default)]
+struct RouterCounters {
+    retries: AtomicU64,
+    failovers: AtomicU64,
+    timeouts: AtomicU64,
+}
+
+/// [`MeetBackend`] proxied over the framed engine protocol, with
+/// replica failover.
+///
+/// The backend keeps a local *resolver* copy of the corpus (the same
+/// snapshot the replicas serve): [`MeetBackend::store`] must hand out
+/// schema and string lookups for answer resolution, and those stay
+/// local — only search and meet execution travel. Because replicas run
+/// the identical engine over the identical snapshot, a remote answer
+/// is byte-identical to in-process execution; the golden replay suite
+/// asserts exactly that.
+pub struct RemoteBackend {
+    resolver: Database,
+    replicas: Vec<Replica>,
+    config: RemoteConfig,
+    jitter: Mutex<StdRng>,
+    counters: RouterCounters,
+}
+
+impl RemoteBackend {
+    /// Route to `endpoints` (tried in order — list the preferred
+    /// replica first), resolving answers against `resolver`. Refuses
+    /// an empty endpoint list.
+    pub fn new(
+        resolver: Database,
+        endpoints: &[String],
+        config: RemoteConfig,
+    ) -> Result<RemoteBackend, BackendError> {
+        if endpoints.is_empty() {
+            return Err(BackendError::Unavailable {
+                detail: "a remote backend needs at least one replica endpoint".to_owned(),
+                attempts: 0,
+            });
+        }
+        let jitter = Mutex::new(StdRng::seed_from_u64(config.jitter_seed));
+        Ok(RemoteBackend {
+            resolver,
+            replicas: endpoints.iter().cloned().map(Replica::new).collect(),
+            config,
+            jitter,
+            counters: RouterCounters::default(),
+        })
+    }
+
+    /// The configured endpoints, in routing order.
+    pub fn endpoints(&self) -> Vec<String> {
+        self.replicas.iter().map(|r| r.addr.clone()).collect()
+    }
+
+    /// Current per-replica health, in routing order.
+    pub fn replica_health(&self) -> Vec<(String, ReplicaHealth)> {
+        self.replicas
+            .iter()
+            .map(|r| (r.addr.clone(), r.health()))
+            .collect()
+    }
+
+    /// The router configuration in effect.
+    pub fn config(&self) -> &RemoteConfig {
+        &self.config
+    }
+
+    fn backoff_delay(&self, round: usize) -> Duration {
+        let base = self.config.backoff_base.max(Duration::from_micros(1));
+        let shift = round.saturating_sub(1).min(16) as u32;
+        let exp = base
+            .saturating_mul(1u32 << shift)
+            .min(self.config.backoff_max);
+        let jitter_us = self
+            .jitter
+            .lock()
+            .expect("jitter rng lock")
+            .random_range(0..base.as_micros().max(1) as u64);
+        exp + Duration::from_micros(jitter_us)
+    }
+
+    fn note_failure(&self, replica: &Replica, err: &WireError) {
+        if err.is_timeout() {
+            self.counters.timeouts.fetch_add(1, Relaxed);
+        }
+        replica.mark_failed(&self.config);
+    }
+
+    /// One failover-routed call. Sweeps replicas in order (skipping
+    /// ones believed down), then force-probes the skipped ones if the
+    /// sweep made no progress, then backs off and repeats up to
+    /// [`RemoteConfig::retry_rounds`] more times. An in-band
+    /// [`WireError::Remote`] returns immediately — the request itself
+    /// was refused, so another replica would refuse it the same way.
+    pub fn call(&self, req: &EngineRequest) -> Result<EngineResponse, BackendError> {
+        let request = encode_request(req);
+        let mut attempts = 0usize;
+        let mut last_failure = String::from("no replica attempted");
+        for round in 0..=self.config.retry_rounds {
+            if round > 0 {
+                self.counters.retries.fetch_add(1, Relaxed);
+                std::thread::sleep(self.backoff_delay(round));
+            }
+            let mut tried = vec![false; self.replicas.len()];
+            // Pass 1: replicas currently believed reachable. Pass 2
+            // (only over the ones pass 1 skipped): force-probe, so a
+            // sweep always attempts at least one replica even when
+            // every health record says down — recovery is observable
+            // within one call, and the round stays bounded because
+            // every replica is attempted at most once per round.
+            for force in [false, true] {
+                for (i, replica) in self.replicas.iter().enumerate() {
+                    if tried[i] || (!force && !replica.eligible()) {
+                        continue;
+                    }
+                    tried[i] = true;
+                    attempts += 1;
+                    if attempts > 1 {
+                        self.counters.failovers.fetch_add(1, Relaxed);
+                    }
+                    match replica.exchange(&request, &self.config) {
+                        Ok(payload) => match decode_response(&payload) {
+                            Ok(resp) => {
+                                replica.mark_ok();
+                                return Ok(resp);
+                            }
+                            Err(WireError::Remote(msg)) => {
+                                // The replica is alive and refused the
+                                // request in-band: not a health event,
+                                // and not retryable elsewhere.
+                                replica.mark_ok();
+                                return Err(BackendError::Remote { detail: msg });
+                            }
+                            Err(e) => {
+                                last_failure = format!("{} at {}", e, replica.addr);
+                                self.note_failure(replica, &e);
+                            }
+                        },
+                        Err(e) => {
+                            last_failure = format!("{} at {}", e, replica.addr);
+                            self.note_failure(replica, &e);
+                        }
+                    }
+                }
+            }
+        }
+        Err(BackendError::Unavailable {
+            detail: last_failure,
+            attempts,
+        })
+    }
+
+    /// Probe every replica with one `PING`, updating health records.
+    /// The [`HealthMonitor`] calls this periodically; tests call it
+    /// directly to drive the state machine.
+    pub fn ping_replicas(&self) {
+        let request = encode_request(&EngineRequest::Ping);
+        for replica in &self.replicas {
+            match replica.exchange(&request, &self.config) {
+                Ok(payload) => match decode_response(&payload) {
+                    Ok(EngineResponse::Pong) => replica.mark_ok(),
+                    Ok(_) | Err(WireError::Remote(_)) => replica.mark_ok(),
+                    Err(e) => self.note_failure(replica, &e),
+                },
+                Err(e) => self.note_failure(replica, &e),
+            }
+        }
+    }
+
+    /// Start a background thread pinging every replica each
+    /// `interval`. The thread holds only a weak reference — dropping
+    /// the backend (or the returned [`HealthMonitor`]) stops it.
+    pub fn spawn_health_monitor(backend: &Arc<RemoteBackend>, interval: Duration) -> HealthMonitor {
+        let weak: Weak<RemoteBackend> = Arc::downgrade(backend);
+        let stop = Arc::new(AtomicBool::new(false));
+        let thread_stop = Arc::clone(&stop);
+        let handle = std::thread::Builder::new()
+            .name("ncq-health-monitor".to_owned())
+            .spawn(move || loop {
+                if thread_stop.load(Relaxed) {
+                    break;
+                }
+                let Some(backend) = weak.upgrade() else { break };
+                backend.ping_replicas();
+                drop(backend);
+                // Sleep in short steps so stop stays responsive.
+                let mut remaining = interval;
+                let step = Duration::from_millis(20);
+                while !remaining.is_zero() && !thread_stop.load(Relaxed) {
+                    let nap = remaining.min(step);
+                    std::thread::sleep(nap);
+                    remaining = remaining.saturating_sub(nap);
+                }
+            })
+            .expect("spawn health monitor thread");
+        HealthMonitor {
+            stop,
+            handle: Some(handle),
+        }
+    }
+}
+
+impl fmt::Debug for RemoteBackend {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("RemoteBackend")
+            .field("endpoints", &self.endpoints())
+            .finish()
+    }
+}
+
+impl MeetBackend for RemoteBackend {
+    fn store(&self) -> &MonetDb {
+        self.resolver.store()
+    }
+
+    /// Infallible surface: degrades to an empty hit set when every
+    /// replica is down. First-class serving paths call
+    /// [`MeetBackend::try_search`] instead and surface the typed error.
+    fn search(&self, term: &str) -> HitSet {
+        self.try_search(term).unwrap_or_default()
+    }
+
+    /// Infallible surface: degrades to no meets when every replica is
+    /// down. First-class serving paths call
+    /// [`MeetBackend::try_meet_hit_groups`] instead.
+    fn meet_hit_groups(&self, inputs: &[&HitSet], options: &MeetOptions) -> Vec<Meet> {
+        self.try_meet_hit_groups(inputs, options)
+            .unwrap_or_default()
+    }
+
+    fn try_search(&self, term: &str) -> Result<HitSet, BackendError> {
+        match self.call(&EngineRequest::Search {
+            term: term.to_owned(),
+        })? {
+            EngineResponse::Hits(hits) => Ok(hits),
+            other => Err(BackendError::Remote {
+                detail: format!("expected hits, got {other:?}"),
+            }),
+        }
+    }
+
+    fn try_meet_hit_groups(
+        &self,
+        inputs: &[&HitSet],
+        options: &MeetOptions,
+    ) -> Result<Vec<Meet>, BackendError> {
+        let owned: Vec<HitSet> = inputs.iter().map(|h| (*h).clone()).collect();
+        match self.call(&EngineRequest::Meet {
+            inputs: owned,
+            options: options.clone(),
+        })? {
+            EngineResponse::Meets(meets) => Ok(meets),
+            other => Err(BackendError::Remote {
+                detail: format!("expected meets, got {other:?}"),
+            }),
+        }
+    }
+
+    fn robustness_stats(&self) -> RobustnessStats {
+        RobustnessStats {
+            retries: self.counters.retries.load(Relaxed),
+            failovers: self.counters.failovers.load(Relaxed),
+            replicas_down: self
+                .replicas
+                .iter()
+                .filter(|r| r.health() == ReplicaHealth::Down)
+                .count() as u64,
+            timeouts: self.counters.timeouts.load(Relaxed),
+        }
+    }
+
+    /// Persists the *resolver* copy — the same snapshot the replicas
+    /// serve, so this is the corpus state.
+    fn save_snapshot(&self, path: &Path) -> Result<(), SnapshotError> {
+        Database::save_snapshot(&self.resolver, path)
+    }
+
+    /// Reload the resolver from `path`, keeping the same endpoints and
+    /// router configuration (replica health restarts fresh).
+    fn open_snapshot_like(&self, path: &Path) -> Result<Arc<dyn MeetBackend>, SnapshotError> {
+        let resolver = Database::open_snapshot(path)?;
+        let endpoints = self.endpoints();
+        let backend =
+            RemoteBackend::new(resolver, &endpoints, self.config.clone()).map_err(|_| {
+                SnapshotError::Unsupported {
+                    context: "remote backend lost its endpoints during reload",
+                }
+            })?;
+        Ok(Arc::new(backend))
+    }
+}
+
+/// Handle to a running replica ping thread (see
+/// [`RemoteBackend::spawn_health_monitor`]). Dropping it stops and
+/// joins the thread.
+pub struct HealthMonitor {
+    stop: Arc<AtomicBool>,
+    handle: Option<std::thread::JoinHandle<()>>,
+}
+
+impl HealthMonitor {
+    /// Stop and join the ping thread.
+    pub fn shutdown(mut self) {
+        self.stop_and_join();
+    }
+
+    fn stop_and_join(&mut self) {
+        if let Some(handle) = self.handle.take() {
+            self.stop.store(true, Relaxed);
+            let _ = handle.join();
+        }
+    }
+}
+
+impl Drop for HealthMonitor {
+    fn drop(&mut self) {
+        self.stop_and_join();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::BufReader;
+    use std::net::TcpListener;
+
+    const FIG: &str = r#"<bib><article key="BB99"><author>Ben Bit</author>
+        <year>1999</year></article><article key="MM01"><author>Mary Meet</author>
+        <year>1999</year></article></bib>"#;
+
+    fn sample_meet_request(db: &Database) -> EngineRequest {
+        EngineRequest::Meet {
+            inputs: vec![db.search("Bit"), db.search("1999")],
+            options: MeetOptions {
+                max_distance: Some(9),
+                witness_cap: 4,
+                strategy: MeetStrategy::Lift,
+                filter: PathFilter::Exclude([PathId::from_index(0)].into_iter().collect()),
+            },
+        }
+    }
+
+    /// A minimal in-process engine server: decode requests, execute on
+    /// a local database, answer framed responses. The real listener
+    /// lives in `ncq-server`; this one exists so the codec and router
+    /// are provable inside `ncq-core`.
+    fn toy_engine(db: Arc<Database>) -> (std::net::SocketAddr, TcpListener) {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let accept = listener.try_clone().unwrap();
+        std::thread::spawn(move || {
+            for stream in accept.incoming() {
+                let Ok(stream) = stream else { break };
+                let db = Arc::clone(&db);
+                std::thread::spawn(move || {
+                    let mut reader = BufReader::new(stream.try_clone().unwrap());
+                    let mut writer = stream;
+                    while let Ok(Some(payload)) = read_frame_or_eof(&mut reader, DEFAULT_FRAME_CAP)
+                    {
+                        let response = match decode_request(&payload) {
+                            Ok(EngineRequest::Ping) => encode_response(&EngineResponse::Pong),
+                            Ok(EngineRequest::Search { term }) => {
+                                encode_response(&EngineResponse::Hits(db.search(&term)))
+                            }
+                            Ok(EngineRequest::Meet { inputs, options }) => {
+                                let refs: Vec<&HitSet> = inputs.iter().collect();
+                                encode_response(&EngineResponse::Meets(
+                                    db.meet_hits(&refs, &options),
+                                ))
+                            }
+                            Err(e) => encode_error_response(&e.to_string()),
+                        };
+                        if write_frame(&mut writer, &response, DEFAULT_FRAME_CAP).is_err() {
+                            break;
+                        }
+                    }
+                });
+            }
+        });
+        (addr, listener)
+    }
+
+    fn fast_config() -> RemoteConfig {
+        RemoteConfig {
+            connect_timeout: Duration::from_millis(200),
+            read_timeout: Duration::from_millis(500),
+            write_timeout: Duration::from_millis(500),
+            retry_rounds: 1,
+            backoff_base: Duration::from_millis(1),
+            backoff_max: Duration::from_millis(5),
+            down_probe_after: Duration::from_millis(10),
+            ..RemoteConfig::default()
+        }
+    }
+
+    #[test]
+    fn request_and_response_round_trip_bit_for_bit() {
+        let db = Database::from_xml_str(FIG).unwrap();
+        for req in [
+            EngineRequest::Ping,
+            EngineRequest::Search {
+                term: "\"Ben Bit\"".to_owned(),
+            },
+            sample_meet_request(&db),
+        ] {
+            let bytes = encode_request(&req);
+            assert_eq!(decode_request(&bytes).unwrap(), req);
+            // Deterministic encoding (the chaos schedule and golden
+            // replays rely on it).
+            assert_eq!(bytes, encode_request(&req));
+        }
+        let inputs = [db.search("Bit"), db.search("1999")];
+        let refs: Vec<&HitSet> = inputs.iter().collect();
+        let meets = db.meet_hits(&refs, &MeetOptions::default());
+        for resp in [
+            EngineResponse::Pong,
+            EngineResponse::Hits(db.search("Bit")),
+            EngineResponse::Meets(meets),
+        ] {
+            let bytes = encode_response(&resp);
+            assert_eq!(decode_response(&bytes).unwrap(), resp);
+        }
+        assert!(matches!(
+            decode_response(&encode_error_response("nope")),
+            Err(WireError::Remote(msg)) if msg == "nope"
+        ));
+    }
+
+    #[test]
+    fn framed_stream_round_trips() {
+        let payload = encode_request(&EngineRequest::Search {
+            term: "x".to_owned(),
+        });
+        let mut wire = Vec::new();
+        write_frame(&mut wire, &payload, DEFAULT_FRAME_CAP).unwrap();
+        let mut r = wire.as_slice();
+        assert_eq!(read_frame(&mut r, DEFAULT_FRAME_CAP).unwrap(), payload);
+        // Clean EOF at a frame boundary is Ok(None), not an error.
+        assert!(read_frame_or_eof(&mut r, DEFAULT_FRAME_CAP)
+            .unwrap()
+            .is_none());
+    }
+
+    #[test]
+    fn truncation_at_every_prefix_is_typed_never_a_panic() {
+        let db = Database::from_xml_str(FIG).unwrap();
+        let payload = encode_request(&sample_meet_request(&db));
+        let mut wire = Vec::new();
+        write_frame(&mut wire, &payload, DEFAULT_FRAME_CAP).unwrap();
+        for len in 1..wire.len() {
+            let mut r = &wire[..len];
+            assert!(
+                read_frame(&mut r, DEFAULT_FRAME_CAP).is_err(),
+                "prefix of {len} bytes decoded"
+            );
+        }
+        // Body-level truncation behind a valid frame: every prefix of
+        // the *payload* must also fail typed.
+        for len in 0..payload.len() {
+            assert!(
+                decode_request(&payload[..len]).is_err(),
+                "payload prefix of {len} bytes decoded"
+            );
+        }
+        let resp = encode_response(&EngineResponse::Hits(db.search("Bit")));
+        for len in 0..resp.len() {
+            assert!(
+                decode_response(&resp[..len]).is_err(),
+                "response prefix of {len} bytes decoded"
+            );
+        }
+    }
+
+    #[test]
+    fn oversized_length_and_corrupt_frames_are_typed() {
+        // Length field past the cap is refused before allocation.
+        let mut wire = Vec::new();
+        wire.extend_from_slice(&u32::MAX.to_le_bytes());
+        wire.extend_from_slice(&0u64.to_le_bytes());
+        assert!(matches!(
+            read_frame(&mut wire.as_slice(), DEFAULT_FRAME_CAP),
+            Err(WireError::FrameTooLarge { .. })
+        ));
+        // A flipped payload byte fails the frame checksum.
+        let payload = encode_request(&EngineRequest::Ping);
+        let mut framed = Vec::new();
+        write_frame(&mut framed, &payload, DEFAULT_FRAME_CAP).unwrap();
+        for at in 0..framed.len() {
+            let mut corrupt = framed.clone();
+            corrupt[at] ^= 0x20;
+            assert!(
+                read_frame(&mut corrupt.as_slice(), DEFAULT_FRAME_CAP).is_err(),
+                "flip at {at} went undetected"
+            );
+        }
+        // Garbage bodies behind valid frames are typed too.
+        assert!(decode_request(&[0xFF, 0x00, 0x01]).is_err());
+        assert!(decode_response(&[0xFF]).is_err());
+        assert!(decode_request(&[]).is_err());
+    }
+
+    #[test]
+    fn remote_backend_answers_byte_identically_to_in_process() {
+        let db = Arc::new(Database::from_xml_str(FIG).unwrap());
+        let (addr, _listener) = toy_engine(Arc::clone(&db));
+        let remote = RemoteBackend::new(
+            Database::from_xml_str(FIG).unwrap(),
+            &[addr.to_string()],
+            fast_config(),
+        )
+        .unwrap();
+        let opts = MeetOptions::default();
+        let local = db.meet_terms(&["Bit", "1999"]).unwrap();
+        let over_wire = remote
+            .try_meet_terms_answers(&["Bit", "1999"], &opts)
+            .unwrap();
+        assert_eq!(over_wire.to_detailed_xml(), local.to_detailed_xml());
+        assert_eq!(remote.try_search("Bit").unwrap(), db.search("Bit"));
+        assert_eq!(remote.robustness_stats(), RobustnessStats::default());
+    }
+
+    #[test]
+    fn failover_reissues_on_the_next_replica_and_counts_it() {
+        let db = Arc::new(Database::from_xml_str(FIG).unwrap());
+        // Replica 1: a port with nothing listening (bind, note the
+        // address, drop — connections are refused).
+        let dead = TcpListener::bind("127.0.0.1:0").unwrap();
+        let dead_addr = dead.local_addr().unwrap();
+        drop(dead);
+        let (live_addr, _listener) = toy_engine(Arc::clone(&db));
+        let remote = RemoteBackend::new(
+            Database::from_xml_str(FIG).unwrap(),
+            &[dead_addr.to_string(), live_addr.to_string()],
+            fast_config(),
+        )
+        .unwrap();
+        let answers = remote
+            .try_meet_terms_answers(&["Bit", "1999"], &MeetOptions::default())
+            .unwrap();
+        assert_eq!(
+            answers.to_detailed_xml(),
+            db.meet_terms(&["Bit", "1999"]).unwrap().to_detailed_xml()
+        );
+        let stats = remote.robustness_stats();
+        assert!(stats.failovers > 0, "{stats:?}");
+        // After enough failures the dead replica is marked down and
+        // the gauge reports it.
+        for _ in 0..3 {
+            let _ = remote.try_search("Bit");
+        }
+        let health = remote.replica_health();
+        assert_eq!(health[0].1, ReplicaHealth::Down, "{health:?}");
+        assert_eq!(health[1].1, ReplicaHealth::Healthy, "{health:?}");
+        assert_eq!(remote.robustness_stats().replicas_down, 1);
+    }
+
+    #[test]
+    fn all_replicas_down_is_a_typed_error_within_the_timeout_budget() {
+        let dead = TcpListener::bind("127.0.0.1:0").unwrap();
+        let dead_addr = dead.local_addr().unwrap();
+        drop(dead);
+        let config = fast_config();
+        let remote = RemoteBackend::new(
+            Database::from_xml_str(FIG).unwrap(),
+            &[dead_addr.to_string()],
+            config.clone(),
+        )
+        .unwrap();
+        let started = Instant::now();
+        let err = remote.try_search("Bit").unwrap_err();
+        let elapsed = started.elapsed();
+        assert!(matches!(err, BackendError::Unavailable { attempts, .. } if attempts >= 2));
+        // Budget: 2 rounds × 1 replica × connect timeout + backoff,
+        // with generous slack for CI scheduling.
+        let budget = Duration::from_secs(5);
+        assert!(elapsed < budget, "took {elapsed:?}");
+        // Retries were counted, and the infallible surface degrades to
+        // empty instead of panicking.
+        assert!(remote.robustness_stats().retries >= 1);
+        assert!(remote.search("Bit").is_empty());
+        assert!(remote
+            .meet_hit_groups(&[], &MeetOptions::default())
+            .is_empty());
+    }
+
+    #[test]
+    fn down_replicas_recover_through_the_health_monitor() {
+        let db = Arc::new(Database::from_xml_str(FIG).unwrap());
+        // Start dead: grab a port, refuse connections.
+        let parked = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = parked.local_addr().unwrap();
+        drop(parked);
+        let config = fast_config();
+        let remote = Arc::new(
+            RemoteBackend::new(
+                Database::from_xml_str(FIG).unwrap(),
+                &[addr.to_string()],
+                config,
+            )
+            .unwrap(),
+        );
+        assert!(remote.try_search("Bit").is_err());
+        assert_eq!(remote.replica_health()[0].1, ReplicaHealth::Down);
+
+        // Bring the replica up on the same port and let pings heal it.
+        let listener = TcpListener::bind(addr).unwrap();
+        let local = listener.local_addr().unwrap();
+        assert_eq!(local, addr);
+        let accept = listener.try_clone().unwrap();
+        let db2 = Arc::clone(&db);
+        std::thread::spawn(move || {
+            for stream in accept.incoming() {
+                let Ok(stream) = stream else { break };
+                let db = Arc::clone(&db2);
+                std::thread::spawn(move || {
+                    let mut reader = BufReader::new(stream.try_clone().unwrap());
+                    let mut writer = stream;
+                    while let Ok(Some(payload)) = read_frame_or_eof(&mut reader, DEFAULT_FRAME_CAP)
+                    {
+                        let response = match decode_request(&payload) {
+                            Ok(EngineRequest::Search { term }) => {
+                                encode_response(&EngineResponse::Hits(db.search(&term)))
+                            }
+                            Ok(_) => encode_response(&EngineResponse::Pong),
+                            Err(e) => encode_error_response(&e.to_string()),
+                        };
+                        if write_frame(&mut writer, &response, DEFAULT_FRAME_CAP).is_err() {
+                            break;
+                        }
+                    }
+                });
+            }
+        });
+        let monitor = RemoteBackend::spawn_health_monitor(&remote, Duration::from_millis(10));
+        let deadline = Instant::now() + Duration::from_secs(10);
+        while remote.replica_health()[0].1 != ReplicaHealth::Healthy {
+            assert!(Instant::now() < deadline, "replica never healed");
+            std::thread::sleep(Duration::from_millis(10));
+        }
+        assert_eq!(remote.try_search("Bit").unwrap(), db.search("Bit"));
+        monitor.shutdown();
+    }
+
+    #[test]
+    fn in_band_remote_errors_do_not_mark_the_replica_unhealthy() {
+        // An engine that refuses every request in-band.
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let accept = listener.try_clone().unwrap();
+        std::thread::spawn(move || {
+            for stream in accept.incoming() {
+                let Ok(stream) = stream else { break };
+                std::thread::spawn(move || {
+                    let mut reader = BufReader::new(stream.try_clone().unwrap());
+                    let mut writer = stream;
+                    while let Ok(Some(_)) = read_frame_or_eof(&mut reader, DEFAULT_FRAME_CAP) {
+                        let resp = encode_error_response("term cache poisoned");
+                        if write_frame(&mut writer, &resp, DEFAULT_FRAME_CAP).is_err() {
+                            break;
+                        }
+                    }
+                });
+            }
+        });
+        let remote = RemoteBackend::new(
+            Database::from_xml_str(FIG).unwrap(),
+            &[addr.to_string()],
+            fast_config(),
+        )
+        .unwrap();
+        let err = remote.try_search("Bit").unwrap_err();
+        assert!(matches!(err, BackendError::Remote { detail } if detail.contains("poisoned")));
+        assert_eq!(remote.replica_health()[0].1, ReplicaHealth::Healthy);
+        assert_eq!(remote.robustness_stats().failovers, 0);
+    }
+}

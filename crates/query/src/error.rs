@@ -47,6 +47,21 @@ pub enum QueryError {
         /// The requested corpus name.
         name: String,
     },
+    /// The execution backend failed — a remote replica set became
+    /// unavailable mid-query. The query itself is fine; re-issuing it
+    /// once a replica recovers is safe.
+    Backend {
+        /// The backend's typed failure, rendered.
+        detail: String,
+    },
+}
+
+impl From<ncq_core::BackendError> for QueryError {
+    fn from(e: ncq_core::BackendError) -> QueryError {
+        QueryError::Backend {
+            detail: e.to_string(),
+        }
+    }
 }
 
 impl fmt::Display for QueryError {
@@ -79,6 +94,9 @@ impl fmt::Display for QueryError {
             QueryError::UnknownCorpus { name } => {
                 write!(f, "unknown corpus {name:?} (this backend serves no corpus of that name)")
             }
+            QueryError::Backend { detail } => {
+                write!(f, "backend failed: {detail}")
+            }
         }
     }
 }
@@ -104,6 +122,12 @@ mod tests {
                     name: "dblp".into(),
                 },
                 "unknown corpus",
+            ),
+            (
+                QueryError::Backend {
+                    detail: "replica set down".into(),
+                },
+                "backend failed",
             ),
         ];
         for (e, needle) in cases {

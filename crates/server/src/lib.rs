@@ -25,6 +25,14 @@
 //! * a **TCP acceptor** ([`net::TcpAcceptor`]): thread-per-connection
 //!   `serve_lines` sessions over `std::net::TcpListener` with a hard
 //!   connection cap (over-cap connections get one in-band `ERR` line);
+//! * an **engine transport** ([`remote::RemoteEngine`]): the serving
+//!   side of `ncq-core`'s framed replica protocol — a coordinator's
+//!   `RemoteBackend` fails over between several of these, and answers
+//!   stay byte-identical to in-process execution;
+//! * a **fault-injection harness** ([`chaos::ChaosProxy`]): a
+//!   frame-aware proxy driven by a seeded PRNG schedule (refusal,
+//!   mid-frame disconnect, checksum corruption, stalls, slow drip)
+//!   that the distributed stress suite replays deterministically;
 //! * **backend dispatch**: workers hold an `Arc<dyn MeetBackend>`, so
 //!   the same pool serves the single-process [`ncq_core::Database`],
 //!   the sharded `ncq-shard::ShardedDb`, or a multi-corpus
@@ -54,12 +62,16 @@
 //! server.shutdown();
 //! ```
 
+pub mod chaos;
 pub mod net;
 pub mod protocol;
+pub mod remote;
 pub mod server;
 
+pub use chaos::{ChaosProxy, ChaosSchedule, Fault};
 pub use net::{NetConfig, TcpAcceptor};
 pub use protocol::serve_lines;
+pub use remote::{EngineConfig, RemoteEngine};
 pub use server::{
     Client, Request, Response, Server, ServerConfig, ServerError, ServerStats, SnapshotPathError,
     ALL_CORPORA,

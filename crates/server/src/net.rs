@@ -14,12 +14,14 @@
 //! (An async runtime shim remains future work — see ROADMAP.)
 
 use crate::protocol::serve_lines;
+use crate::remote::SessionRegistry;
 use crate::server::Client;
-use std::io::{BufReader, Write};
+use std::io::{BufReader, ErrorKind, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering::SeqCst};
 use std::sync::Arc;
 use std::thread;
+use std::time::Duration;
 
 /// Acceptor tuning knobs.
 #[derive(Debug, Clone)]
@@ -27,12 +29,19 @@ pub struct NetConfig {
     /// Maximum concurrently served connections; further connections are
     /// refused with `ERR server at connection capacity`. Minimum 1.
     pub max_connections: usize,
+    /// Idle read timeout per session: a connection that sends no
+    /// request line for this long is told `ERR timeout …` in-band and
+    /// closed, so a hung or abandoned client cannot hold a connection
+    /// slot forever. `None` (the default) keeps the historical
+    /// block-forever behaviour.
+    pub read_timeout: Option<Duration>,
 }
 
 impl Default for NetConfig {
     fn default() -> NetConfig {
         NetConfig {
             max_connections: 64,
+            read_timeout: None,
         }
     }
 }
@@ -40,11 +49,14 @@ impl Default for NetConfig {
 /// A running TCP acceptor: owns the accept loop thread and spawns one
 /// session thread per admitted connection.
 ///
-/// [`TcpAcceptor::shutdown`] (or drop) stops accepting; sessions already
-/// admitted run until their client disconnects or sends `QUIT`.
+/// [`TcpAcceptor::shutdown`] (or drop) is a graceful drain: it stops
+/// accepting, severs every live session's socket (unblocking reads),
+/// and joins all session threads before returning — no session thread
+/// outlives the acceptor.
 pub struct TcpAcceptor {
     local_addr: SocketAddr,
     stop: Arc<AtomicBool>,
+    sessions: Arc<SessionRegistry>,
     accept_thread: Option<thread::JoinHandle<()>>,
 }
 
@@ -59,13 +71,17 @@ impl TcpAcceptor {
         let listener = TcpListener::bind(addr)?;
         let local_addr = listener.local_addr()?;
         let stop = Arc::new(AtomicBool::new(false));
+        let sessions = Arc::new(SessionRegistry::default());
         let active = Arc::new(AtomicUsize::new(0));
         let cap = config.max_connections.max(1);
+        let read_timeout = config.read_timeout;
 
         let accept_stop = Arc::clone(&stop);
+        let accept_sessions = Arc::clone(&sessions);
         let accept_thread = thread::Builder::new()
             .name("ncq-acceptor".to_owned())
             .spawn(move || {
+                let mut handles: Vec<thread::JoinHandle<()>> = Vec::new();
                 for stream in listener.incoming() {
                     if accept_stop.load(SeqCst) {
                         break;
@@ -83,22 +99,36 @@ impl TcpAcceptor {
                     }
                     let client = client.clone();
                     let slot = Arc::clone(&active);
+                    let registry = Arc::clone(&accept_sessions);
                     let session =
                         thread::Builder::new()
                             .name("ncq-session".to_owned())
                             .spawn(move || {
-                                let _ = serve_session(&client, stream);
+                                let id = registry.register(&stream);
+                                let _ = serve_session(&client, stream, read_timeout);
+                                registry.deregister(id);
                                 slot.fetch_sub(1, SeqCst);
                             });
-                    if session.is_err() {
-                        active.fetch_sub(1, SeqCst);
+                    match session {
+                        Ok(handle) => handles.push(handle),
+                        Err(_) => {
+                            active.fetch_sub(1, SeqCst);
+                        }
                     }
+                    handles.retain(|h| !h.is_finished());
+                }
+                // Graceful drain: sever every live session (unblocking
+                // blocked reads), then join all session threads.
+                accept_sessions.shutdown_all();
+                for handle in handles {
+                    let _ = handle.join();
                 }
             })?;
 
         Ok(TcpAcceptor {
             local_addr,
             stop,
+            sessions,
             accept_thread: Some(accept_thread),
         })
     }
@@ -108,7 +138,7 @@ impl TcpAcceptor {
         self.local_addr
     }
 
-    /// Stop accepting new connections and join the accept loop.
+    /// Stop accepting, sever live sessions, join every thread.
     pub fn shutdown(mut self) {
         self.stop_and_join();
     }
@@ -116,8 +146,10 @@ impl TcpAcceptor {
     fn stop_and_join(&mut self) {
         if let Some(handle) = self.accept_thread.take() {
             self.stop.store(true, SeqCst);
-            // Unblock the accept loop with a throwaway connection.
+            // Unblock the accept loop with a throwaway connection; the
+            // accept thread then drains the session threads.
             let _ = TcpStream::connect(self.local_addr);
+            self.sessions.shutdown_all();
             let _ = handle.join();
         }
     }
@@ -130,10 +162,28 @@ impl Drop for TcpAcceptor {
 }
 
 /// One session: split the stream into a buffered reader and a writer
-/// and hand both to the line protocol.
-fn serve_session(client: &Client, stream: TcpStream) -> std::io::Result<()> {
+/// and hand both to the line protocol. An idle read timeout is told
+/// apart from a real transport failure and answered with a typed
+/// in-band `ERR timeout` line before the close, so the remote client
+/// knows it was dropped for idleness rather than by a crash.
+fn serve_session(
+    client: &Client,
+    stream: TcpStream,
+    read_timeout: Option<Duration>,
+) -> std::io::Result<()> {
+    if read_timeout.is_some() {
+        stream.set_read_timeout(read_timeout)?;
+    }
     let reader = BufReader::new(stream.try_clone()?);
-    serve_lines(client, reader, stream)
+    let result = serve_lines(client, reader, stream.try_clone()?);
+    if let Err(e) = &result {
+        if matches!(e.kind(), ErrorKind::TimedOut | ErrorKind::WouldBlock) {
+            let mut stream = stream;
+            let _ = writeln!(stream, "ERR timeout: session idle past the read timeout");
+            return Ok(());
+        }
+    }
+    result
 }
 
 #[cfg(test)]
@@ -189,8 +239,15 @@ mod tests {
     #[test]
     fn connection_cap_refuses_in_band() {
         let s = server();
-        let acceptor =
-            TcpAcceptor::bind("127.0.0.1:0", s.client(), NetConfig { max_connections: 1 }).unwrap();
+        let acceptor = TcpAcceptor::bind(
+            "127.0.0.1:0",
+            s.client(),
+            NetConfig {
+                max_connections: 1,
+                ..NetConfig::default()
+            },
+        )
+        .unwrap();
         let addr = acceptor.local_addr();
 
         // Hold one session open (slot occupied until we drop it).
@@ -243,6 +300,33 @@ mod tests {
             assert!(std::time::Instant::now() < deadline, "slot never freed");
             thread::sleep(std::time::Duration::from_millis(10));
         }
+        acceptor.shutdown();
+        s.shutdown();
+    }
+
+    #[test]
+    fn idle_sessions_get_a_typed_timeout_line() {
+        let s = server();
+        let acceptor = TcpAcceptor::bind(
+            "127.0.0.1:0",
+            s.client(),
+            NetConfig {
+                read_timeout: Some(std::time::Duration::from_millis(100)),
+                ..NetConfig::default()
+            },
+        )
+        .unwrap();
+        let mut stream = TcpStream::connect(acceptor.local_addr()).unwrap();
+        // One request proves the session works, then go idle: the
+        // server must answer the timeout in-band before closing.
+        stream.write_all(b"PING\n").unwrap();
+        let mut out = String::new();
+        stream.read_to_string(&mut out).unwrap(); // until server closes
+        assert!(out.starts_with("OK 0"), "{out}");
+        assert!(
+            out.contains("ERR timeout: session idle"),
+            "typed idle-timeout line before close: {out}"
+        );
         acceptor.shutdown();
         s.shutdown();
     }

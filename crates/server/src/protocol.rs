@@ -137,18 +137,27 @@ fn validate_use(client: &Client, name: &str) -> Result<(), String> {
 /// derived admission shed rate (shed / admission attempts) — the
 /// back-pressure signal an operator watches to size the queue — and,
 /// on forest deployments, one `corpus.<name>=<served>` line per corpus
-/// that has seen queries (per-corpus load at a glance).
+/// that has seen queries (per-corpus load at a glance). The robustness
+/// counters (`retries` through `partial_answers`) stay zero for purely
+/// local deployments; non-zero values mean the failover routers are
+/// working around sick replicas.
 fn format_stats(client: &Client) -> String {
     let stats = client.stats();
     let mut out = format!(
-        "served={}\nbatches={}\nmax_batch={}\nterm_decodes={}\nterm_cache_hits={}\nshed={}\nshed_rate={:.4}",
+        "served={}\nbatches={}\nmax_batch={}\nterm_decodes={}\nterm_cache_hits={}\nshed={}\nshed_rate={:.4}\n\
+         retries={}\nfailovers={}\nreplicas_down={}\ntimeouts={}\npartial_answers={}",
         stats.served,
         stats.batches,
         stats.max_batch,
         stats.term_decodes,
         stats.term_cache_hits,
         stats.shed,
-        stats.shed_rate()
+        stats.shed_rate(),
+        stats.retries,
+        stats.failovers,
+        stats.replicas_down,
+        stats.timeouts,
+        stats.partial_answers
     );
     for (name, served) in &stats.queries_by_corpus {
         out.push_str(&format!("\ncorpus.{name}={served}"));
@@ -345,7 +354,7 @@ mod tests {
         let lines: Vec<&str> = out.lines().collect();
         let header = lines[stats_at - 1];
         let n: usize = header.strip_prefix("OK ").unwrap().parse().unwrap();
-        assert_eq!(n, 7, "one line per counter plus the shed rate");
+        assert_eq!(n, 12, "one line per counter plus the shed rate");
         assert_eq!(lines[stats_at], "served=1");
         assert!(lines[stats_at..stats_at + n]
             .iter()
@@ -353,6 +362,20 @@ mod tests {
         assert!(lines[stats_at..stats_at + n]
             .iter()
             .any(|l| l.starts_with("shed_rate=0.0000")));
+        // Robustness counters ride the same frame, zero for a purely
+        // local deployment.
+        for key in [
+            "retries=0",
+            "failovers=0",
+            "replicas_down=0",
+            "timeouts=0",
+            "partial_answers=0",
+        ] {
+            assert!(
+                lines[stats_at..stats_at + n].contains(&key),
+                "missing {key}: {out}"
+            );
+        }
     }
 
     #[test]

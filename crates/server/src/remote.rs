@@ -1,0 +1,348 @@
+//! The framed engine listener: serve a [`MeetBackend`] to remote
+//! coordinators.
+//!
+//! The line protocol ([`crate::protocol::serve_lines`]) is the *user*
+//! transport; this module is the *engine* transport — the serving side
+//! of `ncq-core::remote`'s length-delimited request/response framing.
+//! A coordinator's `RemoteBackend` connects here and proxies
+//! search/meet calls; because this process runs the same engine over
+//! the same snapshot, answers are byte-identical to in-process
+//! execution.
+//!
+//! Failure discipline mirrors the rest of the stack: malformed request
+//! *bodies* are answered with an in-band error frame (the framing is
+//! intact, the session continues); framing-level desync (truncated
+//! frame, failed checksum, oversized length) closes the connection —
+//! there is no way to know where the next frame starts. Evaluation
+//! panics are caught per request and answered in-band, so a poisoned
+//! request never takes the engine down. Shutdown is a graceful drain:
+//! stop accepting, unblock every session by shutting its socket down,
+//! join all session threads.
+
+use ncq_core::remote::{
+    decode_request, encode_error_response, encode_response, read_frame_or_eof, write_frame,
+    EngineRequest, EngineResponse, WireError, DEFAULT_FRAME_CAP,
+};
+use ncq_core::MeetBackend;
+use ncq_fulltext::HitSet;
+use std::collections::HashMap;
+use std::io::BufReader;
+use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering::SeqCst};
+use std::sync::{Arc, Mutex};
+use std::thread;
+use std::time::Duration;
+
+/// Engine listener tuning knobs.
+#[derive(Debug, Clone)]
+pub struct EngineConfig {
+    /// Frame payload cap (both directions).
+    pub frame_cap: u32,
+    /// Optional idle read timeout: a connection that sends nothing for
+    /// this long is dropped. `None` (the default) keeps idle pooled
+    /// coordinator connections open indefinitely — the coordinator's
+    /// failover router reconnects transparently either way.
+    pub read_timeout: Option<Duration>,
+}
+
+impl Default for EngineConfig {
+    fn default() -> EngineConfig {
+        EngineConfig {
+            frame_cap: DEFAULT_FRAME_CAP,
+            read_timeout: None,
+        }
+    }
+}
+
+/// Tracks every live session socket so shutdown can unblock reads.
+#[derive(Default)]
+pub(crate) struct SessionRegistry {
+    next_id: AtomicUsize,
+    streams: Mutex<HashMap<usize, TcpStream>>,
+}
+
+impl SessionRegistry {
+    pub(crate) fn register(&self, stream: &TcpStream) -> usize {
+        let id = self.next_id.fetch_add(1, SeqCst);
+        if let Ok(clone) = stream.try_clone() {
+            self.streams
+                .lock()
+                .expect("session registry lock")
+                .insert(id, clone);
+        }
+        id
+    }
+
+    pub(crate) fn deregister(&self, id: usize) {
+        self.streams
+            .lock()
+            .expect("session registry lock")
+            .remove(&id);
+    }
+
+    /// Shut down every registered socket (unblocking blocked reads).
+    pub(crate) fn shutdown_all(&self) {
+        for stream in self.streams.lock().expect("session registry lock").values() {
+            let _ = stream.shutdown(Shutdown::Both);
+        }
+    }
+}
+
+/// A running engine listener: accepts coordinator connections and
+/// serves the framed engine protocol over `backend`.
+///
+/// [`RemoteEngine::shutdown`] (or drop) performs a graceful drain —
+/// stop accepting, finish the request each session is evaluating,
+/// unblock idle sessions, join every thread.
+pub struct RemoteEngine {
+    local_addr: SocketAddr,
+    stop: Arc<AtomicBool>,
+    sessions: Arc<SessionRegistry>,
+    accept_thread: Option<thread::JoinHandle<()>>,
+    served: Arc<AtomicU64>,
+}
+
+impl RemoteEngine {
+    /// Bind `addr` (e.g. `"127.0.0.1:0"`) and serve `backend` framed.
+    pub fn bind(
+        addr: impl ToSocketAddrs,
+        backend: Arc<dyn MeetBackend>,
+        config: EngineConfig,
+    ) -> std::io::Result<RemoteEngine> {
+        // Force the meet index eagerly so the first remote call does
+        // not race the build.
+        backend.store().meet_index();
+        let listener = TcpListener::bind(addr)?;
+        let local_addr = listener.local_addr()?;
+        let stop = Arc::new(AtomicBool::new(false));
+        let sessions = Arc::new(SessionRegistry::default());
+        let served = Arc::new(AtomicU64::new(0));
+
+        let accept_stop = Arc::clone(&stop);
+        let accept_sessions = Arc::clone(&sessions);
+        let accept_served = Arc::clone(&served);
+        let accept_thread = thread::Builder::new()
+            .name("ncq-engine-acceptor".to_owned())
+            .spawn(move || {
+                let mut handles: Vec<thread::JoinHandle<()>> = Vec::new();
+                for stream in listener.incoming() {
+                    if accept_stop.load(SeqCst) {
+                        break;
+                    }
+                    let Ok(stream) = stream else { continue };
+                    let backend = Arc::clone(&backend);
+                    let config = config.clone();
+                    let sessions = Arc::clone(&accept_sessions);
+                    let served = Arc::clone(&accept_served);
+                    let session = thread::Builder::new()
+                        .name("ncq-engine-session".to_owned())
+                        .spawn(move || {
+                            let id = sessions.register(&stream);
+                            let _ = serve_engine_session(&*backend, stream, &config, &served);
+                            sessions.deregister(id);
+                        });
+                    if let Ok(handle) = session {
+                        handles.push(handle);
+                    }
+                    // Reap finished sessions so long-lived engines do
+                    // not accumulate handles.
+                    handles.retain(|h| !h.is_finished());
+                }
+                // Graceful drain: unblock every session, then join.
+                accept_sessions.shutdown_all();
+                for handle in handles {
+                    let _ = handle.join();
+                }
+            })?;
+
+        Ok(RemoteEngine {
+            local_addr,
+            stop,
+            sessions,
+            accept_thread: Some(accept_thread),
+            served,
+        })
+    }
+
+    /// The bound address (OS-assigned port resolved).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.local_addr
+    }
+
+    /// Requests answered so far (all sessions).
+    pub fn served(&self) -> u64 {
+        self.served.load(SeqCst)
+    }
+
+    /// Graceful drain: stop accepting, unblock and join every session.
+    pub fn shutdown(mut self) {
+        self.stop_and_join();
+    }
+
+    fn stop_and_join(&mut self) {
+        if let Some(handle) = self.accept_thread.take() {
+            self.stop.store(true, SeqCst);
+            // Unblock the accept loop with a throwaway connection; the
+            // accept thread then drains the sessions.
+            let _ = TcpStream::connect(self.local_addr);
+            self.sessions.shutdown_all();
+            let _ = handle.join();
+        }
+    }
+}
+
+impl Drop for RemoteEngine {
+    fn drop(&mut self) {
+        self.stop_and_join();
+    }
+}
+
+/// Evaluate one decoded request, panic-isolated.
+fn answer(backend: &dyn MeetBackend, request: EngineRequest) -> Vec<u8> {
+    let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| match request {
+        EngineRequest::Ping => encode_response(&EngineResponse::Pong),
+        EngineRequest::Search { term } => match backend.try_search(&term) {
+            Ok(hits) => encode_response(&EngineResponse::Hits(hits)),
+            Err(e) => encode_error_response(&e.to_string()),
+        },
+        EngineRequest::Meet { inputs, options } => {
+            let refs: Vec<&HitSet> = inputs.iter().collect();
+            match backend.try_meet_hit_groups(&refs, &options) {
+                Ok(meets) => encode_response(&EngineResponse::Meets(meets)),
+                Err(e) => encode_error_response(&e.to_string()),
+            }
+        }
+    }));
+    result.unwrap_or_else(|_| encode_error_response("internal error: engine evaluation panicked"))
+}
+
+/// One coordinator session: frames in, frames out, until EOF or
+/// framing desync.
+fn serve_engine_session(
+    backend: &dyn MeetBackend,
+    stream: TcpStream,
+    config: &EngineConfig,
+    served: &AtomicU64,
+) -> Result<(), WireError> {
+    stream.set_nodelay(true)?;
+    stream.set_read_timeout(config.read_timeout)?;
+    let mut reader = BufReader::new(stream.try_clone()?);
+    let mut writer = stream;
+    loop {
+        let payload = match read_frame_or_eof(&mut reader, config.frame_cap) {
+            Ok(Some(payload)) => payload,
+            // Clean EOF: the coordinator closed its pooled connection.
+            Ok(None) => return Ok(()),
+            // Framing-level failure (truncation mid-frame, checksum,
+            // oversized length, socket error/timeout): the stream has
+            // no recoverable frame boundary — answer nothing and
+            // close. The coordinator counts it and fails over.
+            Err(e) => return Err(e),
+        };
+        let response = match decode_request(&payload) {
+            // Body-level failure behind intact framing: answer the
+            // error in-band and keep serving the session.
+            Err(e) => encode_error_response(&e.to_string()),
+            Ok(request) => answer(backend, request),
+        };
+        served.fetch_add(1, SeqCst);
+        write_frame(&mut writer, &response, config.frame_cap)?;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ncq_core::remote::{RemoteBackend, RemoteConfig};
+    use ncq_core::{Database, MeetOptions};
+    use std::time::Instant;
+
+    const FIG: &str = r#"<bib><article key="BB99"><author>Ben Bit</author>
+        <year>1999</year></article></bib>"#;
+
+    fn fast_config() -> RemoteConfig {
+        RemoteConfig {
+            connect_timeout: Duration::from_millis(200),
+            read_timeout: Duration::from_millis(1000),
+            write_timeout: Duration::from_millis(1000),
+            retry_rounds: 1,
+            backoff_base: Duration::from_millis(1),
+            backoff_max: Duration::from_millis(5),
+            down_probe_after: Duration::from_millis(10),
+            ..RemoteConfig::default()
+        }
+    }
+
+    #[test]
+    fn engine_round_trip_is_byte_identical_to_in_process() {
+        let db = Arc::new(Database::from_xml_str(FIG).unwrap());
+        let engine = RemoteEngine::bind(
+            "127.0.0.1:0",
+            Arc::clone(&db) as Arc<dyn MeetBackend>,
+            EngineConfig::default(),
+        )
+        .unwrap();
+        let remote = RemoteBackend::new(
+            Database::from_xml_str(FIG).unwrap(),
+            &[engine.local_addr().to_string()],
+            fast_config(),
+        )
+        .unwrap();
+        let opts = MeetOptions::default();
+        let over_wire = remote
+            .try_meet_terms_answers(&["Bit", "1999"], &opts)
+            .unwrap();
+        let local = db.meet_terms(&["Bit", "1999"]).unwrap();
+        assert_eq!(over_wire.to_detailed_xml(), local.to_detailed_xml());
+        assert!(engine.served() >= 3); // two searches + one meet
+        engine.shutdown();
+    }
+
+    #[test]
+    fn malformed_bodies_answer_in_band_and_keep_the_session() {
+        let db = Arc::new(Database::from_xml_str(FIG).unwrap());
+        let engine = RemoteEngine::bind(
+            "127.0.0.1:0",
+            Arc::clone(&db) as Arc<dyn MeetBackend>,
+            EngineConfig::default(),
+        )
+        .unwrap();
+        let mut stream = TcpStream::connect(engine.local_addr()).unwrap();
+        stream
+            .set_read_timeout(Some(Duration::from_secs(10)))
+            .unwrap();
+        // A well-framed garbage body: in-band error, session lives.
+        write_frame(&mut stream, &[0xFF, 0x01, 0x02], DEFAULT_FRAME_CAP).unwrap();
+        let mut reader = BufReader::new(stream.try_clone().unwrap());
+        let reply = ncq_core::remote::read_frame(&mut reader, DEFAULT_FRAME_CAP).unwrap();
+        assert!(matches!(
+            ncq_core::remote::decode_response(&reply),
+            Err(WireError::Remote(msg)) if msg.contains("opcode")
+        ));
+        // The same session still answers real requests afterwards.
+        let ping = ncq_core::remote::encode_request(&EngineRequest::Ping);
+        write_frame(&mut stream, &ping, DEFAULT_FRAME_CAP).unwrap();
+        let reply = ncq_core::remote::read_frame(&mut reader, DEFAULT_FRAME_CAP).unwrap();
+        assert_eq!(
+            ncq_core::remote::decode_response(&reply).unwrap(),
+            EngineResponse::Pong
+        );
+        engine.shutdown();
+    }
+
+    #[test]
+    fn shutdown_drains_sessions_without_hanging() {
+        let db = Arc::new(Database::from_xml_str(FIG).unwrap());
+        let engine = RemoteEngine::bind(
+            "127.0.0.1:0",
+            Arc::clone(&db) as Arc<dyn MeetBackend>,
+            EngineConfig::default(),
+        )
+        .unwrap();
+        // An idle session blocked in read: shutdown must unblock it.
+        let _idle = TcpStream::connect(engine.local_addr()).unwrap();
+        let started = Instant::now();
+        engine.shutdown();
+        assert!(started.elapsed() < Duration::from_secs(5));
+    }
+}

@@ -8,7 +8,9 @@
 //! always makes progress and a saturated client always eventually
 //! admits or observes shutdown.
 
-use ncq_core::{AnswerSet, CatalogError, Database, MeetBackend, MeetOptions, MeetStrategy};
+use ncq_core::{
+    AnswerSet, BackendError, CatalogError, Database, MeetBackend, MeetOptions, MeetStrategy,
+};
 use ncq_fulltext::HitSet;
 use ncq_query::{run_query_opts, QueryConfig, QueryOptions, QueryOutput, RowSet};
 use ncq_store::snapshot::SnapshotError;
@@ -285,6 +287,21 @@ pub struct ServerStats {
     /// counts once per corpus it reached). Read per-corpus load and
     /// shed pressure from here.
     pub queries_by_corpus: Vec<(String, usize)>,
+    /// Remote-replica calls that needed a backoff-retry round (merged
+    /// from the serving backend's failover routers; zero for purely
+    /// local deployments).
+    pub retries: u64,
+    /// Remote calls answered by a replica other than the first one
+    /// tried.
+    pub failovers: u64,
+    /// Replicas currently marked down across every failover router.
+    pub replicas_down: u64,
+    /// Remote calls that hit a connect/read/write timeout.
+    pub timeouts: u64,
+    /// Fan-out answers degraded to partial because every replica of
+    /// some corpus was unavailable (the answer carries a typed
+    /// `<partial>` marker instead of silently missing results).
+    pub partial_answers: usize,
 }
 
 impl ServerStats {
@@ -310,6 +327,7 @@ struct Counters {
     term_decodes: AtomicUsize,
     term_cache_hits: AtomicUsize,
     shed: AtomicUsize,
+    partial_answers: AtomicUsize,
     /// Per-corpus query counts. A mutex (not a sharded atomic map)
     /// because the set of corpora is tiny and the increment sits next
     /// to a full query evaluation.
@@ -332,6 +350,8 @@ impl Counters {
                 .iter()
                 .map(|(k, v)| (k.clone(), *v))
                 .collect(),
+            partial_answers: self.partial_answers.load(Relaxed),
+            ..ServerStats::default()
         }
     }
 
@@ -384,6 +404,21 @@ impl Shared {
     fn backend(&self) -> (Arc<dyn MeetBackend>, usize) {
         let guard = self.db.read().expect("backend lock");
         (Arc::clone(&guard), self.generation.load(Relaxed))
+    }
+
+    /// Counters plus the serving backend's failover-router counters
+    /// (retries, failovers, down replicas, timeouts) — merged at
+    /// snapshot time because they live in the backend's routers, not
+    /// in the service layer.
+    fn stats_snapshot(&self) -> ServerStats {
+        let mut stats = self.stats.snapshot();
+        let (backend, _) = self.backend();
+        let remote = backend.robustness_stats();
+        stats.retries = remote.retries;
+        stats.failovers = remote.failovers;
+        stats.replicas_down = remote.replicas_down;
+        stats.timeouts = remote.timeouts;
+        stats
     }
 }
 
@@ -484,14 +519,14 @@ impl Server {
 
     /// Current counters.
     pub fn stats(&self) -> ServerStats {
-        self.shared.stats.snapshot()
+        self.shared.stats_snapshot()
     }
 
     /// Stop admitting, drain the queue, join the workers; returns the
     /// final counters.
     pub fn shutdown(mut self) -> ServerStats {
         self.stop_and_join();
-        self.shared.stats.snapshot()
+        self.shared.stats_snapshot()
     }
 
     fn stop_and_join(&mut self) {
@@ -574,7 +609,7 @@ impl Client {
 
     /// Current counters.
     pub fn stats(&self) -> ServerStats {
-        self.shared.stats.snapshot()
+        self.shared.stats_snapshot()
     }
 
     /// Convenience: the corpora this deployment serves and its default
@@ -622,21 +657,25 @@ impl TermCache {
         }
     }
 
+    /// Fallible since the backend may be a remote replica set: a decode
+    /// that fails (every replica down) is a typed error, never a
+    /// silently empty hit set — and is *not* cached, so the next
+    /// request retries against recovered replicas.
     fn get_or_decode(
         &mut self,
         shared: &Shared,
         db: &Arc<dyn MeetBackend>,
         corpus: &str,
         term: &str,
-    ) -> Arc<HitSet> {
+    ) -> Result<Arc<HitSet>, BackendError> {
         if self.capacity == 0 {
             shared.stats.term_decodes.fetch_add(1, Relaxed);
-            return Arc::new(db.search(term));
+            return Ok(Arc::new(db.try_search(term)?));
         }
         let key = format!("{corpus}\0{term}");
         if let Some(hits) = self.map.get(&key) {
             shared.stats.term_cache_hits.fetch_add(1, Relaxed);
-            return Arc::clone(hits);
+            return Ok(Arc::clone(hits));
         }
         shared.stats.term_decodes.fetch_add(1, Relaxed);
         if self.map.len() >= self.capacity {
@@ -644,10 +683,10 @@ impl TermCache {
                 self.map.remove(&oldest);
             }
         }
-        let hits = Arc::new(db.search(term));
+        let hits = Arc::new(db.try_search(term)?);
         self.map.insert(key.clone(), Arc::clone(&hits));
         self.order.push_back(key);
-        hits
+        Ok(hits)
     }
 
     /// Drop every cached decode (the backend was swapped).
@@ -795,7 +834,10 @@ fn execute(
                 // Fan out across the whole catalog: per-corpus answers
                 // concatenate in catalog order, corpus-tagged. Decodes
                 // go through the per-corpus engines (and the tagged
-                // term cache), same as single-corpus routing.
+                // term cache), same as single-corpus routing. A corpus
+                // whose replica set is unavailable degrades to a typed
+                // partial marker instead of failing every healthy
+                // corpus's answer with it.
                 let names = db.corpus_names();
                 if names.is_empty() {
                     return Response::Error(
@@ -808,22 +850,29 @@ fn execute(
                         return Response::Error(format!("unknown corpus {name:?}"));
                     };
                     shared.stats.note_corpus(name);
-                    scratch.inputs.clear();
-                    for term in terms {
-                        scratch
-                            .inputs
-                            .push(cache.get_or_decode(shared, &target, name, term));
-                    }
-                    let input_refs: Vec<&HitSet> = scratch.inputs.iter().map(Arc::as_ref).collect();
-                    all.results.extend(
-                        ncq_core::catalog::corpus_tagged_meet(
+                    let outcome = (|| -> Result<AnswerSet, BackendError> {
+                        scratch.inputs.clear();
+                        for term in terms {
+                            scratch
+                                .inputs
+                                .push(cache.get_or_decode(shared, &target, name, term)?);
+                        }
+                        let input_refs: Vec<&HitSet> =
+                            scratch.inputs.iter().map(Arc::as_ref).collect();
+                        ncq_core::catalog::try_corpus_tagged_meet(
                             name,
                             &*target,
                             &input_refs,
                             &options,
                         )
-                        .results,
-                    );
+                    })();
+                    match outcome {
+                        Ok(a) => all.results.extend(a.results),
+                        Err(e) => {
+                            shared.stats.partial_answers.fetch_add(1, Relaxed);
+                            all.push_partial(name, e.to_string());
+                        }
+                    }
                 }
                 return Response::Answers(all);
             }
@@ -837,13 +886,16 @@ fn execute(
             let cache_corpus = stat_name.as_deref().unwrap_or("");
             scratch.inputs.clear();
             for term in terms {
-                scratch
-                    .inputs
-                    .push(cache.get_or_decode(shared, &target, cache_corpus, term));
+                match cache.get_or_decode(shared, &target, cache_corpus, term) {
+                    Ok(hits) => scratch.inputs.push(hits),
+                    Err(e) => return Response::Error(e.to_string()),
+                }
             }
             let input_refs: Vec<&HitSet> = scratch.inputs.iter().map(Arc::as_ref).collect();
-            let meets = target.meet_hit_groups(&input_refs, &options);
-            Response::Answers(AnswerSet::from_meets(target.store(), meets))
+            match target.try_meet_hit_groups(&input_refs, &options) {
+                Ok(meets) => Response::Answers(AnswerSet::from_meets(target.store(), meets)),
+                Err(e) => Response::Error(e.to_string()),
+            }
         }
         Request::Sql { src, corpus } => {
             if corpus.as_deref() == Some(ALL_CORPORA) {
@@ -890,7 +942,16 @@ fn execute(
                         return Response::Error(format!("unknown corpus {name:?}"));
                     };
                     shared.stats.note_corpus(name);
-                    total += cache.get_or_decode(shared, &target, name, term).len();
+                    // A count cannot carry a partial marker, and a
+                    // silently short total is a wrong answer — so an
+                    // unavailable corpus fails the whole fan-out count,
+                    // typed with the corpus it died on.
+                    match cache.get_or_decode(shared, &target, name, term) {
+                        Ok(hits) => total += hits.len(),
+                        Err(e) => {
+                            return Response::Error(format!("corpus {name:?}: {e}"));
+                        }
+                    }
                 }
                 return Response::Count(total);
             }
@@ -902,11 +963,10 @@ fn execute(
                 shared.stats.note_corpus(name);
             }
             let cache_corpus = stat_name.as_deref().unwrap_or("");
-            Response::Count(
-                cache
-                    .get_or_decode(shared, &target, cache_corpus, term)
-                    .len(),
-            )
+            match cache.get_or_decode(shared, &target, cache_corpus, term) {
+                Ok(hits) => Response::Count(hits.len()),
+                Err(e) => Response::Error(e.to_string()),
+            }
         }
         Request::Corpora => Response::Corpora {
             names: db.corpus_names(),

@@ -12,7 +12,7 @@
 //! this split.
 
 use crate::sharded::ShardedDb;
-use ncq_core::{Catalog, CatalogError, Database, ForestBackend, MeetBackend};
+use ncq_core::{Catalog, CatalogError, Database, ForestBackend, MeetBackend, RemoteConfig};
 use std::path::Path;
 use std::sync::Arc;
 
@@ -20,24 +20,48 @@ use std::sync::Arc;
 /// `shards > 1` entries cold-start as [`ShardedDb`] (reusing the
 /// snapshot's stored partition cut when the K matches), single-shard
 /// entries as plain [`Database`]s. Snapshot files are verified against
-/// the manifest's recorded checksums before decoding.
+/// the manifest's recorded checksums before decoding. Entries that
+/// name replica endpoints are served through `ncq-core`'s
+/// `RemoteBackend` instead (the endpoint branch lives in
+/// `Catalog::open_manifest_remote`, shared with the unsharded loader).
 pub fn open_catalog(manifest_path: impl AsRef<Path>) -> Result<Catalog, CatalogError> {
-    Catalog::open_manifest_with(manifest_path, |entry, bytes| {
-        if entry.shards > 1 {
-            Ok(
-                Arc::new(ShardedDb::from_snapshot_bytes(bytes, entry.shards)?)
-                    as Arc<dyn MeetBackend>,
-            )
-        } else {
-            Ok(Arc::new(Database::from_snapshot_bytes(bytes)?) as Arc<dyn MeetBackend>)
-        }
-    })
+    open_catalog_remote(manifest_path, RemoteConfig::default())
+}
+
+/// [`open_catalog`] with an explicit failover-router configuration for
+/// endpoint-backed entries (the stress suites tighten the timeouts).
+pub fn open_catalog_remote(
+    manifest_path: impl AsRef<Path>,
+    remote_config: RemoteConfig,
+) -> Result<Catalog, CatalogError> {
+    Catalog::open_manifest_remote(
+        manifest_path,
+        |entry, bytes| {
+            if entry.shards > 1 {
+                Ok(
+                    Arc::new(ShardedDb::from_snapshot_bytes(bytes, entry.shards)?)
+                        as Arc<dyn MeetBackend>,
+                )
+            } else {
+                Ok(Arc::new(Database::from_snapshot_bytes(bytes)?) as Arc<dyn MeetBackend>)
+            }
+        },
+        remote_config,
+    )
 }
 
 /// [`open_catalog`] wrapped as a serving backend — the engine
 /// `ncq-server`'s `Server::open_manifest` spins its worker pool over.
 pub fn open_forest(manifest_path: impl AsRef<Path>) -> Result<ForestBackend, CatalogError> {
     ForestBackend::new(open_catalog(manifest_path)?)
+}
+
+/// [`open_forest`] with an explicit failover-router configuration.
+pub fn open_forest_remote(
+    manifest_path: impl AsRef<Path>,
+    remote_config: RemoteConfig,
+) -> Result<ForestBackend, CatalogError> {
+    ForestBackend::new(open_catalog_remote(manifest_path, remote_config)?)
 }
 
 /// Build a [`crate::PartitionMap`]-backed corpus programmatically (tests and

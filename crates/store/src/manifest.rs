@@ -9,7 +9,7 @@
 //! `(corpus, shard)` pairs instead of assuming one document per
 //! process.
 //!
-//! # Layout (manifest version 1)
+//! # Layout (manifest version 2)
 //!
 //! ```text
 //! offset 0   magic   b"NCQFRST\0"                    8 bytes
@@ -23,7 +23,16 @@
 //!                shard count (u32)
 //!                snapshot layout version (u32)
 //!                snapshot checksum64 (u64)
+//!                replica endpoint count (u32)          [v2]
+//!                per endpoint: host:port (str)         [v2]
 //! ```
+//!
+//! Version 1 manifests (no endpoint lists) still load — every entry
+//! gets an empty endpoint list, meaning "serve this corpus
+//! in-process". A corpus *with* endpoints is served through
+//! `ncq-core`'s `RemoteBackend`: the snapshot path stays the
+//! coordinator's local resolver copy, and the endpoints name the
+//! replica engines that execute search/meet remotely.
 //!
 //! The same corruption discipline as [`crate::snapshot`]: every failure
 //! mode is a typed [`ManifestError`], never a panic — bad magic, a
@@ -47,7 +56,11 @@ use std::path::{Path, PathBuf};
 pub const MANIFEST_MAGIC: [u8; 8] = *b"NCQFRST\0";
 
 /// Current manifest layout version. Bump on any layout change.
-pub const MANIFEST_VERSION: u32 = 1;
+pub const MANIFEST_VERSION: u32 = 2;
+
+/// Oldest manifest layout version this build still reads (v1 entries
+/// load with empty endpoint lists).
+pub const MANIFEST_MIN_VERSION: u32 = 1;
 
 /// Typed manifest failures. Loading never panics on malformed input.
 #[derive(Debug)]
@@ -88,6 +101,12 @@ pub enum ManifestError {
         /// The duplicated name.
         name: String,
     },
+    /// A replica endpoint is not a `host:port` pair (see
+    /// [`validate_endpoint`]).
+    InvalidEndpoint {
+        /// The offending endpoint.
+        endpoint: String,
+    },
 }
 
 impl fmt::Display for ManifestError {
@@ -114,6 +133,11 @@ impl fmt::Display for ManifestError {
             ManifestError::DuplicateCorpus { name } => {
                 write!(f, "corpus {name:?} appears more than once")
             }
+            ManifestError::InvalidEndpoint { endpoint } => write!(
+                f,
+                "replica endpoint {endpoint:?} must be host:port with a non-empty host \
+                 and a numeric port"
+            ),
         }
     }
 }
@@ -177,6 +201,31 @@ pub fn validate_corpus_name(name: &str) -> Result<(), ManifestError> {
     }
 }
 
+/// Whether `endpoint` can name a replica. The rule: a `host:port`
+/// pair whose host is non-empty without whitespace, NUL or other
+/// control characters, and whose port parses as a non-zero u16.
+/// (Bracketed IPv6 literals like `[::1]:9201` pass — the split is on
+/// the *last* colon.) Resolution to a socket address happens at
+/// connect time; this check only keeps manifests from carrying tokens
+/// the router could never dial.
+pub fn validate_endpoint(endpoint: &str) -> Result<(), ManifestError> {
+    let invalid = || ManifestError::InvalidEndpoint {
+        endpoint: endpoint.to_owned(),
+    };
+    let (host, port) = endpoint.rsplit_once(':').ok_or_else(invalid)?;
+    if host.is_empty()
+        || host
+            .bytes()
+            .any(|b| b.is_ascii_whitespace() || b.is_ascii_control())
+    {
+        return Err(invalid());
+    }
+    match port.parse::<u16>() {
+        Ok(p) if p != 0 => Ok(()),
+        _ => Err(invalid()),
+    }
+}
+
 /// One corpus of a forest deployment.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct ManifestEntry {
@@ -194,6 +243,11 @@ pub struct ManifestEntry {
     /// `checksum64` of the whole snapshot file, so a swapped or rotted
     /// snapshot is detected before decoding.
     pub checksum: u64,
+    /// Replica engine endpoints (`host:port`), in failover-routing
+    /// order. Empty = serve in-process from the snapshot (the v1
+    /// behaviour); non-empty = proxy search/meet to these replicas,
+    /// keeping the snapshot as the coordinator's local resolver copy.
+    pub endpoints: Vec<String>,
 }
 
 impl ManifestEntry {
@@ -220,7 +274,21 @@ impl ManifestEntry {
             shards: shards.max(1),
             layout_version,
             checksum: checksum64(&bytes),
+            endpoints: Vec::new(),
         })
+    }
+
+    /// Attach replica endpoints (builder style), validating each.
+    pub fn with_endpoints(
+        mut self,
+        endpoints: impl IntoIterator<Item = impl Into<String>>,
+    ) -> Result<ManifestEntry, ManifestError> {
+        let endpoints: Vec<String> = endpoints.into_iter().map(Into::into).collect();
+        for e in &endpoints {
+            validate_endpoint(e)?;
+        }
+        self.endpoints = endpoints;
+        Ok(self)
     }
 }
 
@@ -240,11 +308,15 @@ impl Manifest {
         Manifest::default()
     }
 
-    /// Append an entry, enforcing name validity and uniqueness.
+    /// Append an entry, enforcing name validity, uniqueness and
+    /// endpoint shape.
     pub fn push(&mut self, entry: ManifestEntry) -> Result<(), ManifestError> {
         validate_corpus_name(&entry.name)?;
         if self.corpora.iter().any(|e| e.name == entry.name) {
             return Err(ManifestError::DuplicateCorpus { name: entry.name });
+        }
+        for e in &entry.endpoints {
+            validate_endpoint(e)?;
         }
         self.corpora.push(entry);
         Ok(())
@@ -280,6 +352,10 @@ impl Manifest {
                 b.put_u32(e.shards as u32);
                 b.put_u32(e.layout_version);
                 b.put_u64(e.checksum);
+                b.put_u32(e.endpoints.len() as u32);
+                for endpoint in &e.endpoints {
+                    b.put_str(endpoint);
+                }
             }
         }
         let mut out = Vec::with_capacity(20 + body.len());
@@ -305,7 +381,7 @@ impl Manifest {
             return Err(ManifestError::Truncated { context: "header" });
         }
         let version = u32::from_le_bytes(bytes[8..12].try_into().expect("4 bytes"));
-        if version != MANIFEST_VERSION {
+        if !(MANIFEST_MIN_VERSION..=MANIFEST_VERSION).contains(&version) {
             return Err(ManifestError::UnsupportedVersion {
                 found: version,
                 supported: MANIFEST_VERSION,
@@ -347,12 +423,24 @@ impl Manifest {
             }
             let layout_version = c.get_u32("corpus layout version")?;
             let checksum = c.get_u64("corpus snapshot checksum")?;
+            // v1 entries carry no endpoint list: in-process serving.
+            let mut endpoints = Vec::new();
+            if version >= 2 {
+                let n = c.get_u32("corpus endpoint count")? as usize;
+                endpoints.reserve(n.min(c.remaining() / 4 + 1));
+                for _ in 0..n {
+                    let endpoint = c.get_str("corpus replica endpoint")?.to_owned();
+                    validate_endpoint(&endpoint)?;
+                    endpoints.push(endpoint);
+                }
+            }
             corpora.push(ManifestEntry {
                 name,
                 snapshot,
                 shards,
                 layout_version,
                 checksum,
+                endpoints,
             });
         }
         if !c.at_end() {
@@ -394,10 +482,15 @@ mod tests {
 
     fn sample() -> Manifest {
         let mut m = Manifest::new();
-        for (name, path, shards) in [
-            ("dblp", "dblp.ncq", 1usize),
-            ("multimedia", "snapshots/mm.ncq", 4),
-            ("deep", "/abs/deep.ncq", 2),
+        for (name, path, shards, endpoints) in [
+            ("dblp", "dblp.ncq", 1usize, vec![]),
+            (
+                "multimedia",
+                "snapshots/mm.ncq",
+                4,
+                vec!["127.0.0.1:9201".to_owned(), "replica-b:9201".to_owned()],
+            ),
+            ("deep", "/abs/deep.ncq", 2, vec![]),
         ] {
             m.push(ManifestEntry {
                 name: name.into(),
@@ -405,6 +498,7 @@ mod tests {
                 shards,
                 layout_version: crate::snapshot::SNAPSHOT_VERSION,
                 checksum: 0x1234_5678_9abc_def0 ^ shards as u64,
+                endpoints,
             })
             .unwrap();
         }
@@ -490,6 +584,7 @@ mod tests {
                 shards: 1,
                 layout_version: 1,
                 checksum: 0,
+                endpoints: vec![],
             }),
             Err(ManifestError::DuplicateCorpus { .. })
         ));
@@ -500,6 +595,7 @@ mod tests {
             shards: 1,
             layout_version: 1,
             checksum: 0,
+            endpoints: vec![],
         });
         assert!(matches!(
             Manifest::from_bytes(&m.to_bytes()),
@@ -539,6 +635,118 @@ mod tests {
             );
         }
         assert!(validate_corpus_name("dblp-2026.v1").is_ok());
+    }
+
+    /// Render `m` in the *version 1* layout (no endpoint lists) — the
+    /// bytes a pre-endpoint build would have written.
+    fn to_v1_bytes(m: &Manifest) -> Vec<u8> {
+        let mut body = Vec::new();
+        {
+            let mut b = SectionBuf::over(&mut body);
+            b.put_u32(m.corpora.len() as u32);
+            b.put_u32(m.default as u32);
+            for e in &m.corpora {
+                b.put_str(&e.name);
+                b.put_str(&e.snapshot);
+                b.put_u32(e.shards as u32);
+                b.put_u32(e.layout_version);
+                b.put_u64(e.checksum);
+            }
+        }
+        let mut out = Vec::with_capacity(20 + body.len());
+        out.extend_from_slice(&MANIFEST_MAGIC);
+        out.extend_from_slice(&1u32.to_le_bytes());
+        out.extend_from_slice(&checksum64(&body).to_le_bytes());
+        out.extend_from_slice(&body);
+        out
+    }
+
+    #[test]
+    fn version_1_manifests_still_load_with_empty_endpoints() {
+        let mut m = sample();
+        // Drop the endpoints the v1 layout cannot carry; everything
+        // else must round-trip through the old bytes unchanged.
+        for e in &mut m.corpora {
+            e.endpoints.clear();
+        }
+        let loaded = Manifest::from_bytes(&to_v1_bytes(&m)).unwrap();
+        assert_eq!(loaded, m);
+        assert!(loaded.corpora.iter().all(|e| e.endpoints.is_empty()));
+        // The v1 corruption discipline holds through the compat path.
+        let bytes = to_v1_bytes(&m);
+        for len in 0..bytes.len() {
+            assert!(Manifest::from_bytes(&bytes[..len]).is_err());
+        }
+        // Versions outside [min, current] stay refused.
+        let mut future = sample().to_bytes();
+        future[8] = 99;
+        assert!(matches!(
+            Manifest::from_bytes(&future),
+            Err(ManifestError::UnsupportedVersion { found: 99, .. })
+        ));
+        let mut zero = sample().to_bytes();
+        zero[8] = 0;
+        assert!(matches!(
+            Manifest::from_bytes(&zero),
+            Err(ManifestError::UnsupportedVersion { found: 0, .. })
+        ));
+    }
+
+    #[test]
+    fn endpoints_round_trip_and_validate() {
+        let m = sample();
+        let loaded = Manifest::from_bytes(&m.to_bytes()).unwrap();
+        assert_eq!(
+            loaded.entry("multimedia").unwrap().endpoints,
+            vec!["127.0.0.1:9201", "replica-b:9201"]
+        );
+        assert!(loaded.entry("dblp").unwrap().endpoints.is_empty());
+        // The builder validates…
+        let entry = ManifestEntry {
+            name: "x".into(),
+            snapshot: "x.ncq".into(),
+            shards: 1,
+            layout_version: 1,
+            checksum: 0,
+            endpoints: vec![],
+        };
+        assert!(entry
+            .clone()
+            .with_endpoints(["localhost:9201", "[::1]:9201"])
+            .is_ok());
+        for bad in [
+            "",
+            "noport",
+            "host:",
+            ":9201",
+            "host:0",
+            "host:99999",
+            "host:port",
+            "ho st:1",
+        ] {
+            assert!(
+                matches!(
+                    entry.clone().with_endpoints([bad]),
+                    Err(ManifestError::InvalidEndpoint { .. })
+                ),
+                "{bad:?} accepted by builder"
+            );
+            // …push validates…
+            let mut m2 = Manifest::new();
+            let mut e2 = entry.clone();
+            e2.endpoints = vec![bad.to_owned()];
+            assert!(m2.push(e2).is_err(), "{bad:?} accepted by push");
+            // …and a hand-built bad endpoint fails at decode.
+            let mut m3 = sample();
+            m3.corpora[1].endpoints[0] = bad.to_owned();
+            assert!(
+                matches!(
+                    Manifest::from_bytes(&m3.to_bytes()),
+                    Err(ManifestError::InvalidEndpoint { .. })
+                ),
+                "{bad:?} decoded"
+            );
+        }
     }
 
     #[test]

@@ -61,7 +61,10 @@ fn main() {
     let acceptor = TcpAcceptor::bind(
         "127.0.0.1:0",
         server.client(),
-        NetConfig { max_connections: 8 },
+        NetConfig {
+            max_connections: 8,
+            ..NetConfig::default()
+        },
     )
     .expect("bind loopback");
     let addr = acceptor.local_addr();
