@@ -9,7 +9,7 @@
 //! the raw series as JSON (one file per experiment) for EXPERIMENTS.md.
 
 use ncq_bench::experiments::{
-    ablations, corpora, extensions, fig6, fig7, listings, pr1, pr2, pr3, pr4, pr5, pr6,
+    ablations, corpora, extensions, fig6, fig7, listings, pr1, pr2, pr3, pr4, pr5, pr6, pr7,
 };
 use ncq_bench::json::ToJson;
 use std::io::Write as _;
@@ -46,7 +46,7 @@ fn parse_args() -> Result<Args, String> {
             "--help" | "-h" => {
                 println!(
                     "usage: repro [--exp all|fig1|fig2|listing1|listing2|sec31|fig6|fig7|\
-                     ablations|extensions|pr1|pr2|pr3|pr4|pr5|pr6] [--scale small|paper] \
+                     ablations|extensions|pr1|pr2|pr3|pr4|pr5|pr6|pr7] [--scale small|paper] \
                      [--out DIR]"
                 );
                 std::process::exit(0);
@@ -231,6 +231,19 @@ fn main() {
         let dir = args.out.clone().unwrap_or_else(|| PathBuf::from("."));
         let target = Some(dir);
         write_json(&target, "BENCH_pr6", &result);
+    }
+
+    // PR 7 perf snapshot: shared-evaluation batch sweeps vs serial,
+    // top-k early exit vs full evaluation, and the semantic result
+    // cache's hit latency. Explicit-only, like the other prN
+    // experiments: it spins up servers and writes BENCH_pr7.json (the
+    // cross-PR trajectory record).
+    if args.exp == "pr7" {
+        let result = pr7::run(args.scale == Scale::Small);
+        println!("{}", pr7::table(&result));
+        let dir = args.out.clone().unwrap_or_else(|| PathBuf::from("."));
+        let target = Some(dir);
+        write_json(&target, "BENCH_pr7", &result);
     }
 
     if want("extensions") {

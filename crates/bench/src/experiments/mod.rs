@@ -11,6 +11,7 @@ pub mod pr3;
 pub mod pr4;
 pub mod pr5;
 pub mod pr6;
+pub mod pr7;
 
 /// Shared corpus builders at the scales used by `repro` and the benches.
 pub mod corpora {

@@ -200,6 +200,10 @@ fn server_row(
             workers,
             batch_max,
             queue_capacity: 256,
+            // This experiment measures term-decode sharing inside a
+            // batch; the semantic cache would answer the repeats
+            // before they reach the term cache at all.
+            sem_cache_capacity: 0,
             ..ServerConfig::default()
         },
     );

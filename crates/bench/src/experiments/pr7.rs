@@ -1,0 +1,445 @@
+//! PR 7 perf snapshot: the bounded, batched, cached hot path.
+//!
+//! Three tables, emitted as `BENCH_pr7.json` by `repro --exp pr7`:
+//!
+//! * **batched vs serial** — the shared-evaluation batch executor
+//!   (`Database::meet_hits_batch`) against one-at-a-time `meet_hits`
+//!   over the same query list, at batch sizes 1 / 8 / 64. Queries draw
+//!   term pairs from a small pool, as a server batch window does:
+//!   popular hit sets recur across the batch (shared sorted-run
+//!   decodes) and whole queries repeat (duplicate dedup). Gates:
+//!   ≥ 1.2× at batch 64, and the degenerate batch of 1 — which
+//!   delegates straight to the serial path — ≥ 0.95×.
+//! * **top-k vs full** — `MeetOptions::limit` against unbounded
+//!   evaluation on a deep-fork corpus where a few *good* pairs meet
+//!   deep (distance 4) and many *bad* pairs only meet at their fork
+//!   head (distance 2·depth+2). The early exits stop the roll-up after
+//!   a couple of climb levels and the sweep before the far candidates;
+//!   the gate is that top-k beats full at k = 10. k = 100 exceeds the
+//!   good answers, so it degrades toward full cost by design.
+//! * **semantic cache hit latency** — a repeated `MEET` through a
+//!   server with the generation-tagged result cache vs the same server
+//!   with the cache disabled (capacity 0). Hits skip term decode and
+//!   evaluation entirely; the row records what that saves end to end.
+//!
+//! Every row asserts byte-identical answers between the fast and the
+//! reference path before timing.
+
+use crate::experiments::corpora;
+use ncq_core::{BatchQuery, Database, MeetOptions, MeetStrategy};
+use ncq_fulltext::HitSet;
+use ncq_server::{Request, Response, Server, ServerConfig};
+use std::sync::Arc;
+use std::time::Instant;
+
+/// One batch-size row of the batched-vs-serial table.
+#[derive(Debug, Clone)]
+pub struct Pr7Batch {
+    /// Queries per batch.
+    pub batch: usize,
+    /// Distinct queries in the batch (the rest are duplicates).
+    pub distinct: usize,
+    /// One-at-a-time evaluation of the whole batch, ms (min over rounds).
+    pub serial_ms: f64,
+    /// `meet_hits_batch` over the same queries, ms (min over rounds).
+    pub batched_ms: f64,
+    /// `serial / batched` — ≥ 1.2 at batch 64, ≥ 0.95 at batch 1.
+    pub ratio: f64,
+    /// Batched answers were byte-identical to serial answers.
+    pub agree: bool,
+}
+
+/// One (strategy, k) row of the top-k table.
+#[derive(Debug, Clone)]
+pub struct Pr7TopK {
+    /// `lift` or `sweep` (pinned, so both operators' exits are read).
+    pub strategy: String,
+    /// The `limit k` bound.
+    pub k: usize,
+    /// Unbounded evaluation, ms (min over rounds).
+    pub full_ms: f64,
+    /// `limit k` evaluation, ms (min over rounds).
+    pub bounded_ms: f64,
+    /// `full / bounded` — the gate is > 1.0 at k = 10.
+    pub ratio: f64,
+    /// The bounded answers equal the unbounded ranking's first k.
+    pub agree: bool,
+}
+
+/// The semantic-cache hit latency row.
+#[derive(Debug, Clone)]
+pub struct Pr7SemCache {
+    /// Timed requests per server.
+    pub queries: usize,
+    /// Mean request latency with the cache disabled, µs.
+    pub uncached_us: f64,
+    /// Mean request latency against a warmed cache, µs.
+    pub hit_us: f64,
+    /// `uncached / hit` — what skipping evaluation saves end to end.
+    pub ratio: f64,
+    /// Semantic hits counted by the warmed server.
+    pub sem_hits: usize,
+    /// Cached and uncached answers were byte-identical.
+    pub agree: bool,
+}
+
+/// The full PR 7 snapshot.
+#[derive(Debug, Clone)]
+pub struct Pr7Result {
+    /// Nodes in the batch/sem-cache corpus.
+    pub nodes: usize,
+    /// Nodes in the deep-fork top-k corpus.
+    pub topk_nodes: usize,
+    /// Batched vs serial rows, one per batch size.
+    pub batch: Vec<Pr7Batch>,
+    /// Top-k vs full rows, one per (strategy, k).
+    pub topk: Vec<Pr7TopK>,
+    /// The semantic-cache hit latency row.
+    pub sem: Pr7SemCache,
+}
+
+crate::impl_to_json_struct!(Pr7Batch {
+    batch,
+    distinct,
+    serial_ms,
+    batched_ms,
+    ratio,
+    agree,
+});
+crate::impl_to_json_struct!(Pr7TopK {
+    strategy,
+    k,
+    full_ms,
+    bounded_ms,
+    ratio,
+    agree,
+});
+crate::impl_to_json_struct!(Pr7SemCache {
+    queries,
+    uncached_us,
+    hit_us,
+    ratio,
+    sem_hits,
+    agree,
+});
+crate::impl_to_json_struct!(Pr7Result {
+    nodes,
+    topk_nodes,
+    batch,
+    topk,
+    sem,
+});
+
+fn time_ms(mut f: impl FnMut()) -> f64 {
+    let t = Instant::now();
+    f();
+    t.elapsed().as_secs_f64() * 1e3
+}
+
+fn floor(v: impl IntoIterator<Item = f64>) -> f64 {
+    v.into_iter().fold(f64::INFINITY, f64::min)
+}
+
+/// The deep-fork top-k corpus: `good` heads hide an adjacent `s`/`t`
+/// pair at the bottom of a depth-`depth` chain (meet at the pair
+/// element, distance 4, deepest in the tree); `bad` heads put `s` and
+/// `t` at the bottoms of two separate depth-`depth` chains (meet at the
+/// head, distance 2·(depth+1), after a long climb). Good heads come
+/// first in document order.
+fn topk_xml(depth: usize, good: usize, bad: usize) -> String {
+    let mut xml = String::with_capacity((good + bad) * depth * 8);
+    xml.push_str("<root>");
+    for _ in 0..good {
+        xml.push_str("<h>");
+        for _ in 0..depth {
+            xml.push_str("<x>");
+        }
+        xml.push_str("<p><a>s</a><b>t</b></p>");
+        for _ in 0..depth {
+            xml.push_str("</x>");
+        }
+        xml.push_str("</h>");
+    }
+    for _ in 0..bad {
+        xml.push_str("<h>");
+        for _ in 0..depth {
+            xml.push_str("<x>");
+        }
+        xml.push_str("<a>s</a>");
+        for _ in 0..depth {
+            xml.push_str("</x>");
+        }
+        for _ in 0..depth {
+            xml.push_str("<y>");
+        }
+        xml.push_str("<b>t</b>");
+        for _ in 0..depth {
+            xml.push_str("</y>");
+        }
+        xml.push_str("</h>");
+    }
+    xml.push_str("</root>");
+    xml
+}
+
+/// Batched vs serial at one batch size over a pool of term-pair
+/// queries with recurring hit sets.
+fn batch_row(db: &Database, pool: &[(&HitSet, &HitSet)], batch: usize, rounds: usize) -> Pr7Batch {
+    let options = MeetOptions::default();
+    let queries: Vec<BatchQuery<'_>> = (0..batch)
+        .map(|i| {
+            let (a, b) = pool[i % pool.len()];
+            BatchQuery::new(vec![a, b], options.clone())
+        })
+        .collect();
+    let distinct = batch.min(pool.len());
+
+    let serial_once = || {
+        for q in &queries {
+            std::hint::black_box(db.meet_hits(&q.inputs, &q.options));
+        }
+    };
+    let batched_once = || {
+        std::hint::black_box(db.meet_hits_batch(&queries));
+    };
+    let agree = db
+        .meet_hits_batch(&queries)
+        .iter()
+        .zip(&queries)
+        .all(|(got, q)| *got == db.meet_hits(&q.inputs, &q.options));
+
+    // Warm, then min over interleaved rounds.
+    serial_once();
+    batched_once();
+    let mut serial_samples = Vec::with_capacity(rounds);
+    let mut batched_samples = Vec::with_capacity(rounds);
+    for _ in 0..rounds {
+        serial_samples.push(time_ms(serial_once));
+        batched_samples.push(time_ms(batched_once));
+    }
+    let serial_ms = floor(serial_samples);
+    let batched_ms = floor(batched_samples);
+    Pr7Batch {
+        batch,
+        distinct,
+        serial_ms,
+        batched_ms,
+        ratio: serial_ms / batched_ms,
+        agree,
+    }
+}
+
+/// Run the snapshot. `quick` shrinks corpora and repetitions for CI.
+pub fn run(quick: bool) -> Pr7Result {
+    let rounds = if quick { 5 } else { 9 };
+
+    // ----- batched vs serial -----
+    let (db, _) = if quick {
+        corpora::dblp_small()
+    } else {
+        corpora::dblp_case_study()
+    };
+    db.store().meet_index();
+    let mut terms: Vec<String> = (1984u16..2000).map(|y| y.to_string()).collect();
+    terms.push("ICDE".to_owned());
+    let hits: Vec<HitSet> = terms.iter().map(|t| db.search(t)).collect();
+    let icde = hits.last().expect("ICDE hits");
+    // 16 distinct year × ICDE pairs; batch 64 repeats each 4 times,
+    // exactly like a busy window over a popular query mix.
+    let pool: Vec<(&HitSet, &HitSet)> = hits[..16].iter().map(|h| (h, icde)).collect();
+    let batch_rows: Vec<Pr7Batch> = [1usize, 8, 64]
+        .into_iter()
+        .map(|b| batch_row(&db, &pool, b, rounds))
+        .collect();
+
+    // ----- top-k vs full -----
+    let (depth, good, bad) = if quick { (24, 12, 150) } else { (64, 16, 800) };
+    let deep = Database::from_xml_str(&topk_xml(depth, good, bad)).expect("top-k corpus");
+    deep.store().meet_index();
+    let s = deep.search("s");
+    let t = deep.search("t");
+    let inputs = [&s, &t];
+    let mut topk_rows = Vec::new();
+    for (label, strategy) in [("lift", MeetStrategy::Lift), ("sweep", MeetStrategy::Sweep)] {
+        let full_opts = MeetOptions {
+            strategy,
+            ..MeetOptions::default()
+        };
+        let full = deep.meet_hits(&inputs, &full_opts);
+        let full_ms = floor((0..rounds).map(|_| {
+            time_ms(|| {
+                std::hint::black_box(deep.meet_hits(&inputs, &full_opts));
+            })
+        }));
+        for k in [1usize, 10, 100] {
+            let opts = MeetOptions {
+                strategy,
+                limit: Some(k),
+                ..MeetOptions::default()
+            };
+            let bounded = deep.meet_hits(&inputs, &opts);
+            let agree = bounded == full[..k.min(full.len())];
+            let bounded_ms = floor((0..rounds).map(|_| {
+                time_ms(|| {
+                    std::hint::black_box(deep.meet_hits(&inputs, &opts));
+                })
+            }));
+            topk_rows.push(Pr7TopK {
+                strategy: label.to_owned(),
+                k,
+                full_ms,
+                bounded_ms,
+                ratio: full_ms / bounded_ms,
+                agree,
+            });
+        }
+    }
+
+    // ----- semantic cache hit latency -----
+    let queries = if quick { 200 } else { 1_000 };
+    let probe = Request::meet_terms(["1999", "ICDE"]);
+    let answer = |server: &Server, n: usize| -> (String, f64) {
+        let client = server.client();
+        // Warm (first request is the miss that populates the cache).
+        let mut last = match client.request(probe.clone()).unwrap() {
+            Response::Answers(a) => a.to_detailed_xml(),
+            other => panic!("unexpected {other:?}"),
+        };
+        let t = Instant::now();
+        for _ in 0..n {
+            match client.request(probe.clone()).unwrap() {
+                Response::Answers(a) => last = a.to_detailed_xml(),
+                other => panic!("unexpected {other:?}"),
+            }
+        }
+        (last, t.elapsed().as_secs_f64() * 1e6 / n as f64)
+    };
+    let uncached_server = Server::start(
+        Arc::new(db.clone()),
+        ServerConfig {
+            workers: 1,
+            sem_cache_capacity: 0,
+            ..ServerConfig::default()
+        },
+    );
+    let (uncached_xml, uncached_us) = answer(&uncached_server, queries);
+    uncached_server.shutdown();
+    let cached_server = Server::start(
+        Arc::new(db.clone()),
+        ServerConfig {
+            workers: 1,
+            ..ServerConfig::default()
+        },
+    );
+    let (hit_xml, hit_us) = answer(&cached_server, queries);
+    let stats = cached_server.shutdown();
+    let sem = Pr7SemCache {
+        queries,
+        uncached_us,
+        hit_us,
+        ratio: uncached_us / hit_us,
+        sem_hits: stats.sem_hits,
+        agree: uncached_xml == hit_xml,
+    };
+
+    Pr7Result {
+        nodes: db.store().node_count(),
+        topk_nodes: deep.store().node_count(),
+        batch: batch_rows,
+        topk: topk_rows,
+        sem,
+    }
+}
+
+/// Text table for stdout.
+pub fn table(r: &Pr7Result) -> String {
+    let mut out = String::from("# PR 7 — batched sweeps, top-k early exit, semantic cache\n");
+    out.push_str(&format!(
+        "## batched vs serial on {} nodes (gates: >=1.2x at 64, >=0.95x at 1)\n",
+        r.nodes
+    ));
+    for row in &r.batch {
+        out.push_str(&format!(
+            "batch={:<3} distinct={:<2} serial={:.2}ms batched={:.2}ms ratio={:.2}x agree={}\n",
+            row.batch, row.distinct, row.serial_ms, row.batched_ms, row.ratio, row.agree
+        ));
+    }
+    out.push_str(&format!(
+        "## top-k vs full on {} deep-fork nodes (gate: >1.0x at k=10)\n",
+        r.topk_nodes
+    ));
+    for row in &r.topk {
+        out.push_str(&format!(
+            "{:<5} k={:<3} full={:.2}ms bounded={:.2}ms ratio={:.2}x agree={}\n",
+            row.strategy, row.k, row.full_ms, row.bounded_ms, row.ratio, row.agree
+        ));
+    }
+    out.push_str("## semantic cache hit latency (informational)\n");
+    out.push_str(&format!(
+        "queries={} uncached={:.1}us hit={:.1}us ratio={:.2}x sem_hits={} agree={}\n",
+        r.sem.queries, r.sem.uncached_us, r.sem.hit_us, r.sem.ratio, r.sem.sem_hits, r.sem.agree
+    ));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quick_snapshot_has_sane_shape_and_meets_the_gates() {
+        let r = run(true);
+        assert!(r.nodes > 0 && r.topk_nodes > 0);
+
+        assert_eq!(r.batch.len(), 3);
+        for row in &r.batch {
+            assert!(row.agree, "batch={}: batched answers diverged", row.batch);
+            assert!(row.serial_ms > 0.0 && row.batched_ms > 0.0);
+        }
+        // Gate (with slack for CI noise at quick scale, as in the
+        // earlier prN suites): ≥ 1.2× at batch 64, and the degenerate
+        // batch of 1 must not regress below ≥ 0.95× (slack: 0.90).
+        let at = |b: usize| r.batch.iter().find(|row| row.batch == b).unwrap();
+        assert!(
+            at(64).ratio >= 1.2,
+            "batch 64 ratio {:.2} below the 1.2x gate",
+            at(64).ratio
+        );
+        assert!(
+            at(1).ratio >= 0.90,
+            "batch 1 ratio {:.2} regressed past the floor",
+            at(1).ratio
+        );
+
+        assert_eq!(r.topk.len(), 6);
+        for row in &r.topk {
+            assert!(
+                row.agree,
+                "{} k={}: bounded answers are not the ranked prefix",
+                row.strategy, row.k
+            );
+        }
+        // Gate: top-k beats full at k = 10 (the early exits must pay
+        // for their own bookkeeping) on both operators.
+        for strategy in ["lift", "sweep"] {
+            let row = r
+                .topk
+                .iter()
+                .find(|row| row.strategy == strategy && row.k == 10)
+                .unwrap();
+            assert!(
+                row.ratio > 1.0,
+                "{strategy} k=10 ratio {:.2} does not beat full evaluation",
+                row.ratio
+            );
+        }
+
+        assert!(r.sem.agree, "cached answers diverged from uncached");
+        assert_eq!(r.sem.sem_hits, r.sem.queries, "warmed pass must all hit");
+        assert!(
+            r.sem.ratio > 0.5,
+            "sem-cache hit latency ratio {:.2} looks broken",
+            r.sem.ratio
+        );
+    }
+}

@@ -101,6 +101,17 @@ pub trait MeetBackend: Send + Sync {
     /// the engine's equivalent of [`Database::meet_hits`].
     fn meet_hit_groups(&self, inputs: &[&HitSet], options: &MeetOptions) -> Vec<Meet>;
 
+    /// A batch of meets at once, answers in query order. The default
+    /// evaluates serially; [`Database`] overrides with the
+    /// shared-evaluation executor ([`crate::batch`]) — either way,
+    /// answers are byte-identical to per-query [`MeetBackend::meet_hit_groups`].
+    fn meet_hit_groups_batch(&self, queries: &[crate::batch::BatchQuery<'_>]) -> Vec<Vec<Meet>> {
+        queries
+            .iter()
+            .map(|q| self.meet_hit_groups(&q.inputs, &q.options))
+            .collect()
+    }
+
     /// The paper's signature query through this engine: search each
     /// term, meet the hit groups, resolve an [`AnswerSet`].
     fn meet_terms_answers(&self, terms: &[&str], options: &MeetOptions) -> AnswerSet {
@@ -131,6 +142,19 @@ pub trait MeetBackend: Send + Sync {
         options: &MeetOptions,
     ) -> Result<Vec<Meet>, BackendError> {
         Ok(self.meet_hit_groups(inputs, options))
+    }
+
+    /// Fallible [`MeetBackend::meet_hit_groups_batch`]. The default
+    /// evaluates query by query so remote engines surface per-call
+    /// transport errors; local engines override to share evaluation.
+    fn try_meet_hit_groups_batch(
+        &self,
+        queries: &[crate::batch::BatchQuery<'_>],
+    ) -> Result<Vec<Vec<Meet>>, BackendError> {
+        queries
+            .iter()
+            .map(|q| self.try_meet_hit_groups(&q.inputs, &q.options))
+            .collect()
     }
 
     /// Fallible [`MeetBackend::meet_terms_answers`].
@@ -237,6 +261,17 @@ impl MeetBackend for Database {
 
     fn meet_hit_groups(&self, inputs: &[&HitSet], options: &MeetOptions) -> Vec<Meet> {
         self.meet_hits(inputs, options)
+    }
+
+    fn meet_hit_groups_batch(&self, queries: &[crate::batch::BatchQuery<'_>]) -> Vec<Vec<Meet>> {
+        self.meet_hits_batch(queries)
+    }
+
+    fn try_meet_hit_groups_batch(
+        &self,
+        queries: &[crate::batch::BatchQuery<'_>],
+    ) -> Result<Vec<Vec<Meet>>, BackendError> {
+        Ok(self.meet_hits_batch(queries))
     }
 
     fn save_snapshot(&self, path: &Path) -> Result<(), SnapshotError> {

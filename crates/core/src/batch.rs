@@ -1,0 +1,214 @@
+//! Shared-evaluation batch sweeps.
+//!
+//! The server's batch window (PR 2) already amortizes *term decodes*
+//! across concurrent queries; this module amortizes *evaluation*. A
+//! batch of meet queries usually shares hit sets (popular terms recur),
+//! and the dominant cost of the indexed sweep is putting every hit in
+//! document order. So the batch executor:
+//!
+//! 1. decodes each **distinct** hit set into a document-order sorted
+//!    oid run exactly once per batch (identity by `&HitSet` address —
+//!    the server's term cache hands out shared `Arc<HitSet>`s, so equal
+//!    terms are pointer-equal);
+//! 2. builds each query's item list by a tagged multiway merge of its
+//!    inputs' pre-sorted runs — ties take the lower input index,
+//!    reproducing `sort_unstable` on `(oid, input)` exactly;
+//! 3. evaluates duplicate queries (same inputs, same options) once and
+//!    clones the result;
+//! 4. runs the very same per-query core as the serial path
+//!    ([`meet_multi_items`]), then ranks and truncates exactly like
+//!    [`Database::meet_hits`].
+//!
+//! Because step 4 is *the same code on the same item order*, batched
+//! answers are byte-identical to one-at-a-time evaluation by
+//! construction; `tests/batch_equivalence.rs` proves it differentially.
+
+use crate::meet_multi::{meet_multi, meet_multi_items, Meet, MeetOptions};
+use crate::planner::ChosenStrategy;
+use crate::rank::rank_meets;
+use crate::Database;
+use crate::MeetStrategy;
+use ncq_fulltext::HitSet;
+use ncq_store::Oid;
+use std::collections::HashMap;
+
+/// One query of a batch: exactly the arguments of
+/// [`crate::MeetBackend::meet_hit_groups`].
+#[derive(Debug)]
+pub struct BatchQuery<'a> {
+    /// The hit groups to meet, in input order (witness `input` indices
+    /// are positions in this list).
+    pub inputs: Vec<&'a HitSet>,
+    /// Per-query options (filter, distance bound, strategy, limit).
+    pub options: MeetOptions,
+}
+
+impl<'a> BatchQuery<'a> {
+    /// Convenience constructor.
+    pub fn new(inputs: Vec<&'a HitSet>, options: MeetOptions) -> BatchQuery<'a> {
+        BatchQuery { inputs, options }
+    }
+
+    /// Same inputs (by address) and same options: safe to evaluate once.
+    fn same_as(&self, other: &BatchQuery<'_>) -> bool {
+        self.options == other.options
+            && self.inputs.len() == other.inputs.len()
+            && self
+                .inputs
+                .iter()
+                .zip(&other.inputs)
+                .all(|(a, b)| std::ptr::eq(*a, *b))
+    }
+}
+
+/// Merge pre-sorted per-input oid runs into one `(oid, input)` list.
+/// Ties take the lower input index — exactly the order
+/// `sort_unstable` gives the serial path's flattened items.
+fn merge_tagged(runs: &[&[Oid]]) -> Vec<(Oid, u32)> {
+    let total: usize = runs.iter().map(|r| r.len()).sum();
+    let mut out = Vec::with_capacity(total);
+    let mut cursor = vec![0usize; runs.len()];
+    loop {
+        let mut next: Option<(Oid, usize)> = None;
+        for (i, run) in runs.iter().enumerate() {
+            if let Some(&o) = run.get(cursor[i]) {
+                if next.is_none_or(|(best, _)| o < best) {
+                    next = Some((o, i));
+                }
+            }
+        }
+        let Some((o, i)) = next else { break };
+        out.push((o, i as u32));
+        cursor[i] += 1;
+    }
+    out
+}
+
+/// The batch executor behind [`Database::meet_hits_batch`].
+pub fn meet_hits_batch(db: &Database, queries: &[BatchQuery<'_>]) -> Vec<Vec<Meet>> {
+    // A batch of one is just the serial path — no shared work to find.
+    if queries.len() == 1 {
+        let q = &queries[0];
+        return vec![db.meet_hits(&q.inputs, &q.options)];
+    }
+
+    // Distinct hit sets across the batch, decoded lazily: address →
+    // document-order sorted oids. Per-path groups inside a HitSet are
+    // already sorted; the flatten+sort is paid once per distinct set.
+    let mut runs: HashMap<usize, Vec<Oid>> = HashMap::new();
+
+    let mut results: Vec<Option<Vec<Meet>>> = Vec::with_capacity(queries.len());
+    for (qi, q) in queries.iter().enumerate() {
+        // Duplicate of an earlier query: clone its answer.
+        if let Some(prev) = (0..qi).find(|&p| queries[p].same_as(q)) {
+            let prior = results[prev].clone();
+            results.push(prior);
+            continue;
+        }
+        // The planner decision is per query and identical to the
+        // serial path's — batching never changes the chosen strategy.
+        let chosen = match q.options.strategy {
+            MeetStrategy::Auto => db.planner().plan_multi(&q.inputs).strategy,
+            MeetStrategy::Lift => ChosenStrategy::Lift,
+            MeetStrategy::Sweep => ChosenStrategy::Sweep,
+        };
+        let mut meets = match chosen {
+            // The roll-up climbs tokens path-by-path; there is no sort
+            // to share. The planner only picks it for tiny inputs.
+            ChosenStrategy::Lift => meet_multi(db.store(), &q.inputs, &q.options),
+            ChosenStrategy::Sweep => {
+                for &h in &q.inputs {
+                    runs.entry(std::ptr::from_ref(h) as usize)
+                        .or_insert_with(|| {
+                            let mut oids: Vec<Oid> = h.iter().map(|(_, o)| o).collect();
+                            oids.sort_unstable();
+                            oids
+                        });
+                }
+                let query_runs: Vec<&[Oid]> = q
+                    .inputs
+                    .iter()
+                    .map(|&h| runs[&(std::ptr::from_ref(h) as usize)].as_slice())
+                    .collect();
+                let items = merge_tagged(&query_runs);
+                meet_multi_items(db.store(), &items, &q.options)
+            }
+        };
+        rank_meets(&mut meets);
+        if let Some(k) = q.options.limit {
+            meets.truncate(k);
+        }
+        results.push(Some(meets));
+    }
+    results
+        .into_iter()
+        .map(|r| r.expect("every query resolves to an answer"))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const FIGURE1: &str = r#"
+<bibliography>
+  <institute>
+    <article key="BB99">
+      <author><firstname>Ben</firstname><lastname>Bit</lastname></author>
+      <title>How to Hack</title>
+      <year>1999</year>
+    </article>
+    <article key="BK99">
+      <author>Bob Byte</author>
+      <title>Hacking &amp; RSI</title>
+      <year>1999</year>
+    </article>
+  </institute>
+</bibliography>"#;
+
+    #[test]
+    fn batched_matches_serial_on_overlapping_terms() {
+        let db = Database::from_xml_str(FIGURE1).unwrap();
+        let bit = db.search("Bit");
+        let y99 = db.search("1999");
+        let ben = db.search("Ben");
+        let queries = vec![
+            BatchQuery::new(vec![&bit, &y99], MeetOptions::default()),
+            BatchQuery::new(vec![&ben, &bit], MeetOptions::default()),
+            BatchQuery::new(vec![&bit, &y99], MeetOptions::default()),
+            BatchQuery::new(
+                vec![&y99, &ben, &bit],
+                MeetOptions {
+                    strategy: MeetStrategy::Sweep,
+                    ..MeetOptions::default()
+                },
+            ),
+        ];
+        let batched = db.meet_hits_batch(&queries);
+        for (q, got) in queries.iter().zip(&batched) {
+            assert_eq!(got, &db.meet_hits(&q.inputs, &q.options));
+        }
+        // The duplicate pair really is byte-identical.
+        assert_eq!(batched[0], batched[2]);
+    }
+
+    #[test]
+    fn merge_tagged_matches_sort_unstable() {
+        let a = [3usize, 5, 9].map(Oid::from_index);
+        let b = [1usize, 5, 7].map(Oid::from_index);
+        let merged = merge_tagged(&[&a, &b]);
+        let mut flat: Vec<(Oid, u32)> = a
+            .iter()
+            .map(|&o| (o, 0u32))
+            .chain(b.iter().map(|&o| (o, 1u32)))
+            .collect();
+        flat.sort_unstable();
+        assert_eq!(merged, flat);
+    }
+
+    #[test]
+    fn empty_batch_is_fine() {
+        let db = Database::from_xml_str(FIGURE1).unwrap();
+        assert!(db.meet_hits_batch(&[]).is_empty());
+    }
+}

@@ -176,7 +176,22 @@ impl Database {
     ) -> Vec<Meet> {
         let mut meets = self.planner().meet_multi(inputs, options);
         rank_meets(&mut meets);
+        if let Some(k) = options.limit {
+            meets.truncate(k);
+        }
         meets
+    }
+
+    /// A whole batch of meet queries with **shared evaluation**: hit
+    /// sets appearing in several queries (the common case under the
+    /// server's batch window, where concurrent queries share terms) are
+    /// decoded and document-order sorted once, and each query's sweep
+    /// runs over merged pre-sorted runs instead of re-sorting from
+    /// scratch. Answers are byte-identical to calling
+    /// [`Database::meet_hits`] once per query — the differential suite
+    /// (`tests/batch_equivalence.rs`) pins this.
+    pub fn meet_hits_batch(&self, queries: &[crate::batch::BatchQuery<'_>]) -> Vec<Vec<Meet>> {
+        crate::batch::meet_hits_batch(self, queries)
     }
 
     /// The paper's signature query: full-text search each term, then meet

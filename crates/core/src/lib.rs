@@ -41,6 +41,7 @@
 
 pub mod answer;
 pub mod backend;
+pub mod batch;
 pub mod catalog;
 pub mod db;
 pub mod distance;
@@ -56,13 +57,14 @@ pub mod sweep;
 
 pub use answer::{Answer, AnswerSet, PartialAnswer, Witness};
 pub use backend::{BackendError, MeetBackend, RobustnessStats};
+pub use batch::BatchQuery;
 pub use catalog::{Catalog, CatalogError, ForestBackend};
 pub use db::Database;
 pub use distance::{distance, meet2_bounded};
 pub use filter::PathFilter;
 pub use graph::{graph_distance, graph_meet, GraphMeet, RefGraph};
 pub use meet2::{meet2, meet2_indexed, meet2_naive, Meet2};
-pub use meet_multi::{meet_multi, meet_multi_indexed, Meet, MeetOptions};
+pub use meet_multi::{meet_multi, meet_multi_indexed, meet_multi_items, Meet, MeetOptions};
 pub use meet_sets::{
     meet_sets, meet_sets_lift_ordered, meet_sets_sweep, meet_sets_sweep_merged, MeetError, SetMeets,
 };

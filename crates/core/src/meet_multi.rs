@@ -47,6 +47,16 @@ pub struct MeetOptions {
     /// entry points ([`crate::Database::meet_hits`] and friends); the
     /// raw operators in this module *are* the strategies and ignore it.
     pub strategy: MeetStrategy,
+    /// Top-k bound (the dialect's `limit k`). Answers are ranked by
+    /// distance, so once `k` meets are held and the k-th best distance
+    /// is strictly better than anything evaluation could still produce,
+    /// both the roll-up and the indexed sweep stop early. The ranked
+    /// facades ([`crate::Database::meet_hits`] and every
+    /// [`crate::MeetBackend`]) truncate to exactly `k`; the first `k`
+    /// answers are byte-identical to the unbounded evaluation's prefix.
+    /// The raw operators here stop early but return their (unranked)
+    /// superset untruncated.
+    pub limit: Option<usize>,
 }
 
 impl MeetOptions {
@@ -89,6 +99,35 @@ pub struct Meet {
     pub witness_count: usize,
     /// Sample of witnesses (bounded by [`MeetOptions::witness_cap`]).
     pub witnesses: Vec<MeetWitness>,
+}
+
+/// Bounded max-heap of the `k` smallest emitted distances: its top is
+/// the current k-th best distance, the early-exit threshold for
+/// [`MeetOptions::limit`]. Requires `k ≥ 1`.
+struct TopK {
+    k: usize,
+    heap: std::collections::BinaryHeap<usize>,
+}
+
+impl TopK {
+    fn new(k: usize) -> TopK {
+        TopK {
+            k,
+            heap: std::collections::BinaryHeap::with_capacity(k + 1),
+        }
+    }
+
+    fn push(&mut self, distance: usize) {
+        self.heap.push(distance);
+        if self.heap.len() > self.k {
+            self.heap.pop();
+        }
+    }
+
+    /// The k-th best distance so far — `None` until `k` meets are held.
+    fn kth(&self) -> Option<usize> {
+        (self.heap.len() >= self.k).then(|| *self.heap.peek().expect("k >= 1"))
+    }
 }
 
 /// A token: the state of hits climbing the tree during the roll-up.
@@ -146,6 +185,10 @@ pub fn meet_multi<H: Borrow<HitSet>>(
 ) -> Vec<Meet> {
     let summary = db.summary();
     let cap = options.cap();
+    if options.limit == Some(0) {
+        return Vec::new();
+    }
+    let mut best = options.limit.map(TopK::new);
 
     // tokens[path] : oid → token. Only paths that can carry tokens are
     // materialized.
@@ -202,6 +245,9 @@ pub fn meet_multi<H: Borrow<HitSet>>(
                     // either way — "they are output and not considered
                     // anymore" / "we discard o".
                     if options.filter.accepts(path) {
+                        if let Some(best) = best.as_mut() {
+                            best.push(distance);
+                        }
                         meets.push(Meet {
                             node: oid,
                             path,
@@ -246,6 +292,31 @@ pub fn meet_multi<H: Borrow<HitSet>>(
                 .and_modify(|t| t.absorb(climbed.clone(), cap))
                 .or_insert(climbed);
         }
+
+        // Top-k early exit: climbs only ever grow, so the two smallest
+        // climbs over every live token floor the distance of any meet
+        // the roll-up could still form. Once the k-th best emitted
+        // distance is *strictly* below that floor, nothing ahead can
+        // enter the ranked top k (ties could still win the
+        // witness-count/document-order tie-breaks, so ties keep going).
+        if let Some(kth) = best.as_ref().and_then(TopK::kth) {
+            let (mut c1, mut c2) = (usize::MAX, usize::MAX);
+            for token in tokens.values().flat_map(HashMap::values) {
+                for c in [token.min_climb, token.second_climb] {
+                    if c < c1 {
+                        c2 = c1;
+                        c1 = c;
+                    } else if c < c2 {
+                        c2 = c;
+                    }
+                }
+            }
+            // c2 == MAX means at most one witness is left anywhere: no
+            // further meet is possible either way.
+            if kth < c1.saturating_add(c2) {
+                break;
+            }
+        }
     }
 
     // Deterministic order: deepest meets first, then document order.
@@ -273,10 +344,6 @@ pub fn meet_multi_indexed<H: Borrow<HitSet>>(
     inputs: &[H],
     options: &MeetOptions,
 ) -> Vec<Meet> {
-    let summary = db.summary();
-    let cap = options.cap();
-    let index = db.meet_index();
-
     // Merge all hits in document order, keeping input provenance and
     // multiplicity (two attribute hits owned by one element are two
     // witnesses, exactly as in the roll-up).
@@ -286,58 +353,96 @@ pub fn meet_multi_indexed<H: Borrow<HitSet>>(
         .flat_map(|(i, hits)| hits.borrow().iter().map(move |(_, o)| (o, i as u32)))
         .collect();
     items.sort_unstable();
+    meet_multi_items(db, &items, options)
+}
+
+/// [`meet_multi_indexed`] over pre-merged items: `(oid, input index)`
+/// pairs already sorted by `(oid, input)`. This is the shared core of
+/// the per-query sweep and the batch executor
+/// ([`crate::batch`]), which builds each query's item list by merging
+/// per-hit-set sorted runs decoded once for a whole batch — both paths
+/// run the exact same code on the exact same item order, so batched and
+/// serial answers are byte-identical by construction.
+pub fn meet_multi_items(db: &MonetDb, items: &[(Oid, u32)], options: &MeetOptions) -> Vec<Meet> {
+    let summary = db.summary();
+    let cap = options.cap();
+    let index = db.meet_index();
+    if options.limit == Some(0) {
+        return Vec::new();
+    }
 
     let oids: Vec<Oid> = items.iter().map(|&(o, _)| o).collect();
-    let mut meets: Vec<Meet> = Vec::new();
+    let meets: std::cell::RefCell<Vec<Meet>> = std::cell::RefCell::new(Vec::new());
+    let best: std::cell::RefCell<Option<TopK>> =
+        std::cell::RefCell::new(options.limit.map(TopK::new));
 
-    crate::sweep::plane_sweep(
-        index,
-        &oids,
-        // Any two hits can meet in the generalized operator.
-        |_, _| true,
-        |m, run| {
-            // Distance between the two closest witnesses through m.
-            let m_depth = index.depth(m);
-            let (mut min_climb, mut second_climb) = (usize::MAX, usize::MAX);
-            for &i in run {
-                let climb = index.depth(items[i].0) - m_depth;
-                if climb < min_climb {
-                    second_climb = min_climb;
-                    min_climb = climb;
-                } else if climb < second_climb {
-                    second_climb = climb;
-                }
+    let on_candidate = |m: Oid, run: &[usize]| {
+        // Distance between the two closest witnesses through m.
+        let m_depth = index.depth(m);
+        let (mut min_climb, mut second_climb) = (usize::MAX, usize::MAX);
+        for &i in run {
+            let climb = index.depth(items[i].0) - m_depth;
+            if climb < min_climb {
+                second_climb = min_climb;
+                min_climb = climb;
+            } else if climb < second_climb {
+                second_climb = climb;
             }
-            let distance = min_climb.saturating_add(second_climb);
-            if options.max_distance.is_some_and(|d| distance > d) {
-                // Too far apart: hits stay alive for higher meets.
-                return crate::sweep::Verdict::Reject;
+        }
+        let distance = min_climb.saturating_add(second_climb);
+        if options.max_distance.is_some_and(|d| distance > d) {
+            // Too far apart: hits stay alive for higher meets.
+            return crate::sweep::Verdict::Reject;
+        }
+        // Consume the run; a suppressed result type still consumes
+        // its witnesses ("they are output and not considered
+        // anymore").
+        if options.filter.accepts(db.sigma(m)) {
+            if let Some(best) = best.borrow_mut().as_mut() {
+                best.push(distance);
             }
-            // Consume the run; a suppressed result type still consumes
-            // its witnesses ("they are output and not considered
-            // anymore").
-            if options.filter.accepts(db.sigma(m)) {
-                let witnesses = run
-                    .iter()
-                    .take(cap)
-                    .map(|&i| MeetWitness {
-                        origin: items[i].0,
-                        input: items[i].1 as usize,
-                        climb: index.depth(items[i].0) - m_depth,
-                    })
-                    .collect();
-                meets.push(Meet {
-                    node: m,
-                    path: db.sigma(m),
-                    distance,
-                    witness_count: run.len(),
-                    witnesses,
-                });
-            }
-            crate::sweep::Verdict::Accept
-        },
-    );
+            let witnesses = run
+                .iter()
+                .take(cap)
+                .map(|&i| MeetWitness {
+                    origin: items[i].0,
+                    input: items[i].1 as usize,
+                    climb: index.depth(items[i].0) - m_depth,
+                })
+                .collect();
+            meets.borrow_mut().push(Meet {
+                node: m,
+                path: db.sigma(m),
+                distance,
+                witness_count: run.len(),
+                witnesses,
+            });
+        }
+        crate::sweep::Verdict::Accept
+    };
 
+    match options.limit {
+        // Unbounded sweeps skip the early-exit bookkeeping entirely.
+        None => {
+            crate::sweep::plane_sweep(index, &oids, |_, _| true, on_candidate);
+        }
+        Some(_) => {
+            crate::sweep::plane_sweep_bounded(
+                index,
+                &oids,
+                |_, _| true,
+                on_candidate,
+                |floor| {
+                    best.borrow()
+                        .as_ref()
+                        .and_then(TopK::kth)
+                        .is_some_and(|kth| kth < floor)
+                },
+            );
+        }
+    }
+
+    let mut meets = meets.into_inner();
     // Deterministic order: deepest meets first, then document order.
     meets.sort_by_key(|m| (std::cmp::Reverse(summary.depth(m.path)), m.node));
     meets

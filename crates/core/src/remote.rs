@@ -326,6 +326,13 @@ fn put_options(b: &mut SectionBuf<'_>, options: &MeetOptions) {
         MeetStrategy::Lift => 1,
         MeetStrategy::Sweep => 2,
     });
+    match options.limit {
+        None => b.put_u8(0),
+        Some(k) => {
+            b.put_u8(1);
+            b.put_u64(k as u64);
+        }
+    }
 }
 
 fn get_options(c: &mut SectionCursor<'_>) -> Result<MeetOptions, WireError> {
@@ -369,11 +376,21 @@ fn get_options(c: &mut SectionCursor<'_>) -> Result<MeetOptions, WireError> {
             })
         }
     };
+    let limit = match c.get_u8("limit flag")? {
+        0 => None,
+        1 => Some(c.get_u64("limit")? as usize),
+        other => {
+            return Err(WireError::Corrupt {
+                context: format!("bad limit flag {other}"),
+            })
+        }
+    };
     Ok(MeetOptions {
         filter,
         max_distance,
         witness_cap,
         strategy,
+        limit,
     })
 }
 
@@ -1030,6 +1047,7 @@ mod tests {
                 witness_cap: 4,
                 strategy: MeetStrategy::Lift,
                 filter: PathFilter::Exclude([PathId::from_index(0)].into_iter().collect()),
+                limit: Some(3),
             },
         }
     }

@@ -20,6 +20,7 @@
 //! many adjacencies share one shallow LCA.
 
 use ncq_store::{MeetIndex, Oid};
+use std::cmp::Reverse;
 use std::collections::{BinaryHeap, HashSet};
 
 /// What the per-candidate callback decided.
@@ -55,8 +56,51 @@ pub enum Verdict {
 pub fn plane_sweep(
     index: &MeetIndex,
     oids: &[Oid],
+    proposes: impl FnMut(usize, usize) -> bool,
+    on_candidate: impl FnMut(Oid, &[usize]) -> Verdict,
+) -> usize {
+    sweep_core(
+        index,
+        oids,
+        proposes,
+        on_candidate,
+        None::<fn(usize) -> bool>,
+    )
+}
+
+/// [`plane_sweep`] with a top-k early-exit hook. After every accepted
+/// candidate the sweep computes a **floor on the distance of any meet it
+/// could still produce** and hands it to `should_stop`; returning `true`
+/// ends the sweep immediately.
+///
+/// The floor is sound because the sweep drains candidates deepest first:
+/// every remaining candidate (in the heap or proposed later by a bridge)
+/// sits at depth ≤ the current heap top `d_next`, and its two closest
+/// witnesses are items that are alive *now* (consumption only removes
+/// items). With `a₁ ≤ a₂` the two smallest alive item depths, any future
+/// meet distance is ≥ `a₁ + a₂ − 2·d_next`. Stale heap entries only
+/// overestimate `d_next`, weakening the floor — never unsoundly.
+///
+/// Callers implementing `LIMIT k` stop once they hold `k` results whose
+/// k-th best distance is **strictly** below the floor: a future meet at
+/// the same distance could still outrank the k-th result on the
+/// witness-count/document-order tie-breaks, so ties must keep sweeping.
+pub fn plane_sweep_bounded(
+    index: &MeetIndex,
+    oids: &[Oid],
+    proposes: impl FnMut(usize, usize) -> bool,
+    on_candidate: impl FnMut(Oid, &[usize]) -> Verdict,
+    should_stop: impl FnMut(usize) -> bool,
+) -> usize {
+    sweep_core(index, oids, proposes, on_candidate, Some(should_stop))
+}
+
+fn sweep_core(
+    index: &MeetIndex,
+    oids: &[Oid],
     mut proposes: impl FnMut(usize, usize) -> bool,
     mut on_candidate: impl FnMut(Oid, &[usize]) -> Verdict,
+    mut should_stop: Option<impl FnMut(usize) -> bool>,
 ) -> usize {
     let n = oids.len();
     let mut probes = 0usize;
@@ -75,6 +119,17 @@ pub fn plane_sweep(
     let mut heap: BinaryHeap<(u32, std::cmp::Reverse<u32>, u32, u32)> = BinaryHeap::new();
     let mut rejected: HashSet<Oid> = HashSet::new();
     let mut run: Vec<usize> = Vec::new();
+
+    // Bounded sweeps track the two shallowest alive items in a lazy
+    // min-heap (dead tops are skimmed off on demand); unbounded sweeps
+    // pay nothing.
+    let mut shallow: BinaryHeap<Reverse<(u32, u32)>> = if should_stop.is_some() {
+        (0..n)
+            .map(|i| Reverse((index.depth(oids[i]) as u32, i as u32)))
+            .collect()
+    } else {
+        BinaryHeap::new()
+    };
 
     macro_rules! push_candidate {
         ($li:expr, $ri:expr) => {
@@ -145,6 +200,37 @@ pub fn plane_sweep(
         }
         if left != NONE && right != NONE {
             push_candidate!(left, right);
+        }
+
+        if let Some(stop) = should_stop.as_mut() {
+            // Floor on any future meet distance (see
+            // [`plane_sweep_bounded`]). No candidates or fewer than two
+            // alive items means no future meets at all.
+            let Some(&(d_next, ..)) = heap.peek() else {
+                break;
+            };
+            while shallow
+                .peek()
+                .is_some_and(|&Reverse((_, i))| !alive[i as usize])
+            {
+                shallow.pop();
+            }
+            let Some(first) = shallow.pop() else { break };
+            while shallow
+                .peek()
+                .is_some_and(|&Reverse((_, i))| !alive[i as usize])
+            {
+                shallow.pop();
+            }
+            let Some(&Reverse((a2, _))) = shallow.peek() else {
+                break;
+            };
+            let Reverse((a1, _)) = first;
+            shallow.push(first);
+            let floor = (a1 as usize + a2 as usize).saturating_sub(2 * d_next as usize);
+            if stop(floor) {
+                break;
+            }
         }
     }
     probes

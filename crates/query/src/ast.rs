@@ -95,6 +95,11 @@ pub struct Query {
     pub from: Vec<Binding>,
     /// Conjunctive conditions.
     pub conditions: Vec<Condition>,
+    /// `limit N` — at most N answers. Meets are distance-ranked, so the
+    /// engine serves this with a bounded sweep that stops once the k-th
+    /// best distance cannot improve; projections stop enumerating rows
+    /// at N. Always ≥ 1 in a parsed query (`limit 0` is a typed error).
+    pub limit: Option<usize>,
 }
 
 impl fmt::Display for PathStepExpr {
@@ -175,6 +180,9 @@ impl fmt::Display for Query {
                 c.needle
             )?;
         }
+        if let Some(n) = self.limit {
+            write!(f, " limit {n}")?;
+        }
         Ok(())
     }
 }
@@ -217,6 +225,7 @@ mod tests {
                 var: "t1".into(),
                 needle: "Bit".into(),
             }],
+            limit: None,
         }
     }
 

@@ -41,6 +41,15 @@ pub enum QueryError {
     },
     /// A `within`/`excluding`/`only` modifier on a projection query.
     ModifierWithoutMeet,
+    /// `limit 0` — a query that can never return anything is almost
+    /// certainly a mistake, so it is rejected up front.
+    InvalidLimit,
+    /// A numeric literal too large for the host (`within`/`limit`
+    /// arguments are `usize`).
+    NumberOverflow {
+        /// Byte offset of the literal.
+        offset: usize,
+    },
     /// The query addressed a corpus the backend does not serve (or the
     /// backend serves no named corpora at all).
     UnknownCorpus {
@@ -90,6 +99,12 @@ impl fmt::Display for QueryError {
             ),
             QueryError::ModifierWithoutMeet => {
                 write!(f, "within/excluding/only modifiers require a meet(...) select")
+            }
+            QueryError::InvalidLimit => {
+                write!(f, "limit must be at least 1 (limit 0 can never return an answer)")
+            }
+            QueryError::NumberOverflow { offset } => {
+                write!(f, "numeric literal at byte {offset} is too large")
             }
             QueryError::UnknownCorpus { name } => {
                 write!(f, "unknown corpus {name:?} (this backend serves no corpus of that name)")

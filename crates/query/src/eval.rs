@@ -169,6 +169,7 @@ fn evaluate_resolved<B: MeetBackend + ?Sized>(
             let mut options = MeetOptions {
                 max_distance: modifiers.within,
                 strategy: opts.strategy,
+                limit: query.limit,
                 ..MeetOptions::default()
             };
             if !modifiers.only.is_empty() {
@@ -315,10 +316,16 @@ fn projection<B: MeetBackend + ?Sized>(
         .collect();
 
     // Nested-loop join over the binding lists, unifying shared tag vars.
+    // `limit N` stops the enumeration at N distinct rows — the join is
+    // abandoned, not run to completion and truncated.
+    let limit = query.limit.unwrap_or(usize::MAX);
     let mut rows: Vec<Row> = Vec::new();
     let mut stack: Vec<(usize, Vec<BoundNode>)> = vec![(0, Vec::new())];
     // Depth-first enumeration without recursion.
     while let Some((level, chosen)) = stack.pop() {
+        if rows.len() >= limit {
+            break;
+        }
         if level == bindings.len() {
             // Emit a row.
             let mut values = Vec::with_capacity(items.len());
@@ -631,6 +638,52 @@ mod tests {
             run_query(&db(), "select t from corpus(paper), x as t"),
             Err(QueryError::UnknownCorpus { .. })
         ));
+    }
+
+    #[test]
+    fn limit_bounds_meet_answers_to_the_ranked_prefix() {
+        let db = db();
+        // t2 is unconditioned, so the '1999' hits meet every element —
+        // six distance-ranked answers unbounded.
+        let q = "select meet(t1, t2) \
+                 from bibliography/% as t1, bibliography/% as t2 \
+                 where t1 contains '1999'";
+        let QueryOutput::Answers(full) = run_query(&db, q).unwrap() else {
+            panic!()
+        };
+        assert!(full.results.len() >= 2);
+        for k in 1..=full.results.len() {
+            let QueryOutput::Answers(bounded) = run_query(&db, &format!("{q} limit {k}")).unwrap()
+            else {
+                panic!()
+            };
+            assert_eq!(bounded.results, full.results[..k], "k = {k}");
+        }
+        // A limit beyond the answer count changes nothing.
+        let QueryOutput::Answers(big) = run_query(&db, &format!("{q} limit 100")).unwrap() else {
+            panic!()
+        };
+        assert_eq!(big.results, full.results);
+    }
+
+    #[test]
+    fn limit_stops_projection_enumeration_early() {
+        let db = db();
+        let q = "select t1, t2 from bibliography/% as t1, bibliography/% as t2";
+        let QueryOutput::Rows(full) = run_query(&db, q).unwrap() else {
+            panic!()
+        };
+        let QueryOutput::Rows(three) = run_query(&db, &format!("{q} limit 3")).unwrap() else {
+            panic!()
+        };
+        assert_eq!(three.rows, full.rows[..3]);
+        // The enumeration is abandoned at the limit, so a query whose
+        // full join would blow max_rows succeeds when limited below it.
+        let out = run_query_with(&db, &format!("{q} limit 5"), &QueryConfig { max_rows: 10 });
+        let QueryOutput::Rows(five) = out.unwrap() else {
+            panic!()
+        };
+        assert_eq!(five.rows, full.rows[..5]);
     }
 
     #[test]

@@ -140,10 +140,10 @@ pub fn lex(src: &str) -> Result<Vec<Token>, QueryError> {
                 while j < bytes.len() && bytes[j].is_ascii_digit() {
                     j += 1;
                 }
-                let n: usize = src[i..j].parse().map_err(|_| QueryError::Lex {
-                    offset,
-                    found: b as char,
-                })?;
+                // A pure digit run can only fail to parse by overflow.
+                let n: usize = src[i..j]
+                    .parse()
+                    .map_err(|_| QueryError::NumberOverflow { offset })?;
                 out.push(Token {
                     kind: TokenKind::Number(n),
                     offset,

@@ -113,12 +113,27 @@ impl Parser {
                 }
             }
         }
+        let limit = self.limit_clause()?;
         Ok(Query {
             select,
             corpus,
             from,
             conditions,
+            limit,
         })
+    }
+
+    /// Trailing `limit N`. `limit 0` is a typed error — a query that can
+    /// never answer is a mistake, not a request.
+    fn limit_clause(&mut self) -> Result<Option<usize>, QueryError> {
+        if !self.eat_keyword("limit") {
+            return Ok(None);
+        }
+        match self.advance() {
+            Some(TokenKind::Number(0)) => Err(QueryError::InvalidLimit),
+            Some(TokenKind::Number(n)) => Ok(Some(n)),
+            _ => Err(self.err("a number after limit")),
+        }
     }
 
     /// `corpus(name)` right after `from` addresses a named corpus of a
@@ -457,6 +472,72 @@ mod tests {
     fn meet_needs_two_vars() {
         let e = parse_query("select meet(t1) from x as t1").unwrap_err();
         assert!(matches!(e, QueryError::MeetNeedsTwoVariables));
+    }
+
+    #[test]
+    fn limit_clause_parses_and_round_trips() {
+        // On a meet, after conditions.
+        let q =
+            parse_query("select meet(t1, t2) from x as t1, y as t2 where t1 contains 'q' limit 3")
+                .unwrap();
+        assert_eq!(q.limit, Some(3));
+        assert_eq!(parse_query(&q.to_string()).unwrap(), q);
+        // On a projection, without conditions, and with a corpus clause
+        // and an `only` modifier in the mix.
+        let q = parse_query("select t from corpus(dblp), x as t limit 1").unwrap();
+        assert_eq!(q.limit, Some(1));
+        assert_eq!(q.corpus.as_deref(), Some("dblp"));
+        assert_eq!(parse_query(&q.to_string()).unwrap(), q);
+        let q = parse_query("select meet(t1, t2) only a/b from x as t1, y as t2 limit 12").unwrap();
+        assert_eq!(q.limit, Some(12));
+        assert_eq!(parse_query(&q.to_string()).unwrap(), q);
+        // Case-insensitive like every other keyword.
+        assert_eq!(
+            parse_query("select t from x as t LIMIT 2").unwrap().limit,
+            Some(2)
+        );
+    }
+
+    #[test]
+    fn limit_zero_is_a_typed_error() {
+        let e = parse_query("select t from x as t limit 0").unwrap_err();
+        assert!(matches!(e, QueryError::InvalidLimit));
+    }
+
+    #[test]
+    fn limit_overflow_is_a_typed_error() {
+        let src = "select t from x as t limit 123456789012345678901234567890";
+        let e = parse_query(src).unwrap_err();
+        let offset = src.find("123").unwrap();
+        assert_eq!(e, QueryError::NumberOverflow { offset });
+    }
+
+    #[test]
+    fn malformed_limit_clauses_are_parse_errors() {
+        for bad in [
+            "select t from x as t limit",
+            "select t from x as t limit 'x'",
+            "select t from x as t limit 3 4",
+            "select t from x as t limit 3 limit 4",
+        ] {
+            assert!(
+                matches!(parse_query(bad), Err(QueryError::Parse { .. })),
+                "{bad} should be a parse error"
+            );
+        }
+    }
+
+    #[test]
+    fn limit_as_a_plain_name_still_works() {
+        // `limit` as a binding variable or tag, with an actual limit
+        // clause after it.
+        let q = parse_query("select limit from x as limit limit 4").unwrap();
+        assert_eq!(q.limit, Some(4));
+        assert_eq!(q.from[0].var, "limit");
+        assert_eq!(parse_query(&q.to_string()).unwrap(), q);
+        let q = parse_query("select t from limit/% as t").unwrap();
+        assert_eq!(q.limit, None);
+        assert_eq!(q.from[0].path.steps[0], S::Tag("limit".into()));
     }
 
     #[test]

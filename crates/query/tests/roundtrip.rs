@@ -37,6 +37,7 @@ fn ident(rng: &mut StdRng) -> String {
                 | "excluding"
                 | "only"
                 | "cdata"
+                | "limit"
         );
         if !keyword {
             return s;
@@ -140,11 +141,18 @@ fn random_query(rng: &mut StdRng) -> Query {
     } else {
         None
     };
+    // `limit 0` is a typed parse error, so valid queries draw from 1..
+    let limit = if rng.random_bool() {
+        Some(rng.random_range(1usize..50))
+    } else {
+        None
+    };
     Query {
         select,
         corpus,
         from,
         conditions,
+        limit,
     }
 }
 
@@ -264,9 +272,59 @@ fn lexer_survives_random_unicode() {
     }
 }
 
+/// `limit`-focused mutation fuzz: start from a corpus-qualified meet
+/// query with `only` and `limit` (every clause that has to coexist with
+/// it), then mutate the tail around the limit clause. Accepted mutants
+/// must round-trip; `limit 0` and overflowing literals must surface as
+/// their typed errors, never as panics.
+#[test]
+fn limit_clause_mutations_round_trip_or_fail_typed() {
+    use ncq_query::QueryError;
+    let base = "select meet(t1, t2) only a/b from corpus(dblp), x as t1, y as t2 \
+                where t1 contains 'q' limit 7";
+    let parsed = parse_query(base).expect("base query parses");
+    assert_eq!(parsed.limit, Some(7));
+    assert_eq!(parsed.corpus.as_deref(), Some("dblp"));
+    assert_eq!(parse_query(&parsed.to_string()).unwrap(), parsed);
+
+    assert!(matches!(
+        parse_query(&base.replace("limit 7", "limit 0")),
+        Err(QueryError::InvalidLimit)
+    ));
+    assert!(matches!(
+        parse_query(&base.replace("limit 7", "limit 99999999999999999999999999")),
+        Err(QueryError::NumberOverflow { .. })
+    ));
+
+    const TAILS: [&str; 8] = [
+        "limit",
+        "limit limit",
+        "limit 'x'",
+        "limit 7 8",
+        "limit 7 limit 8",
+        "limit -1",
+        "limit 7)",
+        "7",
+    ];
+    for seed in 0..CASES {
+        let mut rng = StdRng::seed_from_u64(5 << 32 | seed);
+        let mut q = random_query(&mut rng);
+        q.limit = None;
+        let prefix = q.to_string();
+        let tail = TAILS[rng.random_range(0..TAILS.len())];
+        let src = format!("{prefix} {tail}");
+        if let Ok(ok) = parse_query(&src) {
+            let printed = ok.to_string();
+            let again = parse_query(&printed)
+                .unwrap_or_else(|e| panic!("seed {seed}: reparse of {printed:?} failed: {e}"));
+            assert_eq!(again, ok, "seed {seed}: limit print/parse not a fixpoint");
+        }
+    }
+}
+
 #[test]
 fn parser_never_panics_on_query_soup() {
-    const PIECES: [&str; 14] = [
+    const PIECES: [&str; 16] = [
         "select ",
         "from ",
         "where ",
@@ -274,6 +332,8 @@ fn parser_never_panics_on_query_soup() {
         "contains ",
         "and ",
         "as ",
+        "limit ",
+        "0 ",
         "(",
         ")",
         "'",

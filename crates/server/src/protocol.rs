@@ -3,7 +3,10 @@
 //! One request per line, verb first (case-insensitive):
 //!
 //! ```text
-//! MEET term term …​ [WITHIN n]     meet of full-text terms (meet^δ via WITHIN)
+//! MEET term term …​ [WITHIN n] [LIMIT k]
+//!                                 meet of full-text terms (meet^δ via
+//!                                 WITHIN; LIMIT keeps the k best answers,
+//!                                 served by a bounded sweep)
 //! SQL select meet(a, b) from …​    the SQL-with-paths dialect
 //!                                 (`from corpus(name), …` routes per query)
 //! SEARCH term                     full-text hit count
@@ -144,13 +147,17 @@ fn validate_use(client: &Client, name: &str) -> Result<(), String> {
 fn format_stats(client: &Client) -> String {
     let stats = client.stats();
     let mut out = format!(
-        "served={}\nbatches={}\nmax_batch={}\nterm_decodes={}\nterm_cache_hits={}\nshed={}\nshed_rate={:.4}\n\
+        "served={}\nbatches={}\nmax_batch={}\nterm_decodes={}\nterm_cache_hits={}\n\
+         sem_hits={}\nsem_misses={}\nsem_evictions={}\nshed={}\nshed_rate={:.4}\n\
          retries={}\nfailovers={}\nreplicas_down={}\ntimeouts={}\npartial_answers={}",
         stats.served,
         stats.batches,
         stats.max_batch,
         stats.term_decodes,
         stats.term_cache_hits,
+        stats.sem_hits,
+        stats.sem_misses,
+        stats.sem_evictions,
         stats.shed,
         stats.shed_rate(),
         stats.retries,
@@ -165,16 +172,41 @@ fn format_stats(client: &Client) -> String {
     out
 }
 
-/// `MEET t1 t2 … [WITHIN n]` — terms are whitespace-separated; a
-/// trailing `WITHIN <number>` becomes the distance bound.
+/// `MEET t1 t2 … [WITHIN n] [LIMIT k]` — terms are whitespace-
+/// separated; the trailing clauses (either order) become the distance
+/// bound and the answer-count bound. `LIMIT 0` is refused like the
+/// dialect's `limit 0`.
 fn parse_meet(rest: &str) -> Result<Request, String> {
     let mut terms: Vec<String> = rest.split_whitespace().map(str::to_owned).collect();
     let mut within = None;
-    if terms.len() >= 2 && terms[terms.len() - 2].eq_ignore_ascii_case("within") {
-        let n = terms[terms.len() - 1]
-            .parse::<usize>()
-            .map_err(|_| format!("WITHIN needs a number, got {:?}", terms[terms.len() - 1]))?;
-        within = Some(n);
+    let mut limit = None;
+    loop {
+        if terms.len() < 2 {
+            break;
+        }
+        let clause = terms[terms.len() - 2].to_ascii_uppercase();
+        match clause.as_str() {
+            "WITHIN" => {
+                let n = terms[terms.len() - 1].parse::<usize>().map_err(|_| {
+                    format!("WITHIN needs a number, got {:?}", terms[terms.len() - 1])
+                })?;
+                within = Some(n);
+            }
+            "LIMIT" => {
+                let n = terms[terms.len() - 1]
+                    .parse::<usize>()
+                    .ok()
+                    .filter(|&n| n > 0)
+                    .ok_or_else(|| {
+                        format!(
+                            "LIMIT needs a positive number, got {:?}",
+                            terms[terms.len() - 1]
+                        )
+                    })?;
+                limit = Some(n);
+            }
+            _ => break,
+        }
         terms.truncate(terms.len() - 2);
     }
     if terms.is_empty() {
@@ -183,6 +215,7 @@ fn parse_meet(rest: &str) -> Result<Request, String> {
     Ok(Request::MeetTerms {
         terms,
         within,
+        limit,
         corpus: None,
     })
 }
@@ -354,8 +387,16 @@ mod tests {
         let lines: Vec<&str> = out.lines().collect();
         let header = lines[stats_at - 1];
         let n: usize = header.strip_prefix("OK ").unwrap().parse().unwrap();
-        assert_eq!(n, 12, "one line per counter plus the shed rate");
+        assert_eq!(n, 15, "one line per counter plus the shed rate");
         assert_eq!(lines[stats_at], "served=1");
+        // The semantic-cache counters ride the frame: the single MEET
+        // above was a cacheable miss.
+        for key in ["sem_hits=0", "sem_misses=1", "sem_evictions=0"] {
+            assert!(
+                lines[stats_at..stats_at + n].contains(&key),
+                "missing {key}: {out}"
+            );
+        }
         assert!(lines[stats_at..stats_at + n]
             .iter()
             .any(|l| l.starts_with("shed=0")));
@@ -389,6 +430,29 @@ mod tests {
     fn bad_within_is_an_error() {
         let out = session("MEET Bit WITHIN abc\n");
         assert!(out.contains("ERR WITHIN needs a number"));
+    }
+
+    #[test]
+    fn limit_clause_bounds_the_meet_on_the_wire() {
+        // Unbounded, the two terms produce several ranked answers;
+        // LIMIT 1 keeps only the best. Both clause orders parse.
+        let full = session("MEET Bit 1999\n");
+        let one = session("MEET Bit 1999 LIMIT 1\n");
+        let full_results = full.matches("<result").count();
+        assert!(full_results >= 1);
+        assert_eq!(one.matches("<result").count(), 1.min(full_results));
+        let both = session("MEET Bit 1999 WITHIN 9 LIMIT 1\n");
+        assert_eq!(both.matches("<result").count(), 1);
+        let swapped = session("MEET Bit 1999 LIMIT 1 WITHIN 9\n");
+        assert_eq!(swapped, both);
+    }
+
+    #[test]
+    fn bad_limit_is_an_error() {
+        for bad in ["MEET Bit LIMIT abc\n", "MEET Bit LIMIT 0\n"] {
+            let out = session(bad);
+            assert!(out.contains("ERR LIMIT needs a positive number"), "{out}");
+        }
     }
 
     #[test]

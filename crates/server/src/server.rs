@@ -9,10 +9,11 @@
 //! admits or observes shutdown.
 
 use ncq_core::{
-    AnswerSet, BackendError, CatalogError, Database, MeetBackend, MeetOptions, MeetStrategy,
+    AnswerSet, BackendError, BatchQuery, CatalogError, Database, MeetBackend, MeetOptions,
+    MeetStrategy,
 };
 use ncq_fulltext::HitSet;
-use ncq_query::{run_query_opts, QueryConfig, QueryOptions, QueryOutput, RowSet};
+use ncq_query::{parse_query, run_query_opts, QueryConfig, QueryOptions, QueryOutput, RowSet};
 use ncq_store::snapshot::SnapshotError;
 use std::collections::{BTreeMap, HashMap, VecDeque};
 use std::fmt;
@@ -53,6 +54,12 @@ pub struct ServerConfig {
     /// Distinct terms each worker keeps decoded (FIFO eviction);
     /// `0` disables the cache.
     pub term_cache_capacity: usize,
+    /// Distinct *query results* the service keeps (FIFO eviction,
+    /// shared across workers); `0` disables the semantic cache. A hit
+    /// skips evaluation entirely. Entries are generation-tagged per
+    /// corpus: `SNAPSHOT LOAD … INTO c` invalidates only corpus `c`'s
+    /// entries, a whole-backend load invalidates everything.
+    pub sem_cache_capacity: usize,
     /// Directory the `SNAPSHOT SAVE`/`SNAPSHOT LOAD` control verbs may
     /// touch. `None` (the default) disables them entirely — the verbs
     /// ride the same socket as queries, so an exposed server must not
@@ -72,6 +79,7 @@ impl Default for ServerConfig {
             strategy: MeetStrategy::Auto,
             max_rows: 10_000,
             term_cache_capacity: 4096,
+            sem_cache_capacity: 1024,
             snapshot_dir: None,
         }
     }
@@ -93,6 +101,11 @@ pub enum Request {
         terms: Vec<String>,
         /// Maximum witness distance (`meet^δ`).
         within: Option<usize>,
+        /// At most this many ranked answers (`LIMIT k` on the wire);
+        /// the engines stop sweeping once the k-th best distance is
+        /// unbeatable. On a fan-out request the bound applies per
+        /// corpus.
+        limit: Option<usize>,
         /// Corpus routing (see the enum docs).
         corpus: Option<String>,
     },
@@ -156,6 +169,7 @@ impl Request {
         Request::MeetTerms {
             terms: terms.into_iter().map(Into::into).collect(),
             within: None,
+            limit: None,
             corpus: None,
         }
     }
@@ -278,6 +292,17 @@ pub struct ServerStats {
     pub term_decodes: usize,
     /// Term look-ups answered from a worker cache (shared decodes).
     pub term_cache_hits: usize,
+    /// Cacheable queries (MEET/SQL against one corpus) answered from
+    /// the semantic result cache — evaluation skipped entirely.
+    pub sem_hits: usize,
+    /// Cacheable queries that had to evaluate. For any run without
+    /// config changes, `sem_hits + sem_misses` equals the cacheable
+    /// queries served (the coherence suite pins the reconciliation).
+    pub sem_misses: usize,
+    /// Semantic-cache entries dropped: FIFO capacity evictions plus
+    /// generation-stale entries removed on lookup after a snapshot
+    /// swap.
+    pub sem_evictions: usize,
     /// Requests refused at admission ([`Client::try_request`] on a full
     /// queue) plus connections refused by the TCP acceptor's connection
     /// cap — every form of shedding the service performs.
@@ -326,6 +351,9 @@ struct Counters {
     max_batch: AtomicUsize,
     term_decodes: AtomicUsize,
     term_cache_hits: AtomicUsize,
+    sem_hits: AtomicUsize,
+    sem_misses: AtomicUsize,
+    sem_evictions: AtomicUsize,
     shed: AtomicUsize,
     partial_answers: AtomicUsize,
     /// Per-corpus query counts. A mutex (not a sharded atomic map)
@@ -342,6 +370,9 @@ impl Counters {
             max_batch: self.max_batch.load(Relaxed),
             term_decodes: self.term_decodes.load(Relaxed),
             term_cache_hits: self.term_cache_hits.load(Relaxed),
+            sem_hits: self.sem_hits.load(Relaxed),
+            sem_misses: self.sem_misses.load(Relaxed),
+            sem_evictions: self.sem_evictions.load(Relaxed),
             shed: self.shed.load(Relaxed),
             queries_by_corpus: self
                 .by_corpus
@@ -385,6 +416,17 @@ struct Shared {
     /// Bumped on every backend swap; workers drop their term caches
     /// when it moves (cached decodes refer to the previous engine).
     generation: AtomicUsize,
+    /// Invalidation generations for the semantic cache, split by scope:
+    /// a whole-backend swap bumps `full`, a per-corpus splice bumps
+    /// only that corpus's entry. Swappers mutate this while still
+    /// holding the `db` *write* lock and readers snapshot it under the
+    /// *read* lock, so a batch can never pair a fresh engine with
+    /// stale epochs (or vice versa). Lock order: `db`, then `epochs`.
+    epochs: Mutex<SemEpochs>,
+    /// The semantic result cache, shared across workers (unlike the
+    /// per-worker term caches — a result hit saves a whole evaluation,
+    /// which dwarfs the mutex).
+    sem: Mutex<SemCache>,
     config: ServerConfig,
     state: Mutex<QueueState>,
     /// Signalled when jobs are queued or shutdown begins.
@@ -392,6 +434,99 @@ struct Shared {
     /// Signalled when queue slots free up or shutdown begins.
     space: Condvar,
     stats: Counters,
+}
+
+/// Snapshot-swap generations the semantic cache validates against.
+#[derive(Debug, Clone, Default)]
+struct SemEpochs {
+    /// Whole-backend swaps (`SNAPSHOT LOAD` without `INTO`).
+    full: usize,
+    /// Per-corpus splices (`SNAPSHOT LOAD … INTO c`), keyed by corpus.
+    per_corpus: HashMap<String, usize>,
+}
+
+impl SemEpochs {
+    fn corpus(&self, name: &str) -> usize {
+        self.per_corpus.get(name).copied().unwrap_or(0)
+    }
+}
+
+/// One cached query result, tagged with the epochs observed when its
+/// evaluation *started* — a result computed on an engine that was
+/// swapped out mid-flight tags as already stale and is never served.
+struct SemEntry {
+    response: Response,
+    corpus: String,
+    full: usize,
+    corpus_epoch: usize,
+}
+
+/// Semantic result cache: normalized request key → response. FIFO
+/// eviction like the term cache; shared across workers behind
+/// [`Shared::sem`].
+struct SemCache {
+    map: HashMap<String, SemEntry>,
+    order: VecDeque<String>,
+    capacity: usize,
+}
+
+impl SemCache {
+    fn new(capacity: usize) -> SemCache {
+        SemCache {
+            map: HashMap::new(),
+            order: VecDeque::new(),
+            capacity,
+        }
+    }
+
+    /// A still-valid entry for `key`, or `None`. A generation-stale
+    /// entry is removed on sight (returned in `evicted` so the caller
+    /// can count it) — it can never become valid again.
+    fn lookup(&mut self, key: &str, epochs: &SemEpochs, evicted: &mut usize) -> Option<Response> {
+        let entry = self.map.get(key)?;
+        if entry.full == epochs.full && entry.corpus_epoch == epochs.corpus(&entry.corpus) {
+            return Some(entry.response.clone());
+        }
+        self.map.remove(key);
+        self.order.retain(|k| k != key);
+        *evicted += 1;
+        None
+    }
+
+    /// Insert (or refresh) an entry, evicting FIFO-oldest past
+    /// capacity; returns how many entries were evicted.
+    fn insert(
+        &mut self,
+        key: String,
+        corpus: String,
+        response: Response,
+        epochs: &SemEpochs,
+    ) -> usize {
+        let mut evicted = 0;
+        if !self.map.contains_key(&key) {
+            while self.map.len() >= self.capacity.max(1) {
+                match self.order.pop_front() {
+                    Some(oldest) => {
+                        self.map.remove(&oldest);
+                        evicted += 1;
+                    }
+                    None => break,
+                }
+            }
+            self.order.push_back(key.clone());
+        }
+        let corpus_epoch = epochs.corpus(&corpus);
+        self.map.insert(
+            key,
+            SemEntry {
+                response,
+                corpus,
+                full: epochs.full,
+                corpus_epoch,
+            },
+        );
+        evicted
+    }
 }
 
 impl Shared {
@@ -404,6 +539,15 @@ impl Shared {
     fn backend(&self) -> (Arc<dyn MeetBackend>, usize) {
         let guard = self.db.read().expect("backend lock");
         (Arc::clone(&guard), self.generation.load(Relaxed))
+    }
+
+    /// Like [`Shared::backend`], with the semantic-cache epochs read
+    /// under the same read-lock hold — the triple is consistent for
+    /// the whole batch.
+    fn backend_and_epochs(&self) -> (Arc<dyn MeetBackend>, usize, SemEpochs) {
+        let guard = self.db.read().expect("backend lock");
+        let epochs = self.epochs.lock().expect("epoch lock").clone();
+        (Arc::clone(&guard), self.generation.load(Relaxed), epochs)
     }
 
     /// Counters plus the serving backend's failover-router counters
@@ -453,9 +597,12 @@ impl Server {
         } else {
             config.workers
         };
+        let sem_capacity = config.sem_cache_capacity;
         let shared = Arc::new(Shared {
             db: RwLock::new(db),
             generation: AtomicUsize::new(0),
+            epochs: Mutex::new(SemEpochs::default()),
+            sem: Mutex::new(SemCache::new(sem_capacity)),
             config,
             state: Mutex::new(QueueState {
                 queue: VecDeque::new(),
@@ -707,35 +854,273 @@ fn worker_loop(shared: &Shared) {
     let mut cache = TermCache::new(shared.config.term_cache_capacity);
     let mut scratch = Scratch::default();
     let mut seen_generation = shared.generation.load(Relaxed);
-    while let Some(mut batch) = next_batch(shared) {
+    while let Some(batch) = next_batch(shared) {
         // One backend per batch: a concurrent SNAPSHOT LOAD swaps the
         // engine for *subsequent* batches; cached term decodes from the
-        // old engine are dropped when the generation moves. Backend and
-        // generation are read as one consistent pair (see
-        // [`Shared::backend`]).
-        let (db, generation) = shared.backend();
+        // old engine are dropped when the generation moves. Backend,
+        // generation and semantic-cache epochs are read as one
+        // consistent triple (see [`Shared::backend_and_epochs`]).
+        let (db, generation, epochs) = shared.backend_and_epochs();
         if generation != seen_generation {
             cache.invalidate();
             seen_generation = generation;
         }
         shared.stats.batches.fetch_add(1, Relaxed);
         shared.stats.max_batch.fetch_max(batch.len(), Relaxed);
-        for job in batch.drain(..) {
-            // Isolate evaluation panics: a poisoned request must answer
-            // (in-band) and leave the worker serving — otherwise queued
-            // clients would block in recv() forever once the pool died.
-            let response = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-                execute(shared, &db, &mut cache, &mut scratch, &job.request)
-            }))
-            .unwrap_or_else(|_| {
-                scratch.inputs.clear();
-                Response::Error("internal error: query evaluation panicked".to_owned())
-            });
-            shared.stats.served.fetch_add(1, Relaxed);
-            // A dropped receiver just means the client stopped waiting.
-            let _ = job.reply.send(response);
+        serve_batch(shared, &db, &epochs, &mut cache, &mut scratch, batch);
+    }
+}
+
+/// A single-corpus meet that missed the semantic cache: decoded and
+/// waiting for the grouped batch evaluation.
+struct PendingMeet {
+    job: usize,
+    engine: Arc<dyn MeetBackend>,
+    inputs: Vec<Arc<HitSet>>,
+    options: MeetOptions,
+    sem_key: Option<String>,
+    corpus: String,
+}
+
+/// Serve one admitted batch.
+///
+/// Single-corpus MEET requests take the vectorized path: semantic-cache
+/// lookup first (a hit skips evaluation entirely), then the misses are
+/// grouped per engine and evaluated through
+/// [`MeetBackend::try_meet_hit_groups_batch`] — one shared plane sweep
+/// over the union of the group's hit lists on the single-process
+/// engine. Single-corpus SQL is cached the same way (keyed on the
+/// canonical printed parse). Everything else (fan-out, search, control
+/// verbs) runs through [`execute`] exactly as before.
+fn serve_batch(
+    shared: &Shared,
+    db: &Arc<dyn MeetBackend>,
+    epochs: &SemEpochs,
+    cache: &mut TermCache,
+    scratch: &mut Scratch,
+    batch: Vec<Job>,
+) {
+    let sem_on = shared.config.sem_cache_capacity > 0;
+    let mut responses: Vec<Option<Response>> = Vec::with_capacity(batch.len());
+    responses.resize_with(batch.len(), || None);
+    let mut pending: Vec<PendingMeet> = Vec::new();
+
+    // Phase 1: classify; answer sem-cache hits and inline work now.
+    for (ji, job) in batch.iter().enumerate() {
+        let response = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            match &job.request {
+                Request::MeetTerms {
+                    terms,
+                    within,
+                    limit,
+                    corpus,
+                } if corpus.as_deref() != Some(ALL_CORPORA) => {
+                    let (target, stat_name) = match resolve_corpus(db, corpus) {
+                        Ok(pair) => pair,
+                        Err(msg) => return Some(Response::Error(msg)),
+                    };
+                    if let Some(name) = &stat_name {
+                        shared.stats.note_corpus(name);
+                    }
+                    let corpus_name = stat_name.unwrap_or_default();
+                    let options = MeetOptions {
+                        max_distance: *within,
+                        limit: *limit,
+                        strategy: shared.config.strategy,
+                        ..MeetOptions::default()
+                    };
+                    // Normalized key: resolved corpus + options + the
+                    // term list in request order (order is positional —
+                    // witness `input` indices depend on it).
+                    let sem_key = sem_on.then(|| {
+                        format!(
+                            "{corpus_name}\0M\0{within:?}\0{limit:?}\0{}",
+                            terms.join("\x1f")
+                        )
+                    });
+                    if let Some(key) = &sem_key {
+                        if let Some(hit) = sem_lookup(shared, key, epochs) {
+                            return Some(hit);
+                        }
+                    }
+                    let mut inputs = Vec::with_capacity(terms.len());
+                    for term in terms {
+                        match cache.get_or_decode(shared, &target, &corpus_name, term) {
+                            Ok(hits) => inputs.push(hits),
+                            Err(e) => return Some(Response::Error(e.to_string())),
+                        }
+                    }
+                    pending.push(PendingMeet {
+                        job: ji,
+                        engine: target,
+                        inputs,
+                        options,
+                        sem_key,
+                        corpus: corpus_name,
+                    });
+                    None
+                }
+                Request::Sql { src, corpus } if corpus.as_deref() != Some(ALL_CORPORA) => {
+                    // Accounting mirrors [`execute`]: the session (or
+                    // default) corpus, independent of any `from
+                    // corpus(name)` inside the text.
+                    if let Some(name) = corpus
+                        .as_deref()
+                        .map(str::to_owned)
+                        .or_else(|| db.default_corpus())
+                    {
+                        shared.stats.note_corpus(&name);
+                    }
+                    // Key on the canonical printed parse so whitespace/
+                    // case variants share an entry; the *resolved*
+                    // corpus (text wins over session wins over default)
+                    // scopes the invalidation epoch.
+                    let sem_key = match (sem_on, parse_query(src)) {
+                        (true, Ok(q)) => {
+                            let resolved = q
+                                .corpus
+                                .clone()
+                                .or_else(|| corpus.clone())
+                                .or_else(|| db.default_corpus())
+                                .unwrap_or_default();
+                            Some((
+                                format!("{resolved}\0S\0{}\0{q}", corpus.as_deref().unwrap_or("")),
+                                resolved,
+                            ))
+                        }
+                        _ => None, // parse errors answer in-band below
+                    };
+                    if let Some((key, _)) = &sem_key {
+                        if let Some(hit) = sem_lookup(shared, key, epochs) {
+                            return Some(hit);
+                        }
+                    }
+                    let options = QueryOptions {
+                        config: QueryConfig {
+                            max_rows: shared.config.max_rows,
+                        },
+                        strategy: shared.config.strategy,
+                        default_corpus: corpus.clone(),
+                    };
+                    let response = match run_query_opts(&**db, src, &options) {
+                        Ok(QueryOutput::Answers(a)) => Response::Answers(a),
+                        Ok(QueryOutput::Rows(r)) => Response::Rows(r),
+                        Err(e) => Response::Error(e.to_string()),
+                    };
+                    if let (Some((key, resolved)), false) =
+                        (sem_key, matches!(response, Response::Error(_)))
+                    {
+                        sem_insert(shared, key, resolved, response.clone(), epochs);
+                    }
+                    Some(response)
+                }
+                other => Some(execute(shared, db, cache, scratch, other)),
+            }
+        }))
+        .unwrap_or_else(|_| {
+            scratch.inputs.clear();
+            Some(Response::Error(
+                "internal error: query evaluation panicked".to_owned(),
+            ))
+        });
+        responses[ji] = response;
+    }
+
+    // Phase 2: grouped meet evaluation, one batched call per engine.
+    let mut groups: Vec<(usize, Vec<usize>)> = Vec::new();
+    for (pi, p) in pending.iter().enumerate() {
+        let key = Arc::as_ptr(&p.engine) as *const () as usize;
+        match groups.iter_mut().find(|(k, _)| *k == key) {
+            Some((_, members)) => members.push(pi),
+            None => groups.push((key, vec![pi])),
         }
     }
+    for (_, members) in &groups {
+        let engine = Arc::clone(&pending[members[0]].engine);
+        let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            let queries: Vec<BatchQuery<'_>> = members
+                .iter()
+                .map(|&pi| {
+                    let p = &pending[pi];
+                    BatchQuery::new(
+                        p.inputs.iter().map(Arc::as_ref).collect(),
+                        p.options.clone(),
+                    )
+                })
+                .collect();
+            engine.try_meet_hit_groups_batch(&queries)
+        }));
+        match outcome {
+            Ok(Ok(all)) => {
+                for (&pi, meets) in members.iter().zip(all) {
+                    let p = &pending[pi];
+                    let response = Response::Answers(AnswerSet::from_meets(engine.store(), meets));
+                    if let Some(key) = &p.sem_key {
+                        sem_insert(
+                            shared,
+                            key.clone(),
+                            p.corpus.clone(),
+                            response.clone(),
+                            epochs,
+                        );
+                    }
+                    responses[p.job] = Some(response);
+                }
+            }
+            Ok(Err(e)) => {
+                for &pi in members {
+                    responses[pending[pi].job] = Some(Response::Error(e.to_string()));
+                }
+            }
+            Err(_) => {
+                for &pi in members {
+                    responses[pending[pi].job] = Some(Response::Error(
+                        "internal error: query evaluation panicked".to_owned(),
+                    ));
+                }
+            }
+        }
+    }
+
+    for (job, response) in batch.into_iter().zip(responses) {
+        let response = response
+            .unwrap_or_else(|| Response::Error("internal error: unanswered job".to_owned()));
+        shared.stats.served.fetch_add(1, Relaxed);
+        // A dropped receiver just means the client stopped waiting.
+        let _ = job.reply.send(response);
+    }
+}
+
+/// Semantic-cache lookup with counter upkeep. `None` counts a miss.
+fn sem_lookup(shared: &Shared, key: &str, epochs: &SemEpochs) -> Option<Response> {
+    let mut evicted = 0;
+    let hit = shared
+        .sem
+        .lock()
+        .expect("sem cache lock")
+        .lookup(key, epochs, &mut evicted);
+    shared.stats.sem_evictions.fetch_add(evicted, Relaxed);
+    match &hit {
+        Some(_) => shared.stats.sem_hits.fetch_add(1, Relaxed),
+        None => shared.stats.sem_misses.fetch_add(1, Relaxed),
+    };
+    hit
+}
+
+/// Semantic-cache insert with eviction accounting.
+fn sem_insert(
+    shared: &Shared,
+    key: String,
+    corpus: String,
+    response: Response,
+    epochs: &SemEpochs,
+) {
+    let evicted = shared
+        .sem
+        .lock()
+        .expect("sem cache lock")
+        .insert(key, corpus, response, epochs);
+    shared.stats.sem_evictions.fetch_add(evicted, Relaxed);
 }
 
 /// Blocks for work, then drains up to `batch_max` jobs, waiting up to
@@ -823,10 +1208,12 @@ fn execute(
         Request::MeetTerms {
             terms,
             within,
+            limit,
             corpus,
         } => {
             let options = MeetOptions {
                 max_distance: *within,
+                limit: *limit,
                 strategy: shared.config.strategy,
                 ..MeetOptions::default()
             };
@@ -1011,6 +1398,10 @@ fn execute(
                         let mut guard = shared.db.write().expect("backend lock");
                         *guard = fresh;
                         shared.generation.fetch_add(1, Relaxed);
+                        // Full swap: every semantic-cache entry is for
+                        // the old backend now (epoch bump under the
+                        // write lock, like the generation).
+                        shared.epochs.lock().expect("epoch lock").full += 1;
                     }
                     Response::Info(format!(
                         "snapshot loaded: {objects} objects <- {} (takes effect for subsequent batches)",
@@ -1041,6 +1432,16 @@ fn execute(
                         }
                         *guard = fresh;
                         shared.generation.fetch_add(1, Relaxed);
+                        // Per-corpus splice invalidates only this
+                        // corpus's semantic-cache entries; siblings
+                        // keep serving cached results.
+                        *shared
+                            .epochs
+                            .lock()
+                            .expect("epoch lock")
+                            .per_corpus
+                            .entry(name.clone())
+                            .or_insert(0) += 1;
                         drop(guard);
                         return Response::Info(format!(
                             "corpus {name:?} reloaded <- {} (takes effect for subsequent batches)",
@@ -1311,8 +1712,11 @@ mod tests {
 
     #[test]
     fn repeated_terms_share_decodes() {
+        // Semantic cache off: every repeat re-evaluates, sharing only
+        // the term decodes.
         let s = server(ServerConfig {
             workers: 1,
+            sem_cache_capacity: 0,
             ..ServerConfig::default()
         });
         let client = s.client();
@@ -1323,6 +1727,81 @@ mod tests {
         assert_eq!(stats.served, 5);
         assert_eq!(stats.term_decodes, 2, "one decode per distinct term");
         assert_eq!(stats.term_cache_hits, 8);
+        assert_eq!((stats.sem_hits, stats.sem_misses), (0, 0), "cache off");
+    }
+
+    #[test]
+    fn repeated_queries_hit_the_semantic_cache() {
+        // Semantic cache on (the default): repeats skip evaluation —
+        // and the term cache — entirely.
+        let s = server(ServerConfig {
+            workers: 1,
+            ..ServerConfig::default()
+        });
+        let client = s.client();
+        let first = client.meet_terms(["Bit", "1999"]).unwrap();
+        for _ in 0..4 {
+            assert_eq!(client.meet_terms(["Bit", "1999"]).unwrap(), first);
+        }
+        // SQL rides the same cache, keyed on the canonical parse: the
+        // odd spacing below normalizes to the same entry.
+        let sql = "select meet(a, b) from bibliography/% as a, bibliography/% as b \
+                   where a contains 'Bit' and b contains '1999'";
+        let spaced = sql.replace("select", "SELECT  ");
+        let a = client.sql(sql).unwrap();
+        assert_eq!(client.sql(&spaced).unwrap(), a);
+        let stats = s.shutdown();
+        assert_eq!(stats.served, 7);
+        assert_eq!(stats.term_decodes, 2, "decoded once, then sem hits");
+        assert_eq!(stats.sem_misses, 2, "one per distinct query");
+        assert_eq!(stats.sem_hits, 5);
+        assert_eq!(
+            stats.sem_hits + stats.sem_misses,
+            7,
+            "counters reconcile with cacheable queries served"
+        );
+    }
+
+    #[test]
+    fn limit_bounds_meet_terms_to_the_ranked_prefix() {
+        // Hits spread over disjoint subtrees so the meet produces one
+        // ranked answer per institute.
+        let xml: String = (0..4)
+            .map(|i| {
+                format!(
+                    "<institute><article><author>Bit {i}</author>\
+                     <year>1999</year></article></institute>"
+                )
+            })
+            .collect();
+        let db = Arc::new(
+            Database::from_xml_str(&format!("<bibliography>{xml}</bibliography>")).unwrap(),
+        );
+        let s = Server::start(
+            db,
+            ServerConfig {
+                workers: 1,
+                ..ServerConfig::default()
+            },
+        );
+        let client = s.client();
+        let full = client.meet_terms(["Bit", "1999"]).unwrap();
+        assert!(full.len() >= 2, "need a multi-answer query");
+        for k in 1..=full.len() {
+            let got = match client
+                .request(Request::MeetTerms {
+                    terms: vec!["Bit".into(), "1999".into()],
+                    within: None,
+                    limit: Some(k),
+                    corpus: None,
+                })
+                .unwrap()
+            {
+                Response::Answers(a) => a,
+                other => panic!("unexpected {other:?}"),
+            };
+            assert_eq!(got.results, full.results[..k], "k = {k}");
+        }
     }
 
     #[test]
@@ -1349,6 +1828,8 @@ mod tests {
         let shared = Arc::new(Shared {
             db: RwLock::new(db),
             generation: AtomicUsize::new(0),
+            epochs: Mutex::new(SemEpochs::default()),
+            sem: Mutex::new(SemCache::new(0)),
             config: ServerConfig {
                 queue_capacity: 1,
                 ..ServerConfig::default()

@@ -337,6 +337,7 @@ fn forest_with_a_down_corpus_degrades_to_typed_partial_answers() {
         .request(Request::MeetTerms {
             terms: vec!["Bit".into(), "1999".into()],
             within: None,
+            limit: None,
             corpus: Some(ALL_CORPORA.into()),
         })
         .unwrap();

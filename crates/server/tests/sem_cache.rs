@@ -1,0 +1,243 @@
+//! Semantic result cache coherence: generation-tagged entries must
+//! never serve an answer from a corpus generation that is no longer
+//! (and was not, at batch start) live.
+//!
+//! The deterministic tests pin the invalidation unit — a
+//! `SNAPSHOT LOAD … INTO` swap drops exactly the swapped corpus's
+//! entries; a full `SNAPSHOT LOAD` drops everything. The stress test is
+//! the acceptance criterion: threads hammer one corpus through the
+//! cache while that same corpus hot-swaps between two distinguishable
+//! generations, and every single response must be byte-identical to one
+//! of the two generations' reference answers — a torn or stale-beyond-
+//! swap answer fails the run. The STATS counters must reconcile:
+//! every cacheable query is exactly one semantic hit or miss.
+
+use ncq_core::{Catalog, Database, ForestBackend, MeetBackend};
+use ncq_server::{Request, Response, Server, ServerConfig};
+use std::path::{Path, PathBuf};
+use std::sync::Arc;
+
+const BIB_V1: &str = r#"<bib><article key="BB99"><author>Ben Bit</author>
+    <year>1999</year></article></bib>"#;
+const BIB_V2: &str = r#"<bib><article><author>Ben Bit</author><year>1999</year></article>
+    <article><author>New Bit</author><year>1999</year></article></bib>"#;
+const SHOP: &str = r#"<shop><item><label>Bit driver</label>
+    <price>1999</price></item></shop>"#;
+
+fn scratch_dir(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(name);
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+/// A bib+shop forest server with both bib generations saved as
+/// snapshot files, ready for `SNAPSHOT LOAD … INTO bib` swaps.
+fn forest_server(dir: &Path, workers: usize) -> Server {
+    let bib = Database::from_xml_str(BIB_V1).unwrap();
+    let shop = Database::from_xml_str(SHOP).unwrap();
+    bib.save_snapshot(dir.join("bib-v1.ncq")).unwrap();
+    Database::from_xml_str(BIB_V2)
+        .unwrap()
+        .save_snapshot(dir.join("bib-v2.ncq"))
+        .unwrap();
+    shop.save_snapshot(dir.join("shop.ncq")).unwrap();
+    let mut catalog = Catalog::new();
+    catalog
+        .add("bib", Arc::new(bib) as Arc<dyn MeetBackend>)
+        .unwrap();
+    catalog
+        .add("shop", Arc::new(shop) as Arc<dyn MeetBackend>)
+        .unwrap();
+    let forest = ForestBackend::new(catalog).unwrap();
+    Server::start_backend(
+        Arc::new(forest),
+        ServerConfig {
+            workers,
+            snapshot_dir: Some(dir.to_path_buf()),
+            ..ServerConfig::default()
+        },
+    )
+}
+
+fn meet_bib(client: &ncq_server::Client) -> String {
+    match client
+        .request(Request::meet_terms(["Bit", "1999"]).with_corpus(Some("bib".into())))
+        .unwrap()
+    {
+        Response::Answers(a) => a.to_detailed_xml(),
+        other => panic!("unexpected {other:?}"),
+    }
+}
+
+fn reference(xml: &str) -> String {
+    Database::from_xml_str(xml)
+        .unwrap()
+        .meet_terms(&["Bit", "1999"])
+        .unwrap()
+        .to_detailed_xml()
+}
+
+/// Swapping one corpus invalidates exactly that corpus's cache entries:
+/// a swap of `shop` leaves warmed `bib` entries serving hits; a swap of
+/// `bib` forces the next `bib` query to miss — and to answer from the
+/// *new* generation, never the cached old one.
+#[test]
+fn corpus_swap_invalidates_only_that_corpus() {
+    let dir = scratch_dir("ncq-sem-cache-unit");
+    let server = forest_server(&dir, 1);
+    let client = server.client();
+
+    let v1 = reference(BIB_V1);
+    let v2 = reference(BIB_V2);
+    assert_ne!(v1, v2, "generations must be distinguishable");
+
+    // Warm, then hit.
+    assert_eq!(meet_bib(&client), v1);
+    assert_eq!(meet_bib(&client), v1);
+    let s = server.stats();
+    assert_eq!((s.sem_misses, s.sem_hits), (1, 1));
+
+    // An unrelated corpus swap must not invalidate bib's entry.
+    match client
+        .request(Request::snapshot_load_into("shop.ncq", "shop"))
+        .unwrap()
+    {
+        Response::Info(msg) => assert!(msg.contains("reloaded"), "{msg}"),
+        other => panic!("unexpected {other:?}"),
+    }
+    assert_eq!(meet_bib(&client), v1);
+    let s = server.stats();
+    assert_eq!(
+        (s.sem_misses, s.sem_hits),
+        (1, 2),
+        "a shop swap evicted bib's entry"
+    );
+
+    // Swapping bib itself drops its entry: the next query misses and
+    // serves the new generation byte-for-byte.
+    match client
+        .request(Request::snapshot_load_into("bib-v2.ncq", "bib"))
+        .unwrap()
+    {
+        Response::Info(msg) => assert!(msg.contains("reloaded"), "{msg}"),
+        other => panic!("unexpected {other:?}"),
+    }
+    assert_eq!(meet_bib(&client), v2, "stale generation served after swap");
+    assert_eq!(meet_bib(&client), v2);
+    let s = server.stats();
+    assert_eq!((s.sem_misses, s.sem_hits), (2, 3));
+    assert_eq!(
+        s.sem_hits + s.sem_misses,
+        5,
+        "every cacheable query is exactly one hit or miss"
+    );
+    server.shutdown();
+}
+
+/// A full-database `SNAPSHOT LOAD` (no `INTO`) starts a new full
+/// generation: every cached entry — whatever its corpus — is stale.
+#[test]
+fn full_reload_invalidates_everything() {
+    let dir = scratch_dir("ncq-sem-cache-full-reload");
+    let db = Database::from_xml_str(BIB_V1).unwrap();
+    db.save_snapshot(dir.join("self.ncq")).unwrap();
+    let server = Server::start(
+        Arc::new(db),
+        ServerConfig {
+            workers: 1,
+            snapshot_dir: Some(dir.clone()),
+            ..ServerConfig::default()
+        },
+    );
+    let client = server.client();
+    let v1 = reference(BIB_V1);
+
+    let meet = |client: &ncq_server::Client| match client
+        .request(Request::meet_terms(["Bit", "1999"]))
+        .unwrap()
+    {
+        Response::Answers(a) => a.to_detailed_xml(),
+        other => panic!("unexpected {other:?}"),
+    };
+    assert_eq!(meet(&client), v1);
+    assert_eq!(meet(&client), v1);
+    match client.request(Request::snapshot_load("self.ncq")).unwrap() {
+        Response::Info(msg) => assert!(msg.contains("loaded"), "{msg}"),
+        other => panic!("unexpected {other:?}"),
+    }
+    assert_eq!(meet(&client), v1, "reloaded engine answers identically");
+    let s = server.shutdown();
+    assert_eq!(
+        (s.sem_misses, s.sem_hits),
+        (2, 1),
+        "the full reload must invalidate the warmed entry"
+    );
+}
+
+/// The acceptance stress: threads hammer corpus `bib` through the
+/// semantic cache while `bib` itself hot-swaps back and forth between
+/// two distinguishable generations. Every response must be
+/// byte-identical to the v1 or v2 reference answer — cache hits
+/// included, across every interleaving of lookup, insert and epoch
+/// bump — and the semantic counters must reconcile exactly with the
+/// number of cacheable queries served.
+#[test]
+fn hot_swap_stress_serves_only_live_generations() {
+    let dir = scratch_dir("ncq-sem-cache-stress");
+    let server = forest_server(&dir, 4);
+    let v1 = reference(BIB_V1);
+    let v2 = reference(BIB_V2);
+
+    const QUERIES_PER_THREAD: usize = 150;
+    const THREADS: usize = 4;
+    const SWAPS: usize = 50;
+    let mut handles = Vec::new();
+    for _ in 0..THREADS {
+        let client = server.client();
+        let (v1, v2) = (v1.clone(), v2.clone());
+        handles.push(std::thread::spawn(move || {
+            for i in 0..QUERIES_PER_THREAD {
+                let got = meet_bib(&client);
+                assert!(
+                    got == v1 || got == v2,
+                    "query {i}: answer matches neither generation:\n{got}"
+                );
+            }
+        }));
+    }
+    let swapper = server.client();
+    for round in 0..SWAPS {
+        let file = if round % 2 == 0 {
+            "bib-v2.ncq"
+        } else {
+            "bib-v1.ncq"
+        };
+        match swapper
+            .request(Request::snapshot_load_into(file, "bib"))
+            .unwrap()
+        {
+            Response::Info(msg) => assert!(msg.contains("reloaded"), "{msg}"),
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+    for h in handles {
+        h.join().unwrap();
+    }
+
+    // The final generation is v1 (SWAPS is even, so the last loaded
+    // file was bib-v1.ncq) and serves byte-identically, cold or cached.
+    let client = server.client();
+    assert_eq!(meet_bib(&client), v1);
+    assert_eq!(meet_bib(&client), v1);
+
+    let stats = server.shutdown();
+    let cacheable = QUERIES_PER_THREAD * THREADS + 2;
+    assert_eq!(
+        stats.sem_hits + stats.sem_misses,
+        cacheable,
+        "hits + misses must equal cacheable queries served"
+    );
+    assert!(stats.sem_hits > 0, "the stress never hit the cache");
+    assert!(stats.sem_misses >= 1, "at least the first query must miss");
+    assert!(stats.served >= (cacheable + SWAPS));
+}

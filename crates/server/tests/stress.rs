@@ -68,6 +68,7 @@ fn request_mix(db: &Database, terms: &[String]) -> Vec<(Request, Response)> {
         mix.push(Request::MeetTerms {
             terms: vec![pair[0].clone(), pair[1].clone()],
             within: Some(6),
+            limit: None,
             corpus: None,
         });
         mix.push(Request::search(pair[0].clone()));

@@ -381,6 +381,13 @@ impl ShardedDb {
             ChosenStrategy::Sweep => meet_multi_indexed(db.store(), inputs, options),
         };
         rank_meets(&mut meets);
+        // Top-k re-cut. The scatter tasks already bounded each shard's
+        // *emitted* list to its local top k (consumption stays exact);
+        // the final cut over shard winners + spine meets is the global
+        // top k, byte-identical to the unbounded prefix.
+        if let Some(k) = options.limit {
+            meets.truncate(k);
+        }
         meets
     }
 
@@ -567,7 +574,22 @@ impl ShardedDb {
             .map(|items| {
                 let inner = Arc::clone(&self.inner);
                 let options = options.clone();
-                move || sweep_multi(&inner, items, &options)
+                move || {
+                    let (mut local_meets, survivors) = sweep_multi(&inner, items, &options);
+                    // Per-shard top-k bound: a meet outside its own
+                    // shard's k best is beaten by k meets that all
+                    // reach the global re-cut, so it can never rank in
+                    // the global top k. The sweep itself still runs to
+                    // completion — consumption (and therefore the
+                    // survivors fed to the gather) is untouched.
+                    if let Some(k) = options.limit {
+                        if local_meets.len() > k {
+                            rank_meets(&mut local_meets);
+                            local_meets.truncate(k);
+                        }
+                    }
+                    (local_meets, survivors)
+                }
             })
             .collect();
 

@@ -130,12 +130,17 @@ fn meet_multi_is_identical_including_witnesses() {
                 0 => PathFilter::exclude_root(db.store()),
                 _ => PathFilter::All,
             };
+            let limit = match rng.random_range(0..3usize) {
+                0 => Some(rng.random_range(1usize..6)),
+                _ => None,
+            };
             for strategy in [MeetStrategy::Auto, MeetStrategy::Sweep] {
                 let options = MeetOptions {
                     max_distance,
                     filter: filter.clone(),
                     strategy,
                     witness_cap: rng.random_range(1usize..5),
+                    limit,
                 };
                 // Full structural equality: nodes, paths, distances,
                 // witness counts AND the capped witness samples, in

@@ -1,0 +1,224 @@
+//! Differential equivalence harness for the bounded, batched hot path.
+//!
+//! The batch executor ([`nearest_concept::core::batch`]) and the top-k
+//! early exit (`MeetOptions::limit`) are *optimizations*: both promise
+//! byte-identical answers to the plain serial, unbounded evaluation.
+//! This suite proves the promise differentially on random trees —
+//! random query batches through `Database` and `ShardedDb` at K ∈
+//! {1, 4}, every strategy, with and without distance bounds and limits:
+//!
+//! * batched answers (`meet_hit_groups_batch`) equal one-at-a-time
+//!   answers (`meet_hit_groups`), meet for meet, witness for witness;
+//! * `limit k` answers equal the unbounded ranking's first `k` answers
+//!   at k ∈ {1, 2, 5} and at k far beyond the result size;
+//! * every engine agrees with every other engine on the same query.
+//!
+//! Seeded loops over the vendored deterministic PRNG stand in for
+//! proptest (the offline build cannot fetch it); failures print the
+//! seed.
+
+use ncq_fulltext::HitSet;
+use nearest_concept::core::{BatchQuery, MeetBackend, MeetOptions, MeetStrategy};
+use nearest_concept::xml::Document;
+use nearest_concept::{Database, ShardedDb};
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+
+/// Random tree with text leaves (the snapshot suite's generator): node
+/// `i + 1` hangs under a random earlier node; some nodes carry cdata
+/// from a small token pool so hit sets overlap between queries.
+fn random_tree(rng: &mut StdRng) -> Document {
+    const TAGS: [&str; 5] = ["a", "b", "c", "d", "e"];
+    const WORDS: [&str; 6] = ["alpha", "beta", "gamma", "delta", "twin peaks", "omega"];
+    let mut doc = Document::new("root");
+    let mut nodes = vec![doc.root()];
+    let n = rng.random_range(1usize..150);
+    for i in 0..n {
+        let parent = nodes[rng.random_range(0..nodes.len())];
+        let node = doc.add_element(parent, TAGS[i % TAGS.len()]);
+        if rng.random_range(0..3usize) == 0 {
+            let w1 = WORDS[rng.random_range(0..WORDS.len())];
+            let w2 = WORDS[rng.random_range(0..WORDS.len())];
+            doc.add_text(node, format!("{w1} {w2}"));
+        }
+        nodes.push(node);
+    }
+    doc
+}
+
+/// Terms the generator's token pool can answer — including a phrase and
+/// a word that only occurs inside the phrase, so hit sets of different
+/// shapes (and empty ones, on small trees) all show up.
+const TERMS: [&str; 7] = [
+    "alpha",
+    "beta",
+    "gamma",
+    "delta",
+    "omega",
+    "peaks",
+    "twin peaks",
+];
+
+const STRATEGIES: [MeetStrategy; 3] = [MeetStrategy::Auto, MeetStrategy::Lift, MeetStrategy::Sweep];
+
+/// A random per-query option set: strategy, sometimes a distance bound,
+/// sometimes a top-k limit.
+fn random_options(rng: &mut StdRng) -> MeetOptions {
+    MeetOptions {
+        strategy: STRATEGIES[rng.random_range(0..STRATEGIES.len())],
+        max_distance: if rng.random_range(0..4usize) == 0 {
+            Some(rng.random_range(0usize..12))
+        } else {
+            None
+        },
+        limit: if rng.random_range(0..3usize) == 0 {
+            Some(rng.random_range(1usize..6))
+        } else {
+            None
+        },
+        ..MeetOptions::default()
+    }
+}
+
+/// Batched evaluation is byte-identical to one-at-a-time evaluation —
+/// through the plain `Database` (which overrides the batch hook with
+/// the shared-evaluation executor) and through `ShardedDb` at K ∈
+/// {1, 4} (which inherits the serial default), duplicates, bounds and
+/// limits included. All engines also agree with each other.
+#[test]
+fn random_batches_match_serial_evaluation_everywhere() {
+    for seed in 0u64..40 {
+        let mut rng = StdRng::seed_from_u64(0xba7c_0000 + seed);
+        let doc = random_tree(&mut rng);
+        let db = Database::from_document(&doc);
+        let hits: Vec<HitSet> = TERMS.iter().map(|t| db.search(t)).collect();
+
+        // A random batch: 2–8 queries over 2–3 term groups each, drawn
+        // from the shared pool so hit sets recur across the batch
+        // (exercising the run cache and the duplicate-query dedup).
+        let n_queries = rng.random_range(2usize..9);
+        let queries: Vec<BatchQuery<'_>> = (0..n_queries)
+            .map(|_| {
+                let n_groups = rng.random_range(2usize..4);
+                let inputs: Vec<&HitSet> = (0..n_groups)
+                    .map(|_| &hits[rng.random_range(0..hits.len())])
+                    .collect();
+                BatchQuery::new(inputs, random_options(&mut rng))
+            })
+            .collect();
+
+        let engines: Vec<(String, Box<dyn MeetBackend>)> = vec![
+            ("Database".into(), Box::new(db.clone())),
+            (
+                "ShardedDb K=1".into(),
+                Box::new(ShardedDb::new(db.clone(), 1)),
+            ),
+            (
+                "ShardedDb K=4".into(),
+                Box::new(ShardedDb::new(db.clone(), 4)),
+            ),
+        ];
+
+        let mut reference: Option<Vec<Vec<nearest_concept::core::Meet>>> = None;
+        for (name, engine) in &engines {
+            let serial: Vec<_> = queries
+                .iter()
+                .map(|q| engine.meet_hit_groups(&q.inputs, &q.options))
+                .collect();
+            let batched = engine.meet_hit_groups_batch(&queries);
+            assert_eq!(batched, serial, "seed {seed}: batched != serial on {name}");
+            let fallible = engine
+                .try_meet_hit_groups_batch(&queries)
+                .expect("local engines are infallible");
+            assert_eq!(
+                fallible, serial,
+                "seed {seed}: try-batch != serial on {name}"
+            );
+            match &reference {
+                None => reference = Some(serial),
+                Some(r) => assert_eq!(&serial, r, "seed {seed}: {name} diverged cross-engine"),
+            }
+        }
+    }
+}
+
+/// `limit k` is the unbounded ranking's prefix: for every strategy and
+/// engine, the bounded answer equals `unbounded[..k]` at small k, and
+/// equals the full answer when k exceeds the result size. The early
+/// exits (roll-up climb floor, sweep depth floor, per-shard local
+/// top-k) may skip work but must never change a returned byte.
+#[test]
+fn limit_k_equals_the_unbounded_prefix() {
+    for seed in 0u64..40 {
+        let mut rng = StdRng::seed_from_u64(0x70bb_0000 + seed);
+        let doc = random_tree(&mut rng);
+        let db = Database::from_document(&doc);
+        let hits: Vec<HitSet> = TERMS.iter().map(|t| db.search(t)).collect();
+        let n_groups = rng.random_range(2usize..4);
+        let inputs: Vec<&HitSet> = (0..n_groups)
+            .map(|_| &hits[rng.random_range(0..hits.len())])
+            .collect();
+
+        let engines: Vec<(String, Box<dyn MeetBackend>)> = vec![
+            ("Database".into(), Box::new(db.clone())),
+            (
+                "ShardedDb K=1".into(),
+                Box::new(ShardedDb::new(db.clone(), 1)),
+            ),
+            (
+                "ShardedDb K=4".into(),
+                Box::new(ShardedDb::new(db.clone(), 4)),
+            ),
+        ];
+        for (name, engine) in &engines {
+            for strategy in STRATEGIES {
+                let unbounded = engine.meet_hit_groups(
+                    &inputs,
+                    &MeetOptions {
+                        strategy,
+                        ..MeetOptions::default()
+                    },
+                );
+                for k in [1usize, 2, 5, unbounded.len() + 100] {
+                    let bounded = engine.meet_hit_groups(
+                        &inputs,
+                        &MeetOptions {
+                            strategy,
+                            limit: Some(k),
+                            ..MeetOptions::default()
+                        },
+                    );
+                    let want = &unbounded[..k.min(unbounded.len())];
+                    assert_eq!(
+                        bounded, want,
+                        "seed {seed}: limit {k} != unbounded prefix on {name} ({strategy:?})"
+                    );
+                }
+            }
+        }
+    }
+}
+
+/// The same prefix property through the full term pipeline (the
+/// ranked `AnswerSet` facade the server and the dialect's `limit k`
+/// clause sit on): distances, tags, witness samples and serialized
+/// answer XML all come from the unbounded prefix.
+#[test]
+fn limited_term_queries_answer_the_ranked_prefix() {
+    for seed in 0u64..15 {
+        let mut rng = StdRng::seed_from_u64(0x9f1d_0000 + seed);
+        let doc = random_tree(&mut rng);
+        let db = Database::from_document(&doc);
+        let terms = ["alpha", "beta", "twin peaks"];
+        let full = db.meet_terms(&terms).expect("unbounded");
+        for k in [1usize, 2, 5] {
+            let options = MeetOptions {
+                limit: Some(k),
+                ..MeetOptions::default()
+            };
+            let bounded = db.meet_terms_with(&terms, &options).expect("bounded");
+            let cut = k.min(full.results.len());
+            assert_eq!(bounded.results, full.results[..cut], "seed {seed}: k = {k}");
+        }
+    }
+}

@@ -210,6 +210,127 @@ fn cross_corpus_fanout_order_is_stable_and_corpus_tagged() {
     assert_eq!(first.to_detailed_xml(), again.to_detailed_xml());
 }
 
+/// The bounded, batched hot path replays the forest probes
+/// byte-identically. Per corpus: (a) the shared-evaluation batch
+/// executor answers the probe (plus a duplicate and a `limit 1`
+/// variant) exactly like serial evaluation; (b) a forest `Server`
+/// answers the routed MEET identically cold, batched and from a warmed
+/// semantic cache — with the per-corpus `limit` on the wire returning
+/// the ranked prefix.
+#[test]
+fn batched_and_cached_forest_replay_is_byte_stable() {
+    use nearest_concept::core::BatchQuery;
+    use nearest_concept::server::{Request, Response, Server, ServerConfig};
+
+    // (a) Per-corpus batch executor vs serial, duplicates and limits in
+    // one batch.
+    for (name, terms, _, _) in probes() {
+        let db = direct(name);
+        let hits: Vec<_> = terms.iter().map(|t| db.search(t)).collect();
+        let refs: Vec<&_> = hits.iter().collect();
+        let opts = MeetOptions::default();
+        let limited = MeetOptions {
+            limit: Some(1),
+            ..MeetOptions::default()
+        };
+        let queries = vec![
+            BatchQuery::new(refs.clone(), opts.clone()),
+            BatchQuery::new(refs.clone(), limited.clone()),
+            BatchQuery::new(refs.clone(), opts.clone()),
+        ];
+        let batched = db.meet_hits_batch(&queries);
+        let serial = db.meet_hits(&refs, &opts);
+        assert_eq!(batched[0], serial, "{name}: batched != serial");
+        assert_eq!(batched[2], serial, "{name}: duplicate diverged");
+        let cut = 1usize.min(serial.len());
+        assert_eq!(
+            batched[1],
+            serial[..cut],
+            "{name}: limit 1 != ranked prefix"
+        );
+    }
+
+    // (b) A forest server over the same catalog: concurrent routed
+    // MEETs (shared batch windows), then a warmed-cache replay, then
+    // the wire-level limit — all byte-identical to the direct engines.
+    let forest = ForestBackend::new(three_corpus_catalog()).unwrap();
+    let server = Server::start_backend(
+        Arc::new(forest),
+        ServerConfig {
+            workers: 2,
+            ..ServerConfig::default()
+        },
+    );
+    let meet = |corpus: &str, terms: &[&str; 2], limit: Option<usize>| match server
+        .client()
+        .request(Request::MeetTerms {
+            terms: terms.iter().map(|t| t.to_string()).collect(),
+            within: None,
+            limit,
+            corpus: Some(corpus.to_owned()),
+        })
+        .unwrap()
+    {
+        Response::Answers(a) => a,
+        other => panic!("{corpus}: unexpected {other:?}"),
+    };
+
+    let handles: Vec<_> = probes()
+        .into_iter()
+        .map(|(name, terms, _, _)| {
+            let client = server.client();
+            std::thread::spawn(move || {
+                let got = match client
+                    .request(Request::MeetTerms {
+                        terms: terms.iter().map(|t| t.to_string()).collect(),
+                        within: None,
+                        limit: None,
+                        corpus: Some(name.to_owned()),
+                    })
+                    .unwrap()
+                {
+                    Response::Answers(a) => a.to_detailed_xml(),
+                    other => panic!("{name}: unexpected {other:?}"),
+                };
+                (name, got)
+            })
+        })
+        .collect();
+    for h in handles {
+        let (name, got) = h.join().unwrap();
+        let expected = direct(name)
+            .meet_terms(&probes().iter().find(|p| p.0 == name).unwrap().1)
+            .unwrap()
+            .to_detailed_xml();
+        assert_eq!(got, expected, "{name}: batched forest serving drifted");
+    }
+    for (name, terms, _, _) in probes() {
+        let expected = direct(name).meet_terms(&terms).unwrap();
+        // Warmed semantic cache: still the exact bytes.
+        let cached = meet(name, &terms, None);
+        assert_eq!(
+            cached.to_detailed_xml(),
+            expected.to_detailed_xml(),
+            "{name}: cached forest replay drifted"
+        );
+        // The wire-level limit answers the ranked prefix.
+        let bounded = meet(name, &terms, Some(1));
+        let cut = 1usize.min(expected.results.len());
+        assert_eq!(
+            bounded.results,
+            expected.results[..cut],
+            "{name}: LIMIT 1 != ranked prefix over the wire"
+        );
+    }
+    let stats = server.shutdown();
+    assert!(
+        stats.sem_hits >= probes().len(),
+        "the warmed pass must hit the semantic cache (hits {}, misses {})",
+        stats.sem_hits,
+        stats.sem_misses
+    );
+}
+
 #[test]
 fn manifest_cold_start_replays_the_same_answers_with_a_sharded_corpus() {
     let dir = std::env::temp_dir().join("ncq-forest-golden-manifest");

@@ -355,6 +355,92 @@ fn forest_routed_execution_matches_the_golden_fixtures() {
     );
 }
 
+/// The concurrent serving path replays the paper byte-identically —
+/// twice. Pass 1 submits every golden query to a running `Server` from
+/// parallel threads, so requests share batch windows and the batched
+/// executor; pass 2 replays the same queries against the now-warmed
+/// semantic result cache, where evaluation is skipped entirely. Both
+/// passes must reproduce the pinned fixtures byte-for-byte, and the
+/// stats must show pass 2 was served from the cache. `UPDATE_GOLDEN`
+/// does not apply here — the serving path can never redefine the truth.
+#[test]
+fn server_batched_and_cached_replay_matches_the_golden_fixtures() {
+    use nearest_concept::server::{Response, Server, ServerConfig};
+    use std::sync::Arc;
+
+    fn serialize_response(r: Response) -> String {
+        match r {
+            Response::Answers(a) => serialize(&QueryOutput::Answers(a)),
+            Response::Rows(rows) => serialize(&QueryOutput::Rows(rows)),
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    let db = Database::from_xml_str(nearest_concept::datagen::FIGURE1_XML).unwrap();
+    let server = Server::start(
+        Arc::new(db),
+        ServerConfig {
+            workers: 2,
+            ..ServerConfig::default()
+        },
+    );
+
+    let dir = golden_dir();
+    let expected: Vec<(&str, String)> = QUERIES
+        .iter()
+        .map(|&(name, _)| {
+            let fixture =
+                std::fs::read_to_string(dir.join(format!("{name}.xml"))).unwrap_or_else(|e| {
+                    panic!("{name}: cannot read fixture ({e}); run UPDATE_GOLDEN=1 first")
+                });
+            (name, fixture)
+        })
+        .collect();
+
+    // Pass 1: every query in flight at once — shared batch windows.
+    let handles: Vec<_> = QUERIES
+        .iter()
+        .map(|&(name, query)| {
+            let client = server.client();
+            std::thread::spawn(move || (name, serialize_response(client.sql(query).unwrap())))
+        })
+        .collect();
+    let mut cold: Vec<(&str, String)> = handles.into_iter().map(|h| h.join().unwrap()).collect();
+    cold.sort_by_key(|&(name, _)| name);
+    for (name, fixture) in &expected {
+        let got = &cold.iter().find(|(n, _)| n == name).unwrap().1;
+        assert_eq!(
+            got, fixture,
+            "{name}: batched serving drifted from the fixture"
+        );
+    }
+
+    // Pass 2: warmed semantic cache — still the exact fixture bytes.
+    let client = server.client();
+    for (name, query) in QUERIES {
+        let got = serialize_response(client.sql(*query).unwrap());
+        let fixture = &expected.iter().find(|(n, _)| n == name).unwrap().1;
+        assert_eq!(
+            &got, fixture,
+            "{name}: cached replay drifted from the fixture"
+        );
+    }
+
+    let stats = server.shutdown();
+    assert_eq!(
+        stats.sem_hits + stats.sem_misses,
+        2 * QUERIES.len(),
+        "every golden query is exactly one semantic hit or miss per pass"
+    );
+    assert!(
+        stats.sem_hits >= QUERIES.len(),
+        "the warmed pass must be served from the semantic cache \
+         (hits {}, misses {})",
+        stats.sem_hits,
+        stats.sem_misses
+    );
+}
+
 /// The suite stays in sync with the fixture directory: no orphaned
 /// fixtures, no duplicate query names.
 #[test]
