@@ -9,7 +9,7 @@
 //! the raw series as JSON (one file per experiment) for EXPERIMENTS.md.
 
 use ncq_bench::experiments::{
-    ablations, corpora, extensions, fig6, fig7, listings, pr1, pr2, pr3, pr4, pr5, pr6, pr7,
+    ablations, corpora, extensions, fig6, fig7, listings, pr1, pr2, pr3, pr4, pr5, pr6, pr7, pr8,
 };
 use ncq_bench::json::ToJson;
 use std::io::Write as _;
@@ -46,7 +46,7 @@ fn parse_args() -> Result<Args, String> {
             "--help" | "-h" => {
                 println!(
                     "usage: repro [--exp all|fig1|fig2|listing1|listing2|sec31|fig6|fig7|\
-                     ablations|extensions|pr1|pr2|pr3|pr4|pr5|pr6|pr7] [--scale small|paper] \
+                     ablations|extensions|pr1|pr2|pr3|pr4|pr5|pr6|pr7|pr8] [--scale small|paper] \
                      [--out DIR]"
                 );
                 std::process::exit(0);
@@ -244,6 +244,19 @@ fn main() {
         let dir = args.out.clone().unwrap_or_else(|| PathBuf::from("."));
         let target = Some(dir);
         write_json(&target, "BENCH_pr7", &result);
+    }
+
+    // PR 8 telemetry snapshot: instrumentation overhead on the PR 7
+    // hot paths (metrics on vs off) and the chaos failover trace.
+    // Explicit-only, like the other prN experiments: it toggles the
+    // process-global telemetry switch, binds loopback listeners, and
+    // writes BENCH_pr8.json (the cross-PR trajectory record).
+    if args.exp == "pr8" {
+        let result = pr8::run(args.scale == Scale::Small);
+        println!("{}", pr8::table(&result));
+        let dir = args.out.clone().unwrap_or_else(|| PathBuf::from("."));
+        let target = Some(dir);
+        write_json(&target, "BENCH_pr8", &result);
     }
 
     if want("extensions") {

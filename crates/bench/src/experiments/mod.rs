@@ -12,6 +12,7 @@ pub mod pr4;
 pub mod pr5;
 pub mod pr6;
 pub mod pr7;
+pub mod pr8;
 
 /// Shared corpus builders at the scales used by `repro` and the benches.
 pub mod corpora {

@@ -1,0 +1,375 @@
+//! PR 8 telemetry snapshot: what observability costs, and what a
+//! trace shows when a replica dies.
+//!
+//! Two tables, emitted as `BENCH_pr8.json` by `repro --exp pr8`:
+//!
+//! * **instrumentation overhead** — the PR 7 hot paths (batch-64
+//!   shared sweep, top-k lift at k = 10) timed with telemetry fully on
+//!   (master switch enabled *and* an active trace on the thread, so
+//!   every span/annotation/histogram on the path records) against the
+//!   same evaluation with the master switch off. Gate: the on/off
+//!   ratio stays ≤ 1.05 on both rows, and the answers are
+//!   byte-identical either way — instrumentation must never steer
+//!   evaluation.
+//! * **chaos failover trace** — one coordinator-side traced meet
+//!   through a refusing chaos proxy with a healthy peer behind it.
+//!   The row counts what the sealed trace recorded: per-replica
+//!   `remote_attempt` spans (failed and successful), `failover`
+//!   events, and the replica-side span trees sealed under the same
+//!   propagated trace id.
+
+use crate::experiments::corpora;
+use ncq_core::remote::{RemoteBackend, RemoteConfig};
+use ncq_core::{BatchQuery, Database, MeetBackend, MeetOptions, MeetStrategy};
+use ncq_fulltext::HitSet;
+use ncq_server::{ChaosProxy, ChaosSchedule, EngineConfig, Fault, RemoteEngine};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// One hot-path row of the instrumentation-overhead table.
+#[derive(Debug, Clone)]
+pub struct Pr8Overhead {
+    /// `batch64_sweep` or `topk10_lift`.
+    pub scenario: String,
+    /// Telemetry off (master switch disabled), ms (min over rounds).
+    pub off_ms: f64,
+    /// Telemetry on (switch enabled, trace active), ms (min over rounds).
+    pub on_ms: f64,
+    /// `on / off` — the gate is ≤ 1.05.
+    pub ratio: f64,
+    /// Answers byte-identical with telemetry on and off.
+    pub agree: bool,
+}
+
+/// What the chaos failover run's coordinator trace recorded.
+#[derive(Debug, Clone)]
+pub struct Pr8Trace {
+    /// `remote_attempt` spans in the coordinator's sealed trace.
+    pub attempts: usize,
+    /// Attempts whose outcome annotation is an error (the refused
+    /// replica).
+    pub failed_attempts: usize,
+    /// Attempts that answered.
+    pub ok_attempts: usize,
+    /// `failover` events in the trace.
+    pub failovers: usize,
+    /// Replica-side span trees sealed under the coordinator's trace id
+    /// (the engines run in-process here, sharing the trace ring).
+    pub engine_traces: usize,
+}
+
+/// The full PR 8 snapshot.
+#[derive(Debug, Clone)]
+pub struct Pr8Result {
+    /// Nodes in the batch corpus.
+    pub nodes: usize,
+    /// Nodes in the deep-fork top-k corpus.
+    pub topk_nodes: usize,
+    /// Overhead rows, one per hot path.
+    pub rows: Vec<Pr8Overhead>,
+    /// The chaos failover trace row.
+    pub trace: Pr8Trace,
+}
+
+crate::impl_to_json_struct!(Pr8Overhead {
+    scenario,
+    off_ms,
+    on_ms,
+    ratio,
+    agree,
+});
+crate::impl_to_json_struct!(Pr8Trace {
+    attempts,
+    failed_attempts,
+    ok_attempts,
+    failovers,
+    engine_traces,
+});
+crate::impl_to_json_struct!(Pr8Result {
+    nodes,
+    topk_nodes,
+    rows,
+    trace,
+});
+
+fn time_ms(mut f: impl FnMut()) -> f64 {
+    let t = Instant::now();
+    f();
+    t.elapsed().as_secs_f64() * 1e3
+}
+
+fn floor(v: impl IntoIterator<Item = f64>) -> f64 {
+    v.into_iter().fold(f64::INFINITY, f64::min)
+}
+
+/// The deep-fork top-k corpus (same construction as the PR 7 top-k
+/// table): `good` heads meet deep, `bad` heads only at the fork head.
+fn topk_xml(depth: usize, good: usize, bad: usize) -> String {
+    let mut xml = String::with_capacity((good + bad) * depth * 8);
+    xml.push_str("<root>");
+    for _ in 0..good {
+        xml.push_str("<h>");
+        for _ in 0..depth {
+            xml.push_str("<x>");
+        }
+        xml.push_str("<p><a>s</a><b>t</b></p>");
+        for _ in 0..depth {
+            xml.push_str("</x>");
+        }
+        xml.push_str("</h>");
+    }
+    for _ in 0..bad {
+        xml.push_str("<h>");
+        for _ in 0..depth {
+            xml.push_str("<x>");
+        }
+        xml.push_str("<a>s</a>");
+        for _ in 0..depth {
+            xml.push_str("</x>");
+        }
+        for _ in 0..depth {
+            xml.push_str("<y>");
+        }
+        xml.push_str("<b>t</b>");
+        for _ in 0..depth {
+            xml.push_str("</y>");
+        }
+        xml.push_str("</h>");
+    }
+    xml.push_str("</root>");
+    xml
+}
+
+/// Time `work` with the master switch off, then with it on under an
+/// active per-round trace, and compare the answers each side produced.
+fn overhead_row<T: PartialEq>(
+    scenario: &str,
+    rounds: usize,
+    mut work: impl FnMut() -> T,
+) -> Pr8Overhead {
+    let obs = ncq_obs::obs();
+
+    obs.set_enabled(false);
+    let off_answer = work();
+    // Warm, then min over rounds.
+    work();
+    let off_ms = floor((0..rounds).map(|_| {
+        time_ms(|| {
+            std::hint::black_box(work());
+        })
+    }));
+
+    obs.set_enabled(true);
+    let on_answer = work();
+    let on_ms = floor((0..rounds).map(|_| {
+        time_ms(|| {
+            // The realistic on-path: a live trace on the thread, every
+            // span and histogram recording, the sealed tree pushed
+            // into the ring — exactly what a served request pays.
+            obs.begin_trace(obs.next_trace_id());
+            std::hint::black_box(work());
+            obs.finish_trace();
+        })
+    }));
+
+    Pr8Overhead {
+        scenario: scenario.to_owned(),
+        off_ms,
+        on_ms,
+        ratio: on_ms / off_ms,
+        agree: off_answer == on_answer,
+    }
+}
+
+/// One traced meet through a refusing replica with a healthy peer:
+/// returns what the coordinator's sealed trace (and the shared ring)
+/// recorded.
+fn chaos_trace_row() -> Pr8Trace {
+    let xml = r#"<bib><article key="BB99"><author>Ben Bit</author>
+        <year>1999</year></article></bib>"#;
+    let db = Arc::new(Database::from_xml_str(xml).expect("chaos corpus"));
+    let sick = RemoteEngine::bind(
+        "127.0.0.1:0",
+        Arc::clone(&db) as Arc<dyn MeetBackend>,
+        EngineConfig::default(),
+    )
+    .expect("sick engine");
+    let healthy = RemoteEngine::bind(
+        "127.0.0.1:0",
+        Arc::clone(&db) as Arc<dyn MeetBackend>,
+        EngineConfig::default(),
+    )
+    .expect("healthy engine");
+    let proxy = ChaosProxy::bind(sick.local_addr(), ChaosSchedule::always(Fault::Refuse))
+        .expect("chaos proxy");
+    let remote = RemoteBackend::new(
+        (*db).clone(),
+        &[
+            proxy.local_addr().to_string(),
+            healthy.local_addr().to_string(),
+        ],
+        RemoteConfig {
+            connect_timeout: Duration::from_millis(300),
+            read_timeout: Duration::from_millis(500),
+            write_timeout: Duration::from_millis(500),
+            retry_rounds: 2,
+            backoff_base: Duration::from_millis(2),
+            backoff_max: Duration::from_millis(20),
+            ..RemoteConfig::default()
+        },
+    )
+    .expect("remote backend");
+
+    let obs = ncq_obs::obs();
+    obs.set_enabled(true);
+    let id = obs.next_trace_id();
+    obs.begin_trace(id);
+    remote
+        .try_meet_terms_answers(&["Bit", "1999"], &MeetOptions::default())
+        .expect("meet through the healthy peer");
+    let sealed = obs.finish_trace().expect("coordinator trace");
+
+    let attempts = sealed.spans_named("remote_attempt");
+    let outcome_of = |span: &&ncq_obs::SpanRec| -> String {
+        span.attrs
+            .iter()
+            .find(|(k, _)| *k == "outcome")
+            .map(|(_, v)| v.clone())
+            .unwrap_or_default()
+    };
+    let failed = attempts
+        .iter()
+        .filter(|s| outcome_of(s).starts_with("error"))
+        .count();
+    let ok = attempts.iter().filter(|s| outcome_of(s) == "ok").count();
+    let engine_traces = obs
+        .recent_traces(256)
+        .into_iter()
+        .filter(|t| t.id == id && !t.spans_named("engine_eval").is_empty())
+        .count();
+    let row = Pr8Trace {
+        attempts: attempts.len(),
+        failed_attempts: failed,
+        ok_attempts: ok,
+        failovers: sealed.spans_named("failover").len(),
+        engine_traces,
+    };
+    proxy.shutdown();
+    sick.shutdown();
+    healthy.shutdown();
+    row
+}
+
+/// Run the snapshot. `quick` shrinks corpora and repetitions for CI.
+pub fn run(quick: bool) -> Pr8Result {
+    let rounds = if quick { 5 } else { 9 };
+    let was_enabled = ncq_obs::obs().enabled();
+
+    // ----- batch-64 shared sweep -----
+    let (db, _) = if quick {
+        corpora::dblp_small()
+    } else {
+        corpora::dblp_case_study()
+    };
+    db.store().meet_index();
+    let mut terms: Vec<String> = (1984u16..2000).map(|y| y.to_string()).collect();
+    terms.push("ICDE".to_owned());
+    let hits: Vec<HitSet> = terms.iter().map(|t| db.search(t)).collect();
+    let icde = hits.last().expect("ICDE hits");
+    let pool: Vec<(&HitSet, &HitSet)> = hits[..16].iter().map(|h| (h, icde)).collect();
+    let options = MeetOptions::default();
+    let queries: Vec<BatchQuery<'_>> = (0..64)
+        .map(|i| {
+            let (a, b) = pool[i % pool.len()];
+            BatchQuery::new(vec![a, b], options.clone())
+        })
+        .collect();
+    let batch_row = overhead_row("batch64_sweep", rounds, || db.meet_hits_batch(&queries));
+
+    // ----- top-k lift at k = 10 -----
+    let (depth, good, bad) = if quick { (24, 12, 150) } else { (64, 16, 800) };
+    let deep = Database::from_xml_str(&topk_xml(depth, good, bad)).expect("top-k corpus");
+    deep.store().meet_index();
+    let s = deep.search("s");
+    let t = deep.search("t");
+    let inputs = [&s, &t];
+    let lift_opts = MeetOptions {
+        strategy: MeetStrategy::Lift,
+        limit: Some(10),
+        ..MeetOptions::default()
+    };
+    let topk_row = overhead_row("topk10_lift", rounds, || {
+        deep.meet_hits(&inputs, &lift_opts)
+    });
+
+    // ----- chaos failover trace -----
+    let trace = chaos_trace_row();
+
+    ncq_obs::obs().set_enabled(was_enabled);
+    Pr8Result {
+        nodes: db.store().node_count(),
+        topk_nodes: deep.store().node_count(),
+        rows: vec![batch_row, topk_row],
+        trace,
+    }
+}
+
+/// Text table for stdout.
+pub fn table(r: &Pr8Result) -> String {
+    let mut out = String::from("# PR 8 — telemetry overhead and failover tracing\n");
+    out.push_str(&format!(
+        "## instrumentation overhead on {} / {} nodes (gate: <=1.05x on both rows)\n",
+        r.nodes, r.topk_nodes
+    ));
+    for row in &r.rows {
+        out.push_str(&format!(
+            "{:<14} off={:.2}ms on={:.2}ms ratio={:.3}x agree={}\n",
+            row.scenario, row.off_ms, row.on_ms, row.ratio, row.agree
+        ));
+    }
+    out.push_str("## chaos failover trace (refusing replica + healthy peer)\n");
+    out.push_str(&format!(
+        "attempts={} failed={} ok={} failovers={} engine_traces={}\n",
+        r.trace.attempts,
+        r.trace.failed_attempts,
+        r.trace.ok_attempts,
+        r.trace.failovers,
+        r.trace.engine_traces
+    ));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quick_snapshot_meets_the_overhead_gate_and_traces_the_failover() {
+        let r = run(true);
+        assert!(r.nodes > 0 && r.topk_nodes > 0);
+
+        assert_eq!(r.rows.len(), 2);
+        for row in &r.rows {
+            assert!(row.agree, "{}: telemetry steered the answers", row.scenario);
+            assert!(row.off_ms > 0.0 && row.on_ms > 0.0);
+            // The acceptance gate is ≤ 1.05; quick CI runs time in the
+            // sub-millisecond range where scheduler noise dominates, so
+            // the test asserts a loosened bound and `repro --exp pr8`
+            // pins the real one.
+            assert!(
+                row.ratio <= 1.5,
+                "{} on/off ratio {:.3} is far past the 1.05 gate",
+                row.scenario,
+                row.ratio
+            );
+        }
+
+        // The chaos row: the refused attempt, the failover, the answer,
+        // and the replica-side trees stitched under the same id.
+        assert!(r.trace.attempts >= 2, "{:?}", r.trace);
+        assert!(r.trace.failed_attempts >= 1, "{:?}", r.trace);
+        assert!(r.trace.ok_attempts >= 1, "{:?}", r.trace);
+        assert!(r.trace.failovers >= 1, "{:?}", r.trace);
+        assert!(r.trace.engine_traces >= 1, "{:?}", r.trace);
+    }
+}

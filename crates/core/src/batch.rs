@@ -84,8 +84,19 @@ fn merge_tagged(runs: &[&[Oid]]) -> Vec<(Oid, u32)> {
     out
 }
 
+/// Registry handle for the batch-window-size histogram.
+fn batch_size_histogram() -> &'static std::sync::Arc<ncq_obs::Histogram> {
+    static H: std::sync::OnceLock<std::sync::Arc<ncq_obs::Histogram>> = std::sync::OnceLock::new();
+    H.get_or_init(|| ncq_obs::obs().registry.histogram("ncq_batch_size"))
+}
+
 /// The batch executor behind [`Database::meet_hits_batch`].
 pub fn meet_hits_batch(db: &Database, queries: &[BatchQuery<'_>]) -> Vec<Vec<Meet>> {
+    if ncq_obs::obs().enabled() && !queries.is_empty() {
+        batch_size_histogram().record(queries.len() as u64);
+    }
+    let _span = ncq_obs::trace::span("meet_batch");
+    ncq_obs::trace::annotate("batch", queries.len().to_string());
     // A batch of one is just the serial path — no shared work to find.
     if queries.len() == 1 {
         let q = &queries[0];

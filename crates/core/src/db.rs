@@ -174,6 +174,7 @@ impl Database {
         inputs: &[H],
         options: &MeetOptions,
     ) -> Vec<Meet> {
+        let _span = ncq_obs::trace::span("meet_eval");
         let mut meets = self.planner().meet_multi(inputs, options);
         rank_meets(&mut meets);
         if let Some(k) = options.limit {

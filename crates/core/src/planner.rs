@@ -128,6 +128,26 @@ fn bit_length(n: usize) -> usize {
     usize::BITS as usize - n.max(1).leading_zeros() as usize
 }
 
+/// Registry handles for the planner's decision counters (looked up
+/// once; incrementing is a relaxed atomic add).
+fn plan_counters() -> (
+    &'static std::sync::Arc<ncq_obs::Counter>,
+    &'static std::sync::Arc<ncq_obs::Counter>,
+) {
+    static COUNTERS: std::sync::OnceLock<(
+        std::sync::Arc<ncq_obs::Counter>,
+        std::sync::Arc<ncq_obs::Counter>,
+    )> = std::sync::OnceLock::new();
+    let (lift, sweep) = COUNTERS.get_or_init(|| {
+        let registry = &ncq_obs::obs().registry;
+        (
+            registry.counter("ncq_plan_lift_total"),
+            registry.counter("ncq_plan_sweep_total"),
+        )
+    });
+    (lift, sweep)
+}
+
 impl<'a> MeetPlanner<'a> {
     /// Planner with default thresholds.
     pub fn new(db: &'a MonetDb) -> MeetPlanner<'a> {
@@ -152,6 +172,20 @@ impl<'a> MeetPlanner<'a> {
         } else {
             ChosenStrategy::Sweep
         };
+        if ncq_obs::obs().enabled() {
+            let (lift, sweep) = plan_counters();
+            match strategy {
+                ChosenStrategy::Lift => lift.inc(),
+                ChosenStrategy::Sweep => sweep.inc(),
+            }
+            ncq_obs::trace::event(
+                "plan",
+                format!(
+                    "{} hits={hits} est_rounds={est_rounds} budget={round_budget}",
+                    strategy.name()
+                ),
+            );
+        }
         PlanDecision {
             strategy,
             hits,

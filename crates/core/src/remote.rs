@@ -233,6 +233,14 @@ pub fn read_frame_or_eof(r: &mut impl Read, cap: u32) -> Result<Option<Vec<u8>>,
 const OP_PING: u8 = 1;
 const OP_SEARCH: u8 = 2;
 const OP_MEET: u8 = 3;
+/// A tracing envelope: `[OP_TRACED][trace id u64 LE][inner request]`.
+/// The coordinator wraps requests in it only when a trace is active,
+/// so the replica's engine-side spans stitch to the coordinator's
+/// trace by shared id. Engines decode through
+/// [`decode_request_traced`], which accepts both shapes; an engine
+/// that predates the envelope rejects opcode 4 as a typed in-band
+/// error (requests without an active trace are unaffected).
+const OP_TRACED: u8 = 4;
 
 const STATUS_OK: u8 = 0;
 const STATUS_ERR: u8 = 1;
@@ -460,6 +468,36 @@ pub fn encode_request(req: &EngineRequest) -> Vec<u8> {
         }
     }
     out
+}
+
+/// Serialize a request payload wrapped in the tracing envelope: the
+/// trace id rides in the frame body so the replica can stitch its
+/// engine-side spans to the coordinator's trace.
+pub fn encode_request_traced(req: &EngineRequest, trace_id: u64) -> Vec<u8> {
+    let inner = encode_request(req);
+    let mut out = Vec::with_capacity(9 + inner.len());
+    out.push(OP_TRACED);
+    out.extend_from_slice(&trace_id.to_le_bytes());
+    out.extend_from_slice(&inner);
+    out
+}
+
+/// Parse a request payload, unwrapping the tracing envelope when
+/// present: returns the inner request plus the propagated trace id
+/// (`None` for plain requests). Envelopes never nest — the inner body
+/// must be a plain request.
+pub fn decode_request_traced(payload: &[u8]) -> Result<(EngineRequest, Option<u64>), WireError> {
+    if payload.first() == Some(&OP_TRACED) {
+        let Some(id_bytes) = payload.get(1..9) else {
+            return Err(WireError::Corrupt {
+                context: "traced request envelope shorter than its header".to_owned(),
+            });
+        };
+        let id = u64::from_le_bytes(id_bytes.try_into().expect("8 bytes"));
+        let req = decode_request(&payload[9..])?;
+        return Ok((req, Some(id)));
+    }
+    Ok((decode_request(payload)?, None))
 }
 
 /// Parse and validate a request payload.
@@ -715,6 +753,25 @@ struct RouterCounters {
     timeouts: AtomicU64,
 }
 
+/// Registry handles for the router's metrics, looked up once.
+struct RemoteMetrics {
+    attempts: Arc<ncq_obs::Counter>,
+    failures: Arc<ncq_obs::Counter>,
+    attempt_ns: Arc<ncq_obs::Histogram>,
+}
+
+fn remote_metrics() -> &'static RemoteMetrics {
+    static METRICS: std::sync::OnceLock<RemoteMetrics> = std::sync::OnceLock::new();
+    METRICS.get_or_init(|| {
+        let registry = &ncq_obs::obs().registry;
+        RemoteMetrics {
+            attempts: registry.counter("ncq_remote_attempts_total"),
+            failures: registry.counter("ncq_remote_attempt_failures_total"),
+            attempt_ns: registry.histogram("ncq_remote_attempt_ns"),
+        }
+    })
+}
+
 /// [`MeetBackend`] proxied over the framed engine protocol, with
 /// replica failover.
 ///
@@ -804,12 +861,19 @@ impl RemoteBackend {
     /// [`WireError::Remote`] returns immediately — the request itself
     /// was refused, so another replica would refuse it the same way.
     pub fn call(&self, req: &EngineRequest) -> Result<EngineResponse, BackendError> {
-        let request = encode_request(req);
+        // When a trace is active on this thread, ship its id in the
+        // frame body so the replica's engine-side spans stitch to it.
+        let obs_on = ncq_obs::obs().enabled();
+        let request = match ncq_obs::trace::current_id() {
+            Some(id) if obs_on => encode_request_traced(req, id),
+            _ => encode_request(req),
+        };
         let mut attempts = 0usize;
         let mut last_failure = String::from("no replica attempted");
         for round in 0..=self.config.retry_rounds {
             if round > 0 {
                 self.counters.retries.fetch_add(1, Relaxed);
+                ncq_obs::trace::event("retry_round", format!("round {round} backing off"));
                 std::thread::sleep(self.backoff_delay(round));
             }
             let mut tried = vec![false; self.replicas.len()];
@@ -828,28 +892,47 @@ impl RemoteBackend {
                     attempts += 1;
                     if attempts > 1 {
                         self.counters.failovers.fetch_add(1, Relaxed);
+                        ncq_obs::trace::event("failover", format!("to {}", replica.addr));
                     }
-                    match replica.exchange(&request, &self.config) {
-                        Ok(payload) => match decode_response(&payload) {
-                            Ok(resp) => {
-                                replica.mark_ok();
-                                return Ok(resp);
-                            }
-                            Err(WireError::Remote(msg)) => {
-                                // The replica is alive and refused the
-                                // request in-band: not a health event,
-                                // and not retryable elsewhere.
-                                replica.mark_ok();
-                                return Err(BackendError::Remote { detail: msg });
-                            }
-                            Err(e) => {
-                                last_failure = format!("{} at {}", e, replica.addr);
-                                self.note_failure(replica, &e);
-                            }
-                        },
+                    let span = ncq_obs::trace::span("remote_attempt");
+                    ncq_obs::trace::annotate("replica", replica.addr.clone());
+                    let health_before = replica.health();
+                    let started = Instant::now();
+                    let outcome = replica
+                        .exchange(&request, &self.config)
+                        .and_then(|payload| decode_response(&payload));
+                    if obs_on {
+                        let m = remote_metrics();
+                        m.attempts.inc();
+                        m.attempt_ns.record(started.elapsed().as_nanos() as u64);
+                    }
+                    match outcome {
+                        Ok(resp) => {
+                            replica.mark_ok();
+                            ncq_obs::trace::annotate("outcome", "ok".to_owned());
+                            drop(span);
+                            return Ok(resp);
+                        }
+                        Err(WireError::Remote(msg)) => {
+                            // The replica is alive and refused the
+                            // request in-band: not a health event,
+                            // and not retryable elsewhere.
+                            replica.mark_ok();
+                            ncq_obs::trace::annotate("outcome", "refused".to_owned());
+                            drop(span);
+                            return Err(BackendError::Remote { detail: msg });
+                        }
                         Err(e) => {
+                            if obs_on {
+                                remote_metrics().failures.inc();
+                            }
                             last_failure = format!("{} at {}", e, replica.addr);
                             self.note_failure(replica, &e);
+                            ncq_obs::trace::annotate("outcome", format!("error: {e}"));
+                            ncq_obs::trace::annotate(
+                                "health",
+                                format!("{health_before:?}->{:?}", replica.health()),
+                            );
                         }
                     }
                 }

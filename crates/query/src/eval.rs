@@ -128,7 +128,11 @@ pub fn run_query_opts<B: MeetBackend + ?Sized>(
     src: &str,
     options: &QueryOptions,
 ) -> Result<QueryOutput, QueryError> {
-    let query = parse_query(src)?;
+    let query = {
+        let _parse = ncq_obs::trace::span("parse");
+        parse_query(src)?
+    };
+    let _eval = ncq_obs::trace::span("eval");
     evaluate(db, &query, options)
 }
 

@@ -19,8 +19,18 @@
 //!                                 a forest (other corpora untouched)
 //!                                 (both gated by ServerConfig::snapshot_dir;
 //!                                 `name` is a bare file inside that dir)
-//! STATS                           service counters incl. admission shed rate
-//!                                 and per-corpus query counts
+//! STATS [RESET]                   service counters incl. admission shed rate,
+//!                                 cache hit rates and per-corpus query counts;
+//!                                 RESET zeroes the window counters (monotonic
+//!                                 totals like `served` keep counting)
+//! METRICS                         the full telemetry surface in Prometheus
+//!                                 text format: every STATS counter plus the
+//!                                 latency histograms and stage counters from
+//!                                 the metrics registry
+//! TRACE [n]                       render the n most recent query traces
+//!                                 (span trees with stage timings; default 5)
+//! SLOW [n]                        render the n most recent slow-query traces
+//! OBS ON|OFF                      runtime switch for telemetry recording
 //! PING                            liveness check
 //! QUIT                            end the session
 //! ```
@@ -31,6 +41,10 @@
 //! OK <n>        followed by exactly n payload lines
 //! ERR <message> single line, no payload
 //! ```
+//!
+//! Every request line is assigned an id up front; errors carry it as a
+//! trailing `(req <id>)` marker so an operator can correlate a failed
+//! request with its trace (`TRACE`/`SLOW` render the same ids).
 //!
 //! Meet answers are serialized with
 //! [`AnswerSet::to_detailed_xml`](ncq_core::AnswerSet::to_detailed_xml)
@@ -67,54 +81,125 @@ pub fn serve_lines<R: BufRead, W: Write>(
             None => (trimmed, ""),
         };
         payload.clear();
+        // Allocate the request id before dispatch: queries carry it as
+        // their trace id, and *every* error frame — including parse
+        // errors that never reach a worker — can be correlated.
+        let req_id = ncq_obs::obs().next_trace_id();
         match verb.to_ascii_uppercase().as_str() {
             "QUIT" => break,
             "PING" => write_ok(&mut output, "")?,
-            "STATS" => {
-                payload.push_str(&format_stats(client));
+            "STATS" => match rest.to_ascii_uppercase().as_str() {
+                "" => {
+                    payload.push_str(&format_stats(client));
+                    write_ok(&mut output, &payload)?;
+                }
+                "RESET" => {
+                    client.reset_window_stats();
+                    write_ok(&mut output, "window counters reset")?;
+                }
+                _ => write_err(
+                    &mut output,
+                    &format!("STATS takes no argument or RESET, got {rest:?}"),
+                    req_id,
+                )?,
+            },
+            "METRICS" => {
+                payload.push_str(&format_metrics(client));
                 write_ok(&mut output, &payload)?;
             }
-            "CORPORA" => respond(client, Request::Corpora, &mut output, &mut payload)?,
+            "TRACE" => match parse_ring_count(rest) {
+                Ok(n) => {
+                    render_traces(&ncq_obs::obs().recent_traces(n), &mut payload);
+                    write_ok(&mut output, &payload)?;
+                }
+                Err(msg) => write_err(&mut output, &msg, req_id)?,
+            },
+            "SLOW" => match parse_ring_count(rest) {
+                Ok(n) => {
+                    render_traces(&ncq_obs::obs().recent_slow(n), &mut payload);
+                    write_ok(&mut output, &payload)?;
+                }
+                Err(msg) => write_err(&mut output, &msg, req_id)?,
+            },
+            "OBS" => match rest.to_ascii_uppercase().as_str() {
+                "ON" => {
+                    ncq_obs::obs().set_enabled(true);
+                    write_ok(&mut output, "telemetry on")?;
+                }
+                "OFF" => {
+                    ncq_obs::obs().set_enabled(false);
+                    write_ok(&mut output, "telemetry off")?;
+                }
+                _ => write_err(
+                    &mut output,
+                    &format!("OBS takes ON or OFF, got {rest:?}"),
+                    req_id,
+                )?,
+            },
+            "CORPORA" => respond(client, Request::Corpora, &mut output, &mut payload, req_id)?,
             "USE" if !rest.is_empty() => match validate_use(client, rest) {
                 Ok(()) => {
                     session_corpus = Some(rest.to_owned());
                     payload.push_str(&format!("using corpus {rest}"));
                     write_ok(&mut output, &payload)?;
                 }
-                Err(msg) => write_err(&mut output, &msg)?,
+                Err(msg) => write_err(&mut output, &msg, req_id)?,
             },
-            "USE" => write_err(&mut output, "USE needs a corpus name (or *)")?,
+            "USE" => write_err(&mut output, "USE needs a corpus name (or *)", req_id)?,
             "MEET" => match parse_meet(rest) {
                 Ok(request) => respond(
                     client,
                     request.with_corpus(session_corpus.clone()),
                     &mut output,
                     &mut payload,
+                    req_id,
                 )?,
-                Err(msg) => write_err(&mut output, &msg)?,
+                Err(msg) => write_err(&mut output, &msg, req_id)?,
             },
             "SQL" if !rest.is_empty() => respond(
                 client,
                 Request::sql(rest).with_corpus(session_corpus.clone()),
                 &mut output,
                 &mut payload,
+                req_id,
             )?,
             "SEARCH" if !rest.is_empty() => respond(
                 client,
                 Request::search(rest).with_corpus(session_corpus.clone()),
                 &mut output,
                 &mut payload,
+                req_id,
             )?,
-            "SQL" => write_err(&mut output, "SQL needs a query")?,
-            "SEARCH" => write_err(&mut output, "SEARCH needs a term")?,
+            "SQL" => write_err(&mut output, "SQL needs a query", req_id)?,
+            "SEARCH" => write_err(&mut output, "SEARCH needs a term", req_id)?,
             "SNAPSHOT" => match parse_snapshot(rest) {
-                Ok(request) => respond(client, request, &mut output, &mut payload)?,
-                Err(msg) => write_err(&mut output, &msg)?,
+                Ok(request) => respond(client, request, &mut output, &mut payload, req_id)?,
+                Err(msg) => write_err(&mut output, &msg, req_id)?,
             },
-            other => write_err(&mut output, &format!("unknown verb {other:?}"))?,
+            other => write_err(&mut output, &format!("unknown verb {other:?}"), req_id)?,
         }
     }
     output.flush()
+}
+
+/// `TRACE`/`SLOW` ring-count argument: optional, defaults to 5.
+fn parse_ring_count(rest: &str) -> Result<usize, String> {
+    if rest.is_empty() {
+        return Ok(5);
+    }
+    rest.parse::<usize>()
+        .map_err(|_| format!("expected a count, got {rest:?}"))
+}
+
+/// Render a batch of finished traces, newest first, separated by the
+/// traces' own multi-line span trees.
+fn render_traces(traces: &[std::sync::Arc<ncq_obs::FinishedTrace>], payload: &mut String) {
+    for (i, trace) in traces.iter().enumerate() {
+        if i > 0 {
+            payload.push('\n');
+        }
+        payload.push_str(&trace.render().join("\n"));
+    }
 }
 
 /// A `USE` argument must name a corpus of the serving deployment (or
@@ -148,15 +233,18 @@ fn format_stats(client: &Client) -> String {
     let stats = client.stats();
     let mut out = format!(
         "served={}\nbatches={}\nmax_batch={}\nterm_decodes={}\nterm_cache_hits={}\n\
-         sem_hits={}\nsem_misses={}\nsem_evictions={}\nshed={}\nshed_rate={:.4}\n\
+         term_cache_hit_rate={:.4}\nsem_hits={}\nsem_misses={}\nsem_hit_rate={:.4}\n\
+         sem_evictions={}\nshed={}\nshed_rate={:.4}\n\
          retries={}\nfailovers={}\nreplicas_down={}\ntimeouts={}\npartial_answers={}",
         stats.served,
         stats.batches,
         stats.max_batch,
         stats.term_decodes,
         stats.term_cache_hits,
+        stats.term_cache_hit_rate(),
         stats.sem_hits,
         stats.sem_misses,
+        stats.sem_hit_rate(),
         stats.sem_evictions,
         stats.shed,
         stats.shed_rate(),
@@ -168,6 +256,83 @@ fn format_stats(client: &Client) -> String {
     );
     for (name, served) in &stats.queries_by_corpus {
         out.push_str(&format!("\ncorpus.{name}={served}"));
+    }
+    out
+}
+
+/// The `METRICS` payload: the whole telemetry surface in Prometheus
+/// text format. A strict superset of `STATS` — every service counter
+/// appears as an `ncq_*` metric — plus the derived rates as gauges,
+/// per-corpus query counts as a labelled counter family, the slow-query
+/// tally from the trace ring, and everything the instrumented stages
+/// recorded into the metrics registry (latency histograms with their
+/// quantile summaries, plan/remote/batch counters).
+fn format_metrics(client: &Client) -> String {
+    let stats = client.stats();
+    let mut out = String::new();
+    let counter = |out: &mut String, name: &str, v: u64| {
+        out.push_str(&format!("# TYPE {name} counter\n{name} {v}\n"));
+    };
+    counter(&mut out, "ncq_served_total", stats.served as u64);
+    counter(&mut out, "ncq_batches_total", stats.batches as u64);
+    counter(
+        &mut out,
+        "ncq_term_decodes_total",
+        stats.term_decodes as u64,
+    );
+    counter(
+        &mut out,
+        "ncq_term_cache_hits_total",
+        stats.term_cache_hits as u64,
+    );
+    counter(&mut out, "ncq_sem_hits_total", stats.sem_hits as u64);
+    counter(&mut out, "ncq_sem_misses_total", stats.sem_misses as u64);
+    counter(
+        &mut out,
+        "ncq_sem_evictions_total",
+        stats.sem_evictions as u64,
+    );
+    counter(&mut out, "ncq_shed_total", stats.shed as u64);
+    counter(&mut out, "ncq_retries_total", stats.retries);
+    counter(&mut out, "ncq_failovers_total", stats.failovers);
+    counter(&mut out, "ncq_timeouts_total", stats.timeouts);
+    counter(
+        &mut out,
+        "ncq_partial_answers_total",
+        stats.partial_answers as u64,
+    );
+    counter(
+        &mut out,
+        "ncq_slow_queries_total",
+        ncq_obs::obs().slow_count(),
+    );
+    let gauge = |out: &mut String, name: &str, v: f64| {
+        out.push_str(&format!("# TYPE {name} gauge\n{name} {v:.4}\n"));
+    };
+    gauge(&mut out, "ncq_max_batch", stats.max_batch as f64);
+    gauge(&mut out, "ncq_shed_rate", stats.shed_rate());
+    gauge(&mut out, "ncq_sem_hit_rate", stats.sem_hit_rate());
+    gauge(
+        &mut out,
+        "ncq_term_cache_hit_rate",
+        stats.term_cache_hit_rate(),
+    );
+    gauge(&mut out, "ncq_replicas_down", stats.replicas_down as f64);
+    if !stats.queries_by_corpus.is_empty() {
+        out.push_str("# TYPE ncq_corpus_queries_total counter\n");
+        for (name, served) in &stats.queries_by_corpus {
+            out.push_str(&format!(
+                "ncq_corpus_queries_total{{corpus=\"{name}\"}} {served}\n"
+            ));
+        }
+    }
+    for line in ncq_obs::obs().registry.render() {
+        out.push_str(&line);
+        out.push('\n');
+    }
+    // The framing counts lines: no trailing newline.
+    while out.ends_with('\n') {
+        out.pop();
     }
     out
 }
@@ -256,8 +421,9 @@ fn respond<W: Write>(
     request: Request,
     output: &mut W,
     payload: &mut String,
+    req_id: u64,
 ) -> std::io::Result<()> {
-    match client.request(request) {
+    match client.request_with_id(request, req_id) {
         Ok(Response::Answers(a)) => {
             payload.push_str(&a.to_detailed_xml());
             write_ok(output, payload)
@@ -286,8 +452,8 @@ fn respond<W: Write>(
             }
             write_ok(output, payload)
         }
-        Ok(Response::Error(msg)) => write_err(output, &msg),
-        Err(e) => write_err(output, &e.to_string()),
+        Ok(Response::Error(msg)) => write_err(output, &msg, req_id),
+        Err(e) => write_err(output, &e.to_string(), req_id),
     }
 }
 
@@ -304,10 +470,12 @@ fn write_ok<W: Write>(output: &mut W, payload: &str) -> std::io::Result<()> {
     Ok(())
 }
 
-fn write_err<W: Write>(output: &mut W, message: &str) -> std::io::Result<()> {
+fn write_err<W: Write>(output: &mut W, message: &str, req_id: u64) -> std::io::Result<()> {
     // Keep the frame parseable: an error is always exactly one line.
+    // The trailing marker carries the request id so a failure can be
+    // matched to its trace in the `TRACE`/`SLOW` rings.
     let flat = message.replace('\n', " ");
-    writeln!(output, "ERR {flat}")
+    writeln!(output, "ERR {flat} (req {req_id})")
 }
 
 #[cfg(test)]
@@ -387,8 +555,15 @@ mod tests {
         let lines: Vec<&str> = out.lines().collect();
         let header = lines[stats_at - 1];
         let n: usize = header.strip_prefix("OK ").unwrap().parse().unwrap();
-        assert_eq!(n, 15, "one line per counter plus the shed rate");
+        assert_eq!(n, 17, "one line per counter plus the derived rates");
         assert_eq!(lines[stats_at], "served=1");
+        // The derived cache hit rates ride the frame.
+        for key in ["sem_hit_rate=0.0000", "term_cache_hit_rate=0.0000"] {
+            assert!(
+                lines[stats_at..stats_at + n].contains(&key),
+                "missing {key}: {out}"
+            );
+        }
         // The semantic-cache counters ride the frame: the single MEET
         // above was a cacheable miss.
         for key in ["sem_hits=0", "sem_misses=1", "sem_evictions=0"] {
@@ -491,6 +666,94 @@ mod tests {
         assert!(out.contains("ERR SNAPSHOT needs SAVE|LOAD and a path"));
         assert!(out.contains("ERR SNAPSHOT knows SAVE and LOAD"));
         std::fs::remove_file(dir.join("wire.ncq")).ok();
+    }
+
+    /// Tests that depend on the process-global telemetry switch being
+    /// on serialize against the test that flips it.
+    static OBS_SWITCH: std::sync::Mutex<()> = std::sync::Mutex::new(());
+
+    #[test]
+    fn stats_reset_zeroes_window_counters_but_not_served() {
+        let out = session("MEET Bit 1999\nSTATS RESET\nSTATS\nQUIT\n");
+        assert!(out.contains("window counters reset"), "{out}");
+        let after = &out[out.find("window counters reset").unwrap()..];
+        // Monotonic totals survive the reset; the window counters from
+        // the MEET (a sem-cache miss, two term decodes) are zeroed.
+        assert!(after.contains("served=1"), "{out}");
+        assert!(after.contains("sem_misses=0"), "{out}");
+        assert!(after.contains("term_decodes=0"), "{out}");
+        assert!(after.contains("batches=0"), "{out}");
+    }
+
+    #[test]
+    fn stats_rejects_unknown_arguments() {
+        let out = session("STATS BANANA\n");
+        assert!(
+            out.contains("ERR STATS takes no argument or RESET"),
+            "{out}"
+        );
+    }
+
+    #[test]
+    fn metrics_verb_renders_prometheus_text() {
+        let out = session("MEET Bit 1999\nMETRICS\nQUIT\n");
+        assert!(out.contains("# TYPE ncq_served_total counter"), "{out}");
+        assert!(out.contains("ncq_served_total 1"), "{out}");
+        assert!(out.contains("ncq_sem_misses_total 1"), "{out}");
+        assert!(out.contains("# TYPE ncq_shed_rate gauge"), "{out}");
+        assert!(out.contains("ncq_shed_rate 0.0000"), "{out}");
+        assert!(out.contains("ncq_term_cache_hit_rate 0.0000"), "{out}");
+        // The METRICS frame is well-formed: header line count matches.
+        let metrics_at = out
+            .lines()
+            .position(|l| l.starts_with("# TYPE ncq_served_total"))
+            .unwrap();
+        let lines: Vec<&str> = out.lines().collect();
+        let n: usize = lines[metrics_at - 1]
+            .strip_prefix("OK ")
+            .unwrap()
+            .parse()
+            .unwrap();
+        assert!(n >= 30, "counters + gauges + registry lines: {out}");
+    }
+
+    #[test]
+    fn err_frames_carry_the_request_id() {
+        let out = session("NONSENSE\nMEET\n");
+        for line in out.lines() {
+            assert!(line.starts_with("ERR "), "{out}");
+            assert!(line.contains("(req "), "missing request id: {out}");
+            assert!(line.ends_with(')'), "{out}");
+        }
+        // Ids are per-request: the two errors carry different ids.
+        let ids: Vec<&str> = out
+            .lines()
+            .map(|l| l.rsplit("(req ").next().unwrap())
+            .collect();
+        assert_ne!(ids[0], ids[1], "{out}");
+    }
+
+    #[test]
+    fn trace_verb_renders_recent_span_trees() {
+        let _guard = OBS_SWITCH.lock().unwrap();
+        let out = session("MEET Bit 1999\nTRACE 200\nQUIT\n");
+        // The ring is process-global; with a large enough window the
+        // MEET we just ran is in there, carrying its op annotation and
+        // the serialize stage from the worker.
+        assert!(out.contains("trace "), "{out}");
+        assert!(out.contains("op=meet"), "{out}");
+        assert!(out.contains("serialize"), "{out}");
+        let slow = session("SLOW 5\nQUIT\n");
+        assert!(slow.starts_with("OK "), "{slow}");
+    }
+
+    #[test]
+    fn obs_verb_flips_the_telemetry_switch() {
+        let _guard = OBS_SWITCH.lock().unwrap();
+        let out = session("OBS OFF\nOBS ON\nOBS BANANA\n");
+        assert!(out.contains("telemetry off"), "{out}");
+        assert!(out.contains("telemetry on"), "{out}");
+        assert!(out.contains("ERR OBS takes ON or OFF"), "{out}");
     }
 
     #[test]

@@ -20,7 +20,7 @@
 //! join all session threads.
 
 use ncq_core::remote::{
-    decode_request, encode_error_response, encode_response, read_frame_or_eof, write_frame,
+    decode_request_traced, encode_error_response, encode_response, read_frame_or_eof, write_frame,
     EngineRequest, EngineResponse, WireError, DEFAULT_FRAME_CAP,
 };
 use ncq_core::MeetBackend;
@@ -239,11 +239,35 @@ fn serve_engine_session(
             // close. The coordinator counts it and fails over.
             Err(e) => return Err(e),
         };
-        let response = match decode_request(&payload) {
+        let response = match decode_request_traced(&payload) {
             // Body-level failure behind intact framing: answer the
             // error in-band and keep serving the session.
             Err(e) => encode_error_response(&e.to_string()),
-            Ok(request) => answer(backend, request),
+            Ok((request, trace_id)) => {
+                // A propagated trace id starts an engine-side trace
+                // under the *coordinator's* id, so the two span trees
+                // stitch in the trace ring.
+                if let Some(id) = trace_id {
+                    ncq_obs::obs().begin_trace(id);
+                }
+                let response = {
+                    let _eval = ncq_obs::trace::span("engine_eval");
+                    ncq_obs::trace::annotate(
+                        "op",
+                        match &request {
+                            EngineRequest::Ping => "ping",
+                            EngineRequest::Search { .. } => "search",
+                            EngineRequest::Meet { .. } => "meet",
+                        }
+                        .to_owned(),
+                    );
+                    answer(backend, request)
+                };
+                if trace_id.is_some() {
+                    ncq_obs::obs().finish_trace();
+                }
+                response
+            }
         };
         served.fetch_add(1, SeqCst);
         write_frame(&mut writer, &response, config.frame_cap)?;

@@ -342,6 +342,30 @@ impl ServerStats {
             self.shed as f64 / attempts as f64
         }
     }
+
+    /// Share of cacheable queries answered from the semantic result
+    /// cache: `sem_hits / (sem_hits + sem_misses)`, `0.0` before any
+    /// cacheable query.
+    pub fn sem_hit_rate(&self) -> f64 {
+        let lookups = self.sem_hits + self.sem_misses;
+        if lookups == 0 {
+            0.0
+        } else {
+            self.sem_hits as f64 / lookups as f64
+        }
+    }
+
+    /// Share of term look-ups served from a worker's decode cache:
+    /// `term_cache_hits / (term_cache_hits + term_decodes)`, `0.0`
+    /// before any look-up.
+    pub fn term_cache_hit_rate(&self) -> f64 {
+        let lookups = self.term_cache_hits + self.term_decodes;
+        if lookups == 0 {
+            0.0
+        } else {
+            self.term_cache_hits as f64 / lookups as f64
+        }
+    }
 }
 
 #[derive(Default)]
@@ -394,11 +418,37 @@ impl Counters {
             .entry(name.to_owned())
             .or_insert(0) += 1;
     }
+
+    /// Zero the *window* counters — the ones an operator reads as
+    /// rates over a measurement window (cache hits/misses, shedding,
+    /// batching shape) — while leaving the monotonic lifetime totals
+    /// (`served`, per-corpus counts) untouched. The `STATS RESET`
+    /// verb; remote robustness counters live in the backend's routers
+    /// and are not reset here.
+    fn reset_window(&self) {
+        for counter in [
+            &self.batches,
+            &self.max_batch,
+            &self.term_decodes,
+            &self.term_cache_hits,
+            &self.sem_hits,
+            &self.sem_misses,
+            &self.sem_evictions,
+            &self.shed,
+            &self.partial_answers,
+        ] {
+            counter.store(0, Relaxed);
+        }
+    }
 }
 
 struct Job {
     request: Request,
     reply: mpsc::Sender<Response>,
+    /// The request's trace/correlation id: allocated at admission,
+    /// begins the worker-side trace, and rides `ERR` responses so a
+    /// client-side failure is greppable in `TRACE`/`SLOW` output.
+    trace_id: u64,
 }
 
 struct QueueState {
@@ -700,6 +750,7 @@ impl Client {
         &self,
         request: Request,
         block: bool,
+        trace_id: u64,
     ) -> Result<mpsc::Receiver<Response>, ServerError> {
         let capacity = self.shared.config.queue_capacity.max(1);
         let (tx, rx) = mpsc::channel();
@@ -717,7 +768,11 @@ impl Client {
             }
             state = self.shared.space.wait(state).expect("queue lock");
         }
-        state.queue.push_back(Job { request, reply: tx });
+        state.queue.push_back(Job {
+            request,
+            reply: tx,
+            trace_id,
+        });
         drop(state);
         self.shared.work.notify_all();
         Ok(rx)
@@ -725,15 +780,35 @@ impl Client {
 
     /// Admit (blocking on a full queue) and wait for the answer.
     pub fn request(&self, request: Request) -> Result<Response, ServerError> {
-        let rx = self.submit(request, true)?;
+        self.request_with_id(request, ncq_obs::obs().next_trace_id())
+    }
+
+    /// [`Client::request`] under a caller-allocated trace/request id —
+    /// front ends that already stamped the request (the line protocol's
+    /// per-line id, which also rides `ERR` responses) pass it through
+    /// so the worker-side trace carries the same id.
+    pub fn request_with_id(
+        &self,
+        request: Request,
+        trace_id: u64,
+    ) -> Result<Response, ServerError> {
+        let rx = self.submit(request, true, trace_id)?;
         rx.recv().map_err(|_| ServerError::Disconnected)
     }
 
     /// Admit without blocking — [`ServerError::Saturated`] on a full
     /// queue — then wait for the answer.
     pub fn try_request(&self, request: Request) -> Result<Response, ServerError> {
-        let rx = self.submit(request, false)?;
+        let rx = self.submit(request, false, ncq_obs::obs().next_trace_id())?;
         rx.recv().map_err(|_| ServerError::Disconnected)
+    }
+
+    /// Zero the window counters (`STATS RESET`): cache hit/miss,
+    /// shedding and batching-shape counters restart, while monotonic
+    /// lifetime totals (`served`, per-corpus counts) and the metrics
+    /// registry keep counting.
+    pub fn reset_window_stats(&self) {
+        self.shared.stats.reset_window();
     }
 
     /// Convenience: meet of full-text terms, unwrapped to an answer set.
@@ -817,11 +892,14 @@ impl TermCache {
     ) -> Result<Arc<HitSet>, BackendError> {
         if self.capacity == 0 {
             shared.stats.term_decodes.fetch_add(1, Relaxed);
+            let _decode = ncq_obs::trace::span("term_decode");
+            ncq_obs::trace::annotate("term", term.to_owned());
             return Ok(Arc::new(db.try_search(term)?));
         }
         let key = format!("{corpus}\0{term}");
         if let Some(hits) = self.map.get(&key) {
             shared.stats.term_cache_hits.fetch_add(1, Relaxed);
+            ncq_obs::trace::event("term_cache", format!("hit {term}"));
             return Ok(Arc::clone(hits));
         }
         shared.stats.term_decodes.fetch_add(1, Relaxed);
@@ -830,6 +908,8 @@ impl TermCache {
                 self.map.remove(&oldest);
             }
         }
+        let _decode = ncq_obs::trace::span("term_decode");
+        ncq_obs::trace::annotate("term", term.to_owned());
         let hits = Arc::new(db.try_search(term)?);
         self.map.insert(key.clone(), Arc::clone(&hits));
         self.order.push_back(key);
@@ -880,6 +960,36 @@ struct PendingMeet {
     options: MeetOptions,
     sem_key: Option<String>,
     corpus: String,
+    /// The request's trace, suspended while the job waits for its
+    /// group's shared evaluation (`None` when tracing is off).
+    trace: Option<ncq_obs::Trace>,
+}
+
+/// Registry handle for the end-to-end request latency histogram.
+fn request_ns_histogram() -> &'static Arc<ncq_obs::Histogram> {
+    static H: std::sync::OnceLock<Arc<ncq_obs::Histogram>> = std::sync::OnceLock::new();
+    H.get_or_init(|| ncq_obs::obs().registry.histogram("ncq_request_ns"))
+}
+
+/// Seal the current request's trace into the trace ring (and the
+/// slow-query log when over threshold) and record its end-to-end
+/// latency. A no-op when tracing is off.
+fn finish_request_trace() {
+    if let Some(done) = ncq_obs::obs().finish_trace() {
+        request_ns_histogram().record(done.total_ns);
+    }
+}
+
+/// The `op` label a request kind contributes to its trace root.
+fn request_kind(request: &Request) -> &'static str {
+    match request {
+        Request::MeetTerms { .. } => "meet",
+        Request::Sql { .. } => "sql",
+        Request::Search { .. } => "search",
+        Request::Corpora => "corpora",
+        Request::SnapshotSave { .. } => "snapshot_save",
+        Request::SnapshotLoad { .. } => "snapshot_load",
+    }
 }
 
 /// Serve one admitted batch.
@@ -906,7 +1016,11 @@ fn serve_batch(
     let mut pending: Vec<PendingMeet> = Vec::new();
 
     // Phase 1: classify; answer sem-cache hits and inline work now.
+    let batch_len = batch.len();
     for (ji, job) in batch.iter().enumerate() {
+        ncq_obs::obs().begin_trace(job.trace_id);
+        ncq_obs::trace::annotate("op", request_kind(&job.request).to_owned());
+        ncq_obs::trace::annotate("batch", batch_len.to_string());
         let response = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
             match &job.request {
                 Request::MeetTerms {
@@ -957,6 +1071,9 @@ fn serve_batch(
                         options,
                         sem_key,
                         corpus: corpus_name,
+                        // Park the trace with the job; phase 2 resumes
+                        // it around the grouped evaluation.
+                        trace: ncq_obs::trace::suspend(),
                     });
                     None
                 }
@@ -1023,6 +1140,11 @@ fn serve_batch(
                 "internal error: query evaluation panicked".to_owned(),
             ))
         });
+        if response.is_some() {
+            // Answered inline (or panicked): the request is over, seal
+            // the trace. Pending meets carried theirs into `pending`.
+            finish_request_trace();
+        }
         responses[ji] = response;
     }
 
@@ -1037,6 +1159,20 @@ fn serve_batch(
     }
     for (_, members) in &groups {
         let engine = Arc::clone(&pending[members[0]].engine);
+        // Resume the first traced rider across the grouped call so the
+        // engine-side spans (plan decisions, scatter/gather, the shared
+        // sweep) record live into one trace; the other riders get the
+        // measured wall time stitched in as a closed `batch_eval` span.
+        let lead = members
+            .iter()
+            .copied()
+            .find(|&pi| pending[pi].trace.is_some());
+        if let Some(pi) = lead {
+            if let Some(trace) = pending[pi].trace.take() {
+                ncq_obs::trace::resume(trace);
+            }
+        }
+        let eval_started = Instant::now();
         let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
             let queries: Vec<BatchQuery<'_>> = members
                 .iter()
@@ -1050,11 +1186,30 @@ fn serve_batch(
                 .collect();
             engine.try_meet_hit_groups_batch(&queries)
         }));
+        let eval_ns = eval_started.elapsed().as_nanos() as u64;
+        if let Some(pi) = lead {
+            // On the panic path any open spans were already closed by
+            // their guards during unwinding; the trace is still whole.
+            pending[pi].trace = ncq_obs::trace::suspend();
+        }
         match outcome {
             Ok(Ok(all)) => {
                 for (&pi, meets) in members.iter().zip(all) {
+                    if let Some(trace) = pending[pi].trace.take() {
+                        ncq_obs::trace::resume(trace);
+                        if lead != Some(pi) {
+                            ncq_obs::trace::record_closed(
+                                "batch_eval",
+                                eval_ns,
+                                vec![("group", members.len().to_string())],
+                            );
+                        }
+                    }
+                    let response = {
+                        let _serialize = ncq_obs::trace::span("serialize");
+                        Response::Answers(AnswerSet::from_meets(engine.store(), meets))
+                    };
                     let p = &pending[pi];
-                    let response = Response::Answers(AnswerSet::from_meets(engine.store(), meets));
                     if let Some(key) = &p.sem_key {
                         sem_insert(
                             shared,
@@ -1065,18 +1220,29 @@ fn serve_batch(
                         );
                     }
                     responses[p.job] = Some(response);
+                    finish_request_trace();
                 }
             }
             Ok(Err(e)) => {
                 for &pi in members {
+                    if let Some(trace) = pending[pi].trace.take() {
+                        ncq_obs::trace::resume(trace);
+                        ncq_obs::trace::event("error", e.to_string());
+                    }
                     responses[pending[pi].job] = Some(Response::Error(e.to_string()));
+                    finish_request_trace();
                 }
             }
             Err(_) => {
                 for &pi in members {
+                    if let Some(trace) = pending[pi].trace.take() {
+                        ncq_obs::trace::resume(trace);
+                        ncq_obs::trace::event("error", "evaluation panicked".to_owned());
+                    }
                     responses[pending[pi].job] = Some(Response::Error(
                         "internal error: query evaluation panicked".to_owned(),
                     ));
+                    finish_request_trace();
                 }
             }
         }
@@ -1101,8 +1267,14 @@ fn sem_lookup(shared: &Shared, key: &str, epochs: &SemEpochs) -> Option<Response
         .lookup(key, epochs, &mut evicted);
     shared.stats.sem_evictions.fetch_add(evicted, Relaxed);
     match &hit {
-        Some(_) => shared.stats.sem_hits.fetch_add(1, Relaxed),
-        None => shared.stats.sem_misses.fetch_add(1, Relaxed),
+        Some(_) => {
+            ncq_obs::trace::event("sem_cache", "hit".to_owned());
+            shared.stats.sem_hits.fetch_add(1, Relaxed)
+        }
+        None => {
+            ncq_obs::trace::event("sem_cache", "miss".to_owned());
+            shared.stats.sem_misses.fetch_add(1, Relaxed)
+        }
     };
     hit
 }
@@ -1845,9 +2017,9 @@ mod tests {
         let client = Client {
             shared: Arc::clone(&shared),
         };
-        let first = client.submit(Request::search("x"), false);
+        let first = client.submit(Request::search("x"), false, 1);
         assert!(first.is_ok());
-        let second = client.submit(Request::search("y"), false);
+        let second = client.submit(Request::search("y"), false, 2);
         assert!(matches!(second, Err(ServerError::Saturated)));
         // Shedding is counted, and the rate reflects refused admissions.
         assert_eq!(client.stats().shed, 1);

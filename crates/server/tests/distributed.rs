@@ -486,3 +486,76 @@ fn engine_refuses_oversized_lengths_and_garbage_mid_stream() {
     );
     eng.shutdown();
 }
+
+/// End-to-end trace stitching under fault injection: the coordinator's
+/// trace id rides the wire envelope, the replica's engine seals a span
+/// tree under the *same* id, and a refusing replica shows up in the
+/// coordinator's trace as a failed `remote_attempt` span followed by a
+/// `failover` event and a successful attempt on the healthy peer.
+#[test]
+fn trace_ids_propagate_over_the_wire_and_record_failover() {
+    let db = Arc::new(Database::from_xml_str(FIG).unwrap());
+    let sick = engine(&db);
+    let healthy = engine(&db);
+    let proxy = ChaosProxy::bind(sick.local_addr(), ChaosSchedule::always(Fault::Refuse)).unwrap();
+    let remote = RemoteBackend::new(
+        Database::from_xml_str(FIG).unwrap(),
+        &[
+            proxy.local_addr().to_string(),
+            healthy.local_addr().to_string(),
+        ],
+        fast_config(),
+    )
+    .unwrap();
+
+    let id = ncq_obs::obs().next_trace_id();
+    ncq_obs::obs().begin_trace(id);
+    let answers = remote
+        .try_meet_terms_answers(&["Bit", "1999"], &MeetOptions::default())
+        .unwrap();
+    let sealed = ncq_obs::obs()
+        .finish_trace()
+        .expect("coordinator trace was active");
+    assert!(answers.to_detailed_xml().contains("tag=\"article\""));
+    assert_eq!(sealed.id, id);
+
+    // Replicas sweep in order, so the refusing proxy is attempted
+    // before the healthy peer: the trace records the failed attempt,
+    // the failover, and the attempt that answered.
+    let attempts = sealed.spans_named("remote_attempt");
+    assert!(
+        attempts.len() >= 2,
+        "expected failed + failover attempts: {:#?}",
+        sealed.spans
+    );
+    let outcomes: Vec<&str> = attempts
+        .iter()
+        .flat_map(|s| s.attrs.iter())
+        .filter(|(k, _)| *k == "outcome")
+        .map(|(_, v)| v.as_str())
+        .collect();
+    assert!(
+        outcomes.iter().any(|o| o.starts_with("error")),
+        "{outcomes:?}"
+    );
+    assert!(outcomes.contains(&"ok"), "{outcomes:?}");
+    assert!(
+        !sealed.spans_named("failover").is_empty(),
+        "failover event missing: {:#?}",
+        sealed.spans
+    );
+
+    // The replica engines run in-process here, so their span trees land
+    // in the same global ring: every engine-side evaluation sealed a
+    // trace under the coordinator's id — the cross-process stitch.
+    let stitched = ncq_obs::obs()
+        .recent_traces(256)
+        .into_iter()
+        .filter(|t| t.id == id && !t.spans_named("engine_eval").is_empty())
+        .count();
+    assert!(stitched >= 1, "no engine-side trace under id {id}");
+
+    proxy.shutdown();
+    sick.shutdown();
+    healthy.shutdown();
+}

@@ -66,6 +66,12 @@ use ncq_xml::{Document, ParseError};
 use std::borrow::Borrow;
 use std::sync::Arc;
 
+/// Registry handle for the per-shard scatter-task duration histogram.
+fn shard_task_histogram() -> &'static Arc<ncq_obs::Histogram> {
+    static H: std::sync::OnceLock<Arc<ncq_obs::Histogram>> = std::sync::OnceLock::new();
+    H.get_or_init(|| ncq_obs::obs().registry.histogram("ncq_shard_task_ns"))
+}
+
 /// Per-shard private state: the restricted full-text postings.
 struct Shard {
     postings: InvertedIndex,
@@ -222,6 +228,42 @@ impl ShardedDb {
             .expect("scatter requires a multi-shard partition")
     }
 
+    /// [`Pool::scatter`] with per-task wall-clock accounting: each
+    /// task's duration lands in the `ncq_shard_task_ns` histogram and —
+    /// when the calling thread carries a trace — as a closed
+    /// `shard_task` span under the current span. Worker threads have no
+    /// thread-local trace, so the coordinator attaches the timings
+    /// after the fan-in.
+    fn timed_scatter<T, F>(&self, tasks: Vec<F>) -> Vec<T>
+    where
+        T: Send + 'static,
+        F: FnOnce() -> T + Send + 'static,
+    {
+        if !ncq_obs::obs().enabled() {
+            return self.scatter_pool().scatter(tasks);
+        }
+        let wrapped: Vec<_> = tasks
+            .into_iter()
+            .map(|task| {
+                move || {
+                    let t0 = std::time::Instant::now();
+                    let out = task();
+                    (out, t0.elapsed().as_nanos() as u64)
+                }
+            })
+            .collect();
+        self.scatter_pool()
+            .scatter(wrapped)
+            .into_iter()
+            .enumerate()
+            .map(|(i, (value, dur_ns))| {
+                shard_task_histogram().record(dur_ns);
+                ncq_obs::trace::record_closed("shard_task", dur_ns, vec![("task", i.to_string())]);
+                value
+            })
+            .collect()
+    }
+
     // ----- full-text entry points -----
 
     /// Sharded [`Database::search`]: same dispatch (word / phrase /
@@ -273,7 +315,7 @@ impl ShardedDb {
             })
             .collect();
         let mut out = phrase_hits(inner.db.store(), &inner.spine_postings, phrase);
-        for hits in self.scatter_pool().scatter(tasks) {
+        for hits in self.timed_scatter(tasks) {
             out.union(&hits);
         }
         out
@@ -314,7 +356,7 @@ impl ShardedDb {
                 out.insert(path, owner);
             }
         }
-        for hits in self.scatter_pool().scatter(tasks) {
+        for hits in self.timed_scatter(tasks) {
             out.union(&hits);
         }
         out
@@ -485,11 +527,16 @@ impl ShardedDb {
 
         let mut result = SetMeets::default();
         let mut meets: Vec<(Oid, usize)> = Vec::new();
-        for (local_meets, survivors, lookups) in self.scatter_pool().scatter(tasks) {
-            meets.extend(local_meets);
-            pool_items.extend(survivors);
-            result.lookups += lookups;
+        {
+            let _scatter = ncq_obs::trace::span("scatter");
+            ncq_obs::trace::annotate("tasks", tasks.len().to_string());
+            for (local_meets, survivors, lookups) in self.timed_scatter(tasks) {
+                meets.extend(local_meets);
+                pool_items.extend(survivors);
+                result.lookups += lookups;
+            }
         }
+        let _gather = ncq_obs::trace::span("gather");
 
         // Gather: every remaining candidate is a spine node, so instead
         // of an adjacency sweep the survivors roll up the spine
@@ -594,11 +641,16 @@ impl ShardedDb {
             .collect();
 
         let mut meets: Vec<Meet> = Vec::new();
-        for (local_meets, survivors) in self.scatter_pool().scatter(tasks) {
-            meets.extend(local_meets);
-            pool_items.extend(survivors);
+        {
+            let _scatter = ncq_obs::trace::span("scatter");
+            ncq_obs::trace::annotate("tasks", tasks.len().to_string());
+            for (local_meets, survivors) in self.timed_scatter(tasks) {
+                meets.extend(local_meets);
+                pool_items.extend(survivors);
+            }
         }
 
+        let _gather = ncq_obs::trace::span("gather");
         pool_items.sort_unstable();
         self.gather_multi(&pool_items, options, &mut meets);
 
