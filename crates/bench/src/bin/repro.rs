@@ -10,6 +10,7 @@
 
 use ncq_bench::experiments::{
     ablations, corpora, extensions, fig6, fig7, listings, pr1, pr2, pr3, pr4, pr5, pr6, pr7, pr8,
+    pr9,
 };
 use ncq_bench::json::ToJson;
 use std::io::Write as _;
@@ -46,7 +47,7 @@ fn parse_args() -> Result<Args, String> {
             "--help" | "-h" => {
                 println!(
                     "usage: repro [--exp all|fig1|fig2|listing1|listing2|sec31|fig6|fig7|\
-                     ablations|extensions|pr1|pr2|pr3|pr4|pr5|pr6|pr7|pr8] [--scale small|paper] \
+                     ablations|extensions|pr1|pr2|pr3|pr4|pr5|pr6|pr7|pr8|pr9] [--scale small|paper] \
                      [--out DIR]"
                 );
                 std::process::exit(0);
@@ -257,6 +258,18 @@ fn main() {
         let dir = args.out.clone().unwrap_or_else(|| PathBuf::from("."));
         let target = Some(dir);
         write_json(&target, "BENCH_pr8", &result);
+    }
+
+    // PR 9 SIMD snapshot: each row times the same operation under
+    // forced-scalar and forced-vector dispatch and checks the outputs
+    // are identical. Explicit-only: it flips the process-global SIMD
+    // mode override and writes BENCH_pr9.json.
+    if args.exp == "pr9" {
+        let result = pr9::run(args.scale == Scale::Small);
+        println!("{}", pr9::table(&result));
+        let dir = args.out.clone().unwrap_or_else(|| PathBuf::from("."));
+        let target = Some(dir);
+        write_json(&target, "BENCH_pr9", &result);
     }
 
     if want("extensions") {

@@ -13,6 +13,7 @@ pub mod pr5;
 pub mod pr6;
 pub mod pr7;
 pub mod pr8;
+pub mod pr9;
 
 /// Shared corpus builders at the scales used by `repro` and the benches.
 pub mod corpora {

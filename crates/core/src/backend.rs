@@ -1,6 +1,6 @@
 //! The execution-backend abstraction: one query surface, many engines.
 //!
-//! The query language ([`ncq-query`]), the server and the examples all
+//! The query language (`ncq-query`), the server and the examples all
 //! consume the same three capabilities — resolve a term to hits, meet
 //! hit groups, expose the store for schema work. [`MeetBackend`] names
 //! that surface so callers can be written once and served by either the

@@ -64,7 +64,34 @@ impl<'a> BatchQuery<'a> {
 /// Merge pre-sorted per-input oid runs into one `(oid, input)` list.
 /// Ties take the lower input index — exactly the order
 /// `sort_unstable` gives the serial path's flattened items.
+///
+/// With a SIMD mode active, each `(oid, input)` pair is packed into a
+/// `u64` (`oid` high, tag low — packed order *is* `(Oid, u32)` lex
+/// order) and the runs go through the vectorized pairwise merge tree;
+/// under `NCQ_SIMD=off` the original k-way scan runs unchanged. Small
+/// merges (under ~256 items total) skip the pack/unpack round trip —
+/// at that size it costs more than the lanes recover.
 fn merge_tagged(runs: &[&[Oid]]) -> Vec<(Oid, u32)> {
+    const VECTOR_MIN: usize = 256;
+    let total_len: usize = runs.iter().map(|r| r.len()).sum();
+    if total_len >= VECTOR_MIN && ncq_simd::mode() != ncq_simd::Mode::Scalar {
+        let packed: Vec<Vec<u64>> = runs
+            .iter()
+            .enumerate()
+            .map(|(tag, run)| {
+                run.iter()
+                    .map(|o| (o.raw() as u64) << 32 | tag as u64)
+                    .collect()
+            })
+            .collect();
+        let refs: Vec<&[u64]> = packed.iter().map(Vec::as_slice).collect();
+        let mut merged = Vec::new();
+        ncq_simd::merge_tagged_u64(&refs, &mut merged);
+        return merged
+            .into_iter()
+            .map(|v| (Oid::from_raw((v >> 32) as u32), v as u32))
+            .collect();
+    }
     let total: usize = runs.iter().map(|r| r.len()).sum();
     let mut out = Vec::with_capacity(total);
     let mut cursor = vec![0usize; runs.len()];

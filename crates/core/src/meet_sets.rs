@@ -82,22 +82,23 @@ fn check_homogeneous(db: &MonetDb, set: &[Oid]) -> Result<Option<PathId>, MeetEr
     Ok(Some(expected))
 }
 
+/// Below this combined size the frontier algebra stays on the scalar
+/// reference even in vector mode: frontiers shrink fast as they climb,
+/// and on runs of a few dozen oids the lane setup costs more than it
+/// saves. The output is identical either way (same reference kernel).
+const VECTOR_MIN: usize = 64;
+
 /// Sorted-set intersection; inputs must be sorted and deduplicated.
+/// Frontiers are sorted `Oid` runs, i.e. raw `u32` lanes — the kernel
+/// dispatches vector or scalar per `ncq_simd::mode()`.
 fn intersect(a: &[Oid], b: &[Oid]) -> Vec<Oid> {
-    let mut out = Vec::new();
-    let (mut i, mut j) = (0, 0);
-    while i < a.len() && j < b.len() {
-        match a[i].cmp(&b[j]) {
-            std::cmp::Ordering::Less => i += 1,
-            std::cmp::Ordering::Greater => j += 1,
-            std::cmp::Ordering::Equal => {
-                out.push(a[i]);
-                i += 1;
-                j += 1;
-            }
-        }
+    let mut out = Vec::with_capacity(a.len().min(b.len()));
+    if a.len() + b.len() < VECTOR_MIN {
+        ncq_simd::scalar::intersect_u32_into(Oid::raw_slice(a), Oid::raw_slice(b), &mut out);
+    } else {
+        ncq_simd::intersect_u32_into(Oid::raw_slice(a), Oid::raw_slice(b), &mut out);
     }
-    out
+    Oid::wrap_raw_vec(out)
 }
 
 /// Remove (sorted) `remove` from (sorted) `set`.
@@ -105,7 +106,17 @@ fn difference(set: &mut Vec<Oid>, remove: &[Oid]) {
     if remove.is_empty() {
         return;
     }
-    set.retain(|o| remove.binary_search(o).is_err());
+    let mut out = Vec::with_capacity(set.len());
+    if set.len() + remove.len() < VECTOR_MIN {
+        ncq_simd::scalar::difference_u32_into(
+            Oid::raw_slice(set),
+            Oid::raw_slice(remove),
+            &mut out,
+        );
+    } else {
+        ncq_simd::difference_u32_into(Oid::raw_slice(set), Oid::raw_slice(remove), &mut out);
+    }
+    *set = Oid::wrap_raw_vec(out);
 }
 
 /// Lift a frontier one level: map every OID to its parent, dedup.

@@ -6,7 +6,13 @@ use std::collections::HashMap;
 
 /// One posting: the association `(owner, string)` that contained the token,
 /// identified by its relation (path) and owner oid.
+///
+/// `repr(C)`: both fields are `repr(transparent)` `u32` newtypes, so a
+/// posting is guaranteed to be laid out as `[path, owner]: [u32; 2]` —
+/// the shape the SIMD decode kernel deinterleaves owner columns from
+/// (see [`mod@crate::intersect`]).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+#[repr(C)]
 pub struct Posting {
     /// Relation (path type) of the association.
     pub path: PathId,

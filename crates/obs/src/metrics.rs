@@ -113,6 +113,18 @@ impl Histogram {
         self.count.fetch_add(1, Relaxed);
     }
 
+    /// Zero every bucket plus the sum/count accumulators — the
+    /// histogram half of a stats-window reset. Relaxed stores: a
+    /// sample racing the reset lands wholly before or wholly after it
+    /// at bucket granularity, same contract as recording itself.
+    pub fn reset(&self) {
+        for b in &self.buckets {
+            b.store(0, Relaxed);
+        }
+        self.sum.store(0, Relaxed);
+        self.count.store(0, Relaxed);
+    }
+
     /// Total samples recorded.
     pub fn count(&self) -> u64 {
         self.count.load(Relaxed)
@@ -231,6 +243,18 @@ impl Registry {
         {
             Metric::Histogram(h) => Arc::clone(h),
             _ => panic!("metric {name:?} is not a histogram"),
+        }
+    }
+
+    /// Reset every registered histogram (counters and gauges are left
+    /// alone: counters are monotonic by contract, and the server's
+    /// window reset handles its own counter set). Backs `STATS RESET`.
+    pub fn reset_histograms(&self) {
+        let map = self.map.lock().expect("metrics registry lock");
+        for metric in map.values() {
+            if let Metric::Histogram(h) = metric {
+                h.reset();
+            }
         }
     }
 
@@ -404,6 +428,38 @@ mod tests {
         assert!(text.contains("ncq_test_gauge -5"), "{text}");
         assert!(text.contains("ncq_test_ns_count 2"), "{text}");
         assert!(text.contains("le=\"+Inf\"} 2"), "{text}");
+    }
+
+    #[test]
+    fn reset_zeroes_buckets_sum_and_count() {
+        let h = Histogram::default();
+        for v in [0u64, 5, 1_000, 1 << 40] {
+            h.record(v);
+        }
+        assert_eq!(h.count(), 4);
+        h.reset();
+        assert_eq!(h.count(), 0);
+        assert_eq!(h.sum(), 0);
+        assert_eq!(h.bucket_counts(), [0u64; BUCKETS]);
+        assert_eq!(h.quantile_bounds(0.5), None);
+        // The histogram keeps working after a reset.
+        h.record(7);
+        assert_eq!(h.count(), 1);
+        assert_eq!(h.sum(), 7);
+    }
+
+    #[test]
+    fn registry_reset_touches_only_histograms() {
+        let r = Registry::default();
+        let c = r.counter("ncq_reset_total");
+        c.add(3);
+        r.gauge("ncq_reset_gauge").set(9);
+        let h = r.histogram("ncq_reset_ns");
+        h.record(123);
+        r.reset_histograms();
+        assert_eq!(h.count(), 0, "histogram window cleared");
+        assert_eq!(c.get(), 3, "counter untouched");
+        assert_eq!(r.gauge("ncq_reset_gauge").get(), 9, "gauge untouched");
     }
 
     #[test]

@@ -257,6 +257,15 @@ fn format_stats(client: &Client) -> String {
     for (name, served) in &stats.queries_by_corpus {
         out.push_str(&format!("\ncorpus.{name}={served}"));
     }
+    // Kernel-dispatch telemetry: which SIMD mode the process picked
+    // and how many calls each kernel family served, split scalar vs
+    // vector. The CI compat matrix diffs these between `NCQ_SIMD=on`
+    // and `off` legs to prove both paths really executed.
+    out.push_str(&format!("\nsimd.mode={}", ncq_simd::mode().name()));
+    for (kernel, scalar, vector) in ncq_simd::dispatch_stats().lines() {
+        out.push_str(&format!("\nsimd.{kernel}.scalar={scalar}"));
+        out.push_str(&format!("\nsimd.{kernel}.vector={vector}"));
+    }
     out
 }
 
@@ -325,6 +334,19 @@ fn format_metrics(client: &Client) -> String {
                 "ncq_corpus_queries_total{{corpus=\"{name}\"}} {served}\n"
             ));
         }
+    }
+    out.push_str(&format!(
+        "# TYPE ncq_simd_mode gauge\nncq_simd_mode{{mode=\"{}\"}} 1\n",
+        ncq_simd::mode().name()
+    ));
+    out.push_str("# TYPE ncq_simd_dispatch_total counter\n");
+    for (kernel, scalar, vector) in ncq_simd::dispatch_stats().lines() {
+        out.push_str(&format!(
+            "ncq_simd_dispatch_total{{kernel=\"{kernel}\",path=\"scalar\"}} {scalar}\n"
+        ));
+        out.push_str(&format!(
+            "ncq_simd_dispatch_total{{kernel=\"{kernel}\",path=\"vector\"}} {vector}\n"
+        ));
     }
     for line in ncq_obs::obs().registry.render() {
         out.push_str(&line);
@@ -555,7 +577,8 @@ mod tests {
         let lines: Vec<&str> = out.lines().collect();
         let header = lines[stats_at - 1];
         let n: usize = header.strip_prefix("OK ").unwrap().parse().unwrap();
-        assert_eq!(n, 17, "one line per counter plus the derived rates");
+        // 17 counter/rate lines + simd.mode + 6 kernels × {scalar,vector}.
+        assert_eq!(n, 30, "one line per counter plus the derived rates");
         assert_eq!(lines[stats_at], "served=1");
         // The derived cache hit rates ride the frame.
         for key in ["sem_hit_rate=0.0000", "term_cache_hit_rate=0.0000"] {
@@ -683,6 +706,46 @@ mod tests {
         assert!(after.contains("sem_misses=0"), "{out}");
         assert!(after.contains("term_decodes=0"), "{out}");
         assert!(after.contains("batches=0"), "{out}");
+    }
+
+    #[test]
+    fn stats_reset_clears_histogram_windows() {
+        // Histogram buckets are window state like the hit/miss
+        // counters next to them: RESET must zero them too (it used to
+        // leave them accumulating across windows).
+        let h = ncq_obs::obs().registry.histogram("ncq_reset_pin_ns");
+        h.record(4096);
+        h.record(100);
+        let before = session("METRICS\nQUIT\n");
+        assert!(before.contains("ncq_reset_pin_ns_count 2"), "{before}");
+        let out = session("STATS RESET\nMETRICS\nQUIT\n");
+        assert!(out.contains("window counters reset"), "{out}");
+        assert!(out.contains("ncq_reset_pin_ns_count 0"), "{out}");
+        assert!(out.contains("ncq_reset_pin_ns_sum 0"), "{out}");
+        // The handle keeps recording into the fresh window.
+        h.record(9);
+        assert_eq!(h.count(), 1);
+    }
+
+    #[test]
+    fn stats_and_metrics_report_kernel_dispatch() {
+        let out = session("MEET Bit 1999\nSTATS\nMETRICS\nQUIT\n");
+        let mode = ncq_simd::mode().name();
+        assert!(out.contains(&format!("simd.mode={mode}")), "{out}");
+        assert!(out.contains("simd.intersect.scalar="), "{out}");
+        assert!(out.contains("simd.merge.vector="), "{out}");
+        assert!(
+            out.contains("# TYPE ncq_simd_dispatch_total counter"),
+            "{out}"
+        );
+        assert!(
+            out.contains(&format!("ncq_simd_mode{{mode=\"{mode}\"}} 1")),
+            "{out}"
+        );
+        assert!(
+            out.contains("ncq_simd_dispatch_total{kernel=\"lower_bound\",path=\"vector\"}"),
+            "{out}"
+        );
     }
 
     #[test]

@@ -1,6 +1,6 @@
 //! The query service: bounded admission, worker pool, batched execution.
 //!
-//! One [`Shared`] state is owned jointly by the [`Server`] (which joins
+//! One `Shared` state is owned jointly by the [`Server`] (which joins
 //! the workers) and every [`Client`] handle. The admission queue is a
 //! `Mutex<VecDeque>` with two condvars — `work` wakes workers, `space`
 //! wakes admitters — which is deadlock-free by construction: workers
@@ -691,7 +691,7 @@ impl Server {
     /// with `shards > 1` cold-start as `ncq-shard::ShardedDb`,
     /// reusing the stored partition cut), verified against the
     /// manifest's recorded checksums, and the worker pool spins up
-    /// over the resulting [`ForestBackend`]. Unqualified queries hit
+    /// over the resulting [`ncq_core::ForestBackend`]. Unqualified queries hit
     /// the manifest's default corpus; `USE <corpus>` / `from
     /// corpus(name)` route the rest.
     pub fn open_manifest(
@@ -803,12 +803,15 @@ impl Client {
         rx.recv().map_err(|_| ServerError::Disconnected)
     }
 
-    /// Zero the window counters (`STATS RESET`): cache hit/miss,
-    /// shedding and batching-shape counters restart, while monotonic
-    /// lifetime totals (`served`, per-corpus counts) and the metrics
-    /// registry keep counting.
+    /// Zero the window state (`STATS RESET`): cache hit/miss, shedding
+    /// and batching-shape counters restart, and every registered
+    /// histogram's buckets clear with them — a latency histogram is
+    /// window state exactly like the hit/miss counters it sits next
+    /// to. Monotonic lifetime totals (`served`, per-corpus counts) and
+    /// registry counters keep counting.
     pub fn reset_window_stats(&self) {
         self.shared.stats.reset_window();
+        ncq_obs::obs().registry.reset_histograms();
     }
 
     /// Convenience: meet of full-text terms, unwrapped to an answer set.

@@ -66,6 +66,19 @@ use ncq_xml::{Document, ParseError};
 use std::borrow::Borrow;
 use std::sync::Arc;
 
+/// Interval probe over a gather pool's sorted survivor keys: the
+/// vector kernel for pools large enough to pay for lane setup, the
+/// scalar partition search otherwise (identical result either way).
+fn key_range(keys: &[u32], lo: u32, hi: u32) -> (usize, usize) {
+    if keys.len() < 64 {
+        let start = ncq_simd::scalar::lower_bound_u32(keys, lo);
+        let end = start + ncq_simd::scalar::lower_bound_u32(&keys[start..], hi);
+        (start, end)
+    } else {
+        ncq_simd::range_u32(keys, lo, hi)
+    }
+}
+
 /// Registry handle for the per-shard scatter-task duration histogram.
 fn shard_task_histogram() -> &'static Arc<ncq_obs::Histogram> {
     static H: std::sync::OnceLock<Arc<ncq_obs::Histogram>> = std::sync::OnceLock::new();
@@ -550,6 +563,9 @@ impl ShardedDb {
         // skip the spine walk entirely (the common case when every hit
         // was consumed inside its shard).
         if pool_items.len() >= 2 {
+            // The survivor keys as raw lanes: each spine node's run is
+            // one bulk interval-containment probe over them.
+            let keys: Vec<u32> = pool_items.iter().map(|&(o, _)| o.raw()).collect();
             let mut alive = Alive::new(pool_items.len());
             let mut run: Vec<usize> = Vec::new();
             for &s in &self.inner.spine_by_depth {
@@ -557,9 +573,9 @@ impl ShardedDb {
                 result.lookups += 1;
                 run.clear();
                 let (mut side0, mut side1) = (false, false);
-                let start = pool_items.partition_point(|&(o, _)| o.index() < range.start);
+                let (start, end) = key_range(&keys, range.start as u32, range.end as u32);
                 let mut i = alive.find(start);
-                while i < pool_items.len() && pool_items[i].0.index() < range.end {
+                while i < end {
                     run.push(i);
                     if pool_items[i].1 == 0 {
                         side0 = true;
@@ -673,14 +689,15 @@ impl ShardedDb {
             return;
         }
         let index = self.inner.db.store().meet_index();
+        let keys: Vec<u32> = items.iter().map(|&(o, _)| o.raw()).collect();
         let mut alive = Alive::new(items.len());
         let mut run: Vec<usize> = Vec::new();
         for &s in &self.inner.spine_by_depth {
             let range = index.subtree_range(s);
             run.clear();
-            let start = items.partition_point(|&(o, _)| o.index() < range.start);
+            let (start, end) = key_range(&keys, range.start as u32, range.end as u32);
             let mut i = alive.find(start);
-            while i < items.len() && items[i].0.index() < range.end {
+            while i < end {
                 run.push(i);
                 i = alive.find(i + 1);
             }

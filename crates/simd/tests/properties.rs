@@ -1,0 +1,366 @@
+//! Property suite: every dispatch target of every kernel must return
+//! output bit-identical to the scalar reference, over random runs ×
+//! random lane remainders × degenerate shapes × misaligned slice
+//! heads. Modes are forced via `set_mode_override`, so the whole
+//! matrix runs on any host — an ISA the CPU lacks is simply skipped
+//! (the override caps at the best available).
+//!
+//! Each case also re-checks through the *public* dispatching entry
+//! points, so the dispatch layer itself (not just the raw kernels) is
+//! under test.
+
+use ncq_simd::{self as simd, Mode};
+use rand::rngs::StdRng;
+use rand::{RngCore, RngExt, SeedableRng};
+use std::sync::{Mutex, MutexGuard};
+
+/// The mode override is process-global; serialize the tests that force
+/// it so every leg really executes the ISA it claims to.
+static MODE_LOCK: Mutex<()> = Mutex::new(());
+
+fn lock_modes() -> MutexGuard<'static, ()> {
+    MODE_LOCK
+        .lock()
+        .unwrap_or_else(|poisoned| poisoned.into_inner())
+}
+
+/// The modes this host can actually execute, deduplicated.
+fn testable_modes() -> Vec<Mode> {
+    let mut modes = vec![Mode::Scalar];
+    for want in [Mode::Sse2, Mode::Avx2] {
+        let got = simd::set_mode_override(Some(want));
+        if got == want && !modes.contains(&got) {
+            modes.push(got);
+        }
+    }
+    simd::set_mode_override(None);
+    modes
+}
+
+/// Sorted, strictly increasing random run. `span` controls density:
+/// small spans force long shared stretches, large spans force skew.
+fn sorted_run(rng: &mut StdRng, len: usize, span: u32) -> Vec<u32> {
+    let mut v: Vec<u32> = (0..len).map(|_| rng.random_range(0..span.max(1))).collect();
+    v.sort_unstable();
+    v.dedup();
+    v
+}
+
+/// Shapes that historically break lane code: empty, singleton, exactly
+/// one vector, one-less / one-more than a vector, all-equal ties.
+fn edge_runs() -> Vec<Vec<u32>> {
+    vec![
+        vec![],
+        vec![7],
+        (0..3).collect(),
+        (0..4).collect(),
+        (0..5).collect(),
+        (0..7).collect(),
+        (0..8).collect(),
+        (0..9).collect(),
+        (10..42).collect(),
+        vec![u32::MAX - 1, u32::MAX],
+        (0..100).map(|i| i * 1000).collect(),
+    ]
+}
+
+/// Run `f` once per testable mode and assert all answers equal the
+/// scalar one. Restores auto dispatch afterwards.
+fn for_each_mode<T: PartialEq + std::fmt::Debug>(label: &str, f: impl Fn() -> T) {
+    let scalar = {
+        simd::set_mode_override(Some(Mode::Scalar));
+        f()
+    };
+    for mode in testable_modes() {
+        simd::set_mode_override(Some(mode));
+        let got = f();
+        assert_eq!(got, scalar, "{label}: {:?} diverged from scalar", mode);
+    }
+    simd::set_mode_override(None);
+}
+
+#[test]
+fn lower_bound_u32_matches_partition_point() {
+    let _guard = lock_modes();
+    let mut rng = StdRng::seed_from_u64(0x9_01);
+    let mut runs = edge_runs();
+    for len in [0usize, 1, 2, 5, 31, 32, 33, 63, 64, 65, 200, 1000] {
+        runs.push(sorted_run(&mut rng, len, 500));
+        runs.push(sorted_run(&mut rng, len, u32::MAX));
+    }
+    for hay in &runs {
+        // Misaligned heads: a sub-slice starting at offset 1..4 is no
+        // longer 16-byte aligned; the kernels must not care.
+        for off in 0..4.min(hay.len() + 1) {
+            let hay = &hay[off..];
+            let mut targets: Vec<u32> = vec![0, 1, u32::MAX];
+            targets.extend(
+                hay.iter()
+                    .flat_map(|&x| [x.saturating_sub(1), x, x.saturating_add(1)]),
+            );
+            for _ in 0..8 {
+                targets.push(rng.next_u64() as u32);
+            }
+            for t in targets {
+                let expect = hay.partition_point(|&x| x < t);
+                for_each_mode("lower_bound_u32", || simd::lower_bound_u32(hay, t));
+                assert_eq!(simd::lower_bound_u32(hay, t), expect);
+            }
+        }
+    }
+}
+
+#[test]
+fn lower_bound_u64_matches_partition_point() {
+    let _guard = lock_modes();
+    let mut rng = StdRng::seed_from_u64(0x9_02);
+    for len in [0usize, 1, 3, 4, 5, 15, 16, 17, 100, 1000] {
+        let mut hay: Vec<u64> = (0..len).map(|_| rng.next_u64()).collect();
+        hay.sort_unstable();
+        for off in 0..3.min(hay.len() + 1) {
+            let hay = &hay[off..];
+            let mut targets: Vec<u64> = vec![0, u64::MAX];
+            targets.extend(
+                hay.iter()
+                    .flat_map(|&x| [x.wrapping_sub(1), x, x.wrapping_add(1)]),
+            );
+            for t in targets {
+                let expect = hay.partition_point(|&x| x < t);
+                for_each_mode("lower_bound_u64", || simd::lower_bound_u64(hay, t));
+                assert_eq!(simd::lower_bound_u64(hay, t), expect);
+            }
+        }
+    }
+}
+
+#[test]
+fn range_u64_matches_two_partition_points() {
+    let _guard = lock_modes();
+    let mut rng = StdRng::seed_from_u64(0x9_03);
+    for len in [0usize, 1, 7, 16, 64, 300] {
+        let mut hay: Vec<u64> = (0..len).map(|_| rng.random_range(0..10_000)).collect();
+        hay.sort_unstable();
+        for _ in 0..50 {
+            let lo = rng.random_range(0..10_500u64);
+            let hi = lo + rng.random_range(0..2_000u64);
+            let expect = (
+                hay.partition_point(|&x| x < lo),
+                hay.partition_point(|&x| x < hi),
+            );
+            for_each_mode("range_u64", || simd::range_u64(&hay, lo, hi));
+            assert_eq!(simd::range_u64(&hay, lo, hi), expect);
+        }
+    }
+}
+
+#[test]
+fn range_u32_matches_two_partition_points() {
+    let _guard = lock_modes();
+    let mut rng = StdRng::seed_from_u64(0x9_08);
+    for hay in edge_runs() {
+        for _ in 0..30 {
+            let lo = rng.next_u64() as u32 % 1100;
+            let hi = lo.saturating_add(rng.next_u64() as u32 % 400);
+            let expect = (
+                hay.partition_point(|&x| x < lo),
+                hay.partition_point(|&x| x < hi),
+            );
+            for_each_mode("range_u32", || simd::range_u32(&hay, lo, hi));
+            assert_eq!(simd::range_u32(&hay, lo, hi), expect);
+        }
+    }
+}
+
+#[test]
+fn intersect_matches_scalar_reference() {
+    let _guard = lock_modes();
+    let mut rng = StdRng::seed_from_u64(0x9_04);
+    let mut cases: Vec<(Vec<u32>, Vec<u32>)> = Vec::new();
+    for a in edge_runs() {
+        for b in edge_runs() {
+            cases.push((a.clone(), b));
+        }
+    }
+    // Random pairs across densities: dense overlap, total skew, and
+    // lengths straddling the 4-lane block width.
+    for _ in 0..200 {
+        let la = rng.random_range(0..70);
+        let lb = rng.random_range(0..70);
+        let span = *[60u32, 300, 5_000, u32::MAX]
+            .get(rng.random_range(0..4))
+            .unwrap();
+        cases.push((
+            sorted_run(&mut rng, la, span),
+            sorted_run(&mut rng, lb, span),
+        ));
+    }
+    for (a, b) in &cases {
+        for off in 0..3.min(a.len() + 1) {
+            let a = &a[off..];
+            let expect: Vec<u32> = a
+                .iter()
+                .filter(|x| b.binary_search(x).is_ok())
+                .copied()
+                .collect();
+            for_each_mode("intersect_u32", || {
+                let mut out = Vec::new();
+                simd::intersect_u32_into(a, b, &mut out);
+                out
+            });
+            let mut out = Vec::new();
+            simd::intersect_u32_into(a, b, &mut out);
+            assert_eq!(out, expect);
+        }
+    }
+}
+
+#[test]
+fn difference_matches_retain() {
+    let _guard = lock_modes();
+    let mut rng = StdRng::seed_from_u64(0x9_05);
+    let mut cases: Vec<(Vec<u32>, Vec<u32>)> = Vec::new();
+    for a in edge_runs() {
+        for b in edge_runs() {
+            cases.push((a.clone(), b));
+        }
+    }
+    for _ in 0..200 {
+        let la = rng.random_range(0..70);
+        let lb = rng.random_range(0..70);
+        let span = *[60u32, 300, 5_000].get(rng.random_range(0..3)).unwrap();
+        cases.push((
+            sorted_run(&mut rng, la, span),
+            sorted_run(&mut rng, lb, span),
+        ));
+    }
+    for (set, remove) in &cases {
+        for off in 0..3.min(set.len() + 1) {
+            let set = &set[off..];
+            let expect: Vec<u32> = set
+                .iter()
+                .filter(|x| remove.binary_search(x).is_err())
+                .copied()
+                .collect();
+            for_each_mode("difference_u32", || {
+                let mut out = Vec::new();
+                simd::difference_u32_into(set, remove, &mut out);
+                out
+            });
+            let mut out = Vec::new();
+            simd::difference_u32_into(set, remove, &mut out);
+            assert_eq!(out, expect);
+        }
+    }
+}
+
+#[test]
+fn unpack_hi_matches_field_walk() {
+    let _guard = lock_modes();
+    let mut rng = StdRng::seed_from_u64(0x9_09);
+    // Lengths straddling both block widths (4 for SSE2, 8 for AVX2)
+    // and their remainders.
+    for len in [0usize, 1, 2, 3, 4, 5, 7, 8, 9, 15, 16, 17, 100, 1000] {
+        let pairs: Vec<[u32; 2]> = (0..len)
+            .map(|_| [rng.next_u64() as u32, rng.next_u64() as u32])
+            .collect();
+        for off in 0..3.min(pairs.len() + 1) {
+            let pairs = &pairs[off..];
+            let expect: Vec<u32> = pairs.iter().map(|p| p[1]).collect();
+            for_each_mode("unpack_hi_u32", || {
+                let mut out = Vec::new();
+                simd::unpack_hi_u32(pairs, &mut out);
+                out
+            });
+            // Appending must preserve an existing prefix.
+            let mut out = vec![42u32];
+            simd::unpack_hi_u32(pairs, &mut out);
+            assert_eq!(out[0], 42);
+            assert_eq!(&out[1..], expect);
+        }
+    }
+}
+
+#[test]
+fn merge_u64_is_a_stable_merge() {
+    let _guard = lock_modes();
+    let mut rng = StdRng::seed_from_u64(0x9_06);
+    // Tagged values: key in the high bits, provenance tag low, so a
+    // stable merge is observable — ties must keep left-run tags first.
+    let tagged = |rng: &mut StdRng, len: usize, tag: u64| -> Vec<u64> {
+        let mut keys: Vec<u64> = (0..len).map(|_| rng.random_range(0..50u64)).collect();
+        keys.sort_unstable();
+        keys.into_iter().map(|k| k << 32 | tag).collect()
+    };
+    for _ in 0..300 {
+        let la = rng.random_range(0..40);
+        let lb = rng.random_range(0..40);
+        let a = tagged(&mut rng, la, 1);
+        let b = tagged(&mut rng, lb, 2);
+        let mut expect = Vec::with_capacity(a.len() + b.len());
+        {
+            // Reference: the textbook stable merge.
+            let (mut i, mut j) = (0, 0);
+            while i < a.len() && j < b.len() {
+                if a[i] <= b[j] {
+                    expect.push(a[i]);
+                    i += 1;
+                } else {
+                    expect.push(b[j]);
+                    j += 1;
+                }
+            }
+            expect.extend_from_slice(&a[i..]);
+            expect.extend_from_slice(&b[j..]);
+        }
+        for_each_mode("merge_u64", || {
+            let mut out = Vec::new();
+            simd::merge_u64_into(&a, &b, &mut out);
+            out
+        });
+        let mut out = Vec::new();
+        simd::merge_u64_into(&a, &b, &mut out);
+        assert_eq!(out, expect);
+    }
+    // u64::MAX keys exercise the checked_add boundary in the bulk-copy
+    // stretch search.
+    let a = vec![5, u64::MAX, u64::MAX];
+    let b = vec![5, u64::MAX];
+    for_each_mode("merge_u64 max", || {
+        let mut out = Vec::new();
+        simd::merge_u64_into(&a, &b, &mut out);
+        out
+    });
+}
+
+#[test]
+fn merge_tagged_matches_sorted_concatenation() {
+    let _guard = lock_modes();
+    let mut rng = StdRng::seed_from_u64(0x9_07);
+    for _ in 0..100 {
+        let k = rng.random_range(0..9);
+        let runs: Vec<Vec<u64>> = (0..k)
+            .map(|tag| {
+                let mut keys: Vec<u64> = (0..rng.random_range(0..30))
+                    .map(|_| rng.random_range(0..60u64))
+                    .collect();
+                keys.sort_unstable();
+                keys.dedup();
+                keys.into_iter().map(|key| key << 32 | tag as u64).collect()
+            })
+            .collect();
+        let refs: Vec<&[u64]> = runs.iter().map(Vec::as_slice).collect();
+        // Keys are unique within a run, so sorting the concatenation by
+        // the packed value == ordering by (key, run index): exactly the
+        // batch executor's merge_tagged contract.
+        let mut expect: Vec<u64> = runs.iter().flatten().copied().collect();
+        expect.sort_unstable();
+        for_each_mode("merge_tagged_u64", || {
+            let mut out = Vec::new();
+            simd::merge_tagged_u64(&refs, &mut out);
+            out
+        });
+        let mut out = Vec::new();
+        simd::merge_tagged_u64(&refs, &mut out);
+        assert_eq!(out, expect);
+    }
+}

@@ -14,7 +14,7 @@
 //!
 //! # Construction
 //!
-//! One pass over the loaded [`MonetDb`](crate::MonetDb) (whose OIDs are
+//! One pass over the loaded [`crate::MonetDb`] (whose OIDs are
 //! depth-first preorder by construction) yields three structures:
 //!
 //! 1. **Preorder intervals** — because OIDs are assigned in DFS order,
@@ -401,7 +401,7 @@ impl MeetIndex {
     /// the subtree of `o` — an O(log n) containment test used by query
     /// evaluation ("does this node's offspring contain a hit?").
     pub fn subtree_contains_any(&self, o: Oid, oids: &[Oid]) -> bool {
-        let start = oids.partition_point(|&x| x < o);
+        let start = ncq_simd::lower_bound_u32(Oid::raw_slice(oids), o.raw());
         oids.get(start)
             .is_some_and(|&x| x.index() < self.subtree_end[o.index()] as usize)
     }

@@ -10,7 +10,13 @@ use std::fmt;
 ///
 /// * `Oid` order *is* document order;
 /// * `parent(o) < o` for every non-root `o`.
+///
+/// `repr(transparent)` over the raw `u32` so sorted `Oid` runs can be
+/// viewed as raw lanes ([`Oid::raw_slice`]) for the SIMD kernels in
+/// `ncq-simd` — `Oid` order *is* raw order, so the view preserves
+/// sortedness.
 #[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+#[repr(transparent)]
 pub struct Oid(u32);
 
 impl Oid {
@@ -27,6 +33,37 @@ impl Oid {
     #[inline]
     pub fn from_index(index: usize) -> Oid {
         Oid(u32::try_from(index).expect("too many objects"))
+    }
+
+    /// The raw dense id — the lane representation SIMD kernels consume.
+    #[inline]
+    pub fn raw(self) -> u32 {
+        self.0
+    }
+
+    /// Reconstruct from a raw lane previously obtained via [`Oid::raw`].
+    #[inline]
+    pub fn from_raw(raw: u32) -> Oid {
+        Oid(raw)
+    }
+
+    /// Zero-copy view of an `Oid` run as raw `u32` lanes.
+    #[inline]
+    pub fn raw_slice(oids: &[Oid]) -> &[u32] {
+        // SAFETY: `Oid` is `repr(transparent)` over `u32` — identical
+        // size, alignment and bit validity.
+        unsafe { std::slice::from_raw_parts(oids.as_ptr().cast::<u32>(), oids.len()) }
+    }
+
+    /// Reinterpret a raw lane vector as oids without copying — the
+    /// return path from kernels that produce `Vec<u32>`.
+    #[inline]
+    pub fn wrap_raw_vec(raw: Vec<u32>) -> Vec<Oid> {
+        let mut raw = std::mem::ManuallyDrop::new(raw);
+        // SAFETY: identical layout via `repr(transparent)`; ownership
+        // of the allocation transfers wholesale (len, capacity and
+        // allocator layout all unchanged).
+        unsafe { Vec::from_raw_parts(raw.as_mut_ptr().cast::<Oid>(), raw.len(), raw.capacity()) }
     }
 }
 

@@ -28,7 +28,12 @@ pub enum PathStep {
 }
 
 /// Interned identifier of a path within a [`PathSummary`].
+///
+/// `repr(transparent)`: guaranteed to be exactly a `u32`, so a
+/// `(PathId, Oid)` posting has a defined `[u32; 2]` layout the SIMD
+/// decode kernel can read.
 #[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+#[repr(transparent)]
 pub struct PathId(u32);
 
 impl PathId {

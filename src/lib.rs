@@ -28,6 +28,8 @@
 //!   replicated spine, scatter/gather meets)
 //! * [`server`] — batched concurrent query service over any
 //!   [`ncq_core::MeetBackend`] (`Database` or [`ShardedDb`])
+//! * [`simd`] — lane-parallel set kernels with runtime CPU dispatch and
+//!   bit-identical scalar fallbacks (`NCQ_SIMD` overrides the mode)
 //! * [`datagen`] — synthetic DBLP / multimedia corpora used by the benchmarks
 
 pub use ncq_core as core;
@@ -36,6 +38,7 @@ pub use ncq_fulltext as fulltext;
 pub use ncq_query as query;
 pub use ncq_server as server;
 pub use ncq_shard as shard;
+pub use ncq_simd as simd;
 pub use ncq_store as store;
 pub use ncq_xml as xml;
 
