@@ -9,8 +9,8 @@
 //! the raw series as JSON (one file per experiment) for EXPERIMENTS.md.
 
 use ncq_bench::experiments::{
-    ablations, corpora, extensions, fig6, fig7, listings, pr1, pr2, pr3, pr4, pr5, pr6, pr7, pr8,
-    pr9,
+    ablations, corpora, extensions, fig6, fig7, listings, pr1, pr10, pr2, pr3, pr4, pr5, pr6, pr7,
+    pr8, pr9,
 };
 use ncq_bench::json::ToJson;
 use std::io::Write as _;
@@ -47,7 +47,8 @@ fn parse_args() -> Result<Args, String> {
             "--help" | "-h" => {
                 println!(
                     "usage: repro [--exp all|fig1|fig2|listing1|listing2|sec31|fig6|fig7|\
-                     ablations|extensions|pr1|pr2|pr3|pr4|pr5|pr6|pr7|pr8|pr9] [--scale small|paper] \
+                     ablations|extensions|pr1|pr2|pr3|pr4|pr5|pr6|pr7|pr8|pr9|pr10] \
+                     [--scale small|paper] \
                      [--out DIR]"
                 );
                 std::process::exit(0);
@@ -270,6 +271,18 @@ fn main() {
         let dir = args.out.clone().unwrap_or_else(|| PathBuf::from("."));
         let target = Some(dir);
         write_json(&target, "BENCH_pr9", &result);
+    }
+
+    // PR 10 zero-copy snapshot: v3 mapped open vs the materializing v1
+    // load vs parse+build, same entry point, answers checked identical.
+    // Explicit-only: it serializes large corpora twice per row and
+    // writes BENCH_pr10.json.
+    if args.exp == "pr10" {
+        let result = pr10::run(args.scale == Scale::Small);
+        println!("{}", pr10::table(&result));
+        let dir = args.out.clone().unwrap_or_else(|| PathBuf::from("."));
+        let target = Some(dir);
+        write_json(&target, "BENCH_pr10", &result);
     }
 
     if want("extensions") {

@@ -6,6 +6,7 @@ pub mod fig6;
 pub mod fig7;
 pub mod listings;
 pub mod pr1;
+pub mod pr10;
 pub mod pr2;
 pub mod pr3;
 pub mod pr4;

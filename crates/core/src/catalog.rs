@@ -37,8 +37,11 @@ use crate::db::Database;
 use crate::meet_multi::MeetOptions;
 use ncq_fulltext::HitSet;
 use ncq_store::manifest::{Manifest, ManifestEntry, ManifestError};
-use ncq_store::snapshot::{checksum64, SnapshotError, SNAPSHOT_VERSION};
-use ncq_store::{validate_corpus_name, MonetDb};
+use ncq_store::snapshot::{
+    checksum64, SnapshotError, SnapshotSource, SNAPSHOT_LEGACY_MAX, SNAPSHOT_VERSION,
+    SNAPSHOT_VERSION_V1,
+};
+use ncq_store::{validate_corpus_name, MappedSnapshot, MonetDb, VerifyMode};
 use std::fmt;
 use std::path::Path;
 use std::sync::Arc;
@@ -286,15 +289,24 @@ impl Catalog {
     /// unsharded here — `ncq-shard::open_catalog` is the shard-aware
     /// loader).
     pub fn open_manifest(path: impl AsRef<Path>) -> Result<Catalog, CatalogError> {
-        Catalog::open_manifest_with(path, |_entry, bytes| {
-            Ok(Arc::new(Database::from_snapshot_bytes(bytes)?) as Arc<dyn MeetBackend>)
+        Catalog::open_manifest_with(path, |_entry, source| {
+            Ok(Arc::new(Database::decode_from(&source)?) as Arc<dyn MeetBackend>)
         })
     }
 
-    /// Open a manifest with a caller-chosen engine per entry. For each
-    /// corpus the snapshot file is read once, verified against the
-    /// manifest's recorded checksum and layout version (both typed
-    /// failures), and handed to `opener` as bytes.
+    /// Open a manifest with a caller-chosen engine per entry. Each
+    /// corpus snapshot is opened once as a [`SnapshotSource`] and
+    /// verified before it reaches `opener`: legacy (v1/v2) files are
+    /// read into memory and hashed against the manifest's recorded
+    /// whole-file checksum; v3 files are mmapped, every section is
+    /// verified eagerly against the container's own per-section
+    /// checksums, and the mapped bytes are hashed against the
+    /// manifest's checksum so a swapped-but-internally-valid file
+    /// still fails typed (the pages are already resident from the
+    /// eager pass, so this costs no extra IO). Version and checksum
+    /// failures are typed. Serving opens that want the lazy
+    /// microsecond path go through [`Database::open_snapshot`]
+    /// directly.
     ///
     /// Entries with replica endpoints bypass the opener: the snapshot
     /// becomes the coordinator's local resolver copy inside a
@@ -304,7 +316,10 @@ impl Catalog {
     /// the remote process does its own sharding.
     pub fn open_manifest_with(
         path: impl AsRef<Path>,
-        opener: impl FnMut(&ManifestEntry, Vec<u8>) -> Result<Arc<dyn MeetBackend>, SnapshotError>,
+        opener: impl FnMut(
+            &ManifestEntry,
+            SnapshotSource,
+        ) -> Result<Arc<dyn MeetBackend>, SnapshotError>,
     ) -> Result<Catalog, CatalogError> {
         Catalog::open_manifest_remote(path, opener, crate::remote::RemoteConfig::default())
     }
@@ -314,14 +329,17 @@ impl Catalog {
     /// rounds, backoff — the stress suites tighten these).
     pub fn open_manifest_remote(
         path: impl AsRef<Path>,
-        mut opener: impl FnMut(&ManifestEntry, Vec<u8>) -> Result<Arc<dyn MeetBackend>, SnapshotError>,
+        mut opener: impl FnMut(
+            &ManifestEntry,
+            SnapshotSource,
+        ) -> Result<Arc<dyn MeetBackend>, SnapshotError>,
         remote_config: crate::remote::RemoteConfig,
     ) -> Result<Catalog, CatalogError> {
         let path = path.as_ref();
         let manifest = Manifest::load(path)?;
         let mut catalog = Catalog::new();
         for entry in &manifest.corpora {
-            if entry.layout_version != SNAPSHOT_VERSION {
+            if !(SNAPSHOT_VERSION_V1..=SNAPSHOT_VERSION).contains(&entry.layout_version) {
                 return Err(CatalogError::LayoutVersion {
                     name: entry.name.clone(),
                     found: entry.layout_version,
@@ -329,23 +347,46 @@ impl Catalog {
                 });
             }
             let snapshot_path = Manifest::resolve(path, entry);
-            let bytes = std::fs::read(&snapshot_path).map_err(|e| CatalogError::Corpus {
-                name: entry.name.clone(),
-                error: SnapshotError::Io(e),
-            })?;
-            if checksum64(&bytes) != entry.checksum {
-                return Err(CatalogError::ChecksumMismatch {
-                    name: entry.name.clone(),
-                });
+            let source = if entry.layout_version > SNAPSHOT_LEGACY_MAX {
+                MappedSnapshot::open_with(&snapshot_path, VerifyMode::Eager).and_then(|snap| {
+                    if checksum64(snap.bytes()) != entry.checksum {
+                        return Err(SnapshotError::ChecksumMismatch {
+                            section: "manifest-recorded file checksum",
+                            offset: 0,
+                        });
+                    }
+                    Ok(SnapshotSource::Mapped(snap))
+                })
+            } else {
+                std::fs::read(&snapshot_path)
+                    .map_err(SnapshotError::Io)
+                    .and_then(|bytes| {
+                        if checksum64(&bytes) != entry.checksum {
+                            return Err(SnapshotError::ChecksumMismatch {
+                                section: "manifest-recorded file checksum",
+                                offset: 0,
+                            });
+                        }
+                        SnapshotSource::from_bytes(bytes)
+                    })
             }
+            .map_err(|e| match e {
+                SnapshotError::ChecksumMismatch { .. } => CatalogError::ChecksumMismatch {
+                    name: entry.name.clone(),
+                },
+                error => CatalogError::Corpus {
+                    name: entry.name.clone(),
+                    error,
+                },
+            })?;
             let backend = if entry.endpoints.is_empty() {
-                opener(entry, bytes).map_err(|e| CatalogError::Corpus {
+                opener(entry, source).map_err(|e| CatalogError::Corpus {
                     name: entry.name.clone(),
                     error: e,
                 })?
             } else {
                 let resolver =
-                    Database::from_snapshot_bytes(bytes).map_err(|e| CatalogError::Corpus {
+                    Database::decode_from(&source).map_err(|e| CatalogError::Corpus {
                         name: entry.name.clone(),
                         error: e,
                     })?;

@@ -12,8 +12,8 @@ use crate::meet_sets::{MeetError, SetMeets};
 use crate::planner::{MeetPlanner, MeetStrategy, PlanDecision};
 use crate::rank::rank_meets;
 use ncq_fulltext::{search, HitSet, InvertedIndex};
-use ncq_store::snapshot::{SnapshotError, SnapshotReader, SnapshotWriter};
-use ncq_store::{MonetDb, Oid};
+use ncq_store::snapshot::{SnapshotError, SnapshotReader, SnapshotSource, SnapshotWriter};
+use ncq_store::{MonetDb, Oid, SnapshotWriterV3};
 use ncq_xml::{Document, ParseError};
 use std::path::Path;
 
@@ -23,6 +23,42 @@ use std::path::Path;
 pub struct Database {
     store: MonetDb,
     index: InvertedIndex,
+}
+
+/// Registry handles for the snapshot-open telemetry: open latency plus
+/// one counter per open style, so METRICS can tell mapped (v3 zero-copy)
+/// cold starts from materialized (legacy decode / no-mmap) ones.
+fn snapshot_open_metrics() -> &'static (
+    std::sync::Arc<ncq_obs::Histogram>,
+    std::sync::Arc<ncq_obs::Counter>,
+    std::sync::Arc<ncq_obs::Counter>,
+) {
+    static M: std::sync::OnceLock<(
+        std::sync::Arc<ncq_obs::Histogram>,
+        std::sync::Arc<ncq_obs::Counter>,
+        std::sync::Arc<ncq_obs::Counter>,
+    )> = std::sync::OnceLock::new();
+    M.get_or_init(|| {
+        let registry = &ncq_obs::obs().registry;
+        (
+            registry.histogram("ncq_snapshot_open_ns"),
+            registry.counter("ncq_snapshot_mapped_total"),
+            registry.counter("ncq_snapshot_materialized_total"),
+        )
+    })
+}
+
+/// Record one snapshot open: latency into the histogram, one tick on
+/// the mapped or materialized counter. `pub(crate)` so every cold-start
+/// entry point (database, sharded, catalog) reports through one funnel.
+pub(crate) fn record_snapshot_open(started: std::time::Instant, mapped: bool) {
+    let (open_ns, mapped_total, materialized_total) = snapshot_open_metrics();
+    open_ns.record(started.elapsed().as_nanos() as u64);
+    if mapped {
+        mapped_total.inc();
+    } else {
+        materialized_total.inc();
+    }
 }
 
 impl Database {
@@ -50,10 +86,11 @@ impl Database {
     // one file cold-starts the whole engine with no parse, no meet
     // index DFS and no re-tokenization.
 
-    /// Serialize the whole engine (store + meet index + stats +
-    /// inverted index) into a snapshot writer. Exposed so execution
-    /// layers with extra state (e.g. a shard partition map) can append
-    /// their own sections before writing the file.
+    /// Serialize the whole engine into a **legacy** (v1) snapshot
+    /// writer. Exposed so execution layers with extra state (e.g. a
+    /// shard partition map) can append their own sections before
+    /// writing the file, and so compatibility tests can mint
+    /// old-generation files.
     pub fn encode_snapshot(&self) -> SnapshotWriter {
         let mut writer = SnapshotWriter::new();
         self.store.encode_snapshot(&mut writer);
@@ -61,34 +98,74 @@ impl Database {
         writer
     }
 
-    /// Reconstruct an engine from a verified snapshot reader.
+    /// Serialize the whole engine into a v3 snapshot writer: every
+    /// section in final form, so opening the file is mmap + checksum +
+    /// pointer fixup. This is what [`Database::save_snapshot`] writes.
+    pub fn encode_snapshot_v3(&self) -> SnapshotWriterV3 {
+        let mut writer = SnapshotWriterV3::new();
+        self.store.encode_snapshot_v3(&mut writer);
+        self.index.encode_snapshot_v3(&mut writer);
+        writer
+    }
+
+    /// Reconstruct an engine from a verified **legacy** snapshot
+    /// reader.
     pub fn decode_snapshot(reader: &SnapshotReader) -> Result<Database, SnapshotError> {
         let store = MonetDb::decode_snapshot(reader)?;
         let index = InvertedIndex::decode_snapshot(reader, &store)?;
         Ok(Database { store, index })
     }
 
-    /// Save a snapshot file (atomic rename; deterministic bytes).
+    fn decode_source_untimed(source: &SnapshotSource) -> Result<Database, SnapshotError> {
+        match source {
+            SnapshotSource::Legacy(reader) => Database::decode_snapshot(reader),
+            SnapshotSource::Mapped(snap) => {
+                let store = MonetDb::decode_snapshot_v3(snap)?;
+                let index = InvertedIndex::decode_snapshot_v3(snap, &store)?;
+                Ok(Database { store, index })
+            }
+        }
+    }
+
+    /// Reconstruct an engine from an already-opened snapshot of either
+    /// generation: legacy files decode section by section, v3 files fix
+    /// up zero-copy views over the mapped (or owned) arena.
+    pub fn decode_from(source: &SnapshotSource) -> Result<Database, SnapshotError> {
+        let started = std::time::Instant::now();
+        let db = Database::decode_source_untimed(source)?;
+        record_snapshot_open(started, source.is_mapped());
+        Ok(db)
+    }
+
+    /// Save a snapshot file (atomic rename; deterministic bytes; v3
+    /// layout).
     pub fn save_snapshot(&self, path: impl AsRef<Path>) -> Result<(), SnapshotError> {
-        self.encode_snapshot().write_to(path.as_ref())
+        self.encode_snapshot_v3().write_to(path.as_ref())
     }
 
-    /// Cold-start from a snapshot file: milliseconds of bulk column
-    /// reads instead of the parse → transform → index build pipeline.
-    /// The meet index, depth stats and partition stats arrive
-    /// pre-computed.
+    /// Cold-start from a snapshot file. A v3 file is mmapped and served
+    /// zero-copy — microseconds of header/table checksums and pointer
+    /// fixup instead of the parse → transform → index build pipeline;
+    /// legacy (v1/v2) files take the materializing decode. Version
+    /// dispatch is automatic; set `NCQ_NO_MMAP=1` to force the owned
+    /// in-memory arena for v3 files.
     pub fn open_snapshot(path: impl AsRef<Path>) -> Result<Database, SnapshotError> {
-        Database::decode_snapshot(&SnapshotReader::open(path.as_ref())?)
+        let started = std::time::Instant::now();
+        let source = SnapshotSource::open(path.as_ref())?;
+        let db = Database::decode_source_untimed(&source)?;
+        record_snapshot_open(started, source.is_mapped());
+        Ok(db)
     }
 
-    /// The snapshot as in-memory bytes (tests and tooling).
+    /// The snapshot as in-memory bytes (tests and tooling; v3 layout).
     pub fn snapshot_to_bytes(&self) -> Vec<u8> {
-        self.encode_snapshot().to_bytes()
+        self.encode_snapshot_v3().to_bytes()
     }
 
-    /// Decode an engine from in-memory snapshot bytes.
+    /// Decode an engine from in-memory snapshot bytes of either
+    /// generation.
     pub fn from_snapshot_bytes(bytes: Vec<u8>) -> Result<Database, SnapshotError> {
-        Database::decode_snapshot(&SnapshotReader::from_bytes(bytes)?)
+        Database::decode_from(&SnapshotSource::from_bytes(bytes)?)
     }
 
     /// The underlying inverted index.

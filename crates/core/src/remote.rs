@@ -144,7 +144,7 @@ impl From<std::io::Error> for WireError {
 impl From<SnapshotError> for WireError {
     fn from(e: SnapshotError) -> WireError {
         match e {
-            SnapshotError::Truncated { context } => WireError::Corrupt {
+            SnapshotError::Truncated { context, .. } => WireError::Corrupt {
                 context: format!("body truncated at {context}"),
             },
             other => WireError::Corrupt {

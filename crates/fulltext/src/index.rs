@@ -1,7 +1,7 @@
 //! The inverted index over all string relations of a database.
 
 use crate::tokenize::tokens;
-use ncq_store::{MonetDb, Oid, PathId};
+use ncq_store::{Col, MonetDb, Oid, PathId};
 use std::collections::HashMap;
 
 /// One posting: the association `(owner, string)` that contained the token,
@@ -10,7 +10,8 @@ use std::collections::HashMap;
 /// `repr(C)`: both fields are `repr(transparent)` `u32` newtypes, so a
 /// posting is guaranteed to be laid out as `[path, owner]: [u32; 2]` —
 /// the shape the SIMD decode kernel deinterleaves owner columns from
-/// (see [`mod@crate::intersect`]).
+/// (see [`mod@crate::intersect`]) and the shape the v3 snapshot maps
+/// back as a plain slice.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
 #[repr(C)]
 pub struct Posting {
@@ -20,13 +21,55 @@ pub struct Posting {
     pub owner: Oid,
 }
 
+// SAFETY: `repr(C)` over two `repr(transparent)` u32 newtypes — size 8,
+// align 4, no padding, every bit pattern valid. The compile-time asserts
+// below pin the layout the mapped snapshot relies on.
+unsafe impl ncq_store::Pod for Posting {}
+const _: () = assert!(std::mem::size_of::<Posting>() == 8);
+const _: () = assert!(std::mem::align_of::<Posting>() == 4);
+
+/// The two physical representations behind [`InvertedIndex`].
+#[derive(Debug, Clone)]
+pub(crate) enum Repr {
+    /// Hash map of owned posting lists: the build / legacy-decode /
+    /// restriction representation.
+    Built {
+        map: HashMap<Box<str>, Vec<Posting>>,
+        postings: usize,
+    },
+    /// Zero-copy views into a v3 snapshot: the vocabulary as a sorted
+    /// blob + offsets (CSR over bytes), the postings as one
+    /// concatenated slice + offsets (CSR over lists). Lookups binary
+    /// search the sorted vocabulary instead of hashing.
+    Mapped {
+        /// Byte offsets into `blob`, length `tokens + 1`.
+        token_off: Col<u32>,
+        /// Concatenated UTF-8 token bytes, lexicographic order.
+        blob: Col<u8>,
+        /// Posting offsets, length `tokens + 1`.
+        posting_off: Col<u32>,
+        /// All postings, concatenated in token order.
+        postings: Col<Posting>,
+    },
+}
+
 /// Token → postings over every string relation of a [`MonetDb`].
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone)]
 pub struct InvertedIndex {
     /// `pub(crate)` so the snapshot codec (`crate::snapshot`) can
     /// persist and reconstruct the posting lists directly.
-    pub(crate) map: HashMap<Box<str>, Vec<Posting>>,
-    pub(crate) postings: usize,
+    pub(crate) repr: Repr,
+}
+
+impl Default for InvertedIndex {
+    fn default() -> InvertedIndex {
+        InvertedIndex {
+            repr: Repr::Built {
+                map: HashMap::new(),
+                postings: 0,
+            },
+        }
+    }
 }
 
 impl InvertedIndex {
@@ -58,7 +101,9 @@ impl InvertedIndex {
         // order, owners in document order); the galloping intersections
         // and the meet plane sweeps rely on it.
         debug_assert!(map.values().all(|v| v.windows(2).all(|w| w[0] < w[1])));
-        InvertedIndex { map, postings }
+        InvertedIndex {
+            repr: Repr::Built { map, postings },
+        }
     }
 
     /// Restriction of the index to the postings whose owner satisfies
@@ -67,24 +112,60 @@ impl InvertedIndex {
     /// sorted/deduplicated contract carries over; restricting an index
     /// by a partition of the OID space yields indexes whose posting
     /// lists partition the originals (no duplication, nothing lost).
+    /// The result is always the built representation — shards own their
+    /// filtered lists regardless of where the parent index lives.
     pub fn restrict(&self, mut keep: impl FnMut(Oid) -> bool) -> InvertedIndex {
         let mut map: HashMap<Box<str>, Vec<Posting>> = HashMap::new();
         let mut postings = 0usize;
-        for (token, list) in &self.map {
+        for (token, list) in self.entries() {
             let kept: Vec<Posting> = list.iter().filter(|p| keep(p.owner)).copied().collect();
             if !kept.is_empty() {
                 postings += kept.len();
-                map.insert(token.clone(), kept);
+                map.insert(token.into(), kept);
             }
         }
-        InvertedIndex { map, postings }
+        InvertedIndex {
+            repr: Repr::Built { map, postings },
+        }
+    }
+
+    /// The `i`-th token of the mapped vocabulary.
+    fn mapped_token<'a>(token_off: &Col<u32>, blob: &'a Col<u8>, i: usize) -> &'a str {
+        let bytes = &blob[token_off[i] as usize..token_off[i + 1] as usize];
+        // The v3 decoder validated every token slice as UTF-8.
+        std::str::from_utf8(bytes).expect("token validated at decode")
     }
 
     /// Postings of a token, sorted by `(path, owner)` and deduplicated.
     /// The query term is case-folded before lookup.
     pub fn postings(&self, term: &str) -> &[Posting] {
         let folded = crate::tokenize::fold(term);
-        self.map.get(folded.as_str()).map_or(&[], Vec::as_slice)
+        match &self.repr {
+            Repr::Built { map, .. } => map.get(folded.as_str()).map_or(&[], Vec::as_slice),
+            Repr::Mapped {
+                token_off,
+                blob,
+                posting_off,
+                postings,
+            } => {
+                let count = token_off.len() - 1;
+                let mut lo = 0usize;
+                let mut hi = count;
+                while lo < hi {
+                    let mid = lo + (hi - lo) / 2;
+                    if Self::mapped_token(token_off, blob, mid) < folded.as_str() {
+                        lo = mid + 1;
+                    } else {
+                        hi = mid;
+                    }
+                }
+                if lo < count && Self::mapped_token(token_off, blob, lo) == folded.as_str() {
+                    &postings[posting_off[lo] as usize..posting_off[lo + 1] as usize]
+                } else {
+                    &[]
+                }
+            }
+        }
     }
 
     /// Whether the token occurs anywhere.
@@ -94,17 +175,62 @@ impl InvertedIndex {
 
     /// Number of distinct tokens.
     pub fn vocabulary_size(&self) -> usize {
-        self.map.len()
+        match &self.repr {
+            Repr::Built { map, .. } => map.len(),
+            Repr::Mapped { token_off, .. } => token_off.len() - 1,
+        }
     }
 
     /// Total number of postings.
     pub fn posting_count(&self) -> usize {
-        self.postings
+        match &self.repr {
+            Repr::Built { postings, .. } => *postings,
+            Repr::Mapped { postings, .. } => postings.len(),
+        }
     }
 
-    /// Iterate over the vocabulary (unordered).
-    pub fn vocabulary(&self) -> impl Iterator<Item = &str> {
-        self.map.keys().map(|k| k.as_ref())
+    /// Iterate over the vocabulary (unordered for the built
+    /// representation, lexicographic for the mapped one).
+    pub fn vocabulary(&self) -> Box<dyn Iterator<Item = &str> + '_> {
+        match &self.repr {
+            Repr::Built { map, .. } => Box::new(map.keys().map(|k| k.as_ref())),
+            Repr::Mapped {
+                token_off, blob, ..
+            } => Box::new(
+                (0..token_off.len() - 1).map(move |i| Self::mapped_token(token_off, blob, i)),
+            ),
+        }
+    }
+
+    /// `(token, postings)` pairs in unspecified order — the raw walk
+    /// the restriction and the codecs build on.
+    pub(crate) fn entries(&self) -> Box<dyn Iterator<Item = (&str, &[Posting])> + '_> {
+        match &self.repr {
+            Repr::Built { map, .. } => {
+                Box::new(map.iter().map(|(k, v)| (k.as_ref(), v.as_slice())))
+            }
+            Repr::Mapped {
+                token_off,
+                blob,
+                posting_off,
+                postings,
+            } => Box::new((0..token_off.len() - 1).map(move |i| {
+                (
+                    Self::mapped_token(token_off, blob, i),
+                    &postings[posting_off[i] as usize..posting_off[i + 1] as usize],
+                )
+            })),
+        }
+    }
+
+    /// `(token, postings)` pairs in lexicographic token order — the
+    /// deterministic sequence both snapshot encoders write.
+    pub(crate) fn sorted_entries(&self) -> Vec<(&str, &[Posting])> {
+        let mut entries: Vec<(&str, &[Posting])> = self.entries().collect();
+        // Already sorted when mapped; sort_unstable on sorted input is
+        // cheap enough not to special-case.
+        entries.sort_unstable_by_key(|&(t, _)| t);
+        entries
     }
 }
 

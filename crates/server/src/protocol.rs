@@ -257,6 +257,20 @@ fn format_stats(client: &Client) -> String {
     for (name, served) in &stats.queries_by_corpus {
         out.push_str(&format!("\ncorpus.{name}={served}"));
     }
+    // Snapshot-open telemetry: how many cold starts were served
+    // zero-copy off a mapped v3 file vs materialized (legacy decode or
+    // the no-mmap fallback). Registering the counters here also makes
+    // them show up in METRICS via the registry render even before the
+    // first open.
+    let registry = &ncq_obs::obs().registry;
+    out.push_str(&format!(
+        "\nsnapshot.mapped={}",
+        registry.counter("ncq_snapshot_mapped_total").get()
+    ));
+    out.push_str(&format!(
+        "\nsnapshot.materialized={}",
+        registry.counter("ncq_snapshot_materialized_total").get()
+    ));
     // Kernel-dispatch telemetry: which SIMD mode the process picked
     // and how many calls each kernel family served, split scalar vs
     // vector. The CI compat matrix diffs these between `NCQ_SIMD=on`
@@ -577,8 +591,9 @@ mod tests {
         let lines: Vec<&str> = out.lines().collect();
         let header = lines[stats_at - 1];
         let n: usize = header.strip_prefix("OK ").unwrap().parse().unwrap();
-        // 17 counter/rate lines + simd.mode + 6 kernels × {scalar,vector}.
-        assert_eq!(n, 30, "one line per counter plus the derived rates");
+        // 17 counter/rate lines + 2 snapshot-open counters + simd.mode
+        // + 6 kernels × {scalar,vector}.
+        assert_eq!(n, 32, "one line per counter plus the derived rates");
         assert_eq!(lines[stats_at], "served=1");
         // The derived cache hit rates ride the frame.
         for key in ["sem_hit_rate=0.0000", "term_cache_hit_rate=0.0000"] {

@@ -36,14 +36,12 @@ pub fn open_catalog_remote(
 ) -> Result<Catalog, CatalogError> {
     Catalog::open_manifest_remote(
         manifest_path,
-        |entry, bytes| {
+        |entry, source| {
             if entry.shards > 1 {
-                Ok(
-                    Arc::new(ShardedDb::from_snapshot_bytes(bytes, entry.shards)?)
-                        as Arc<dyn MeetBackend>,
-                )
+                Ok(Arc::new(ShardedDb::from_source(&source, entry.shards)?)
+                    as Arc<dyn MeetBackend>)
             } else {
-                Ok(Arc::new(Database::from_snapshot_bytes(bytes)?) as Arc<dyn MeetBackend>)
+                Ok(Arc::new(Database::decode_from(&source)?) as Arc<dyn MeetBackend>)
             }
         },
         remote_config,

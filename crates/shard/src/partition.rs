@@ -26,7 +26,7 @@
 //!   nest, so a common ancestor of nodes in two chunks properly
 //!   contains a chunk root).
 
-use ncq_store::{MonetDb, Oid};
+use ncq_store::{Col, MonetDb, Oid};
 use std::ops::Range;
 
 /// One shard of the partition: a run of consecutive chunk subtrees.
@@ -57,8 +57,9 @@ pub struct PartitionMap {
     /// was asked for.
     pub(crate) requested_k: usize,
     pub(crate) shards: Vec<ShardInfo>,
-    /// Bitset over OIDs: true = spine (replicated) node.
-    pub(crate) spine: Vec<u64>,
+    /// Bitset over OIDs: true = spine (replicated) node. A [`Col`] so
+    /// a v3 snapshot open serves it straight out of the mapped file.
+    pub(crate) spine: Col<u64>,
     pub(crate) spine_nodes: usize,
     pub(crate) total_mass: u64,
 }
@@ -86,7 +87,7 @@ impl PartitionMap {
                     mass: total_mass,
                     min_root_depth: 0,
                 }],
-                spine,
+                spine: spine.into(),
                 spine_nodes,
                 total_mass,
             };
@@ -158,7 +159,7 @@ impl PartitionMap {
         PartitionMap {
             requested_k: k,
             shards,
-            spine,
+            spine: spine.into(),
             spine_nodes,
             total_mass,
         }

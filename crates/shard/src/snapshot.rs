@@ -10,8 +10,8 @@
 //! [`ShardedDb::open_snapshot`] still skips the chunk decomposition
 //! walk entirely.
 //!
-//! Layout of the `PARTITION` section (little-endian, inside the
-//! checksummed container of [`ncq_store::snapshot`]):
+//! Legacy (v1/v2) layout of the `PARTITION` section (little-endian,
+//! inside the checksummed container of [`ncq_store::snapshot`]):
 //!
 //! ```text
 //! requested K (u32) · shard count (u32)
@@ -22,14 +22,93 @@
 //! spine bitset (u32 word count + u64 words)
 //! spine node count (u64) · total mass (u64)
 //! ```
+//!
+//! The v3 layout front-loads the scalars and shard metadata and stores
+//! the two arrays — concatenated chunk roots and the spine bitset — as
+//! aligned columns, so the (large, O(n/64)) spine is served zero-copy
+//! from the mapped file:
+//!
+//! ```text
+//! requested K · shard count · spine nodes · total mass
+//!   · total roots · spine words                      (6 × u64)
+//! per shard: root count · start · end · nodes · mass
+//!   · min root depth                                 (6 × u64)
+//! roots: u32[total roots]   concatenated, shard-major
+//! spine: u64[spine words]
+//! ```
 
 use crate::partition::{PartitionMap, ShardInfo};
 use crate::sharded::ShardedDb;
 use ncq_core::Database;
-use ncq_store::snapshot::{section, SnapshotError, SnapshotReader, SnapshotWriter};
-use ncq_store::Oid;
+use ncq_store::snapshot::{section, SnapshotError, SnapshotReader, SnapshotSource, SnapshotWriter};
+use ncq_store::{MappedSnapshot, Oid, SnapshotWriterV3};
 use std::path::Path;
 use std::sync::Arc;
+
+/// Structural checks shared by both decoders: shard intervals ascend,
+/// stay disjoint and in range, chunk roots are preorder-sorted inside
+/// their interval, the spine bitset is sized to the instance and its
+/// popcount matches, and every object outside the covering intervals
+/// is a spine node ([`PartitionMap::shard_of`] clamps its interval
+/// search, so an unnoticed gap would silently attribute an object to a
+/// shard that does not own it — it must be a typed error instead).
+fn validate_partition(
+    requested_k: usize,
+    shards: &[ShardInfo],
+    spine: &[u64],
+    spine_nodes: usize,
+    node_count: usize,
+) -> Result<(), SnapshotError> {
+    if requested_k == 0 || shards.is_empty() || shards.len() > requested_k {
+        return Err(SnapshotError::Corrupt {
+            context: "partition shard counts inconsistent",
+        });
+    }
+    let mut prev_end = 0usize;
+    for shard in shards {
+        let (start, end) = (shard.range.start, shard.range.end);
+        if shard.roots.is_empty()
+            || start < prev_end
+            || end <= start
+            || end > node_count
+            || shard.roots.first().is_some_and(|r| r.index() != start)
+            || shard
+                .roots
+                .iter()
+                .any(|r| r.index() < start || r.index() >= end)
+            || shard.roots.windows(2).any(|w| w[0] >= w[1])
+            || shard.nodes > end - start
+        {
+            return Err(SnapshotError::Corrupt {
+                context: "partition shard interval invalid",
+            });
+        }
+        prev_end = end;
+    }
+    if spine.len() != node_count.div_ceil(64)
+        || spine_nodes != spine.iter().map(|w| w.count_ones() as usize).sum::<usize>()
+    {
+        return Err(SnapshotError::Corrupt {
+            context: "partition spine bitset inconsistent",
+        });
+    }
+    let is_spine = |o: usize| spine[o / 64] >> (o % 64) & 1 == 1;
+    let mut cursor = 0usize;
+    for shard in shards {
+        if (cursor..shard.range.start).any(|o| !is_spine(o)) {
+            return Err(SnapshotError::Corrupt {
+                context: "partition leaves a non-spine object uncovered",
+            });
+        }
+        cursor = shard.range.end;
+    }
+    if (cursor..node_count).any(|o| !is_spine(o)) {
+        return Err(SnapshotError::Corrupt {
+            context: "partition leaves a non-spine object uncovered",
+        });
+    }
+    Ok(())
+}
 
 impl PartitionMap {
     /// Write the `PARTITION` section.
@@ -50,10 +129,37 @@ impl PartitionMap {
         s.put_u64(self.total_mass);
     }
 
-    /// Read the `PARTITION` section back, validating the structural
-    /// invariants the executors build on (non-empty shards, ascending
-    /// disjoint covering intervals, spine bitset sized to the
-    /// instance).
+    /// Write the v3 `PARTITION` section: scalars and shard metadata up
+    /// front, then the concatenated chunk roots and the spine bitset as
+    /// aligned columns.
+    pub fn encode_snapshot_v3(&self, writer: &mut SnapshotWriterV3) {
+        let total_roots: usize = self.shards.iter().map(|s| s.roots.len()).sum();
+        let mut s = writer.section(section::PARTITION);
+        s.put_u64(self.requested_k as u64);
+        s.put_u64(self.shards.len() as u64);
+        s.put_u64(self.spine_nodes as u64);
+        s.put_u64(self.total_mass);
+        s.put_u64(total_roots as u64);
+        s.put_u64(self.spine.len() as u64);
+        for shard in &self.shards {
+            s.put_u64(shard.roots.len() as u64);
+            s.put_u64(shard.range.start as u64);
+            s.put_u64(shard.range.end as u64);
+            s.put_u64(shard.nodes as u64);
+            s.put_u64(shard.mass);
+            s.put_u64(shard.min_root_depth as u64);
+        }
+        let roots: Vec<u32> = self
+            .shards
+            .iter()
+            .flat_map(|s| s.roots.iter().map(|o| o.index() as u32))
+            .collect();
+        s.put_col::<u32>(&roots);
+        s.put_col::<u64>(&self.spine);
+    }
+
+    /// Read the `PARTITION` section back from a legacy snapshot,
+    /// validating the structural invariants the executors build on.
     pub fn decode_snapshot(
         reader: &SnapshotReader,
         node_count: usize,
@@ -70,7 +176,6 @@ impl PartitionMap {
         // inconsistent count fails typed instead of aborting on a
         // multi-gigabyte pre-allocation.
         let mut shards = Vec::with_capacity(shard_count.min(s.remaining() / 40));
-        let mut prev_end = 0usize;
         for _ in 0..shard_count {
             let roots_raw = s.get_u32_col("partition chunk roots")?;
             let start = s.get_u64("partition range start")? as usize;
@@ -78,22 +183,6 @@ impl PartitionMap {
             let nodes = s.get_u64("partition shard nodes")? as usize;
             let mass = s.get_u64("partition shard mass")?;
             let min_root_depth = s.get_u32("partition min root depth")? as usize;
-            if roots_raw.is_empty()
-                || start < prev_end
-                || end <= start
-                || end > node_count
-                || roots_raw.first().is_some_and(|&r| r as usize != start)
-                || roots_raw
-                    .iter()
-                    .any(|&r| (r as usize) < start || r as usize >= end)
-                || roots_raw.windows(2).any(|w| w[0] >= w[1])
-                || nodes > end - start
-            {
-                return Err(SnapshotError::Corrupt {
-                    context: "partition shard interval invalid",
-                });
-            }
-            prev_end = end;
             shards.push(ShardInfo {
                 roots: roots_raw
                     .iter()
@@ -108,32 +197,93 @@ impl PartitionMap {
         let spine = s.get_u64_col("partition spine bitset")?;
         let spine_nodes = s.get_u64("partition spine count")? as usize;
         let total_mass = s.get_u64("partition total mass")?;
-        if spine.len() != node_count.div_ceil(64)
-            || spine_nodes != spine.iter().map(|w| w.count_ones() as usize).sum::<usize>()
-        {
+        validate_partition(requested_k, &shards, &spine, spine_nodes, node_count)?;
+        Ok(PartitionMap {
+            requested_k,
+            shards,
+            spine: spine.into(),
+            spine_nodes,
+            total_mass,
+        })
+    }
+
+    /// Read the v3 `PARTITION` section: shard metadata is materialized
+    /// (it is O(K)), the spine bitset stays a zero-copy view. Read
+    /// through [`MappedSnapshot::section_verified`] — the section is
+    /// fully scanned by the validation below anyway, so the checksum
+    /// rides along for free.
+    pub fn decode_snapshot_v3(
+        snap: &MappedSnapshot,
+        node_count: usize,
+    ) -> Result<PartitionMap, SnapshotError> {
+        let mut s = snap.section_verified(section::PARTITION)?;
+        let requested_k = s.get_u64()? as usize;
+        let shard_count = s.get_u64()? as usize;
+        let spine_nodes = s.get_u64()? as usize;
+        let total_mass = s.get_u64()?;
+        let total_roots = s.get_u64()? as usize;
+        let spine_words = s.get_u64()? as usize;
+        if requested_k == 0 || shard_count == 0 || shard_count > requested_k {
             return Err(SnapshotError::Corrupt {
-                context: "partition spine bitset inconsistent",
+                context: "partition shard counts inconsistent",
             });
         }
-        // Coverage: every oid outside the covering intervals must be a
-        // spine node. `shard_of` clamps its interval search, so an oid
-        // in an unnoticed gap would be silently attributed to a shard
-        // that does not own it — this must be a typed error instead.
-        let is_spine = |o: usize| spine[o / 64] >> (o % 64) & 1 == 1;
-        let mut cursor = 0usize;
-        for shard in &shards {
-            if (cursor..shard.range.start).any(|o| !is_spine(o)) {
-                return Err(SnapshotError::Corrupt {
-                    context: "partition leaves a non-spine object uncovered",
-                });
-            }
-            cursor = shard.range.end;
+        struct Meta {
+            roots: usize,
+            start: usize,
+            end: usize,
+            nodes: usize,
+            mass: u64,
+            min_root_depth: usize,
         }
-        if (cursor..node_count).any(|o| !is_spine(o)) {
-            return Err(SnapshotError::Corrupt {
-                context: "partition leaves a non-spine object uncovered",
+        // Clamped like the legacy path: a shard entry is 48 bytes.
+        let mut metas = Vec::with_capacity(shard_count.min(s.remaining() / 48));
+        for _ in 0..shard_count {
+            metas.push(Meta {
+                roots: s.get_u64()? as usize,
+                start: s.get_u64()? as usize,
+                end: s.get_u64()? as usize,
+                nodes: s.get_u64()? as usize,
+                mass: s.get_u64()?,
+                min_root_depth: s.get_u64()? as usize,
             });
         }
+        let roots = s.take_col::<u32>(total_roots)?;
+        let spine = s.take_col::<u64>(spine_words)?;
+        if !s.at_end() {
+            return Err(SnapshotError::Corrupt {
+                context: "partition section has trailing bytes",
+            });
+        }
+        let mut shards = Vec::with_capacity(metas.len());
+        let mut at = 0usize;
+        for m in &metas {
+            // Checked walk: a lying per-shard count must fail typed,
+            // never slice out of bounds.
+            let next = at
+                .checked_add(m.roots)
+                .filter(|&n| n <= total_roots)
+                .ok_or(SnapshotError::Corrupt {
+                    context: "partition root counts inconsistent",
+                })?;
+            shards.push(ShardInfo {
+                roots: roots[at..next]
+                    .iter()
+                    .map(|&r| Oid::from_index(r as usize))
+                    .collect(),
+                range: m.start..m.end,
+                nodes: m.nodes,
+                mass: m.mass,
+                min_root_depth: m.min_root_depth,
+            });
+            at = next;
+        }
+        if at != total_roots {
+            return Err(SnapshotError::Corrupt {
+                context: "partition root counts inconsistent",
+            });
+        }
+        validate_partition(requested_k, &shards, &spine, spine_nodes, node_count)?;
         Ok(PartitionMap {
             requested_k,
             shards,
@@ -146,24 +296,26 @@ impl PartitionMap {
 
 impl ShardedDb {
     /// Persist the sharded engine: the database sections plus the
-    /// partition map. Restricted postings are not written — they are
-    /// re-derived from the map at load (a linear filter), keeping the
-    /// file identical to the single-engine snapshot plus one small
-    /// section, and keeping saves from any engine byte-deterministic.
+    /// partition map, in the v3 zero-copy layout. Restricted postings
+    /// are not written — they are re-derived from the map at load (a
+    /// linear filter), keeping the file identical to the single-engine
+    /// snapshot plus one small section, and keeping saves from any
+    /// engine byte-deterministic.
     pub fn save_snapshot(&self, path: impl AsRef<Path>) -> Result<(), SnapshotError> {
-        let mut writer = self.database().encode_snapshot();
-        self.partition().encode_snapshot(&mut writer);
+        let mut writer = self.database().encode_snapshot_v3();
+        self.partition().encode_snapshot_v3(&mut writer);
         writer.write_to(path.as_ref())
     }
 
-    /// Cold-start a sharded engine from a snapshot. When the snapshot
-    /// carries a partition map built for the same requested `k`, the
-    /// stored cut is reused; otherwise (different `k`, or a snapshot
-    /// saved from a single engine) the partition is rebuilt from the
-    /// loaded stats — still without any parse or index preprocess,
-    /// since the meet index and mass prefix sums arrive pre-computed.
+    /// Cold-start a sharded engine from a snapshot of either
+    /// generation. When the snapshot carries a partition map built for
+    /// the same requested `k`, the stored cut is reused; otherwise
+    /// (different `k`, or a snapshot saved from a single engine) the
+    /// partition is rebuilt from the loaded stats — still without any
+    /// parse or index preprocess, since the meet index and mass prefix
+    /// sums arrive pre-computed (for v3, zero-copy out of the map).
     pub fn open_snapshot(path: impl AsRef<Path>, k: usize) -> Result<ShardedDb, SnapshotError> {
-        ShardedDb::from_reader(&SnapshotReader::open(path.as_ref())?, k)
+        ShardedDb::from_source(&SnapshotSource::open(path.as_ref())?, k)
     }
 
     /// Cold-start a sharded engine from in-memory snapshot bytes — the
@@ -171,14 +323,22 @@ impl ShardedDb {
     /// against its manifest checksum (the bytes are already read, so
     /// re-opening the file would double the IO).
     pub fn from_snapshot_bytes(bytes: Vec<u8>, k: usize) -> Result<ShardedDb, SnapshotError> {
-        ShardedDb::from_reader(&SnapshotReader::from_bytes(bytes)?, k)
+        ShardedDb::from_source(&SnapshotSource::from_bytes(bytes)?, k)
     }
 
-    fn from_reader(reader: &SnapshotReader, k: usize) -> Result<ShardedDb, SnapshotError> {
-        let db = Arc::new(Database::decode_snapshot(reader)?);
+    /// Cold-start from an already-opened snapshot of either generation
+    /// — the shared dispatch behind the file and byte entry points,
+    /// public so forest openers can route one source to either engine
+    /// shape.
+    pub fn from_source(source: &SnapshotSource, k: usize) -> Result<ShardedDb, SnapshotError> {
+        let db = Arc::new(Database::decode_from(source)?);
         let workers = crate::sharded::default_workers(k);
-        if reader.has_section(section::PARTITION) {
-            let partition = PartitionMap::decode_snapshot(reader, db.store().node_count())?;
+        if source.has_section(section::PARTITION) {
+            let n = db.store().node_count();
+            let partition = match source {
+                SnapshotSource::Legacy(reader) => PartitionMap::decode_snapshot(reader, n)?,
+                SnapshotSource::Mapped(snap) => PartitionMap::decode_snapshot_v3(snap, n)?,
+            };
             if partition.requested_k() == k {
                 return Ok(ShardedDb::with_partition(db, partition, workers));
             }

@@ -50,6 +50,7 @@
 //! O(hits × depth) to O(1) per pair. The operators report the joins they
 //! *model*, not the look-ups they perform.
 
+use crate::mmap::Col;
 use crate::monet::MonetDb;
 use crate::oid::Oid;
 use crate::path::PathId;
@@ -58,45 +59,52 @@ use crate::path::PathId;
 ///
 /// Built once per document via [`MonetDb::meet_index`] (lazily, cached)
 /// or eagerly with [`MeetIndex::build`].
+///
+/// Every array is a [`Col`]: owned when the index was built or loaded
+/// from a legacy snapshot, a zero-copy view into a mapped v3 snapshot
+/// otherwise — all eleven arrays here are **final-form** on disk in v3,
+/// so a mapped open performs no assembly at all. `pub(crate)` fields:
+/// the snapshot codecs persist and reattach them directly.
 #[derive(Debug, Clone)]
 pub struct MeetIndex {
     /// Tree depth per oid (copied out of the path summary for locality).
-    /// `pub(crate)` fields: the snapshot codec persists the four source
-    /// arrays (`depth`, `subtree_end`, `tour`, `path_oids`) and rebuilds
-    /// the derived RMQ tables with [`MeetIndex::assemble`].
-    pub(crate) depth: Vec<u32>,
+    pub(crate) depth: Col<u32>,
     /// Exclusive end of the preorder interval per oid: the subtree of `o`
     /// is exactly the OID range `o.index()..subtree_end[o.index()]`.
-    pub(crate) subtree_end: Vec<u32>,
+    pub(crate) subtree_end: Col<u32>,
     /// `(first_visit << 32) | depth` per oid: one load per query
     /// endpoint yields both the tour position and the depth.
-    visit_depth: Vec<u64>,
+    pub(crate) visit_depth: Col<u64>,
     /// The Euler tour: `2n − 1` oid values.
-    pub(crate) tour: Vec<u32>,
+    pub(crate) tour: Col<u32>,
     /// `depth[tour[i]]`, materialized so in-block scans read contiguous
     /// memory instead of chasing `tour` → `depth`.
-    tour_depth: Vec<u32>,
+    pub(crate) tour_depth: Col<u32>,
     /// Per tour position: packed `(depth << 32) | pos` argmin within its
     /// block, from the block start up to and including this position.
     /// Packing makes every RMQ comparison a plain u64 compare with no
     /// dependent loads.
-    prefix_min: Vec<u64>,
+    pub(crate) prefix_min: Col<u64>,
     /// Per tour position: packed argmin within its block, from this
     /// position to the block end.
-    suffix_min: Vec<u64>,
+    pub(crate) suffix_min: Col<u64>,
     /// Sparse table over whole-block minima, flattened level-major:
     /// `block_table[level * num_blocks + b]` is the packed minimum over
     /// blocks `b .. b + 2^level`.
-    block_table: Vec<u64>,
+    pub(crate) block_table: Col<u64>,
     /// Number of 32-entry tour blocks.
-    num_blocks: usize,
-    /// OIDs per path, in document order.
-    pub(crate) path_oids: Vec<Vec<Oid>>,
+    pub(crate) num_blocks: usize,
+    /// Per-path posting offsets (CSR): the oids of path `p` are
+    /// `path_data[path_off[p] .. path_off[p + 1]]`, in document order.
+    pub(crate) path_off: Col<u32>,
+    /// Concatenated per-path postings, `n` oids total.
+    pub(crate) path_data: Col<Oid>,
 }
 
 /// Tour block size: 32 entries = two cache lines of `tour_depth`, and a
-/// worst-case in-block scan of 31 contiguous comparisons.
-const BLOCK: usize = 32;
+/// worst-case in-block scan of 31 contiguous comparisons. `pub(crate)`:
+/// the v3 snapshot codec validates block counts against it.
+pub(crate) const BLOCK: usize = 32;
 const BLOCK_SHIFT: u32 = BLOCK.trailing_zeros();
 
 /// Pack a (depth, tour position) pair; the natural u64 order is then
@@ -281,6 +289,51 @@ impl MeetIndex {
             }
         }
 
+        // Per-path postings in CSR layout: one offsets array plus the
+        // concatenated document-order data — the shape the v3 snapshot
+        // maps back without assembly.
+        let mut path_off: Vec<u32> = Vec::with_capacity(path_oids.len() + 1);
+        let mut path_data: Vec<Oid> = Vec::with_capacity(n);
+        path_off.push(0);
+        for oids in &path_oids {
+            path_data.extend_from_slice(oids);
+            path_off.push(path_data.len() as u32);
+        }
+
+        MeetIndex {
+            depth: depth.into(),
+            subtree_end: subtree_end.into(),
+            visit_depth: visit_depth.into(),
+            tour: tour.into(),
+            tour_depth: tour_depth.into(),
+            prefix_min: prefix_min.into(),
+            suffix_min: suffix_min.into(),
+            block_table: block_table.into(),
+            num_blocks,
+            path_off: path_off.into(),
+            path_data: path_data.into(),
+        }
+    }
+
+    /// Reattach an index from its persisted final-form arrays — the v3
+    /// snapshot path: no DFS, no RMQ fill, no posting regrouping. The
+    /// caller (the codec) has validated the shape invariants the
+    /// accessors rely on: matching lengths, `path_off` monotone from 0
+    /// to `n`, and `block_table.len() == levels * num_blocks`.
+    #[allow(clippy::too_many_arguments)]
+    pub(crate) fn from_parts(
+        depth: Col<u32>,
+        subtree_end: Col<u32>,
+        visit_depth: Col<u64>,
+        tour: Col<u32>,
+        tour_depth: Col<u32>,
+        prefix_min: Col<u64>,
+        suffix_min: Col<u64>,
+        block_table: Col<u64>,
+        num_blocks: usize,
+        path_off: Col<u32>,
+        path_data: Col<Oid>,
+    ) -> MeetIndex {
         MeetIndex {
             depth,
             subtree_end,
@@ -291,8 +344,15 @@ impl MeetIndex {
             suffix_min,
             block_table,
             num_blocks,
-            path_oids,
+            path_off,
+            path_data,
         }
+    }
+
+    /// Number of paths with a postings slot.
+    #[inline]
+    pub(crate) fn path_count(&self) -> usize {
+        self.path_off.len().saturating_sub(1)
     }
 
     /// Number of indexed objects.
@@ -394,7 +454,11 @@ impl MeetIndex {
     /// [`MonetDb::oids_of_path`].
     #[inline]
     pub fn oids_of_path(&self, p: PathId) -> &[Oid] {
-        self.path_oids.get(p.index()).map_or(&[], Vec::as_slice)
+        let i = p.index();
+        if i + 1 >= self.path_off.len() {
+            return &[];
+        }
+        &self.path_data[self.path_off[i] as usize..self.path_off[i + 1] as usize]
     }
 
     /// Whether any OID of the sorted document-order `oids` slice falls in

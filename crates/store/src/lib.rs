@@ -33,6 +33,7 @@
 
 pub mod index;
 pub mod manifest;
+pub mod mmap;
 pub mod monet;
 pub mod object;
 pub mod oid;
@@ -44,12 +45,16 @@ pub use index::MeetIndex;
 pub use manifest::{
     validate_corpus_name, Manifest, ManifestEntry, ManifestError, MANIFEST_MAGIC, MANIFEST_VERSION,
 };
+pub use mmap::{
+    mmap_disabled, section_name, Col, MappedSnapshot, Pod, SectionBufV3, SectionView,
+    SnapshotArena, SnapshotWriterV3, VerifyMode,
+};
 pub use monet::MonetDb;
 pub use object::ObjectView;
 pub use oid::Oid;
 pub use path::{PathId, PathStep, PathSummary};
 pub use snapshot::{
-    SectionBuf, SectionCursor, SnapshotError, SnapshotReader, SnapshotWriter, SNAPSHOT_MAGIC,
-    SNAPSHOT_VERSION,
+    SectionBuf, SectionCursor, SnapshotError, SnapshotReader, SnapshotSource, SnapshotWriter,
+    SNAPSHOT_LEGACY_MAX, SNAPSHOT_MAGIC, SNAPSHOT_VERSION, SNAPSHOT_VERSION_V1,
 };
 pub use stats::{DepthStats, PartitionStats, StoreStats};

@@ -163,7 +163,7 @@ impl From<std::io::Error> for ManifestError {
 impl From<SnapshotError> for ManifestError {
     fn from(e: SnapshotError) -> ManifestError {
         match e {
-            SnapshotError::Truncated { context } => ManifestError::Truncated { context },
+            SnapshotError::Truncated { context, .. } => ManifestError::Truncated { context },
             SnapshotError::Corrupt { context } => ManifestError::Corrupt { context },
             _ => ManifestError::Corrupt {
                 context: "manifest body",

@@ -1,0 +1,1104 @@
+//! Zero-copy snapshot layout **v3**: the mapped container, the aligned
+//! writer, and the borrowed-or-owned column machinery.
+//!
+//! # Why
+//!
+//! The v1 loader ([`crate::snapshot::SnapshotReader`]) materializes
+//! every section and rebuilds derived state — depths, preorder
+//! intervals, sibling ranks, RMQ tables — in linear passes. That is
+//! 5–8× faster than parse+build, but a replica cold start or a
+//! `SNAPSHOT LOAD` hot swap still pays O(n) before the first query.
+//! Layout v3 stores every array in its **final in-memory form**,
+//! 64-byte aligned, so opening a snapshot is `mmap` + header/table
+//! checksum + pointer fixup: the engine serves straight out of the
+//! page cache, one physical copy shared across processes, and the
+//! first byte of a multi-gigabyte corpus is query-able in
+//! microseconds.
+//!
+//! # Layout (version 3)
+//!
+//! ```text
+//! offset  0  magic   b"NCQSNAP\0"                      8 bytes
+//!         8  layout version = 3 (u32 LE)               4 bytes
+//!        12  section count  (u32 LE)                   4 bytes
+//!        16  table checksum64 over the table bytes     8 bytes
+//!        24  section table: per section               32 bytes each
+//!              id (u32) · reserved (u32, zero) ·
+//!              offset (u64) · len (u64) · checksum64 (u64)
+//!         …  section payloads, each starting at a 64-byte-aligned
+//!            offset, zero-padded to the next 64-byte boundary; the
+//!            payloads are packed back to back (offset k+1 = padded
+//!            end of k) and the file ends at the last padded end.
+//! ```
+//!
+//! Scalars are little-endian; array payloads are raw native-endian
+//! element runs (the format is only defined for little-endian hosts,
+//! which every supported target is). Each section checksum covers its
+//! **padded** extent, so together with the table checksum every byte
+//! of the file after the header is covered by exactly one checksum.
+//!
+//! # Verification policy
+//!
+//! The header, section table, and the file length against every
+//! advertised section extent are always validated at open — a
+//! truncated or table-corrupt file fails typed before any payload
+//! pointer is formed (no SIGBUS-prone blind dereference). Payload
+//! checksums are **lazy** by default: sections the decoder
+//! materializes (symbols, paths, strings, the full-text vocabulary,
+//! the partition map) are verified when decoded, while the large
+//! final-form arrays served as mapped views (columns, meet index,
+//! stats prefix sums) defer their checksum so first touch stays at
+//! page-fault cost. `NCQ_SNAPSHOT_VERIFY=eager` (or
+//! [`VerifyMode::Eager`], which the forest catalog uses in place of
+//! the manifest's whole-file checksum) verifies every section at
+//! open. Under lazy verification a bit flip in an unverified array
+//! can only produce wrong answers or a bounds-check panic — all views
+//! are ordinary checked slices, never undefined behaviour.
+//!
+//! `NCQ_NO_MMAP=1` (or a non-unix target) routes opens through an
+//! owned, 64-byte-aligned heap copy of the file — the same views over
+//! the same layout, minus the shared page cache.
+
+use crate::snapshot::{checksum64, SnapshotError, SNAPSHOT_MAGIC};
+use std::path::Path;
+use std::ptr::NonNull;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+
+/// Round up to the next 64-byte boundary.
+#[inline]
+pub const fn align64(n: usize) -> usize {
+    (n + 63) & !63
+}
+
+/// Section payload alignment (one cache line; also the alignment of
+/// every array start inside a section).
+pub const SECTION_ALIGN: usize = 64;
+
+/// Human-readable section name for error context, so a
+/// `ChecksumMismatch` names what rotted instead of a bare id.
+pub fn section_name(id: u32) -> &'static str {
+    match id {
+        crate::snapshot::section::SYMBOLS => "symbols",
+        crate::snapshot::section::PATHS => "paths",
+        crate::snapshot::section::COLUMNS => "columns",
+        crate::snapshot::section::STRINGS => "strings",
+        crate::snapshot::section::MEET_INDEX => "meet-index",
+        crate::snapshot::section::STATS => "stats",
+        crate::snapshot::section::FULLTEXT => "fulltext",
+        crate::snapshot::section::PARTITION => "partition",
+        _ => "unknown-section",
+    }
+}
+
+/// Whether snapshot opens should avoid `mmap` and fall back to the
+/// owned-copy path: always on non-unix targets, or when the
+/// `NCQ_NO_MMAP` environment switch is set (truthy) — the knob the CI
+/// mmap-on/off matrix flips, mirroring `NCQ_SIMD`.
+pub fn mmap_disabled() -> bool {
+    if !cfg!(unix) {
+        return true;
+    }
+    std::env::var("NCQ_NO_MMAP").is_ok_and(|v| !v.is_empty() && v != "0")
+}
+
+/// When payload checksums are verified. See the module docs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum VerifyMode {
+    /// Header + table at open; payload sections on first decode of the
+    /// materialized sections only (the default).
+    Lazy,
+    /// Every section checksum at open (reads every page once).
+    Eager,
+}
+
+impl VerifyMode {
+    /// `NCQ_SNAPSHOT_VERIFY=eager` upgrades the process default.
+    pub fn from_env() -> VerifyMode {
+        match std::env::var("NCQ_SNAPSHOT_VERIFY").as_deref() {
+            Ok("eager") => VerifyMode::Eager,
+            _ => VerifyMode::Lazy,
+        }
+    }
+}
+
+// ----- plain-old-data element types -----
+
+/// Element types that may be viewed directly over snapshot bytes.
+///
+/// # Safety
+///
+/// Implementors guarantee: no padding bytes, every bit pattern is a
+/// valid value, size is a multiple of alignment, and alignment divides
+/// [`SECTION_ALIGN`]. `repr(transparent)` newtypes over such a type and
+/// `repr(C)` structs of such fields qualify.
+pub unsafe trait Pod: Copy + Send + Sync + 'static {}
+
+// SAFETY: primitive integers are padding-free and bit-pattern-complete.
+unsafe impl Pod for u8 {}
+// SAFETY: as above.
+unsafe impl Pod for u32 {}
+// SAFETY: as above.
+unsafe impl Pod for u64 {}
+// SAFETY: `Oid` is `repr(transparent)` over `u32` (asserted below).
+unsafe impl Pod for crate::oid::Oid {}
+// SAFETY: `PathId` is `repr(transparent)` over `u32` (asserted below).
+unsafe impl Pod for crate::path::PathId {}
+
+// Compile-time layout asserts: the zero-copy views cast raw snapshot
+// bytes to these element types, so any layout drift must fail the
+// build, not corrupt a mapped read.
+const _: () = {
+    assert!(std::mem::size_of::<crate::oid::Oid>() == 4);
+    assert!(std::mem::align_of::<crate::oid::Oid>() == 4);
+    assert!(std::mem::size_of::<crate::path::PathId>() == 4);
+    assert!(std::mem::align_of::<crate::path::PathId>() == 4);
+};
+
+/// View a byte slice as `&[T]`; `None` on misalignment or a length
+/// that is not a whole number of elements.
+fn cast_slice<T: Pod>(bytes: &[u8]) -> Option<&[T]> {
+    let size = std::mem::size_of::<T>();
+    if size == 0 || !bytes.len().is_multiple_of(size) {
+        return None;
+    }
+    if !(bytes.as_ptr() as usize).is_multiple_of(std::mem::align_of::<T>()) {
+        return None;
+    }
+    // SAFETY: alignment and length were just checked; `T: Pod` makes
+    // every bit pattern a valid `T`, and the returned lifetime borrows
+    // the input bytes.
+    Some(unsafe { std::slice::from_raw_parts(bytes.as_ptr().cast::<T>(), bytes.len() / size) })
+}
+
+/// View a `Pod` slice as raw bytes (the writer's array emitter).
+fn as_bytes<T: Pod>(vals: &[T]) -> &[u8] {
+    // SAFETY: `T: Pod` has no padding, so every byte of the slice is
+    // initialized; the lifetime borrows the input.
+    unsafe { std::slice::from_raw_parts(vals.as_ptr().cast::<u8>(), std::mem::size_of_val(vals)) }
+}
+
+// ----- the arena: one mapped or owned allocation per snapshot -----
+
+#[cfg(unix)]
+mod sys {
+    use std::os::raw::{c_int, c_void};
+
+    pub const PROT_READ: c_int = 1;
+    pub const MAP_PRIVATE: c_int = 2;
+
+    extern "C" {
+        pub fn mmap(
+            addr: *mut c_void,
+            len: usize,
+            prot: c_int,
+            flags: c_int,
+            fd: c_int,
+            offset: i64,
+        ) -> *mut c_void;
+        pub fn munmap(addr: *mut c_void, len: usize) -> c_int;
+    }
+}
+
+/// The backing memory of one open snapshot: either a read-only file
+/// mapping (zero-copy, page cache shared across processes) or an
+/// owned 64-byte-aligned heap copy (the `NCQ_NO_MMAP` / non-unix /
+/// from-bytes fallback). Column views ([`Col`]) hold an `Arc` to the
+/// arena, so the mapping lives exactly as long as any view over it.
+pub struct SnapshotArena {
+    ptr: NonNull<u8>,
+    len: usize,
+    backing: ArenaBacking,
+}
+
+enum ArenaBacking {
+    Owned {
+        layout: std::alloc::Layout,
+    },
+    #[cfg(unix)]
+    Mapped,
+}
+
+// SAFETY: the arena is immutable after construction (PROT_READ mapping
+// or a never-mutated heap copy); sharing &-references across threads
+// is sound.
+unsafe impl Send for SnapshotArena {}
+// SAFETY: as above.
+unsafe impl Sync for SnapshotArena {}
+
+impl SnapshotArena {
+    /// Copy `bytes` into a fresh 64-byte-aligned allocation. A `Vec`
+    /// would only guarantee byte alignment — not enough to view u64
+    /// arrays in place.
+    pub fn from_bytes(bytes: &[u8]) -> SnapshotArena {
+        if bytes.is_empty() {
+            return SnapshotArena {
+                ptr: NonNull::dangling(),
+                len: 0,
+                backing: ArenaBacking::Owned {
+                    layout: std::alloc::Layout::from_size_align(0, SECTION_ALIGN)
+                        .expect("static layout"),
+                },
+            };
+        }
+        let layout = std::alloc::Layout::from_size_align(bytes.len(), SECTION_ALIGN)
+            .expect("snapshot length fits a layout");
+        // SAFETY: layout has non-zero size (checked above).
+        let raw = unsafe { std::alloc::alloc(layout) };
+        let ptr = NonNull::new(raw).unwrap_or_else(|| std::alloc::handle_alloc_error(layout));
+        // SAFETY: the fresh allocation holds at least `bytes.len()`
+        // bytes and cannot overlap the source.
+        unsafe {
+            ptr.as_ptr()
+                .copy_from_nonoverlapping(bytes.as_ptr(), bytes.len())
+        };
+        SnapshotArena {
+            ptr,
+            len: bytes.len(),
+            backing: ArenaBacking::Owned { layout },
+        }
+    }
+
+    /// Map `len` bytes of an open file read-only. `len` comes from a
+    /// just-taken `stat`, and every section extent is validated
+    /// against it before any pointer into the map is formed — a file
+    /// shorter than its section table fails typed instead of faulting.
+    /// (A truncation racing *after* the map is established is outside
+    /// the integrity model, as with any mmap consumer.)
+    #[cfg(unix)]
+    pub fn map_file(file: &std::fs::File, len: usize) -> Result<SnapshotArena, SnapshotError> {
+        use std::os::fd::AsRawFd;
+        if len == 0 {
+            // mmap rejects zero-length maps; an empty file is not a
+            // snapshot anyway — surface the same typed error the
+            // header parser would.
+            return Err(SnapshotError::Truncated {
+                context: "magic",
+                offset: 0,
+            });
+        }
+        // SAFETY: a fresh anonymous-address read-only private mapping
+        // of a file descriptor we hold open; failure is checked below.
+        let raw = unsafe {
+            sys::mmap(
+                std::ptr::null_mut(),
+                len,
+                sys::PROT_READ,
+                sys::MAP_PRIVATE,
+                file.as_raw_fd(),
+                0,
+            )
+        };
+        if raw as isize == -1 {
+            return Err(SnapshotError::Io(std::io::Error::last_os_error()));
+        }
+        let ptr = NonNull::new(raw.cast::<u8>()).ok_or_else(|| {
+            SnapshotError::Io(std::io::Error::other("mmap returned a null mapping"))
+        })?;
+        Ok(SnapshotArena {
+            ptr,
+            len,
+            backing: ArenaBacking::Mapped,
+        })
+    }
+
+    /// The full backing bytes.
+    #[inline]
+    pub fn bytes(&self) -> &[u8] {
+        // SAFETY: `ptr` covers `len` initialized, immutable bytes for
+        // the arena's lifetime (dangling only when len == 0).
+        unsafe { std::slice::from_raw_parts(self.ptr.as_ptr(), self.len) }
+    }
+
+    /// Whether this arena is a live file mapping (vs an owned copy).
+    pub fn is_mapped(&self) -> bool {
+        match self.backing {
+            ArenaBacking::Owned { .. } => false,
+            #[cfg(unix)]
+            ArenaBacking::Mapped => true,
+        }
+    }
+}
+
+impl Drop for SnapshotArena {
+    fn drop(&mut self) {
+        match &self.backing {
+            ArenaBacking::Owned { layout } => {
+                if layout.size() > 0 {
+                    // SAFETY: allocated with exactly this layout in
+                    // `from_bytes`.
+                    unsafe { std::alloc::dealloc(self.ptr.as_ptr(), *layout) };
+                }
+            }
+            #[cfg(unix)]
+            ArenaBacking::Mapped => {
+                // SAFETY: mapped with exactly this base and length in
+                // `map_file`; no view outlives the arena (they hold
+                // the Arc keeping us alive).
+                unsafe { sys::munmap(self.ptr.as_ptr().cast(), self.len) };
+            }
+        }
+    }
+}
+
+impl std::fmt::Debug for SnapshotArena {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SnapshotArena")
+            .field("len", &self.len)
+            .field("mapped", &self.is_mapped())
+            .finish()
+    }
+}
+
+// ----- Col: a column that is either owned or a view into the arena -----
+
+/// A read-only typed column: either an owned boxed slice (built
+/// databases, v1 loads, the no-mmap fallback) or a zero-copy view
+/// into a [`SnapshotArena`] (v3 loads). Dereferences to `&[T]` with
+/// no per-access branching — the pointer/length pair is resolved at
+/// construction, and the backing enum only keeps the memory alive.
+pub struct Col<T: Pod> {
+    ptr: *const T,
+    len: usize,
+    backing: ColBacking<T>,
+}
+
+enum ColBacking<T> {
+    Owned(Box<[T]>),
+    Arena(Arc<SnapshotArena>),
+}
+
+// SAFETY: the data behind `ptr` is immutable and outlives the Col via
+// its backing (owned box or arena Arc); `T: Pod` is Send + Sync.
+unsafe impl<T: Pod> Send for Col<T> {}
+// SAFETY: as above.
+unsafe impl<T: Pod> Sync for Col<T> {}
+
+impl<T: Pod> Col<T> {
+    fn from_box(b: Box<[T]>) -> Col<T> {
+        Col {
+            ptr: if b.is_empty() {
+                NonNull::dangling().as_ptr()
+            } else {
+                b.as_ptr()
+            },
+            len: b.len(),
+            backing: ColBacking::Owned(b),
+        }
+    }
+
+    /// A zero-copy view of `len` elements at `byte_offset` into the
+    /// arena. Fails typed on misalignment or out-of-bounds — never a
+    /// wild pointer.
+    pub(crate) fn mapped(
+        arena: &Arc<SnapshotArena>,
+        byte_offset: usize,
+        len: usize,
+        context: &'static str,
+    ) -> Result<Col<T>, SnapshotError> {
+        let need = len
+            .checked_mul(std::mem::size_of::<T>())
+            .ok_or(SnapshotError::Corrupt { context })?;
+        let end = byte_offset
+            .checked_add(need)
+            .ok_or(SnapshotError::Corrupt { context })?;
+        if end > arena.bytes().len() {
+            return Err(SnapshotError::Truncated {
+                context,
+                offset: byte_offset as u64,
+            });
+        }
+        let bytes = &arena.bytes()[byte_offset..end];
+        let slice: &[T] = cast_slice(bytes).ok_or(SnapshotError::Corrupt { context })?;
+        Ok(Col {
+            ptr: if slice.is_empty() {
+                NonNull::dangling().as_ptr()
+            } else {
+                slice.as_ptr()
+            },
+            len: slice.len(),
+            backing: ColBacking::Arena(Arc::clone(arena)),
+        })
+    }
+
+    /// Whether this column borrows a mapped arena (vs owning its data).
+    pub fn is_mapped(&self) -> bool {
+        match &self.backing {
+            ColBacking::Owned(_) => false,
+            ColBacking::Arena(a) => a.is_mapped(),
+        }
+    }
+}
+
+impl<T: Pod> std::ops::Deref for Col<T> {
+    type Target = [T];
+    #[inline]
+    fn deref(&self) -> &[T] {
+        // SAFETY: `ptr`/`len` were derived from a valid slice at
+        // construction and the backing keeps that memory alive.
+        unsafe { std::slice::from_raw_parts(self.ptr, self.len) }
+    }
+}
+
+impl<T: Pod> From<Vec<T>> for Col<T> {
+    fn from(v: Vec<T>) -> Col<T> {
+        Col::from_box(v.into_boxed_slice())
+    }
+}
+
+impl<T: Pod> Default for Col<T> {
+    fn default() -> Col<T> {
+        Col::from_box(Box::default())
+    }
+}
+
+impl<T: Pod> Clone for Col<T> {
+    fn clone(&self) -> Col<T> {
+        match &self.backing {
+            ColBacking::Owned(b) => Col::from_box(b.clone()),
+            ColBacking::Arena(a) => Col {
+                ptr: self.ptr,
+                len: self.len,
+                backing: ColBacking::Arena(Arc::clone(a)),
+            },
+        }
+    }
+}
+
+impl<T: Pod + std::fmt::Debug> std::fmt::Debug for Col<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        std::fmt::Debug::fmt(&**self, f)
+    }
+}
+
+impl<T: Pod + PartialEq> PartialEq for Col<T> {
+    fn eq(&self, other: &Col<T>) -> bool {
+        **self == **other
+    }
+}
+
+impl<T: Pod + Eq> Eq for Col<T> {}
+
+// ----- v3 writer -----
+
+/// Accumulates sections, then emits the aligned v3 container. Same
+/// call-order contract as the v1 [`crate::snapshot::SnapshotWriter`]:
+/// section order is the writer's call order and every codec keeps it
+/// fixed, so v3 bytes are a pure function of the database.
+#[derive(Default)]
+pub struct SnapshotWriterV3 {
+    sections: Vec<(u32, Vec<u8>)>,
+}
+
+/// Builder for one v3 section payload: little-endian scalars, raw
+/// embedded payloads, and 64-byte-aligned typed arrays.
+pub struct SectionBufV3<'a> {
+    buf: &'a mut Vec<u8>,
+}
+
+impl SnapshotWriterV3 {
+    /// An empty snapshot.
+    pub fn new() -> SnapshotWriterV3 {
+        SnapshotWriterV3::default()
+    }
+
+    /// Start (or panic on a duplicate of) section `id`.
+    pub fn section(&mut self, id: u32) -> SectionBufV3<'_> {
+        assert!(
+            self.sections.iter().all(|&(existing, _)| existing != id),
+            "duplicate snapshot section {id}"
+        );
+        self.sections.push((id, Vec::new()));
+        let buf = &mut self.sections.last_mut().expect("just pushed").1;
+        SectionBufV3 { buf }
+    }
+
+    /// Render the framed v3 snapshot: header, checksummed table,
+    /// aligned zero-padded payloads.
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let count = self.sections.len();
+        let table_end = 24 + 32 * count;
+        let payload_start = align64(table_end);
+        let total: usize = payload_start
+            + self
+                .sections
+                .iter()
+                .map(|(_, b)| align64(b.len()))
+                .sum::<usize>();
+        let mut out = vec![0u8; total];
+        out[..8].copy_from_slice(&SNAPSHOT_MAGIC);
+        out[8..12].copy_from_slice(&3u32.to_le_bytes());
+        out[12..16].copy_from_slice(&(count as u32).to_le_bytes());
+        // Payloads first (the table checksums their padded extents).
+        let mut offset = payload_start;
+        let mut extents = Vec::with_capacity(count);
+        for (_, payload) in &self.sections {
+            out[offset..offset + payload.len()].copy_from_slice(payload);
+            let padded = align64(payload.len());
+            extents.push((offset, payload.len(), padded));
+            offset += padded;
+        }
+        for (i, ((id, _), &(start, len, padded))) in
+            self.sections.iter().zip(extents.iter()).enumerate()
+        {
+            let at = 24 + 32 * i;
+            out[at..at + 4].copy_from_slice(&id.to_le_bytes());
+            // bytes at+4..at+8 stay zero (reserved).
+            out[at + 8..at + 16].copy_from_slice(&(start as u64).to_le_bytes());
+            out[at + 16..at + 24].copy_from_slice(&(len as u64).to_le_bytes());
+            let sum = checksum64(&out[start..start + padded]);
+            out[at + 24..at + 32].copy_from_slice(&sum.to_le_bytes());
+        }
+        let table_sum = checksum64(&out[24..table_end]);
+        out[16..24].copy_from_slice(&table_sum.to_le_bytes());
+        out
+    }
+
+    /// Write the snapshot to `path` atomically (temp file + rename,
+    /// unique per process and write — same contract as the v1 writer).
+    pub fn write_to(&self, path: &Path) -> Result<(), SnapshotError> {
+        static WRITE_SEQ: std::sync::atomic::AtomicU64 = std::sync::atomic::AtomicU64::new(0);
+        let bytes = self.to_bytes();
+        let seq = WRITE_SEQ.fetch_add(1, Ordering::Relaxed);
+        let tmp = path.with_extension(format!("tmp-snapshot-{}-{seq}", std::process::id()));
+        std::fs::write(&tmp, &bytes)?;
+        if let Err(e) = std::fs::rename(&tmp, path) {
+            std::fs::remove_file(&tmp).ok();
+            return Err(e.into());
+        }
+        Ok(())
+    }
+}
+
+impl SectionBufV3<'_> {
+    /// Append a `u32` scalar, little-endian.
+    pub fn put_u32(&mut self, v: u32) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    /// Append a `u64` scalar, little-endian.
+    pub fn put_u64(&mut self, v: u64) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    /// Embed a pre-encoded payload verbatim (the v1 codecs for the
+    /// small replay-decoded sections are reused byte-identically).
+    pub fn put_raw(&mut self, bytes: &[u8]) {
+        self.buf.extend_from_slice(bytes);
+    }
+
+    /// Append a typed array at the next 64-byte boundary (zero padding
+    /// in between). The reader recomputes the same position from the
+    /// element count, so arrays need no length prefix.
+    pub fn put_col<T: Pod>(&mut self, vals: &[T]) {
+        let aligned = align64(self.buf.len());
+        self.buf.resize(aligned, 0);
+        self.buf.extend_from_slice(as_bytes(vals));
+    }
+}
+
+// ----- v3 reader -----
+
+struct SectionEntry {
+    id: u32,
+    start: usize,
+    len: usize,
+    padded: usize,
+    checksum: u64,
+    verified: AtomicBool,
+}
+
+/// An open v3 snapshot: the arena plus the validated section table.
+/// Section payloads are served as [`SectionView`] cursors whose typed
+/// array reads produce zero-copy [`Col`] views.
+pub struct MappedSnapshot {
+    arena: Arc<SnapshotArena>,
+    table: Vec<SectionEntry>,
+}
+
+impl MappedSnapshot {
+    /// Open a v3 snapshot file with the process-default
+    /// [`VerifyMode`]: mmap (or owned fallback), then header + table +
+    /// extent validation.
+    pub fn open(path: &Path) -> Result<MappedSnapshot, SnapshotError> {
+        MappedSnapshot::open_with(path, VerifyMode::from_env())
+    }
+
+    /// [`MappedSnapshot::open`] with an explicit verification mode.
+    pub fn open_with(path: &Path, mode: VerifyMode) -> Result<MappedSnapshot, SnapshotError> {
+        #[cfg(unix)]
+        {
+            if !mmap_disabled() {
+                let file = std::fs::File::open(path)?;
+                let len = usize::try_from(file.metadata()?.len())
+                    .map_err(|_| SnapshotError::Io(std::io::Error::other("file too large")))?;
+                let arena = SnapshotArena::map_file(&file, len)?;
+                return MappedSnapshot::from_arena(Arc::new(arena), mode);
+            }
+        }
+        MappedSnapshot::from_owned_bytes(std::fs::read(path)?, mode)
+    }
+
+    /// Open from in-memory bytes (always the owned arena — the
+    /// from-bytes entry points and the no-mmap fallback).
+    pub fn from_owned_bytes(
+        bytes: Vec<u8>,
+        mode: VerifyMode,
+    ) -> Result<MappedSnapshot, SnapshotError> {
+        MappedSnapshot::from_arena(Arc::new(SnapshotArena::from_bytes(&bytes)), mode)
+    }
+
+    fn from_arena(
+        arena: Arc<SnapshotArena>,
+        mode: VerifyMode,
+    ) -> Result<MappedSnapshot, SnapshotError> {
+        let data = arena.bytes();
+        if data.len() < 8 {
+            return Err(SnapshotError::Truncated {
+                context: "magic",
+                offset: data.len() as u64,
+            });
+        }
+        if data[..8] != SNAPSHOT_MAGIC {
+            return Err(SnapshotError::BadMagic);
+        }
+        if data.len() < 24 {
+            return Err(SnapshotError::Truncated {
+                context: "header",
+                offset: 8,
+            });
+        }
+        let version = u32::from_le_bytes(data[8..12].try_into().expect("4 bytes"));
+        if version != 3 {
+            return Err(SnapshotError::UnsupportedVersion {
+                found: version,
+                supported: crate::snapshot::SNAPSHOT_VERSION,
+            });
+        }
+        let count = u32::from_le_bytes(data[12..16].try_into().expect("4 bytes")) as usize;
+        let table_end = 24usize
+            .checked_add(count.checked_mul(32).ok_or(SnapshotError::Corrupt {
+                context: "section count overflows",
+            })?)
+            .ok_or(SnapshotError::Corrupt {
+                context: "section table overflows",
+            })?;
+        if data.len() < table_end {
+            return Err(SnapshotError::Truncated {
+                context: "section table",
+                offset: 24,
+            });
+        }
+        let table_sum = u64::from_le_bytes(data[16..24].try_into().expect("8 bytes"));
+        if checksum64(&data[24..table_end]) != table_sum {
+            return Err(SnapshotError::ChecksumMismatch {
+                section: "section table",
+                offset: 24,
+            });
+        }
+        // The table checksum passed, so the entries are what the
+        // writer emitted — but length validation against the *actual*
+        // file stays mandatory: the stat'd length is the only defense
+        // between a truncated file and a faulting dereference.
+        let mut table = Vec::with_capacity(count);
+        let mut expected = align64(table_end);
+        for i in 0..count {
+            let at = 24 + 32 * i;
+            let id = u32::from_le_bytes(data[at..at + 4].try_into().expect("4 bytes"));
+            let reserved = u32::from_le_bytes(data[at + 4..at + 8].try_into().expect("4 bytes"));
+            let offset = u64::from_le_bytes(data[at + 8..at + 16].try_into().expect("8 bytes"));
+            let len = u64::from_le_bytes(data[at + 16..at + 24].try_into().expect("8 bytes"));
+            let checksum = u64::from_le_bytes(data[at + 24..at + 32].try_into().expect("8 bytes"));
+            if reserved != 0 {
+                return Err(SnapshotError::Corrupt {
+                    context: "reserved table bytes are not zero",
+                });
+            }
+            let start = usize::try_from(offset).map_err(|_| SnapshotError::Corrupt {
+                context: "section offset overflows",
+            })?;
+            let len = usize::try_from(len).map_err(|_| SnapshotError::Corrupt {
+                context: "section length overflows",
+            })?;
+            // v3 packs sections deterministically: each starts exactly
+            // at the padded end of its predecessor. A table that lies
+            // about an offset or length (to alias sections or reach
+            // past the file) fails here, typed.
+            if start != expected {
+                return Err(SnapshotError::Corrupt {
+                    context: "section offsets are not packed and aligned",
+                });
+            }
+            let padded = align64(len);
+            let end = start.checked_add(padded).ok_or(SnapshotError::Corrupt {
+                context: "section range overflows",
+            })?;
+            if end > data.len() {
+                return Err(SnapshotError::Truncated {
+                    context: section_name(id),
+                    offset: start as u64,
+                });
+            }
+            if table.iter().any(|e: &SectionEntry| e.id == id) {
+                return Err(SnapshotError::Corrupt {
+                    context: "duplicate section id",
+                });
+            }
+            table.push(SectionEntry {
+                id,
+                start,
+                len,
+                padded,
+                checksum,
+                verified: AtomicBool::new(false),
+            });
+            expected = end;
+        }
+        if expected != data.len() {
+            return Err(SnapshotError::Corrupt {
+                context: "trailing bytes after the last section",
+            });
+        }
+        let snapshot = MappedSnapshot { arena, table };
+        if mode == VerifyMode::Eager {
+            snapshot.verify_all()?;
+        }
+        Ok(snapshot)
+    }
+
+    /// Whether a section is present.
+    pub fn has_section(&self, id: u32) -> bool {
+        self.table.iter().any(|e| e.id == id)
+    }
+
+    /// The whole snapshot file as bytes (mapped or owned). The forest
+    /// catalog hashes this against the manifest's recorded whole-file
+    /// checksum so a swapped-but-internally-valid file still fails
+    /// typed.
+    pub fn bytes(&self) -> &[u8] {
+        self.arena.bytes()
+    }
+
+    /// Whether this snapshot serves out of a live file mapping.
+    pub fn is_mapped(&self) -> bool {
+        self.arena.is_mapped()
+    }
+
+    fn entry(&self, id: u32) -> Result<&SectionEntry, SnapshotError> {
+        self.table
+            .iter()
+            .find(|e| e.id == id)
+            .ok_or(SnapshotError::MissingSection { section: id })
+    }
+
+    fn verify_entry(&self, e: &SectionEntry) -> Result<(), SnapshotError> {
+        if e.verified.load(Ordering::Acquire) {
+            return Ok(());
+        }
+        let extent = &self.arena.bytes()[e.start..e.start + e.padded];
+        if checksum64(extent) != e.checksum {
+            return Err(SnapshotError::ChecksumMismatch {
+                section: section_name(e.id),
+                offset: e.start as u64,
+            });
+        }
+        e.verified.store(true, Ordering::Release);
+        Ok(())
+    }
+
+    /// Cursor over a section payload **without** checksumming it —
+    /// the deferred-verification path for sections served as mapped
+    /// views.
+    pub fn section(&self, id: u32) -> Result<SectionView<'_>, SnapshotError> {
+        let e = self.entry(id)?;
+        Ok(self.view(e))
+    }
+
+    /// Cursor over a section payload after verifying its checksum
+    /// (once; subsequent calls are free) — the path for sections the
+    /// decoder materializes.
+    pub fn section_verified(&self, id: u32) -> Result<SectionView<'_>, SnapshotError> {
+        let e = self.entry(id)?;
+        self.verify_entry(e)?;
+        Ok(self.view(e))
+    }
+
+    fn view<'a>(&'a self, e: &'a SectionEntry) -> SectionView<'a> {
+        SectionView {
+            arena: &self.arena,
+            name: section_name(e.id),
+            base: e.start,
+            len: e.len,
+            pos: 0,
+        }
+    }
+
+    /// Verify every section checksum (the eager mode; also what the
+    /// forest catalog runs in place of the manifest's whole-file
+    /// checksum).
+    pub fn verify_all(&self) -> Result<(), SnapshotError> {
+        for e in &self.table {
+            self.verify_entry(e)?;
+        }
+        Ok(())
+    }
+}
+
+impl std::fmt::Debug for MappedSnapshot {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("MappedSnapshot")
+            .field(
+                "sections",
+                &self.table.iter().map(|e| e.id).collect::<Vec<_>>(),
+            )
+            .field("mapped", &self.is_mapped())
+            .finish()
+    }
+}
+
+/// Sequential reader over one v3 section payload: little-endian
+/// scalars, embedded raw payloads, and 64-byte-aligned typed arrays
+/// that come back as zero-copy [`Col`] views. Every read is
+/// bounds-checked against the table-declared payload length (itself
+/// validated against the real file length at open), so a length-lie
+/// surfaces as a typed error, never an out-of-bounds dereference.
+pub struct SectionView<'a> {
+    arena: &'a Arc<SnapshotArena>,
+    name: &'static str,
+    base: usize,
+    len: usize,
+    pos: usize,
+}
+
+impl<'a> SectionView<'a> {
+    fn take(&mut self, n: usize) -> Result<&'a [u8], SnapshotError> {
+        let end =
+            self.pos
+                .checked_add(n)
+                .filter(|&e| e <= self.len)
+                .ok_or(SnapshotError::Truncated {
+                    context: self.name,
+                    offset: (self.base + self.pos) as u64,
+                })?;
+        let slice = &self.arena.bytes()[self.base + self.pos..self.base + end];
+        self.pos = end;
+        Ok(slice)
+    }
+
+    /// Read a `u32` scalar.
+    pub fn get_u32(&mut self) -> Result<u32, SnapshotError> {
+        Ok(u32::from_le_bytes(
+            self.take(4)?.try_into().expect("4 bytes"),
+        ))
+    }
+
+    /// Read a `u64` scalar.
+    pub fn get_u64(&mut self) -> Result<u64, SnapshotError> {
+        Ok(u64::from_le_bytes(
+            self.take(8)?.try_into().expect("8 bytes"),
+        ))
+    }
+
+    /// The whole payload (for sections that embed a v1-encoded body).
+    pub fn payload(&self) -> &'a [u8] {
+        &self.arena.bytes()[self.base..self.base + self.len]
+    }
+
+    /// Read `len` elements of a typed array at the next 64-byte
+    /// boundary as a zero-copy column.
+    pub fn take_col<T: Pod>(&mut self, len: usize) -> Result<Col<T>, SnapshotError> {
+        let aligned = align64(self.pos);
+        let need = len
+            .checked_mul(std::mem::size_of::<T>())
+            .and_then(|n| aligned.checked_add(n))
+            .ok_or(SnapshotError::Corrupt { context: self.name })?;
+        if need > self.len {
+            return Err(SnapshotError::Truncated {
+                context: self.name,
+                offset: (self.base + aligned) as u64,
+            });
+        }
+        let col = Col::mapped(self.arena, self.base + aligned, len, self.name)?;
+        self.pos = need;
+        Ok(col)
+    }
+
+    /// Bytes left after the cursor (capacity clamps for count fields).
+    pub fn remaining(&self) -> usize {
+        self.len - self.pos
+    }
+
+    /// Whether the cursor consumed the whole payload.
+    pub fn at_end(&self) -> bool {
+        self.pos == self.len
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::snapshot::section;
+
+    fn sample() -> Vec<u8> {
+        let mut w = SnapshotWriterV3::new();
+        let mut s = w.section(section::COLUMNS);
+        s.put_u64(3);
+        s.put_col::<u32>(&[7, 8, 9]);
+        s.put_col::<u64>(&[1 << 40, 2]);
+        let mut s = w.section(section::STATS);
+        s.put_u64(42);
+        w.to_bytes()
+    }
+
+    #[test]
+    fn round_trip_scalars_and_cols() {
+        let bytes = sample();
+        let snap = MappedSnapshot::from_owned_bytes(bytes, VerifyMode::Eager).unwrap();
+        assert!(!snap.is_mapped());
+        let mut v = snap.section_verified(section::COLUMNS).unwrap();
+        assert_eq!(v.get_u64().unwrap(), 3);
+        let a: Col<u32> = v.take_col(3).unwrap();
+        assert_eq!(&*a, &[7, 8, 9]);
+        let b: Col<u64> = v.take_col(2).unwrap();
+        assert_eq!(&*b, &[1 << 40, 2]);
+        assert!(v.at_end());
+        let mut s = snap.section(section::STATS).unwrap();
+        assert_eq!(s.get_u64().unwrap(), 42);
+        assert!(!snap.has_section(section::FULLTEXT));
+        assert!(matches!(
+            snap.section(section::FULLTEXT),
+            Err(SnapshotError::MissingSection { .. })
+        ));
+    }
+
+    #[test]
+    fn writer_is_deterministic_and_aligned() {
+        let a = sample();
+        let b = sample();
+        assert_eq!(a, b);
+        assert_eq!(a.len() % SECTION_ALIGN, 0);
+        // Every section offset in the table is 64-byte aligned.
+        let count = u32::from_le_bytes(a[12..16].try_into().unwrap()) as usize;
+        for i in 0..count {
+            let at = 24 + 32 * i;
+            let offset = u64::from_le_bytes(a[at + 8..at + 16].try_into().unwrap());
+            assert_eq!(offset % SECTION_ALIGN as u64, 0);
+        }
+    }
+
+    #[test]
+    fn header_and_table_corruption_is_typed() {
+        let bytes = sample();
+        // Bad magic.
+        let mut c = bytes.clone();
+        c[0] ^= 0xFF;
+        assert!(matches!(
+            MappedSnapshot::from_owned_bytes(c, VerifyMode::Lazy),
+            Err(SnapshotError::BadMagic)
+        ));
+        // Wrong version.
+        let mut c = bytes.clone();
+        c[8] = 99;
+        assert!(matches!(
+            MappedSnapshot::from_owned_bytes(c, VerifyMode::Lazy),
+            Err(SnapshotError::UnsupportedVersion { found: 99, .. })
+        ));
+        // Table bit flip fails the table checksum even in lazy mode.
+        let mut c = bytes.clone();
+        c[24] ^= 0x01;
+        assert!(matches!(
+            MappedSnapshot::from_owned_bytes(c, VerifyMode::Lazy),
+            Err(SnapshotError::ChecksumMismatch {
+                section: "section table",
+                ..
+            })
+        ));
+        // Payload flip: lazy open succeeds, eager open fails typed,
+        // and the lazily opened snapshot fails on verified access.
+        let mut c = bytes.clone();
+        let last = c.len() - 1;
+        c[last] ^= 0x01;
+        assert!(matches!(
+            MappedSnapshot::from_owned_bytes(c.clone(), VerifyMode::Eager),
+            Err(SnapshotError::ChecksumMismatch { .. })
+        ));
+        let lazy = MappedSnapshot::from_owned_bytes(c, VerifyMode::Lazy).unwrap();
+        assert!(lazy.section_verified(section::STATS).is_err());
+    }
+
+    #[test]
+    fn truncation_at_every_length_is_typed_not_a_fault() {
+        let bytes = sample();
+        for len in 0..bytes.len() {
+            let r = MappedSnapshot::from_owned_bytes(bytes[..len].to_vec(), VerifyMode::Lazy);
+            assert!(r.is_err(), "prefix of {len} bytes opened");
+        }
+    }
+
+    #[test]
+    fn misaligned_or_lying_table_is_typed() {
+        let bytes = sample();
+        let count = u32::from_le_bytes(bytes[12..16].try_into().unwrap()) as usize;
+        let table_end = 24 + 32 * count;
+        // Rewrite the first section's offset to a misaligned value and
+        // repair the table checksum so only the layout check can catch
+        // the lie.
+        let mut c = bytes.clone();
+        let bad = (align64(table_end) + 8) as u64;
+        c[24 + 8..24 + 16].copy_from_slice(&bad.to_le_bytes());
+        let sum = checksum64(&c[24..table_end]);
+        c[16..24].copy_from_slice(&sum.to_le_bytes());
+        assert!(matches!(
+            MappedSnapshot::from_owned_bytes(c, VerifyMode::Lazy),
+            Err(SnapshotError::Corrupt { .. })
+        ));
+        // Inflate a section length past the file end (with a repaired
+        // table checksum): the stat-vs-table validation must fail
+        // typed before any payload pointer is formed.
+        let mut c = bytes.clone();
+        let huge = (bytes.len() as u64) * 4;
+        c[24 + 16..24 + 24].copy_from_slice(&huge.to_le_bytes());
+        let sum = checksum64(&c[24..table_end]);
+        c[16..24].copy_from_slice(&sum.to_le_bytes());
+        assert!(matches!(
+            MappedSnapshot::from_owned_bytes(c, VerifyMode::Lazy),
+            Err(SnapshotError::Truncated { .. })
+        ));
+    }
+
+    #[cfg(unix)]
+    #[test]
+    fn file_mapping_round_trips_and_reports_mapped() {
+        let dir = std::env::temp_dir().join("ncq-mmap-unit-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("sample.ncq");
+        std::fs::write(&path, sample()).unwrap();
+        let file = std::fs::File::open(&path).unwrap();
+        let len = file.metadata().unwrap().len() as usize;
+        let arena = SnapshotArena::map_file(&file, len).unwrap();
+        assert!(arena.is_mapped());
+        assert_eq!(arena.bytes(), sample().as_slice());
+        drop(file); // the mapping outlives the descriptor
+        let snap = MappedSnapshot::from_arena(Arc::new(arena), VerifyMode::Eager).unwrap();
+        assert!(snap.is_mapped());
+        let mut v = snap.section_verified(section::COLUMNS).unwrap();
+        assert_eq!(v.get_u64().unwrap(), 3);
+        let col: Col<u32> = v.take_col(3).unwrap();
+        assert!(col.is_mapped());
+        drop(snap); // the Col's arena Arc keeps the mapping alive
+        assert_eq!(&*col, &[7, 8, 9]);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn col_from_vec_and_clone_behave_like_slices() {
+        let col: Col<u32> = vec![1, 2, 3].into();
+        assert_eq!(&*col, &[1, 2, 3]);
+        assert!(!col.is_mapped());
+        let copy = col.clone();
+        assert_eq!(copy, col);
+        let empty: Col<u64> = Col::default();
+        assert!(empty.is_empty());
+        assert_eq!(format!("{col:?}"), "[1, 2, 3]");
+    }
+}

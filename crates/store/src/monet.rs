@@ -16,6 +16,7 @@
 //! `parent: oid → Oid` (the paper's "basically a hash look-up").
 
 use crate::index::MeetIndex;
+use crate::mmap::Col;
 use crate::oid::Oid;
 use crate::path::{PathId, PathStep, PathSummary};
 use crate::stats::{DepthStats, PartitionStats, StoreStats};
@@ -24,6 +25,12 @@ use std::ops::Range;
 use std::sync::OnceLock;
 
 /// A loaded, path-partitioned XML database instance.
+///
+/// The dense per-oid columns are [`Col`]s: owned after a bulk load or a
+/// legacy snapshot decode, zero-copy views into the mapped file after a
+/// v3 snapshot open. Edge relations are *derived* state — a pure
+/// function of the `σ`/parent columns — and are materialized lazily on
+/// first access, so neither open path pays for them up front.
 #[derive(Debug, Clone)]
 pub struct MonetDb {
     /// Field visibility is `pub(crate)` so the snapshot codec
@@ -32,14 +39,17 @@ pub struct MonetDb {
     pub(crate) symbols: SymbolTable,
     pub(crate) summary: PathSummary,
     /// `σ(o)` per oid.
-    pub(crate) sigma: Vec<PathId>,
+    pub(crate) sigma: Col<PathId>,
     /// Parent oid per oid; the root maps to itself.
-    pub(crate) parent: Vec<Oid>,
+    pub(crate) parent: Col<Oid>,
     /// Sibling rank per oid (0-based).
-    pub(crate) rank: Vec<u32>,
+    pub(crate) rank: Col<u32>,
     /// Edge relations indexed by `PathId`: pairs `(parent(o), o)` with
     /// `σ(o)` = that path. Attribute paths have empty edge relations.
-    pub(crate) edges: Vec<Vec<(Oid, Oid)>>,
+    /// Rebuilt lazily from `σ`/parent in two linear passes — byte-
+    /// identical to the bulk-load push order, since a parent's children
+    /// appear in oid order.
+    pub(crate) edges: OnceLock<Vec<Vec<(Oid, Oid)>>>,
     /// String relations indexed by `PathId`: pairs `(owner, string)`.
     /// Non-empty only for cdata paths (owner = the cdata node) and
     /// attribute paths (owner = the element carrying the attribute).
@@ -57,32 +67,22 @@ pub struct MonetDb {
     pub(crate) partition_stats: OnceLock<PartitionStats>,
 }
 
-impl MonetDb {
-    /// Bulk-load a parsed document (paper §2, Definition 4).
-    pub fn from_document(doc: &Document) -> MonetDb {
-        let n = doc.len();
-        let mut db = MonetDb {
-            symbols: doc.symbols().clone(),
-            summary: PathSummary::new(),
-            sigma: Vec::with_capacity(n),
-            parent: Vec::with_capacity(n),
-            rank: Vec::with_capacity(n),
-            edges: Vec::new(),
-            strings: Vec::new(),
-            node_of_oid: Vec::with_capacity(n),
-            oid_of_node: vec![Oid::ROOT; n],
-            meet_index: OnceLock::new(),
-            depth_stats: OnceLock::new(),
-            partition_stats: OnceLock::new(),
-        };
-        db.bulk_load(doc);
-        db
-    }
+/// Bulk-load staging: plain growable vectors, converted to [`Col`]s
+/// once the DFS finishes.
+struct Loader {
+    summary: PathSummary,
+    sigma: Vec<PathId>,
+    parent: Vec<Oid>,
+    rank: Vec<u32>,
+    strings: Vec<Vec<(Oid, Box<str>)>>,
+    node_of_oid: Vec<NodeId>,
+    oid_of_node: Vec<Oid>,
+}
 
+impl Loader {
     fn ensure_path_slot(&mut self, p: PathId) {
         let need = p.index() + 1;
-        if self.edges.len() < need {
-            self.edges.resize_with(need, Vec::new);
+        if self.strings.len() < need {
             self.strings.resize_with(need, Vec::new);
         }
     }
@@ -122,7 +122,6 @@ impl MonetDb {
             self.rank.push(rank);
             self.node_of_oid.push(node);
             self.oid_of_node[node.index()] = oid;
-            self.edges[path.index()].push((parent_oid, oid));
 
             match doc.kind(node) {
                 NodeKind::Text(s) => {
@@ -146,6 +145,73 @@ impl MonetDb {
             self.ensure_path_slot(apath);
             self.strings[apath.index()].push((oid, attr.value.as_str().into()));
         }
+    }
+}
+
+impl MonetDb {
+    /// Bulk-load a parsed document (paper §2, Definition 4).
+    pub fn from_document(doc: &Document) -> MonetDb {
+        let n = doc.len();
+        let mut loader = Loader {
+            summary: PathSummary::new(),
+            sigma: Vec::with_capacity(n),
+            parent: Vec::with_capacity(n),
+            rank: Vec::with_capacity(n),
+            strings: Vec::new(),
+            node_of_oid: Vec::with_capacity(n),
+            oid_of_node: vec![Oid::ROOT; n],
+        };
+        loader.bulk_load(doc);
+        let Loader {
+            summary,
+            sigma,
+            parent,
+            rank,
+            mut strings,
+            node_of_oid,
+            oid_of_node,
+        } = loader;
+        // Every interned path gets a string slot (the snapshot codec and
+        // the `strings_of` accessor index by dense path id).
+        strings.resize_with(summary.len(), Vec::new);
+        MonetDb {
+            symbols: doc.symbols().clone(),
+            summary,
+            sigma: sigma.into(),
+            parent: parent.into(),
+            rank: rank.into(),
+            edges: OnceLock::new(),
+            strings,
+            node_of_oid,
+            oid_of_node,
+            meet_index: OnceLock::new(),
+            depth_stats: OnceLock::new(),
+            partition_stats: OnceLock::new(),
+        }
+    }
+
+    /// The edge relations, materialized on first use: one counting pass
+    /// sizes every relation exactly, one fill pass in oid order
+    /// reproduces the bulk-load push order (no reallocation). Derived
+    /// state stays out of the snapshot *and* out of the cold-start
+    /// critical path.
+    fn edge_relations(&self) -> &[Vec<(Oid, Oid)>] {
+        self.edges.get_or_init(|| {
+            let n = self.sigma.len();
+            let path_count = self.summary.len();
+            let mut counts = vec![0u32; path_count];
+            for &p in &self.sigma[1..] {
+                counts[p.index()] += 1;
+            }
+            let mut edges: Vec<Vec<(Oid, Oid)>> = counts
+                .iter()
+                .map(|&c| Vec::with_capacity(c as usize))
+                .collect();
+            for i in 1..n {
+                edges[self.sigma[i].index()].push((self.parent[i], Oid::from_index(i)));
+            }
+            edges
+        })
     }
 
     // ----- primitives used by the meet operators -----
@@ -230,7 +296,7 @@ impl MonetDb {
                 .max()
                 .unwrap_or(0);
             let mut histogram = vec![0usize; max_depth + 1];
-            for &p in &self.sigma {
+            for &p in self.sigma.iter() {
                 histogram[self.summary.depth(p)] += 1;
             }
             DepthStats::from_histogram(&histogram)
@@ -292,7 +358,9 @@ impl MonetDb {
     /// Edge relation of a path: all `(parent, o)` with `σ(o)` = `p`,
     /// in document order of `o`.
     pub fn edges_of(&self, p: PathId) -> &[(Oid, Oid)] {
-        self.edges.get(p.index()).map_or(&[], Vec::as_slice)
+        self.edge_relations()
+            .get(p.index())
+            .map_or(&[], Vec::as_slice)
     }
 
     /// String relation of a path: `(owner, string)` pairs.

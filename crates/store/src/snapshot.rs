@@ -16,9 +16,20 @@
 //! the partition map, `ncq-core` ties them together behind
 //! `Database::save_snapshot` / `Database::open_snapshot`.
 //!
-//! # Layout (version 1)
+//! # Layouts
+//!
+//! Two container generations coexist:
+//!
+//! * **v1/v2 (legacy, materializing)** — the compact layout below.
+//!   [`SnapshotReader`] verifies every checksum up front and the codecs
+//!   rebuild derived state (depths, intervals, ranks, RMQ tables) in
+//!   linear passes.
+//! * **v3 (current, zero-copy)** — 64-byte-aligned sections holding the
+//!   arrays in their in-memory representation, served straight out of an
+//!   `mmap` with lazy per-section checksums. See [`crate::mmap`].
 //!
 //! ```text
+//! legacy container (v1/v2):
 //! offset 0   magic   b"NCQSNAP\0"                      8 bytes
 //!        8   layout version (u32 LE)                   4 bytes
 //!       12   section count  (u32 LE)                   4 bytes
@@ -40,13 +51,18 @@
 //!
 //! `SNAPSHOT_VERSION` names the layout, not the software: any change to
 //! section payload encodings, section semantics or the header must bump
-//! it, and loaders refuse other versions with
-//! [`SnapshotError::UnsupportedVersion`]. A pinned fixture
-//! (`tests/golden/snapshot_v1.bin`) makes a forgotten bump fail loudly
-//! in CI. Adding a **new optional section id** is backward compatible
-//! and needs no bump — readers ignore unknown ids.
+//! it. Loaders accept every version up to the current one — legacy
+//! files route through [`SnapshotReader`], v3 files through
+//! [`crate::mmap::MappedSnapshot`] — and refuse anything newer with
+//! [`SnapshotError::UnsupportedVersion`]. [`SnapshotSource::open`]
+//! peeks the header and dispatches. Pinned fixtures
+//! (`tests/golden/snapshot_v1.bin` … `snapshot_v3.bin`) make a
+//! forgotten bump fail loudly in CI. Adding a **new optional section
+//! id** is backward compatible and needs no bump — readers ignore
+//! unknown ids.
 
-use crate::index::MeetIndex;
+use crate::index::{MeetIndex, BLOCK};
+use crate::mmap::{Col, MappedSnapshot, SnapshotWriterV3, VerifyMode};
 use crate::monet::MonetDb;
 use crate::oid::Oid;
 use crate::path::{PathId, PathStep, PathSummary};
@@ -59,8 +75,19 @@ use std::sync::OnceLock;
 /// The 8-byte file magic.
 pub const SNAPSHOT_MAGIC: [u8; 8] = *b"NCQSNAP\0";
 
-/// Current layout version. Bump on any payload or header change.
-pub const SNAPSHOT_VERSION: u32 = 1;
+/// Current layout version (the zero-copy mmap container written by
+/// [`crate::mmap::SnapshotWriterV3`]). Bump on any payload or header
+/// change.
+pub const SNAPSHOT_VERSION: u32 = 3;
+
+/// The original materializing layout [`SnapshotWriter`] still emits for
+/// compatibility fixtures.
+pub const SNAPSHOT_VERSION_V1: u32 = 1;
+
+/// Highest version decoded by the legacy materializing reader. v2 kept
+/// v1's byte layout (it only widened the reader's tolerance), so both
+/// route through [`SnapshotReader`].
+pub const SNAPSHOT_LEGACY_MAX: u32 = 2;
 
 /// Well-known section ids. Unknown ids are ignored by readers, so
 /// higher layers can add sections without touching this crate.
@@ -103,11 +130,15 @@ pub enum SnapshotError {
     Truncated {
         /// What was being read when the bytes ran out.
         context: &'static str,
+        /// Byte offset of the structure that ran past the end.
+        offset: u64,
     },
     /// A section's payload does not match its table checksum.
     ChecksumMismatch {
-        /// Section id from [`section`].
-        section: u32,
+        /// Human-readable section name (see [`crate::mmap::section_name`]).
+        section: &'static str,
+        /// Byte offset of the mismatching payload.
+        offset: u64,
     },
     /// A required section is absent.
     MissingSection {
@@ -136,11 +167,17 @@ impl fmt::Display for SnapshotError {
                 f,
                 "unsupported snapshot layout version {found} (this build reads {supported})"
             ),
-            SnapshotError::Truncated { context } => {
-                write!(f, "snapshot truncated while reading {context}")
+            SnapshotError::Truncated { context, offset } => {
+                write!(
+                    f,
+                    "snapshot truncated while reading {context} at byte {offset}"
+                )
             }
-            SnapshotError::ChecksumMismatch { section } => {
-                write!(f, "snapshot section {section} failed its checksum")
+            SnapshotError::ChecksumMismatch { section, offset } => {
+                write!(
+                    f,
+                    "snapshot section {section} at byte {offset} failed its checksum"
+                )
             }
             SnapshotError::MissingSection { section } => {
                 write!(f, "snapshot is missing required section {section}")
@@ -263,7 +300,7 @@ impl SnapshotWriter {
         let total: usize = table_end + self.sections.iter().map(|(_, b)| b.len()).sum::<usize>();
         let mut out = Vec::with_capacity(total);
         out.extend_from_slice(&SNAPSHOT_MAGIC);
-        out.extend_from_slice(&SNAPSHOT_VERSION.to_le_bytes());
+        out.extend_from_slice(&SNAPSHOT_VERSION_V1.to_le_bytes());
         out.extend_from_slice(&(self.sections.len() as u32).to_le_bytes());
         let mut offset = table_end as u64;
         for (id, payload) in &self.sections {
@@ -369,16 +406,22 @@ impl SnapshotReader {
     /// table bounds, and **every** section checksum.
     pub fn from_bytes(data: Vec<u8>) -> Result<SnapshotReader, SnapshotError> {
         if data.len() < 8 {
-            return Err(SnapshotError::Truncated { context: "magic" });
+            return Err(SnapshotError::Truncated {
+                context: "magic",
+                offset: 0,
+            });
         }
         if data[..8] != SNAPSHOT_MAGIC {
             return Err(SnapshotError::BadMagic);
         }
         if data.len() < 16 {
-            return Err(SnapshotError::Truncated { context: "header" });
+            return Err(SnapshotError::Truncated {
+                context: "header",
+                offset: 8,
+            });
         }
         let version = u32::from_le_bytes(data[8..12].try_into().expect("4 bytes"));
-        if version != SNAPSHOT_VERSION {
+        if !(SNAPSHOT_VERSION_V1..=SNAPSHOT_LEGACY_MAX).contains(&version) {
             return Err(SnapshotError::UnsupportedVersion {
                 found: version,
                 supported: SNAPSHOT_VERSION,
@@ -395,6 +438,7 @@ impl SnapshotReader {
         if data.len() < table_end {
             return Err(SnapshotError::Truncated {
                 context: "section table",
+                offset: 16,
             });
         }
         let mut table = Vec::with_capacity(count);
@@ -417,6 +461,7 @@ impl SnapshotReader {
             if start < table_end || end > data.len() {
                 return Err(SnapshotError::Truncated {
                     context: "section payload",
+                    offset,
                 });
             }
             if table.iter().any(|&(existing, _)| existing == id) {
@@ -425,7 +470,10 @@ impl SnapshotReader {
                 });
             }
             if checksum64(&data[start..end]) != checksum {
-                return Err(SnapshotError::ChecksumMismatch { section: id });
+                return Err(SnapshotError::ChecksumMismatch {
+                    section: crate::mmap::section_name(id),
+                    offset,
+                });
             }
             table.push((id, start..end));
         }
@@ -449,6 +497,112 @@ impl SnapshotReader {
             buf: &self.data[range],
             pos: 0,
         })
+    }
+}
+
+// ----- version dispatch -----
+
+/// Read the 12-byte preamble of an in-memory image: magic + version.
+fn peek_version_bytes(data: &[u8]) -> Result<u32, SnapshotError> {
+    if data.len() < 8 {
+        return Err(SnapshotError::Truncated {
+            context: "magic",
+            offset: 0,
+        });
+    }
+    if data[..8] != SNAPSHOT_MAGIC {
+        return Err(SnapshotError::BadMagic);
+    }
+    if data.len() < 12 {
+        return Err(SnapshotError::Truncated {
+            context: "header",
+            offset: 8,
+        });
+    }
+    Ok(u32::from_le_bytes(data[8..12].try_into().expect("4 bytes")))
+}
+
+/// Peek a snapshot file's layout version without reading the payload.
+fn peek_version_file(path: &Path) -> Result<u32, SnapshotError> {
+    use std::io::Read;
+    let mut f = std::fs::File::open(path)?;
+    let mut head = [0u8; 12];
+    let mut filled = 0usize;
+    while filled < head.len() {
+        match f.read(&mut head[filled..]) {
+            Ok(0) => break,
+            Ok(k) => filled += k,
+            Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
+            Err(e) => return Err(e.into()),
+        }
+    }
+    peek_version_bytes(&head[..filled])
+}
+
+/// A snapshot opened through the version dispatcher: legacy (v1/v2)
+/// files parse through the materializing [`SnapshotReader`], v3 files
+/// map through [`MappedSnapshot`]. Every open path in the workspace —
+/// `Database`, `ShardedDb`, the catalog, the forest — funnels through
+/// here, so old files keep loading answer-identically while new files
+/// take the zero-copy route. Versions above [`SNAPSHOT_VERSION`] are a
+/// typed [`SnapshotError::UnsupportedVersion`].
+pub enum SnapshotSource {
+    /// A fully verified, materialized legacy container (v1/v2).
+    Legacy(SnapshotReader),
+    /// A v3 container, mapped — or heap-backed under `NCQ_NO_MMAP` /
+    /// on non-unix hosts.
+    Mapped(MappedSnapshot),
+}
+
+impl SnapshotSource {
+    /// Open `path`, peeking the header to pick the decoder.
+    pub fn open(path: &Path) -> Result<SnapshotSource, SnapshotError> {
+        match peek_version_file(path)? {
+            SNAPSHOT_VERSION_V1..=SNAPSHOT_LEGACY_MAX => {
+                Ok(SnapshotSource::Legacy(SnapshotReader::open(path)?))
+            }
+            SNAPSHOT_VERSION => Ok(SnapshotSource::Mapped(MappedSnapshot::open(path)?)),
+            found => Err(SnapshotError::UnsupportedVersion {
+                found,
+                supported: SNAPSHOT_VERSION,
+            }),
+        }
+    }
+
+    /// Dispatch over an in-memory image — the wire path (snapshots
+    /// received over the remote protocol) and the test path. A v3
+    /// image is adopted into an owned, 64-byte-aligned arena.
+    pub fn from_bytes(data: Vec<u8>) -> Result<SnapshotSource, SnapshotError> {
+        match peek_version_bytes(&data)? {
+            SNAPSHOT_VERSION_V1..=SNAPSHOT_LEGACY_MAX => {
+                Ok(SnapshotSource::Legacy(SnapshotReader::from_bytes(data)?))
+            }
+            SNAPSHOT_VERSION => Ok(SnapshotSource::Mapped(MappedSnapshot::from_owned_bytes(
+                data,
+                VerifyMode::from_env(),
+            )?)),
+            found => Err(SnapshotError::UnsupportedVersion {
+                found,
+                supported: SNAPSHOT_VERSION,
+            }),
+        }
+    }
+
+    /// Whether a section is present.
+    pub fn has_section(&self, id: u32) -> bool {
+        match self {
+            SnapshotSource::Legacy(r) => r.has_section(id),
+            SnapshotSource::Mapped(m) => m.has_section(id),
+        }
+    }
+
+    /// Whether payloads are served from a memory map (false for legacy
+    /// containers and for the owned v3 fallback).
+    pub fn is_mapped(&self) -> bool {
+        match self {
+            SnapshotSource::Legacy(_) => false,
+            SnapshotSource::Mapped(m) => m.is_mapped(),
+        }
     }
 }
 
@@ -572,43 +726,168 @@ const STEP_ELEMENT: u8 = 0;
 const STEP_ATTRIBUTE: u8 = 1;
 const STEP_CDATA: u8 = 2;
 
-impl MonetDb {
-    /// Serialize the store into `writer`: symbols, path summary, dense
-    /// columns, string relations, the (eagerly built) meet index and
-    /// the instance statistics. Edge relations are *not* written — they
-    /// are a pure function of the `σ`/parent columns and are rebuilt in
-    /// one linear pass at load, byte-identically.
-    pub fn encode_snapshot(&self, writer: &mut SnapshotWriter) {
-        // SYMBOLS: interning order reproduces ids on replay.
-        let mut s = writer.section(section::SYMBOLS);
-        s.put_u32(self.symbols.len() as u32);
-        for (_, name) in self.symbols.iter() {
-            s.put_str(name);
-        }
+// Shared payload codecs: the SYMBOLS / PATHS / STRINGS payloads are
+// byte-identical in the legacy and v3 containers (they materialize at
+// decode either way), so both writers and both readers call these.
 
-        // PATHS: parents-before-children by interning order, so the
-        // loader replays `intern_root`/`intern_child` and gets the same
-        // dense ids back.
-        let mut s = writer.section(section::PATHS);
-        s.put_u32(self.summary.len() as u32);
-        for p in self.summary.iter() {
-            s.put_u32(
-                self.summary
-                    .parent(p)
-                    .map_or(u32::MAX, |q| q.index() as u32),
-            );
-            match self.summary.step(p) {
-                PathStep::Element(sym) => {
-                    s.put_u8(STEP_ELEMENT);
-                    s.put_u32(sym.index() as u32);
-                }
-                PathStep::Attribute(sym) => {
-                    s.put_u8(STEP_ATTRIBUTE);
-                    s.put_u32(sym.index() as u32);
-                }
-                PathStep::Cdata => s.put_u8(STEP_CDATA),
+/// SYMBOLS payload: interning order reproduces ids on replay.
+fn encode_symbols_into(symbols: &SymbolTable, s: &mut SectionBuf<'_>) {
+    s.put_u32(symbols.len() as u32);
+    for (_, name) in symbols.iter() {
+        s.put_str(name);
+    }
+}
+
+/// PATHS payload: parents-before-children by interning order, so the
+/// loader replays `intern_root`/`intern_child` and gets the same dense
+/// ids back.
+fn encode_paths_into(summary: &PathSummary, s: &mut SectionBuf<'_>) {
+    s.put_u32(summary.len() as u32);
+    for p in summary.iter() {
+        s.put_u32(summary.parent(p).map_or(u32::MAX, |q| q.index() as u32));
+        match summary.step(p) {
+            PathStep::Element(sym) => {
+                s.put_u8(STEP_ELEMENT);
+                s.put_u32(sym.index() as u32);
             }
+            PathStep::Attribute(sym) => {
+                s.put_u8(STEP_ATTRIBUTE);
+                s.put_u32(sym.index() as u32);
+            }
+            PathStep::Cdata => s.put_u8(STEP_CDATA),
         }
+    }
+}
+
+/// STRINGS payload: per path (including empty relations, so the loader
+/// needs no slot bookkeeping), `(owner, string)` in load order.
+fn encode_strings_into(strings: &[Vec<(Oid, Box<str>)>], s: &mut SectionBuf<'_>) {
+    s.put_u32(strings.len() as u32);
+    for rel in strings {
+        s.put_u32(rel.len() as u32);
+        for (owner, text) in rel {
+            s.put_u32(owner.index() as u32);
+            s.put_str(text);
+        }
+    }
+}
+
+fn decode_symbols(s: &mut SectionCursor<'_>) -> Result<SymbolTable, SnapshotError> {
+    let symbol_count = s.get_u32("symbol count")? as usize;
+    let mut symbols = SymbolTable::new();
+    for _ in 0..symbol_count {
+        symbols.intern(s.get_str("symbol")?);
+    }
+    if symbols.len() != symbol_count {
+        return Err(SnapshotError::Corrupt {
+            context: "duplicate symbols",
+        });
+    }
+    Ok(symbols)
+}
+
+/// Replay interning; dense ids must come back unchanged.
+fn decode_paths(
+    s: &mut SectionCursor<'_>,
+    symbols: &SymbolTable,
+) -> Result<PathSummary, SnapshotError> {
+    let path_count = s.get_u32("path count")? as usize;
+    let mut summary = PathSummary::new();
+    for i in 0..path_count {
+        let parent = s.get_u32("path parent")?;
+        let tag = s.get_u8("path step tag")?;
+        let step = match tag {
+            STEP_ELEMENT | STEP_ATTRIBUTE => {
+                let sym = s.get_u32("path symbol")? as usize;
+                if sym >= symbols.len() {
+                    return Err(SnapshotError::Corrupt {
+                        context: "path symbol out of range",
+                    });
+                }
+                if tag == STEP_ELEMENT {
+                    PathStep::Element(Symbol::from_index(sym))
+                } else {
+                    PathStep::Attribute(Symbol::from_index(sym))
+                }
+            }
+            STEP_CDATA => PathStep::Cdata,
+            _ => {
+                return Err(SnapshotError::Corrupt {
+                    context: "unknown path step tag",
+                })
+            }
+        };
+        let id = if parent == u32::MAX {
+            summary.intern_root(step)
+        } else {
+            if parent as usize >= i {
+                return Err(SnapshotError::Corrupt {
+                    context: "path parent not before child",
+                });
+            }
+            summary.intern_child(PathId::from_index(parent as usize), step)
+        };
+        if id.index() != i {
+            return Err(SnapshotError::Corrupt {
+                context: "non-canonical path table",
+            });
+        }
+    }
+    Ok(summary)
+}
+
+/// Per-path string relations in document order, as `MonetDb` owns them.
+type StringRelations = Vec<Vec<(Oid, Box<str>)>>;
+
+fn decode_strings(
+    s: &mut SectionCursor<'_>,
+    path_count: usize,
+    n: usize,
+) -> Result<StringRelations, SnapshotError> {
+    let string_paths = s.get_u32("string relation count")? as usize;
+    if string_paths != path_count {
+        return Err(SnapshotError::Corrupt {
+            context: "string relation count mismatch",
+        });
+    }
+    let mut strings: Vec<Vec<(Oid, Box<str>)>> = Vec::with_capacity(path_count);
+    for _ in 0..path_count {
+        let len = s.get_u32("string relation length")? as usize;
+        // Capacity clamped to what the payload can actually hold
+        // (≥ 8 bytes per entry: owner + string length prefix).
+        let mut rel = Vec::with_capacity(len.min(s.remaining() / 8));
+        let mut last: Option<u32> = None;
+        for _ in 0..len {
+            let owner = s.get_u32("string owner")?;
+            if owner as usize >= n || last.is_some_and(|prev| prev >= owner) {
+                return Err(SnapshotError::Corrupt {
+                    context: "string relation not in document order",
+                });
+            }
+            last = Some(owner);
+            let text = s.get_str("string payload")?;
+            rel.push((Oid::from_index(owner as usize), text.into()));
+        }
+        strings.push(rel);
+    }
+    Ok(strings)
+}
+
+impl MonetDb {
+    /// Serialize the store into `writer` (the **legacy v1 container**):
+    /// symbols, path summary, dense columns, string relations, the
+    /// (eagerly built) meet index and the instance statistics. Edge
+    /// relations are *not* written — they are a pure function of the
+    /// `σ`/parent columns and are rebuilt lazily, byte-identically.
+    /// Kept as a writer so compatibility fixtures and cross-version
+    /// tests can still mint legacy files; [`MonetDb::save`] writes the
+    /// v3 layout.
+    pub fn encode_snapshot(&self, writer: &mut SnapshotWriter) {
+        let mut s = writer.section(section::SYMBOLS);
+        encode_symbols_into(&self.symbols, &mut s);
+
+        let mut s = writer.section(section::PATHS);
+        encode_paths_into(&self.summary, &mut s);
 
         // COLUMNS: the dense per-oid arrays, one contiguous LE run
         // each. Only `σ` and parent are stored — sibling ranks are
@@ -641,17 +920,8 @@ impl MonetDb {
             s.put_u32_col(self.oid_of_node.iter().map(|o| o.index() as u32));
         }
 
-        // STRINGS: per path (including empty relations, so the loader
-        // needs no slot bookkeeping), `(owner, string)` in load order.
         let mut s = writer.section(section::STRINGS);
-        s.put_u32(self.strings.len() as u32);
-        for rel in &self.strings {
-            s.put_u32(rel.len() as u32);
-            for (owner, text) in rel {
-                s.put_u32(owner.index() as u32);
-                s.put_str(text);
-            }
-        }
+        encode_strings_into(&self.strings, &mut s);
 
         // MEET_INDEX: the Euler tour and the per-path document-order
         // postings. Because OIDs are preorder and the tour is a DFS
@@ -676,8 +946,9 @@ impl MonetDb {
             }
         }
         s.put_u64_col(packed.into_iter());
-        s.put_u32(index.path_oids.len() as u32);
-        for oids in &index.path_oids {
+        s.put_u32(index.path_count() as u32);
+        for pi in 0..index.path_count() {
+            let oids = index.oids_of_path(PathId::from_index(pi));
             s.put_u32_col(oids.iter().map(|o| o.index() as u32));
         }
 
@@ -709,61 +980,12 @@ impl MonetDb {
     pub fn decode_snapshot(reader: &SnapshotReader) -> Result<MonetDb, SnapshotError> {
         // SYMBOLS.
         let mut s = reader.section(section::SYMBOLS)?;
-        let symbol_count = s.get_u32("symbol count")? as usize;
-        let mut symbols = SymbolTable::new();
-        for _ in 0..symbol_count {
-            symbols.intern(s.get_str("symbol")?);
-        }
-        if symbols.len() != symbol_count {
-            return Err(SnapshotError::Corrupt {
-                context: "duplicate symbols",
-            });
-        }
+        let symbols = decode_symbols(&mut s)?;
 
-        // PATHS: replay interning; dense ids must come back unchanged.
+        // PATHS.
         let mut s = reader.section(section::PATHS)?;
-        let path_count = s.get_u32("path count")? as usize;
-        let mut summary = PathSummary::new();
-        for i in 0..path_count {
-            let parent = s.get_u32("path parent")?;
-            let tag = s.get_u8("path step tag")?;
-            let step = match tag {
-                STEP_ELEMENT | STEP_ATTRIBUTE => {
-                    let sym = s.get_u32("path symbol")? as usize;
-                    if sym >= symbols.len() {
-                        return Err(SnapshotError::Corrupt {
-                            context: "path symbol out of range",
-                        });
-                    }
-                    if tag == STEP_ELEMENT {
-                        PathStep::Element(Symbol::from_index(sym))
-                    } else {
-                        PathStep::Attribute(Symbol::from_index(sym))
-                    }
-                }
-                STEP_CDATA => PathStep::Cdata,
-                _ => {
-                    return Err(SnapshotError::Corrupt {
-                        context: "unknown path step tag",
-                    })
-                }
-            };
-            let id = if parent == u32::MAX {
-                summary.intern_root(step)
-            } else {
-                if parent as usize >= i {
-                    return Err(SnapshotError::Corrupt {
-                        context: "path parent not before child",
-                    });
-                }
-                summary.intern_child(PathId::from_index(parent as usize), step)
-            };
-            if id.index() != i {
-                return Err(SnapshotError::Corrupt {
-                    context: "non-canonical path table",
-                });
-            }
-        }
+        let summary = decode_paths(&mut s, &symbols)?;
+        let path_count = summary.len();
 
         // COLUMNS.
         let mut s = reader.section(section::COLUMNS)?;
@@ -838,47 +1060,11 @@ impl MonetDb {
 
         // STRINGS.
         let mut s = reader.section(section::STRINGS)?;
-        let string_paths = s.get_u32("string relation count")? as usize;
-        if string_paths != path_count {
-            return Err(SnapshotError::Corrupt {
-                context: "string relation count mismatch",
-            });
-        }
-        let mut strings: Vec<Vec<(Oid, Box<str>)>> = Vec::with_capacity(path_count);
-        for _ in 0..path_count {
-            let len = s.get_u32("string relation length")? as usize;
-            // Capacity clamped to what the payload can actually hold
-            // (≥ 8 bytes per entry: owner + string length prefix).
-            let mut rel = Vec::with_capacity(len.min(s.remaining() / 8));
-            let mut last: Option<u32> = None;
-            for _ in 0..len {
-                let owner = s.get_u32("string owner")?;
-                if owner as usize >= n || last.is_some_and(|prev| prev >= owner) {
-                    return Err(SnapshotError::Corrupt {
-                        context: "string relation not in document order",
-                    });
-                }
-                last = Some(owner);
-                let text = s.get_str("string payload")?;
-                rel.push((Oid::from_index(owner as usize), text.into()));
-            }
-            strings.push(rel);
-        }
+        let strings = decode_strings(&mut s, path_count, n)?;
 
-        // Edge relations: pure function of the columns — one counting
-        // pass sizes every relation exactly, one fill pass in oid order
-        // reproduces the bulk-load push order (no reallocation).
-        let mut edge_counts = vec![0u32; path_count];
-        for &p in &sigma[1..] {
-            edge_counts[p.index()] += 1;
-        }
-        let mut edges: Vec<Vec<(Oid, Oid)>> = edge_counts
-            .iter()
-            .map(|&c| Vec::with_capacity(c as usize))
-            .collect();
-        for i in 1..n {
-            edges[sigma[i].index()].push((parent[i], Oid::from_index(i)));
-        }
+        // Edge relations are *not* decoded — they are derived lazily
+        // from the `σ`/parent columns on first `edges_of` call, in the
+        // exact bulk-load push order.
 
         // MEET_INDEX. Depths and preorder intervals are pure functions
         // of the (already validated, preorder) parent column — one
@@ -1041,10 +1227,10 @@ impl MonetDb {
         let db = MonetDb {
             symbols,
             summary,
-            sigma,
-            parent,
-            rank,
-            edges,
+            sigma: sigma.into(),
+            parent: parent.into(),
+            rank: rank.into(),
+            edges: OnceLock::new(),
             strings,
             node_of_oid,
             oid_of_node,
@@ -1058,20 +1244,274 @@ impl MonetDb {
         Ok(db)
     }
 
-    /// Save the store (plus index and stats) as a standalone snapshot
-    /// file. Higher layers that stack more sections go through
-    /// [`MonetDb::encode_snapshot`] instead.
+    /// Serialize the store into the **v3 zero-copy container**: the
+    /// same SYMBOLS / PATHS / STRINGS payloads as v1 (those materialize
+    /// at decode in every generation) plus final-form, 64-byte-aligned
+    /// arrays for the dense columns, the finished meet index and the
+    /// statistics — exactly the in-memory representation, so a v3 open
+    /// is a map + pointer fixup, not a rebuild.
+    pub fn encode_snapshot_v3(&self, writer: &mut SnapshotWriterV3) {
+        let mut buf = Vec::new();
+        encode_symbols_into(&self.symbols, &mut SectionBuf::over(&mut buf));
+        writer.section(section::SYMBOLS).put_raw(&buf);
+
+        buf.clear();
+        encode_paths_into(&self.summary, &mut SectionBuf::over(&mut buf));
+        writer.section(section::PATHS).put_raw(&buf);
+
+        // COLUMNS: `σ`, parent and rank in final form. Unlike v1, the
+        // rank column is stored rather than recomputed — the whole
+        // point is that the open performs no linear passes.
+        let n = self.sigma.len();
+        let identity = self
+            .node_of_oid
+            .iter()
+            .enumerate()
+            .all(|(i, nd)| nd.index() == i)
+            && self
+                .oid_of_node
+                .iter()
+                .enumerate()
+                .all(|(i, o)| o.index() == i);
+        let mut s = writer.section(section::COLUMNS);
+        s.put_u64(n as u64);
+        s.put_u64(identity as u64);
+        s.put_col::<PathId>(&self.sigma);
+        s.put_col::<Oid>(&self.parent);
+        s.put_col::<u32>(&self.rank);
+        if !identity {
+            let nodes: Vec<u32> = self
+                .node_of_oid
+                .iter()
+                .map(|nd| nd.index() as u32)
+                .collect();
+            let oids: Vec<u32> = self.oid_of_node.iter().map(|o| o.index() as u32).collect();
+            s.put_col::<u32>(&nodes);
+            s.put_col::<u32>(&oids);
+        }
+
+        buf.clear();
+        encode_strings_into(&self.strings, &mut SectionBuf::over(&mut buf));
+        writer.section(section::STRINGS).put_raw(&buf);
+
+        // MEET_INDEX: the finished index, field for field — Euler-tour
+        // first visits (packed in `visit_depth`), depths, subtree
+        // intervals, the block-RMQ tables and the CSR postings.
+        let index = self.meet_index();
+        let levels = index
+            .block_table
+            .len()
+            .checked_div(index.num_blocks)
+            .unwrap_or(0);
+        let tour_len = index.tour.len();
+        let mut s = writer.section(section::MEET_INDEX);
+        s.put_u64(n as u64);
+        s.put_u64(tour_len as u64);
+        s.put_u64(index.num_blocks as u64);
+        s.put_u64(levels as u64);
+        s.put_u64(index.path_count() as u64);
+        s.put_col::<u32>(&index.depth);
+        s.put_col::<u32>(&index.subtree_end);
+        s.put_col::<u64>(&index.visit_depth);
+        s.put_col::<u32>(&index.tour);
+        s.put_col::<u32>(&index.tour_depth);
+        s.put_col::<u64>(&index.prefix_min);
+        s.put_col::<u64>(&index.suffix_min);
+        s.put_col::<u64>(&index.block_table);
+        s.put_col::<u32>(&index.path_off);
+        s.put_col::<Oid>(&index.path_data);
+
+        // STATS: the scalars plus the partition prefix sums in final
+        // form (v1 re-derives them from a packed weight column).
+        let depth_stats = self.depth_stats();
+        let partition_stats = self.partition_stats();
+        let mut s = writer.section(section::STATS);
+        s.put_u64(depth_stats.nodes as u64);
+        s.put_u64(depth_stats.max_depth as u64);
+        s.put_u64(depth_stats.mean_depth.to_bits());
+        s.put_u64(depth_stats.p90_depth as u64);
+        s.put_col::<u64>(partition_stats.prefix_sums());
+    }
+
+    /// Reconstruct a store from a v3 container: decode the small
+    /// materialized sections (checksummed here — they are a few percent
+    /// of the file), reattach every large array as a zero-copy [`Col`]
+    /// view, and seed the index/stats caches. Shape invariants the
+    /// accessors rely on are validated; content checksums of the array
+    /// sections follow the lazy-verify policy (see [`crate::mmap`]).
+    pub fn decode_snapshot_v3(snap: &MappedSnapshot) -> Result<MonetDb, SnapshotError> {
+        // SYMBOLS / PATHS.
+        let view = snap.section_verified(section::SYMBOLS)?;
+        let symbols = decode_symbols(&mut SectionCursor::new(view.payload()))?;
+        let view = snap.section_verified(section::PATHS)?;
+        let summary = decode_paths(&mut SectionCursor::new(view.payload()), &symbols)?;
+        let path_count = summary.len();
+
+        // COLUMNS: zero-copy views. The preorder/range invariants that
+        // the lazily derived edge relations index by are re-validated —
+        // two vectorizable scans, the only O(n) work on this path.
+        let mut v = snap.section(section::COLUMNS)?;
+        let n = v.get_u64()? as usize;
+        if n == 0 {
+            return Err(SnapshotError::Corrupt {
+                context: "empty instance (a loaded document has a root)",
+            });
+        }
+        let identity = v.get_u64()?;
+        if identity > 1 {
+            return Err(SnapshotError::Corrupt {
+                context: "provenance flag out of range",
+            });
+        }
+        let sigma: Col<PathId> = v.take_col(n)?;
+        let parent: Col<Oid> = v.take_col(n)?;
+        let rank: Col<u32> = v.take_col(n)?;
+        if sigma.iter().any(|p| p.index() >= path_count) {
+            return Err(SnapshotError::Corrupt {
+                context: "sigma path out of range",
+            });
+        }
+        if parent[0] != Oid::ROOT || (1..n).any(|i| parent[i].index() >= i) {
+            return Err(SnapshotError::Corrupt {
+                context: "parent column is not preorder",
+            });
+        }
+        let (node_of_oid, oid_of_node) = if identity == 1 {
+            (Vec::new(), Vec::new())
+        } else {
+            let nodes: Col<u32> = v.take_col(n)?;
+            let oids: Col<u32> = v.take_col(n)?;
+            if oids.iter().any(|&x| x as usize >= n) {
+                return Err(SnapshotError::Corrupt {
+                    context: "oid_of_node out of range",
+                });
+            }
+            (
+                nodes
+                    .iter()
+                    .map(|&x| NodeId::from_index(x as usize))
+                    .collect(),
+                oids.iter().map(|&x| Oid::from_index(x as usize)).collect(),
+            )
+        };
+
+        // STRINGS.
+        let view = snap.section_verified(section::STRINGS)?;
+        let strings = decode_strings(&mut SectionCursor::new(view.payload()), path_count, n)?;
+
+        // MEET_INDEX: shape scalars, then straight pointer fixups.
+        let mut v = snap.section(section::MEET_INDEX)?;
+        let idx_n = v.get_u64()? as usize;
+        let tour_len = v.get_u64()? as usize;
+        let num_blocks = v.get_u64()? as usize;
+        let levels = v.get_u64()? as usize;
+        let idx_paths = v.get_u64()? as usize;
+        if idx_n != n
+            || tour_len != 2 * n - 1
+            || num_blocks != tour_len.div_ceil(BLOCK)
+            || levels != usize::BITS as usize - num_blocks.leading_zeros() as usize
+            || idx_paths != path_count
+        {
+            return Err(SnapshotError::Corrupt {
+                context: "meet index shape mismatch",
+            });
+        }
+        let depth: Col<u32> = v.take_col(n)?;
+        let subtree_end: Col<u32> = v.take_col(n)?;
+        let visit_depth: Col<u64> = v.take_col(n)?;
+        let tour: Col<u32> = v.take_col(tour_len)?;
+        let tour_depth: Col<u32> = v.take_col(tour_len)?;
+        let prefix_min: Col<u64> = v.take_col(tour_len)?;
+        let suffix_min: Col<u64> = v.take_col(tour_len)?;
+        let block_table: Col<u64> = v.take_col(levels * num_blocks)?;
+        let path_off: Col<u32> = v.take_col(path_count + 1)?;
+        if path_off.first() != Some(&0)
+            || path_off.last().copied() != Some(n as u32)
+            || path_off.windows(2).any(|w| w[0] > w[1])
+        {
+            return Err(SnapshotError::Corrupt {
+                context: "postings do not cover the instance",
+            });
+        }
+        let path_data: Col<Oid> = v.take_col(n)?;
+        let index = MeetIndex::from_parts(
+            depth,
+            subtree_end,
+            visit_depth,
+            tour,
+            tour_depth,
+            prefix_min,
+            suffix_min,
+            block_table,
+            num_blocks,
+            path_off,
+            path_data,
+        );
+
+        // STATS.
+        let mut v = snap.section(section::STATS)?;
+        let depth_stats = DepthStats {
+            nodes: v.get_u64()? as usize,
+            max_depth: v.get_u64()? as usize,
+            mean_depth: f64::from_bits(v.get_u64()?),
+            p90_depth: v.get_u64()? as usize,
+        };
+        if depth_stats.nodes != n {
+            return Err(SnapshotError::Corrupt {
+                context: "depth stats disagree with columns",
+            });
+        }
+        let prefix: Col<u64> = v.take_col(n + 1)?;
+        if prefix.first() != Some(&0) {
+            return Err(SnapshotError::Corrupt {
+                context: "partition prefix does not start at zero",
+            });
+        }
+        let partition_stats = PartitionStats::from_prefix_col(prefix);
+
+        let db = MonetDb {
+            symbols,
+            summary,
+            sigma,
+            parent,
+            rank,
+            edges: OnceLock::new(),
+            strings,
+            node_of_oid,
+            oid_of_node,
+            meet_index: OnceLock::new(),
+            depth_stats: OnceLock::new(),
+            partition_stats: OnceLock::new(),
+        };
+        let _ = db.meet_index.set(index);
+        let _ = db.depth_stats.set(depth_stats);
+        let _ = db.partition_stats.set(partition_stats);
+        Ok(db)
+    }
+
+    /// Reconstruct a store from any dispatched snapshot source.
+    pub fn decode_source(source: &SnapshotSource) -> Result<MonetDb, SnapshotError> {
+        match source {
+            SnapshotSource::Legacy(r) => MonetDb::decode_snapshot(r),
+            SnapshotSource::Mapped(m) => MonetDb::decode_snapshot_v3(m),
+        }
+    }
+
+    /// Save the store (plus index and stats) as a standalone v3
+    /// snapshot file. Higher layers that stack more sections go through
+    /// [`MonetDb::encode_snapshot_v3`] instead.
     pub fn save(&self, path: &Path) -> Result<(), SnapshotError> {
-        let mut writer = SnapshotWriter::new();
-        self.encode_snapshot(&mut writer);
+        let mut writer = SnapshotWriterV3::new();
+        self.encode_snapshot_v3(&mut writer);
         writer.write_to(path)
     }
 
-    /// Load a store from a snapshot file — no parse, no DFS, no
-    /// O(n log n) preprocess: the meet index, depth stats and partition
-    /// stats arrive pre-computed.
+    /// Load a store from a snapshot file of any supported layout
+    /// version: v3 maps (no parse, no DFS, no O(n log n) preprocess —
+    /// the index and stats arrive in final form), v1/v2 take the
+    /// legacy materializing path.
     pub fn load(path: &Path) -> Result<MonetDb, SnapshotError> {
-        MonetDb::decode_snapshot(&SnapshotReader::open(path)?)
+        MonetDb::decode_source(&SnapshotSource::open(path)?)
     }
 }
 
@@ -1297,6 +1737,106 @@ mod tests {
             result,
             Err(SnapshotError::Corrupt {
                 context: "euler tour descends a non-edge"
+            })
+        ));
+    }
+
+    fn snapshot_bytes_v3(db: &MonetDb) -> Vec<u8> {
+        let mut w = SnapshotWriterV3::new();
+        db.encode_snapshot_v3(&mut w);
+        w.to_bytes()
+    }
+
+    #[test]
+    fn v3_round_trip_preserves_every_relation_and_lookup() {
+        let original = db();
+        let source = SnapshotSource::from_bytes(snapshot_bytes_v3(&original)).unwrap();
+        assert!(matches!(source, SnapshotSource::Mapped(_)));
+        let loaded = MonetDb::decode_source(&source).unwrap();
+
+        assert_eq!(loaded.dump_tree(), original.dump_tree());
+        assert_eq!(loaded.dump_relations(), original.dump_relations());
+        assert_eq!(loaded.stats(), original.stats());
+        assert_eq!(loaded.depth_stats(), original.depth_stats());
+        assert_eq!(loaded.partition_stats(), original.partition_stats());
+        for o in original.iter_oids() {
+            assert_eq!(loaded.sigma(o), original.sigma(o));
+            assert_eq!(loaded.parent(o), original.parent(o));
+            assert_eq!(loaded.rank(o), original.rank(o));
+            assert_eq!(loaded.node_of(o), original.node_of(o));
+        }
+        let (a, b) = (Oid::from_index(5), Oid::from_index(15));
+        assert_eq!(
+            loaded.meet_index().meet(a, b),
+            original.meet_index().meet(a, b)
+        );
+        for p in original.summary().iter() {
+            assert_eq!(
+                loaded.meet_index().oids_of_path(p),
+                original.meet_index().oids_of_path(p)
+            );
+            assert_eq!(loaded.edges_of(p), original.edges_of(p));
+            assert_eq!(loaded.strings_of(p), original.strings_of(p));
+        }
+    }
+
+    #[test]
+    fn v3_bytes_are_deterministic_and_resave_stable() {
+        let original = db();
+        let bytes = snapshot_bytes_v3(&original);
+        assert_eq!(bytes, snapshot_bytes_v3(&original));
+        let loaded =
+            MonetDb::decode_source(&SnapshotSource::from_bytes(bytes.clone()).unwrap()).unwrap();
+        assert_eq!(snapshot_bytes_v3(&loaded), bytes);
+    }
+
+    #[test]
+    fn save_writes_v3_and_load_dispatches_by_version() {
+        let dir = std::env::temp_dir().join("ncq-snapshot-dispatch-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let original = db();
+
+        // `save` emits the current (v3) layout.
+        let v3_path = dir.join("dispatch.v3.ncq");
+        original.save(&v3_path).unwrap();
+        let head = std::fs::read(&v3_path).unwrap();
+        assert_eq!(
+            u32::from_le_bytes(head[8..12].try_into().unwrap()),
+            SNAPSHOT_VERSION
+        );
+        let loaded = MonetDb::load(&v3_path).unwrap();
+        assert_eq!(loaded.dump_relations(), original.dump_relations());
+
+        // A legacy writer's file still loads through the same entry
+        // point, and so does a byte-patched v2 (same payload layout).
+        let v1_path = dir.join("dispatch.v1.ncq");
+        let mut w = SnapshotWriter::new();
+        original.encode_snapshot(&mut w);
+        w.write_to(&v1_path).unwrap();
+        let mut v2_bytes = std::fs::read(&v1_path).unwrap();
+        assert_eq!(
+            u32::from_le_bytes(v2_bytes[8..12].try_into().unwrap()),
+            SNAPSHOT_VERSION_V1
+        );
+        let legacy = MonetDb::load(&v1_path).unwrap();
+        assert_eq!(legacy.dump_relations(), original.dump_relations());
+        v2_bytes[8] = 2;
+        let v2 = MonetDb::decode_source(&SnapshotSource::from_bytes(v2_bytes).unwrap()).unwrap();
+        assert_eq!(v2.dump_relations(), original.dump_relations());
+
+        std::fs::remove_file(&v3_path).ok();
+        std::fs::remove_file(&v1_path).ok();
+    }
+
+    #[test]
+    fn versions_above_current_are_typed_through_dispatch() {
+        let mut bytes = snapshot_bytes_v3(&db());
+        bytes[8] = 99;
+        assert!(matches!(
+            SnapshotSource::from_bytes(bytes),
+            Err(SnapshotError::UnsupportedVersion {
+                found: 99,
+                supported: SNAPSHOT_VERSION
             })
         ));
     }

@@ -1,5 +1,6 @@
 //! Summary statistics about a loaded database instance.
 
+use crate::mmap::Col;
 use std::fmt;
 
 /// Counters describing a [`crate::MonetDb`], as printed by the examples and
@@ -111,7 +112,9 @@ impl fmt::Display for DepthStats {
 #[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct PartitionStats {
     /// `prefix[i]` = total weight of oids `0..i`; length `nodes + 1`.
-    prefix: Vec<u64>,
+    /// A [`Col`] so a v3 snapshot open can serve the array straight out
+    /// of the mapped file.
+    prefix: Col<u64>,
 }
 
 impl PartitionStats {
@@ -123,7 +126,9 @@ impl PartitionStats {
             acc += w;
             prefix.push(acc);
         }
-        PartitionStats { prefix }
+        PartitionStats {
+            prefix: prefix.into(),
+        }
     }
 
     /// Adopt an already-computed prefix array (the snapshot loader
@@ -131,9 +136,21 @@ impl PartitionStats {
     /// intermediate weights vector). The caller guarantees `prefix[0]`
     /// is 0 and the array is non-decreasing.
     pub(crate) fn from_prefix(prefix: Vec<u64>) -> PartitionStats {
+        Self::from_prefix_col(prefix.into())
+    }
+
+    /// Adopt a prefix column directly — possibly a zero-copy view into
+    /// a mapped v3 snapshot. Same caller contract as [`Self::from_prefix`].
+    pub(crate) fn from_prefix_col(prefix: Col<u64>) -> PartitionStats {
         debug_assert!(prefix.first() == Some(&0));
         debug_assert!(prefix.windows(2).all(|w| w[0] <= w[1]));
         PartitionStats { prefix }
+    }
+
+    /// The raw prefix-sum array (`nodes + 1` entries), for persisting in
+    /// final form.
+    pub(crate) fn prefix_sums(&self) -> &[u64] {
+        &self.prefix
     }
 
     /// Number of objects covered.

@@ -6,8 +6,8 @@
 //! proptest (the offline build cannot fetch it); failures print the
 //! seed.
 //!
-//! The pinned fixture `tests/golden/snapshot_v1.bin` is a committed
-//! layout-version-1 snapshot of the Figure 1 corpus (saved through
+//! The pinned fixture `tests/golden/snapshot_v3.bin` is a committed
+//! current-layout snapshot of the Figure 1 corpus (saved through
 //! `ShardedDb` at K = 4 so every section id, including the partition
 //! map, is exercised). Regenerate after an *intended* layout change —
 //! which must also bump `SNAPSHOT_VERSION` — with:
@@ -15,9 +15,14 @@
 //! ```text
 //! UPDATE_GOLDEN=1 cargo test --test snapshot_roundtrip
 //! ```
+//!
+//! Backward compatibility with the *older* committed fixtures
+//! (`snapshot_v1.bin`, `snapshot_v2.bin`) lives in `tests/snapshot_v3.rs`.
 
 use nearest_concept::core::{MeetOptions, MeetStrategy};
-use nearest_concept::store::{SnapshotError, SnapshotReader, SNAPSHOT_VERSION};
+use nearest_concept::store::{
+    MappedSnapshot, SnapshotError, SnapshotSource, VerifyMode, SNAPSHOT_VERSION,
+};
 use nearest_concept::xml::Document;
 use nearest_concept::{Database, ShardedDb};
 use rand::rngs::StdRng;
@@ -147,23 +152,27 @@ fn corrupt_snapshots_fail_typed_at_every_boundary() {
     let bytes = std::fs::read(&path).expect("read");
     std::fs::remove_file(&path).ok();
 
+    // Decode through the v3 mapped path with *eager* verification so a
+    // payload flip in a lazily-checked section (columns, meet index,
+    // stats) still surfaces as a typed checksum error rather than a
+    // semantically-plausible wrong value.
     let decode = |data: Vec<u8>| -> Result<(), SnapshotError> {
-        let reader = SnapshotReader::from_bytes(data)?;
-        let db = Database::decode_snapshot(&reader)?;
-        nearest_concept::shard::PartitionMap::decode_snapshot(&reader, db.store().node_count())?;
+        let snap = MappedSnapshot::from_owned_bytes(data, VerifyMode::Eager)?;
+        ShardedDb::from_source(&SnapshotSource::Mapped(snap), 4)?;
         Ok(())
     };
     decode(bytes.clone()).expect("pristine bytes decode");
 
-    // Section boundaries from the table: offset and offset+len of every
-    // section, plus the header/table edges.
+    // Section boundaries from the v3 table (24-byte header, 32-byte
+    // entries): offset and offset+len of every section, plus the
+    // header/table edges.
     let count = u32::from_le_bytes(bytes[12..16].try_into().unwrap()) as usize;
-    let table_end = 16 + 28 * count;
-    let mut boundaries = vec![0, 4, 8, 12, 15, 16, table_end - 1, table_end];
+    let table_end = 24 + 32 * count;
+    let mut boundaries = vec![0, 4, 8, 12, 16, 23, 24, table_end - 1, table_end];
     for i in 0..count {
-        let at = 16 + 28 * i;
-        let offset = u64::from_le_bytes(bytes[at + 4..at + 12].try_into().unwrap()) as usize;
-        let len = u64::from_le_bytes(bytes[at + 12..at + 20].try_into().unwrap()) as usize;
+        let at = 24 + 32 * i;
+        let offset = u64::from_le_bytes(bytes[at + 8..at + 16].try_into().unwrap()) as usize;
+        let len = u64::from_le_bytes(bytes[at + 16..at + 24].try_into().unwrap()) as usize;
         boundaries.extend([offset, offset + 1, offset + len / 2, offset + len]);
     }
     boundaries.retain(|&b| b < bytes.len());
@@ -178,9 +187,9 @@ fn corrupt_snapshots_fail_typed_at_every_boundary() {
     // section payload (start, middle, last).
     let mut flip_at: Vec<usize> = (0..table_end).collect();
     for i in 0..count {
-        let at = 16 + 28 * i;
-        let offset = u64::from_le_bytes(bytes[at + 4..at + 12].try_into().unwrap()) as usize;
-        let len = u64::from_le_bytes(bytes[at + 12..at + 20].try_into().unwrap()) as usize;
+        let at = 24 + 32 * i;
+        let offset = u64::from_le_bytes(bytes[at + 8..at + 16].try_into().unwrap()) as usize;
+        let len = u64::from_le_bytes(bytes[at + 16..at + 24].try_into().unwrap()) as usize;
         if len > 0 {
             flip_at.extend([offset, offset + len / 2, offset + len - 1]);
         }
@@ -257,8 +266,8 @@ fn pinned_fixture_guards_the_layout_version() {
 
     // Byte-stability: re-encoding the loaded engine plus its partition
     // map must reproduce the committed bytes exactly.
-    let mut writer = loaded.encode_snapshot();
-    sharded.partition().encode_snapshot(&mut writer);
+    let mut writer = loaded.encode_snapshot_v3();
+    sharded.partition().encode_snapshot_v3(&mut writer);
     assert_eq!(
         writer.to_bytes(),
         bytes,
